@@ -1,0 +1,52 @@
+// E8 — ablation: the spectrum configurator vs the paper's fixed
+// configurations across read fractions. For each workload mix, print the
+// frequency-weighted expected load J = fr*E[L_RD] + (1-fr)*E[L_WR] of every
+// fixed configuration and of the tree the configurator chose — the chosen
+// tree must always sit at (or below) the best fixed configuration of the
+// arbitrary family.
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+namespace {
+
+double objective(const ArbitraryAnalysis& a, double fr, double p) {
+  return fr * a.expected_read_load(p) + (1 - fr) * a.expected_write_load(p);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E8: ablation — spectrum configurator vs fixed shapes "
+               "===\n\n";
+  const std::size_t n = 100;
+  const double p = 0.9;
+
+  Table table({"read fraction", "MOSTLY-READ", "ALGORITHM-1", "MOSTLY-WRITE*",
+               "spectrum J", "spectrum shape (levels)"});
+  for (double fr : {0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0}) {
+    const ArbitraryAnalysis mostly_read(mostly_read_tree(n));
+    const ArbitraryAnalysis algo1(algorithm1_tree(n));
+    const ArbitraryAnalysis mostly_write(balanced_tree(n, n / 2));
+    const ArbitraryTree chosen =
+        configure_spectrum(n, {.read_fraction = fr, .availability_p = p});
+    const ArbitraryAnalysis chosen_analysis(chosen);
+    table.add_row({cell(fr, 2),
+                   cell(objective(mostly_read, fr, p), 4),
+                   cell(objective(algo1, fr, p), 4),
+                   cell(objective(mostly_write, fr, p), 4),
+                   cell(objective(chosen_analysis, fr, p), 4),
+                   cell(chosen_analysis.physical_level_count())});
+  }
+  table.print_text(std::cout);
+  std::cout << "\n(*balanced n/2-level stand-in for MOSTLY-WRITE at even n.)\n"
+            << "\nThe spectrum column must be <= the minimum of the fixed\n"
+            << "columns at every read fraction: one protocol, re-shaped per\n"
+            << "workload, dominates every fixed configuration — the paper's\n"
+            << "'no need to implement a new protocol' claim, quantified.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E10 — empirical cross-check: execute each configuration's actual quorum
+// strategy (100k sampled operations) and MEASURE the per-replica load, then
+// compare the busiest replica's measured load against the closed-form
+// optimal system load, and the mean quorum size against the analytic cost.
+// This ties Figures 2-4 to behaviour rather than algebra.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/empirical.hpp"
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/hqc.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rowa.hpp"
+#include "protocols/tree_quorum.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+int main() {
+  std::cout << "=== E10: measured strategy loads vs closed forms ===\n\n";
+  std::vector<std::unique_ptr<ReplicaControlProtocol>> protocols;
+  protocols.push_back(std::make_unique<ArbitraryProtocol>(
+      ArbitraryTree::from_spec("1-3-5")));
+  protocols.push_back(make_arbitrary(100));
+  protocols.push_back(make_mostly_read(64));
+  protocols.push_back(make_mostly_write(63));
+  protocols.push_back(make_unmodified(5));
+  protocols.push_back(std::make_unique<Rowa>(64));
+  protocols.push_back(std::make_unique<MajorityQuorum>(63));
+  protocols.push_back(std::make_unique<TreeQuorum>(5));
+  protocols.push_back(std::make_unique<Hqc>(4));
+
+  Rng rng(7);
+  Table table({"protocol", "n", "L_RD formula", "L_RD measured",
+               "L_WR formula", "L_WR measured", "RD cost", "RD measured",
+               "WR cost", "WR measured"});
+  for (const auto& protocol : protocols) {
+    const auto loads = empirical_loads(*protocol, 100000, rng);
+    const auto costs = measured_costs(*protocol, 20000, rng);
+    table.add_row({protocol->name(), cell(protocol->universe_size()),
+                   cell(protocol->read_load(), 4), cell(loads.max_read, 4),
+                   cell(protocol->write_load(), 4), cell(loads.max_write, 4),
+                   cell(protocol->read_cost(), 2), cell(costs.read, 2),
+                   cell(protocol->write_cost(), 2), cell(costs.write, 2)});
+  }
+  table.print_text(std::cout);
+  std::cout
+      << "\nNotes: BINARY's measured failure-free load is 1 (every\n"
+      << "failure-free quorum is a root path) — its optimal load 2/(h+2)\n"
+      << "needs the full quorum mix, exactly the paper's point about\n"
+      << "log(n)-cost strategies loading the root. For all arbitrary-family\n"
+      << "configurations measured and formula values must agree closely.\n";
+  return 0;
+}

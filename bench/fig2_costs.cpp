@@ -1,0 +1,77 @@
+// E2 — Figure 2: communication costs of read and write operations of the
+// six configurations, as a function of the number of replicas n.
+//
+// Expected shape (paper §4.1):
+//  * MOSTLY-READ: read cost 1 (lowest), write cost n (worst).
+//  * MOSTLY-WRITE: read cost (n-1)/2 (highest), write cost ~2 (lowest).
+//  * BINARY: the highest costs of the four balanced configurations.
+//  * ARBITRARY: lowest write costs of the balanced four (~sqrt(n)); read
+//    costs below BINARY and HQC (n^0.63), comparable to UNMODIFIED.
+//  * UNMODIFIED: read cost log2(n+1) (least of the four); write cost
+//    n/log2(n+1).
+#include <iostream>
+#include <vector>
+
+#include "analysis/models.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+int main() {
+  std::cout << "=== E2: Figure 2 — communication costs vs n ===\n\n";
+  const std::vector<std::size_t> ns = {40,  70,  100, 150, 200,
+                                       300, 400, 600, 800, 1000};
+  const auto configs = paper_configurations();
+
+  for (const char* which : {"read", "write"}) {
+    std::vector<std::string> header = {"n"};
+    for (const auto& config : configs) header.push_back(config.name);
+    Table table(header);
+    for (std::size_t n : ns) {
+      std::vector<std::string> row = {cell(n)};
+      for (const auto& config : configs) {
+        const ConfigMetrics m = config.at(n, 0.9);
+        const double cost =
+            std::string(which) == "read" ? m.read_cost : m.write_cost;
+        row.push_back(cell(cost, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << which << " communication cost:\n";
+    table.print_text(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout
+      << "Shape checks (paper §4.1):\n"
+      << "  MOSTLY-READ read cost == 1, write cost == n            -> "
+      << (mostly_read_metrics(200, .9).read_cost == 1.0 &&
+                  mostly_read_metrics(200, .9).write_cost == 200.0
+              ? "OK"
+              : "MISMATCH")
+      << "\n  MOSTLY-WRITE write cost ~ 2                            -> "
+      << (mostly_write_metrics(201, .9).write_cost < 2.2 ? "OK" : "MISMATCH")
+      << "\n  BINARY cost highest of the balanced four (n=400)       -> "
+      << (binary_metrics(400, .9).read_cost >
+                  std::max({unmodified_metrics(400, .9).read_cost,
+                            arbitrary_metrics(400, .9).read_cost,
+                            hqc_metrics(400, .9).read_cost})
+              ? "OK"
+              : "MISMATCH")
+      << "\n  ARBITRARY write cost lowest of the balanced four (400) -> "
+      << (arbitrary_metrics(400, .9).write_cost <
+                  std::min({binary_metrics(400, .9).write_cost,
+                            unmodified_metrics(400, .9).write_cost,
+                            hqc_metrics(400, .9).write_cost})
+              ? "OK"
+              : "MISMATCH")
+      << "\n  UNMODIFIED read cost least of the balanced four (400)  -> "
+      << (unmodified_metrics(400, .9).read_cost <=
+                  std::min({binary_metrics(400, .9).read_cost,
+                            arbitrary_metrics(400, .9).read_cost,
+                            hqc_metrics(400, .9).read_cost})
+              ? "OK"
+              : "MISMATCH")
+      << "\n";
+  return 0;
+}

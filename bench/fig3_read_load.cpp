@@ -1,0 +1,71 @@
+// E3 — Figure 3: (expected) system loads of READ operations of the six
+// configurations vs n, at replica availability p.
+//
+// Expected shape (paper §4.2.1):
+//  * MOSTLY-READ: lowest load 1/n, stable, diminishing with n.
+//  * MOSTLY-WRITE: load 1/2 for any n, instable (expected load drifts to 1).
+//  * UNMODIFIED: the worst — load 1 for any n (root in every read quorum).
+//  * HQC: least loads of the balanced four, n^-0.37; least expected loads
+//    for n > 15.
+//  * BINARY ~ ARBITRARY: similar, comparable to HQC; ARBITRARY pinned at
+//    1/4 for n > 32; BINARY at 2/(log2(n+1)+1).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/models.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+int main() {
+  std::cout << "=== E3: Figure 3 — read system loads vs n ===\n\n";
+  const std::vector<std::size_t> ns = {8,   16,  33,  70,  100,
+                                       200, 400, 700, 1000};
+  const auto configs = paper_configurations();
+  const double p = 0.7;  // same availability regime as the paper's example
+
+  for (const bool expected : {false, true}) {
+    std::vector<std::string> header = {"n"};
+    for (const auto& config : configs) header.push_back(config.name);
+    Table table(header);
+    for (std::size_t n : ns) {
+      std::vector<std::string> row = {cell(n)};
+      for (const auto& config : configs) {
+        const ConfigMetrics m = config.at(n, p);
+        row.push_back(cell(expected ? m.expected_read_load : m.read_load, 4));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << (expected ? "EXPECTED read system load (Eq. 3.2, p = 0.7):"
+                           : "read system load (optimal, failure-free):")
+              << '\n';
+    table.print_text(std::cout);
+    std::cout << '\n';
+  }
+
+  const auto check = [](bool ok) { return ok ? "OK" : "MISMATCH"; };
+  const ConfigMetrics arb400 = arbitrary_metrics(400, p);
+  const ConfigMetrics hqc400 = hqc_metrics(400, p);
+  const ConfigMetrics bin400 = binary_metrics(400, p);
+  std::cout
+      << "Shape checks (paper §4.2.1):\n"
+      << "  MOSTLY-READ load = 1/n (lowest)              -> "
+      << check(mostly_read_metrics(400, p).read_load == 1.0 / 400) << '\n'
+      << "  MOSTLY-WRITE load = 1/2, any n               -> "
+      << check(mostly_write_metrics(401, p).read_load == 0.5) << '\n'
+      << "  UNMODIFIED load = 1 (root bottleneck)        -> "
+      << check(unmodified_metrics(400, p).read_load == 1.0) << '\n'
+      << "  HQC least of the balanced four (n=400)       -> "
+      << check(hqc400.read_load < std::min({bin400.read_load,
+                                            arb400.read_load,
+                                            unmodified_metrics(400, p)
+                                                .read_load})) << '\n'
+      << "  ARBITRARY pinned at 1/4 for n > 32           -> "
+      << check(arb400.read_load == 0.25 &&
+               arbitrary_metrics(64, p).read_load == 0.25) << '\n'
+      << "  BINARY = 2/(log2(n+1)+1)                     -> "
+      << check(std::abs(bin400.read_load - 2.0 / (std::log2(bin400.n + 1) + 1)) <
+               1e-9) << '\n';
+  return 0;
+}

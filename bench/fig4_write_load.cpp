@@ -1,0 +1,83 @@
+// E4 — Figure 4: (expected) system loads of WRITE operations of the six
+// configurations vs n, at replica availability p.
+//
+// Expected shape (paper §4.2.2):
+//  * MOSTLY-READ: the worst — load 1 (every replica in every write).
+//  * MOSTLY-WRITE: least load 2/(n-1), stable, diminishing with n.
+//  * BINARY: highest (expected) load of the balanced four.
+//  * ARBITRARY: least load of the balanced four, 1/sqrt(n) under Algorithm
+//    1; smallest expected load for small n; HQC catches up for large n when
+//    p < 0.8 (its write availability is better there).
+//  * UNMODIFIED: second lowest, 1/log2(n+1) — the paper's new lower bound
+//    for the binary tree structure of [2].
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/models.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+int main() {
+  std::cout << "=== E4: Figure 4 — write system loads vs n ===\n\n";
+  const std::vector<std::size_t> ns = {8,   16,  33,  70,  100,
+                                       200, 400, 700, 1000};
+  const auto configs = paper_configurations();
+  const double p = 0.7;
+
+  for (const bool expected : {false, true}) {
+    std::vector<std::string> header = {"n"};
+    for (const auto& config : configs) header.push_back(config.name);
+    Table table(header);
+    for (std::size_t n : ns) {
+      std::vector<std::string> row = {cell(n)};
+      for (const auto& config : configs) {
+        const ConfigMetrics m = config.at(n, p);
+        row.push_back(
+            cell(expected ? m.expected_write_load : m.write_load, 4));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << (expected ? "EXPECTED write system load (Eq. 3.2, p = 0.7):"
+                           : "write system load (optimal, failure-free):")
+              << '\n';
+    table.print_text(std::cout);
+    std::cout << '\n';
+  }
+
+  const auto check = [](bool ok) { return ok ? "OK" : "MISMATCH"; };
+  const ConfigMetrics arb = arbitrary_metrics(400, p);
+  const ConfigMetrics hqc = hqc_metrics(400, p);
+  const ConfigMetrics bin = binary_metrics(400, p);
+  const ConfigMetrics unm = unmodified_metrics(400, p);
+  std::cout
+      << "Shape checks (paper §4.2.2):\n"
+      << "  MOSTLY-READ write load = 1 (worst)                -> "
+      << check(mostly_read_metrics(400, p).write_load == 1.0) << '\n'
+      << "  MOSTLY-WRITE = 2/(n-1) (least)                    -> "
+      << check(std::abs(mostly_write_metrics(401, p).write_load -
+                        2.0 / 400) < 1e-9) << '\n'
+      << "  BINARY highest of the balanced four               -> "
+      << check(bin.write_load > std::max({arb.write_load, hqc.write_load,
+                                          unm.write_load})) << '\n'
+      << "  ARBITRARY least of the balanced four, ~1/sqrt(n)  -> "
+      << check(arb.write_load < std::min({bin.write_load, hqc.write_load,
+                                          unm.write_load}) &&
+               std::abs(arb.write_load - 1.0 / std::sqrt(400.0)) < 0.02)
+      << '\n'
+      // "Second lowest" holds for the moderate n the paper plots; past
+      // n ~ 200 HQC's n^-0.37 dips below 1/log2(n+1). Discrete structures
+      // realize different n (HQC jumps to 3^k), so compare the paper's own
+      // closed forms at the same n = 127.
+      << "  UNMODIFIED 2nd lowest (n=127), = 1/log2(n+1)      -> "
+      << check(std::abs(unm.write_load - 1.0 / std::log2(unm.n + 1)) < 1e-9 &&
+               1.0 / std::log2(128.0) < std::pow(127.0, -0.37) &&
+               1.0 / std::log2(128.0) < 2.0 / (std::log2(128.0) + 1) &&
+               1.0 / std::log2(128.0) >
+                   arbitrary_metrics(127, p).write_load) << '\n'
+      << "  HQC write availability beats ARBITRARY at p<0.8   -> "
+      << check(hqc_metrics(729, 0.7).write_availability >
+               arbitrary_metrics(729, 0.7).write_availability) << '\n';
+  return 0;
+}

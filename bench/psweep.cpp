@@ -1,0 +1,56 @@
+// E12 — availability sensitivity: the expected system loads (Eq. 3.2) of
+// the six configurations as a function of the per-replica availability p at
+// fixed n. The paper states that ARBITRARY's expected loads converge to the
+// optimal loads once p > 0.8 (the "stable" regime) while MOSTLY-WRITE's
+// read side and MOSTLY-READ's write side destabilize early; this sweep
+// makes the whole p-axis visible (the figures in the paper fix p and sweep
+// n; this is the complementary cut).
+#include <iostream>
+#include <vector>
+
+#include "analysis/models.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+int main() {
+  std::cout << "=== E12: expected loads vs replica availability p (n ~ 100) "
+               "===\n\n";
+  const std::size_t n = 100;
+  const auto configs = paper_configurations();
+  const std::vector<double> ps = {0.55, 0.6, 0.65, 0.7, 0.75,
+                                  0.8,  0.85, 0.9, 0.95, 0.99};
+
+  for (const char* which : {"read", "write"}) {
+    std::vector<std::string> header = {"p"};
+    for (const auto& config : configs) header.push_back(config.name);
+    Table table(header);
+    for (double p : ps) {
+      std::vector<std::string> row = {cell(p, 2)};
+      for (const auto& config : configs) {
+        const ConfigMetrics m = config.at(n, p);
+        row.push_back(cell(std::string(which) == "read"
+                               ? m.expected_read_load
+                               : m.expected_write_load,
+                           4));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "expected " << which << " load vs p:\n";
+    table.print_text(std::cout);
+    std::cout << '\n';
+  }
+
+  // Stability transition of ARBITRARY: |E[L] - L| below 10% of L once
+  // p exceeds 0.8 (paper §4.2.2's closing remark).
+  bool stable_past_08 = true;
+  for (double p : {0.82, 0.9, 0.95}) {
+    const ConfigMetrics m = arbitrary_metrics(n, p);
+    stable_past_08 &=
+        m.expected_read_load <= m.read_load * 1.1 + 0.01 &&
+        m.expected_write_load <= m.write_load * 1.1 + 0.05;
+  }
+  std::cout << "ARBITRARY expected loads ~ optimal loads for p > 0.8 -> "
+            << (stable_past_08 ? "OK" : "MISMATCH") << '\n';
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E9 — google-benchmark microbenchmarks of the substrate: quorum assembly
+// for each protocol, tree construction, the LP solver, scheduler and
+// network throughput, and end-to-end simulated transactions per second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/hqc.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rowa.hpp"
+#include "protocols/tree_quorum.hpp"
+#include "quorum/lp.hpp"
+#include "txn/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+namespace {
+
+void BM_TreeConstructionAlgorithm1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm1_tree(n));
+  }
+}
+BENCHMARK(BM_TreeConstructionAlgorithm1)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ArbitraryReadQuorumAssembly(benchmark::State& state) {
+  const ArbitraryProtocol protocol(algorithm1_tree(
+      static_cast<std::size_t>(state.range(0))));
+  const FailureSet none(protocol.universe_size());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.assemble_read_quorum(none, rng));
+  }
+}
+BENCHMARK(BM_ArbitraryReadQuorumAssembly)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ArbitraryWriteQuorumAssembly(benchmark::State& state) {
+  const ArbitraryProtocol protocol(algorithm1_tree(
+      static_cast<std::size_t>(state.range(0))));
+  const FailureSet none(protocol.universe_size());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.assemble_write_quorum(none, rng));
+  }
+}
+BENCHMARK(BM_ArbitraryWriteQuorumAssembly)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TreeQuorumAssemblyUnderFailures(benchmark::State& state) {
+  const TreeQuorum protocol(static_cast<std::uint32_t>(state.range(0)));
+  Rng failure_rng(2);
+  FailureSet failures(protocol.universe_size());
+  for (ReplicaId id = 0; id < protocol.universe_size(); ++id) {
+    if (failure_rng.chance(0.2)) failures.fail(id);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.assemble_read_quorum(failures, rng));
+  }
+}
+BENCHMARK(BM_TreeQuorumAssemblyUnderFailures)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_HqcAssembly(benchmark::State& state) {
+  const Hqc protocol(static_cast<std::uint32_t>(state.range(0)));
+  const FailureSet none(protocol.universe_size());
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.assemble_read_quorum(none, rng));
+  }
+}
+BENCHMARK(BM_HqcAssembly)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OptimalLoadLp(benchmark::State& state) {
+  // LP sized by the read-quorum system of a small arbitrary tree.
+  const ArbitraryProtocol protocol(
+      balanced_tree(static_cast<std::size_t>(state.range(0)), 3));
+  const SetSystem reads(protocol.universe_size(),
+                        protocol.enumerate_read_quorums(100000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_load(reads));
+  }
+  state.counters["quorums"] = static_cast<double>(reads.set_count());
+}
+BENCHMARK(BM_OptimalLoadLp)->Arg(9)->Arg(15)->Arg(21);
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler scheduler;
+    for (int i = 0; i < 1000; ++i) {
+      scheduler.schedule_at(static_cast<SimTime>(i), [] {});
+    }
+    scheduler.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerEventThroughput);
+
+void BM_SimulatedTransactions(benchmark::State& state) {
+  for (auto _ : state) {
+    ClusterOptions options;
+    options.link = LinkParams{.base_latency = 10, .jitter = 0};
+    Cluster cluster(make_arbitrary(static_cast<std::size_t>(state.range(0))),
+                    options);
+    for (Key k = 0; k < 20; ++k) {
+      benchmark::DoNotOptimize(cluster.write_sync(0, k, "v"));
+      benchmark::DoNotOptimize(cluster.read_sync(0, k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_SimulatedTransactions)->Arg(40)->Arg(100);
+
+void BM_SpectrumConfigurator(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        configure_spectrum(n, {.read_fraction = 0.6, .availability_p = 0.9}));
+  }
+}
+BENCHMARK(BM_SpectrumConfigurator)->Arg(100)->Arg(400)->Arg(1000);
+
+}  // namespace
+}  // namespace atrcp

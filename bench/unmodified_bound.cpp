@@ -1,0 +1,58 @@
+// E6 — §3.3's new lower bound: applying the arbitrary protocol, unmodified,
+// to the complete binary tree of Agrawal–El Abbadi [2] yields a write load
+// of 1/log2(n+1), strictly below the 2/(log2(n+1)+1) optimal load that
+// Naor–Wool [10] proved for [2]'s own quorums on the same structure.
+//
+// For small trees we also verify both numbers with the LP solver over the
+// explicitly enumerated quorum systems — the bound is checked, not assumed.
+#include <cmath>
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/tree_quorum.hpp"
+#include "quorum/lp.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+int main() {
+  std::cout << "=== E6: write-load lower bound on the binary tree of [2] "
+               "===\n\n";
+
+  Table table({"h", "n", "ours 1/log2(n+1)", "Naor-Wool 2/(log2(n+1)+1)",
+               "improvement"});
+  for (std::uint32_t h = 1; h <= 12; ++h) {
+    const std::size_t n = (1u << (h + 1)) - 1;
+    const ArbitraryAnalysis analysis(unmodified_tree(h));
+    const double ours = analysis.write_load();
+    const double naor_wool = 2.0 / (std::log2(static_cast<double>(n) + 1) + 1);
+    table.add_row({cell(h), cell(n), cell(ours, 4), cell(naor_wool, 4),
+                   cell(naor_wool / ours, 3) + "x"});
+  }
+  table.print_text(std::cout);
+
+  std::cout << "\nLP verification on small trees (exact optimal loads over "
+               "the enumerated quorum systems):\n";
+  Table lp_table({"h", "n", "UNMODIFIED write LP", "formula",
+                  "BINARY quorums LP", "2/(h+2)"});
+  for (std::uint32_t h = 1; h <= 3; ++h) {
+    const std::size_t n = (1u << (h + 1)) - 1;
+    const ArbitraryProtocol unmodified(unmodified_tree(h));
+    const SetSystem writes(n, unmodified.enumerate_write_quorums(100));
+    const double lp_unmodified = optimal_load(writes).load;
+
+    const TreeQuorum binary(h);
+    const SetSystem binary_quorums(n, binary.enumerate_read_quorums(100000));
+    const double lp_binary = optimal_load(binary_quorums).load;
+
+    lp_table.add_row({cell(h), cell(n), cell(lp_unmodified, 4),
+                      cell(1.0 / (h + 1.0), 4), cell(lp_binary, 4),
+                      cell(2.0 / (h + 2.0), 4)});
+  }
+  lp_table.print_text(std::cout);
+  std::cout << "\n(Each LP column must equal its closed-form neighbour; the "
+               "UNMODIFIED write load is the lower of the two.)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E15 — zone placement ablation (beyond the paper's i.i.d. failure model):
+// how aligned vs striped zone placement of the same tree changes which
+// operations survive correlated (zone) outages. The placement is a second
+// configuration dial, dual to the tree shape: align zones with levels for
+// write-heavy systems, stripe them for read-heavy ones.
+#include <iostream>
+
+#include "analysis/zones.hpp"
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+int main() {
+  std::cout << "=== E15: zone placement under correlated failures ===\n\n";
+  const ArbitraryProtocol protocol(balanced_tree(36, 6));  // six 6-wide levels
+  Rng rng(7);
+
+  {
+    const auto aligned = single_zone_effect(protocol, aligned_zones(protocol.tree()));
+    const auto striped =
+        single_zone_effect(protocol, striped_zones(protocol.tree(), 6));
+    Table table({"placement", "zones", "zone outages blocking reads",
+                 "blocking writes"});
+    table.add_row({"aligned (zone = level)", cell(aligned.zone_count),
+                   cell(aligned.zones_blocking_reads),
+                   cell(aligned.zones_blocking_writes)});
+    table.add_row({"striped (round robin)", cell(striped.zone_count),
+                   cell(striped.zones_blocking_reads),
+                   cell(striped.zones_blocking_writes)});
+    std::cout << "exact single-zone-outage classification (tree 1-6x6):\n";
+    table.print_text(std::cout);
+  }
+
+  {
+    Table table({"zone_p", "aligned RD", "aligned WR", "striped RD",
+                 "striped WR"});
+    for (double zone_p : {0.99, 0.95, 0.9, 0.8, 0.7}) {
+      const auto aligned = zone_availability(
+          protocol, aligned_zones(protocol.tree()), zone_p, 0.99, 20000, rng);
+      const auto striped =
+          zone_availability(protocol, striped_zones(protocol.tree(), 6),
+                            zone_p, 0.99, 20000, rng);
+      table.add_row({cell(zone_p, 2), cell(aligned.read, 3),
+                     cell(aligned.write, 3), cell(striped.read, 3),
+                     cell(striped.write, 3)});
+    }
+    std::cout << "\nMonte-Carlo availability (zones fail together, replicas "
+                 "99% reliable):\n";
+    table.print_text(std::cout);
+    std::cout
+        << "\nAligned placement keeps writes near-perfect (a zone outage is\n"
+        << "one whole level, and writes only need SOME level) at the cost\n"
+        << "of reads; striping inverts the trade-off. Choose placement by\n"
+        << "the same read/write mix that chose the tree shape.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Adaptive reconfiguration: the paper's headline operational claim is that
+// shifting between configurations only means re-shaping the tree — no new
+// protocol. This example runs a workload whose read/write mix drifts over
+// three phases (read-heavy -> balanced -> write-heavy). At each phase
+// boundary the spectrum configurator proposes a new tree for the observed
+// mix, the data is carried over, and the phase runs on the new shape.
+// Compare the per-phase message bills with and without reconfiguration.
+//
+//   $ ./adaptive_reconfiguration
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+using namespace atrcp;
+
+namespace {
+
+struct Phase {
+  const char* label;
+  double read_fraction;
+};
+
+constexpr Phase kPhases[] = {
+    {"read-heavy (95% reads)", 0.95},
+    {"balanced   (50% reads)", 0.50},
+    {"write-heavy (5% reads)", 0.05},
+};
+
+/// Spectrum options tuned for message bills as well as load: the executed
+/// cost term is what makes reconfiguration pay off on the wire.
+SpectrumOptions options_for(double read_fraction) {
+  return {.read_fraction = read_fraction,
+          .availability_p = 0.95,
+          .cost_weight = 1.0};
+}
+
+WorkloadStats run_phase(Cluster& cluster, double read_fraction) {
+  WorkloadOptions options;
+  options.transactions_per_client = 200;
+  options.read_fraction = read_fraction;
+  options.num_keys = 24;
+  return run_workload(cluster, options);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 60;
+  std::cout << "=== adaptive reconfiguration over " << n << " replicas ===\n\n";
+
+  // Static baseline: one fixed shape (Algorithm-1-style) for all phases.
+  std::uint64_t static_messages = 0;
+  {
+    Cluster cluster(make_arbitrary(n));
+    for (const Phase& phase : kPhases) {
+      static_messages += run_phase(cluster, phase.read_fraction).messages_sent;
+    }
+  }
+
+  // Adaptive: re-shape the tree IN PLACE at each phase boundary —
+  // Cluster::reconfigure runs the state transfer and swaps the protocol on
+  // the same replicas; no data is lost and no new protocol is written.
+  std::uint64_t adaptive_messages = 0;
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+      configure_spectrum(n, options_for(kPhases[0].read_fraction))));
+  for (std::size_t i = 0; i < std::size(kPhases); ++i) {
+    if (i > 0) {
+      cluster.reconfigure(std::make_unique<ArbitraryProtocol>(
+          configure_spectrum(n, options_for(kPhases[i].read_fraction))));
+    }
+    const auto& shape =
+        static_cast<const ArbitraryProtocol&>(cluster.protocol());
+    const WorkloadStats stats = run_phase(cluster, kPhases[i].read_fraction);
+    adaptive_messages += stats.messages_sent;
+    std::cout << kPhases[i].label << ":\n"
+              << "  tree shape: " << shape.tree().to_spec_string() << " ("
+              << shape.tree().physical_levels().size()
+              << " physical levels)\n"
+              << "  messages: " << stats.messages_sent << ", commit rate "
+              << stats.commit_rate() << ", busiest replica share "
+              << std::setprecision(3) << stats.max_replica_share() << "\n";
+  }
+
+  std::cout << "\ntotal messages, fixed Algorithm-1 shape: "
+            << static_messages
+            << "\ntotal messages, spectrum-adapted shapes: "
+            << adaptive_messages << "\nsavings: "
+            << std::setprecision(3)
+            << 100.0 * (1.0 - static_cast<double>(adaptive_messages) /
+                                  static_cast<double>(static_messages))
+            << "% — same protocol, different trees.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Fault tolerance walkthrough: crashes, a network partition, and random
+// churn thrown at an arbitrary-protocol cluster, narrated step by step —
+// shows which operations survive which failures and why, and contrasts
+// with ROWA's behaviour under the same events.
+//
+//   $ ./fault_tolerance
+#include <iostream>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/rowa.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+using namespace atrcp;
+
+namespace {
+
+const char* outcome_name(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kCommitted: return "committed";
+    case TxnOutcome::kAborted: return "aborted";
+    case TxnOutcome::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== fault tolerance: arbitrary protocol on 1-4-6 ===\n\n";
+  // Two physical levels: 4 replicas (ids 0-3) and 6 replicas (ids 4-9).
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+      ArbitraryTree::from_spec("1-4-6")));
+
+  std::cout << "healthy: write -> "
+            << outcome_name(cluster.write_sync(0, 1, "v1")) << ", read -> '"
+            << cluster.read_sync(0, 1)->value << "'\n";
+
+  std::cout << "\n-- crash 3 of 4 level-1 replicas (0,1,2) --\n";
+  for (ReplicaId r : {0u, 1u, 2u}) cluster.injector().crash_now(r);
+  std::cout << "read still works through survivor 3: "
+            << (cluster.read_sync(0, 1) ? "yes" : "no") << "\n";
+  std::cout << "write retargets the intact level 2: "
+            << outcome_name(cluster.write_sync(0, 1, "v2")) << "\n";
+
+  std::cout << "\n-- crash survivor 3 as well: level 1 is gone --\n";
+  cluster.injector().crash_now(3);
+  std::cout << "read now aborts (needs one member of EVERY level): "
+            << (cluster.read_sync(0, 1) ? "unexpected!" : "aborted")
+            << "\n";
+  std::cout << "ROWA-comparison: ROWA reads would still work here, but no\n"
+            << "ROWA write could have survived even ONE crash; this shape\n"
+            << "kept writes available through four.\n";
+
+  std::cout << "\n-- recover everyone --\n";
+  for (ReplicaId r = 0; r < 4; ++r) cluster.injector().recover_now(r);
+  std::cout << "read -> '" << cluster.read_sync(0, 1)->value
+            << "' (the write that landed during the outage)\n";
+
+  std::cout << "\n-- partition: replicas 4,5,6 cut off from the client --\n";
+  for (SiteId s : {4u, 5u, 6u}) cluster.network().set_partition(s, 1);
+  // The failure detector doesn't know (partitions are silent): the
+  // coordinator suspects silent members after a timeout and re-assembles.
+  const auto read = cluster.read_sync(0, 1);
+  std::cout << "read during partition (suspicion + retry): "
+            << (read ? "committed" : "aborted") << "\n";
+  cluster.network().heal_partitions();
+  std::cout << "partition healed; write -> "
+            << outcome_name(cluster.write_sync(0, 1, "v3")) << "\n";
+
+  std::cout << "\n-- heartbeat detection instead of oracle knowledge --\n";
+  {
+    ClusterOptions options;
+    options.use_heartbeat_detector = true;
+    options.detector.interval = 1'000;
+    options.detector.suspect_after = 3;
+    Cluster detected(std::make_unique<ArbitraryProtocol>(
+                         ArbitraryTree::from_spec("1-4-6")),
+                     options);
+    detected.write_sync(0, 1, "probe");
+    detected.network().set_up(2, false);  // silent crash
+    detected.scheduler().run_until(detected.scheduler().now() + 10'000);
+    std::cout << "detector suspected the silent crash of replica 2: "
+              << (detected.detector()->view().is_failed(2) ? "yes" : "no")
+              << "; reads keep working: "
+              << (detected.read_sync(0, 1) ? "yes" : "no") << "\n";
+  }
+
+  std::cout << "\n-- sustained random churn (each replica ~85% available) "
+               "--\n";
+  cluster.injector().start_random_failures(/*mean_uptime=*/85'000,
+                                           /*mean_downtime=*/15'000,
+                                           /*horizon=*/3'000'000);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 300;
+  workload.read_fraction = 0.7;
+  const WorkloadStats stats = run_workload(cluster, workload);
+  std::cout << "under churn: " << stats.committed << " committed, "
+            << stats.aborted << " aborted, " << stats.blocked
+            << " blocked (commit rate " << stats.commit_rate() << ")\n";
+  std::cout << "analytic prediction at p=0.85: read availability "
+            << cluster.protocol().read_availability(0.85)
+            << ", write availability "
+            << cluster.protocol().write_availability(0.85) << "\n";
+  return 0;
+}

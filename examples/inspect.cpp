@@ -1,0 +1,114 @@
+// inspect — a small CLI around the public API: parse a tree spec, print
+// its structure (ASCII + optional Graphviz), its complete analytic
+// scorecard across a p-range, and the quorum systems (for small trees).
+//
+//   $ ./inspect 1-3-5
+//   $ ./inspect 1-4-4-4 --dot > tree.dot && dot -Tpng tree.dot -o tree.png
+//   $ ./inspect --algorithm1 100
+//   $ ./inspect --spectrum 60 0.8        # n=60, 80% reads
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+#include "core/dot.hpp"
+#include "core/quorums.hpp"
+#include "quorum/resilience.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+namespace {
+
+void usage() {
+  std::cout << "usage: inspect <spec>            e.g. inspect 1-3-5\n"
+            << "       inspect <spec> --dot      print graphviz source\n"
+            << "       inspect --algorithm1 <n>  Algorithm 1 tree for n\n"
+            << "       inspect --spectrum <n> <read_fraction>\n";
+}
+
+void report(const ArbitraryTree& tree, bool dot) {
+  if (dot) {
+    write_dot(tree, std::cout);
+    return;
+  }
+  std::cout << "tree " << tree.to_spec_string() << "  (n = "
+            << tree.replica_count() << ", height = " << tree.height()
+            << ", assumption 3.1: "
+            << (tree.satisfies_assumption_3_1() ? "yes" : "NO") << ")\n\n"
+            << to_ascii(tree) << '\n';
+
+  const ArbitraryAnalysis a(tree);
+  Table scorecard({"metric", "read", "write"});
+  scorecard.add_row({"cost", cell(a.read_cost(), 1),
+                     cell(a.write_cost_avg(), 1) + "  (min " +
+                         cell(a.write_cost_min(), 0) + ", max " +
+                         cell(a.write_cost_max(), 0) + ")"});
+  scorecard.add_row({"optimal load", cell(a.read_load(), 4),
+                     cell(a.write_load(), 4)});
+  scorecard.add_row(
+      {"quorum count", cell(a.read_quorum_count(), 0),
+       cell(a.write_quorum_count())});
+  scorecard.print_text(std::cout);
+
+  Table availability({"p", "RD_av", "WR_av", "E[L_RD]", "E[L_WR]", "stable"});
+  for (double p : {0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    availability.add_row({cell(p, 2), cell(a.read_availability(p), 4),
+                          cell(a.write_availability(p), 4),
+                          cell(a.expected_read_load(p), 4),
+                          cell(a.expected_write_load(p), 4),
+                          a.is_stable(p) ? "yes" : "no"});
+  }
+  std::cout << '\n';
+  availability.print_text(std::cout);
+
+  if (a.read_quorum_count() <= 32) {
+    const ArbitraryProtocol protocol{ArbitraryTree(tree)};
+    std::cout << "\nread quorums:\n";
+    for (const Quorum& q : protocol.enumerate_read_quorums(32)) {
+      std::cout << "  " << q.to_string() << '\n';
+    }
+    std::cout << "write quorums:\n";
+    for (const Quorum& q : protocol.enumerate_write_quorums(32)) {
+      std::cout << "  " << q.to_string() << '\n';
+    }
+    const SetSystem reads(tree.replica_count(),
+                          protocol.enumerate_read_quorums(32));
+    const SetSystem writes(tree.replica_count(),
+                           protocol.enumerate_write_quorums(32));
+    std::cout << "worst-case resilience: reads " << resilience(reads)
+              << " crashes, writes " << resilience(writes) << " crashes\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      usage();
+      return 2;
+    }
+    const std::string first = argv[1];
+    if (first == "--algorithm1" && argc >= 3) {
+      report(algorithm1_tree(std::strtoul(argv[2], nullptr, 10)), false);
+    } else if (first == "--spectrum" && argc >= 4) {
+      const std::size_t n = std::strtoul(argv[2], nullptr, 10);
+      const double fr = std::strtod(argv[3], nullptr);
+      report(configure_spectrum(
+                 n, {.read_fraction = fr, .availability_p = 0.9}),
+             false);
+    } else if (first.rfind("--", 0) == 0) {
+      usage();
+      return 2;
+    } else {
+      const bool dot = argc >= 3 && std::string(argv[2]) == "--dot";
+      report(ArbitraryTree::from_spec(first), dot);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Protocol comparison: every replica control protocol in the library — the
+// paper's configurations and the classic baselines — side by side on one
+// synthetic workload over the simulator, plus their analytic scorecards.
+// A compact, runnable version of the paper's §4 evaluation.
+//
+//   $ ./protocol_comparison
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/grid.hpp"
+#include "protocols/hqc.hpp"
+#include "protocols/maekawa.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rooted_tree.hpp"
+#include "protocols/rowa.hpp"
+#include "protocols/tree_quorum.hpp"
+#include "protocols/weighted_voting.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+#include "util/table.hpp"
+
+using namespace atrcp;
+
+namespace {
+
+std::vector<std::unique_ptr<ReplicaControlProtocol>> lineup() {
+  std::vector<std::unique_ptr<ReplicaControlProtocol>> protocols;
+  protocols.push_back(make_arbitrary(63));
+  protocols.push_back(make_mostly_read(63));
+  protocols.push_back(make_mostly_write(63));
+  protocols.push_back(make_unmodified(5));                    // 63 replicas
+  protocols.push_back(std::make_unique<TreeQuorum>(5));       // 63 replicas
+  protocols.push_back(std::make_unique<Hqc>(4));              // 81 replicas
+  protocols.push_back(std::make_unique<Rowa>(63));
+  protocols.push_back(std::make_unique<MajorityQuorum>(63));
+  protocols.push_back(std::make_unique<Grid>(8, 8));          // 64 replicas
+  protocols.push_back(std::make_unique<Maekawa>(8));          // 64 replicas
+  protocols.push_back(
+      std::make_unique<RootedTreeQuorum>(3, 3, 2, 2));        // 40 replicas
+  protocols.push_back(std::make_unique<WeightedVoting>(
+      WeightedVoting::majority(63)));
+  return protocols;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== protocol comparison (n ~ 63) ===\n\n";
+  const double p = 0.85;
+
+  {
+    Table table({"protocol", "n", "RD cost", "WR cost", "RD load", "WR load",
+                 "RD avail", "WR avail"});
+    for (const auto& protocol : lineup()) {
+      table.add_row({protocol->name(), cell(protocol->universe_size()),
+                     cell(protocol->read_cost(), 1),
+                     cell(protocol->write_cost(), 1),
+                     cell(protocol->read_load(), 3),
+                     cell(protocol->write_load(), 3),
+                     cell(protocol->read_availability(p), 3),
+                     cell(protocol->write_availability(p), 3)});
+    }
+    std::cout << "analytic scorecard at p = " << p << ":\n";
+    table.print_text(std::cout);
+  }
+
+  {
+    Table table({"protocol", "commit rate", "mean latency (us)", "messages",
+                 "busiest share"});
+    for (auto& protocol : lineup()) {
+      ClusterOptions options;
+      options.clients = 2;
+      Cluster cluster(std::move(protocol), options);
+      WorkloadOptions workload;
+      workload.transactions_per_client = 100;
+      workload.read_fraction = 0.7;
+      workload.num_keys = 16;
+      const WorkloadStats stats = run_workload(cluster, workload);
+      table.add_row({cluster.protocol().name(), cell(stats.commit_rate(), 3),
+                     cell(stats.mean_latency_us, 0),
+                     cell(stats.messages_sent),
+                     cell(stats.max_replica_share(), 3)});
+    }
+    std::cout << "\nexecuted workload (70% reads, healthy cluster):\n";
+    table.print_text(std::cout);
+  }
+
+  std::cout << "\nTake-away: ROWA/MOSTLY-READ minimize read traffic but pay\n"
+            << "n per write; MAJORITY balances availability at ~n/2 per op;\n"
+            << "tree shapes cut costs to log/sqrt scale, and the arbitrary\n"
+            << "protocol picks its point on that spectrum by re-shaping the\n"
+            << "tree alone.\n";
+  return 0;
+}

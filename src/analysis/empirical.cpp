@@ -1,0 +1,77 @@
+#include "analysis/empirical.hpp"
+
+#include <stdexcept>
+
+#include "quorum/availability.hpp"
+#include "util/check.hpp"
+
+namespace atrcp {
+
+EmpiricalLoads empirical_loads(const ReplicaControlProtocol& protocol,
+                               std::size_t samples, Rng& rng) {
+  if (samples == 0) {
+    throw std::invalid_argument("empirical_loads: samples must be > 0");
+  }
+  const std::size_t n = protocol.universe_size();
+  const FailureSet none(n);
+  std::vector<std::uint64_t> read_hits(n, 0);
+  std::vector<std::uint64_t> write_hits(n, 0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto read_quorum = protocol.assemble_read_quorum(none, rng);
+    ATRCP_CHECK(read_quorum.has_value());  // failure-free must succeed
+    for (ReplicaId id : read_quorum->members()) ++read_hits[id];
+    const auto write_quorum = protocol.assemble_write_quorum(none, rng);
+    ATRCP_CHECK(write_quorum.has_value());
+    for (ReplicaId id : write_quorum->members()) ++write_hits[id];
+  }
+  EmpiricalLoads loads;
+  loads.read.resize(n);
+  loads.write.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loads.read[i] = static_cast<double>(read_hits[i]) / samples;
+    loads.write[i] = static_cast<double>(write_hits[i]) / samples;
+    loads.max_read = std::max(loads.max_read, loads.read[i]);
+    loads.max_write = std::max(loads.max_write, loads.write[i]);
+  }
+  return loads;
+}
+
+MeasuredAvailability measured_availability(
+    const ReplicaControlProtocol& protocol, double p, std::size_t trials,
+    Rng& rng) {
+  if (trials == 0) {
+    throw std::invalid_argument("measured_availability: trials must be > 0");
+  }
+  const std::size_t n = protocol.universe_size();
+  std::size_t read_ok = 0;
+  std::size_t write_ok = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const FailureSet failures = sample_failures(n, p, rng);
+    if (protocol.assemble_read_quorum(failures, rng)) ++read_ok;
+    if (protocol.assemble_write_quorum(failures, rng)) ++write_ok;
+  }
+  return {static_cast<double>(read_ok) / trials,
+          static_cast<double>(write_ok) / trials};
+}
+
+MeasuredCosts measured_costs(const ReplicaControlProtocol& protocol,
+                             std::size_t samples, Rng& rng) {
+  if (samples == 0) {
+    throw std::invalid_argument("measured_costs: samples must be > 0");
+  }
+  const FailureSet none(protocol.universe_size());
+  std::uint64_t read_total = 0;
+  std::uint64_t write_total = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto read_quorum = protocol.assemble_read_quorum(none, rng);
+    ATRCP_CHECK(read_quorum.has_value());
+    read_total += read_quorum->size();
+    const auto write_quorum = protocol.assemble_write_quorum(none, rng);
+    ATRCP_CHECK(write_quorum.has_value());
+    write_total += write_quorum->size();
+  }
+  return {static_cast<double>(read_total) / samples,
+          static_cast<double>(write_total) / samples};
+}
+
+}  // namespace atrcp

@@ -1,0 +1,51 @@
+// Empirical cross-checks of the analytic models: run a protocol's actual
+// quorum-assembly strategy and MEASURE what the formulas predict.
+//
+//  * empirical_loads       — sample quorums failure-free; per-replica hit
+//    frequency converges to the strategy-induced load (Definition 2.5).
+//  * measured_availability — sample i.i.d. failure configurations; the
+//    fraction where assembly succeeds converges to the availability.
+//  * measured_costs        — mean assembled quorum size, converging to the
+//    communication cost.
+//
+// Used by tests (formula == behaviour) and by the empirical-load bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "protocols/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+struct EmpiricalLoads {
+  std::vector<double> read;   ///< per-replica read-op participation rate
+  std::vector<double> write;  ///< per-replica write-op participation rate
+  double max_read = 0.0;      ///< empirical read system load
+  double max_write = 0.0;     ///< empirical write system load
+};
+
+/// Samples `samples` failure-free read quorums and write quorums.
+EmpiricalLoads empirical_loads(const ReplicaControlProtocol& protocol,
+                               std::size_t samples, Rng& rng);
+
+struct MeasuredAvailability {
+  double read = 0.0;
+  double write = 0.0;
+};
+
+/// Monte-Carlo availability of live quorum assembly under i.i.d. failures.
+MeasuredAvailability measured_availability(
+    const ReplicaControlProtocol& protocol, double p, std::size_t trials,
+    Rng& rng);
+
+struct MeasuredCosts {
+  double read = 0.0;   ///< mean read quorum size (failure-free)
+  double write = 0.0;  ///< mean write quorum size (failure-free)
+};
+
+MeasuredCosts measured_costs(const ReplicaControlProtocol& protocol,
+                             std::size_t samples, Rng& rng);
+
+}  // namespace atrcp

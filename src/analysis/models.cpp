@@ -1,0 +1,93 @@
+#include "analysis/models.hpp"
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+#include "protocols/hqc.hpp"
+#include "protocols/protocol.hpp"
+#include "protocols/tree_quorum.hpp"
+
+namespace atrcp {
+
+namespace {
+
+ConfigMetrics from_analysis(const ArbitraryAnalysis& analysis, double p) {
+  ConfigMetrics m;
+  m.n = analysis.replica_count();
+  m.read_cost = analysis.read_cost();
+  m.write_cost = analysis.write_cost_avg();
+  m.read_load = analysis.read_load();
+  m.write_load = analysis.write_load();
+  m.read_availability = analysis.read_availability(p);
+  m.write_availability = analysis.write_availability(p);
+  m.expected_read_load = analysis.expected_read_load(p);
+  m.expected_write_load = analysis.expected_write_load(p);
+  return m;
+}
+
+ConfigMetrics from_protocol(const ReplicaControlProtocol& protocol, double p) {
+  ConfigMetrics m;
+  m.n = protocol.universe_size();
+  m.read_cost = protocol.read_cost();
+  m.write_cost = protocol.write_cost();
+  m.read_load = protocol.read_load();
+  m.write_load = protocol.write_load();
+  m.read_availability = protocol.read_availability(p);
+  m.write_availability = protocol.write_availability(p);
+  m.expected_read_load =
+      expected_read_load(m.read_availability, m.read_load);
+  m.expected_write_load =
+      expected_write_load(m.write_availability, m.write_load);
+  return m;
+}
+
+}  // namespace
+
+ConfigMetrics binary_metrics(std::size_t n_target, double p) {
+  return from_protocol(TreeQuorum::for_at_least(n_target), p);
+}
+
+ConfigMetrics unmodified_metrics(std::size_t n_target, double p) {
+  const TreeQuorum shape = TreeQuorum::for_at_least(n_target);
+  return from_analysis(
+      ArbitraryAnalysis(unmodified_tree(shape.height())), p);
+}
+
+ConfigMetrics arbitrary_metrics(std::size_t n, double p) {
+  if (n > 32) {
+    return from_analysis(ArbitraryAnalysis(recommended_tree(n)), p);
+  }
+  // Below the paper's recommended range: the closest spirit is a balanced
+  // tree with about sqrt(n) physical levels.
+  const auto levels = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(std::sqrt(n))));
+  return from_analysis(ArbitraryAnalysis(balanced_tree(n, levels)), p);
+}
+
+ConfigMetrics hqc_metrics(std::size_t n_target, double p) {
+  return from_protocol(Hqc::for_at_least(n_target), p);
+}
+
+ConfigMetrics mostly_read_metrics(std::size_t n, double p) {
+  return from_analysis(ArbitraryAnalysis(mostly_read_tree(n)), p);
+}
+
+ConfigMetrics mostly_write_metrics(std::size_t n, double p) {
+  if (n < 3) n = 3;
+  if (n % 2 == 0) ++n;  // the configuration is defined for odd n
+  return from_analysis(ArbitraryAnalysis(mostly_write_tree(n)), p);
+}
+
+std::vector<ConfigModel> paper_configurations() {
+  return {
+      {"BINARY", binary_metrics},
+      {"UNMODIFIED", unmodified_metrics},
+      {"ARBITRARY", arbitrary_metrics},
+      {"HQC", hqc_metrics},
+      {"MOSTLY-READ", mostly_read_metrics},
+      {"MOSTLY-WRITE", mostly_write_metrics},
+  };
+}
+
+}  // namespace atrcp

@@ -1,0 +1,66 @@
+// Analytic models of the six configurations evaluated in §4 of the paper,
+// evaluated at any replica count and availability probability — the data
+// source for regenerating Figures 2, 3 and 4.
+//
+// Structured configurations (UNMODIFIED, ARBITRARY, MOSTLY-READ,
+// MOSTLY-WRITE) compute their numbers from a real ArbitraryAnalysis of the
+// tree the configuration would build; BINARY and HQC use the closed forms
+// the paper itself uses ([2] §4 with f = 2/(2+h), [10] §§6.3-6.4, [8] §5),
+// as implemented by the TreeQuorum and Hqc protocol classes.
+//
+// Discrete structures cannot hit every n exactly (BINARY needs 2^(h+1)-1,
+// HQC needs 3^depth, MOSTLY-WRITE needs odd n); each model reports the n it
+// actually used alongside its metrics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+struct ConfigMetrics {
+  std::size_t n = 0;  ///< replica count actually realized (see header note)
+  double read_cost = 0.0;
+  double write_cost = 0.0;
+  double read_load = 0.0;
+  double write_load = 0.0;
+  double read_availability = 0.0;
+  double write_availability = 0.0;
+  double expected_read_load = 0.0;
+  double expected_write_load = 0.0;
+};
+
+/// §4 configuration 1 — Agrawal–El Abbadi on the smallest complete binary
+/// tree with >= n_target replicas.
+ConfigMetrics binary_metrics(std::size_t n_target, double p);
+
+/// §4 configuration 2 — the arbitrary protocol applied, unmodified, to that
+/// same complete binary tree (all nodes physical).
+ConfigMetrics unmodified_metrics(std::size_t n_target, double p);
+
+/// §4 configuration 3 — Algorithm 1 (n > 64) or the §3.3 recommended shape
+/// (32 < n <= 64); below that a balanced sqrt(n)-level tree.
+ConfigMetrics arbitrary_metrics(std::size_t n, double p);
+
+/// §4 configuration 4 — Kumar's HQC on the smallest ternary hierarchy with
+/// >= n_target leaf replicas.
+ConfigMetrics hqc_metrics(std::size_t n_target, double p);
+
+/// §4 configuration 5 — all n replicas in one physical level (ROWA-like).
+ConfigMetrics mostly_read_metrics(std::size_t n, double p);
+
+/// §4 configuration 6 — (n-1)/2 levels of two; n is rounded up to odd.
+ConfigMetrics mostly_write_metrics(std::size_t n, double p);
+
+/// A named configuration model: evaluate at (n, p).
+struct ConfigModel {
+  std::string name;
+  std::function<ConfigMetrics(std::size_t, double)> at;
+};
+
+/// The six configurations in the paper's order: BINARY, UNMODIFIED,
+/// ARBITRARY, HQC, MOSTLY-READ, MOSTLY-WRITE.
+std::vector<ConfigModel> paper_configurations();
+
+}  // namespace atrcp

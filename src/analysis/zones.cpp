@@ -1,0 +1,110 @@
+#include "analysis/zones.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+ZoneAssignment aligned_zones(const ArbitraryTree& tree) {
+  ZoneAssignment assignment;
+  assignment.zone_count = tree.physical_levels().size();
+  assignment.zone_of.resize(tree.replica_count());
+  std::uint32_t zone = 0;
+  for (std::uint32_t level : tree.physical_levels()) {
+    for (ReplicaId id : tree.replicas_at_level(level)) {
+      assignment.zone_of[id] = zone;
+    }
+    ++zone;
+  }
+  return assignment;
+}
+
+ZoneAssignment striped_zones(const ArbitraryTree& tree, std::size_t zones) {
+  if (zones == 0) throw std::invalid_argument("striped_zones: zero zones");
+  ZoneAssignment assignment;
+  assignment.zone_count = zones;
+  assignment.zone_of.resize(tree.replica_count());
+  for (std::uint32_t level : tree.physical_levels()) {
+    std::uint32_t next = 0;
+    for (ReplicaId id : tree.replicas_at_level(level)) {
+      assignment.zone_of[id] = next;
+      next = static_cast<std::uint32_t>((next + 1) % zones);
+    }
+  }
+  return assignment;
+}
+
+namespace {
+
+void validate(const ReplicaControlProtocol& protocol,
+              const ZoneAssignment& assignment) {
+  if (assignment.zone_of.size() != protocol.universe_size()) {
+    throw std::invalid_argument("zones: assignment size != universe");
+  }
+  for (std::uint32_t zone : assignment.zone_of) {
+    if (zone >= assignment.zone_count) {
+      throw std::invalid_argument("zones: zone index out of range");
+    }
+  }
+}
+
+FailureSet fail_zone(const ZoneAssignment& assignment, std::uint32_t zone) {
+  FailureSet failures(assignment.zone_of.size());
+  for (std::size_t id = 0; id < assignment.zone_of.size(); ++id) {
+    if (assignment.zone_of[id] == zone) {
+      failures.fail(static_cast<ReplicaId>(id));
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+SingleZoneEffect single_zone_effect(const ReplicaControlProtocol& protocol,
+                                    const ZoneAssignment& assignment) {
+  validate(protocol, assignment);
+  SingleZoneEffect effect;
+  effect.zone_count = assignment.zone_count;
+  Rng rng(0x20ED);
+  for (std::uint32_t zone = 0; zone < assignment.zone_count; ++zone) {
+    const FailureSet failures = fail_zone(assignment, zone);
+    if (!protocol.assemble_read_quorum(failures, rng)) {
+      ++effect.zones_blocking_reads;
+    }
+    if (!protocol.assemble_write_quorum(failures, rng)) {
+      ++effect.zones_blocking_writes;
+    }
+  }
+  return effect;
+}
+
+ZoneAvailability zone_availability(const ReplicaControlProtocol& protocol,
+                                   const ZoneAssignment& assignment,
+                                   double zone_p, double replica_p,
+                                   std::size_t trials, Rng& rng) {
+  validate(protocol, assignment);
+  if (trials == 0) {
+    throw std::invalid_argument("zone_availability: trials must be > 0");
+  }
+  std::size_t read_ok = 0;
+  std::size_t write_ok = 0;
+  std::vector<bool> zone_up(assignment.zone_count);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t z = 0; z < assignment.zone_count; ++z) {
+      zone_up[z] = rng.chance(zone_p);
+    }
+    FailureSet failures(assignment.zone_of.size());
+    for (std::size_t id = 0; id < assignment.zone_of.size(); ++id) {
+      if (!zone_up[assignment.zone_of[id]] || !rng.chance(replica_p)) {
+        failures.fail(static_cast<ReplicaId>(id));
+      }
+    }
+    if (protocol.assemble_read_quorum(failures, rng)) ++read_ok;
+    if (protocol.assemble_write_quorum(failures, rng)) ++write_ok;
+  }
+  return {static_cast<double>(read_ok) / trials,
+          static_cast<double>(write_ok) / trials};
+}
+
+}  // namespace atrcp

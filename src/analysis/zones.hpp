@@ -1,0 +1,67 @@
+// Correlated-failure (zone) analysis — an operational question the paper's
+// i.i.d. failure model cannot ask: replicas live in racks / availability
+// zones that fail TOGETHER, and the placement of tree positions onto zones
+// changes which operations a zone outage takes down.
+//
+// Two canonical placements for an arbitrary tree:
+//  * aligned  — zone z hosts physical level z. A zone outage removes one
+//    whole level: WRITES survive (other levels are intact), READS stall
+//    (they need a member of every level).
+//  * striped  — zones round-robin across each level. A zone outage removes
+//    at most one replica per level: READS survive (d >= 2), WRITES stall
+//    whenever every level lost someone.
+// The placement is thus a second configuration dial, dual to the tree
+// shape: align zones with levels for write-heavy systems, stripe them for
+// read-heavy ones.
+//
+// Tools: deterministic single-zone-outage classification (exact) and
+// Monte-Carlo availability under independent zone outages plus residual
+// per-replica failures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "protocols/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+/// zone_of[replica] = zone index in [0, zone_count).
+struct ZoneAssignment {
+  std::vector<std::uint32_t> zone_of;
+  std::size_t zone_count = 0;
+};
+
+/// Zone z hosts physical level K_phy[z] (zone_count = |K_phy|).
+ZoneAssignment aligned_zones(const ArbitraryTree& tree);
+
+/// Round-robin within each level over `zones` zones.
+ZoneAssignment striped_zones(const ArbitraryTree& tree, std::size_t zones);
+
+/// Exact effect of failing exactly one zone (every zone tried in turn,
+/// everything else alive): how many zones' outages block reads / writes.
+struct SingleZoneEffect {
+  std::size_t zones_blocking_reads = 0;
+  std::size_t zones_blocking_writes = 0;
+  std::size_t zone_count = 0;
+};
+
+SingleZoneEffect single_zone_effect(const ReplicaControlProtocol& protocol,
+                                    const ZoneAssignment& assignment);
+
+/// Monte-Carlo availability when each zone is independently up with
+/// probability zone_p, and replicas in up zones are additionally alive
+/// with probability replica_p (residual individual failures).
+struct ZoneAvailability {
+  double read = 0.0;
+  double write = 0.0;
+};
+
+ZoneAvailability zone_availability(const ReplicaControlProtocol& protocol,
+                                   const ZoneAssignment& assignment,
+                                   double zone_p, double replica_p,
+                                   std::size_t trials, Rng& rng);
+
+}  // namespace atrcp

@@ -1,0 +1,93 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+ArbitraryAnalysis::ArbitraryAnalysis(std::vector<std::size_t> level_sizes)
+    : sizes_(std::move(level_sizes)) {
+  if (sizes_.empty()) {
+    throw std::invalid_argument("ArbitraryAnalysis: no physical levels");
+  }
+  d_ = sizes_.front();
+  e_ = sizes_.front();
+  for (std::size_t s : sizes_) {
+    if (s == 0) {
+      throw std::invalid_argument("ArbitraryAnalysis: empty physical level");
+    }
+    n_ += s;
+    d_ = std::min(d_, s);
+    e_ = std::max(e_, s);
+  }
+}
+
+ArbitraryAnalysis::ArbitraryAnalysis(const ArbitraryTree& tree)
+    : ArbitraryAnalysis(tree.physical_level_sizes()) {}
+
+double ArbitraryAnalysis::read_quorum_count() const {
+  double product = 1.0;
+  for (std::size_t s : sizes_) product *= static_cast<double>(s);
+  return product;
+}
+
+double ArbitraryAnalysis::read_cost() const noexcept {
+  return static_cast<double>(sizes_.size());
+}
+
+double ArbitraryAnalysis::write_cost_min() const noexcept {
+  return static_cast<double>(d_);
+}
+
+double ArbitraryAnalysis::write_cost_max() const noexcept {
+  return static_cast<double>(e_);
+}
+
+double ArbitraryAnalysis::write_cost_avg() const noexcept {
+  return static_cast<double>(n_) / static_cast<double>(sizes_.size());
+}
+
+double ArbitraryAnalysis::read_availability(double p) const {
+  double product = 1.0;
+  for (std::size_t s : sizes_) {
+    product *= 1.0 - std::pow(1.0 - p, static_cast<double>(s));
+  }
+  return product;
+}
+
+double ArbitraryAnalysis::write_fail(double p) const {
+  double product = 1.0;
+  for (std::size_t s : sizes_) {
+    product *= 1.0 - std::pow(p, static_cast<double>(s));
+  }
+  return product;
+}
+
+double ArbitraryAnalysis::write_availability(double p) const {
+  return 1.0 - write_fail(p);
+}
+
+double ArbitraryAnalysis::read_load() const noexcept {
+  return 1.0 / static_cast<double>(d_);
+}
+
+double ArbitraryAnalysis::write_load() const noexcept {
+  return 1.0 / static_cast<double>(sizes_.size());
+}
+
+double ArbitraryAnalysis::expected_read_load(double p) const {
+  return atrcp::expected_read_load(read_availability(p), read_load());
+}
+
+double ArbitraryAnalysis::expected_write_load(double p) const {
+  return atrcp::expected_write_load(write_availability(p), write_load());
+}
+
+bool ArbitraryAnalysis::is_stable(double p, double threshold) const {
+  return read_availability(p) >= threshold &&
+         write_availability(p) >= threshold;
+}
+
+}  // namespace atrcp

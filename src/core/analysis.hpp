@@ -1,0 +1,81 @@
+// Closed-form analytic model of the arbitrary protocol (§3.2 of the paper).
+//
+// Everything the paper derives about an arbitrary tree depends only on the
+// multiset of physical-level sizes {m_phy_k : k ∈ K_phy}; this class wraps
+// that vector and exposes each formula:
+//
+//   read  cost          |K_phy| = 1 + h - |K_log|
+//   read  availability  Π_k (1 - (1-p)^m_phy_k)
+//   read  optimal load  1/d,          d = min_k m_phy_k
+//   write cost          min d, max e, average n/|K_phy|
+//   write availability  1 - Π_k (1 - p^m_phy_k)
+//   write optimal load  1/|K_phy|
+//   m(R) = Π_k m_phy_k,   m(W) = |K_phy|
+//   expected loads per Equation 3.2.
+//
+// Constructible from an ArbitraryTree or directly from level sizes, so the
+// figure benches can evaluate configurations at large n without
+// materializing trees.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace atrcp {
+
+class ArbitraryAnalysis {
+ public:
+  /// From the physical-level sizes in K_phy order. Throws
+  /// std::invalid_argument if empty or any level size is zero.
+  explicit ArbitraryAnalysis(std::vector<std::size_t> level_sizes);
+
+  /// From a built tree.
+  explicit ArbitraryAnalysis(const ArbitraryTree& tree);
+
+  const std::vector<std::size_t>& level_sizes() const noexcept {
+    return sizes_;
+  }
+
+  std::size_t replica_count() const noexcept { return n_; }       ///< n
+  std::size_t physical_level_count() const noexcept {             ///< |K_phy|
+    return sizes_.size();
+  }
+  std::size_t d() const noexcept { return d_; }
+  std::size_t e() const noexcept { return e_; }
+
+  /// m(R) — number of read quorums (Fact 3.2.1). Returned as double since
+  /// the product overflows 64 bits for large trees.
+  double read_quorum_count() const;
+  /// m(W) — number of write quorums (Fact 3.2.2).
+  std::size_t write_quorum_count() const noexcept { return sizes_.size(); }
+
+  double read_cost() const noexcept;                 ///< |K_phy|
+  double write_cost_min() const noexcept;            ///< d
+  double write_cost_max() const noexcept;            ///< e
+  double write_cost_avg() const noexcept;            ///< n/|K_phy|
+
+  double read_availability(double p) const;
+  double write_availability(double p) const;
+  double write_fail(double p) const;                 ///< Π(1 - p^m_phy_k)
+
+  double read_load() const noexcept;                 ///< 1/d
+  double write_load() const noexcept;                ///< 1/|K_phy|
+
+  /// Equation 3.2 expected loads.
+  double expected_read_load(double p) const;
+  double expected_write_load(double p) const;
+
+  /// §3.2.3 stability: a system is stable when expected loads stay close to
+  /// the optimal loads, i.e. both availabilities exceed `threshold`.
+  bool is_stable(double p, double threshold = 0.95) const;
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::size_t n_ = 0;
+  std::size_t d_ = 0;
+  std::size_t e_ = 0;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,156 @@
+#include "core/config.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace atrcp {
+
+namespace {
+
+/// A logical root over the given all-physical level sizes.
+ArbitraryTree tree_from_sizes(const std::vector<std::uint32_t>& sizes) {
+  std::vector<ArbitraryTree::LevelCount> counts;
+  counts.reserve(sizes.size() + 1);
+  counts.push_back({1, 0});
+  for (std::uint32_t s : sizes) counts.push_back({s, s});
+  return ArbitraryTree::from_level_counts(counts);
+}
+
+}  // namespace
+
+ArbitraryTree mostly_read_tree(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("mostly_read_tree: n must be > 0");
+  return tree_from_sizes({static_cast<std::uint32_t>(n)});
+}
+
+ArbitraryTree mostly_write_tree(std::size_t n) {
+  if (n < 3 || n % 2 == 0) {
+    throw std::invalid_argument("mostly_write_tree: n must be odd and >= 3");
+  }
+  std::vector<std::uint32_t> sizes((n - 1) / 2, 2);
+  // (n-1)/2 levels of two replicas hold n-1 of them; the paper keeps the
+  // count odd by leaving one replica over, which we place at the deepest
+  // level (3 replicas there) so Assumption 3.1 still holds.
+  sizes.back() = 3;
+  return tree_from_sizes(sizes);
+}
+
+ArbitraryTree unmodified_tree(std::uint32_t height) {
+  return ArbitraryTree::complete(2, height);
+}
+
+ArbitraryTree algorithm1_tree(std::size_t n) {
+  if (n <= 64) {
+    throw std::invalid_argument("algorithm1_tree: requires n > 64");
+  }
+  // |K_phy| = sqrt(n), rounded to the nearest integer for non-squares.
+  const auto levels = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(n))));
+  ATRCP_CHECK(levels > 7);
+  std::vector<std::uint32_t> sizes(levels, 4);
+  // First seven levels keep exactly 4 replicas; the remaining n-28 are
+  // spread over the other levels as evenly as possible, remainder to the
+  // deepest levels so the sequence stays non-decreasing (Assumption 3.1).
+  const std::size_t rest_levels = levels - 7;
+  const std::size_t rest = n - 28;
+  const std::size_t base = rest / rest_levels;
+  const std::size_t extra = rest % rest_levels;
+  ATRCP_CHECK(base >= 4);
+  for (std::size_t i = 0; i < rest_levels; ++i) {
+    const bool gets_extra = i >= rest_levels - extra;
+    sizes[7 + i] = static_cast<std::uint32_t>(base + (gets_extra ? 1 : 0));
+  }
+  return tree_from_sizes(sizes);
+}
+
+ArbitraryTree recommended_tree(std::size_t n) {
+  if (n <= 32) {
+    throw std::invalid_argument("recommended_tree: requires n > 32");
+  }
+  if (n > 64) return algorithm1_tree(n);
+  std::vector<std::uint32_t> sizes(8, 4);
+  sizes.back() = static_cast<std::uint32_t>(n - 28);
+  return tree_from_sizes(sizes);
+}
+
+ArbitraryTree balanced_tree(std::size_t n, std::size_t levels) {
+  if (levels == 0 || levels > n) {
+    throw std::invalid_argument("balanced_tree: need 1 <= levels <= n");
+  }
+  const std::size_t base = n / levels;
+  const std::size_t extra = n % levels;
+  std::vector<std::uint32_t> sizes(levels);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const bool gets_extra = i >= levels - extra;
+    sizes[i] = static_cast<std::uint32_t>(base + (gets_extra ? 1 : 0));
+  }
+  return tree_from_sizes(sizes);
+}
+
+ArbitraryTree configure_spectrum(std::size_t n,
+                                 const SpectrumOptions& options) {
+  if (n == 0) throw std::invalid_argument("configure_spectrum: n must be > 0");
+  if (options.read_fraction < 0.0 || options.read_fraction > 1.0) {
+    throw std::invalid_argument(
+        "configure_spectrum: read_fraction outside [0,1]");
+  }
+  if (options.availability_p <= 0.0 || options.availability_p > 1.0) {
+    throw std::invalid_argument("configure_spectrum: p outside (0,1]");
+  }
+  const double fr = options.read_fraction;
+  const double p = options.availability_p;
+
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::size_t best_levels = 1;
+  for (std::size_t levels = 1; levels <= n; ++levels) {
+    const std::size_t base = n / levels;
+    const std::size_t extra = n % levels;
+    std::vector<std::size_t> sizes(levels, base);
+    for (std::size_t i = levels - extra; i < levels; ++i) ++sizes[i];
+    const ArbitraryAnalysis analysis{std::move(sizes)};
+    double objective = fr * analysis.expected_read_load(p) +
+                       (1.0 - fr) * analysis.expected_write_load(p);
+    if (options.cost_weight > 0.0) {
+      // Executed message bill per operation: a read contacts a read quorum;
+      // a write first learns the version through a read quorum, then runs
+      // two 2PC rounds over the write quorum. (The bare analytic write
+      // cost under-counts the pre-read; see bench/workload_sim.cpp.)
+      const double read_cost = analysis.read_cost();
+      const double write_cost =
+          analysis.read_cost() + 2.0 * analysis.write_cost_avg();
+      const double cost = fr * read_cost + (1.0 - fr) * write_cost;
+      objective += options.cost_weight * cost / static_cast<double>(n);
+    }
+    if (objective < best_objective - 1e-12) {
+      best_objective = objective;
+      best_levels = levels;
+    }
+  }
+  return balanced_tree(n, best_levels);
+}
+
+std::unique_ptr<ArbitraryProtocol> make_mostly_read(std::size_t n) {
+  return std::make_unique<ArbitraryProtocol>(mostly_read_tree(n),
+                                             "MOSTLY-READ");
+}
+
+std::unique_ptr<ArbitraryProtocol> make_mostly_write(std::size_t n) {
+  return std::make_unique<ArbitraryProtocol>(mostly_write_tree(n),
+                                             "MOSTLY-WRITE");
+}
+
+std::unique_ptr<ArbitraryProtocol> make_unmodified(std::uint32_t height) {
+  return std::make_unique<ArbitraryProtocol>(unmodified_tree(height),
+                                             "UNMODIFIED");
+}
+
+std::unique_ptr<ArbitraryProtocol> make_arbitrary(std::size_t n) {
+  return std::make_unique<ArbitraryProtocol>(
+      n > 64 ? algorithm1_tree(n) : recommended_tree(n), "ARBITRARY");
+}
+
+}  // namespace atrcp

@@ -1,0 +1,84 @@
+// Tree construction policies (§3.3 and §4 of the paper).
+//
+// The protocol's behaviour is entirely determined by the tree shape, so
+// "configuring the protocol for a workload" means "choosing a tree". This
+// header provides the paper's named configurations plus the spectrum
+// configurator that tunes the shape to a read/write mix — the paper's
+// headline claim that shifting configurations requires only re-shaping the
+// tree, never re-implementing the protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+
+namespace atrcp {
+
+/// "MOSTLY-READ" (§4, configuration 5): a logical root with all n replicas
+/// in one physical level. Behaves like ROWA: read cost 1, write cost n.
+/// Throws std::invalid_argument if n == 0.
+ArbitraryTree mostly_read_tree(std::size_t n);
+
+/// "MOSTLY-WRITE" (§4, configuration 6): a logical root over (n-1)/2
+/// physical levels of two replicas each. Requires odd n >= 3 (throws
+/// std::invalid_argument otherwise). Read cost (n-1)/2, write cost 2.
+ArbitraryTree mostly_write_tree(std::size_t n);
+
+/// "UNMODIFIED" (§4, configuration 2): the complete binary tree of
+/// Agrawal–El Abbadi [2] with EVERY node physical, height h, n = 2^(h+1)-1.
+/// Write load 1/log2(n+1) — the paper's new lower bound; read load 1.
+ArbitraryTree unmodified_tree(std::uint32_t height);
+
+/// Algorithm 1 (§3.3), for n > 64: logical root, |K_phy| = round(sqrt(n))
+/// physical levels; four replicas at each of the first seven levels and the
+/// remaining n-28 replicas spread over the remaining levels, respecting
+/// Assumption 3.1 (any remainder goes to the deepest levels so sizes stay
+/// non-decreasing). Throws std::invalid_argument if n <= 64.
+ArbitraryTree algorithm1_tree(std::size_t n);
+
+/// The §3.3 recommendation for 32 < n <= 64: seven physical levels of four
+/// replicas, then the remaining n-28 replicas in one deeper level. For
+/// n > 64 defers to algorithm1_tree. Throws if n <= 32.
+ArbitraryTree recommended_tree(std::size_t n);
+
+/// The spectrum configurator — our concrete instantiation of the paper's
+/// "configure the tree from the read and write frequencies" knob.
+///
+/// For every feasible number of physical levels L in [1, n/2] (plus L = n
+/// for singleton levels... L levels of balanced sizes floor(n/L)/ceil(n/L),
+/// remainder pushed to deeper levels so Assumption 3.1 holds), evaluates
+/// the frequency-weighted objective
+///
+///   J(L) = read_fraction * E[L_RD](p) + (1 - read_fraction) * E[L_WR](p)
+///          (+ cost_weight * normalized expected message cost, optional)
+///
+/// and returns the minimizing tree. Balanced sizes maximize d for a given
+/// L, which simultaneously minimizes the read load 1/d and maximizes read
+/// availability, so restricting the search to the balanced family loses
+/// nothing for this objective.
+struct SpectrumOptions {
+  double read_fraction = 0.5;   ///< fraction of operations that are reads
+  double availability_p = 0.9;  ///< per-replica availability used by Eq. 3.2
+  /// Weight of the normalized EXECUTED message cost in J. The executed
+  /// model charges a write its version pre-read (a read quorum) plus two
+  /// 2PC rounds over the write quorum — what the simulator actually sends.
+  double cost_weight = 0.0;
+};
+
+ArbitraryTree configure_spectrum(std::size_t n, const SpectrumOptions& options);
+
+/// Balanced helper used by the spectrum search: a logical root over
+/// `levels` physical levels whose sizes partition n as evenly as possible
+/// in non-decreasing order. Throws if levels == 0 or levels > n.
+ArbitraryTree balanced_tree(std::size_t n, std::size_t levels);
+
+/// Factory producing the paper's §4 configurations as ready-to-run
+/// protocols with their configuration names attached.
+std::unique_ptr<ArbitraryProtocol> make_mostly_read(std::size_t n);
+std::unique_ptr<ArbitraryProtocol> make_mostly_write(std::size_t n);
+std::unique_ptr<ArbitraryProtocol> make_unmodified(std::uint32_t height);
+std::unique_ptr<ArbitraryProtocol> make_arbitrary(std::size_t n);
+
+}  // namespace atrcp

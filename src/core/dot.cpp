@@ -1,0 +1,72 @@
+#include "core/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace atrcp {
+
+namespace {
+std::string node_id(std::uint32_t level, std::uint32_t index) {
+  return "n" + std::to_string(level) + "_" + std::to_string(index);
+}
+}  // namespace
+
+void write_dot(const ArbitraryTree& tree, std::ostream& os,
+               const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n"
+     << "  rankdir=TB;\n"
+     << "  node [fontname=\"Helvetica\"];\n";
+  for (std::uint32_t k = 0; k <= tree.height(); ++k) {
+    os << "  { rank=same;";
+    for (std::uint32_t i = 0; i < tree.m(k); ++i) {
+      os << ' ' << node_id(k, i) << ';';
+    }
+    os << " }\n";
+    for (std::uint32_t i = 0; i < tree.m(k); ++i) {
+      const TreeNode& node = tree.node(k, i);
+      os << "  " << node_id(k, i);
+      if (node.physical) {
+        os << " [shape=box, style=filled, fillcolor=lightblue, label=\"r"
+           << node.replica << "\"];\n";
+      } else {
+        os << " [shape=circle, style=dashed, label=\"\"];\n";
+      }
+    }
+  }
+  for (std::uint32_t k = 0; k < tree.height(); ++k) {
+    for (std::uint32_t i = 0; i < tree.m(k); ++i) {
+      const TreeNode& node = tree.node(k, i);
+      for (std::uint32_t c = 0; c < node.child_count; ++c) {
+        os << "  " << node_id(k, i) << " -> "
+           << node_id(k + 1, node.first_child + c) << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const ArbitraryTree& tree, const std::string& graph_name) {
+  std::ostringstream os;
+  write_dot(tree, os, graph_name);
+  return os.str();
+}
+
+std::string to_ascii(const ArbitraryTree& tree) {
+  std::ostringstream os;
+  for (std::uint32_t k = 0; k <= tree.height(); ++k) {
+    os << "level " << k << " ["
+       << (tree.is_physical_level(k) ? "physical" : "logical ") << "]:";
+    for (std::uint32_t i = 0; i < tree.m(k); ++i) {
+      const TreeNode& node = tree.node(k, i);
+      if (node.physical) {
+        os << " r" << node.replica;
+      } else {
+        os << " .";
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace atrcp

@@ -1,0 +1,29 @@
+// Graphviz rendering of arbitrary trees — for documentation, debugging and
+// the inspect example. Physical nodes render as filled boxes labelled with
+// their replica id; logical nodes as dashed circles (matching Figure 1's
+// blue-physical / purple-logical convention in spirit).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/tree.hpp"
+
+namespace atrcp {
+
+/// Writes `digraph` source for the tree. Options are intentionally minimal;
+/// post-process with graphviz attributes if needed.
+void write_dot(const ArbitraryTree& tree, std::ostream& os,
+               const std::string& graph_name = "arbitrary_tree");
+
+/// Convenience: the DOT source as a string.
+std::string to_dot(const ArbitraryTree& tree,
+                   const std::string& graph_name = "arbitrary_tree");
+
+/// A quick ASCII rendering, one line per level, e.g.
+///   level 0 [logical ]: .
+///   level 1 [physical]: r0 r1 r2
+/// Physical nodes print as r<id>, logical nodes as '.'.
+std::string to_ascii(const ArbitraryTree& tree);
+
+}  // namespace atrcp

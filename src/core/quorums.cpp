@@ -1,0 +1,101 @@
+#include "core/quorums.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+ArbitraryProtocol::ArbitraryProtocol(ArbitraryTree tree,
+                                     std::string display_name)
+    : tree_(std::move(tree)),
+      analysis_(tree_),
+      display_name_(std::move(display_name)) {}
+
+std::optional<Quorum> ArbitraryProtocol::assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  std::vector<ReplicaId> members;
+  members.reserve(tree_.physical_levels().size());
+  for (std::uint32_t level : tree_.physical_levels()) {
+    const std::vector<ReplicaId>& replicas = tree_.replicas_at_level(level);
+    // Uniform pick among the alive replicas of this level: count them,
+    // then index into the alive subsequence.
+    std::size_t alive = 0;
+    for (ReplicaId id : replicas) {
+      if (failures.is_alive(id)) ++alive;
+    }
+    if (alive == 0) return std::nullopt;
+    std::size_t pick = rng.below(alive);
+    for (ReplicaId id : replicas) {
+      if (failures.is_alive(id) && pick-- == 0) {
+        members.push_back(id);
+        break;
+      }
+    }
+  }
+  return Quorum(std::move(members));
+}
+
+std::optional<Quorum> ArbitraryProtocol::assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  // Uniform pick among the physical levels whose replicas are all alive.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t level : tree_.physical_levels()) {
+    bool full = true;
+    for (ReplicaId id : tree_.replicas_at_level(level)) {
+      if (failures.is_failed(id)) {
+        full = false;
+        break;
+      }
+    }
+    if (full) candidates.push_back(level);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const std::uint32_t level = candidates[rng.below(candidates.size())];
+  const std::vector<ReplicaId>& replicas = tree_.replicas_at_level(level);
+  return Quorum(std::vector<ReplicaId>(replicas.begin(), replicas.end()));
+}
+
+std::vector<Quorum> ArbitraryProtocol::enumerate_read_quorums(
+    std::size_t limit) const {
+  if (analysis_.read_quorum_count() > static_cast<double>(limit)) {
+    throw std::length_error("ArbitraryProtocol: read quorum limit exceeded");
+  }
+  const auto& levels = tree_.physical_levels();
+  std::vector<Quorum> out;
+  std::vector<std::size_t> idx(levels.size(), 0);
+  while (true) {
+    std::vector<ReplicaId> members;
+    members.reserve(levels.size());
+    for (std::size_t u = 0; u < levels.size(); ++u) {
+      members.push_back(tree_.replicas_at_level(levels[u])[idx[u]]);
+    }
+    out.emplace_back(std::move(members));
+    // Odometer increment across the per-level replica lists.
+    std::size_t u = 0;
+    while (u < levels.size()) {
+      if (++idx[u] < tree_.replicas_at_level(levels[u]).size()) break;
+      idx[u] = 0;
+      ++u;
+    }
+    if (u == levels.size()) break;
+  }
+  return out;
+}
+
+std::vector<Quorum> ArbitraryProtocol::enumerate_write_quorums(
+    std::size_t limit) const {
+  const auto& levels = tree_.physical_levels();
+  if (levels.size() > limit) {
+    throw std::length_error("ArbitraryProtocol: write quorum limit exceeded");
+  }
+  std::vector<Quorum> out;
+  out.reserve(levels.size());
+  for (std::uint32_t level : levels) {
+    const auto& replicas = tree_.replicas_at_level(level);
+    out.emplace_back(std::vector<ReplicaId>(replicas.begin(), replicas.end()));
+  }
+  return out;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,72 @@
+// The arbitrary protocol's quorum machinery (§3.2) — the executable side of
+// the paper's contribution, implementing the common ReplicaControlProtocol
+// interface so it can run against the simulator and be compared with the
+// baselines on equal footing.
+//
+//   Read quorum  = ANY one physical node of EVERY physical level.
+//   Write quorum = ALL physical nodes of ANY one physical level.
+//
+// Together these form a bicoterie (§3.2.3): a read quorum holds a member of
+// each level, a write quorum is a full level, so they always intersect.
+// Quorum picking realizes the paper's uniform strategies: reads pick
+// independently uniformly within each level, writes pick a level uniformly.
+#pragma once
+
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/tree.hpp"
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class ArbitraryProtocol final : public ReplicaControlProtocol {
+ public:
+  /// Wraps a tree. display_name lets configuration factories label the
+  /// instance after the paper's configurations ("ARBITRARY", "MOSTLY-READ",
+  /// "MOSTLY-WRITE", "UNMODIFIED"); defaults to "ARBITRARY".
+  explicit ArbitraryProtocol(ArbitraryTree tree,
+                             std::string display_name = "ARBITRARY");
+
+  const ArbitraryTree& tree() const noexcept { return tree_; }
+  const ArbitraryAnalysis& analysis() const noexcept { return analysis_; }
+
+  std::string name() const override { return display_name_; }
+  std::size_t universe_size() const override {
+    return tree_.replica_count();
+  }
+
+  /// One alive physical node per physical level, picked uniformly among the
+  /// alive nodes of each level; nullopt if some physical level is dead.
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+
+  /// A uniformly-picked physical level whose nodes are ALL alive; nullopt
+  /// if every level has at least one failed replica.
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  double read_cost() const override { return analysis_.read_cost(); }
+  double write_cost() const override { return analysis_.write_cost_avg(); }
+  double read_availability(double p) const override {
+    return analysis_.read_availability(p);
+  }
+  double write_availability(double p) const override {
+    return analysis_.write_availability(p);
+  }
+  double read_load() const override { return analysis_.read_load(); }
+  double write_load() const override { return analysis_.write_load(); }
+
+  bool supports_enumeration() const override { return true; }
+  /// All m(R) = Π m_phy_k read quorums (cartesian product across levels).
+  std::vector<Quorum> enumerate_read_quorums(std::size_t limit) const override;
+  /// The m(W) = |K_phy| write quorums, one per physical level.
+  std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const override;
+
+ private:
+  ArbitraryTree tree_;
+  ArbitraryAnalysis analysis_;
+  std::string display_name_;
+};
+
+}  // namespace atrcp

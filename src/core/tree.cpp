@@ -1,0 +1,254 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace atrcp {
+
+ArbitraryTree::ArbitraryTree(std::vector<std::vector<NodeSpec>> levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("ArbitraryTree: no levels");
+  }
+  if (levels[0].size() != 1) {
+    throw std::invalid_argument("ArbitraryTree: level 0 must be the root");
+  }
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    if (levels[k].empty()) {
+      throw std::invalid_argument("ArbitraryTree: empty level");
+    }
+    std::uint64_t total_children = 0;
+    for (const NodeSpec& spec : levels[k]) total_children += spec.children;
+    const std::uint64_t next_size =
+        (k + 1 < levels.size()) ? levels[k + 1].size() : 0;
+    if (total_children != next_size) {
+      throw std::invalid_argument(
+          "ArbitraryTree: child counts at level " + std::to_string(k) +
+          " do not match the size of level " + std::to_string(k + 1));
+    }
+  }
+
+  levels_.resize(levels.size());
+  replicas_by_level_.resize(levels.size());
+  ReplicaId next_replica = 0;
+  for (std::uint32_t k = 0; k < levels.size(); ++k) {
+    levels_[k].resize(levels[k].size());
+    std::uint32_t next_child = 0;
+    for (std::uint32_t i = 0; i < levels[k].size(); ++i) {
+      TreeNode& node = levels_[k][i];
+      node.level = k;
+      node.index = i;
+      node.first_child = next_child;
+      node.child_count = levels[k][i].children;
+      node.physical = levels[k][i].physical;
+      next_child += node.child_count;
+      if (node.physical) {
+        node.replica = next_replica++;
+        replicas_by_level_[k].push_back(node.replica);
+      }
+    }
+    if (!replicas_by_level_[k].empty()) physical_levels_.push_back(k);
+  }
+  replica_count_ = next_replica;
+  if (replica_count_ == 0) {
+    throw std::invalid_argument("ArbitraryTree: no physical nodes");
+  }
+
+  // Back-fill parent links from the first_child ranges.
+  for (std::uint32_t k = 0; k + 1 < levels_.size(); ++k) {
+    for (const TreeNode& parent : levels_[k]) {
+      for (std::uint32_t c = 0; c < parent.child_count; ++c) {
+        levels_[k + 1][parent.first_child + c].parent = parent.index;
+      }
+    }
+  }
+}
+
+ArbitraryTree ArbitraryTree::from_level_counts(
+    const std::vector<LevelCount>& counts) {
+  if (counts.empty()) {
+    throw std::invalid_argument("from_level_counts: no levels");
+  }
+  std::vector<std::vector<NodeSpec>> levels(counts.size());
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k].total == 0) {
+      throw std::invalid_argument("from_level_counts: empty level");
+    }
+    if (counts[k].physical > counts[k].total) {
+      throw std::invalid_argument(
+          "from_level_counts: physical count exceeds total");
+    }
+    levels[k].resize(counts[k].total);
+    for (std::uint32_t i = 0; i < counts[k].physical; ++i) {
+      levels[k][i].physical = true;
+    }
+    if (k > 0) {
+      // Distribute this level's nodes among the previous level's nodes as
+      // evenly as possible (earlier parents take the remainder).
+      const std::uint32_t parents = counts[k - 1].total;
+      const std::uint32_t base = counts[k].total / parents;
+      const std::uint32_t extra = counts[k].total % parents;
+      for (std::uint32_t i = 0; i < parents; ++i) {
+        levels[k - 1][i].children = base + (i < extra ? 1 : 0);
+      }
+    }
+  }
+  return ArbitraryTree(std::move(levels));
+}
+
+ArbitraryTree ArbitraryTree::from_spec(const std::string& spec) {
+  std::vector<std::uint32_t> sizes;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, '-')) {
+    if (token.empty()) {
+      throw std::invalid_argument("from_spec: empty component in '" + spec +
+                                  "'");
+    }
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(token, &used);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("from_spec: bad component '" + token + "'");
+    }
+    if (used != token.size() || value == 0) {
+      throw std::invalid_argument("from_spec: bad component '" + token + "'");
+    }
+    sizes.push_back(static_cast<std::uint32_t>(value));
+  }
+  if (sizes.size() < 2 || sizes[0] != 1) {
+    throw std::invalid_argument(
+        "from_spec: expected a logical root, e.g. \"1-3-5\"");
+  }
+  std::vector<LevelCount> counts;
+  counts.push_back({1, 0});  // logical root
+  for (std::size_t k = 1; k < sizes.size(); ++k) {
+    counts.push_back({sizes[k], sizes[k]});
+  }
+  return from_level_counts(counts);
+}
+
+ArbitraryTree ArbitraryTree::complete(std::uint32_t branching,
+                                      std::uint32_t height) {
+  if (branching == 0) {
+    throw std::invalid_argument("complete: branching must be > 0");
+  }
+  std::vector<LevelCount> counts;
+  std::uint64_t width = 1;
+  for (std::uint32_t k = 0; k <= height; ++k) {
+    if (width > (1ULL << 31)) {
+      throw std::invalid_argument("complete: tree too large");
+    }
+    counts.push_back({static_cast<std::uint32_t>(width),
+                      static_cast<std::uint32_t>(width)});
+    width *= branching;
+  }
+  return from_level_counts(counts);
+}
+
+std::uint32_t ArbitraryTree::height() const noexcept {
+  return static_cast<std::uint32_t>(levels_.size()) - 1;
+}
+
+std::size_t ArbitraryTree::node_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+const TreeNode& ArbitraryTree::node(std::uint32_t level,
+                                    std::uint32_t index) const {
+  if (level >= levels_.size() || index >= levels_[level].size()) {
+    throw std::out_of_range("ArbitraryTree::node");
+  }
+  return levels_[level][index];
+}
+
+std::size_t ArbitraryTree::m(std::uint32_t level) const {
+  if (level >= levels_.size()) throw std::out_of_range("ArbitraryTree::m");
+  return levels_[level].size();
+}
+
+std::size_t ArbitraryTree::m_phy(std::uint32_t level) const {
+  if (level >= levels_.size()) {
+    throw std::out_of_range("ArbitraryTree::m_phy");
+  }
+  return replicas_by_level_[level].size();
+}
+
+std::size_t ArbitraryTree::m_log(std::uint32_t level) const {
+  return m(level) - m_phy(level);
+}
+
+bool ArbitraryTree::is_physical_level(std::uint32_t level) const {
+  return m_phy(level) > 0;
+}
+
+std::vector<std::uint32_t> ArbitraryTree::logical_levels() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t k = 0; k < levels_.size(); ++k) {
+    if (!is_physical_level(k)) out.push_back(k);
+  }
+  return out;
+}
+
+std::size_t ArbitraryTree::min_physical_level_size() const {
+  ATRCP_CHECK(!physical_levels_.empty());
+  std::size_t best = m_phy(physical_levels_.front());
+  for (std::uint32_t k : physical_levels_) best = std::min(best, m_phy(k));
+  return best;
+}
+
+std::size_t ArbitraryTree::max_physical_level_size() const {
+  ATRCP_CHECK(!physical_levels_.empty());
+  std::size_t best = 0;
+  for (std::uint32_t k : physical_levels_) best = std::max(best, m_phy(k));
+  return best;
+}
+
+const std::vector<ReplicaId>& ArbitraryTree::replicas_at_level(
+    std::uint32_t level) const {
+  if (level >= levels_.size()) {
+    throw std::out_of_range("ArbitraryTree::replicas_at_level");
+  }
+  return replicas_by_level_[level];
+}
+
+std::vector<std::size_t> ArbitraryTree::physical_level_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(physical_levels_.size());
+  for (std::uint32_t k : physical_levels_) sizes.push_back(m_phy(k));
+  return sizes;
+}
+
+bool ArbitraryTree::satisfies_assumption_3_1() const {
+  // m_phy_0 < m_phy_1 <= m_phy_2 <= ... <= m_phy_h over ALL levels; a
+  // logical level after a physical one breaks monotonicity automatically.
+  if (levels_.size() == 1) return true;  // single node: nothing to compare
+  if (m_phy(0) >= m_phy(1)) return false;
+  for (std::uint32_t k = 1; k + 1 < levels_.size(); ++k) {
+    if (m_phy(k) > m_phy(k + 1)) return false;
+  }
+  return true;
+}
+
+std::string ArbitraryTree::to_spec_string() const {
+  std::string out;
+  for (std::uint32_t k = 0; k < levels_.size(); ++k) {
+    if (k != 0) out += '-';
+    const std::size_t total = m(k);
+    const std::size_t phy = m_phy(k);
+    if (phy == 0 || phy == total) {
+      out += std::to_string(total);
+    } else {
+      out += std::to_string(total) + "(" + std::to_string(phy) + ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace atrcp

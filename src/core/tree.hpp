@@ -1,0 +1,124 @@
+// The arbitrary tree of §3.1 — the logical structure at the heart of the
+// paper's protocol.
+//
+// A distributed system of n replicas is organized into a tree of height h
+// in which every node S(i,k) (i-th node of level k, left-to-right and
+// top-to-bottom) is either PHYSICAL (represents a replica) or LOGICAL
+// (structure only). A level is physical if it contains at least one
+// physical node, logical if all its nodes are logical. Any non-leaf node
+// may have any number of descendants — hence "arbitrary".
+//
+// The protocol itself (core/quorums.hpp) only consumes the per-level
+// accounting this class maintains: m_k, m_phy_k, m_log_k, K_phy, K_log and
+// the replica ids living at each physical level. Replica ids are assigned
+// in the paper's orientation: left-to-right within a level, top-to-bottom
+// across levels, so replica 0 is the left-most physical node of the first
+// physical level.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quorum/types.hpp"
+
+namespace atrcp {
+
+/// Per-node construction description: how many children the node has at the
+/// next level and whether it is physical.
+struct NodeSpec {
+  std::uint32_t children = 0;
+  bool physical = false;
+};
+
+/// A single node of a built tree.
+struct TreeNode {
+  std::uint32_t level = 0;        ///< k of S(i,k)
+  std::uint32_t index = 0;        ///< i of S(i,k), 0-based within the level
+  std::uint32_t parent = 0;       ///< index within level-1; 0 for the root
+  std::uint32_t first_child = 0;  ///< index of first child within level+1
+  std::uint32_t child_count = 0;  ///< m(i,k)
+  bool physical = false;
+  ReplicaId replica = 0;          ///< valid iff physical
+};
+
+class ArbitraryTree {
+ public:
+  /// Builds from an explicit level-by-level description. levels[k][i]
+  /// describes S(i,k). Validation (throws std::invalid_argument):
+  ///  * levels non-empty, level 0 has exactly one node (the root);
+  ///  * for every k < h: sum of levels[k][i].children == levels[k+1].size();
+  ///  * leaf level nodes have zero children;
+  ///  * at least one node is physical.
+  explicit ArbitraryTree(std::vector<std::vector<NodeSpec>> levels);
+
+  /// Convenience: a tree described by per-level (total, physical) counts.
+  /// Children are distributed among the previous level's nodes as evenly as
+  /// possible; the first `physical` nodes of each level are the physical
+  /// ones (the protocol depends only on the counts, not the positions).
+  struct LevelCount {
+    std::uint32_t total = 0;
+    std::uint32_t physical = 0;
+  };
+  static ArbitraryTree from_level_counts(const std::vector<LevelCount>& counts);
+
+  /// Parses the paper's compact notation, e.g. "1-3-5" (§3.4): a leading
+  /// "1" denotes a logical root; every following number is an all-physical
+  /// level of that size. A single-number spec like "7" is one physical
+  /// level under a logical root is written "1-7"; "7" alone is rejected to
+  /// avoid ambiguity with a 7-node root level.
+  static ArbitraryTree from_spec(const std::string& spec);
+
+  /// A complete tree where every node has `branching` children, all nodes
+  /// physical — the paper's UNMODIFIED structure (for branching = 2, the
+  /// binary tree of Agrawal–El Abbadi [2]).
+  static ArbitraryTree complete(std::uint32_t branching, std::uint32_t height);
+
+  // -- structure accessors --------------------------------------------------
+
+  std::uint32_t height() const noexcept;                 ///< h
+  std::size_t level_count() const noexcept { return levels_.size(); }
+  std::size_t node_count() const noexcept;
+  const TreeNode& node(std::uint32_t level, std::uint32_t index) const;
+
+  std::size_t m(std::uint32_t level) const;              ///< m_k
+  std::size_t m_phy(std::uint32_t level) const;          ///< m_phy_k
+  std::size_t m_log(std::uint32_t level) const;          ///< m_log_k
+
+  bool is_physical_level(std::uint32_t level) const;
+  const std::vector<std::uint32_t>& physical_levels() const noexcept {
+    return physical_levels_;                             ///< K_phy, ascending
+  }
+  std::vector<std::uint32_t> logical_levels() const;     ///< K_log
+
+  /// n — the number of replicas (physical nodes).
+  std::size_t replica_count() const noexcept { return replica_count_; }
+
+  /// d and e — the min/max number of physical nodes over physical levels.
+  std::size_t min_physical_level_size() const;           ///< d
+  std::size_t max_physical_level_size() const;           ///< e
+
+  /// Replica ids of the physical nodes at a physical level, ascending.
+  const std::vector<ReplicaId>& replicas_at_level(std::uint32_t level) const;
+
+  /// Physical-node counts of the physical levels, in K_phy order — the
+  /// complete input of the protocol's analytic model.
+  std::vector<std::size_t> physical_level_sizes() const;
+
+  /// Assumption 3.1: m_phy_0 < m_phy_1 <= m_phy_2 <= ... <= m_phy_h.
+  /// Required by the load-optimality proofs, not by quorum correctness.
+  bool satisfies_assumption_3_1() const;
+
+  /// The paper's compact rendering, e.g. "1-3-5"; mixed levels render as
+  /// "total(phy)" e.g. "9(5)".
+  std::string to_spec_string() const;
+
+ private:
+  std::vector<std::vector<TreeNode>> levels_;
+  std::vector<std::uint32_t> physical_levels_;
+  std::vector<std::vector<ReplicaId>> replicas_by_level_;  // indexed by level
+  std::size_t replica_count_ = 0;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,103 @@
+#include "protocols/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace atrcp {
+
+Grid::Grid(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Grid: dimensions must be positive");
+  }
+}
+
+Grid Grid::for_at_least(std::size_t n_min) {
+  const std::size_t side = isqrt(n_min);
+  if (side * side >= n_min) return Grid(side, side);
+  if (side * (side + 1) >= n_min) return Grid(side, side + 1);
+  return Grid(side + 1, side + 1);
+}
+
+std::optional<ReplicaId> Grid::pick_alive_in_column(
+    std::size_t col, const FailureSet& failures, Rng& rng) const {
+  const std::size_t start = rng.below(rows_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const ReplicaId id = at((start + k) % rows_, col);
+    if (failures.is_alive(id)) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<Quorum> Grid::assemble_read_quorum(const FailureSet& failures,
+                                                 Rng& rng) const {
+  std::vector<ReplicaId> members;
+  members.reserve(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const auto pick = pick_alive_in_column(c, failures, rng);
+    if (!pick) return std::nullopt;
+    members.push_back(*pick);
+  }
+  return Quorum(std::move(members));
+}
+
+std::optional<Quorum> Grid::assemble_write_quorum(const FailureSet& failures,
+                                                  Rng& rng) const {
+  // Find a fully-alive column, starting the scan at a random offset so the
+  // uniform column strategy is realized.
+  const std::size_t start = rng.below(cols_);
+  std::size_t full_col = cols_;
+  for (std::size_t k = 0; k < cols_; ++k) {
+    const std::size_t c = (start + k) % cols_;
+    bool full = true;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (failures.is_failed(at(r, c))) {
+        full = false;
+        break;
+      }
+    }
+    if (full) {
+      full_col = c;
+      break;
+    }
+  }
+  if (full_col == cols_) return std::nullopt;
+
+  std::vector<ReplicaId> members;
+  members.reserve(rows_ + cols_ - 1);
+  for (std::size_t r = 0; r < rows_; ++r) members.push_back(at(r, full_col));
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (c == full_col) continue;
+    const auto pick = pick_alive_in_column(c, failures, rng);
+    if (!pick) return std::nullopt;
+    members.push_back(*pick);
+  }
+  return Quorum(std::move(members));
+}
+
+double Grid::read_availability(double p) const {
+  const double col_ok = 1.0 - std::pow(1.0 - p, static_cast<double>(rows_));
+  return std::pow(col_ok, static_cast<double>(cols_));
+}
+
+double Grid::write_availability(double p) const {
+  const double col_nonempty =
+      1.0 - std::pow(1.0 - p, static_cast<double>(rows_));
+  const double col_full = std::pow(p, static_cast<double>(rows_));
+  const double all_nonempty =
+      std::pow(col_nonempty, static_cast<double>(cols_));
+  const double all_nonempty_none_full =
+      std::pow(std::max(col_nonempty - col_full, 0.0),
+               static_cast<double>(cols_));
+  return all_nonempty - all_nonempty_none_full;
+}
+
+double Grid::write_load() const {
+  // Uniform full-column choice plus uniform picks in the other columns.
+  const double r = static_cast<double>(rows_);
+  const double c = static_cast<double>(cols_);
+  return 1.0 / c + (c - 1.0) / (c * r);
+}
+
+}  // namespace atrcp

@@ -1,0 +1,62 @@
+// The Grid protocol (Cheung, Ammar & Ahamad [4]) — related-work extension.
+//
+// The n = rows*cols replicas form a logical grid; replica id = r*cols + c.
+//  * Read quorum: one replica from every column (size = cols).
+//  * Write quorum: ALL replicas of one column plus one replica from every
+//    other column (size = rows + cols - 1). Write quorums intersect each
+//    other in the full column; read quorums hit every column so they
+//    intersect every write quorum.
+//
+// Closed forms (columns fail independently):
+//  * read availability:  (1 - (1-p)^rows)^cols
+//  * write availability: (1-(1-p)^rows)^cols - (1-(1-p)^rows - p^rows)^cols
+//    (every column non-empty, minus the event that no column is full)
+//  * read load 1/rows; write load 1/cols + (cols-1)/(cols*rows) — the loads
+//    induced by the uniform strategies (≈ 2/sqrt(n) on a square grid).
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class Grid final : public ReplicaControlProtocol {
+ public:
+  /// Throws std::invalid_argument if either dimension is zero.
+  Grid(std::size_t rows, std::size_t cols);
+
+  /// Most-square grid with rows*cols >= n_min.
+  static Grid for_at_least(std::size_t n_min);
+
+  std::string name() const override { return "GRID"; }
+  std::size_t universe_size() const override { return rows_ * cols_; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  double read_cost() const override { return static_cast<double>(cols_); }
+  double write_cost() const override {
+    return static_cast<double>(rows_ + cols_ - 1);
+  }
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+  double read_load() const override { return 1.0 / static_cast<double>(rows_); }
+  double write_load() const override;
+
+ private:
+  ReplicaId at(std::size_t row, std::size_t col) const noexcept {
+    return static_cast<ReplicaId>(row * cols_ + col);
+  }
+  /// A uniformly random alive replica in `col`, or nullopt.
+  std::optional<ReplicaId> pick_alive_in_column(std::size_t col,
+                                                const FailureSet& failures,
+                                                Rng& rng) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,170 @@
+#include "protocols/hqc.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace atrcp {
+
+Hqc::Hqc(std::uint32_t depth, std::uint32_t read_need, std::uint32_t write_need)
+    : depth_(depth),
+      read_need_(read_need),
+      write_need_(write_need),
+      n_(pow_u64(3, depth)) {
+  if (depth > 16) throw std::invalid_argument("Hqc: depth too large");
+  if (read_need < 1 || read_need > 3 || write_need < 1 || write_need > 3) {
+    throw std::invalid_argument("Hqc: per-level quorums must be in [1,3]");
+  }
+  if (read_need + write_need <= 3) {
+    throw std::invalid_argument("Hqc: read/write intersection needs r+w > 3");
+  }
+  if (2 * write_need <= 3) {
+    throw std::invalid_argument("Hqc: write/write intersection needs 2w > 3");
+  }
+}
+
+Hqc Hqc::for_at_least(std::size_t n_min) {
+  std::uint32_t depth = 0;
+  while (pow_u64(3, depth) < n_min) ++depth;
+  return Hqc(depth);
+}
+
+std::optional<std::vector<ReplicaId>> Hqc::assemble(
+    std::uint32_t level, std::size_t subtree, std::uint32_t need,
+    const FailureSet& failures, Rng& rng) const {
+  if (level == depth_) {
+    const auto id = static_cast<ReplicaId>(subtree);
+    if (failures.is_failed(id)) return std::nullopt;
+    return std::vector<ReplicaId>{id};
+  }
+  // Visit the three children in random order, keeping the first `need`
+  // that produce quorums — the uniform strategy the load analysis assumes.
+  std::array<std::size_t, 3> order{3 * subtree, 3 * subtree + 1,
+                                   3 * subtree + 2};
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const std::size_t j = i + rng.below(order.size() - i);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<ReplicaId> members;
+  std::uint32_t got = 0;
+  for (std::size_t child : order) {
+    if (auto q = assemble(level + 1, child, need, failures, rng)) {
+      members.insert(members.end(), q->begin(), q->end());
+      if (++got == need) return members;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Quorum> Hqc::assemble_read_quorum(const FailureSet& failures,
+                                                Rng& rng) const {
+  auto members = assemble(0, 0, read_need_, failures, rng);
+  if (!members) return std::nullopt;
+  return Quorum(*std::move(members));
+}
+
+std::optional<Quorum> Hqc::assemble_write_quorum(const FailureSet& failures,
+                                                 Rng& rng) const {
+  auto members = assemble(0, 0, write_need_, failures, rng);
+  if (!members) return std::nullopt;
+  return Quorum(*std::move(members));
+}
+
+double Hqc::read_cost() const {
+  return static_cast<double>(pow_u64(read_need_, depth_));
+}
+
+double Hqc::write_cost() const {
+  return static_cast<double>(pow_u64(write_need_, depth_));
+}
+
+double Hqc::availability(double p, std::uint32_t need) const {
+  // P(at least `need` of 3 children recursively available).
+  double a = p;
+  for (std::uint32_t k = 0; k < depth_; ++k) {
+    double next = 0.0;
+    for (std::uint32_t j = need; j <= 3; ++j) {
+      next += static_cast<double>(binomial(3, j)) * std::pow(a, j) *
+              std::pow(1.0 - a, 3 - j);
+    }
+    a = next;
+  }
+  return a;
+}
+
+double Hqc::read_availability(double p) const {
+  return availability(p, read_need_);
+}
+
+double Hqc::write_availability(double p) const {
+  return availability(p, write_need_);
+}
+
+double Hqc::read_load() const {
+  return std::pow(static_cast<double>(read_need_) / 3.0,
+                  static_cast<double>(depth_));
+}
+
+double Hqc::write_load() const {
+  return std::pow(static_cast<double>(write_need_) / 3.0,
+                  static_cast<double>(depth_));
+}
+
+void Hqc::enumerate(std::uint32_t level, std::size_t subtree,
+                    std::uint32_t need, std::vector<Quorum>& out,
+                    std::size_t limit) const {
+  if (level == depth_) {
+    out.push_back(Quorum{static_cast<ReplicaId>(subtree)});
+    return;
+  }
+  std::array<std::vector<Quorum>, 3> child_quorums;
+  for (std::size_t c = 0; c < 3; ++c) {
+    enumerate(level + 1, 3 * subtree + c, need, child_quorums[c], limit);
+  }
+  // All ways to choose `need` children and one quorum from each.
+  std::array<std::size_t, 3> pick{};
+  for (std::size_t mask = 0; mask < 8; ++mask) {
+    if (std::popcount(mask) != static_cast<int>(need)) continue;
+    std::size_t chosen = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (mask & (1u << c)) pick[chosen++] = c;
+    }
+    // Cartesian product over the chosen children's quorum lists.
+    std::vector<std::size_t> idx(need, 0);
+    while (true) {
+      std::vector<ReplicaId> members;
+      for (std::uint32_t k = 0; k < need; ++k) {
+        const Quorum& q = child_quorums[pick[k]][idx[k]];
+        members.insert(members.end(), q.members().begin(), q.members().end());
+      }
+      out.emplace_back(std::move(members));
+      if (out.size() > limit) {
+        throw std::length_error("Hqc: quorum limit exceeded");
+      }
+      std::size_t k = 0;
+      while (k < need) {
+        if (++idx[k] < child_quorums[pick[k]].size()) break;
+        idx[k] = 0;
+        ++k;
+      }
+      if (k == need) break;
+    }
+  }
+}
+
+std::vector<Quorum> Hqc::enumerate_read_quorums(std::size_t limit) const {
+  std::vector<Quorum> out;
+  enumerate(0, 0, read_need_, out, limit);
+  return out;
+}
+
+std::vector<Quorum> Hqc::enumerate_write_quorums(std::size_t limit) const {
+  std::vector<Quorum> out;
+  enumerate(0, 0, write_need_, out, limit);
+  return out;
+}
+
+}  // namespace atrcp

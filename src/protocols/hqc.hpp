@@ -1,0 +1,71 @@
+// Hierarchical Quorum Consensus (Kumar [8]) — the paper's "HQC" baseline.
+//
+// The n = 3^depth replicas are the LEAVES of a complete ternary tree; the
+// interior nodes are purely logical (the idea the arbitrary protocol
+// generalizes). A quorum at an interior node is obtained by recursively
+// assembling quorums at `need` of its 3 children (Kumar's r = w = 2
+// instantiation, which the paper evaluates). This yields quorums of size
+// 2^depth = n^log3(2) ≈ n^0.63 and an optimal load of (2/3)^depth ≈ n^-0.37
+// (Naor–Wool [10] §6.4), with the availability recursion
+//   A(0) = p,  A(k+1) = 3 A(k)^2 (1 - A(k)) + A(k)^3.
+//
+// The general Kumar scheme allows per-level read quorum r and write quorum
+// w with r + w > 3 and 2w > 3; we support it (read_need / write_need) and
+// default to the symmetric 2/2 the paper uses.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class Hqc final : public ReplicaControlProtocol {
+ public:
+  /// A hierarchy `depth` levels deep over n = 3^depth leaf replicas.
+  /// read_need + write_need must exceed 3 (read/write intersection) and
+  /// 2*write_need must exceed 3 (write/write intersection); both in [1,3].
+  /// Throws std::invalid_argument otherwise.
+  explicit Hqc(std::uint32_t depth, std::uint32_t read_need = 2,
+               std::uint32_t write_need = 2);
+
+  /// Smallest hierarchy with at least n_min replicas (r = w = 2).
+  static Hqc for_at_least(std::size_t n_min);
+
+  std::string name() const override { return "HQC"; }
+  std::size_t universe_size() const override { return n_; }
+  std::uint32_t depth() const noexcept { return depth_; }
+
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  /// Quorum sizes are exactly need^depth (n^0.63 for need = 2).
+  double read_cost() const override;
+  double write_cost() const override;
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+  /// Optimal load (need/3)^depth — n^-0.37 for need = 2, per [10] §6.4.
+  double read_load() const override;
+  double write_load() const override;
+
+  bool supports_enumeration() const override { return true; }
+  std::vector<Quorum> enumerate_read_quorums(std::size_t limit) const override;
+  std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const override;
+
+ private:
+  std::optional<std::vector<ReplicaId>> assemble(std::uint32_t level,
+                                                 std::size_t subtree,
+                                                 std::uint32_t need,
+                                                 const FailureSet& failures,
+                                                 Rng& rng) const;
+  void enumerate(std::uint32_t level, std::size_t subtree, std::uint32_t need,
+                 std::vector<Quorum>& out, std::size_t limit) const;
+  double availability(double p, std::uint32_t need) const;
+
+  std::uint32_t depth_;
+  std::uint32_t read_need_;
+  std::uint32_t write_need_;
+  std::size_t n_;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,142 @@
+#include "protocols/maekawa.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "quorum/availability.hpp"
+#include "util/math.hpp"
+
+namespace atrcp {
+
+Maekawa::Maekawa(std::size_t side) : side_(side) {
+  if (side == 0) throw std::invalid_argument("Maekawa: side must be > 0");
+}
+
+Maekawa Maekawa::for_at_least(std::size_t n_min) {
+  std::size_t side = isqrt(n_min);
+  if (side * side < n_min) ++side;
+  return Maekawa(side);
+}
+
+Quorum Maekawa::quorum_of(std::size_t row, std::size_t col) const {
+  std::vector<ReplicaId> members;
+  members.reserve(2 * side_ - 1);
+  for (std::size_t c = 0; c < side_; ++c) members.push_back(at(row, c));
+  for (std::size_t r = 0; r < side_; ++r) {
+    if (r != row) members.push_back(at(r, col));
+  }
+  return Quorum(std::move(members));
+}
+
+std::optional<Quorum> Maekawa::assemble_read_quorum(const FailureSet& failures,
+                                                    Rng& rng) const {
+  // A quorum exists iff some row AND some column are fully alive; scan from
+  // random offsets so the uniform site strategy is realized in expectation.
+  std::size_t alive_row = side_;
+  const std::size_t row_start = rng.below(side_);
+  for (std::size_t k = 0; k < side_ && alive_row == side_; ++k) {
+    const std::size_t r = (row_start + k) % side_;
+    bool full = true;
+    for (std::size_t c = 0; c < side_; ++c) {
+      if (failures.is_failed(at(r, c))) {
+        full = false;
+        break;
+      }
+    }
+    if (full) alive_row = r;
+  }
+  if (alive_row == side_) return std::nullopt;
+
+  std::size_t alive_col = side_;
+  const std::size_t col_start = rng.below(side_);
+  for (std::size_t k = 0; k < side_ && alive_col == side_; ++k) {
+    const std::size_t c = (col_start + k) % side_;
+    bool full = true;
+    for (std::size_t r = 0; r < side_; ++r) {
+      if (failures.is_failed(at(r, c))) {
+        full = false;
+        break;
+      }
+    }
+    if (full) alive_col = c;
+  }
+  if (alive_col == side_) return std::nullopt;
+  return quorum_of(alive_row, alive_col);
+}
+
+std::optional<Quorum> Maekawa::assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  return assemble_read_quorum(failures, rng);
+}
+
+double Maekawa::exact_availability_dp(double p) const {
+  // DP over columns. State: (bitmask of rows with every processed cell
+  // alive, whether some processed column was fully alive). A column's alive
+  // pattern c occurs with probability p^|c| (1-p)^(side-|c|); it narrows the
+  // surviving-row mask to mask & c and sets the flag if c is full.
+  const std::size_t s = side_;
+  const std::size_t full = (s >= 64) ? ~0ULL : ((1ULL << s) - 1);
+  std::vector<double> pattern_prob(full + 1);
+  for (std::size_t c = 0; c <= full; ++c) {
+    const int alive = std::popcount(c);
+    pattern_prob[c] = std::pow(p, alive) *
+                      std::pow(1.0 - p, static_cast<int>(s) - alive);
+  }
+  // state[mask][flag]
+  std::vector<std::array<double, 2>> state(full + 1, {0.0, 0.0});
+  state[full][0] = 1.0;
+  for (std::size_t col = 0; col < s; ++col) {
+    std::vector<std::array<double, 2>> next(full + 1, {0.0, 0.0});
+    for (std::size_t mask = 0; mask <= full; ++mask) {
+      for (int flag = 0; flag < 2; ++flag) {
+        const double prob = state[mask][flag];
+        if (prob == 0.0) continue;
+        for (std::size_t c = 0; c <= full; ++c) {
+          const std::size_t new_mask = mask & c;
+          const int new_flag = flag | (c == full ? 1 : 0);
+          next[new_mask][new_flag] += prob * pattern_prob[c];
+        }
+      }
+    }
+    state = std::move(next);
+  }
+  double available = 0.0;
+  for (std::size_t mask = 1; mask <= full; ++mask) available += state[mask][1];
+  return available;
+}
+
+double Maekawa::read_availability(double p) const {
+  if (side_ <= 10) return exact_availability_dp(p);
+  // Beyond DP reach: Monte Carlo with a fixed seed, deterministic output.
+  Rng rng(0xC0FFEE + side_);
+  return monte_carlo_availability(
+      universe_size(), p, 20'000, rng, [this](const FailureSet& failures) {
+        Rng probe(1);
+        return assemble_read_quorum(failures, probe).has_value();
+      });
+}
+
+double Maekawa::write_availability(double p) const {
+  return read_availability(p);
+}
+
+std::vector<Quorum> Maekawa::enumerate_read_quorums(std::size_t limit) const {
+  if (side_ * side_ > limit) {
+    throw std::length_error("Maekawa: quorum limit exceeded");
+  }
+  std::vector<Quorum> out;
+  out.reserve(side_ * side_);
+  for (std::size_t r = 0; r < side_; ++r) {
+    for (std::size_t c = 0; c < side_; ++c) out.push_back(quorum_of(r, c));
+  }
+  return out;
+}
+
+std::vector<Quorum> Maekawa::enumerate_write_quorums(std::size_t limit) const {
+  return enumerate_read_quorums(limit);
+}
+
+}  // namespace atrcp

@@ -1,0 +1,88 @@
+#include "protocols/majority.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace atrcp {
+
+MajorityQuorum::MajorityQuorum(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("MajorityQuorum: n must be > 0");
+}
+
+std::optional<Quorum> MajorityQuorum::assemble(const FailureSet& failures,
+                                               Rng& rng) const {
+  std::vector<ReplicaId> alive;
+  alive.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto id = static_cast<ReplicaId>(i);
+    if (failures.is_alive(id)) alive.push_back(id);
+  }
+  const std::size_t q = quorum_size();
+  if (alive.size() < q) return std::nullopt;
+  // Fisher–Yates prefix shuffle: pick q uniformly random alive replicas so
+  // the realized strategy matches the uniform one the load analysis assumes.
+  for (std::size_t i = 0; i < q; ++i) {
+    const std::size_t j = i + rng.below(alive.size() - i);
+    std::swap(alive[i], alive[j]);
+  }
+  alive.resize(q);
+  return Quorum(std::move(alive));
+}
+
+std::optional<Quorum> MajorityQuorum::assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  return assemble(failures, rng);
+}
+
+std::optional<Quorum> MajorityQuorum::assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  return assemble(failures, rng);
+}
+
+double MajorityQuorum::read_availability(double p) const {
+  return binomial_sf(n_, quorum_size(), p);
+}
+
+double MajorityQuorum::write_availability(double p) const {
+  return binomial_sf(n_, quorum_size(), p);
+}
+
+namespace {
+// Enumerate all size-q subsets of [0, n) in lexicographic order.
+std::vector<Quorum> enumerate_subsets(std::size_t n, std::size_t q,
+                                      std::size_t limit) {
+  if (binomial(n, q) > limit) {
+    throw std::length_error("MajorityQuorum: quorum limit exceeded");
+  }
+  std::vector<Quorum> out;
+  std::vector<ReplicaId> pick(q);
+  std::iota(pick.begin(), pick.end(), 0);
+  while (true) {
+    out.emplace_back(pick);
+    // advance to next combination
+    std::size_t i = q;
+    while (i > 0) {
+      --i;
+      if (pick[i] != i + n - q) break;
+      if (i == 0) return out;
+    }
+    if (pick[i] == i + n - q) return out;
+    ++pick[i];
+    for (std::size_t j = i + 1; j < q; ++j) pick[j] = pick[j - 1] + 1;
+  }
+}
+}  // namespace
+
+std::vector<Quorum> MajorityQuorum::enumerate_read_quorums(
+    std::size_t limit) const {
+  return enumerate_subsets(n_, quorum_size(), limit);
+}
+
+std::vector<Quorum> MajorityQuorum::enumerate_write_quorums(
+    std::size_t limit) const {
+  return enumerate_subsets(n_, quorum_size(), limit);
+}
+
+}  // namespace atrcp

@@ -1,0 +1,52 @@
+// Majority Quorum consensus (Thomas [13]).
+//
+// Read and write quorums are any floor(n/2)+1 replicas. For odd n this is
+// the paper's (n+1)/2 cost for both operations; availability is the upper
+// binomial tail; the optimal load is q/n (>= 1/2), attained by the uniform
+// strategy over all C(n, q) majorities.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class MajorityQuorum final : public ReplicaControlProtocol {
+ public:
+  /// Throws std::invalid_argument if n == 0.
+  explicit MajorityQuorum(std::size_t n);
+
+  std::string name() const override { return "MAJORITY"; }
+  std::size_t universe_size() const override { return n_; }
+
+  /// Size of every quorum: floor(n/2) + 1.
+  std::size_t quorum_size() const noexcept { return n_ / 2 + 1; }
+
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  double read_cost() const override {
+    return static_cast<double>(quorum_size());
+  }
+  double write_cost() const override {
+    return static_cast<double>(quorum_size());
+  }
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+  double read_load() const override {
+    return static_cast<double>(quorum_size()) / static_cast<double>(n_);
+  }
+  double write_load() const override { return read_load(); }
+
+  bool supports_enumeration() const override { return true; }
+  std::vector<Quorum> enumerate_read_quorums(std::size_t limit) const override;
+  std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const override;
+
+ private:
+  std::optional<Quorum> assemble(const FailureSet& failures, Rng& rng) const;
+
+  std::size_t n_;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,25 @@
+#include "protocols/protocol.hpp"
+
+#include <stdexcept>
+
+namespace atrcp {
+
+std::vector<Quorum> ReplicaControlProtocol::enumerate_read_quorums(
+    std::size_t /*limit*/) const {
+  throw std::logic_error(name() + ": quorum enumeration not supported");
+}
+
+std::vector<Quorum> ReplicaControlProtocol::enumerate_write_quorums(
+    std::size_t /*limit*/) const {
+  throw std::logic_error(name() + ": quorum enumeration not supported");
+}
+
+double expected_read_load(double read_availability, double read_load) {
+  return read_availability * (read_load - 1.0) + 1.0;
+}
+
+double expected_write_load(double write_availability, double write_load) {
+  return write_availability * write_load + (1.0 - write_availability) * 1.0;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,84 @@
+// The common interface of every replica control protocol in this library —
+// the paper's arbitrary protocol (src/core) and all baselines it is compared
+// against (ROWA, Majority, Agrawal–El Abbadi tree quorum, Kumar's HQC, plus
+// the Grid and Maekawa protocols mentioned in the paper's related work).
+//
+// A protocol provides two things:
+//  1. Live quorum assembly — given the current failure set, produce a read
+//     or write quorum consisting solely of alive replicas, or report that
+//     the operation is unavailable. This is what the transaction layer
+//     (src/txn) executes against the simulator.
+//  2. An analytic model — closed-form communication cost, availability and
+//     optimal system load, used by the figure-regeneration benches and
+//     validated against live behaviour by the tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quorum/types.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+class ReplicaControlProtocol {
+ public:
+  virtual ~ReplicaControlProtocol() = default;
+
+  /// Human-readable protocol name, e.g. "ROWA" or "ARBITRARY".
+  virtual std::string name() const = 0;
+
+  /// Number of replicas n the protocol manages (ids [0, n)).
+  virtual std::size_t universe_size() const = 0;
+
+  /// Assemble a read quorum avoiding failed replicas. The rng drives the
+  /// protocol's quorum-picking strategy (Definition 2.4); a deterministic
+  /// seed yields a deterministic quorum. Returns nullopt if no read quorum
+  /// can be formed under the given failures.
+  virtual std::optional<Quorum> assemble_read_quorum(
+      const FailureSet& failures, Rng& rng) const = 0;
+
+  /// Assemble a write quorum avoiding failed replicas; nullopt if impossible.
+  virtual std::optional<Quorum> assemble_write_quorum(
+      const FailureSet& failures, Rng& rng) const = 0;
+
+  // -- analytic model ------------------------------------------------------
+
+  /// Typical (strategy-average) number of replicas contacted by a read.
+  virtual double read_cost() const = 0;
+  /// Typical (strategy-average) number of replicas contacted by a write.
+  virtual double write_cost() const = 0;
+
+  /// Probability a read quorum exists when replicas are i.i.d. alive w.p. p.
+  virtual double read_availability(double p) const = 0;
+  /// Probability a write quorum exists when replicas are i.i.d. alive w.p. p.
+  virtual double write_availability(double p) const = 0;
+
+  /// Optimal system load induced by reads (Definition 2.5 minimum).
+  virtual double read_load() const = 0;
+  /// Optimal system load induced by writes.
+  virtual double write_load() const = 0;
+
+  // -- optional quorum enumeration (test oracles, small systems) -----------
+
+  /// Whether enumerate_*_quorums are implemented for this protocol.
+  virtual bool supports_enumeration() const { return false; }
+
+  /// All distinct read quorums, up to `limit` (throws std::length_error if
+  /// more exist). Default implementation throws std::logic_error.
+  virtual std::vector<Quorum> enumerate_read_quorums(std::size_t limit) const;
+
+  /// All distinct write quorums, up to `limit`.
+  virtual std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const;
+};
+
+/// The paper's expected-load equations (Equation 3.2): what load the system
+/// actually sees once unavailability forces fallback to the full universe.
+///   E L_RD = RD_av(p) * (L_RD - 1) + 1
+///   E L_WR = WR_av(p) * L_WR + (1 - WR_av(p)) * 1
+double expected_read_load(double read_availability, double read_load);
+double expected_write_load(double write_availability, double write_load);
+
+}  // namespace atrcp

@@ -1,0 +1,160 @@
+#include "protocols/rooted_tree.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace atrcp {
+
+RootedTreeQuorum::RootedTreeQuorum(std::uint32_t branching,
+                                   std::uint32_t height,
+                                   std::uint32_t read_width,
+                                   std::uint32_t write_width)
+    : branching_(branching),
+      height_(height),
+      read_width_(read_width),
+      write_width_(write_width) {
+  if (branching == 0) {
+    throw std::invalid_argument("RootedTreeQuorum: branching must be > 0");
+  }
+  if (read_width < 1 || read_width > branching || write_width < 1 ||
+      write_width > branching) {
+    throw std::invalid_argument("RootedTreeQuorum: widths out of range");
+  }
+  if (read_width + write_width <= branching) {
+    throw std::invalid_argument("RootedTreeQuorum: need r + w > branching");
+  }
+  if (2 * write_width <= branching) {
+    throw std::invalid_argument("RootedTreeQuorum: need 2w > branching");
+  }
+  // n = (branching^(height+1) - 1) / (branching - 1) for branching > 1.
+  std::uint64_t width = 1;
+  for (std::uint32_t level = 0; level <= height; ++level) {
+    n_ += width;
+    width *= branching;
+    if (n_ > (1u << 26)) {
+      throw std::invalid_argument("RootedTreeQuorum: tree too large");
+    }
+  }
+}
+
+RootedTreeQuorum RootedTreeQuorum::agrawal90(std::uint32_t d,
+                                             std::uint32_t height) {
+  return RootedTreeQuorum(2 * d + 1, height, d + 1, d + 1);
+}
+
+std::optional<std::vector<ReplicaId>> RootedTreeQuorum::read_rec(
+    ReplicaId node, std::uint32_t level, const FailureSet& failures,
+    Rng& rng) const {
+  if (failures.is_alive(node)) return std::vector<ReplicaId>{node};
+  if (level == height_) return std::nullopt;
+  // Node down: collect read quorums from read_width children, visiting
+  // them in random order and taking the first that succeed.
+  std::vector<std::uint32_t> order(branching_);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const std::size_t j = i + rng.below(order.size() - i);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<ReplicaId> members;
+  std::uint32_t got = 0;
+  for (std::uint32_t c : order) {
+    if (auto sub = read_rec(child(node, c), level + 1, failures, rng)) {
+      members.insert(members.end(), sub->begin(), sub->end());
+      if (++got == read_width_) return members;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<ReplicaId>> RootedTreeQuorum::write_rec(
+    ReplicaId node, std::uint32_t level, const FailureSet& failures,
+    Rng& rng) const {
+  if (failures.is_failed(node)) return std::nullopt;  // root of cone required
+  std::vector<ReplicaId> members{node};
+  if (level == height_) return members;
+  std::vector<std::uint32_t> order(branching_);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const std::size_t j = i + rng.below(order.size() - i);
+    std::swap(order[i], order[j]);
+  }
+  std::uint32_t got = 0;
+  for (std::uint32_t c : order) {
+    if (auto sub = write_rec(child(node, c), level + 1, failures, rng)) {
+      members.insert(members.end(), sub->begin(), sub->end());
+      if (++got == write_width_) return members;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Quorum> RootedTreeQuorum::assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  auto members = read_rec(0, 0, failures, rng);
+  if (!members) return std::nullopt;
+  return Quorum(*std::move(members));
+}
+
+std::optional<Quorum> RootedTreeQuorum::assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  auto members = write_rec(0, 0, failures, rng);
+  if (!members) return std::nullopt;
+  return Quorum(*std::move(members));
+}
+
+double RootedTreeQuorum::write_cost() const {
+  // Failure-free: the root plus write_width children recursively:
+  // sum_{l=0..h} write_width^l.
+  double cost = 0.0;
+  double width = 1.0;
+  for (std::uint32_t level = 0; level <= height_; ++level) {
+    cost += width;
+    width *= write_width_;
+  }
+  return cost;
+}
+
+std::size_t RootedTreeQuorum::max_read_cost() const {
+  return pow_u64(read_width_, height_);
+}
+
+double RootedTreeQuorum::read_availability_rec(std::uint32_t level,
+                                               double p) const {
+  if (level == height_) return p;  // a leaf can only serve itself
+  // Alive node serves directly; a dead node needs read quorums from at
+  // least read_width of its children.
+  const double child_ok = read_availability_rec(level + 1, p);
+  double fallback = 0.0;
+  for (std::uint32_t j = read_width_; j <= branching_; ++j) {
+    fallback += static_cast<double>(binomial(branching_, j)) *
+                std::pow(child_ok, j) *
+                std::pow(1.0 - child_ok, branching_ - j);
+  }
+  return p + (1.0 - p) * fallback;
+}
+
+double RootedTreeQuorum::write_availability_rec(std::uint32_t level,
+                                                double p) const {
+  if (level == height_) return p;
+  const double child_ok = write_availability_rec(level + 1, p);
+  double children = 0.0;
+  for (std::uint32_t j = write_width_; j <= branching_; ++j) {
+    children += static_cast<double>(binomial(branching_, j)) *
+                std::pow(child_ok, j) *
+                std::pow(1.0 - child_ok, branching_ - j);
+  }
+  return p * children;  // the cone's root must itself be alive
+}
+
+double RootedTreeQuorum::read_availability(double p) const {
+  return read_availability_rec(0, p);
+}
+
+double RootedTreeQuorum::write_availability(double p) const {
+  return write_availability_rec(0, p);
+}
+
+}  // namespace atrcp

@@ -1,0 +1,87 @@
+// The rooted tree quorum protocol of Agrawal & El Abbadi [1] (VLDB '90),
+// in the generalized form of Koch [7] — the paper's earliest related-work
+// family, distinct from the 1991 "BINARY" protocol of [2].
+//
+// All nodes of a complete tree with `branching` children per node are
+// replicas. Quorums are asymmetric:
+//  * READ quorum of a subtree: the root of the subtree alone, OR read
+//    quorums of `read_width` of its children (recursively). Best case a
+//    read costs 1 (just the tree root) — at the price of loading it fully,
+//    which is exactly the §1 criticism the arbitrary protocol answers.
+//  * WRITE quorum of a subtree: the subtree's root AND write quorums of
+//    `write_width` of its children — a rooted cone of depth h, cost
+//    O(width^h) bounded below by the root on every path; the root is a
+//    member of EVERY write quorum, so a root crash halts writes ([2] was
+//    invented to fix precisely this).
+// Intersection requires read_width + write_width > branching (a read's
+// children and a write's children overlap at every level they both recurse
+// into) — enforced at construction.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class RootedTreeQuorum final : public ReplicaControlProtocol {
+ public:
+  /// Complete tree of the given branching factor and height; [1] uses
+  /// branching = 2d+1 with read/write widths d+1 ("majority of children"),
+  /// [7] uses branching = 3. Throws std::invalid_argument unless
+  /// 1 <= widths <= branching and read_width + write_width > branching and
+  /// 2 * write_width > branching.
+  RootedTreeQuorum(std::uint32_t branching, std::uint32_t height,
+                   std::uint32_t read_width, std::uint32_t write_width);
+
+  /// [1]'s canonical instantiation: branching 2d+1, widths d+1.
+  static RootedTreeQuorum agrawal90(std::uint32_t d, std::uint32_t height);
+
+  std::string name() const override { return "ROOTED-TREE"; }
+  std::size_t universe_size() const override { return n_; }
+  std::uint32_t height() const noexcept { return height_; }
+
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  /// Best-case read cost is 1 (the root). This reports the cost of the
+  /// failure-free strategy, which always reads the root.
+  double read_cost() const override { return 1.0; }
+  /// Failure-free write cost: sum over levels of write_width^level.
+  double write_cost() const override;
+
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+
+  /// The root is in the failure-free read quorum and in EVERY write
+  /// quorum, so both loads are 1 — the motivating pathology (§1).
+  double read_load() const override { return 1.0; }
+  double write_load() const override { return 1.0; }
+
+  /// Worst-case read cost: read_width^height (all the way to the leaves).
+  std::size_t max_read_cost() const;
+
+ private:
+  std::optional<std::vector<ReplicaId>> read_rec(ReplicaId node,
+                                                 std::uint32_t level,
+                                                 const FailureSet& failures,
+                                                 Rng& rng) const;
+  std::optional<std::vector<ReplicaId>> write_rec(ReplicaId node,
+                                                  std::uint32_t level,
+                                                  const FailureSet& failures,
+                                                  Rng& rng) const;
+  double read_availability_rec(std::uint32_t level, double p) const;
+  double write_availability_rec(std::uint32_t level, double p) const;
+
+  ReplicaId child(ReplicaId node, std::uint32_t index) const noexcept {
+    return node * branching_ + 1 + index;
+  }
+
+  std::uint32_t branching_;
+  std::uint32_t height_;
+  std::uint32_t read_width_;
+  std::uint32_t write_width_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,62 @@
+#include "protocols/rowa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atrcp {
+
+Rowa::Rowa(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("Rowa: n must be > 0");
+}
+
+std::optional<Quorum> Rowa::assemble_read_quorum(const FailureSet& failures,
+                                                 Rng& rng) const {
+  // Uniform strategy over the n singleton read quorums: pick a random alive
+  // replica. Start from a random offset so load spreads evenly.
+  const std::size_t start = rng.below(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const auto id = static_cast<ReplicaId>((start + k) % n_);
+    if (failures.is_alive(id)) return Quorum{id};
+  }
+  return std::nullopt;
+}
+
+std::optional<Quorum> Rowa::assemble_write_quorum(const FailureSet& failures,
+                                                  Rng& /*rng*/) const {
+  std::vector<ReplicaId> all;
+  all.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto id = static_cast<ReplicaId>(i);
+    if (failures.is_failed(id)) return std::nullopt;
+    all.push_back(id);
+  }
+  return Quorum(std::move(all));
+}
+
+double Rowa::read_availability(double p) const {
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(n_));
+}
+
+double Rowa::write_availability(double p) const {
+  return std::pow(p, static_cast<double>(n_));
+}
+
+std::vector<Quorum> Rowa::enumerate_read_quorums(std::size_t limit) const {
+  if (n_ > limit) throw std::length_error("Rowa: read quorum limit exceeded");
+  std::vector<Quorum> out;
+  out.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out.push_back(Quorum{static_cast<ReplicaId>(i)});
+  }
+  return out;
+}
+
+std::vector<Quorum> Rowa::enumerate_write_quorums(std::size_t limit) const {
+  if (limit < 1) throw std::length_error("Rowa: write quorum limit exceeded");
+  std::vector<ReplicaId> all;
+  all.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) all.push_back(static_cast<ReplicaId>(i));
+  return {Quorum(std::move(all))};
+}
+
+}  // namespace atrcp

@@ -1,0 +1,41 @@
+// ReadOneWriteAll (Bernstein & Goodman [3]).
+//
+// Read quorum: any single replica. Write quorum: all n replicas.
+// Costs 1 / n, read availability 1-(1-p)^n, write availability p^n,
+// read load 1/n, write load 1. The paper's MOSTLY-READ configuration of the
+// arbitrary protocol behaves exactly like this protocol.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class Rowa final : public ReplicaControlProtocol {
+ public:
+  /// Throws std::invalid_argument if n == 0.
+  explicit Rowa(std::size_t n);
+
+  std::string name() const override { return "ROWA"; }
+  std::size_t universe_size() const override { return n_; }
+
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  double read_cost() const override { return 1.0; }
+  double write_cost() const override { return static_cast<double>(n_); }
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+  double read_load() const override { return 1.0 / static_cast<double>(n_); }
+  double write_load() const override { return 1.0; }
+
+  bool supports_enumeration() const override { return true; }
+  std::vector<Quorum> enumerate_read_quorums(std::size_t limit) const override;
+  std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace atrcp

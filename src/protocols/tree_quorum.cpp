@@ -1,0 +1,143 @@
+#include "protocols/tree_quorum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace atrcp {
+
+TreeQuorum::TreeQuorum(std::uint32_t height)
+    : height_(height), n_(pow_u64(2, height + 1) - 1) {
+  if (height > 30) {
+    throw std::invalid_argument("TreeQuorum: height too large");
+  }
+}
+
+TreeQuorum TreeQuorum::for_at_least(std::size_t n_min) {
+  std::uint32_t height = 0;
+  while (pow_u64(2, height + 1) - 1 < n_min) ++height;
+  return TreeQuorum(height);
+}
+
+std::optional<std::vector<ReplicaId>> TreeQuorum::assemble(
+    ReplicaId node, const FailureSet& failures, Rng& rng) const {
+  if (failures.is_alive(node)) {
+    if (is_leaf(node)) return std::vector<ReplicaId>{node};
+    // Alive interior node: continue the path through one child subtree,
+    // trying the other if the first cannot produce a quorum.
+    const bool left_first = rng.chance(0.5);
+    const ReplicaId first = left_first ? left(node) : right(node);
+    const ReplicaId second = left_first ? right(node) : left(node);
+    if (auto q = assemble(first, failures, rng)) {
+      q->push_back(node);
+      return q;
+    }
+    if (auto q = assemble(second, failures, rng)) {
+      q->push_back(node);
+      return q;
+    }
+    return std::nullopt;
+  }
+  // Failed node: replace it by quorums of BOTH child subtrees.
+  if (is_leaf(node)) return std::nullopt;
+  auto lq = assemble(left(node), failures, rng);
+  if (!lq) return std::nullopt;
+  auto rq = assemble(right(node), failures, rng);
+  if (!rq) return std::nullopt;
+  lq->insert(lq->end(), rq->begin(), rq->end());
+  return lq;
+}
+
+std::optional<Quorum> TreeQuorum::assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  auto members = assemble(0, failures, rng);
+  if (!members) return std::nullopt;
+  return Quorum(*std::move(members));
+}
+
+std::optional<Quorum> TreeQuorum::assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  return assemble_read_quorum(failures, rng);
+}
+
+double TreeQuorum::analytic_cost() const {
+  // Paper §4.1: cost of [2] with f = 2/(2+h):
+  //   (2^h (1+h)^h) / (h (2+h)^(h-1)) - 2/h.
+  // Undefined at h = 0 (a single replica): cost is trivially 1 there.
+  const double h = static_cast<double>(height_);
+  if (height_ == 0) return 1.0;
+  return (std::pow(2.0, h) * std::pow(1.0 + h, h)) /
+             (h * std::pow(2.0 + h, h - 1.0)) -
+         2.0 / h;
+}
+
+double TreeQuorum::read_availability(double p) const {
+  // A(0) = p; A(k) = p(1-(1-A)^2) + (1-p)A^2: root alive needs a quorum in
+  // at least one child subtree, root failed needs quorums in both.
+  double a = p;
+  for (std::uint32_t k = 1; k <= height_; ++k) {
+    const double both_fail = (1.0 - a) * (1.0 - a);
+    a = p * (1.0 - both_fail) + (1.0 - p) * a * a;
+  }
+  return a;
+}
+
+double TreeQuorum::write_availability(double p) const {
+  return read_availability(p);
+}
+
+double TreeQuorum::read_load() const {
+  // Naor–Wool [10] §6.3: optimal load of the tree protocol is 2/(h+2).
+  return 2.0 / (static_cast<double>(height_) + 2.0);
+}
+
+void TreeQuorum::enumerate(ReplicaId node, std::vector<Quorum>& out,
+                           std::size_t limit) const {
+  // Quorums of the subtree rooted at `node`:
+  //   {node} ∪ Q(child)  for each child-subtree quorum (path continuation),
+  //   Q(left) ∪ Q(right) for each cross product (node replaced).
+  if (is_leaf(node)) {
+    out.push_back(Quorum{node});
+    return;
+  }
+  std::vector<Quorum> lq;
+  std::vector<Quorum> rq;
+  enumerate(left(node), lq, limit);
+  enumerate(right(node), rq, limit);
+  for (const auto& side : {&lq, &rq}) {
+    for (const Quorum& q : *side) {
+      std::vector<ReplicaId> members(q.members().begin(), q.members().end());
+      members.push_back(node);
+      out.emplace_back(std::move(members));
+      if (out.size() > limit) {
+        throw std::length_error("TreeQuorum: quorum limit exceeded");
+      }
+    }
+  }
+  for (const Quorum& a : lq) {
+    for (const Quorum& b : rq) {
+      std::vector<ReplicaId> members(a.members().begin(), a.members().end());
+      members.insert(members.end(), b.members().begin(), b.members().end());
+      out.emplace_back(std::move(members));
+      if (out.size() > limit) {
+        throw std::length_error("TreeQuorum: quorum limit exceeded");
+      }
+    }
+  }
+}
+
+std::vector<Quorum> TreeQuorum::enumerate_read_quorums(
+    std::size_t limit) const {
+  std::vector<Quorum> out;
+  enumerate(0, out, limit);
+  return out;
+}
+
+std::vector<Quorum> TreeQuorum::enumerate_write_quorums(
+    std::size_t limit) const {
+  return enumerate_read_quorums(limit);
+}
+
+}  // namespace atrcp

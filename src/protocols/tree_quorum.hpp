@@ -1,0 +1,76 @@
+// The tree quorum protocol of Agrawal & El Abbadi [2] on a complete binary
+// tree — the paper's "BINARY" baseline configuration.
+//
+// All n = 2^(h+1) - 1 nodes are replicas, laid out in heap order (replica 0
+// is the root, children of i are 2i+1 and 2i+2). A quorum is, ideally, a
+// root-to-leaf path (cost h+1 = log2(n+1)); any inaccessible node on the
+// path is replaced by paths from BOTH of its children to leaves, degrading
+// gracefully up to a majority-sized quorum of (n+1)/2 in the worst case.
+// Reads and writes use the same quorums (the protocol was proposed for
+// mutual exclusion; the paper evaluates it symmetrically).
+//
+// Analytic model used by the figure benches, exactly as the paper states:
+//  * cost:  (2^h (1+h)^h) / (h (2+h)^(h-1)) - 2/h, with f = 2/(2+h) the
+//    fraction of quorums through the root ([2] §4 / paper §4.1).
+//  * load:  2/(h+2) = 2/(log2(n+1)+1), per Naor–Wool [10] §6.3.
+//  * availability: the standard recursion
+//    A(0) = p, A(k) = p(1-(1-A(k-1))^2) + (1-p)A(k-1)^2.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class TreeQuorum final : public ReplicaControlProtocol {
+ public:
+  /// Builds the protocol for a complete binary tree of the given height;
+  /// height 0 is a single replica. n = 2^(height+1) - 1.
+  explicit TreeQuorum(std::uint32_t height);
+
+  /// Convenience: smallest complete binary tree with >= n_min replicas.
+  static TreeQuorum for_at_least(std::size_t n_min);
+
+  std::string name() const override { return "BINARY"; }
+  std::size_t universe_size() const override { return n_; }
+  std::uint32_t height() const noexcept { return height_; }
+
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  double read_cost() const override { return analytic_cost(); }
+  double write_cost() const override { return analytic_cost(); }
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+  double read_load() const override;
+  double write_load() const override { return read_load(); }
+
+  /// Best case: a failure-free root-to-leaf path, log2(n+1) replicas.
+  std::size_t min_quorum_size() const noexcept { return height_ + 1; }
+  /// Worst case: (n+1)/2 replicas (all leaves).
+  std::size_t max_quorum_size() const noexcept { return (n_ + 1) / 2; }
+
+  bool supports_enumeration() const override { return true; }
+  std::vector<Quorum> enumerate_read_quorums(std::size_t limit) const override;
+  std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const override;
+
+ private:
+  double analytic_cost() const;
+  std::optional<std::vector<ReplicaId>> assemble(ReplicaId node,
+                                                 const FailureSet& failures,
+                                                 Rng& rng) const;
+  void enumerate(ReplicaId node, std::vector<Quorum>& out,
+                 std::size_t limit) const;
+
+  bool is_leaf(ReplicaId node) const noexcept {
+    return 2 * static_cast<std::size_t>(node) + 1 >= n_;
+  }
+  static ReplicaId left(ReplicaId node) noexcept { return 2 * node + 1; }
+  static ReplicaId right(ReplicaId node) noexcept { return 2 * node + 2; }
+
+  std::uint32_t height_;
+  std::size_t n_;
+};
+
+}  // namespace atrcp

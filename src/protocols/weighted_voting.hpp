@@ -1,0 +1,81 @@
+// Weighted voting (Gifford '79; vote assignment per Garcia-Molina &
+// Barbara [6], cited in the paper's related work).
+//
+// Every replica carries a vote weight; a read quorum is any set of replicas
+// holding at least R votes, a write quorum any set with at least W votes,
+// subject to R + W > T and 2W > T (T = total votes) so read/write and
+// write/write quorums always intersect. Majority quorum is the special
+// case of unit votes with R = W = floor(T/2) + 1; ROWA is R = 1, W = T.
+//
+// Assembly greedily takes the heaviest alive replicas first (fewest
+// members contacted); the uniform-strategy load analysis instead assumes
+// random eligible sets, so read_load()/write_load() report the standard
+// vote-fraction bound votes_needed/T scaled by the weight profile — exact
+// for unit votes, and validated against the LP in the tests for small
+// weighted instances.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class WeightedVoting final : public ReplicaControlProtocol {
+ public:
+  /// votes[i] is replica i's weight (>= 1). Throws std::invalid_argument
+  /// on empty votes, zero weights, or quorum thresholds violating
+  /// R + W > T or 2W > T.
+  WeightedVoting(std::vector<std::uint32_t> votes, std::uint64_t read_votes,
+                 std::uint64_t write_votes);
+
+  /// Unit votes, majority thresholds — equivalent to MajorityQuorum(n).
+  static WeightedVoting majority(std::size_t n);
+
+  /// Unit votes, R = 1 / W = n — equivalent to ROWA.
+  static WeightedVoting rowa(std::size_t n);
+
+  std::string name() const override { return "WEIGHTED-VOTING"; }
+  std::size_t universe_size() const override { return votes_.size(); }
+
+  std::uint64_t total_votes() const noexcept { return total_; }
+  std::uint64_t read_votes() const noexcept { return read_votes_; }
+  std::uint64_t write_votes() const noexcept { return write_votes_; }
+  const std::vector<std::uint32_t>& votes() const noexcept { return votes_; }
+
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const override;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const override;
+
+  /// Expected members contacted by the greedy random assembly, estimated
+  /// once at construction by sampling (deterministic seed).
+  double read_cost() const override { return read_cost_; }
+  double write_cost() const override { return write_cost_; }
+
+  /// Probability that alive replicas muster the required votes (exact:
+  /// dynamic program over the vote distribution).
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+
+  /// Load of the vote-proportional strategy: a replica's participation
+  /// rate approaches votes_needed/T weighted by its share, maximized by
+  /// the heaviest replica: min(1, max_votes * ceil-fraction). For unit
+  /// votes this reduces to the exact q/n.
+  double read_load() const override;
+  double write_load() const override;
+
+ private:
+  std::optional<Quorum> assemble(std::uint64_t needed,
+                                 const FailureSet& failures, Rng& rng) const;
+  double availability(std::uint64_t needed, double p) const;
+  double load(std::uint64_t needed) const;
+  double estimate_cost(std::uint64_t needed) const;
+
+  std::vector<std::uint32_t> votes_;
+  std::uint64_t total_ = 0;
+  std::uint64_t read_votes_ = 0;
+  std::uint64_t write_votes_ = 0;
+  double read_cost_ = 0.0;
+  double write_cost_ = 0.0;
+};
+
+}  // namespace atrcp

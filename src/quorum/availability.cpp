@@ -1,0 +1,81 @@
+#include "quorum/availability.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace atrcp {
+
+double exact_availability(const SetSystem& system, double p) {
+  const std::size_t n = system.universe_size();
+  if (n > 24) {
+    throw std::invalid_argument(
+        "exact_availability: universe too large for exhaustive enumeration");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("exact_availability: p outside [0,1]");
+  }
+  // Represent each quorum as a bitmask of its members; a configuration
+  // (bitmask of alive replicas) is available iff it contains some quorum.
+  std::vector<std::uint32_t> masks;
+  masks.reserve(system.set_count());
+  for (const Quorum& q : system.sets()) {
+    std::uint32_t mask = 0;
+    for (ReplicaId id : q.members()) mask |= (1u << id);
+    masks.push_back(mask);
+  }
+
+  double available = 0.0;
+  const std::uint32_t configs = 1u << n;
+  for (std::uint32_t alive = 0; alive < configs; ++alive) {
+    bool ok = false;
+    for (std::uint32_t mask : masks) {
+      if ((alive & mask) == mask) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) continue;
+    const int alive_count = std::popcount(alive);
+    available += std::pow(p, alive_count) *
+                 std::pow(1.0 - p, static_cast<int>(n) - alive_count);
+  }
+  return available;
+}
+
+FailureSet sample_failures(std::size_t universe_size, double p, Rng& rng) {
+  FailureSet failures(universe_size);
+  for (std::size_t i = 0; i < universe_size; ++i) {
+    if (!rng.chance(p)) failures.fail(static_cast<ReplicaId>(i));
+  }
+  return failures;
+}
+
+double monte_carlo_availability(const SetSystem& system, double p,
+                                std::size_t trials, Rng& rng) {
+  return monte_carlo_availability(
+      system.universe_size(), p, trials, rng,
+      [&system](const FailureSet& failures) {
+        for (const Quorum& q : system.sets()) {
+          if (failures.all_alive(q)) return true;
+        }
+        return false;
+      });
+}
+
+double monte_carlo_availability(
+    std::size_t universe_size, double p, std::size_t trials, Rng& rng,
+    const std::function<bool(const FailureSet&)>& can_assemble) {
+  if (trials == 0) {
+    throw std::invalid_argument("monte_carlo_availability: trials must be > 0");
+  }
+  std::size_t successes = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const FailureSet failures = sample_failures(universe_size, p, rng);
+    if (can_assemble(failures)) ++successes;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+}  // namespace atrcp

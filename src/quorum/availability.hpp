@@ -1,0 +1,45 @@
+// Availability of quorum systems under i.i.d. replica failures.
+//
+// Following the paper's §3.2 model: every replica is independently alive
+// with probability p (Peleg–Wool [12] motivates p > 1/2). The availability
+// of an operation is the probability that at least one of its quorums is
+// fully alive.
+//
+// Three evaluators, strongest to cheapest:
+//  * exact_availability      — exhaustive 2^n enumeration, n <= 24. Oracle.
+//  * monte_carlo_availability — sampling; works for any n and also for
+//    protocols whose quorum sets are implicit (via the predicate overload).
+//  * closed forms             — per protocol, in src/core and src/protocols.
+// Tests tie all three together.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "quorum/set_system.hpp"
+#include "quorum/types.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+/// Exhaustive availability: sums P(config) over all 2^n alive/failed
+/// configurations in which some set is fully alive. Throws
+/// std::invalid_argument if universe_size > 24 (cost is 2^n * m/64).
+double exact_availability(const SetSystem& system, double p);
+
+/// Monte-Carlo estimate with `trials` sampled failure configurations.
+double monte_carlo_availability(const SetSystem& system, double p,
+                                std::size_t trials, Rng& rng);
+
+/// Monte-Carlo estimate for protocols with implicit quorum sets: the
+/// predicate receives a sampled FailureSet and reports whether the
+/// operation could still assemble a quorum.
+double monte_carlo_availability(
+    std::size_t universe_size, double p, std::size_t trials, Rng& rng,
+    const std::function<bool(const FailureSet&)>& can_assemble);
+
+/// Draw a failure configuration: each replica fails independently with
+/// probability 1-p.
+FailureSet sample_failures(std::size_t universe_size, double p, Rng& rng);
+
+}  // namespace atrcp

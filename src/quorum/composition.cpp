@@ -1,0 +1,111 @@
+#include "quorum/composition.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+SetSystem compose(const SetSystem& outer, const std::vector<SetSystem>& inner,
+                  std::size_t limit) {
+  if (outer.universe_size() != inner.size()) {
+    throw std::invalid_argument(
+        "compose: outer universe must index the inner systems");
+  }
+  // Re-base each inner system onto a combined universe.
+  std::vector<std::size_t> offset(inner.size() + 1, 0);
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    offset[i + 1] = offset[i] + inner[i].universe_size();
+  }
+
+  std::vector<Quorum> composed;
+  for (const Quorum& outer_set : outer.sets()) {
+    // Odometer over the chosen elements' inner quorum lists.
+    const auto& elements = outer_set.members();
+    if (elements.empty()) continue;
+    std::vector<std::size_t> idx(elements.size(), 0);
+    while (true) {
+      std::vector<ReplicaId> members;
+      for (std::size_t e = 0; e < elements.size(); ++e) {
+        const std::size_t element = elements[e];
+        const Quorum& pick = inner[element].sets()[idx[e]];
+        for (ReplicaId id : pick.members()) {
+          members.push_back(static_cast<ReplicaId>(offset[element] + id));
+        }
+      }
+      composed.emplace_back(std::move(members));
+      if (composed.size() > limit) {
+        throw std::length_error("compose: quorum limit exceeded");
+      }
+      std::size_t e = 0;
+      while (e < elements.size()) {
+        if (++idx[e] < inner[elements[e]].sets().size()) break;
+        idx[e] = 0;
+        ++e;
+      }
+      if (e == elements.size()) break;
+    }
+  }
+  return SetSystem(offset.back(), std::move(composed));
+}
+
+SetSystem all_of(std::size_t k) {
+  std::vector<ReplicaId> members(k);
+  std::iota(members.begin(), members.end(), 0);
+  return SetSystem(k, {Quorum(std::move(members))});
+}
+
+SetSystem one_of(std::size_t k) {
+  std::vector<Quorum> sets;
+  sets.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sets.push_back(Quorum{static_cast<ReplicaId>(i)});
+  }
+  return SetSystem(k, std::move(sets));
+}
+
+namespace {
+void subsets_of_size(std::size_t k, std::size_t size, std::size_t start,
+                     std::vector<ReplicaId>& prefix,
+                     std::vector<Quorum>& out) {
+  if (prefix.size() == size) {
+    out.emplace_back(prefix);
+    return;
+  }
+  for (std::size_t i = start; i < k; ++i) {
+    prefix.push_back(static_cast<ReplicaId>(i));
+    subsets_of_size(k, size, i + 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+}  // namespace
+
+SetSystem majority_of(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("majority_of: k must be > 0");
+  std::vector<Quorum> sets;
+  std::vector<ReplicaId> prefix;
+  subsets_of_size(k, k / 2 + 1, 0, prefix, sets);
+  return SetSystem(k, std::move(sets));
+}
+
+SetSystem need_of_three(std::uint32_t need) {
+  if (need < 1 || need > 3) {
+    throw std::invalid_argument("need_of_three: need must be in [1,3]");
+  }
+  std::vector<Quorum> sets;
+  std::vector<ReplicaId> prefix;
+  subsets_of_size(3, need, 0, prefix, sets);
+  return SetSystem(3, std::move(sets));
+}
+
+SetSystem hqc_by_composition(std::uint32_t depth, std::uint32_t need,
+                             std::size_t limit) {
+  SetSystem level(1, {Quorum{0}});
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    level = compose(need_of_three(need), {level, level, level}, limit);
+  }
+  return level;
+}
+
+}  // namespace atrcp

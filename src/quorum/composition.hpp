@@ -1,0 +1,57 @@
+// Composition (recursive construction) of quorum systems — the algebra
+// underlying both Kumar's HQC [8] and the arbitrary protocol.
+//
+// Given an OUTER set system over k abstract elements and one INNER set
+// system per element (over disjoint replica universes), the composite
+// system's quorums are: pick an outer set, then one inner quorum from every
+// element it contains, and take the union.
+//
+// Classic facts, all executable here and verified in the tests:
+//  * composing quorum systems yields a quorum system iff the outer and
+//    inner systems are quorum systems (intersection is inherited);
+//  * HQC of depth d  ==  majority-of-3 composed with itself d times;
+//  * the arbitrary protocol's READ system is the composition of the
+//    "all-of-k" outer system with per-level singleton systems, and its
+//    WRITE system composes the "any-one-of-k" outer system with per-level
+//    "all members" systems — which is why m(R) multiplies and m(W) adds.
+#pragma once
+
+#include <vector>
+
+#include "quorum/set_system.hpp"
+
+namespace atrcp {
+
+/// Composes `outer` (universe size k) with `inner[0..k)`. The inner systems
+/// are re-based onto one combined universe: inner i occupies the id range
+/// [offset_i, offset_i + inner[i].universe_size()), offsets assigned in
+/// order. Throws std::invalid_argument if outer.universe_size() !=
+/// inner.size().
+///
+/// The composite has Π (over each outer set S) of Π_{i in S} m_i quorums,
+/// i.e. it enumerates every choice; callers should keep sizes modest (this
+/// is an analysis/verification tool, not a hot path). `limit` bounds the
+/// number of generated sets (std::length_error beyond it).
+SetSystem compose(const SetSystem& outer,
+                  const std::vector<SetSystem>& inner,
+                  std::size_t limit = 1u << 20);
+
+/// The k-element set system with a single set {0..k-1} ("all of k").
+SetSystem all_of(std::size_t k);
+
+/// The k singleton sets {0} .. {k-1} ("any one of k").
+SetSystem one_of(std::size_t k);
+
+/// All ceil((k+1)/2)-subsets of [0,k) (simple majority).
+SetSystem majority_of(std::size_t k);
+
+/// HQC's read/write system of the given depth built purely by composition:
+/// depth 0 is one replica; depth d+1 composes `need`-of-3 over three copies
+/// of depth d. (need = 2 reproduces the paper's HQC instantiation.)
+SetSystem hqc_by_composition(std::uint32_t depth, std::uint32_t need = 2,
+                             std::size_t limit = 1u << 20);
+
+/// All `need`-subsets of {0,1,2} — the per-level HQC quorum.
+SetSystem need_of_three(std::uint32_t need);
+
+}  // namespace atrcp

@@ -1,0 +1,143 @@
+#include "quorum/lp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+SimplexResult simplex_maximize(const std::vector<double>& c,
+                               const std::vector<std::vector<double>>& A,
+                               const std::vector<double>& b) {
+  const std::size_t num_vars = c.size();
+  const std::size_t num_rows = A.size();
+  if (b.size() != num_rows) {
+    throw std::invalid_argument("simplex: |b| != rows of A");
+  }
+  for (const auto& row : A) {
+    if (row.size() != num_vars) {
+      throw std::invalid_argument("simplex: row width != |c|");
+    }
+  }
+  for (double bi : b) {
+    if (bi < 0.0) {
+      throw std::invalid_argument("simplex: standard form requires b >= 0");
+    }
+  }
+
+  // Tableau layout: columns [0, num_vars) are structural variables,
+  // [num_vars, num_vars + num_rows) are slacks, the last column is the RHS.
+  // Row num_rows is the objective row holding reduced costs (initially -c)
+  // and, in its RHS cell, the current objective value.
+  const std::size_t cols = num_vars + num_rows + 1;
+  std::vector<std::vector<double>> t(num_rows + 1,
+                                     std::vector<double>(cols, 0.0));
+  std::vector<std::size_t> basis(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    for (std::size_t j = 0; j < num_vars; ++j) t[i][j] = A[i][j];
+    t[i][num_vars + i] = 1.0;
+    t[i][cols - 1] = b[i];
+    basis[i] = num_vars + i;
+  }
+  for (std::size_t j = 0; j < num_vars; ++j) t[num_rows][j] = -c[j];
+
+  // Bland's rule guarantees termination; the cap is a defensive backstop.
+  const std::size_t max_iterations = 50'000 + 200 * (num_vars + num_rows);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Entering variable: smallest index with negative reduced cost.
+    std::size_t enter = cols - 1;
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      if (t[num_rows][j] < -kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == cols - 1) {  // optimal
+      SimplexResult result;
+      result.objective = t[num_rows][cols - 1];
+      result.x.assign(num_vars, 0.0);
+      for (std::size_t i = 0; i < num_rows; ++i) {
+        if (basis[i] < num_vars) result.x[basis[i]] = t[i][cols - 1];
+      }
+      result.duals.assign(num_rows, 0.0);
+      for (std::size_t i = 0; i < num_rows; ++i) {
+        result.duals[i] = t[num_rows][num_vars + i];
+      }
+      return result;
+    }
+
+    // Leaving row: min ratio, ties broken by smallest basis index (Bland).
+    std::size_t leave = num_rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      if (t[i][enter] > kEps) {
+        const double ratio = t[i][cols - 1] / t[i][enter];
+        if (ratio < best_ratio - kEps ||
+            (std::abs(ratio - best_ratio) <= kEps && leave < num_rows &&
+             basis[i] < basis[leave])) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == num_rows) {
+      SimplexResult result;
+      result.bounded = false;
+      return result;
+    }
+
+    // Pivot on (leave, enter).
+    const double pivot = t[leave][enter];
+    for (double& cell : t[leave]) cell /= pivot;
+    for (std::size_t i = 0; i <= num_rows; ++i) {
+      if (i == leave) continue;
+      const double factor = t[i][enter];
+      if (std::abs(factor) <= kEps) continue;
+      for (std::size_t j = 0; j < cols; ++j) t[i][j] -= factor * t[leave][j];
+    }
+    basis[leave] = enter;
+  }
+  throw InvariantError("simplex: iteration cap reached (cycling?)");
+}
+
+OptimalLoad optimal_load(const SetSystem& system) {
+  const std::size_t m = system.set_count();
+  const std::size_t n = system.universe_size();
+  if (m == 0) throw std::invalid_argument("optimal_load: empty system");
+  for (const Quorum& q : system.sets()) {
+    if (q.empty()) throw std::invalid_argument("optimal_load: empty quorum");
+  }
+
+  // max Σ w_j s.t. per-replica load <= 1.
+  std::vector<double> c(m, 1.0);
+  std::vector<std::vector<double>> A(n, std::vector<double>(m, 0.0));
+  std::vector<double> b(n, 1.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (ReplicaId id : system.sets()[j].members()) A[id][j] = 1.0;
+  }
+
+  const SimplexResult lp = simplex_maximize(c, A, b);
+  ATRCP_CHECK(lp.bounded);           // every w_j <= 1 via any member row
+  ATRCP_CHECK(lp.objective > kEps);  // w = (1,0,..,0) is feasible
+
+  // Basic-solution entries can carry tiny negative rounding noise; clamp
+  // before handing them to Strategy, which rejects negative weights.
+  std::vector<double> weights = lp.x;
+  for (double& w : weights) w = std::max(w, 0.0);
+  OptimalLoad result{1.0 / lp.objective, Strategy(std::move(weights)), {}};
+  // Dual: min Σ y_i s.t. y(S_j) >= 1; normalizing by T* gives y(U) = 1 and
+  // y(S) >= 1/T* = L — Proposition 2.1's optimality certificate.
+  result.y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.y[i] = lp.duals[i] / lp.objective;
+  }
+  return result;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,57 @@
+// Exact computation of the optimal system load L(S) of a set system
+// (Definition 2.5's min over strategies) via linear programming.
+//
+// We use the classic fractional-matching reformulation (Naor & Wool [10]):
+//
+//   1/L(S)  =  max Σ_j w_j   s.t.  Σ_{j : i ∈ S_j} w_j <= 1 for every
+//                                   replica i, and w >= 0.
+//
+// Any strategy with load L can be scaled to a feasible w of total 1/L and
+// vice versa, so the optimum T* of this LP satisfies L(S) = 1/T*. The LP is
+// in pure standard form (b = 1 >= 0), so a single-phase dense primal simplex
+// with Bland's anti-cycling rule solves it. The dual solution, normalized by
+// T*, is exactly the y-vector of Proposition 2.1 — a machine-checkable
+// optimality certificate, which the tests verify for every system they solve.
+//
+// This is an oracle for small/medium systems (thousands of quorums); the
+// closed-form loads in core/analysis are what production code uses.
+#pragma once
+
+#include <vector>
+
+#include "quorum/set_system.hpp"
+#include "quorum/strategy.hpp"
+
+namespace atrcp {
+
+/// Result of a standard-form simplex solve: maximize c·x s.t. Ax <= b, x >= 0
+/// with b >= 0 (so the slack basis is feasible and no phase one is needed).
+struct SimplexResult {
+  bool bounded = true;          ///< false if the LP is unbounded
+  double objective = 0.0;       ///< optimal objective value (if bounded)
+  std::vector<double> x;        ///< optimal primal solution
+  std::vector<double> duals;    ///< optimal dual values, one per constraint
+};
+
+/// Dense primal simplex in standard form. Throws std::invalid_argument on
+/// dimension mismatch or negative entries of b.
+SimplexResult simplex_maximize(const std::vector<double>& c,
+                               const std::vector<std::vector<double>>& A,
+                               const std::vector<double>& b);
+
+/// The optimal system load of a set system together with an achieving
+/// strategy and a Proposition-2.1 certificate vector y.
+struct OptimalLoad {
+  double load = 0.0;            ///< L(S)
+  Strategy strategy;            ///< a strategy attaining L(S)
+  std::vector<double> y;        ///< certificate: y(U)=1, y(S)>=load ∀S
+};
+
+/// Computes L(S) exactly. Requires a non-empty system whose every replica in
+/// [0, universe) may or may not appear in sets; replicas in no set simply
+/// carry zero load. Throws std::invalid_argument on an empty system or a
+/// system containing an empty set (whose load would be 0 with an unbounded
+/// matching LP).
+OptimalLoad optimal_load(const SetSystem& system);
+
+}  // namespace atrcp

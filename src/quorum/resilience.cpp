@@ -1,0 +1,140 @@
+#include "quorum/resilience.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+namespace {
+
+/// Branch-and-bound: find a minimum set of replicas hitting every quorum.
+/// Branches on the members of the smallest not-yet-hit quorum (every valid
+/// transversal must contain one of them), pruning at `best`.
+class TransversalSolver {
+ public:
+  explicit TransversalSolver(const SetSystem& system) : system_(system) {}
+
+  std::vector<ReplicaId> solve(std::size_t budget) {
+    best_size_ = std::min(budget, system_.universe_size()) + 1;
+    // A greedy warm start tightens the bound: repeatedly pick the replica
+    // covering the most unhit quorums.
+    greedy_warm_start();
+    std::vector<ReplicaId> chosen;
+    std::vector<bool> hit(system_.set_count(), false);
+    branch(chosen, hit, system_.set_count());
+    return best_;
+  }
+
+ private:
+  void greedy_warm_start() {
+    std::vector<bool> hit(system_.set_count(), false);
+    std::size_t remaining = system_.set_count();
+    std::vector<ReplicaId> chosen;
+    while (remaining > 0) {
+      std::vector<std::size_t> coverage(system_.universe_size(), 0);
+      for (std::size_t j = 0; j < system_.set_count(); ++j) {
+        if (hit[j]) continue;
+        for (ReplicaId id : system_.sets()[j].members()) ++coverage[id];
+      }
+      const auto best_it =
+          std::max_element(coverage.begin(), coverage.end());
+      const auto pick =
+          static_cast<ReplicaId>(std::distance(coverage.begin(), best_it));
+      chosen.push_back(pick);
+      for (std::size_t j = 0; j < system_.set_count(); ++j) {
+        if (!hit[j] && system_.sets()[j].contains(pick)) {
+          hit[j] = true;
+          --remaining;
+        }
+      }
+    }
+    if (chosen.size() < best_size_) {
+      best_size_ = chosen.size();
+      best_ = std::move(chosen);
+    }
+  }
+
+  void branch(std::vector<ReplicaId>& chosen, std::vector<bool>& hit,
+              std::size_t unhit) {
+    if (unhit == 0) {
+      if (chosen.size() < best_size_) {
+        best_size_ = chosen.size();
+        best_ = chosen;
+      }
+      return;
+    }
+    if (chosen.size() + 1 >= best_size_) return;  // cannot improve
+    // Pick the smallest unhit quorum to branch on.
+    std::size_t pivot = system_.set_count();
+    for (std::size_t j = 0; j < system_.set_count(); ++j) {
+      if (hit[j]) continue;
+      if (pivot == system_.set_count() ||
+          system_.sets()[j].size() < system_.sets()[pivot].size()) {
+        pivot = j;
+      }
+    }
+    ATRCP_CHECK(pivot != system_.set_count());
+    for (ReplicaId candidate : system_.sets()[pivot].members()) {
+      if (std::find(chosen.begin(), chosen.end(), candidate) !=
+          chosen.end()) {
+        continue;
+      }
+      // Apply: mark every quorum containing candidate as hit.
+      std::vector<std::size_t> newly_hit;
+      for (std::size_t j = 0; j < system_.set_count(); ++j) {
+        if (!hit[j] && system_.sets()[j].contains(candidate)) {
+          hit[j] = true;
+          newly_hit.push_back(j);
+        }
+      }
+      chosen.push_back(candidate);
+      branch(chosen, hit, unhit - newly_hit.size());
+      chosen.pop_back();
+      for (std::size_t j : newly_hit) hit[j] = false;
+    }
+  }
+
+  const SetSystem& system_;
+  std::size_t best_size_ = 0;
+  std::vector<ReplicaId> best_;
+};
+
+void validate(const SetSystem& system) {
+  if (system.set_count() == 0) {
+    throw std::invalid_argument("resilience: empty system");
+  }
+  for (const Quorum& q : system.sets()) {
+    if (q.empty()) {
+      throw std::invalid_argument("resilience: empty quorum cannot be hit");
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t min_transversal_size(const SetSystem& system,
+                                 std::size_t budget) {
+  validate(system);
+  TransversalSolver solver(system);
+  const auto transversal = solver.solve(budget);
+  if (transversal.empty() && system.set_count() > 0) {
+    // No transversal within budget (greedy always finds one within
+    // universe size, so this means the caller's budget was exceeded).
+    return budget + 1;
+  }
+  return transversal.size();
+}
+
+std::vector<ReplicaId> min_transversal(const SetSystem& system) {
+  validate(system);
+  TransversalSolver solver(system);
+  return solver.solve(system.universe_size());
+}
+
+std::size_t resilience(const SetSystem& system) {
+  return min_transversal_size(system) - 1;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,45 @@
+// Worst-case fault tolerance of quorum systems.
+//
+// The resilience of a set system is the largest f such that EVERY set of f
+// replica crashes still leaves some quorum fully alive. Equivalently, if
+// c(S) is the size of a minimum transversal (hitting set) — the fewest
+// replicas whose removal intersects every quorum — then resilience(S) =
+// c(S) - 1 (crash a minimum transversal and nothing survives; any smaller
+// crash set misses some quorum entirely).
+//
+// For the arbitrary protocol this yields crisp, testable facts:
+//  * read quorums:  a whole smallest physical level (d replicas) is a
+//    minimum transversal, so read resilience = d - 1;
+//  * write quorums: one replica per physical level hits every level, so
+//    write resilience = |K_phy| - 1.
+// For majority-of-n, resilience = n - q (the classic floor((n-1)/2)).
+//
+// Minimum hitting set is NP-hard in general; this solver does exact
+// branch-and-bound (branch on the members of an unhit quorum of minimum
+// size) and is meant for the analysis/test scale (tens of replicas,
+// hundreds of quorums), like the LP oracle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "quorum/set_system.hpp"
+
+namespace atrcp {
+
+/// Size of a minimum hitting set (transversal) of the system's sets.
+/// Throws std::invalid_argument on an empty system or one with an empty
+/// set (which cannot be hit). `budget` caps the search depth; if no
+/// transversal within budget exists, returns budget + 1 (useful as "at
+/// least"). Default budget = universe size (always sufficient).
+std::size_t min_transversal_size(const SetSystem& system,
+                                 std::size_t budget = SIZE_MAX);
+
+/// One minimum transversal (the replicas to crash to kill every quorum).
+std::vector<ReplicaId> min_transversal(const SetSystem& system);
+
+/// resilience(S) = min_transversal_size(S) - 1: the largest f such that
+/// any f crashes leave a live quorum.
+std::size_t resilience(const SetSystem& system);
+
+}  // namespace atrcp

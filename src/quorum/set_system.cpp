@@ -1,0 +1,73 @@
+#include "quorum/set_system.hpp"
+
+#include <stdexcept>
+
+namespace atrcp {
+
+SetSystem::SetSystem(std::size_t universe_size, std::vector<Quorum> sets)
+    : universe_size_(universe_size), sets_(std::move(sets)) {
+  for (const Quorum& q : sets_) {
+    for (ReplicaId id : q.members()) {
+      if (id >= universe_size_) {
+        throw std::invalid_argument(
+            "SetSystem: quorum member outside universe");
+      }
+    }
+  }
+}
+
+bool SetSystem::is_quorum_system() const {
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets_.size(); ++j) {
+      if (!sets_[i].intersects(sets_[j])) return false;
+    }
+    if (sets_[i].empty()) return false;  // an empty set intersects nothing
+  }
+  return true;
+}
+
+bool SetSystem::is_coterie() const {
+  if (!is_quorum_system()) return false;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t j = 0; j < sets_.size(); ++j) {
+      if (i == j) continue;
+      // Minimality: no distinct set may contain another. Equal duplicates
+      // also violate it (S ⊆ R with S != R index-wise but equal contents is
+      // tolerated only if they are the same set; we reject duplicates too,
+      // which keeps strategies well-defined).
+      if (sets_[i].subset_of(sets_[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t SetSystem::min_set_size() const {
+  if (sets_.empty()) throw std::logic_error("min_set_size of empty system");
+  std::size_t best = sets_.front().size();
+  for (const Quorum& q : sets_) best = std::min(best, q.size());
+  return best;
+}
+
+std::size_t SetSystem::max_set_size() const {
+  if (sets_.empty()) throw std::logic_error("max_set_size of empty system");
+  std::size_t best = sets_.front().size();
+  for (const Quorum& q : sets_) best = std::max(best, q.size());
+  return best;
+}
+
+Bicoterie::Bicoterie(std::size_t universe_size,
+                     std::vector<Quorum> read_quorums,
+                     std::vector<Quorum> write_quorums)
+    : reads_(universe_size, std::move(read_quorums)),
+      writes_(universe_size, std::move(write_quorums)) {}
+
+bool Bicoterie::intersection_holds() const {
+  for (const Quorum& r : reads_.sets()) {
+    for (const Quorum& w : writes_.sets()) {
+      if (!r.intersects(w)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace atrcp

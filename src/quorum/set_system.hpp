@@ -1,0 +1,61 @@
+// Set systems, quorum systems, coteries and bicoteries — Definitions 2.1-2.3
+// of the paper, as executable predicates over explicit quorum collections.
+//
+// These are used both as building blocks (the arbitrary protocol's read and
+// write quorum sets form a bicoterie) and as test oracles (property tests
+// enumerate quorums of randomized trees and verify the definitions hold).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "quorum/types.hpp"
+
+namespace atrcp {
+
+/// A collection of subsets of a universe U = [0, universe_size) —
+/// Definition 2.1's "set system". Invariant: every member id < universe_size.
+class SetSystem {
+ public:
+  SetSystem(std::size_t universe_size, std::vector<Quorum> sets);
+
+  std::size_t universe_size() const noexcept { return universe_size_; }
+  const std::vector<Quorum>& sets() const noexcept { return sets_; }
+  std::size_t set_count() const noexcept { return sets_.size(); }
+
+  /// Definition 2.1: every pair of sets intersects.
+  bool is_quorum_system() const;
+
+  /// Definition 2.2: quorum system with minimality (no set contains another).
+  bool is_coterie() const;
+
+  /// Size of the smallest set; Naor–Wool: load >= 1/c(S) where c(S) is the
+  /// smallest quorum size, so this bounds the best achievable load.
+  std::size_t min_set_size() const;
+  std::size_t max_set_size() const;
+
+ private:
+  std::size_t universe_size_;
+  std::vector<Quorum> sets_;
+};
+
+/// Definition 2.3: separate read and write quorum sets where every read
+/// quorum intersects every write quorum.
+class Bicoterie {
+ public:
+  Bicoterie(std::size_t universe_size, std::vector<Quorum> read_quorums,
+            std::vector<Quorum> write_quorums);
+
+  std::size_t universe_size() const noexcept { return reads_.universe_size(); }
+  const SetSystem& reads() const noexcept { return reads_; }
+  const SetSystem& writes() const noexcept { return writes_; }
+
+  /// The defining property: R ∩ W != ∅ for all R in reads, W in writes.
+  bool intersection_holds() const;
+
+ private:
+  SetSystem reads_;
+  SetSystem writes_;
+};
+
+}  // namespace atrcp

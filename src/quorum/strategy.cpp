@@ -1,0 +1,97 @@
+#include "quorum/strategy.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+Strategy::Strategy(std::vector<double> weights) : weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("Strategy: needs at least one set");
+  }
+  double total = 0.0;
+  for (double w : weights_) {
+    if (w < 0.0) throw std::invalid_argument("Strategy: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Strategy: weights sum to zero");
+  }
+  for (double& w : weights_) w /= total;
+}
+
+Strategy Strategy::uniform(std::size_t set_count) {
+  if (set_count == 0) {
+    throw std::invalid_argument("Strategy::uniform: set_count must be > 0");
+  }
+  return Strategy(std::vector<double>(set_count, 1.0));
+}
+
+std::size_t Strategy::sample(Rng& rng) const {
+  double x = rng.uniform();
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    x -= weights_[j];
+    if (x < 0.0) return j;
+  }
+  return weights_.size() - 1;  // guard against accumulated rounding
+}
+
+std::vector<double> induced_loads(const SetSystem& system,
+                                  const Strategy& strategy) {
+  if (strategy.set_count() != system.set_count()) {
+    throw std::invalid_argument("induced_loads: strategy/system size mismatch");
+  }
+  std::vector<double> loads(system.universe_size(), 0.0);
+  for (std::size_t j = 0; j < system.set_count(); ++j) {
+    const double w = strategy.weights()[j];
+    for (ReplicaId id : system.sets()[j].members()) loads[id] += w;
+  }
+  return loads;
+}
+
+double strategy_load(const SetSystem& system, const Strategy& strategy) {
+  const auto loads = induced_loads(system, strategy);
+  double max_load = 0.0;
+  for (double l : loads) max_load = std::max(max_load, l);
+  return max_load;
+}
+
+bool certifies_lower_bound(const SetSystem& system,
+                           const std::vector<double>& y, double load,
+                           double tol) {
+  if (y.size() != system.universe_size()) return false;
+  double total = 0.0;
+  for (double yi : y) {
+    if (yi < -tol || yi > 1.0 + tol) return false;
+    total += yi;
+  }
+  if (std::abs(total - 1.0) > tol) return false;
+  for (const Quorum& s : system.sets()) {
+    double ys = 0.0;
+    for (ReplicaId id : s.members()) ys += y[id];
+    if (ys < load - tol) return false;
+  }
+  return true;
+}
+
+std::vector<double> empirical_loads(const SetSystem& system,
+                                    const Strategy& strategy,
+                                    std::size_t samples, Rng& rng) {
+  if (samples == 0) {
+    throw std::invalid_argument("empirical_loads: samples must be > 0");
+  }
+  std::vector<std::size_t> hits(system.universe_size(), 0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t j = strategy.sample(rng);
+    for (ReplicaId id : system.sets()[j].members()) ++hits[id];
+  }
+  std::vector<double> loads(system.universe_size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    loads[i] = static_cast<double>(hits[i]) / static_cast<double>(samples);
+  }
+  return loads;
+}
+
+}  // namespace atrcp

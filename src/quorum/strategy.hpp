@@ -1,0 +1,63 @@
+// Strategies and induced loads — Definitions 2.4 and 2.5 of the paper.
+//
+// A strategy is a probability distribution over the sets of a set system.
+// The load it induces on replica i is the probability that a picked quorum
+// contains i; the system load of the strategy is the max over replicas; and
+// the (optimal) system load of the system is the min over strategies (which
+// quorum/lp.hpp computes exactly via linear programming).
+#pragma once
+
+#include <vector>
+
+#include "quorum/set_system.hpp"
+#include "quorum/types.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+/// A probability distribution over the sets of a SetSystem (Definition 2.4).
+class Strategy {
+ public:
+  /// weights need not be normalized; they are normalized on construction.
+  /// Throws std::invalid_argument if empty, any weight is negative, or the
+  /// total is zero.
+  explicit Strategy(std::vector<double> weights);
+
+  /// The uniform strategy over set_count sets — the strategy the paper uses
+  /// for both read (w_j = 1/m(R)) and write (w_j = 1/m(W)) operations.
+  static Strategy uniform(std::size_t set_count);
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+  std::size_t set_count() const noexcept { return weights_.size(); }
+
+  /// Sample a set index according to the distribution.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Definition 2.5: l_w(i) = sum of w_j over sets S_j containing replica i,
+/// for every replica of the universe. Throws if sizes mismatch.
+std::vector<double> induced_loads(const SetSystem& system,
+                                  const Strategy& strategy);
+
+/// Definition 2.5: L_w(S) = max_i l_w(i).
+double strategy_load(const SetSystem& system, const Strategy& strategy);
+
+/// Proposition 2.1 witness check: given y in [0,1]^n with y(U) = 1 and
+/// y(S) >= L for all S, the load L is optimal. Returns true iff y certifies
+/// the bound L (within tolerance).
+bool certifies_lower_bound(const SetSystem& system,
+                           const std::vector<double>& y, double load,
+                           double tol = 1e-9);
+
+/// Empirically measure the per-replica load by drawing `samples` quorums
+/// from the strategy and counting membership frequencies. Converges to
+/// induced_loads(); used by tests and the empirical-load bench to tie the
+/// closed forms to executed behaviour.
+std::vector<double> empirical_loads(const SetSystem& system,
+                                    const Strategy& strategy,
+                                    std::size_t samples, Rng& rng);
+
+}  // namespace atrcp

@@ -1,0 +1,131 @@
+// Fundamental vocabulary types of the quorum layer.
+//
+// A Quorum is an immutable sorted set of replica identifiers; a FailureSet
+// is a mutable membership bitmap of crashed replicas. Both are deliberately
+// small value types — every protocol in src/protocols and the arbitrary
+// protocol in src/core trade in these.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+/// Identifies a replica (equivalently, a site holding a copy of the data).
+/// Replica ids are dense: a system of n replicas uses ids [0, n).
+using ReplicaId = std::uint32_t;
+
+/// An immutable, sorted, duplicate-free set of replicas. This is the unit
+/// a read or write operation must contact in full.
+class Quorum {
+ public:
+  Quorum() = default;
+
+  /// Builds from arbitrary-order members; sorts and deduplicates.
+  explicit Quorum(std::vector<ReplicaId> members) : members_(std::move(members)) {
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()),
+                   members_.end());
+  }
+
+  Quorum(std::initializer_list<ReplicaId> members)
+      : Quorum(std::vector<ReplicaId>(members)) {}
+
+  std::span<const ReplicaId> members() const noexcept { return members_; }
+  std::size_t size() const noexcept { return members_.size(); }
+  bool empty() const noexcept { return members_.empty(); }
+
+  bool contains(ReplicaId id) const noexcept {
+    return std::binary_search(members_.begin(), members_.end(), id);
+  }
+
+  /// True iff the two quorums share at least one replica. O(|a| + |b|).
+  bool intersects(const Quorum& other) const noexcept {
+    auto a = members_.begin();
+    auto b = other.members_.begin();
+    while (a != members_.end() && b != other.members_.end()) {
+      if (*a == *b) return true;
+      if (*a < *b) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    return false;
+  }
+
+  /// True iff every member of this quorum is a member of other.
+  bool subset_of(const Quorum& other) const noexcept {
+    return std::includes(other.members_.begin(), other.members_.end(),
+                         members_.begin(), members_.end());
+  }
+
+  friend bool operator==(const Quorum&, const Quorum&) = default;
+  friend auto operator<=>(const Quorum& a, const Quorum& b) {
+    return std::lexicographical_compare_three_way(
+        a.members_.begin(), a.members_.end(), b.members_.begin(),
+        b.members_.end());
+  }
+
+  /// "{0, 3, 7}" — for test failure messages and example output.
+  std::string to_string() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(members_[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<ReplicaId> members_;
+};
+
+/// The set of currently-crashed replicas of a system of fixed size n.
+/// Fail-stop per the paper's model: a failed replica answers nothing.
+class FailureSet {
+ public:
+  FailureSet() = default;
+  explicit FailureSet(std::size_t universe_size) : failed_(universe_size, false) {}
+
+  std::size_t universe_size() const noexcept { return failed_.size(); }
+
+  bool is_failed(ReplicaId id) const noexcept {
+    return id < failed_.size() && failed_[id];
+  }
+  bool is_alive(ReplicaId id) const noexcept { return !is_failed(id); }
+
+  void fail(ReplicaId id) {
+    if (id >= failed_.size()) failed_.resize(id + 1, false);
+    failed_[id] = true;
+  }
+  void recover(ReplicaId id) {
+    if (id < failed_.size()) failed_[id] = false;
+  }
+
+  std::size_t failed_count() const noexcept {
+    return static_cast<std::size_t>(
+        std::count(failed_.begin(), failed_.end(), true));
+  }
+  std::size_t alive_count() const noexcept {
+    return failed_.size() - failed_count();
+  }
+
+  /// True iff every member of q is alive (q can be assembled as-is).
+  bool all_alive(const Quorum& q) const noexcept {
+    for (ReplicaId id : q.members()) {
+      if (is_failed(id)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<bool> failed_;
+};
+
+}  // namespace atrcp

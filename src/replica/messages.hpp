@@ -1,0 +1,103 @@
+// The wire protocol between transaction coordinators and replica servers.
+//
+// Four exchanges, mirroring the paper's operation structure (§2.2, §3.2):
+//  * VersionRequest/Reply — a write first learns the highest version number
+//    from a read quorum, then increments it.
+//  * ReadRequest/Reply    — a read fetches value+timestamp from every read
+//    quorum member and keeps the newest.
+//  * Prepare/Vote, Commit/Ack, Abort/Ack — the two-phase commit executed at
+//    the end of every transaction that contains writes; a Prepare carries
+//    the writes destined for that participant.
+//
+// Every request carries an op_id so late or duplicated replies can be
+// matched to (or discarded by) the right pending operation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "replica/store.hpp"
+#include "sim/network.hpp"
+
+namespace atrcp {
+
+using OpId = std::uint64_t;
+using TxnId = std::uint64_t;
+
+struct VersionRequest final : MessageBody {
+  OpId op_id = 0;
+  Key key = 0;
+};
+
+struct VersionReply final : MessageBody {
+  OpId op_id = 0;
+  Key key = 0;
+  Timestamp timestamp;
+};
+
+struct ReadRequest final : MessageBody {
+  OpId op_id = 0;
+  Key key = 0;
+};
+
+struct ReadReply final : MessageBody {
+  OpId op_id = 0;
+  Key key = 0;
+  bool has_value = false;
+  Value value;
+  Timestamp timestamp;
+};
+
+/// Liveness probe (heartbeat detector -> replica); answered with PongReply
+/// by any up replica.
+struct PingRequest final : MessageBody {
+  std::uint64_t sequence = 0;
+};
+
+struct PongReply final : MessageBody {
+  std::uint64_t sequence = 0;
+};
+
+/// Direct timestamped install, used by read repair: safe without 2PC
+/// because apply() is idempotent and monotone in the timestamp (it can only
+/// move a replica TOWARD the latest committed value).
+struct ApplyRequest final : MessageBody {
+  Key key = 0;
+  Value value;
+  Timestamp timestamp;
+};
+
+/// One write as staged on a participant.
+struct StagedWrite {
+  Key key = 0;
+  Value value;
+  Timestamp timestamp;
+};
+
+struct PrepareRequest final : MessageBody {
+  TxnId txn_id = 0;
+  std::vector<StagedWrite> writes;
+};
+
+struct PrepareVote final : MessageBody {
+  TxnId txn_id = 0;
+  bool yes = false;
+};
+
+struct CommitRequest final : MessageBody {
+  TxnId txn_id = 0;
+};
+
+struct CommitAck final : MessageBody {
+  TxnId txn_id = 0;
+};
+
+struct AbortRequest final : MessageBody {
+  TxnId txn_id = 0;
+};
+
+struct AbortAck final : MessageBody {
+  TxnId txn_id = 0;
+};
+
+}  // namespace atrcp

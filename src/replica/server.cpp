@@ -1,0 +1,104 @@
+#include "replica/server.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+ReplicaServer::ReplicaServer(Network& network) : network_(network) {}
+
+void ReplicaServer::on_message(const Message& message) {
+  ATRCP_CHECK(message.body != nullptr);
+  ++messages_received_;
+  const MessageBody& body = *message.body;
+  if (const auto* m = dynamic_cast<const VersionRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const ReadRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const PrepareRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const CommitRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const AbortRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const ApplyRequest*>(&body)) {
+    if (store_.apply(m->key, m->value, m->timestamp)) ++repairs_applied_;
+  } else if (const auto* m = dynamic_cast<const PingRequest*>(&body)) {
+    auto pong = std::make_shared<PongReply>();
+    pong->sequence = m->sequence;
+    network_.send(site_, message.from, std::move(pong));
+  }
+  // Unknown bodies (e.g. replies echoed to the wrong site) are ignored.
+}
+
+void ReplicaServer::handle(const VersionRequest& request, SiteId from) {
+  ++versions_served_;
+  auto reply = std::make_shared<VersionReply>();
+  reply->op_id = request.op_id;
+  reply->key = request.key;
+  reply->timestamp = store_.timestamp_of(request.key);
+  network_.send(site_, from, std::move(reply));
+}
+
+void ReplicaServer::handle(const ReadRequest& request, SiteId from) {
+  ++reads_served_;
+  auto reply = std::make_shared<ReadReply>();
+  reply->op_id = request.op_id;
+  reply->key = request.key;
+  if (const auto entry = store_.get(request.key)) {
+    reply->has_value = true;
+    reply->value = entry->value;
+    reply->timestamp = entry->timestamp;
+  } else {
+    reply->timestamp = kInitialTimestamp;
+  }
+  network_.send(site_, from, std::move(reply));
+}
+
+void ReplicaServer::handle(const PrepareRequest& request, SiteId from) {
+  auto vote = std::make_shared<PrepareVote>();
+  vote->txn_id = request.txn_id;
+  if (const auto decided = decided_.find(request.txn_id);
+      decided != decided_.end()) {
+    // A retransmitted prepare for an already-decided transaction: repeat
+    // the yes vote if it committed (coordinator may have missed it).
+    vote->yes = decided->second;
+  } else {
+    // This simulator has no local integrity constraints that could force a
+    // no-vote; a participant votes yes iff it can stage the writes, which
+    // always succeeds while it is up (a down site simply never replies and
+    // the coordinator counts it as a no).
+    prepared_[request.txn_id] = request.writes;
+    vote->yes = true;
+  }
+  network_.send(site_, from, std::move(vote));
+}
+
+void ReplicaServer::handle(const CommitRequest& request, SiteId from) {
+  const auto it = prepared_.find(request.txn_id);
+  if (it != prepared_.end()) {
+    for (const StagedWrite& write : it->second) {
+      store_.apply(write.key, write.value, write.timestamp);
+    }
+    prepared_.erase(it);
+    decided_[request.txn_id] = true;
+    ++commits_applied_;
+  }
+  // Ack even for duplicates so coordinator retransmissions terminate.
+  auto ack = std::make_shared<CommitAck>();
+  ack->txn_id = request.txn_id;
+  network_.send(site_, from, std::move(ack));
+}
+
+void ReplicaServer::handle(const AbortRequest& request, SiteId from) {
+  if (prepared_.erase(request.txn_id) > 0) {
+    decided_[request.txn_id] = false;
+    ++aborts_seen_;
+  }
+  auto ack = std::make_shared<AbortAck>();
+  ack->txn_id = request.txn_id;
+  network_.send(site_, from, std::move(ack));
+}
+
+}  // namespace atrcp

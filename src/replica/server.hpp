@@ -1,0 +1,76 @@
+// The replica server — a site hosting one copy of the replicated data.
+//
+// Pure message-driven state machine over sim/network: answers version and
+// read requests from its local VersionedStore and participates in two-phase
+// commit. Prepared (voted-yes) transactions are held in a prepared-set that
+// models a stable log: it survives crashes, so a participant that voted yes
+// and then crashed still applies the writes when the retransmitted commit
+// arrives after recovery — the standard 2PC stable-storage requirement.
+//
+// The server itself never initiates messages; coordinators (src/txn) drive
+// all exchanges.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "replica/messages.hpp"
+#include "replica/store.hpp"
+#include "sim/network.hpp"
+
+namespace atrcp {
+
+class ReplicaServer final : public SiteHandler {
+ public:
+  /// The server must be registered with the network by the caller (the
+  /// caller owns site-id assignment): construct, then
+  /// id = network.add_site(server); server.set_site(id).
+  explicit ReplicaServer(Network& network);
+
+  void set_site(SiteId site) noexcept { site_ = site; }
+  SiteId site() const noexcept { return site_; }
+
+  const VersionedStore& store() const noexcept { return store_; }
+  VersionedStore& store() noexcept { return store_; }
+
+  /// Number of transactions currently in the prepared (voted yes, awaiting
+  /// decision) state.
+  std::size_t prepared_count() const noexcept { return prepared_.size(); }
+
+  void on_message(const Message& message) override;
+
+  // -- statistics -------------------------------------------------------------
+  std::uint64_t messages_received() const noexcept {
+    return messages_received_;
+  }
+  std::uint64_t reads_served() const noexcept { return reads_served_; }
+  std::uint64_t versions_served() const noexcept { return versions_served_; }
+  std::uint64_t commits_applied() const noexcept { return commits_applied_; }
+  std::uint64_t aborts_seen() const noexcept { return aborts_seen_; }
+  std::uint64_t repairs_applied() const noexcept { return repairs_applied_; }
+
+ private:
+  void handle(const VersionRequest& request, SiteId from);
+  void handle(const ReadRequest& request, SiteId from);
+  void handle(const PrepareRequest& request, SiteId from);
+  void handle(const CommitRequest& request, SiteId from);
+  void handle(const AbortRequest& request, SiteId from);
+
+  Network& network_;
+  SiteId site_ = 0;
+  VersionedStore store_;
+  /// txn -> staged writes; models the stable 2PC log.
+  std::unordered_map<TxnId, std::vector<StagedWrite>> prepared_;
+  /// Decisions already processed, so duplicated commit/abort retransmissions
+  /// stay idempotent (true = committed).
+  std::unordered_map<TxnId, bool> decided_;
+
+  std::uint64_t messages_received_ = 0;
+  std::uint64_t reads_served_ = 0;
+  std::uint64_t versions_served_ = 0;
+  std::uint64_t commits_applied_ = 0;
+  std::uint64_t aborts_seen_ = 0;
+  std::uint64_t repairs_applied_ = 0;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,34 @@
+#include "replica/store.hpp"
+
+#include <algorithm>
+
+namespace atrcp {
+
+std::optional<VersionedValue> VersionedStore::get(Key key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Timestamp VersionedStore::timestamp_of(Key key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? kInitialTimestamp : it->second.timestamp;
+}
+
+std::vector<Key> VersionedStore::keys() const {
+  std::vector<Key> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool VersionedStore::apply(Key key, Value value, Timestamp ts) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted && !ts.is_newer_than(it->second.timestamp)) return false;
+  it->second.value = std::move(value);
+  it->second.timestamp = ts;
+  return true;
+}
+
+}  // namespace atrcp

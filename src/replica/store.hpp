@@ -1,0 +1,48 @@
+// A replica's local versioned key-value store.
+//
+// Values carry the paper's (version, SID) timestamps; apply() only installs
+// a write whose timestamp is newer than what is stored, making replays and
+// out-of-order delivery harmless (writes are idempotent by timestamp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "replica/timestamp.hpp"
+
+namespace atrcp {
+
+using Key = std::uint64_t;
+using Value = std::string;
+
+struct VersionedValue {
+  Value value;
+  Timestamp timestamp;
+};
+
+class VersionedStore {
+ public:
+  /// Current value+timestamp of key, or nullopt if never written.
+  std::optional<VersionedValue> get(Key key) const;
+
+  /// Timestamp of key; kInitialTimestamp if never written.
+  Timestamp timestamp_of(Key key) const;
+
+  /// Installs (value, ts) iff ts is newer than the stored timestamp.
+  /// Returns true if the store changed.
+  bool apply(Key key, Value value, Timestamp ts);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// All keys currently stored, in ascending order (for state transfer
+  /// during reconfiguration and for tests).
+  std::vector<Key> keys() const;
+
+ private:
+  std::unordered_map<Key, VersionedValue> entries_;
+};
+
+}  // namespace atrcp

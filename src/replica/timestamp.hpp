@@ -1,0 +1,37 @@
+// Timestamps for replicated data (§2.2): a version number plus the SID of
+// the writing site. A read returns the value whose timestamp has the
+// HIGHEST version number and, among equals, the LOWEST site identifier —
+// exactly the paper's tie-break.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "sim/network.hpp"
+
+namespace atrcp {
+
+struct Timestamp {
+  std::uint64_t version = 0;
+  SiteId sid = 0;
+
+  /// True iff this timestamp wins over `other` under the paper's order:
+  /// higher version first, lower SID breaking ties.
+  bool is_newer_than(const Timestamp& other) const noexcept {
+    if (version != other.version) return version > other.version;
+    return sid < other.sid;
+  }
+
+  friend bool operator==(const Timestamp&, const Timestamp&) = default;
+
+  std::string to_string() const {
+    return "v" + std::to_string(version) + "@" + std::to_string(sid);
+  }
+};
+
+/// The zero timestamp every replica starts from (never newer than any
+/// written timestamp because written versions start at 1).
+inline constexpr Timestamp kInitialTimestamp{0, 0};
+
+}  // namespace atrcp

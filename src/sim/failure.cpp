@@ -1,0 +1,105 @@
+#include "sim/failure.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atrcp {
+
+FailureInjector::FailureInjector(Network& network, Scheduler& scheduler,
+                                 std::size_t site_count, Rng rng)
+    : network_(network),
+      scheduler_(scheduler),
+      rng_(rng),
+      failures_(site_count) {
+  if (site_count > network.site_count()) {
+    throw std::invalid_argument(
+        "FailureInjector: watching more sites than the network has");
+  }
+}
+
+void FailureInjector::crash_now(SiteId site) {
+  if (site >= failures_.universe_size()) {
+    throw std::out_of_range("FailureInjector: site out of watched range");
+  }
+  if (failures_.is_failed(site)) return;
+  failures_.fail(site);
+  network_.set_up(site, false);
+  ++crashes_;
+}
+
+void FailureInjector::recover_now(SiteId site) {
+  if (site >= failures_.universe_size()) {
+    throw std::out_of_range("FailureInjector: site out of watched range");
+  }
+  if (failures_.is_alive(site)) return;
+  failures_.recover(site);
+  network_.set_up(site, true);
+  ++recoveries_;
+}
+
+void FailureInjector::crash_at(SimTime when, SiteId site) {
+  scheduler_.schedule_at(when, [this, site] { crash_now(site); });
+}
+
+void FailureInjector::recover_at(SimTime when, SiteId site) {
+  scheduler_.schedule_at(when, [this, site] { recover_now(site); });
+}
+
+void FailureInjector::transient_failure(SimTime when, SiteId site,
+                                        SimTime downtime) {
+  crash_at(when, site);
+  recover_at(when + downtime, site);
+}
+
+void FailureInjector::partition_at(SimTime when,
+                                   const std::vector<SiteId>& minority,
+                                   SimTime duration) {
+  scheduler_.schedule_at(when, [this, minority] {
+    for (SiteId site : minority) network_.set_partition(site, 1);
+  });
+  if (duration > 0) {
+    scheduler_.schedule_at(when + duration,
+                           [this] { network_.heal_partitions(); });
+  }
+}
+
+SimTime FailureInjector::sample_exponential(SimTime mean) {
+  // Inverse-CDF sampling; clamp below by 1us so events always advance time.
+  const double u = rng_.uniform();
+  const double sample = -static_cast<double>(mean) * std::log1p(-u);
+  return std::max<SimTime>(1, static_cast<SimTime>(sample));
+}
+
+void FailureInjector::schedule_next_transition(SiteId site, SimTime horizon,
+                                               SimTime mean_uptime,
+                                               SimTime mean_downtime) {
+  const bool currently_up = failures_.is_alive(site);
+  const SimTime wait =
+      sample_exponential(currently_up ? mean_uptime : mean_downtime);
+  const SimTime when = scheduler_.now() + wait;
+  if (when > horizon) return;
+  scheduler_.schedule_at(
+      when, [this, site, horizon, mean_uptime, mean_downtime] {
+        if (failures_.is_alive(site)) {
+          crash_now(site);
+        } else {
+          recover_now(site);
+        }
+        schedule_next_transition(site, horizon, mean_uptime, mean_downtime);
+      });
+}
+
+void FailureInjector::start_random_failures(SimTime mean_uptime,
+                                            SimTime mean_downtime,
+                                            SimTime horizon) {
+  if (mean_uptime == 0 || mean_downtime == 0) {
+    throw std::invalid_argument(
+        "FailureInjector: mean uptime/downtime must be positive");
+  }
+  for (std::size_t site = 0; site < failures_.universe_size(); ++site) {
+    schedule_next_transition(static_cast<SiteId>(site), horizon, mean_uptime,
+                             mean_downtime);
+  }
+}
+
+}  // namespace atrcp

@@ -1,0 +1,81 @@
+// Failure injection over the simulated network — drives the paper's fault
+// model: fail-stop sites with i.i.d. failure probability q, transient and
+// detectable failures, plus network partitions.
+//
+// The injector schedules crash/recover (and partition/heal) events on the
+// scheduler and keeps a FailureSet mirror so the protocol layer can consult
+// "which replicas does the client currently believe are down" — the paper
+// assumes failures are detectable, which we model as this perfectly
+// up-to-date failure view.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "quorum/types.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+class FailureInjector {
+ public:
+  /// Watches `site_count` sites of the network (assumed to be sites
+  /// [0, site_count) — the replica sites; coordinator/client sites beyond
+  /// that range are never touched by the injector).
+  FailureInjector(Network& network, Scheduler& scheduler,
+                  std::size_t site_count, Rng rng);
+
+  /// The current crash view, indexable by ReplicaId == SiteId for the
+  /// watched range. This is the view handed to quorum assembly.
+  const FailureSet& failures() const noexcept { return failures_; }
+
+  std::size_t watched_sites() const noexcept {
+    return failures_.universe_size();
+  }
+
+  // -- deterministic injections ------------------------------------------------
+
+  void crash_now(SiteId site);
+  void recover_now(SiteId site);
+  void crash_at(SimTime when, SiteId site);
+  void recover_at(SimTime when, SiteId site);
+
+  /// Crash at `when`, recover after `downtime` — a transient failure.
+  void transient_failure(SimTime when, SiteId site, SimTime downtime);
+
+  /// Splits the watched sites into two partitions at `when`: members of
+  /// `minority` move to partition group 1, everyone else stays in group 0.
+  /// Heals at when + duration (duration 0 = never heals).
+  void partition_at(SimTime when, const std::vector<SiteId>& minority,
+                    SimTime duration);
+
+  // -- stochastic failure process -----------------------------------------------
+
+  /// Starts a memoryless crash/recovery process on every watched site:
+  /// an up site crashes within the next `mean_uptime` on average, then
+  /// recovers after `mean_downtime` on average (geometric approximations of
+  /// exponential inter-event times, deterministic under the seed). The
+  /// stationary availability is mean_uptime/(mean_uptime+mean_downtime).
+  /// Runs until `horizon`.
+  void start_random_failures(SimTime mean_uptime, SimTime mean_downtime,
+                             SimTime horizon);
+
+  std::uint64_t crash_count() const noexcept { return crashes_; }
+  std::uint64_t recovery_count() const noexcept { return recoveries_; }
+
+ private:
+  void schedule_next_transition(SiteId site, SimTime horizon,
+                                SimTime mean_uptime, SimTime mean_downtime);
+  SimTime sample_exponential(SimTime mean);
+
+  Network& network_;
+  Scheduler& scheduler_;
+  Rng rng_;
+  FailureSet failures_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace atrcp

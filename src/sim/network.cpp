@@ -1,0 +1,106 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "sim/trace.hpp"
+
+namespace atrcp {
+
+void Network::trace(std::uint8_t event, SiteId from, SiteId to,
+                    const MessageBody& body) const {
+  if (trace_ == nullptr) return;
+  trace_->on_event(TraceRecord{static_cast<TraceEvent>(event),
+                               scheduler_.now(), from, to,
+                               message_type_label(body)});
+}
+
+Network::Network(Scheduler& scheduler, Rng rng, LinkParams default_link)
+    : scheduler_(scheduler), rng_(rng), default_link_(default_link) {}
+
+SiteId Network::add_site(SiteHandler& handler) {
+  sites_.push_back(&handler);
+  up_.push_back(true);
+  partition_.push_back(0);
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+void Network::check_site(SiteId site) const {
+  if (site >= sites_.size()) {
+    throw std::out_of_range("Network: unknown site " + std::to_string(site));
+  }
+}
+
+bool Network::is_up(SiteId site) const {
+  check_site(site);
+  return up_[site];
+}
+
+void Network::set_up(SiteId site, bool up) {
+  check_site(site);
+  up_[site] = up;
+}
+
+void Network::set_partition(SiteId site, std::uint32_t group) {
+  check_site(site);
+  partition_[site] = group;
+}
+
+std::uint32_t Network::partition_of(SiteId site) const {
+  check_site(site);
+  return partition_[site];
+}
+
+void Network::heal_partitions() {
+  for (auto& group : partition_) group = 0;
+}
+
+void Network::set_link(SiteId a, SiteId b, LinkParams params) {
+  check_site(a);
+  check_site(b);
+  links_[ordered(a, b)] = params;
+}
+
+const LinkParams& Network::link(SiteId a, SiteId b) const {
+  check_site(a);
+  check_site(b);
+  const auto it = links_.find(ordered(a, b));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void Network::send(SiteId from, SiteId to,
+                   std::shared_ptr<const MessageBody> body) {
+  check_site(from);
+  check_site(to);
+  if (!body) throw std::invalid_argument("Network::send: null body");
+  ++sent_;
+  trace(static_cast<std::uint8_t>(TraceEvent::kSend), from, to, *body);
+
+  if (!up_[from]) {  // a crashed site sends nothing
+    ++dropped_;
+    trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
+    return;
+  }
+  const LinkParams& params = link(from, to);
+  if (params.severed || rng_.chance(params.drop_probability)) {
+    ++dropped_;
+    trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
+    return;
+  }
+  const SimTime jitter = params.jitter > 0 ? rng_.below(params.jitter + 1) : 0;
+  const SimTime latency = params.base_latency + jitter;
+  scheduler_.schedule_after(latency, [this, from, to,
+                                      body = std::move(body)]() {
+    // Delivery-time checks: the destination may have crashed or a partition
+    // may have formed while the message was in flight.
+    if (!up_[to] || partition_[from] != partition_[to]) {
+      ++dropped_;
+      trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
+      return;
+    }
+    ++delivered_;
+    trace(static_cast<std::uint8_t>(TraceEvent::kDeliver), from, to, *body);
+    sites_[to]->on_message(Message{from, to, body});
+  });
+}
+
+}  // namespace atrcp

@@ -1,0 +1,122 @@
+// The simulated message-passing network of the paper's system model (§2.2):
+// sites with unique SIDs connected by bidirectional links that can delay,
+// drop, or — via partitions — systematically cut off messages.
+//
+// Sites register a SiteHandler; Network::send picks the link parameters,
+// samples latency/drops, and schedules delivery on the scheduler. Site and
+// link failures are modelled here; the higher-level FailureInjector
+// (sim/failure.hpp) drives them over time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+/// Unique site identifier (the paper's SID). Dense, starting at 0.
+using SiteId = std::uint32_t;
+
+/// Base class of everything shipped through the network. Concrete message
+/// types live with the subsystem that owns them (see replica/messages.hpp).
+struct MessageBody {
+  virtual ~MessageBody() = default;
+};
+
+struct Message {
+  SiteId from = 0;
+  SiteId to = 0;
+  std::shared_ptr<const MessageBody> body;
+};
+
+/// Receiving side of a site. on_message is only invoked while the site is
+/// up; messages addressed to a down site are silently dropped (fail-stop).
+class SiteHandler {
+ public:
+  virtual ~SiteHandler() = default;
+  virtual void on_message(const Message& message) = 0;
+};
+
+/// Link behaviour between a pair of sites (symmetric).
+struct LinkParams {
+  SimTime base_latency = 100;   ///< microseconds, one way
+  SimTime jitter = 20;          ///< uniform extra in [0, jitter]
+  double drop_probability = 0;  ///< i.i.d. message loss
+  bool severed = false;         ///< hard link failure: nothing gets through
+};
+
+class Network {
+ public:
+  /// The rng seeds latency jitter and message drops; the scheduler carries
+  /// deliveries. Both must outlive the network.
+  Network(Scheduler& scheduler, Rng rng, LinkParams default_link = {});
+
+  /// Registers a site; the handler must outlive the network. Returns the
+  /// new site's id. Sites start up and unpartitioned.
+  SiteId add_site(SiteHandler& handler);
+
+  std::size_t site_count() const noexcept { return sites_.size(); }
+
+  // -- failure & partition control ------------------------------------------
+
+  bool is_up(SiteId site) const;
+  void set_up(SiteId site, bool up);
+
+  /// Assigns the site to a partition group; messages only flow between
+  /// sites of the same group. Default group is 0 for everyone.
+  void set_partition(SiteId site, std::uint32_t group);
+  std::uint32_t partition_of(SiteId site) const;
+  /// Heals all partitions (everyone back to group 0).
+  void heal_partitions();
+
+  /// Overrides the link between a and b (both directions).
+  void set_link(SiteId a, SiteId b, LinkParams params);
+  const LinkParams& link(SiteId a, SiteId b) const;
+
+  // -- messaging -------------------------------------------------------------
+
+  /// Sends body from -> to. Never throws for a down destination — the loss
+  /// is observable only through silence, as in a real network. A down
+  /// SENDER's message is dropped too (a crashed site sends nothing).
+  void send(SiteId from, SiteId to, std::shared_ptr<const MessageBody> body);
+
+  // -- statistics --------------------------------------------------------------
+
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
+  /// Attaches a trace observer (see sim/trace.hpp); nullptr detaches. The
+  /// sink must outlive the network or be detached first. Tracing is off by
+  /// default and costs nothing when off.
+  void set_trace_sink(class TraceSink* sink) noexcept { trace_ = sink; }
+
+  Scheduler& scheduler() noexcept { return scheduler_; }
+
+ private:
+  void check_site(SiteId site) const;
+  static std::pair<SiteId, SiteId> ordered(SiteId a, SiteId b) noexcept {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  void trace(std::uint8_t event, SiteId from, SiteId to,
+             const MessageBody& body) const;
+
+  Scheduler& scheduler_;
+  Rng rng_;
+  class TraceSink* trace_ = nullptr;
+  LinkParams default_link_;
+  std::vector<SiteHandler*> sites_;
+  std::vector<bool> up_;
+  std::vector<std::uint32_t> partition_;
+  std::map<std::pair<SiteId, SiteId>, LinkParams> links_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace atrcp

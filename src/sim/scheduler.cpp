@@ -1,0 +1,50 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace atrcp {
+
+void Scheduler::schedule_at(SimTime t, Action action) {
+  if (t < now_) {
+    throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("Scheduler: empty action");
+  }
+  queue_.push(Entry{t, next_seq_++, std::move(action)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the action must be moved out, so copy the
+  // handle then pop. Entry's action is a shared_ptr-backed std::function —
+  // the copy is cheap relative to event work.
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.time;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) ++count;
+  return count;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline, std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && !queue_.empty() &&
+         queue_.top().time <= deadline) {
+    step();
+    ++count;
+  }
+  // Advance the clock to the deadline even if no event lands exactly on it,
+  // so successive run_until calls observe monotonic time.
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace atrcp

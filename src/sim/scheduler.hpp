@@ -1,0 +1,68 @@
+// Discrete-event scheduler — the clock of the simulated distributed system.
+//
+// Events are (time, action) pairs executed in nondecreasing time order;
+// ties are broken by insertion order so a fixed seed yields a bit-identical
+// run (the tests rely on this determinism). Time is in integer
+// microseconds; there is no wall-clock coupling anywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace atrcp {
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Schedule an action at absolute time t (>= now; throws otherwise).
+  void schedule_at(SimTime t, Action action);
+
+  /// Schedule an action `delay` microseconds from now.
+  void schedule_after(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Execute the next event; returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue drains or `max_events` were executed;
+  /// returns the number executed. The cap guards against livelock bugs in
+  /// protocols under test.
+  std::size_t run(std::size_t max_events = kDefaultEventCap);
+
+  /// Run events with time <= deadline; events scheduled later stay queued.
+  std::size_t run_until(SimTime deadline,
+                        std::size_t max_events = kDefaultEventCap);
+
+  static constexpr std::size_t kDefaultEventCap = 10'000'000;
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace atrcp

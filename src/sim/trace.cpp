@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <typeinfo>
+
+namespace atrcp {
+
+std::string message_type_label(const MessageBody& body) {
+  // typeid(...).name() is mangled on Itanium ABIs, e.g.
+  // "N5atrcp14PrepareRequestE": each name component is preceded by its
+  // length. Recover the last component without <cxxabi.h> by locating the
+  // final digit run and taking that many following characters. Falls back
+  // to the raw name on other ABIs — labels then differ cosmetically only.
+  const std::string mangled = typeid(body).name();
+  std::size_t digit_begin = std::string::npos;
+  std::size_t digit_end = std::string::npos;
+  for (std::size_t pos = mangled.size(); pos-- > 0;) {
+    if (std::isdigit(static_cast<unsigned char>(mangled[pos])) != 0) {
+      if (digit_end == std::string::npos) digit_end = pos + 1;
+      digit_begin = pos;
+    } else if (digit_end != std::string::npos) {
+      break;
+    }
+  }
+  if (digit_end == std::string::npos) return mangled;
+  const unsigned long length =
+      std::stoul(mangled.substr(digit_begin, digit_end - digit_begin));
+  if (digit_end + length > mangled.size()) return mangled;
+  return mangled.substr(digit_end, length);
+}
+
+std::vector<std::string> MessageTrace::type_sequence(TraceEvent event) const {
+  std::vector<std::string> out;
+  for (const TraceRecord& record : records_) {
+    if (record.event == event) out.push_back(record.type);
+  }
+  return out;
+}
+
+std::size_t MessageTrace::count(TraceEvent event,
+                                const std::string& type) const {
+  std::size_t total = 0;
+  for (const TraceRecord& record : records_) {
+    if (record.event == event && record.type == type) ++total;
+  }
+  return total;
+}
+
+std::string MessageTrace::to_string() const {
+  std::ostringstream os;
+  for (const TraceRecord& record : records_) {
+    const char* kind = record.event == TraceEvent::kSend      ? "send   "
+                       : record.event == TraceEvent::kDeliver ? "deliver"
+                                                              : "drop   ";
+    os << "t=" << record.time << ' ' << kind << ' ' << record.type << ' '
+       << record.from << "->" << record.to << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace atrcp

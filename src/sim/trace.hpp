@@ -1,0 +1,75 @@
+// Message tracing for the simulated network.
+//
+// A TraceSink observes every send, delivery and drop with simulated
+// timestamps; MessageTrace is the standard recording sink with filtering
+// and compact rendering. Tests use it to assert message-level protocol
+// behaviour (e.g. the exact 2PC exchange of a write), and it is the tool
+// you reach for when debugging a coordinator state machine.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace atrcp {
+
+enum class TraceEvent : std::uint8_t { kSend, kDeliver, kDrop };
+
+struct TraceRecord {
+  TraceEvent event = TraceEvent::kSend;
+  SimTime time = 0;
+  SiteId from = 0;
+  SiteId to = 0;
+  /// Demangle-free type label of the message body (e.g. "PrepareRequest").
+  std::string type;
+};
+
+/// Observer interface; attach with Network::set_trace_sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceRecord& record) = 0;
+};
+
+/// Records everything (optionally filtered) into a vector.
+class MessageTrace final : public TraceSink {
+ public:
+  using Filter = std::function<bool(const TraceRecord&)>;
+
+  /// With no filter, records every event.
+  explicit MessageTrace(Filter filter = nullptr)
+      : filter_(std::move(filter)) {}
+
+  void on_event(const TraceRecord& record) override {
+    if (!filter_ || filter_(record)) records_.push_back(record);
+  }
+
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+  /// The sequence of type labels for a given event kind — what tests
+  /// usually assert on.
+  std::vector<std::string> type_sequence(TraceEvent event) const;
+
+  /// Count of records of a given type label and event kind.
+  std::size_t count(TraceEvent event, const std::string& type) const;
+
+  /// "t=120 deliver ReadRequest 8->0" lines, for debugging output.
+  std::string to_string() const;
+
+ private:
+  Filter filter_;
+  std::vector<TraceRecord> records_;
+};
+
+/// Human-readable label for a message body's dynamic type: the unqualified
+/// class name where derivable, else the mangled name.
+std::string message_type_label(const MessageBody& body);
+
+}  // namespace atrcp

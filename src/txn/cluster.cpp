@@ -1,0 +1,150 @@
+#include "txn/cluster.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
+                 ClusterOptions options)
+    : protocol_(std::move(protocol)),
+      network_(scheduler_, Rng(options.seed), options.link) {
+  if (!protocol_) throw std::invalid_argument("Cluster: null protocol");
+  if (options.clients == 0) {
+    throw std::invalid_argument("Cluster: need at least one client");
+  }
+  Rng seeder(options.seed ^ 0x5DEECE66DULL);
+
+  const std::size_t n = protocol_->universe_size();
+  servers_.reserve(n);
+  std::vector<SiteId> replica_sites;
+  replica_sites.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto server = std::make_unique<ReplicaServer>(network_);
+    const SiteId site = network_.add_site(*server);
+    ATRCP_CHECK(site == r);  // replica id == site id by construction
+    server->set_site(site);
+    replica_sites.push_back(site);
+    servers_.push_back(std::move(server));
+  }
+
+  injector_ = std::make_unique<FailureInjector>(network_, scheduler_, n,
+                                                seeder.fork());
+
+  const FailureSet* failure_view = &injector_->failures();
+  if (options.use_heartbeat_detector) {
+    detector_ = std::make_unique<HeartbeatDetector>(network_, scheduler_, n,
+                                                    options.detector);
+    detector_->set_site(network_.add_site(*detector_));
+    detector_->start();
+    failure_view = &detector_->view();
+  }
+
+  coordinators_.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    auto coordinator = std::make_unique<Coordinator>(
+        network_, scheduler_, *protocol_, replica_sites, locks_,
+        seeder.fork(), options.coordinator, failure_view);
+    const SiteId site = network_.add_site(*coordinator);
+    coordinator->set_site(site);
+    coordinators_.push_back(std::move(coordinator));
+  }
+}
+
+void Cluster::settle() {
+  if (!detector_) {
+    scheduler_.run();
+    return;
+  }
+  const auto busy = [this] {
+    for (const auto& coordinator : coordinators_) {
+      if (coordinator->in_flight() != 0) return true;
+    }
+    return false;
+  };
+  while (busy() && scheduler_.step()) {
+  }
+}
+
+void Cluster::reconfigure(std::unique_ptr<ReplicaControlProtocol> next) {
+  if (!next) throw std::invalid_argument("reconfigure: null protocol");
+  if (next->universe_size() != servers_.size()) {
+    throw std::invalid_argument(
+        "reconfigure: new protocol manages a different universe");
+  }
+  settle();
+  for (const auto& coordinator : coordinators_) {
+    if (coordinator->in_flight() != 0) {
+      throw std::logic_error("reconfigure: transactions still in flight");
+    }
+  }
+  // State transfer: install every key's globally-latest committed value on
+  // every replica so any new-shape read quorum sees it.
+  std::set<Key> keys;
+  for (const auto& server : servers_) {
+    for (Key key : server->store().keys()) keys.insert(key);
+  }
+  for (Key key : keys) {
+    std::optional<VersionedValue> latest;
+    for (const auto& server : servers_) {
+      const auto entry = server->store().get(key);
+      if (entry &&
+          (!latest || entry->timestamp.is_newer_than(latest->timestamp))) {
+        latest = *entry;
+      }
+    }
+    ATRCP_CHECK(latest.has_value());
+    for (const auto& server : servers_) {
+      server->store().apply(key, latest->value, latest->timestamp);
+    }
+  }
+  protocol_ = std::move(next);
+  for (const auto& coordinator : coordinators_) {
+    coordinator->set_protocol(*protocol_);
+  }
+}
+
+std::optional<VersionedValue> Cluster::read_sync(std::size_t client_index,
+                                                 Key key) {
+  std::optional<VersionedValue> out;
+  bool finished = false;
+  client(client_index).read(key, [&](std::optional<VersionedValue> value) {
+    out = std::move(value);
+    finished = true;
+  });
+  while (!finished && scheduler_.step()) {
+  }
+  ATRCP_CHECK(finished);
+  return out;
+}
+
+TxnOutcome Cluster::write_sync(std::size_t client_index, Key key,
+                               Value value) {
+  TxnOutcome out = TxnOutcome::kAborted;
+  bool finished = false;
+  client(client_index).write(key, std::move(value), [&](TxnOutcome outcome) {
+    out = outcome;
+    finished = true;
+  });
+  while (!finished && scheduler_.step()) {
+  }
+  ATRCP_CHECK(finished);
+  return out;
+}
+
+TxnResult Cluster::run_sync(std::size_t client_index, std::vector<TxnOp> ops) {
+  TxnResult out;
+  bool finished = false;
+  client(client_index).run(std::move(ops), [&](TxnResult result) {
+    out = std::move(result);
+    finished = true;
+  });
+  while (!finished && scheduler_.step()) {
+  }
+  ATRCP_CHECK(finished);
+  return out;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,105 @@
+// Cluster: one-stop wiring of a complete simulated replicated system —
+// scheduler, network, n replica servers (site i hosts replica i), a failure
+// injector, the centralized lock manager, and any number of client
+// coordinators, all driven by one protocol instance.
+//
+// This is the facade the examples, integration tests and workload benches
+// build on. Synchronous helpers (read_sync & co.) issue an operation and
+// pump the scheduler until it completes, which is exactly what a quickstart
+// wants; event-driven users can grab the pieces and wire callbacks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocols/protocol.hpp"
+#include "replica/server.hpp"
+#include "sim/failure.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "txn/coordinator.hpp"
+#include "txn/detector.hpp"
+#include "txn/lock_manager.hpp"
+
+namespace atrcp {
+
+struct ClusterOptions {
+  std::uint64_t seed = 1;
+  LinkParams link{};
+  CoordinatorOptions coordinator{};
+  std::size_t clients = 1;
+  /// When true, coordinators consult a heartbeat failure detector's
+  /// suspicion view instead of the failure injector's omniscient oracle —
+  /// the realistic reading of the paper's "failures are detectable".
+  bool use_heartbeat_detector = false;
+  DetectorOptions detector{};
+};
+
+class Cluster {
+ public:
+  /// Takes ownership of the protocol. Replica r lives on site r; client c
+  /// is coordinator site n + c.
+  Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
+          ClusterOptions options = {});
+
+  const ReplicaControlProtocol& protocol() const noexcept {
+    return *protocol_;
+  }
+  Scheduler& scheduler() noexcept { return scheduler_; }
+  Network& network() noexcept { return network_; }
+  FailureInjector& injector() noexcept { return *injector_; }
+  LockManager& locks() noexcept { return locks_; }
+
+  std::size_t replica_count() const noexcept { return servers_.size(); }
+  std::size_t client_count() const noexcept { return coordinators_.size(); }
+
+  /// Non-null iff use_heartbeat_detector was set.
+  HeartbeatDetector* detector() noexcept { return detector_.get(); }
+
+  ReplicaServer& server(ReplicaId replica) { return *servers_.at(replica); }
+  Coordinator& client(std::size_t index) { return *coordinators_.at(index); }
+
+  // -- synchronous conveniences (issue, then pump the scheduler) -------------
+
+  /// Quorum read through client `client_index`; nullopt if the operation
+  /// aborted or the key was never written.
+  std::optional<VersionedValue> read_sync(std::size_t client_index, Key key);
+
+  /// Quorum write; returns the outcome.
+  TxnOutcome write_sync(std::size_t client_index, Key key, Value value);
+
+  /// Full transaction.
+  TxnResult run_sync(std::size_t client_index, std::vector<TxnOp> ops);
+
+  /// Drain pending client work. Without a heartbeat detector this runs the
+  /// scheduler dry; with one (whose periodic probes never end) it runs
+  /// until no coordinator has a transaction in flight.
+  void settle();
+
+  /// Reconfigures the cluster onto a new protocol over the SAME replicas —
+  /// the paper's §3.3 configuration shift, executed in place. Steps:
+  ///  1. settle() and verify no transaction is in flight;
+  ///  2. state transfer: for every key any replica holds, determine the
+  ///     latest committed (value, timestamp) and install it on EVERY
+  ///     replica (writes committed under old-shape quorums would otherwise
+  ///     be invisible to the new shape's read quorums);
+  ///  3. swap the protocol and repoint every coordinator.
+  /// Throws std::invalid_argument if the universe size differs, or
+  /// std::logic_error if transactions remain in flight after settling.
+  /// The state transfer touches replica stores directly, modelling an
+  /// out-of-band transfer service rather than quorum traffic.
+  void reconfigure(std::unique_ptr<ReplicaControlProtocol> next);
+
+ private:
+  std::unique_ptr<ReplicaControlProtocol> protocol_;
+  Scheduler scheduler_;
+  Network network_;
+  std::vector<std::unique_ptr<ReplicaServer>> servers_;
+  std::unique_ptr<FailureInjector> injector_;
+  std::unique_ptr<HeartbeatDetector> detector_;
+  LockManager locks_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,445 @@
+#include "txn/coordinator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+Coordinator::Coordinator(Network& network, Scheduler& scheduler,
+                         const ReplicaControlProtocol& protocol,
+                         std::vector<SiteId> replica_sites, LockManager& locks,
+                         Rng rng, CoordinatorOptions options,
+                         const FailureSet* failures)
+    : network_(network),
+      scheduler_(scheduler),
+      protocol_(&protocol),
+      replica_sites_(std::move(replica_sites)),
+      locks_(locks),
+      rng_(rng),
+      options_(options),
+      failures_(failures) {
+  if (replica_sites_.size() != protocol_->universe_size()) {
+    throw std::invalid_argument(
+        "Coordinator: replica_sites size != protocol universe");
+  }
+  for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
+    site_to_replica_[replica_sites_[r]] = static_cast<ReplicaId>(r);
+  }
+}
+
+void Coordinator::set_protocol(const ReplicaControlProtocol& protocol) {
+  if (!txns_.empty()) {
+    throw std::logic_error(
+        "Coordinator::set_protocol: transactions in flight");
+  }
+  if (protocol.universe_size() != replica_sites_.size()) {
+    throw std::invalid_argument(
+        "Coordinator::set_protocol: universe size changed");
+  }
+  protocol_ = &protocol;
+}
+
+Coordinator::Txn* Coordinator::find(TxnId id) {
+  const auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+ReplicaId Coordinator::replica_of_site(SiteId site) const {
+  const auto it = site_to_replica_.find(site);
+  ATRCP_CHECK(it != site_to_replica_.end());
+  return it->second;
+}
+
+FailureSet Coordinator::combined_failures(const Txn& txn) const {
+  FailureSet combined = failures_ ? *failures_
+                                  : FailureSet(protocol_->universe_size());
+  for (std::size_t r = 0; r < protocol_->universe_size(); ++r) {
+    if (txn.suspected.is_failed(static_cast<ReplicaId>(r))) {
+      combined.fail(static_cast<ReplicaId>(r));
+    }
+  }
+  return combined;
+}
+
+void Coordinator::run(std::vector<TxnOp> ops, TxnCallback done) {
+  ATRCP_CHECK(done != nullptr);
+  const TxnId id =
+      (static_cast<TxnId>(site_) << 32) | static_cast<TxnId>(next_txn_seq_++);
+  Txn& txn = txns_[id];
+  txn.id = id;
+  txn.ops = std::move(ops);
+  txn.done = std::move(done);
+  txn.suspected = FailureSet(protocol_->universe_size());
+
+  // Lock plan: one lock per distinct key, exclusive if any op writes it,
+  // in ascending key order (reduces deadlocks among well-behaved clients).
+  std::map<Key, LockMode> plan;
+  for (const TxnOp& op : txn.ops) {
+    auto [it, inserted] = plan.try_emplace(
+        op.key, op.is_write ? LockMode::kExclusive : LockMode::kShared);
+    if (!inserted && op.is_write) it->second = LockMode::kExclusive;
+  }
+  txn.lock_plan.assign(plan.begin(), plan.end());
+  acquire_next_lock(id);
+}
+
+void Coordinator::read(
+    Key key, std::function<void(std::optional<VersionedValue>)> done) {
+  run({TxnOp::read(key)}, [done = std::move(done)](TxnResult result) {
+    if (result.outcome != TxnOutcome::kCommitted) {
+      done(std::nullopt);
+      return;
+    }
+    ATRCP_CHECK(result.reads.size() == 1);
+    done(std::move(result.reads[0]));
+  });
+}
+
+void Coordinator::write(Key key, Value value,
+                        std::function<void(TxnOutcome)> done) {
+  run({TxnOp::write(key, std::move(value))},
+      [done = std::move(done)](TxnResult result) { done(result.outcome); });
+}
+
+// -- locking --------------------------------------------------------------
+
+void Coordinator::acquire_next_lock(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  if (txn->next_lock >= txn->lock_plan.size()) {
+    start_next_op(id);
+    return;
+  }
+  const auto [key, mode] = txn->lock_plan[txn->next_lock];
+  const std::uint64_t epoch = ++txn->lock_epoch;
+  // Schedule the deadlock-breaking timeout BEFORE acquiring: a synchronous
+  // grant advances the epoch/phase, which invalidates this timer.
+  scheduler_.schedule_after(options_.lock_timeout, [this, id, epoch, key] {
+    Txn* t = find(id);
+    if (t == nullptr || t->phase != Phase::kLocking || t->lock_epoch != epoch) {
+      return;  // lock was granted (or txn finished) in the meantime
+    }
+    locks_.cancel(id, key);
+    abort_txn(id, "lock timeout on key " + std::to_string(key));
+  });
+  locks_.acquire(id, key, mode, [this, id] { on_lock_granted(id); });
+}
+
+void Coordinator::on_lock_granted(TxnId id) {
+  Txn* txn = find(id);
+  if (txn == nullptr) return;  // aborted while the grant was in flight
+  ++txn->next_lock;
+  acquire_next_lock(id);
+}
+
+// -- op execution -----------------------------------------------------------
+
+void Coordinator::start_next_op(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  if (txn->current_op >= txn->ops.size()) {
+    begin_prepare(id);
+    return;
+  }
+  txn->attempts = 0;
+  if (txn->ops[txn->current_op].is_write) {
+    begin_version_round(id);
+  } else {
+    begin_read_round(id);
+  }
+}
+
+void Coordinator::begin_read_round(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  txn->phase = Phase::kReadQuorum;
+  const FailureSet view = combined_failures(*txn);
+  const auto quorum = protocol_->assemble_read_quorum(view, rng_);
+  if (!quorum) {
+    abort_txn(id, "read quorum unavailable");
+    return;
+  }
+  txn->op_id = next_op_id_++;
+  txn->awaiting.clear();
+  txn->best_ts = kInitialTimestamp;
+  txn->best_value.reset();
+  txn->reply_timestamps.clear();
+  const Key key = txn->ops[txn->current_op].key;
+  for (ReplicaId r : quorum->members()) {
+    const SiteId target = replica_sites_[r];
+    txn->awaiting.insert(target);
+    auto request = std::make_shared<ReadRequest>();
+    request->op_id = txn->op_id;
+    request->key = key;
+    network_.send(site_, target, std::move(request));
+  }
+  const OpId round = txn->op_id;
+  scheduler_.schedule_after(options_.request_timeout,
+                            [this, id, round] { on_round_timeout(id, round); });
+}
+
+void Coordinator::begin_version_round(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  txn->phase = Phase::kVersionQuorum;
+  const FailureSet view = combined_failures(*txn);
+  const auto quorum = protocol_->assemble_read_quorum(view, rng_);
+  if (!quorum) {
+    abort_txn(id, "version (read) quorum unavailable");
+    return;
+  }
+  txn->op_id = next_op_id_++;
+  txn->awaiting.clear();
+  txn->best_ts = kInitialTimestamp;
+  const Key key = txn->ops[txn->current_op].key;
+  for (ReplicaId r : quorum->members()) {
+    const SiteId target = replica_sites_[r];
+    txn->awaiting.insert(target);
+    auto request = std::make_shared<VersionRequest>();
+    request->op_id = txn->op_id;
+    request->key = key;
+    network_.send(site_, target, std::move(request));
+  }
+  const OpId round = txn->op_id;
+  scheduler_.schedule_after(options_.request_timeout,
+                            [this, id, round] { on_round_timeout(id, round); });
+}
+
+void Coordinator::on_round_timeout(TxnId id, OpId op_id) {
+  Txn* txn = find(id);
+  if (txn == nullptr || txn->op_id != op_id) return;  // round completed
+  if (txn->phase != Phase::kReadQuorum && txn->phase != Phase::kVersionQuorum) {
+    return;
+  }
+  // The paper's failures are "detectable": silence within the timeout makes
+  // the member locally suspected, and the quorum is re-assembled around it.
+  for (SiteId silent : txn->awaiting) {
+    txn->suspected.fail(replica_of_site(silent));
+  }
+  if (++txn->attempts >= options_.max_op_attempts) {
+    abort_txn(id, "quorum round retries exhausted");
+    return;
+  }
+  if (txn->phase == Phase::kReadQuorum) {
+    begin_read_round(id);
+  } else {
+    begin_version_round(id);
+  }
+}
+
+void Coordinator::handle(const ReadReply& reply, SiteId from) {
+  for (auto& [id, txn] : txns_) {
+    if (txn.phase != Phase::kReadQuorum || txn.op_id != reply.op_id) continue;
+    if (txn.awaiting.erase(from) == 0) return;  // duplicate/stale
+    txn.reply_timestamps[from] = reply.timestamp;
+    if (reply.has_value && reply.timestamp.is_newer_than(txn.best_ts)) {
+      txn.best_ts = reply.timestamp;
+      txn.best_value = VersionedValue{reply.value, reply.timestamp};
+    }
+    if (txn.awaiting.empty()) finish_read_op(id);
+    return;
+  }
+}
+
+void Coordinator::handle(const VersionReply& reply, SiteId from) {
+  for (auto& [id, txn] : txns_) {
+    if (txn.phase != Phase::kVersionQuorum || txn.op_id != reply.op_id) {
+      continue;
+    }
+    if (txn.awaiting.erase(from) == 0) return;
+    if (reply.timestamp.is_newer_than(txn.best_ts)) {
+      txn.best_ts = reply.timestamp;
+    }
+    if (txn.awaiting.empty()) finish_version_op(id);
+    return;
+  }
+}
+
+void Coordinator::finish_read_op(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  if (options_.read_repair && txn->best_value.has_value()) {
+    const Key key = txn->ops[txn->current_op].key;
+    for (const auto& [member, ts] : txn->reply_timestamps) {
+      if (txn->best_ts.is_newer_than(ts)) {
+        auto repair = std::make_shared<ApplyRequest>();
+        repair->key = key;
+        repair->value = txn->best_value->value;
+        repair->timestamp = txn->best_ts;
+        network_.send(site_, member, std::move(repair));
+      }
+    }
+  }
+  txn->result.reads.push_back(txn->best_value);
+  ++txn->current_op;
+  start_next_op(id);
+}
+
+void Coordinator::finish_version_op(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  const TxnOp& op = txn->ops[txn->current_op];
+  // New version: one past the highest committed version seen — or past our
+  // own earlier staged write of this key within the same transaction.
+  std::uint64_t base = txn->best_ts.version;
+  if (const auto it = txn->staged_version.find(op.key);
+      it != txn->staged_version.end()) {
+    base = std::max(base, it->second);
+  }
+  const Timestamp ts{base + 1, site_};
+  txn->staged_version[op.key] = ts.version;
+
+  const FailureSet view = combined_failures(*txn);
+  const auto quorum = protocol_->assemble_write_quorum(view, rng_);
+  if (!quorum) {
+    abort_txn(id, "write quorum unavailable");
+    return;
+  }
+  for (ReplicaId r : quorum->members()) {
+    txn->staged[replica_sites_[r]].push_back(StagedWrite{op.key, op.value, ts});
+  }
+  txn->result.reads.emplace_back(std::nullopt);
+  ++txn->current_op;
+  start_next_op(id);
+}
+
+// -- two-phase commit ---------------------------------------------------------
+
+void Coordinator::begin_prepare(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  if (txn->staged.empty()) {  // read-only transaction: nothing to commit
+    finish(id, TxnOutcome::kCommitted);
+    return;
+  }
+  txn->phase = Phase::kPreparing;
+  txn->op_id = next_op_id_++;
+  txn->votes_pending.clear();
+  for (const auto& [target, writes] : txn->staged) {
+    txn->votes_pending.insert(target);
+    auto request = std::make_shared<PrepareRequest>();
+    request->txn_id = id;
+    request->writes = writes;
+    network_.send(site_, target, std::move(request));
+  }
+  const OpId round = txn->op_id;
+  scheduler_.schedule_after(options_.request_timeout, [this, id, round] {
+    on_prepare_timeout(id, round);
+  });
+}
+
+void Coordinator::on_prepare_timeout(TxnId id, OpId op_id) {
+  Txn* txn = find(id);
+  if (txn == nullptr || txn->phase != Phase::kPreparing ||
+      txn->op_id != op_id) {
+    return;
+  }
+  abort_txn(id, "prepare votes missing");
+}
+
+void Coordinator::handle(const PrepareVote& vote, SiteId from) {
+  Txn* txn = find(vote.txn_id);
+  if (txn == nullptr || txn->phase != Phase::kPreparing) return;
+  if (txn->votes_pending.erase(from) == 0) return;
+  if (!vote.yes) {
+    abort_txn(vote.txn_id, "participant voted no");
+    return;
+  }
+  if (txn->votes_pending.empty()) {
+    // All yes: the transaction is decided-committed from this instant.
+    txn->phase = Phase::kCommitting;
+    txn->acks_pending.clear();
+    for (const auto& entry : txn->staged) {
+      txn->acks_pending.insert(entry.first);
+    }
+    txn->commit_retries = 0;
+    send_commits(vote.txn_id);
+    scheduler_.schedule_after(options_.commit_retry_interval,
+                              [this, id = vote.txn_id] { on_commit_tick(id); });
+  }
+}
+
+void Coordinator::send_commits(TxnId id) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  for (SiteId target : txn->acks_pending) {
+    auto request = std::make_shared<CommitRequest>();
+    request->txn_id = id;
+    network_.send(site_, target, std::move(request));
+  }
+}
+
+void Coordinator::on_commit_tick(TxnId id) {
+  Txn* txn = find(id);
+  if (txn == nullptr || txn->phase != Phase::kCommitting) return;
+  if (txn->acks_pending.empty()) {
+    finish(id, TxnOutcome::kCommitted);
+    return;
+  }
+  if (++txn->commit_retries > options_.max_commit_retries) {
+    // Decided commit, but some participant never acked: blocked. The
+    // prepared writes survive on the participants' stable logs.
+    finish(id, TxnOutcome::kBlocked);
+    return;
+  }
+  send_commits(id);
+  scheduler_.schedule_after(options_.commit_retry_interval,
+                            [this, id] { on_commit_tick(id); });
+}
+
+void Coordinator::handle(const CommitAck& ack, SiteId from) {
+  Txn* txn = find(ack.txn_id);
+  if (txn == nullptr || txn->phase != Phase::kCommitting) return;
+  txn->acks_pending.erase(from);
+  if (txn->acks_pending.empty()) finish(ack.txn_id, TxnOutcome::kCommitted);
+}
+
+// -- completion ---------------------------------------------------------------
+
+void Coordinator::abort_txn(TxnId id, std::string reason) {
+  Txn* txn = find(id);
+  ATRCP_CHECK(txn != nullptr);
+  txn->result.abort_reason = std::move(reason);
+  // Tell every participant that might have staged writes to drop them.
+  for (const auto& entry : txn->staged) {
+    auto request = std::make_shared<AbortRequest>();
+    request->txn_id = id;
+    network_.send(site_, entry.first, std::move(request));
+  }
+  finish(id, TxnOutcome::kAborted);
+}
+
+void Coordinator::finish(TxnId id, TxnOutcome outcome) {
+  const auto it = txns_.find(id);
+  ATRCP_CHECK(it != txns_.end());
+  it->second.phase = Phase::kDone;
+  TxnResult result = std::move(it->second.result);
+  result.outcome = outcome;
+  TxnCallback done = std::move(it->second.done);
+  txns_.erase(it);
+  locks_.release_all(id);
+  switch (outcome) {
+    case TxnOutcome::kCommitted: ++committed_; break;
+    case TxnOutcome::kAborted: ++aborted_; break;
+    case TxnOutcome::kBlocked: ++blocked_; break;
+  }
+  done(std::move(result));
+}
+
+void Coordinator::on_message(const Message& message) {
+  ATRCP_CHECK(message.body != nullptr);
+  const MessageBody& body = *message.body;
+  if (const auto* m = dynamic_cast<const ReadReply*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const VersionReply*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const PrepareVote*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const CommitAck*>(&body)) {
+    handle(*m, message.from);
+  }
+  // AbortAcks and unknown bodies are intentionally ignored.
+}
+
+}  // namespace atrcp

@@ -1,0 +1,212 @@
+// The transaction coordinator: executes read/write transactions against the
+// replica servers through whatever ReplicaControlProtocol is plugged in —
+// the arbitrary protocol or any baseline — over the simulated network.
+//
+// Transaction lifecycle (paper §2.2 + §3.2):
+//  1. LOCKING    — two-phase locking via the centralized LockManager:
+//                  shared locks for read keys, exclusive for written keys,
+//                  acquired in sorted key order. A lock-wait timeout aborts
+//                  the transaction (this is also the deadlock breaker).
+//  2. EXECUTING  — reads: assemble a read quorum, query ALL its members,
+//                  return the value with the highest version / lowest SID.
+//                  writes: learn the highest version from a read quorum,
+//                  increment it, assemble a write quorum and stage the
+//                  write for every member. Non-responders within the
+//                  timeout are locally suspected and the quorum is
+//                  re-assembled around them (bounded retries).
+//  3. PREPARING  — two-phase commit: Prepare (carrying the staged writes)
+//                  to every participant; any missing vote aborts.
+//  4. COMMITTING — Commit retransmitted until every participant acked.
+//                  All-yes means the decision IS commit; if a participant
+//                  stays unreachable past the retry budget the outcome is
+//                  kBlocked — decided-committed but not yet applied
+//                  everywhere (the classic 2PC blocking case; the prepared
+//                  write survives on the participant's stable log).
+//
+// Everything is event-driven and deterministic under the seed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "protocols/protocol.hpp"
+#include "replica/messages.hpp"
+#include "sim/failure.hpp"
+#include "sim/network.hpp"
+#include "txn/lock_manager.hpp"
+
+namespace atrcp {
+
+/// Final state of a transaction.
+enum class TxnOutcome : std::uint8_t {
+  kCommitted,  ///< decided commit, applied on every write-quorum member
+  kAborted,    ///< rolled back (locks timed out, quorum unavailable, ...)
+  kBlocked,    ///< decided commit but some participant has not acked yet
+};
+
+struct TxnOp {
+  bool is_write = false;
+  Key key = 0;
+  Value value;  ///< ignored for reads
+
+  static TxnOp read(Key key) { return TxnOp{false, key, {}}; }
+  static TxnOp write(Key key, Value value) {
+    return TxnOp{true, key, std::move(value)};
+  }
+};
+
+struct TxnResult {
+  TxnOutcome outcome = TxnOutcome::kAborted;
+  /// One entry per op, in order; reads carry the fetched value (nullopt if
+  /// the key was never written), writes carry nullopt.
+  std::vector<std::optional<VersionedValue>> reads;
+  /// Why an abort happened, for diagnostics ("lock timeout", ...).
+  std::string abort_reason;
+};
+
+struct CoordinatorOptions {
+  SimTime request_timeout = 10'000;   ///< per quorum round, microseconds
+  SimTime lock_timeout = 50'000;      ///< max lock wait (deadlock breaker)
+  SimTime commit_retry_interval = 5'000;
+  int max_op_attempts = 3;            ///< quorum re-assembly attempts
+  int max_commit_retries = 20;        ///< commit retransmissions before kBlocked
+  /// Read repair (anti-entropy): when a read observes members with stale
+  /// timestamps, push the freshest value back to them (fire-and-forget
+  /// ApplyRequest; safe because installs are timestamp-monotone). Narrows
+  /// the staleness window the arbitrary protocol's disjoint write quorums
+  /// leave between a write and the next write to the same key.
+  bool read_repair = false;
+};
+
+class Coordinator final : public SiteHandler {
+ public:
+  /// `protocol` decides quorums over replica ids; `replica_sites[r]` is the
+  /// network site hosting replica r; `failures`, when non-null, is the
+  /// detectable-failure view used for quorum assembly (the paper assumes
+  /// failures are detectable). All references must outlive the coordinator.
+  Coordinator(Network& network, Scheduler& scheduler,
+              const ReplicaControlProtocol& protocol,
+              std::vector<SiteId> replica_sites, LockManager& locks, Rng rng,
+              CoordinatorOptions options = {},
+              const FailureSet* failures = nullptr);
+
+  void set_site(SiteId site) noexcept { site_ = site; }
+  SiteId site() const noexcept { return site_; }
+
+  /// Swaps the protocol driving quorum choices — the reconfiguration hook
+  /// (the paper's §3.3: shifting configurations only re-shapes the tree).
+  /// The new protocol must manage the same universe (same replica count)
+  /// and no transaction may be in flight; throws std::logic_error /
+  /// std::invalid_argument otherwise. Callers must have made writes
+  /// committed under the old shape visible to the new shape's read quorums
+  /// first (see Cluster::reconfigure).
+  void set_protocol(const ReplicaControlProtocol& protocol);
+
+  using TxnCallback = std::function<void(TxnResult)>;
+
+  /// Runs a full transaction; the callback fires exactly once.
+  void run(std::vector<TxnOp> ops, TxnCallback done);
+
+  /// Single-op conveniences (a one-op transaction each).
+  void read(Key key,
+            std::function<void(std::optional<VersionedValue>)> done);
+  void write(Key key, Value value, std::function<void(TxnOutcome)> done);
+
+  void on_message(const Message& message) override;
+
+  // -- statistics --------------------------------------------------------------
+  std::uint64_t committed() const noexcept { return committed_; }
+  std::uint64_t aborted() const noexcept { return aborted_; }
+  std::uint64_t blocked() const noexcept { return blocked_; }
+  std::uint64_t in_flight() const noexcept { return txns_.size(); }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kLocking,
+    kReadQuorum,     // a read op waiting for ReadReplies
+    kVersionQuorum,  // a write op waiting for VersionReplies
+    kPreparing,
+    kCommitting,
+    kDone,
+  };
+
+  struct Txn {
+    TxnId id = 0;
+    std::vector<TxnOp> ops;
+    TxnCallback done;
+    Phase phase = Phase::kLocking;
+    TxnResult result;
+
+    // locking
+    std::vector<std::pair<Key, LockMode>> lock_plan;
+    std::size_t next_lock = 0;
+    std::uint64_t lock_epoch = 0;  // invalidates stale lock timeouts
+
+    // op execution
+    std::size_t current_op = 0;
+    int attempts = 0;
+    OpId op_id = 0;                 // current quorum round
+    std::set<SiteId> awaiting;      // members not yet heard from
+    Timestamp best_ts;              // read aggregation
+    std::optional<VersionedValue> best_value;
+    std::map<SiteId, Timestamp> reply_timestamps;  // for read repair
+    FailureSet suspected;           // per-txn suspicion overlay (ReplicaId)
+
+    // staged writes & 2PC
+    std::map<SiteId, std::vector<StagedWrite>> staged;
+    std::map<Key, std::uint64_t> staged_version;  // chained versions per key
+    std::set<SiteId> votes_pending;
+    std::set<SiteId> acks_pending;
+    int commit_retries = 0;
+  };
+
+  Txn* find(TxnId id);
+  FailureSet combined_failures(const Txn& txn) const;
+
+  void acquire_next_lock(TxnId id);
+  void on_lock_granted(TxnId id);
+  void start_next_op(TxnId id);
+  void begin_read_round(TxnId id);
+  void begin_version_round(TxnId id);
+  void on_round_timeout(TxnId id, OpId op_id);
+  void finish_read_op(TxnId id);
+  void finish_version_op(TxnId id);
+  void begin_prepare(TxnId id);
+  void on_prepare_timeout(TxnId id, OpId op_id);
+  void send_commits(TxnId id);
+  void on_commit_tick(TxnId id);
+  void abort_txn(TxnId id, std::string reason);
+  void finish(TxnId id, TxnOutcome outcome);
+
+  void handle(const ReadReply& reply, SiteId from);
+  void handle(const VersionReply& reply, SiteId from);
+  void handle(const PrepareVote& vote, SiteId from);
+  void handle(const CommitAck& ack, SiteId from);
+
+  ReplicaId replica_of_site(SiteId site) const;
+
+  Network& network_;
+  Scheduler& scheduler_;
+  const ReplicaControlProtocol* protocol_;  // never null; swappable
+  std::vector<SiteId> replica_sites_;
+  std::map<SiteId, ReplicaId> site_to_replica_;
+  LockManager& locks_;
+  Rng rng_;
+  CoordinatorOptions options_;
+  const FailureSet* failures_;
+  SiteId site_ = 0;
+
+  std::map<TxnId, Txn> txns_;
+  std::uint64_t next_txn_seq_ = 1;
+  OpId next_op_id_ = 1;
+
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace atrcp

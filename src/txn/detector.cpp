@@ -1,0 +1,68 @@
+#include "txn/detector.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+HeartbeatDetector::HeartbeatDetector(Network& network, Scheduler& scheduler,
+                                     std::size_t replica_count,
+                                     DetectorOptions options)
+    : network_(network),
+      scheduler_(scheduler),
+      options_(options),
+      view_(replica_count),
+      missed_(replica_count, 0),
+      answered_this_round_(replica_count, true) {
+  if (replica_count == 0) {
+    throw std::invalid_argument("HeartbeatDetector: nothing to watch");
+  }
+  if (options_.interval == 0 || options_.suspect_after == 0) {
+    throw std::invalid_argument("HeartbeatDetector: degenerate options");
+  }
+}
+
+void HeartbeatDetector::start() {
+  if (running_) return;
+  running_ = true;
+  scheduler_.schedule_after(options_.interval, [this] { probe_round(); });
+}
+
+void HeartbeatDetector::probe_round() {
+  if (!running_) return;
+  // Close the previous round: charge a miss to everyone who stayed silent.
+  for (std::size_t r = 0; r < missed_.size(); ++r) {
+    if (answered_this_round_[r]) {
+      missed_[r] = 0;
+    } else if (++missed_[r] == options_.suspect_after &&
+               view_.is_alive(static_cast<ReplicaId>(r))) {
+      view_.fail(static_cast<ReplicaId>(r));
+      ++suspicions_;
+    }
+    answered_this_round_[r] = false;
+  }
+  ++rounds_;
+  ++sequence_;
+  for (std::size_t r = 0; r < missed_.size(); ++r) {
+    auto ping = std::make_shared<PingRequest>();
+    ping->sequence = sequence_;
+    network_.send(site_, static_cast<SiteId>(r), std::move(ping));
+  }
+  scheduler_.schedule_after(options_.interval, [this] { probe_round(); });
+}
+
+void HeartbeatDetector::on_message(const Message& message) {
+  ATRCP_CHECK(message.body != nullptr);
+  if (dynamic_cast<const PongReply*>(message.body.get()) == nullptr) return;
+  const SiteId from = message.from;
+  if (from >= missed_.size()) return;  // not a watched replica
+  answered_this_round_[from] = true;
+  missed_[from] = 0;
+  if (view_.is_failed(from)) {
+    view_.recover(from);
+    ++rehabilitations_;
+  }
+}
+
+}  // namespace atrcp

@@ -1,0 +1,173 @@
+#include "txn/lock_manager.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+bool LockManager::compatible(const KeyLock& lock, TxnId txn,
+                             LockMode mode) const {
+  if (lock.holders.empty()) return true;
+  if (lock.holders.contains(txn)) {
+    // Re-entry. Shared-after-anything is fine; exclusive needs to be the
+    // sole holder (upgrade) or already exclusive.
+    if (mode == LockMode::kShared) return true;
+    return lock.exclusive || lock.holders.size() == 1;
+  }
+  if (lock.exclusive) return false;
+  return mode == LockMode::kShared;
+}
+
+void LockManager::acquire(TxnId txn, Key key, LockMode mode, Grant on_grant) {
+  ATRCP_CHECK(on_grant != nullptr);
+  KeyLock& lock = locks_[key];
+  // FIFO fairness: only bypass the queue when re-entering a lock we already
+  // hold; a fresh shared request behind a waiting exclusive must wait.
+  const bool reentry = lock.holders.contains(txn);
+  if ((reentry || lock.waiters.empty()) && compatible(lock, txn, mode)) {
+    lock.holders.insert(txn);
+    if (mode == LockMode::kExclusive) lock.exclusive = true;
+    keys_of_[txn].insert(key);
+    on_grant();
+    return;
+  }
+  lock.waiters.push_back(Request{txn, mode, std::move(on_grant)});
+}
+
+bool LockManager::cancel(TxnId txn, Key key) {
+  const auto it = locks_.find(key);
+  if (it == locks_.end()) return false;
+  auto& waiters = it->second.waiters;
+  bool cancelled = false;
+  for (auto w = waiters.begin(); w != waiters.end();) {
+    if (w->txn == txn) {
+      w = waiters.erase(w);
+      cancelled = true;
+    } else {
+      ++w;
+    }
+  }
+  if (cancelled) pump(key);
+  return cancelled;
+}
+
+void LockManager::release_all(TxnId txn) {
+  const auto it = keys_of_.find(txn);
+  std::vector<Key> touched;
+  if (it != keys_of_.end()) {
+    touched.assign(it->second.begin(), it->second.end());
+    for (Key key : touched) {
+      KeyLock& lock = locks_[key];
+      lock.holders.erase(txn);
+      if (lock.holders.empty()) lock.exclusive = false;
+    }
+    keys_of_.erase(it);
+  }
+  // Also drop queued requests on any key (e.g. the one that timed out).
+  for (auto& [key, lock] : locks_) {
+    for (auto w = lock.waiters.begin(); w != lock.waiters.end();) {
+      w = (w->txn == txn) ? lock.waiters.erase(w) : std::next(w);
+    }
+  }
+  for (Key key : touched) pump(key);
+  // Keys where txn only waited may now be grantable too.
+  for (auto& [key, lock] : locks_) {
+    if (!lock.waiters.empty()) pump(key);
+  }
+}
+
+void LockManager::pump(Key key) {
+  const auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  KeyLock& lock = it->second;
+  std::vector<Grant> ready;
+  while (!lock.waiters.empty()) {
+    Request& head = lock.waiters.front();
+    if (!compatible(lock, head.txn, head.mode)) break;
+    lock.holders.insert(head.txn);
+    if (head.mode == LockMode::kExclusive) lock.exclusive = true;
+    keys_of_[head.txn].insert(key);
+    ready.push_back(std::move(head.on_grant));
+    lock.waiters.pop_front();
+  }
+  // Run callbacks only after the lock table is consistent — a callback may
+  // re-enter acquire()/release_all().
+  for (Grant& grant : ready) grant();
+}
+
+std::optional<TxnId> LockManager::find_deadlock_victim() const {
+  // Wait-for edges: each queued requester waits for every current holder
+  // of that key (conservative: an upgrade also "waits" for co-sharers).
+  std::unordered_map<TxnId, std::set<TxnId>> waits_for;
+  for (const auto& [key, lock] : locks_) {
+    for (const Request& request : lock.waiters) {
+      for (TxnId holder : lock.holders) {
+        if (holder != request.txn) waits_for[request.txn].insert(holder);
+      }
+    }
+  }
+  // Iterative DFS with colouring; on finding a back edge, walk the stack to
+  // recover the cycle and return its youngest member.
+  enum class Colour : std::uint8_t { kWhite, kGrey, kBlack };
+  std::unordered_map<TxnId, Colour> colour;
+  for (const auto& [txn, edges] : waits_for) colour.emplace(txn, Colour::kWhite);
+
+  for (const auto& [root, root_edges] : waits_for) {
+    if (colour[root] != Colour::kWhite) continue;
+    std::vector<std::pair<TxnId, std::set<TxnId>::const_iterator>> stack;
+    colour[root] = Colour::kGrey;
+    stack.emplace_back(root, waits_for.at(root).begin());
+    while (!stack.empty()) {
+      auto& [txn, it] = stack.back();
+      const auto& edges = waits_for.at(txn);
+      if (it == edges.end()) {
+        colour[txn] = Colour::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId next = *it++;
+      const auto next_colour = colour.find(next);
+      if (next_colour == colour.end() ||
+          next_colour->second == Colour::kBlack) {
+        continue;  // next never waits (sink) or is fully explored
+      }
+      if (next_colour->second == Colour::kGrey) {
+        // Cycle: everything on the stack from `next` onward is on it.
+        TxnId victim = next;
+        bool in_cycle = false;
+        for (const auto& [frame_txn, frame_it] : stack) {
+          in_cycle |= frame_txn == next;
+          if (in_cycle) victim = std::max(victim, frame_txn);
+        }
+        return victim;
+      }
+      colour[next] = Colour::kGrey;
+      stack.emplace_back(next, waits_for.at(next).begin());
+    }
+  }
+  return std::nullopt;
+}
+
+bool LockManager::holds(TxnId txn, Key key) const {
+  const auto it = locks_.find(key);
+  return it != locks_.end() && it->second.holders.contains(txn);
+}
+
+bool LockManager::holds_exclusive(TxnId txn, Key key) const {
+  const auto it = locks_.find(key);
+  return it != locks_.end() && it->second.exclusive &&
+         it->second.holders.contains(txn);
+}
+
+std::size_t LockManager::waiting_on(Key key) const {
+  const auto it = locks_.find(key);
+  return it == locks_.end() ? 0 : it->second.waiters.size();
+}
+
+std::size_t LockManager::held_keys(TxnId txn) const {
+  const auto it = keys_of_.find(txn);
+  return it == keys_of_.end() ? 0 : it->second.size();
+}
+
+}  // namespace atrcp

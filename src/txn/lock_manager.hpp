@@ -1,0 +1,88 @@
+// Centralized two-phase-locking concurrency control (§2.2: "each client
+// uses a centralized concurrency control scheme to synchronize accesses").
+//
+// Per-key shared/exclusive locks with FIFO waiting. Grants are delivered
+// through callbacks so the event-driven coordinators can continue a
+// transaction the moment a lock frees. Deadlocks are broken by the
+// coordinator's lock-wait timeout (it calls cancel() and aborts); the
+// manager itself stays simple and strictly fair.
+//
+// Upgrades: a transaction already holding the only shared lock on a key may
+// acquire exclusive immediately; otherwise the upgrade waits its turn like
+// any other request (and can deadlock with a concurrent upgrader — the
+// timeout resolves it, as in many real lock managers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "replica/messages.hpp"
+#include "replica/store.hpp"
+
+namespace atrcp {
+
+enum class LockMode : std::uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  using Grant = std::function<void()>;
+
+  /// Requests `key` in `mode` for `txn`. If the lock is free (or already
+  /// held in a compatible way by this txn), on_grant fires synchronously;
+  /// otherwise the request queues and fires when granted. Re-acquiring an
+  /// already-held lock (same or weaker mode) grants immediately.
+  void acquire(TxnId txn, Key key, LockMode mode, Grant on_grant);
+
+  /// Removes any queued (not yet granted) requests of txn on key. Returns
+  /// true if something was cancelled. Queued grants never fire afterwards.
+  bool cancel(TxnId txn, Key key);
+
+  /// Releases every lock txn holds and cancels its queued requests, then
+  /// grants whatever became available. The 2PL "shrinking phase" — called
+  /// exactly once, at commit/abort.
+  void release_all(TxnId txn);
+
+  // -- deadlock detection -------------------------------------------------------
+
+  /// Builds the wait-for graph (waiter -> each holder of the key it waits
+  /// on) and searches for a cycle. Returns a victim from one cycle — the
+  /// youngest (largest-id) transaction on it — or nullopt if none. The
+  /// caller resolves the deadlock by aborting the victim (cancel/release).
+  /// Coordinators acquire in sorted key order so they cannot deadlock among
+  /// themselves; this detector serves mixed workloads where external lock
+  /// users (or future coordinators with other orders) interleave.
+  std::optional<TxnId> find_deadlock_victim() const;
+
+  // -- introspection (tests, stats) -------------------------------------------
+
+  bool holds(TxnId txn, Key key) const;
+  bool holds_exclusive(TxnId txn, Key key) const;
+  std::size_t waiting_on(Key key) const;
+  std::size_t held_keys(TxnId txn) const;
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    Grant on_grant;
+  };
+  struct KeyLock {
+    std::set<TxnId> holders;                 // shared holders, or the single
+    bool exclusive = false;                  // exclusive holder
+    std::deque<Request> waiters;
+  };
+
+  /// Grants as many queue heads as compatibility allows. Collects the
+  /// callbacks and runs them after the state is consistent.
+  void pump(Key key);
+  bool compatible(const KeyLock& lock, TxnId txn, LockMode mode) const;
+
+  std::unordered_map<Key, KeyLock> locks_;
+  std::unordered_map<TxnId, std::set<Key>> keys_of_;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,62 @@
+#include "txn/retry.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+RetryingClient::RetryingClient(Coordinator& coordinator, Scheduler& scheduler,
+                               Rng rng, RetryOptions options)
+    : coordinator_(coordinator),
+      scheduler_(scheduler),
+      rng_(rng),
+      options_(options) {
+  if (options_.max_attempts < 1) {
+    throw std::invalid_argument("RetryingClient: max_attempts must be >= 1");
+  }
+  if (options_.multiplier < 1.0) {
+    throw std::invalid_argument("RetryingClient: multiplier must be >= 1");
+  }
+  if (options_.jitter < 0.0 || options_.jitter >= 1.0) {
+    throw std::invalid_argument("RetryingClient: jitter outside [0, 1)");
+  }
+}
+
+void RetryingClient::run(std::vector<TxnOp> ops, TxnCallback done) {
+  ATRCP_CHECK(done != nullptr);
+  attempt(std::move(ops), std::move(done), options_.max_attempts,
+          options_.initial_backoff);
+}
+
+void RetryingClient::attempt(std::vector<TxnOp> ops, TxnCallback done,
+                             int tries_left, SimTime backoff) {
+  ++attempts_;
+  // The coordinator consumes its ops, so keep a copy for potential retries.
+  std::vector<TxnOp> retry_copy = ops;
+  coordinator_.run(
+      std::move(ops),
+      [this, retry_copy = std::move(retry_copy), done = std::move(done),
+       tries_left, backoff](TxnResult result) mutable {
+        if (result.outcome != TxnOutcome::kAborted || tries_left <= 1) {
+          if (result.outcome == TxnOutcome::kAborted) ++gave_up_;
+          done(std::move(result));
+          return;
+        }
+        ++retries_;
+        const double jitter_factor =
+            1.0 + options_.jitter * (2.0 * rng_.uniform() - 1.0);
+        const auto wait = static_cast<SimTime>(
+            std::max(1.0, static_cast<double>(backoff) * jitter_factor));
+        const auto next_backoff = static_cast<SimTime>(
+            static_cast<double>(backoff) * options_.multiplier);
+        scheduler_.schedule_after(
+            wait, [this, ops = std::move(retry_copy),
+                   done = std::move(done), tries_left, next_backoff]() mutable {
+              attempt(std::move(ops), std::move(done), tries_left - 1,
+                      next_backoff);
+            });
+      });
+}
+
+}  // namespace atrcp

@@ -1,0 +1,58 @@
+// Client-side retry with exponential backoff.
+//
+// Aborts in this system are transient by construction — lock timeouts,
+// quorum rounds lost to suspected members, prepare votes missing during a
+// partition — so the natural client behaviour is to back off and retry.
+// RetryingClient wraps a Coordinator: it reissues an aborted transaction up
+// to max_attempts times, doubling the (jittered) backoff each time, and
+// reports the final result. kBlocked is NOT retried: the transaction is
+// decided-committed and a retry would double-apply intent.
+#pragma once
+
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "txn/coordinator.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+struct RetryOptions {
+  int max_attempts = 5;            ///< total tries, including the first
+  SimTime initial_backoff = 2'000; ///< microseconds before the 2nd try
+  double multiplier = 2.0;         ///< backoff growth per attempt
+  double jitter = 0.25;            ///< +- fraction of the backoff
+};
+
+class RetryingClient {
+ public:
+  /// The coordinator and scheduler must outlive the client.
+  RetryingClient(Coordinator& coordinator, Scheduler& scheduler, Rng rng,
+                 RetryOptions options = {});
+
+  using TxnCallback = Coordinator::TxnCallback;
+
+  /// Runs ops, retrying aborted outcomes with backoff. The callback fires
+  /// exactly once with the final result (committed, blocked, or the last
+  /// abort after max_attempts).
+  void run(std::vector<TxnOp> ops, TxnCallback done);
+
+  // -- statistics ----------------------------------------------------------
+  std::uint64_t attempts() const noexcept { return attempts_; }
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t gave_up() const noexcept { return gave_up_; }
+
+ private:
+  void attempt(std::vector<TxnOp> ops, TxnCallback done, int tries_left,
+               SimTime backoff);
+
+  Coordinator& coordinator_;
+  Scheduler& scheduler_;
+  Rng rng_;
+  RetryOptions options_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t gave_up_ = 0;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,159 @@
+#include "txn/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+double WorkloadStats::max_replica_share() const {
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (std::uint64_t m : replica_messages) {
+    total += m;
+    peak = std::max(peak, m);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(peak) / static_cast<double>(total);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+namespace {
+
+/// Per-client closed-loop driver: issues the next transaction from the
+/// completion callback of the previous one.
+class ClientLoop {
+ public:
+  ClientLoop(Cluster& cluster, std::size_t client_index,
+             const WorkloadOptions& options, ZipfSampler& keys, Rng rng,
+             WorkloadStats& stats)
+      : cluster_(cluster),
+        client_index_(client_index),
+        options_(options),
+        keys_(keys),
+        rng_(rng),
+        stats_(stats) {}
+
+  void start() { issue(); }
+  bool finished() const noexcept { return issued_ >= options_.transactions_per_client && !in_flight_; }
+
+ private:
+  void issue() {
+    if (issued_ >= options_.transactions_per_client) return;
+    ++issued_;
+    in_flight_ = true;
+    std::vector<TxnOp> ops;
+    ops.reserve(options_.ops_per_txn);
+    for (std::size_t i = 0; i < options_.ops_per_txn; ++i) {
+      const Key key = static_cast<Key>(keys_.sample(rng_));
+      if (rng_.chance(options_.read_fraction)) {
+        ops.push_back(TxnOp::read(key));
+        ++stats_.reads_issued;
+      } else {
+        ops.push_back(TxnOp::write(
+            key, "c" + std::to_string(client_index_) + "-t" +
+                     std::to_string(issued_) + "-o" + std::to_string(i)));
+        ++stats_.writes_issued;
+      }
+    }
+    started_at_ = cluster_.scheduler().now();
+    cluster_.client(client_index_).run(std::move(ops), [this](TxnResult r) {
+      on_done(r);
+    });
+  }
+
+  void on_done(const TxnResult& result) {
+    in_flight_ = false;
+    const auto latency = cluster_.scheduler().now() - started_at_;
+    total_latency_ += latency;
+    stats_.latency.add(static_cast<double>(latency));
+    switch (result.outcome) {
+      case TxnOutcome::kCommitted: ++stats_.committed; break;
+      case TxnOutcome::kAborted: ++stats_.aborted; break;
+      case TxnOutcome::kBlocked: ++stats_.blocked; break;
+    }
+    completions_ += 1;
+    issue();
+  }
+
+ public:
+  std::uint64_t total_latency_ = 0;
+  std::uint64_t completions_ = 0;
+
+ private:
+  Cluster& cluster_;
+  std::size_t client_index_;
+  const WorkloadOptions& options_;
+  ZipfSampler& keys_;
+  Rng rng_;
+  WorkloadStats& stats_;
+  std::size_t issued_ = 0;
+  bool in_flight_ = false;
+  SimTime started_at_ = 0;
+};
+
+}  // namespace
+
+WorkloadStats run_workload(Cluster& cluster, const WorkloadOptions& options) {
+  if (options.transactions_per_client == 0 || options.ops_per_txn == 0) {
+    throw std::invalid_argument("run_workload: empty workload");
+  }
+  WorkloadStats stats;
+  ZipfSampler keys(options.num_keys, options.zipf_exponent);
+  Rng seeder(options.seed);
+
+  std::vector<std::unique_ptr<ClientLoop>> loops;
+  loops.reserve(cluster.client_count());
+  for (std::size_t c = 0; c < cluster.client_count(); ++c) {
+    loops.push_back(std::make_unique<ClientLoop>(cluster, c, options, keys,
+                                                 seeder.fork(), stats));
+  }
+  const std::uint64_t sent_before = cluster.network().messages_sent();
+  std::vector<std::uint64_t> replica_before(cluster.replica_count());
+  for (std::size_t r = 0; r < cluster.replica_count(); ++r) {
+    replica_before[r] =
+        cluster.server(static_cast<ReplicaId>(r)).messages_received();
+  }
+  for (auto& loop : loops) loop->start();
+  cluster.settle();
+
+  std::uint64_t total_latency = 0;
+  std::uint64_t completions = 0;
+  for (const auto& loop : loops) {
+    ATRCP_CHECK(loop->finished());
+    total_latency += loop->total_latency_;
+    completions += loop->completions_;
+  }
+  stats.mean_latency_us =
+      completions == 0 ? 0.0
+                       : static_cast<double>(total_latency) /
+                             static_cast<double>(completions);
+  stats.messages_sent = cluster.network().messages_sent() - sent_before;
+  stats.replica_messages.resize(cluster.replica_count());
+  for (std::size_t r = 0; r < cluster.replica_count(); ++r) {
+    stats.replica_messages[r] =
+        cluster.server(static_cast<ReplicaId>(r)).messages_received() -
+        replica_before[r];
+  }
+  return stats;
+}
+
+}  // namespace atrcp

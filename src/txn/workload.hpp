@@ -1,0 +1,66 @@
+// Synthetic transactional workloads over a Cluster — the paper's
+// "frequencies of read and write operations" made executable.
+//
+// Each client issues transactions back-to-back (closed loop): a transaction
+// holds `ops_per_txn` operations, each a read with probability
+// read_fraction, over keys drawn uniformly or Zipf-skewed. The runner
+// collects commit/abort/block counts, latency, message totals and the
+// EMPIRICAL per-replica load (fraction of operations each replica served),
+// which the benches compare against the protocol's analytic loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace atrcp {
+
+struct WorkloadOptions {
+  std::size_t transactions_per_client = 100;
+  std::size_t ops_per_txn = 1;
+  double read_fraction = 0.8;
+  std::size_t num_keys = 64;
+  double zipf_exponent = 0.0;  ///< 0 = uniform key popularity
+  std::uint64_t seed = 42;
+};
+
+struct WorkloadStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t reads_issued = 0;
+  std::uint64_t writes_issued = 0;
+  double mean_latency_us = 0.0;
+  /// Full latency distribution of completed transactions (microseconds).
+  SampleSummary latency;
+  std::uint64_t messages_sent = 0;
+  /// messages each replica server received, indexed by ReplicaId.
+  std::vector<std::uint64_t> replica_messages;
+
+  double commit_rate() const {
+    const auto total = committed + aborted + blocked;
+    return total == 0 ? 0.0 : static_cast<double>(committed) / total;
+  }
+  /// The busiest replica's share of all replica messages — the empirical
+  /// analogue of the system load (Definition 2.5).
+  double max_replica_share() const;
+};
+
+/// Zipf(s) sampler over [0, n): P(k) ∝ 1/(k+1)^s; s = 0 is uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Runs the workload to completion (drains the scheduler) and returns the
+/// collected statistics.
+WorkloadStats run_workload(Cluster& cluster, const WorkloadOptions& options);
+
+}  // namespace atrcp

@@ -1,0 +1,40 @@
+// Lightweight invariant checking for the atrcp libraries.
+//
+// ATRCP_CHECK is used for internal invariants that indicate a programming
+// error if violated; it throws atrcp::InvariantError carrying the failing
+// expression and location, which tests can assert on and which terminates
+// with a useful message when unhandled.
+//
+// Input validation on public API boundaries throws std::invalid_argument
+// directly (see e.g. core/tree.cpp) — ATRCP_CHECK is for "cannot happen"
+// conditions only.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace atrcp {
+
+/// Thrown when an internal invariant is violated (a bug in this library,
+/// not a misuse of it).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  throw InvariantError(std::string("invariant violated: ") + expr + " at " +
+                       file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace atrcp
+
+#define ATRCP_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::atrcp::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                           \
+  } while (false)

@@ -1,0 +1,114 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is exact at every step because the running
+    // product is always a binomial coefficient; only overflow can spoil it.
+    const std::uint64_t factor = n - k + i;
+    if (result > std::numeric_limits<std::uint64_t>::max() / factor) {
+      throw std::overflow_error("binomial: result exceeds 64 bits");
+    }
+    result = result * factor / i;
+  }
+  return result;
+}
+
+std::uint64_t pow_u64(std::uint64_t base, std::uint32_t exp) {
+  std::uint64_t result = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    if (base != 0 && result > std::numeric_limits<std::uint64_t>::max() / base) {
+      throw std::overflow_error("pow_u64: result exceeds 64 bits");
+    }
+    result *= base;
+  }
+  return result;
+}
+
+std::uint32_t floor_log2(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("floor_log2: x must be >= 1");
+  std::uint32_t result = 0;
+  while (x >>= 1) ++result;
+  return result;
+}
+
+bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  auto guess = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  // std::sqrt can be off by one ulp near perfect squares; fix up exactly.
+  while (guess > 0 && guess * guess > x) --guess;
+  while ((guess + 1) * (guess + 1) <= x) ++guess;
+  return guess;
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  const double diff = std::abs(a - b);
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return diff <= atol + rtol * scale;
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = std::lgamma(static_cast<double>(n) + 1) -
+                         std::lgamma(static_cast<double>(k) + 1) -
+                         std::lgamma(static_cast<double>(n - k) + 1) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_sf(std::uint64_t n, std::uint64_t k, double p) {
+  double total = 0.0;
+  for (std::uint64_t i = k; i <= n; ++i) total += binomial_pmf(n, i, p);
+  return std::min(total, 1.0);
+}
+
+namespace {
+void partitions_rec(std::uint32_t remaining, std::uint32_t parts,
+                    std::uint32_t min_part, std::uint32_t max_part,
+                    std::vector<std::uint32_t>& prefix,
+                    std::vector<std::vector<std::uint32_t>>& out) {
+  if (parts == 0) {
+    if (remaining == 0) out.push_back(prefix);
+    return;
+  }
+  // Remaining parts must each be >= min_part and the sequence non-decreasing,
+  // so the smallest feasible completion is parts * min_part and the largest
+  // is parts * max_part; prune outside that window.
+  for (std::uint32_t part = min_part; part <= max_part; ++part) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(part) * parts;
+    if (lo > remaining) break;
+    const std::uint64_t hi = static_cast<std::uint64_t>(max_part) * (parts - 1);
+    if (static_cast<std::uint64_t>(remaining) - part > hi) continue;
+    prefix.push_back(part);
+    partitions_rec(remaining - part, parts - 1, part, max_part, prefix, out);
+    prefix.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> partitions_non_decreasing(
+    std::uint32_t n, std::uint32_t parts, std::uint32_t max_part) {
+  std::vector<std::vector<std::uint32_t>> out;
+  if (parts == 0) return out;
+  std::vector<std::uint32_t> prefix;
+  prefix.reserve(parts);
+  partitions_rec(n, parts, 1, max_part, prefix, out);
+  return out;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,45 @@
+// Small numeric helpers shared across the analysis code: exact integer
+// combinatorics (for availability enumeration), integer powers/logs (for
+// tree sizing), and tolerant floating-point comparison (for tests that check
+// closed-form formulas against measured or LP-computed values).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace atrcp {
+
+/// Exact binomial coefficient C(n, k). Throws std::overflow_error if the
+/// result does not fit in 64 bits. C(0,0) == 1; k > n yields 0.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// base^exp over unsigned 64-bit integers; throws std::overflow_error on
+/// wrap-around so tree-sizing bugs surface instead of aliasing.
+std::uint64_t pow_u64(std::uint64_t base, std::uint32_t exp);
+
+/// floor(log2(x)) for x >= 1.
+std::uint32_t floor_log2(std::uint64_t x);
+
+/// True iff x == 2^k for some k >= 0.
+bool is_power_of_two(std::uint64_t x);
+
+/// The largest s with s*s <= x (integer square root).
+std::uint64_t isqrt(std::uint64_t x);
+
+/// Relative-or-absolute tolerance comparison used throughout the tests:
+/// |a-b| <= atol + rtol*max(|a|,|b|).
+bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// P[X = k] for X ~ Binomial(n, p). Computed in log space for stability.
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X >= k] for X ~ Binomial(n, p).
+double binomial_sf(std::uint64_t n, std::uint64_t k, double p);
+
+/// The partitions of n into exactly parts non-decreasing positive integers,
+/// each part <= max_part. Used by the spectrum configurator's search space.
+/// Every returned vector v satisfies v[0] <= v[1] <= ... and sum(v) == n.
+std::vector<std::vector<std::uint32_t>> partitions_non_decreasing(
+    std::uint32_t n, std::uint32_t parts, std::uint32_t max_part);
+
+}  // namespace atrcp

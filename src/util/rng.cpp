@@ -1,0 +1,7 @@
+#include "util/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the util
+// library has an archive member and the header is compiled standalone.
+namespace atrcp {
+static_assert(Rng::min() == 0);
+}  // namespace atrcp

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for simulations and
+// randomized property tests.
+//
+// We deliberately avoid std::mt19937 + std::uniform_int_distribution for
+// anything whose output is recorded in tests or experiment output: the
+// standard distributions are not reproducible across standard-library
+// implementations. Xoshiro256** seeded through SplitMix64, together with
+// Lemire-style bounded integers, gives identical streams everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+/// SplitMix64: tiny, fast generator used to expand a single 64-bit seed into
+/// the 256-bit state of Xoshiro256**. Also usable standalone for hashing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the library's workhorse RNG. Satisfies
+/// std::uniform_random_bit_generator so it can also drive <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift rejection method:
+  /// unbiased and reproducible across platforms. Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Fast path covers every bound we use; rejection loop guards bias.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability prob (clamped to [0,1]).
+  bool chance(double prob) noexcept { return uniform() < prob; }
+
+  /// Derive an independent child generator (for per-site / per-test streams).
+  Rng fork() noexcept { return Rng(next() ^ 0xA0761D6478BD642FULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace atrcp

@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace atrcp {
+
+void SampleSummary::add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void SampleSummary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSummary::mean() const {
+  if (values_.empty()) throw std::logic_error("SampleSummary: empty");
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double SampleSummary::min() const {
+  if (values_.empty()) throw std::logic_error("SampleSummary: empty");
+  ensure_sorted();
+  return values_.front();
+}
+
+double SampleSummary::max() const {
+  if (values_.empty()) throw std::logic_error("SampleSummary: empty");
+  ensure_sorted();
+  return values_.back();
+}
+
+double SampleSummary::percentile(double q) const {
+  if (values_.empty()) throw std::logic_error("SampleSummary: empty");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("SampleSummary: q outside [0,1]");
+  }
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return values_[std::min(index, values_.size() - 1)];
+}
+
+}  // namespace atrcp

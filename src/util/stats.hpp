@@ -1,0 +1,32 @@
+// Small sample-summary utility for the workload harness: collects values
+// and reports count/mean/min/max and exact percentiles (nearest-rank over
+// the sorted sample — fine at simulation scales, no streaming sketches
+// needed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace atrcp {
+
+class SampleSummary {
+ public:
+  void add(double value);
+
+  std::size_t count() const noexcept { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Nearest-rank percentile; q in [0, 1]. Throws std::logic_error on an
+  /// empty summary and std::invalid_argument for q outside [0, 1].
+  double percentile(double q) const;
+
+ private:
+  // Kept sorted lazily: sorted on first query after an insertion burst.
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,47 @@
+// Console table / CSV emission shared by the benchmark harness binaries.
+//
+// Every figure/table bench prints (a) an aligned human-readable table and
+// (b) optionally the same data as CSV so the series can be re-plotted.
+#pragma once
+
+#include <concepts>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+/// A simple column-oriented table: set the header once, append rows of the
+/// same width, print aligned text or CSV. Cells are preformatted strings;
+/// use the cell() helpers for numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Aligned fixed-width text, suitable for terminal output.
+  void print_text(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision, trimming to a compact form.
+std::string cell(double value, int precision = 4);
+
+/// Format any integer cell.
+template <typename Int>
+  requires std::integral<Int>
+std::string cell(Int value) {
+  return std::to_string(value);
+}
+
+}  // namespace atrcp

@@ -1,0 +1,68 @@
+#include "analysis/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/rowa.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(EmpiricalTest, InputValidation) {
+  const Rowa rowa(4);
+  Rng rng(1);
+  EXPECT_THROW(empirical_loads(rowa, 0, rng), std::invalid_argument);
+  EXPECT_THROW(measured_availability(rowa, 0.5, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(measured_costs(rowa, 0, rng), std::invalid_argument);
+}
+
+TEST(EmpiricalTest, LoadsSumToExpectedTotals) {
+  // Per sample, a read quorum of the 1-3-5 tree has exactly 2 members, so
+  // per-replica read rates must sum to 2; write rates sum to the mean
+  // write quorum size (between 3 and 5).
+  const ArbitraryProtocol protocol(ArbitraryTree::from_spec("1-3-5"));
+  Rng rng(2);
+  const auto loads = empirical_loads(protocol, 50000, rng);
+  double read_total = 0;
+  double write_total = 0;
+  for (double l : loads.read) read_total += l;
+  for (double l : loads.write) write_total += l;
+  EXPECT_NEAR(read_total, 2.0, 1e-9);   // every sample contributes exactly 2
+  EXPECT_NEAR(write_total, 4.0, 0.05);  // (3+5)/2 under the uniform strategy
+}
+
+TEST(EmpiricalTest, MaxFieldsMatchVectors) {
+  const ArbitraryProtocol protocol(ArbitraryTree::from_spec("1-2-6"));
+  Rng rng(3);
+  const auto loads = empirical_loads(protocol, 20000, rng);
+  double max_read = 0;
+  double max_write = 0;
+  for (double l : loads.read) max_read = std::max(max_read, l);
+  for (double l : loads.write) max_write = std::max(max_write, l);
+  EXPECT_DOUBLE_EQ(loads.max_read, max_read);
+  EXPECT_DOUBLE_EQ(loads.max_write, max_write);
+}
+
+TEST(EmpiricalTest, CostsMatchAnalyticModel) {
+  const auto protocol = make_arbitrary(50);
+  Rng rng(4);
+  const auto costs = measured_costs(*protocol, 20000, rng);
+  EXPECT_NEAR(costs.read, protocol->read_cost(), 0.01);
+  EXPECT_NEAR(costs.write, protocol->write_cost(), 0.15);
+}
+
+TEST(EmpiricalTest, AvailabilityDegenerateP) {
+  const Rowa rowa(5);
+  Rng rng(5);
+  const auto all_up = measured_availability(rowa, 1.0, 200, rng);
+  EXPECT_DOUBLE_EQ(all_up.read, 1.0);
+  EXPECT_DOUBLE_EQ(all_up.write, 1.0);
+  const auto all_down = measured_availability(rowa, 0.0, 200, rng);
+  EXPECT_DOUBLE_EQ(all_down.read, 0.0);
+  EXPECT_DOUBLE_EQ(all_down.write, 0.0);
+}
+
+}  // namespace
+}  // namespace atrcp

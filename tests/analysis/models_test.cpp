@@ -1,0 +1,109 @@
+// Direct tests of the six §4 configuration models that feed Figures 2-4.
+#include "analysis/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace atrcp {
+namespace {
+
+TEST(ModelsTest, RegistryHasThePaperOrder) {
+  const auto configs = paper_configurations();
+  ASSERT_EQ(configs.size(), 6u);
+  EXPECT_EQ(configs[0].name, "BINARY");
+  EXPECT_EQ(configs[1].name, "UNMODIFIED");
+  EXPECT_EQ(configs[2].name, "ARBITRARY");
+  EXPECT_EQ(configs[3].name, "HQC");
+  EXPECT_EQ(configs[4].name, "MOSTLY-READ");
+  EXPECT_EQ(configs[5].name, "MOSTLY-WRITE");
+}
+
+TEST(ModelsTest, RealizedNMatchesStructures) {
+  EXPECT_EQ(binary_metrics(100, 0.9).n, 127u);      // 2^7 - 1
+  EXPECT_EQ(unmodified_metrics(100, 0.9).n, 127u);
+  EXPECT_EQ(hqc_metrics(100, 0.9).n, 243u);         // 3^5
+  EXPECT_EQ(arbitrary_metrics(100, 0.9).n, 100u);   // exact
+  EXPECT_EQ(mostly_read_metrics(100, 0.9).n, 100u);
+  EXPECT_EQ(mostly_write_metrics(100, 0.9).n, 101u);  // rounded up to odd
+}
+
+TEST(ModelsTest, BinaryLoadFormula) {
+  const ConfigMetrics m = binary_metrics(127, 0.8);
+  EXPECT_NEAR(m.read_load, 2.0 / (6.0 + 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.read_cost, m.write_cost);
+}
+
+TEST(ModelsTest, UnmodifiedFormulas) {
+  const ConfigMetrics m = unmodified_metrics(127, 0.8);
+  EXPECT_DOUBLE_EQ(m.read_load, 1.0);
+  EXPECT_NEAR(m.write_load, 1.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.read_cost, 7.0);              // log2(128)
+  EXPECT_NEAR(m.write_cost, 127.0 / 7.0, 1e-12);   // n / log2(n+1)
+}
+
+TEST(ModelsTest, ArbitraryFollowsAlgorithm1PastSixtyFour) {
+  const ConfigMetrics m = arbitrary_metrics(400, 0.8);
+  EXPECT_NEAR(m.write_load, 1.0 / 20.0, 1e-12);
+  EXPECT_NEAR(m.read_cost, 20.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.read_load, 0.25);
+}
+
+TEST(ModelsTest, ArbitrarySmallNFallsBackToBalanced) {
+  const ConfigMetrics m = arbitrary_metrics(16, 0.8);
+  EXPECT_EQ(m.n, 16u);
+  EXPECT_NEAR(m.read_cost, 4.0, 1e-12);  // sqrt(16) levels
+}
+
+TEST(ModelsTest, HqcFormulas) {
+  const ConfigMetrics m = hqc_metrics(81, 0.8);
+  EXPECT_EQ(m.n, 81u);
+  EXPECT_DOUBLE_EQ(m.read_cost, 16.0);                    // 2^4
+  EXPECT_NEAR(m.read_load, std::pow(2.0 / 3.0, 4), 1e-12);  // n^-0.37
+}
+
+TEST(ModelsTest, MostlyReadWriteAreDuals) {
+  const ConfigMetrics mr = mostly_read_metrics(64, 0.8);
+  EXPECT_DOUBLE_EQ(mr.read_cost, 1.0);
+  EXPECT_DOUBLE_EQ(mr.write_cost, 64.0);
+  EXPECT_DOUBLE_EQ(mr.write_load, 1.0);
+  const ConfigMetrics mw = mostly_write_metrics(65, 0.8);
+  EXPECT_DOUBLE_EQ(mw.read_cost, 32.0);  // (n-1)/2
+  EXPECT_NEAR(mw.write_load, 2.0 / 64.0, 1e-12);
+}
+
+TEST(ModelsTest, ExpectedLoadsFollowEquation32) {
+  for (const auto& config : paper_configurations()) {
+    const ConfigMetrics m = config.at(70, 0.75);
+    EXPECT_NEAR(m.expected_read_load,
+                m.read_availability * (m.read_load - 1.0) + 1.0, 1e-12)
+        << config.name;
+    EXPECT_NEAR(m.expected_write_load,
+                m.write_availability * m.write_load +
+                    (1.0 - m.write_availability),
+                1e-12)
+        << config.name;
+  }
+}
+
+TEST(ModelsTest, EveryModelIsSaneAcrossTheSweepRange) {
+  for (const auto& config : paper_configurations()) {
+    for (std::size_t n : {8u, 33u, 100u, 500u, 1000u}) {
+      for (double p : {0.55, 0.8, 0.95}) {
+        const ConfigMetrics m = config.at(n, p);
+        EXPECT_GE(m.n, n / 2) << config.name;
+        EXPECT_GE(m.read_cost, 1.0 - 1e-9) << config.name;
+        EXPECT_LE(m.read_load, 1.0 + 1e-9) << config.name;
+        EXPECT_GT(m.read_load, 0.0) << config.name;
+        EXPECT_LE(m.write_load, 1.0 + 1e-9) << config.name;
+        EXPECT_GE(m.read_availability, -1e-9) << config.name;
+        EXPECT_LE(m.read_availability, 1.0 + 1e-9) << config.name;
+        EXPECT_GE(m.expected_read_load, m.read_load - 1e-9) << config.name;
+        EXPECT_GE(m.expected_write_load, m.write_load - 1e-9) << config.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,102 @@
+#include "analysis/zones.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+
+namespace atrcp {
+namespace {
+
+ArbitraryTree four_by_four() { return balanced_tree(16, 4); }  // 1-4-4-4-4
+
+TEST(ZoneAssignmentTest, AlignedMapsLevelsToZones) {
+  const ArbitraryTree tree = four_by_four();
+  const ZoneAssignment aligned = aligned_zones(tree);
+  EXPECT_EQ(aligned.zone_count, 4u);
+  // Replicas 0..3 are level one -> zone 0; 4..7 -> zone 1; etc.
+  for (ReplicaId id = 0; id < 16; ++id) {
+    EXPECT_EQ(aligned.zone_of[id], id / 4) << "replica " << id;
+  }
+}
+
+TEST(ZoneAssignmentTest, StripedSpreadsEachLevel) {
+  const ArbitraryTree tree = four_by_four();
+  const ZoneAssignment striped = striped_zones(tree, 4);
+  EXPECT_EQ(striped.zone_count, 4u);
+  // Within each level, zones 0,1,2,3 in order.
+  for (ReplicaId id = 0; id < 16; ++id) {
+    EXPECT_EQ(striped.zone_of[id], id % 4) << "replica " << id;
+  }
+  EXPECT_THROW(striped_zones(tree, 0), std::invalid_argument);
+}
+
+TEST(ZoneEffectTest, AlignedZoneOutageBlocksReadsNotWrites) {
+  const ArbitraryProtocol protocol(four_by_four());
+  const auto effect =
+      single_zone_effect(protocol, aligned_zones(protocol.tree()));
+  // Losing any zone = losing a whole level: every zone blocks reads,
+  // none blocks writes (three full levels remain).
+  EXPECT_EQ(effect.zones_blocking_reads, 4u);
+  EXPECT_EQ(effect.zones_blocking_writes, 0u);
+}
+
+TEST(ZoneEffectTest, StripedZoneOutageBlocksWritesNotReads) {
+  const ArbitraryProtocol protocol(four_by_four());
+  const auto effect =
+      single_zone_effect(protocol, striped_zones(protocol.tree(), 4));
+  // Losing any zone removes one replica from EVERY level: reads keep three
+  // survivors per level, writes lose every level.
+  EXPECT_EQ(effect.zones_blocking_reads, 0u);
+  EXPECT_EQ(effect.zones_blocking_writes, 4u);
+}
+
+TEST(ZoneEffectTest, FewerZonesThanLevelWidthKeepsSomeLevelsWhole) {
+  // Striping 16 replicas over 8 zones: each zone holds at most one replica
+  // of levels of width 4... zones 4..7 never appear in 4-wide levels, so
+  // those zone outages hurt nothing.
+  const ArbitraryProtocol protocol(four_by_four());
+  const auto effect =
+      single_zone_effect(protocol, striped_zones(protocol.tree(), 8));
+  EXPECT_EQ(effect.zones_blocking_reads, 0u);
+  EXPECT_EQ(effect.zones_blocking_writes, 4u);  // zones 0..3 hit every level
+}
+
+TEST(ZoneAvailabilityTest, InputValidation) {
+  const ArbitraryProtocol protocol(four_by_four());
+  Rng rng(1);
+  ZoneAssignment bad = aligned_zones(protocol.tree());
+  bad.zone_of.pop_back();
+  EXPECT_THROW(zone_availability(protocol, bad, 0.9, 1.0, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW(zone_availability(protocol, aligned_zones(protocol.tree()),
+                                 0.9, 1.0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(ZoneAvailabilityTest, PerfectZonesReduceToIidModel) {
+  // zone_p = 1 makes the model identical to i.i.d. replica failures, so
+  // the Monte-Carlo must match the closed forms.
+  const ArbitraryProtocol protocol(four_by_four());
+  Rng rng(2);
+  const auto measured = zone_availability(
+      protocol, aligned_zones(protocol.tree()), 1.0, 0.8, 30000, rng);
+  EXPECT_NEAR(measured.read, protocol.read_availability(0.8), 0.01);
+  EXPECT_NEAR(measured.write, protocol.write_availability(0.8), 0.01);
+}
+
+TEST(ZoneAvailabilityTest, PlacementTradeOffUnderZoneOutages) {
+  // With flaky zones (zone_p = 0.9) and reliable replicas, the aligned
+  // placement dominates on writes and the striped one on reads.
+  const ArbitraryProtocol protocol(four_by_four());
+  Rng rng(3);
+  const auto aligned = zone_availability(
+      protocol, aligned_zones(protocol.tree()), 0.9, 1.0, 30000, rng);
+  const auto striped = zone_availability(
+      protocol, striped_zones(protocol.tree(), 4), 0.9, 1.0, 30000, rng);
+  EXPECT_GT(striped.read, aligned.read + 0.2);
+  EXPECT_GT(aligned.write, striped.write + 0.2);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,120 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace atrcp {
+namespace {
+
+TEST(ArbitraryAnalysisTest, RejectsDegenerateInput) {
+  EXPECT_THROW(ArbitraryAnalysis(std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(ArbitraryAnalysis(std::vector<std::size_t>{3, 0, 5}),
+               std::invalid_argument);
+}
+
+TEST(ArbitraryAnalysisTest, BasicAccounting) {
+  const ArbitraryAnalysis a({3, 5});
+  EXPECT_EQ(a.replica_count(), 8u);
+  EXPECT_EQ(a.physical_level_count(), 2u);
+  EXPECT_EQ(a.d(), 3u);
+  EXPECT_EQ(a.e(), 5u);
+  EXPECT_DOUBLE_EQ(a.read_quorum_count(), 15.0);   // Fact 3.2.1
+  EXPECT_EQ(a.write_quorum_count(), 2u);           // Fact 3.2.2
+}
+
+TEST(ArbitraryAnalysisTest, CostsFollowSection32) {
+  const ArbitraryAnalysis a({4, 4, 6});
+  EXPECT_DOUBLE_EQ(a.read_cost(), 3.0);            // |K_phy|
+  EXPECT_DOUBLE_EQ(a.write_cost_min(), 4.0);       // d
+  EXPECT_DOUBLE_EQ(a.write_cost_max(), 6.0);       // e
+  EXPECT_NEAR(a.write_cost_avg(), 14.0 / 3.0, 1e-12);  // n/|K_phy|
+}
+
+TEST(ArbitraryAnalysisTest, LoadsFollowSection32) {
+  const ArbitraryAnalysis a({2, 4, 4});
+  EXPECT_DOUBLE_EQ(a.read_load(), 0.5);            // 1/d
+  EXPECT_NEAR(a.write_load(), 1.0 / 3.0, 1e-12);   // 1/|K_phy|
+}
+
+TEST(ArbitraryAnalysisTest, ReadAvailabilityProduct) {
+  // Π_k (1 - (1-p)^m_k) with sizes {3, 5} at p = 0.7 (the paper's 0.97).
+  const ArbitraryAnalysis a({3, 5});
+  const double expected =
+      (1 - std::pow(0.3, 3)) * (1 - std::pow(0.3, 5));
+  EXPECT_NEAR(a.read_availability(0.7), expected, 1e-12);
+  EXPECT_NEAR(a.read_availability(0.7), 0.97, 0.005);
+}
+
+TEST(ArbitraryAnalysisTest, WriteAvailabilityProduct) {
+  // 1 - Π_k (1 - p^m_k) with sizes {3, 5} at p = 0.7 (the paper's 0.45).
+  const ArbitraryAnalysis a({3, 5});
+  const double fail = (1 - std::pow(0.7, 3)) * (1 - std::pow(0.7, 5));
+  EXPECT_NEAR(a.write_fail(0.7), fail, 1e-12);
+  EXPECT_NEAR(a.write_availability(0.7), 1.0 - fail, 1e-12);
+  EXPECT_NEAR(a.write_availability(0.7), 0.45, 0.01);
+}
+
+TEST(ArbitraryAnalysisTest, DegenerateAvailability) {
+  const ArbitraryAnalysis a({3, 5});
+  EXPECT_NEAR(a.read_availability(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(a.read_availability(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(a.write_availability(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(a.write_availability(0.0), 0.0, 1e-12);
+}
+
+TEST(ArbitraryAnalysisTest, Equation32ExpectedLoads) {
+  // §3.4: E L_RD = 0.35 and E L_WR = 0.775 for the 1-3-5 tree at p = 0.7.
+  const ArbitraryAnalysis a({3, 5});
+  EXPECT_NEAR(a.expected_read_load(0.7), 0.35, 0.005);
+  EXPECT_NEAR(a.expected_write_load(0.7), 0.775, 0.005);
+}
+
+TEST(ArbitraryAnalysisTest, ExpectedLoadApproachesOptimalWithHighP) {
+  const ArbitraryAnalysis a({4, 4, 4, 4});
+  EXPECT_NEAR(a.expected_read_load(0.999), a.read_load(), 1e-2);
+  EXPECT_NEAR(a.expected_write_load(0.999), a.write_load(), 1e-2);
+  // And degrades toward 1 as p collapses.
+  EXPECT_NEAR(a.expected_read_load(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(a.expected_write_load(0.0), 1.0, 1e-12);
+}
+
+TEST(ArbitraryAnalysisTest, StabilityThreshold) {
+  const ArbitraryAnalysis a({4, 4, 4, 4, 4, 4, 4});
+  EXPECT_TRUE(a.is_stable(0.9, 0.9));
+  EXPECT_FALSE(ArbitraryAnalysis({3, 5}).is_stable(0.7, 0.95));
+}
+
+TEST(ArbitraryAnalysisTest, MoreLevelsHelpWritesHurtReads) {
+  // §3.3's central trade-off, over the same 24 replicas.
+  const ArbitraryAnalysis one_level({24});
+  const ArbitraryAnalysis four_levels({6, 6, 6, 6});
+  const ArbitraryAnalysis twelve_levels({2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2});
+
+  // Write load/cost strictly improve with level count.
+  EXPECT_GT(one_level.write_load(), four_levels.write_load());
+  EXPECT_GT(four_levels.write_load(), twelve_levels.write_load());
+  EXPECT_GT(one_level.write_cost_avg(), four_levels.write_cost_avg());
+  // Read cost/load strictly degrade with level count.
+  EXPECT_LT(one_level.read_cost(), four_levels.read_cost());
+  EXPECT_LT(four_levels.read_cost(), twelve_levels.read_cost());
+  EXPECT_LT(one_level.read_load(), four_levels.read_load());
+  // Availability moves the same directions.
+  EXPECT_GT(four_levels.write_availability(0.8),
+            one_level.write_availability(0.8));
+  EXPECT_LT(four_levels.read_availability(0.8),
+            one_level.read_availability(0.8));
+}
+
+TEST(ArbitraryAnalysisTest, FromTreeMatchesFromSizes) {
+  const ArbitraryTree tree = ArbitraryTree::from_spec("1-3-5");
+  const ArbitraryAnalysis from_tree(tree);
+  const ArbitraryAnalysis from_sizes({3, 5});
+  EXPECT_EQ(from_tree.level_sizes(), from_sizes.level_sizes());
+  EXPECT_DOUBLE_EQ(from_tree.read_availability(0.8),
+                   from_sizes.read_availability(0.8));
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,201 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace atrcp {
+namespace {
+
+TEST(MostlyReadTest, SingleLevelLikeRowa) {
+  const ArbitraryTree tree = mostly_read_tree(10);
+  EXPECT_EQ(tree.replica_count(), 10u);
+  EXPECT_EQ(tree.physical_level_sizes(), std::vector<std::size_t>{10});
+  const ArbitraryAnalysis a(tree);
+  EXPECT_DOUBLE_EQ(a.read_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(a.write_cost_avg(), 10.0);
+  EXPECT_DOUBLE_EQ(a.read_load(), 0.1);
+  EXPECT_DOUBLE_EQ(a.write_load(), 1.0);
+  EXPECT_THROW(mostly_read_tree(0), std::invalid_argument);
+}
+
+TEST(MostlyWriteTest, TwoPerLevel) {
+  const ArbitraryTree tree = mostly_write_tree(9);
+  EXPECT_EQ(tree.replica_count(), 9u);
+  EXPECT_EQ(tree.physical_level_sizes(),
+            (std::vector<std::size_t>{2, 2, 2, 3}));
+  EXPECT_TRUE(tree.satisfies_assumption_3_1());
+  const ArbitraryAnalysis a(tree);
+  EXPECT_DOUBLE_EQ(a.read_cost(), 4.0);             // (n-1)/2 levels
+  EXPECT_DOUBLE_EQ(a.read_load(), 0.5);             // d = 2
+  EXPECT_NEAR(a.write_load(), 2.0 / (9 - 1), 1e-12);  // 1/|K_phy| = 2/(n-1)
+  EXPECT_NEAR(a.write_cost_avg(), 9.0 / 4.0, 1e-12);  // about 2
+}
+
+TEST(MostlyWriteTest, RequiresOddN) {
+  EXPECT_THROW(mostly_write_tree(8), std::invalid_argument);
+  EXPECT_THROW(mostly_write_tree(1), std::invalid_argument);
+  EXPECT_NO_THROW(mostly_write_tree(3));
+}
+
+TEST(UnmodifiedTest, BinaryTreeAllPhysical) {
+  const ArbitraryTree tree = unmodified_tree(3);
+  EXPECT_EQ(tree.replica_count(), 15u);
+  const ArbitraryAnalysis a(tree);
+  // §3.3: write load 1/log2(n+1), read load 1, read cost log2(n+1).
+  EXPECT_NEAR(a.write_load(), 1.0 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.read_load(), 1.0);
+  EXPECT_DOUBLE_EQ(a.read_cost(), 4.0);
+  EXPECT_NEAR(a.write_cost_avg(), 15.0 / 4.0, 1e-12);  // n/log2(n+1)
+  // Writes highly available (>= p via the root singleton level), reads
+  // poorly available (<= p, every quorum crosses the root level).
+  for (double p : {0.6, 0.8, 0.95}) {
+    EXPECT_GE(a.write_availability(p), p - 1e-12);
+    EXPECT_LE(a.read_availability(p), p + 1e-12);
+  }
+}
+
+TEST(UnmodifiedTest, BeatsNaorWoolBinaryBound) {
+  // The paper's headline §3.3 claim: 1/log2(n+1) < 2/(log2(n+1)+1) for the
+  // same structure whenever log2(n+1) > 1.
+  for (std::uint32_t h : {1u, 2u, 3u, 5u, 8u}) {
+    const ArbitraryAnalysis a(unmodified_tree(h));
+    const double levels = static_cast<double>(h + 1);
+    EXPECT_NEAR(a.write_load(), 1.0 / levels, 1e-12);
+    EXPECT_LT(a.write_load(), 2.0 / (levels + 1.0));
+  }
+}
+
+TEST(Algorithm1Test, RequiresLargeN) {
+  EXPECT_THROW(algorithm1_tree(64), std::invalid_argument);
+  EXPECT_NO_THROW(algorithm1_tree(65));
+}
+
+TEST(Algorithm1Test, ShapeFollowsThePaper) {
+  const ArbitraryTree tree = algorithm1_tree(100);
+  const auto sizes = tree.physical_level_sizes();
+  // |K_phy| = sqrt(100) = 10 levels; seven 4s then (100-28)/3 = 24 each.
+  ASSERT_EQ(sizes.size(), 10u);
+  for (std::size_t u = 0; u < 7; ++u) EXPECT_EQ(sizes[u], 4u);
+  for (std::size_t u = 7; u < 10; ++u) EXPECT_EQ(sizes[u], 24u);
+  EXPECT_EQ(tree.replica_count(), 100u);
+  EXPECT_TRUE(tree.satisfies_assumption_3_1());
+}
+
+TEST(Algorithm1Test, NonSquareNStillValid) {
+  for (std::size_t n : {65u, 90u, 123u, 200u, 1000u}) {
+    const ArbitraryTree tree = algorithm1_tree(n);
+    EXPECT_EQ(tree.replica_count(), n) << "n=" << n;
+    EXPECT_TRUE(tree.satisfies_assumption_3_1()) << "n=" << n;
+    const ArbitraryAnalysis a(tree);
+    // Write load ~ 1/sqrt(n).
+    EXPECT_NEAR(a.write_load(), 1.0 / std::sqrt(static_cast<double>(n)),
+                0.2 / std::sqrt(static_cast<double>(n)))
+        << "n=" << n;
+    // Read load pinned at 1/4 by the seven 4-replica levels.
+    EXPECT_DOUBLE_EQ(a.read_load(), 0.25) << "n=" << n;
+  }
+}
+
+TEST(Algorithm1Test, PaperPerformanceClaims) {
+  // §3.3: write min cost 4, avg cost sqrt(n), read cost sqrt(n), load 1/sqrt(n).
+  const ArbitraryTree tree = algorithm1_tree(400);
+  const ArbitraryAnalysis a(tree);
+  EXPECT_DOUBLE_EQ(a.write_cost_min(), 4.0);
+  EXPECT_NEAR(a.write_cost_avg(), 20.0, 1e-9);
+  EXPECT_NEAR(a.read_cost(), 20.0, 1e-9);
+  EXPECT_NEAR(a.write_load(), 0.05, 1e-9);
+}
+
+TEST(RecommendedTest, MidRangeShape) {
+  const ArbitraryTree tree = recommended_tree(40);
+  const auto sizes = tree.physical_level_sizes();
+  ASSERT_EQ(sizes.size(), 8u);
+  for (std::size_t u = 0; u < 7; ++u) EXPECT_EQ(sizes[u], 4u);
+  EXPECT_EQ(sizes[7], 12u);  // n - 28
+  EXPECT_THROW(recommended_tree(32), std::invalid_argument);
+  // Defers to Algorithm 1 above 64.
+  EXPECT_EQ(recommended_tree(100).physical_level_sizes().size(), 10u);
+}
+
+TEST(BalancedTreeTest, EvenPartition) {
+  const ArbitraryTree tree = balanced_tree(10, 3);
+  EXPECT_EQ(tree.physical_level_sizes(), (std::vector<std::size_t>{3, 3, 4}));
+  EXPECT_TRUE(tree.satisfies_assumption_3_1());
+  EXPECT_THROW(balanced_tree(3, 0), std::invalid_argument);
+  EXPECT_THROW(balanced_tree(3, 4), std::invalid_argument);
+}
+
+TEST(SpectrumTest, ReadOnlyPicksOneLevel) {
+  const ArbitraryTree tree =
+      configure_spectrum(30, {.read_fraction = 1.0, .availability_p = 0.9});
+  EXPECT_EQ(tree.physical_level_sizes().size(), 1u);
+}
+
+TEST(SpectrumTest, WriteOnlyPicksManyLevels) {
+  const ArbitraryTree tree =
+      configure_spectrum(30, {.read_fraction = 0.0, .availability_p = 0.99});
+  EXPECT_GT(tree.physical_level_sizes().size(), 5u);
+}
+
+TEST(SpectrumTest, BalancedMixPicksMiddleGround) {
+  const ArbitraryTree tree =
+      configure_spectrum(64, {.read_fraction = 0.5, .availability_p = 0.9});
+  const std::size_t levels = tree.physical_level_sizes().size();
+  EXPECT_GT(levels, 1u);
+  EXPECT_LT(levels, 64u);
+  EXPECT_EQ(tree.replica_count(), 64u);
+}
+
+TEST(SpectrumTest, ObjectiveIsActuallyMinimal) {
+  // Whatever the configurator returns must beat (or tie) every balanced
+  // alternative on the stated objective.
+  const SpectrumOptions options{.read_fraction = 0.7, .availability_p = 0.85};
+  const ArbitraryTree chosen = configure_spectrum(48, options);
+  const ArbitraryAnalysis chosen_analysis(chosen);
+  const double chosen_objective =
+      options.read_fraction * chosen_analysis.expected_read_load(0.85) +
+      (1 - options.read_fraction) * chosen_analysis.expected_write_load(0.85);
+  for (std::size_t levels = 1; levels <= 48; ++levels) {
+    const ArbitraryAnalysis alt(balanced_tree(48, levels));
+    const double alt_objective =
+        options.read_fraction * alt.expected_read_load(0.85) +
+        (1 - options.read_fraction) * alt.expected_write_load(0.85);
+    EXPECT_LE(chosen_objective, alt_objective + 1e-9) << "levels=" << levels;
+  }
+}
+
+TEST(SpectrumTest, MoreReadsMeansFewerLevels) {
+  // Monotone trend across the read-fraction spectrum.
+  std::size_t previous = SIZE_MAX;
+  for (double fr : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const ArbitraryTree tree =
+        configure_spectrum(60, {.read_fraction = fr, .availability_p = 0.9});
+    const std::size_t levels = tree.physical_level_sizes().size();
+    EXPECT_LE(levels, previous) << "read_fraction=" << fr;
+    previous = levels;
+  }
+}
+
+TEST(SpectrumTest, InvalidOptions) {
+  EXPECT_THROW(configure_spectrum(0, {}), std::invalid_argument);
+  EXPECT_THROW(configure_spectrum(10, {.read_fraction = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(configure_spectrum(10, {.read_fraction = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      configure_spectrum(10, {.read_fraction = 0.5, .availability_p = 0.0}),
+      std::invalid_argument);
+}
+
+TEST(FactoryTest, NamesMatchConfigurations) {
+  EXPECT_EQ(make_mostly_read(9)->name(), "MOSTLY-READ");
+  EXPECT_EQ(make_mostly_write(9)->name(), "MOSTLY-WRITE");
+  EXPECT_EQ(make_unmodified(2)->name(), "UNMODIFIED");
+  EXPECT_EQ(make_arbitrary(40)->name(), "ARBITRARY");
+  EXPECT_EQ(make_arbitrary(100)->universe_size(), 100u);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,44 @@
+#include "core/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atrcp {
+namespace {
+
+TEST(DotTest, ContainsEveryNodeAndEdge) {
+  const ArbitraryTree tree = ArbitraryTree::from_spec("1-3-5");
+  const std::string dot = to_dot(tree);
+  EXPECT_NE(dot.find("digraph arbitrary_tree"), std::string::npos);
+  // 9 nodes total; 3 + 5 edges.
+  for (const char* node : {"n0_0", "n1_0", "n1_2", "n2_0", "n2_4"}) {
+    EXPECT_NE(dot.find(node), std::string::npos) << node;
+  }
+  std::size_t edges = 0;
+  for (std::size_t at = dot.find("->"); at != std::string::npos;
+       at = dot.find("->", at + 2)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 8u);
+}
+
+TEST(DotTest, PhysicalAndLogicalStyles) {
+  const ArbitraryTree tree =
+      ArbitraryTree::from_level_counts({{1, 0}, {2, 1}});
+  const std::string dot = to_dot(tree, "mixed");
+  EXPECT_NE(dot.find("digraph mixed"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // logical nodes
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);  // physical
+  EXPECT_NE(dot.find("label=\"r0\""), std::string::npos);
+}
+
+TEST(AsciiTest, LevelsAndReplicas) {
+  const ArbitraryTree tree =
+      ArbitraryTree::from_level_counts({{1, 0}, {3, 3}, {9, 5}});
+  const std::string ascii = to_ascii(tree);
+  EXPECT_NE(ascii.find("level 0 [logical ]: ."), std::string::npos);
+  EXPECT_NE(ascii.find("level 1 [physical]: r0 r1 r2"), std::string::npos);
+  EXPECT_NE(ascii.find("r7 . . . ."), std::string::npos);  // 5 phys + 4 log
+}
+
+}  // namespace
+}  // namespace atrcp

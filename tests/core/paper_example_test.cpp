@@ -1,0 +1,96 @@
+// The complete worked example of §3.4 / Table 1 / Figure 1, verified
+// end-to-end against our implementation — every number the paper prints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+
+namespace atrcp {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  // Figure 1's tree: logical root, 3 physical nodes at level 1, and a
+  // 9-node level 2 with 5 physical + 4 logical nodes.
+  PaperExampleTest()
+      : tree_(ArbitraryTree::from_level_counts({{1, 0}, {3, 3}, {9, 5}})),
+        analysis_(tree_) {}
+
+  ArbitraryTree tree_;
+  ArbitraryAnalysis analysis_;
+};
+
+TEST_F(PaperExampleTest, Table1Accounting) {
+  // Table 1 rows: (m_k, m_phy_k, m_log_k) per level.
+  EXPECT_EQ(tree_.m(0), 1u);
+  EXPECT_EQ(tree_.m_phy(0), 0u);
+  EXPECT_EQ(tree_.m_log(0), 1u);
+
+  EXPECT_EQ(tree_.m(1), 3u);
+  EXPECT_EQ(tree_.m_phy(1), 3u);
+  EXPECT_EQ(tree_.m_log(1), 0u);
+
+  EXPECT_EQ(tree_.m(2), 9u);
+  EXPECT_EQ(tree_.m_phy(2), 5u);
+  EXPECT_EQ(tree_.m_log(2), 4u);
+}
+
+TEST_F(PaperExampleTest, StructureBullets) {
+  // n = 3 + 5 = 8, obeying Assumption 3.1.
+  EXPECT_EQ(tree_.replica_count(), 8u);
+  EXPECT_TRUE(tree_.satisfies_assumption_3_1());
+  // K_phy = {1,2}, |K_phy| = 2; K_log = {0}, |K_log| = 1.
+  EXPECT_EQ(tree_.physical_levels(), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(tree_.logical_levels(), (std::vector<std::uint32_t>{0}));
+  // |K_log| + |K_phy| = 1 + h.
+  EXPECT_EQ(tree_.logical_levels().size() + tree_.physical_levels().size(),
+            1u + tree_.height());
+  // m(R) = 15 and m(W) = 2.
+  EXPECT_DOUBLE_EQ(analysis_.read_quorum_count(), 15.0);
+  EXPECT_EQ(analysis_.write_quorum_count(), 2u);
+}
+
+TEST_F(PaperExampleTest, ReadOperationBullet) {
+  // RD_cost = 2, RD_availability(0.7) = 0.97, L_RD = 1/3.
+  EXPECT_DOUBLE_EQ(analysis_.read_cost(), 2.0);
+  EXPECT_NEAR(analysis_.read_availability(0.7), 0.97, 0.005);
+  EXPECT_NEAR(analysis_.read_load(), 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(PaperExampleTest, WriteOperationBullet) {
+  // WR_cost = 4, WR_availability(0.7) = 0.45, L_WR = 1/2.
+  EXPECT_DOUBLE_EQ(analysis_.write_cost_avg(), 4.0);
+  EXPECT_NEAR(analysis_.write_availability(0.7), 0.45, 0.01);
+  EXPECT_NEAR(analysis_.write_load(), 0.5, 1e-12);
+}
+
+TEST_F(PaperExampleTest, ExpectedLoadBullet) {
+  // E L_RD = 0.35 and E L_WR = 0.775.
+  EXPECT_NEAR(analysis_.expected_read_load(0.7), 0.35, 0.005);
+  EXPECT_NEAR(analysis_.expected_write_load(0.7), 0.775, 0.005);
+}
+
+TEST_F(PaperExampleTest, SpecStringNotation) {
+  // "In the rest of this paper, we represent such an arbitrary tree in the
+  // following manner: 1-3-5" — our compact builder produces the same
+  // protocol behaviour (identical physical level sizes).
+  const ArbitraryTree compact = ArbitraryTree::from_spec("1-3-5");
+  EXPECT_EQ(compact.physical_level_sizes(), tree_.physical_level_sizes());
+}
+
+TEST_F(PaperExampleTest, Section33LimitClaims) {
+  // §3.3: as n -> inf under Algorithm 1, WR_av -> 1-(1-p^4)^7 and
+  // RD_av -> (1-(1-p)^4)^7; for p > 0.8 both are ~1. Check the limit
+  // expressions at p = 0.85.
+  const double p = 0.85;
+  const double wr_limit = 1.0 - std::pow(1.0 - std::pow(p, 4), 7);
+  const double rd_limit = std::pow(1.0 - std::pow(1.0 - p, 4), 7);
+  EXPECT_GT(wr_limit, 0.95);
+  EXPECT_GT(rd_limit, 0.99);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,203 @@
+// Randomized property tests over the arbitrary protocol: generate many
+// random trees (random level counts, sizes, logical/physical mixtures) and
+// verify the paper's theorems hold on every one of them:
+//   * the read/write quorum sets form a bicoterie (§3.2.3 induction proof);
+//   * Facts 3.2.1 / 3.2.2 (quorum counts);
+//   * the closed-form optimal loads equal the LP optimum (Appendix 6.1/6.2)
+//     and the uniform strategy attains them;
+//   * closed-form availability equals exhaustive-enumeration availability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/analysis.hpp"
+#include "core/quorums.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/lp.hpp"
+#include "quorum/set_system.hpp"
+#include "quorum/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+namespace {
+
+/// A random tree with l physical levels of small sizes (so exhaustive
+/// checks stay cheap), random logical padding, and a logical or physical
+/// root. Not necessarily Assumption-3.1-conformant: quorum correctness must
+/// hold regardless, and load/availability formulas are structure-free.
+ArbitraryTree random_tree(Rng& rng, std::size_t max_level_size = 4,
+                          std::size_t max_levels = 4) {
+  const std::size_t levels = 1 + rng.below(max_levels);
+  std::vector<ArbitraryTree::LevelCount> counts;
+  counts.push_back({1, rng.chance(0.5) ? 1u : 0u});  // root
+  bool any_physical = counts[0].physical > 0;
+  for (std::size_t k = 1; k <= levels; ++k) {
+    const auto physical =
+        static_cast<std::uint32_t>(rng.below(max_level_size + 1));
+    const auto logical = static_cast<std::uint32_t>(rng.below(3));
+    std::uint32_t total = physical + logical;
+    if (total == 0) total = 1;  // keep levels non-empty (all-logical level)
+    counts.push_back({total, physical});
+    any_physical |= physical > 0;
+  }
+  if (!any_physical) {
+    counts.push_back({2, 2});  // guarantee at least one physical node
+  }
+  return ArbitraryTree::from_level_counts(counts);
+}
+
+class RandomTreeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeTest, BicoterieIntersectionAlwaysHolds) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const ArbitraryProtocol protocol(random_tree(rng));
+    const std::size_t n = protocol.universe_size();
+    const auto reads = protocol.enumerate_read_quorums(100000);
+    const auto writes = protocol.enumerate_write_quorums(100000);
+    Bicoterie bicoterie(n, reads, writes);
+    EXPECT_TRUE(bicoterie.intersection_holds())
+        << protocol.tree().to_spec_string();
+  }
+}
+
+TEST_P(RandomTreeTest, QuorumCountsMatchFacts) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int round = 0; round < 20; ++round) {
+    const ArbitraryProtocol protocol(random_tree(rng));
+    const ArbitraryAnalysis& analysis = protocol.analysis();
+    const auto reads = protocol.enumerate_read_quorums(100000);
+    const auto writes = protocol.enumerate_write_quorums(100000);
+    EXPECT_DOUBLE_EQ(static_cast<double>(reads.size()),
+                     analysis.read_quorum_count());
+    EXPECT_EQ(writes.size(), analysis.write_quorum_count());
+  }
+}
+
+TEST_P(RandomTreeTest, ReadLoadEqualsLpOptimum) {
+  Rng rng(GetParam() ^ 0x1111);
+  for (int round = 0; round < 8; ++round) {
+    const ArbitraryProtocol protocol(random_tree(rng, 3, 3));
+    const std::size_t n = protocol.universe_size();
+    const auto reads = protocol.enumerate_read_quorums(4000);
+    const SetSystem system(n, reads);
+    const auto lp = optimal_load(system);
+    EXPECT_NEAR(lp.load, protocol.read_load(), 1e-7)
+        << protocol.tree().to_spec_string();
+    // The uniform strategy attains it (Appendix 6.1.1).
+    EXPECT_NEAR(strategy_load(system, Strategy::uniform(reads.size())),
+                protocol.read_load(), 1e-9);
+    // And the LP's dual is a Proposition-2.1 certificate.
+    EXPECT_TRUE(certifies_lower_bound(system, lp.y, lp.load, 1e-6));
+  }
+}
+
+TEST_P(RandomTreeTest, WriteLoadEqualsLpOptimum) {
+  Rng rng(GetParam() ^ 0x2222);
+  for (int round = 0; round < 10; ++round) {
+    const ArbitraryProtocol protocol(random_tree(rng));
+    const std::size_t n = protocol.universe_size();
+    const auto writes = protocol.enumerate_write_quorums(1000);
+    const SetSystem system(n, writes);
+    const auto lp = optimal_load(system);
+    EXPECT_NEAR(lp.load, protocol.write_load(), 1e-7)
+        << protocol.tree().to_spec_string();
+    EXPECT_NEAR(strategy_load(system, Strategy::uniform(writes.size())),
+                protocol.write_load(), 1e-9);
+  }
+}
+
+TEST_P(RandomTreeTest, AvailabilityFormulasMatchEnumeration) {
+  Rng rng(GetParam() ^ 0x3333);
+  for (int round = 0; round < 10; ++round) {
+    ArbitraryTree tree = random_tree(rng, 3, 3);
+    if (tree.replica_count() > 16) continue;  // keep 2^n enumeration cheap
+    const ArbitraryProtocol protocol(std::move(tree));
+    const std::size_t n = protocol.universe_size();
+    const SetSystem reads(n, protocol.enumerate_read_quorums(100000));
+    const SetSystem writes(n, protocol.enumerate_write_quorums(1000));
+    for (double p : {0.55, 0.8}) {
+      EXPECT_NEAR(protocol.read_availability(p), exact_availability(reads, p),
+                  1e-10)
+          << protocol.tree().to_spec_string() << " p=" << p;
+      EXPECT_NEAR(protocol.write_availability(p),
+                  exact_availability(writes, p), 1e-10)
+          << protocol.tree().to_spec_string() << " p=" << p;
+    }
+  }
+}
+
+TEST_P(RandomTreeTest, AssembledQuorumsBelongToEnumeratedSets) {
+  Rng rng(GetParam() ^ 0x4444);
+  for (int round = 0; round < 10; ++round) {
+    const ArbitraryProtocol protocol(random_tree(rng, 3, 3));
+    const std::size_t n = protocol.universe_size();
+    const auto reads = protocol.enumerate_read_quorums(100000);
+    const auto writes = protocol.enumerate_write_quorums(1000);
+    const FailureSet none(n);
+    for (int i = 0; i < 20; ++i) {
+      const auto r = protocol.assemble_read_quorum(none, rng);
+      ASSERT_TRUE(r.has_value());
+      EXPECT_NE(std::find(reads.begin(), reads.end(), *r), reads.end());
+      const auto w = protocol.assemble_write_quorum(none, rng);
+      ASSERT_TRUE(w.has_value());
+      EXPECT_NE(std::find(writes.begin(), writes.end(), *w), writes.end());
+    }
+  }
+}
+
+TEST_P(RandomTreeTest, ReadAssemblySucceedsIffEveryLevelHasASurvivor) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int round = 0; round < 10; ++round) {
+    const ArbitraryProtocol protocol(random_tree(rng));
+    const auto& tree = protocol.tree();
+    const std::size_t n = protocol.universe_size();
+    for (int trial = 0; trial < 20; ++trial) {
+      FailureSet failures(n);
+      for (ReplicaId id = 0; id < n; ++id) {
+        if (rng.chance(0.4)) failures.fail(id);
+      }
+      bool every_level_has_survivor = true;
+      for (std::uint32_t level : tree.physical_levels()) {
+        bool survivor = false;
+        for (ReplicaId id : tree.replicas_at_level(level)) {
+          if (failures.is_alive(id)) survivor = true;
+        }
+        every_level_has_survivor &= survivor;
+      }
+      EXPECT_EQ(protocol.assemble_read_quorum(failures, rng).has_value(),
+                every_level_has_survivor);
+    }
+  }
+}
+
+TEST_P(RandomTreeTest, WriteAssemblySucceedsIffSomeLevelFullyAlive) {
+  Rng rng(GetParam() ^ 0x6666);
+  for (int round = 0; round < 10; ++round) {
+    const ArbitraryProtocol protocol(random_tree(rng));
+    const auto& tree = protocol.tree();
+    const std::size_t n = protocol.universe_size();
+    for (int trial = 0; trial < 20; ++trial) {
+      FailureSet failures(n);
+      for (ReplicaId id = 0; id < n; ++id) {
+        if (rng.chance(0.3)) failures.fail(id);
+      }
+      bool some_level_fully_alive = false;
+      for (std::uint32_t level : tree.physical_levels()) {
+        bool full = true;
+        for (ReplicaId id : tree.replicas_at_level(level)) {
+          if (failures.is_failed(id)) full = false;
+        }
+        some_level_fully_alive |= full;
+      }
+      EXPECT_EQ(protocol.assemble_write_quorum(failures, rng).has_value(),
+                some_level_fully_alive);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,173 @@
+#include "core/quorums.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.hpp"
+#include "core/config.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/lp.hpp"
+#include "quorum/set_system.hpp"
+#include "quorum/strategy.hpp"
+
+namespace atrcp {
+namespace {
+
+ArbitraryProtocol paper_tree() {
+  return ArbitraryProtocol(ArbitraryTree::from_spec("1-3-5"));
+}
+
+TEST(ArbitraryProtocolTest, ReadQuorumShape) {
+  const auto protocol = paper_tree();
+  FailureSet none(8);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto q = protocol.assemble_read_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    ASSERT_EQ(q->size(), 2u);  // one per physical level
+    EXPECT_LT(q->members()[0], 3u);   // level-1 replica
+    EXPECT_GE(q->members()[1], 3u);   // level-2 replica
+  }
+}
+
+TEST(ArbitraryProtocolTest, WriteQuorumIsAWholeLevel) {
+  const auto protocol = paper_tree();
+  FailureSet none(8);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto q = protocol.assemble_write_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_TRUE(*q == Quorum({0, 1, 2}) || *q == Quorum({3, 4, 5, 6, 7}))
+        << q->to_string();
+  }
+}
+
+TEST(ArbitraryProtocolTest, ReadSurvivesAllButOnePerLevel) {
+  const auto protocol = paper_tree();
+  FailureSet failures(8);
+  failures.fail(0);
+  failures.fail(1);   // level 1 keeps replica 2
+  failures.fail(3);
+  failures.fail(4);
+  failures.fail(5);
+  failures.fail(6);   // level 2 keeps replica 7
+  Rng rng(3);
+  const auto q = protocol.assemble_read_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, Quorum({2, 7}));
+}
+
+TEST(ArbitraryProtocolTest, ReadDiesWithAWholeLevel) {
+  const auto protocol = paper_tree();
+  FailureSet failures(8);
+  failures.fail(0);
+  failures.fail(1);
+  failures.fail(2);  // level 1 entirely dead
+  Rng rng(4);
+  EXPECT_FALSE(protocol.assemble_read_quorum(failures, rng).has_value());
+  // Writes still can use level 2.
+  EXPECT_TRUE(protocol.assemble_write_quorum(failures, rng).has_value());
+}
+
+TEST(ArbitraryProtocolTest, WriteNeedsOneFullyAliveLevel) {
+  const auto protocol = paper_tree();
+  FailureSet failures(8);
+  failures.fail(0);  // breaks level 1
+  failures.fail(7);  // breaks level 2
+  Rng rng(5);
+  EXPECT_FALSE(protocol.assemble_write_quorum(failures, rng).has_value());
+  // Reads survive: pick 1 or 2 at level 1, 3..6 at level 2.
+  EXPECT_TRUE(protocol.assemble_read_quorum(failures, rng).has_value());
+}
+
+TEST(ArbitraryProtocolTest, WriteAvoidsBrokenLevels) {
+  const auto protocol = paper_tree();
+  FailureSet failures(8);
+  failures.fail(4);  // level 2 has a hole
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = protocol.assemble_write_quorum(failures, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, Quorum({0, 1, 2}));
+  }
+}
+
+TEST(ArbitraryProtocolTest, EnumerationMatchesFacts321And322) {
+  const auto protocol = paper_tree();
+  const auto reads = protocol.enumerate_read_quorums(100);
+  const auto writes = protocol.enumerate_write_quorums(100);
+  EXPECT_EQ(reads.size(), 15u);  // m(R) = 3 * 5
+  EXPECT_EQ(writes.size(), 2u);  // m(W) = |K_phy|
+  Bicoterie bicoterie(8, reads, writes);
+  EXPECT_TRUE(bicoterie.intersection_holds());
+}
+
+TEST(ArbitraryProtocolTest, EnumerationLimitRespected) {
+  const auto protocol = paper_tree();
+  EXPECT_THROW(protocol.enumerate_read_quorums(10), std::length_error);
+  EXPECT_THROW(protocol.enumerate_write_quorums(1), std::length_error);
+}
+
+TEST(ArbitraryProtocolTest, ReadLoadMatchesLpOptimum) {
+  // Appendix 6.1: L_RD = 1/d. The LP over all enumerated read quorums must
+  // agree exactly.
+  const auto protocol = paper_tree();
+  const SetSystem reads(8, protocol.enumerate_read_quorums(100));
+  const auto lp = optimal_load(reads);
+  EXPECT_NEAR(lp.load, protocol.read_load(), 1e-8);
+  EXPECT_NEAR(lp.load, 1.0 / 3.0, 1e-8);
+  EXPECT_TRUE(certifies_lower_bound(reads, lp.y, lp.load, 1e-7));
+}
+
+TEST(ArbitraryProtocolTest, WriteLoadMatchesLpOptimum) {
+  // Appendix 6.2: L_WR = 1/|K_phy|.
+  const auto protocol = paper_tree();
+  const SetSystem writes(8, protocol.enumerate_write_quorums(100));
+  const auto lp = optimal_load(writes);
+  EXPECT_NEAR(lp.load, protocol.write_load(), 1e-8);
+  EXPECT_NEAR(lp.load, 0.5, 1e-8);
+}
+
+TEST(ArbitraryProtocolTest, AvailabilityMatchesExactEnumeration) {
+  const auto protocol = paper_tree();
+  const SetSystem reads(8, protocol.enumerate_read_quorums(100));
+  const SetSystem writes(8, protocol.enumerate_write_quorums(100));
+  for (double p : {0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(protocol.read_availability(p), exact_availability(reads, p),
+                1e-12)
+        << "p=" << p;
+    EXPECT_NEAR(protocol.write_availability(p), exact_availability(writes, p),
+                1e-12)
+        << "p=" << p;
+  }
+}
+
+TEST(ArbitraryProtocolTest, UniformStrategyLoadMatchesPaperUpperBound) {
+  // Appendix 6.1.1: the uniform strategy over read quorums induces load
+  // exactly 1/g(u) on each level-u replica, so the max is 1/d.
+  const auto protocol = paper_tree();
+  const SetSystem reads(8, protocol.enumerate_read_quorums(100));
+  const auto loads = induced_loads(reads, Strategy::uniform(15));
+  for (ReplicaId id = 0; id < 3; ++id) {
+    EXPECT_NEAR(loads[id], 1.0 / 3.0, 1e-12);
+  }
+  for (ReplicaId id = 3; id < 8; ++id) {
+    EXPECT_NEAR(loads[id], 1.0 / 5.0, 1e-12);
+  }
+}
+
+TEST(ArbitraryProtocolTest, EmpiricalLoadsMatchClosedForms) {
+  const auto protocol = paper_tree();
+  Rng rng(7);
+  const auto loads = empirical_loads(protocol, 100000, rng);
+  EXPECT_NEAR(loads.max_read, 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(loads.max_write, 0.5, 0.01);
+}
+
+TEST(ArbitraryProtocolTest, CustomDisplayName) {
+  const ArbitraryProtocol p(mostly_read_tree(5), "MOSTLY-READ");
+  EXPECT_EQ(p.name(), "MOSTLY-READ");
+  EXPECT_EQ(paper_tree().name(), "ARBITRARY");
+}
+
+}  // namespace
+}  // namespace atrcp

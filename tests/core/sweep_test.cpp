@@ -1,0 +1,133 @@
+// Parameterized sweep over a catalogue of tree shapes: every §3.2 relation
+// checked on each of them. This is the wide-net complement to the targeted
+// tests — any regression in the closed forms breaks dozens of cases here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/analysis.hpp"
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "quorum/resilience.hpp"
+
+namespace atrcp {
+namespace {
+
+class TreeShapeSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  ArbitraryTree tree() const { return ArbitraryTree::from_spec(GetParam()); }
+};
+
+TEST_P(TreeShapeSweep, AccountingIdentities) {
+  const ArbitraryTree t = tree();
+  // n = sum of physical level sizes; |K_log| + |K_phy| = 1 + h.
+  const auto sizes = t.physical_level_sizes();
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}),
+            t.replica_count());
+  EXPECT_EQ(t.logical_levels().size() + t.physical_levels().size(),
+            1u + t.height());
+  // Per-level: m = m_phy + m_log.
+  for (std::uint32_t k = 0; k <= t.height(); ++k) {
+    EXPECT_EQ(t.m(k), t.m_phy(k) + t.m_log(k));
+  }
+}
+
+TEST_P(TreeShapeSweep, CostFormulas) {
+  const ArbitraryAnalysis a(tree());
+  EXPECT_DOUBLE_EQ(a.read_cost(),
+                   static_cast<double>(a.physical_level_count()));
+  EXPECT_DOUBLE_EQ(a.write_cost_min(), static_cast<double>(a.d()));
+  EXPECT_DOUBLE_EQ(a.write_cost_max(), static_cast<double>(a.e()));
+  EXPECT_NEAR(a.write_cost_avg(),
+              static_cast<double>(a.replica_count()) /
+                  static_cast<double>(a.physical_level_count()),
+              1e-12);
+  EXPECT_LE(a.write_cost_min(), a.write_cost_avg() + 1e-12);
+  EXPECT_LE(a.write_cost_avg(), a.write_cost_max() + 1e-12);
+}
+
+TEST_P(TreeShapeSweep, LoadFormulas) {
+  const ArbitraryAnalysis a(tree());
+  EXPECT_DOUBLE_EQ(a.read_load(), 1.0 / static_cast<double>(a.d()));
+  EXPECT_DOUBLE_EQ(a.write_load(),
+                   1.0 / static_cast<double>(a.physical_level_count()));
+}
+
+TEST_P(TreeShapeSweep, QuorumCountFacts) {
+  const ArbitraryProtocol protocol(tree());
+  const ArbitraryAnalysis& a = protocol.analysis();
+  double product = 1.0;
+  for (std::size_t s : a.level_sizes()) product *= static_cast<double>(s);
+  EXPECT_DOUBLE_EQ(a.read_quorum_count(), product);
+  EXPECT_EQ(a.write_quorum_count(), a.level_sizes().size());
+}
+
+TEST_P(TreeShapeSweep, AvailabilityProductForms) {
+  const ArbitraryAnalysis a(tree());
+  for (double p : {0.5, 0.7, 0.9}) {
+    double read_product = 1.0;
+    double fail_product = 1.0;
+    for (std::size_t s : a.level_sizes()) {
+      read_product *= 1.0 - std::pow(1.0 - p, static_cast<double>(s));
+      fail_product *= 1.0 - std::pow(p, static_cast<double>(s));
+    }
+    EXPECT_NEAR(a.read_availability(p), read_product, 1e-12);
+    EXPECT_NEAR(a.write_availability(p), 1.0 - fail_product, 1e-12);
+    EXPECT_GE(a.read_availability(p), 0.0);
+    EXPECT_LE(a.read_availability(p), 1.0);
+  }
+}
+
+TEST_P(TreeShapeSweep, ExpectedLoadEquation32) {
+  const ArbitraryAnalysis a(tree());
+  for (double p : {0.6, 0.8}) {
+    EXPECT_NEAR(a.expected_read_load(p),
+                a.read_availability(p) * (a.read_load() - 1.0) + 1.0, 1e-12);
+    EXPECT_NEAR(a.expected_write_load(p),
+                a.write_availability(p) * a.write_load() +
+                    (1.0 - a.write_availability(p)),
+                1e-12);
+    // Expected loads are never better than the optimal loads.
+    EXPECT_GE(a.expected_read_load(p), a.read_load() - 1e-12);
+    EXPECT_GE(a.expected_write_load(p), a.write_load() - 1e-12);
+  }
+}
+
+TEST_P(TreeShapeSweep, BicoterieAndResilience) {
+  const ArbitraryProtocol protocol(tree());
+  const std::size_t n = protocol.universe_size();
+  const auto read_quorums = protocol.enumerate_read_quorums(100000);
+  const auto write_quorums = protocol.enumerate_write_quorums(1000);
+  Bicoterie bicoterie(n, read_quorums, write_quorums);
+  EXPECT_TRUE(bicoterie.intersection_holds());
+  if (read_quorums.size() <= 2000) {
+    const ArbitraryAnalysis& a = protocol.analysis();
+    EXPECT_EQ(resilience(SetSystem(n, read_quorums)), a.d() - 1);
+    EXPECT_EQ(resilience(SetSystem(n, write_quorums)),
+              a.physical_level_count() - 1);
+  }
+}
+
+TEST_P(TreeShapeSweep, RoundTripSpecString) {
+  const ArbitraryTree t = tree();
+  const ArbitraryTree reparsed = ArbitraryTree::from_spec(t.to_spec_string());
+  EXPECT_EQ(reparsed.physical_level_sizes(), t.physical_level_sizes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeShapeSweep,
+    ::testing::Values("1-3-5", "1-2-2", "1-8", "1-2-3-4", "1-4-4-4-4",
+                      "1-2-2-2-2-2", "1-5-5", "1-3-3-3", "1-2-6",
+                      "1-4-5-6-7", "1-10-10", "1-2-2-4-4-8", "1-6-6-6",
+                      "1-3-4-5-6-7-8"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,152 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atrcp {
+namespace {
+
+TEST(ArbitraryTreeTest, RejectsMalformedLevels) {
+  EXPECT_THROW(ArbitraryTree({}), std::invalid_argument);
+  // Root level must have exactly one node.
+  EXPECT_THROW(ArbitraryTree({{{1, true}, {0, true}}}), std::invalid_argument);
+  // Child counts must match the next level's size.
+  EXPECT_THROW(ArbitraryTree({{{3, true}}, {{0, true}, {0, true}}}),
+               std::invalid_argument);
+  // Leaves must have zero children.
+  EXPECT_THROW(ArbitraryTree({{{1, true}}, {{2, true}}}),
+               std::invalid_argument);
+  // At least one physical node.
+  EXPECT_THROW(ArbitraryTree({{{0, false}}}), std::invalid_argument);
+}
+
+TEST(ArbitraryTreeTest, SinglephysicalRoot) {
+  const ArbitraryTree tree({{{0, true}}});
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.replica_count(), 1u);
+  EXPECT_EQ(tree.physical_levels(), std::vector<std::uint32_t>{0});
+  EXPECT_TRUE(tree.satisfies_assumption_3_1());
+}
+
+TEST(ArbitraryTreeTest, FromSpec135MatchesPaperExample) {
+  // §3.4: "1-3-5", height 2, one logical level (0), physical levels 1 and 2.
+  const ArbitraryTree tree = ArbitraryTree::from_spec("1-3-5");
+  EXPECT_EQ(tree.height(), 2u);
+  EXPECT_EQ(tree.replica_count(), 8u);
+  EXPECT_EQ(tree.m(0), 1u);
+  EXPECT_EQ(tree.m_phy(0), 0u);
+  EXPECT_EQ(tree.m_log(0), 1u);
+  EXPECT_EQ(tree.m(1), 3u);
+  EXPECT_EQ(tree.m_phy(1), 3u);
+  EXPECT_EQ(tree.m(2), 5u);
+  EXPECT_EQ(tree.m_phy(2), 5u);
+  EXPECT_EQ(tree.physical_levels(), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(tree.logical_levels(), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(tree.min_physical_level_size(), 3u);
+  EXPECT_EQ(tree.max_physical_level_size(), 5u);
+  EXPECT_TRUE(tree.satisfies_assumption_3_1());
+  EXPECT_EQ(tree.to_spec_string(), "1-3-5");
+}
+
+TEST(ArbitraryTreeTest, FromSpecRejectsGarbage) {
+  EXPECT_THROW(ArbitraryTree::from_spec(""), std::invalid_argument);
+  EXPECT_THROW(ArbitraryTree::from_spec("7"), std::invalid_argument);
+  EXPECT_THROW(ArbitraryTree::from_spec("2-3"), std::invalid_argument);
+  EXPECT_THROW(ArbitraryTree::from_spec("1--3"), std::invalid_argument);
+  EXPECT_THROW(ArbitraryTree::from_spec("1-a"), std::invalid_argument);
+  EXPECT_THROW(ArbitraryTree::from_spec("1-0"), std::invalid_argument);
+}
+
+TEST(ArbitraryTreeTest, ReplicaIdsAssignedTopToBottomLeftToRight) {
+  const ArbitraryTree tree = ArbitraryTree::from_spec("1-3-5");
+  EXPECT_EQ(tree.replicas_at_level(1), (std::vector<ReplicaId>{0, 1, 2}));
+  EXPECT_EQ(tree.replicas_at_level(2), (std::vector<ReplicaId>{3, 4, 5, 6, 7}));
+}
+
+TEST(ArbitraryTreeTest, CompleteBinary) {
+  const ArbitraryTree tree = ArbitraryTree::complete(2, 3);
+  EXPECT_EQ(tree.replica_count(), 15u);
+  EXPECT_EQ(tree.height(), 3u);
+  EXPECT_EQ(tree.physical_level_sizes(),
+            (std::vector<std::size_t>{1, 2, 4, 8}));
+  EXPECT_TRUE(tree.satisfies_assumption_3_1());
+  // Every interior node has exactly two children.
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    for (std::uint32_t i = 0; i < tree.m(k); ++i) {
+      EXPECT_EQ(tree.node(k, i).child_count, 2u);
+    }
+  }
+}
+
+TEST(ArbitraryTreeTest, CompleteTernary) {
+  const ArbitraryTree tree = ArbitraryTree::complete(3, 2);
+  EXPECT_EQ(tree.replica_count(), 13u);
+  EXPECT_EQ(tree.physical_level_sizes(), (std::vector<std::size_t>{1, 3, 9}));
+}
+
+TEST(ArbitraryTreeTest, ParentChildLinksConsistent) {
+  const ArbitraryTree tree = ArbitraryTree::from_spec("1-3-5");
+  // Children of the root are all of level 1.
+  const TreeNode& root = tree.node(0, 0);
+  EXPECT_EQ(root.child_count, 3u);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(tree.node(1, root.first_child + c).parent, 0u);
+  }
+  // Level-2 nodes' parents exist and own them.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const TreeNode& child = tree.node(2, i);
+    const TreeNode& parent = tree.node(1, child.parent);
+    EXPECT_GE(i, parent.first_child);
+    EXPECT_LT(i, parent.first_child + parent.child_count);
+  }
+}
+
+TEST(ArbitraryTreeTest, MixedLevelWithLogicalNodes) {
+  // Figure 1's exact shape: level 2 has 9 nodes, 5 physical + 4 logical.
+  const ArbitraryTree tree = ArbitraryTree::from_level_counts(
+      {{1, 0}, {3, 3}, {9, 5}});
+  EXPECT_EQ(tree.m(2), 9u);
+  EXPECT_EQ(tree.m_phy(2), 5u);
+  EXPECT_EQ(tree.m_log(2), 4u);
+  EXPECT_EQ(tree.replica_count(), 8u);
+  EXPECT_EQ(tree.to_spec_string(), "1-3-9(5)");
+  EXPECT_TRUE(tree.satisfies_assumption_3_1());
+}
+
+TEST(ArbitraryTreeTest, Assumption31Violations) {
+  // Decreasing physical sizes: 5 then 3.
+  const ArbitraryTree decreasing =
+      ArbitraryTree::from_level_counts({{1, 0}, {5, 5}, {5, 3}});
+  EXPECT_FALSE(decreasing.satisfies_assumption_3_1());
+  // Physical root with equal next level: m_phy0 = 1 !< 1.
+  const ArbitraryTree flat =
+      ArbitraryTree::from_level_counts({{1, 1}, {1, 1}});
+  EXPECT_FALSE(flat.satisfies_assumption_3_1());
+  // Logical level sandwiched between physical ones.
+  const ArbitraryTree sandwich =
+      ArbitraryTree::from_level_counts({{1, 0}, {2, 2}, {4, 0}, {4, 4}});
+  EXPECT_FALSE(sandwich.satisfies_assumption_3_1());
+}
+
+TEST(ArbitraryTreeTest, LevelCountValidation) {
+  EXPECT_THROW(ArbitraryTree::from_level_counts({}), std::invalid_argument);
+  EXPECT_THROW(ArbitraryTree::from_level_counts({{0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(ArbitraryTree::from_level_counts({{1, 2}}),
+               std::invalid_argument);
+}
+
+TEST(ArbitraryTreeTest, NodeAccessorBounds) {
+  const ArbitraryTree tree = ArbitraryTree::from_spec("1-2-2");
+  EXPECT_THROW(tree.node(3, 0), std::out_of_range);
+  EXPECT_THROW(tree.node(1, 2), std::out_of_range);
+  EXPECT_THROW(tree.m(9), std::out_of_range);
+  EXPECT_THROW(tree.replicas_at_level(9), std::out_of_range);
+}
+
+TEST(ArbitraryTreeTest, NodeCount) {
+  EXPECT_EQ(ArbitraryTree::from_spec("1-3-5").node_count(), 9u);
+  EXPECT_EQ(ArbitraryTree::complete(2, 2).node_count(), 7u);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,79 @@
+// End-to-end: coordinators driven by the heartbeat detector's suspicion
+// view instead of the failure oracle — the full realistic stack.
+#include <gtest/gtest.h>
+
+#include "core/quorums.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions detector_options() {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  options.use_heartbeat_detector = true;
+  options.detector.interval = 1'000;
+  options.detector.suspect_after = 3;
+  options.coordinator.request_timeout = 2'000;
+  return options;
+}
+
+TEST(DetectorClusterTest, HealthyOperationsWork) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  detector_options());
+  EXPECT_EQ(cluster.write_sync(0, 1, "v"), TxnOutcome::kCommitted);
+  const auto value = cluster.read_sync(0, 1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "v");
+  ASSERT_NE(cluster.detector(), nullptr);
+  EXPECT_EQ(cluster.detector()->suspicions(), 0u);
+}
+
+TEST(DetectorClusterTest, SilentCrashIsDetectedAndRoutedAround) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  detector_options());
+  ASSERT_EQ(cluster.write_sync(0, 1, "v"), TxnOutcome::kCommitted);
+  // Silent crash: only the network knows; the detector must discover it.
+  cluster.network().set_up(2, false);
+  cluster.scheduler().run_until(cluster.scheduler().now() + 10'000);
+  EXPECT_TRUE(cluster.detector()->view().is_failed(2));
+  // Reads now avoid replica 2 on the first try.
+  for (int i = 0; i < 10; ++i) {
+    const auto value = cluster.read_sync(0, 1);
+    ASSERT_TRUE(value.has_value());
+  }
+}
+
+TEST(DetectorClusterTest, RecoveryIsNoticedAndReused) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-2-6")),
+                  detector_options());
+  // Level 1 = replicas {0,1}. Kill 0: writes must use level 2 or fail...
+  cluster.network().set_up(0, false);
+  cluster.scheduler().run_until(20'000);
+  ASSERT_TRUE(cluster.detector()->view().is_failed(0));
+  cluster.network().set_up(0, true);
+  cluster.scheduler().run_until(40'000);
+  ASSERT_TRUE(cluster.detector()->view().is_alive(0));
+  EXPECT_EQ(cluster.write_sync(0, 1, "back"), TxnOutcome::kCommitted);
+}
+
+TEST(DetectorClusterTest, WorkloadRunsUnderDetector) {
+  ClusterOptions options = detector_options();
+  options.clients = 2;
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-4-5")),
+                  options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 50;
+  workload.read_fraction = 0.6;
+  const WorkloadStats stats = run_workload(cluster, workload);
+  EXPECT_EQ(stats.committed, 100u);
+  EXPECT_EQ(stats.aborted, 0u);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,173 @@
+// Fault-injection integration: crashes, transient failures, lossy links and
+// partitions thrown at the full stack, verifying the availability behaviour
+// the paper's formulas promise and the safety the bicoterie guarantees.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions fast(std::size_t clients = 1) {
+  ClusterOptions options;
+  options.clients = clients;
+  options.link = LinkParams{.base_latency = 10, .jitter = 2};
+  // Keep failure handling snappy so aborts resolve quickly in sim time.
+  options.coordinator.request_timeout = 2000;
+  options.coordinator.lock_timeout = 20000;
+  return options;
+}
+
+std::unique_ptr<ArbitraryProtocol> paper_protocol() {
+  return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+}
+
+TEST(FaultInjectionTest, TransientLevelOutageHealsItself) {
+  Cluster cluster(paper_protocol(), fast());
+  ASSERT_EQ(cluster.write_sync(0, 1, "before"), TxnOutcome::kCommitted);
+  // Take down all of level 1 transiently, but issue the read after recovery.
+  for (ReplicaId r = 0; r < 3; ++r) {
+    cluster.injector().transient_failure(cluster.scheduler().now() + 10, r,
+                                         5000);
+  }
+  cluster.scheduler().run_until(cluster.scheduler().now() + 20);
+  EXPECT_FALSE(cluster.read_sync(0, 1).has_value());  // outage window
+  cluster.scheduler().run_until(cluster.scheduler().now() + 10000);
+  const auto value = cluster.read_sync(0, 1);  // healed
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "before");
+}
+
+TEST(FaultInjectionTest, UnreportedCrashHandledByTimeoutAndRetry) {
+  // Crash a replica WITHOUT telling the failure view (network down only):
+  // the coordinator must suspect it after the silent round and re-assemble
+  // around it. This exercises the timeout/suspicion path.
+  Cluster cluster(paper_protocol(), fast());
+  ASSERT_EQ(cluster.write_sync(0, 1, "v"), TxnOutcome::kCommitted);
+  cluster.network().set_up(2, false);  // level-1 replica silently dead
+  // Reads retry until they pick an alive level-1 member; with 3 attempts
+  // and re-assembly around suspects this succeeds.
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    successes += cluster.read_sync(0, 1).has_value() ? 1 : 0;
+  }
+  EXPECT_GE(successes, 8);  // occasional abort allowed, mostly healed
+}
+
+TEST(FaultInjectionTest, MinorityPartitionCannotWrite) {
+  // Partition replicas {0,1} (part of level 1) away from the client: no
+  // physical level is fully reachable, so writes abort; reads abort too
+  // only if a full level is unreachable... here level 1 loses 2 of 3, so
+  // reads still succeed through replica 2 + any level-2 member.
+  Cluster cluster(paper_protocol(), fast());
+  ASSERT_EQ(cluster.write_sync(0, 1, "pre"), TxnOutcome::kCommitted);
+  cluster.network().set_partition(0, 1);
+  cluster.network().set_partition(1, 1);
+  // The failure view doesn't know about the partition; rely on suspicion.
+  const auto read = cluster.read_sync(0, 1);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->value, "pre");
+  // Writes need level 1 complete or level 2 complete; level 2 is complete,
+  // so writes can still succeed (landing on level 2). A single attempt may
+  // abort when the write-quorum draw picks the partitioned level 1 (the
+  // prepare phase times out without re-assembly), so retry a few times —
+  // exactly what a client of this protocol would do.
+  TxnOutcome post = TxnOutcome::kAborted;
+  for (int attempt = 0; attempt < 10 && post != TxnOutcome::kCommitted;
+       ++attempt) {
+    post = cluster.write_sync(0, 1, "post");
+  }
+  EXPECT_EQ(post, TxnOutcome::kCommitted);
+  // Now also cut a level-2 member: no full level reachable -> abort after
+  // suspicion-driven retries exhaust.
+  cluster.network().set_partition(5, 1);
+  EXPECT_EQ(cluster.write_sync(0, 1, "nope"), TxnOutcome::kAborted);
+}
+
+TEST(FaultInjectionTest, HealedPartitionRestoresService) {
+  Cluster cluster(paper_protocol(), fast());
+  cluster.network().set_partition(0, 1);
+  cluster.network().set_partition(1, 1);
+  cluster.network().set_partition(5, 1);
+  EXPECT_EQ(cluster.write_sync(0, 2, "blocked"), TxnOutcome::kAborted);
+  cluster.network().heal_partitions();
+  EXPECT_EQ(cluster.write_sync(0, 2, "flows"), TxnOutcome::kCommitted);
+  const auto value = cluster.read_sync(0, 2);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "flows");
+}
+
+TEST(FaultInjectionTest, StaleReplicaNeverWinsTheRead) {
+  // Write twice so one level holds v1 and the other v2; every read must
+  // return v2 (the max-timestamp rule), no matter which members answer.
+  ClusterOptions options = fast();
+  Cluster cluster(paper_protocol(), options);
+  // Force first write onto level 1 by breaking level 2 temporarily.
+  cluster.injector().crash_now(7);
+  ASSERT_EQ(cluster.write_sync(0, 1, "v1"), TxnOutcome::kCommitted);
+  cluster.injector().recover_now(7);
+  // Force second write onto level 2 by breaking level 1 temporarily...
+  cluster.injector().crash_now(0);
+  // ...but reads need level 1 too; recover right after the write.
+  ASSERT_EQ(cluster.write_sync(0, 1, "v2"), TxnOutcome::kCommitted);
+  cluster.injector().recover_now(0);
+  // Level-1 replicas hold v1, level-2 replicas hold v2.
+  for (int i = 0; i < 20; ++i) {
+    const auto value = cluster.read_sync(0, 1);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->value, "v2");
+    EXPECT_EQ(value->timestamp.version, 2u);
+  }
+}
+
+TEST(FaultInjectionTest, WorkloadUnderRandomChurnStaysConsistent) {
+  // Random crash/recovery churn while a workload runs: transactions may
+  // abort (unavailability) but committed reads must never observe a torn
+  // or stale value relative to commits on the same key. We verify commit
+  // counts and spot-check final read-your-writes.
+  ClusterOptions options = fast(2);
+  Cluster cluster(make_arbitrary(40), options);
+  cluster.injector().start_random_failures(/*mean_uptime=*/300'000,
+                                           /*mean_downtime=*/30'000,
+                                           /*horizon=*/2'000'000);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 150;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 12;
+  const WorkloadStats stats = run_workload(cluster, workload);
+  EXPECT_EQ(stats.committed + stats.aborted + stats.blocked, 300u);
+  // ~90% stationary availability over 40 replicas: most txns commit.
+  EXPECT_GT(stats.commit_rate(), 0.5);
+  // After the horizon, recover everyone and confirm the store agrees on
+  // a fresh write.
+  for (ReplicaId r = 0; r < 40; ++r) cluster.injector().recover_now(r);
+  ASSERT_EQ(cluster.write_sync(0, 1, "final"), TxnOutcome::kCommitted);
+  const auto value = cluster.read_sync(0, 1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "final");
+}
+
+TEST(FaultInjectionTest, LossyLinksDegradeButDontCorrupt) {
+  ClusterOptions options = fast();
+  options.link.drop_probability = 0.05;
+  Cluster cluster(paper_protocol(), options);
+  int committed_writes = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (cluster.write_sync(0, 1, "w" + std::to_string(i)) ==
+        TxnOutcome::kCommitted) {
+      ++committed_writes;
+    }
+  }
+  EXPECT_GT(committed_writes, 10);
+  const auto value = cluster.read_sync(0, 1);
+  if (value.has_value()) {
+    // Whatever we read must be one of the committed writes' payloads.
+    EXPECT_EQ(value->value.rfind("w", 0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,197 @@
+// Generic invariants every replica control protocol must satisfy,
+// instantiated across the whole protocol zoo (baselines + the arbitrary
+// protocol in its paper configurations).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/empirical.hpp"
+#include "core/config.hpp"
+#include "protocols/grid.hpp"
+#include "protocols/hqc.hpp"
+#include "protocols/maekawa.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rooted_tree.hpp"
+#include "protocols/rowa.hpp"
+#include "protocols/tree_quorum.hpp"
+#include "protocols/weighted_voting.hpp"
+
+namespace atrcp {
+namespace {
+
+using ProtocolFactory = std::function<std::unique_ptr<ReplicaControlProtocol>()>;
+
+struct ProtocolCase {
+  std::string label;
+  ProtocolFactory make;
+};
+
+class AnyProtocolTest : public ::testing::TestWithParam<ProtocolCase> {};
+
+TEST_P(AnyProtocolTest, FailureFreeAssemblyAlwaysSucceeds) {
+  const auto protocol = GetParam().make();
+  const FailureSet none(protocol->universe_size());
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(protocol->assemble_read_quorum(none, rng).has_value());
+    EXPECT_TRUE(protocol->assemble_write_quorum(none, rng).has_value());
+  }
+}
+
+TEST_P(AnyProtocolTest, QuorumMembersAreInUniverse) {
+  const auto protocol = GetParam().make();
+  const FailureSet none(protocol->universe_size());
+  Rng rng(2);
+  const auto r = protocol->assemble_read_quorum(none, rng);
+  const auto w = protocol->assemble_write_quorum(none, rng);
+  ASSERT_TRUE(r && w);
+  for (ReplicaId id : r->members()) EXPECT_LT(id, protocol->universe_size());
+  for (ReplicaId id : w->members()) EXPECT_LT(id, protocol->universe_size());
+}
+
+TEST_P(AnyProtocolTest, AssembledQuorumsAvoidFailedReplicas) {
+  const auto protocol = GetParam().make();
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    FailureSet failures(protocol->universe_size());
+    for (ReplicaId id = 0; id < protocol->universe_size(); ++id) {
+      if (rng.chance(0.25)) failures.fail(id);
+    }
+    if (const auto q = protocol->assemble_read_quorum(failures, rng)) {
+      for (ReplicaId id : q->members()) EXPECT_TRUE(failures.is_alive(id));
+    }
+    if (const auto q = protocol->assemble_write_quorum(failures, rng)) {
+      for (ReplicaId id : q->members()) EXPECT_TRUE(failures.is_alive(id));
+    }
+  }
+}
+
+TEST_P(AnyProtocolTest, ReadWriteQuorumsIntersect) {
+  // The bicoterie property, exercised through live assembly under random
+  // failure patterns — the correctness core of one-copy equivalence.
+  const auto protocol = GetParam().make();
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    FailureSet failures(protocol->universe_size());
+    for (ReplicaId id = 0; id < protocol->universe_size(); ++id) {
+      if (rng.chance(0.2)) failures.fail(id);
+    }
+    const auto r = protocol->assemble_read_quorum(failures, rng);
+    const auto w = protocol->assemble_write_quorum(failures, rng);
+    if (r && w) {
+      EXPECT_TRUE(r->intersects(*w))
+          << GetParam().label << ": R=" << r->to_string()
+          << " W=" << w->to_string();
+    }
+  }
+}
+
+TEST_P(AnyProtocolTest, EveryWriteIsVisibleToEveryRead) {
+  // Note: write quorums need NOT pairwise intersect in this family — the
+  // arbitrary protocol's write quorums are disjoint levels; write ordering
+  // comes from the version pre-read through a READ quorum, which must see
+  // every prior write. So the essential visibility property is R ∩ W != ∅
+  // for every assembled pair, across many independent assemblies.
+  const auto protocol = GetParam().make();
+  Rng rng(5);
+  const FailureSet none(protocol->universe_size());
+  std::vector<Quorum> writes;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto w = protocol->assemble_write_quorum(none, rng);
+    ASSERT_TRUE(w.has_value());
+    writes.push_back(*std::move(w));
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto r = protocol->assemble_read_quorum(none, rng);
+    ASSERT_TRUE(r.has_value());
+    for (const Quorum& w : writes) {
+      EXPECT_TRUE(r->intersects(w)) << GetParam().label;
+    }
+  }
+}
+
+TEST_P(AnyProtocolTest, AvailabilityIsAProbabilityAndMonotone) {
+  const auto protocol = GetParam().make();
+  double prev_read = -1.0;
+  double prev_write = -1.0;
+  for (double p = 0.0; p <= 1.0001; p += 0.1) {
+    const double pp = std::min(p, 1.0);
+    const double ra = protocol->read_availability(pp);
+    const double wa = protocol->write_availability(pp);
+    EXPECT_GE(ra, -1e-9);
+    EXPECT_LE(ra, 1.0 + 1e-9);
+    EXPECT_GE(wa, -1e-9);
+    EXPECT_LE(wa, 1.0 + 1e-9);
+    EXPECT_GE(ra, prev_read - 0.02) << GetParam().label << " p=" << pp;
+    EXPECT_GE(wa, prev_write - 0.02) << GetParam().label << " p=" << pp;
+    prev_read = ra;
+    prev_write = wa;
+  }
+}
+
+TEST_P(AnyProtocolTest, MeasuredAvailabilityTracksFormula) {
+  const auto protocol = GetParam().make();
+  Rng rng(6);
+  const auto measured = measured_availability(*protocol, 0.85, 8000, rng);
+  EXPECT_NEAR(measured.read, protocol->read_availability(0.85), 0.03)
+      << GetParam().label;
+  EXPECT_NEAR(measured.write, protocol->write_availability(0.85), 0.03)
+      << GetParam().label;
+}
+
+TEST_P(AnyProtocolTest, EmpiricalLoadNeverBeatsOptimalLoad) {
+  // No realized strategy can do better than the optimal system load; it
+  // should also land close for these balanced designs.
+  const auto protocol = GetParam().make();
+  Rng rng(7);
+  const auto loads = empirical_loads(*protocol, 20000, rng);
+  EXPECT_GE(loads.max_read, protocol->read_load() - 0.02) << GetParam().label;
+  EXPECT_GE(loads.max_write, protocol->write_load() - 0.02)
+      << GetParam().label;
+}
+
+TEST_P(AnyProtocolTest, CostsArePositiveAndWithinUniverse) {
+  const auto protocol = GetParam().make();
+  EXPECT_GE(protocol->read_cost(), 1.0 - 1e-9);
+  EXPECT_GE(protocol->write_cost(), 1.0 - 1e-9);
+  EXPECT_LE(protocol->read_cost(),
+            static_cast<double>(protocol->universe_size()) + 1e-9);
+  EXPECT_LE(protocol->write_cost(),
+            static_cast<double>(protocol->universe_size()) + 1e-9);
+}
+
+std::vector<ProtocolCase> all_protocols() {
+  return {
+      {"rowa", [] { return std::make_unique<Rowa>(7); }},
+      {"majority", [] { return std::make_unique<MajorityQuorum>(7); }},
+      {"tree_quorum", [] { return std::make_unique<TreeQuorum>(3); }},
+      {"hqc", [] { return std::make_unique<Hqc>(2); }},
+      {"grid", [] { return std::make_unique<Grid>(4, 4); }},
+      {"maekawa", [] { return std::make_unique<Maekawa>(4); }},
+      {"rooted_tree",
+       [] { return std::make_unique<RootedTreeQuorum>(3, 2, 2, 2); }},
+      {"weighted_voting",
+       [] {
+         return std::make_unique<WeightedVoting>(
+             std::vector<std::uint32_t>{3, 2, 2, 1, 1, 1, 1}, 6, 6);
+       }},
+      {"arbitrary_135",
+       [] {
+         return std::make_unique<ArbitraryProtocol>(
+             ArbitraryTree::from_spec("1-3-5"));
+       }},
+      {"mostly_read", [] { return make_mostly_read(9); }},
+      {"mostly_write", [] { return make_mostly_write(9); }},
+      {"unmodified", [] { return make_unmodified(3); }},
+      {"arbitrary_40", [] { return make_arbitrary(40); }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, AnyProtocolTest, ::testing::ValuesIn(all_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace atrcp

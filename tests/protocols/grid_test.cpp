@@ -1,0 +1,127 @@
+#include "protocols/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/empirical.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(GridTest, Construction) {
+  EXPECT_THROW(Grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(Grid(3, 0), std::invalid_argument);
+  EXPECT_EQ(Grid(3, 4).universe_size(), 12u);
+}
+
+TEST(GridTest, ForAtLeastIsNearSquare) {
+  const Grid g9 = Grid::for_at_least(9);
+  EXPECT_EQ(g9.rows(), 3u);
+  EXPECT_EQ(g9.cols(), 3u);
+  const Grid g10 = Grid::for_at_least(10);
+  EXPECT_GE(g10.universe_size(), 10u);
+  EXPECT_LE(g10.rows() * g10.cols(), 16u);
+}
+
+TEST(GridTest, Costs) {
+  const Grid g(4, 5);
+  EXPECT_DOUBLE_EQ(g.read_cost(), 5.0);       // one per column
+  EXPECT_DOUBLE_EQ(g.write_cost(), 8.0);      // column + one per other column
+}
+
+TEST(GridTest, ReadQuorumOnePerColumn) {
+  const Grid g(3, 3);
+  FailureSet none(9);
+  Rng rng(2);
+  const auto q = g.assemble_read_quorum(none, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->size(), 3u);
+  // Exactly one member in each column (id % 3).
+  std::vector<int> per_column(3, 0);
+  for (ReplicaId id : q->members()) ++per_column[id % 3];
+  for (int c : per_column) EXPECT_EQ(c, 1);
+}
+
+TEST(GridTest, WriteQuorumHasFullColumn) {
+  const Grid g(3, 3);
+  FailureSet none(9);
+  Rng rng(3);
+  const auto q = g.assemble_write_quorum(none, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->size(), 5u);  // 3 + 2
+  bool some_column_full = false;
+  for (std::size_t c = 0; c < 3; ++c) {
+    if (q->contains(static_cast<ReplicaId>(c)) &&
+        q->contains(static_cast<ReplicaId>(3 + c)) &&
+        q->contains(static_cast<ReplicaId>(6 + c))) {
+      some_column_full = true;
+    }
+  }
+  EXPECT_TRUE(some_column_full);
+}
+
+TEST(GridTest, ReadWriteQuorumsIntersect) {
+  // Property over random failure patterns: whenever both assemble, they
+  // intersect (a read hits every column, a write owns a full column).
+  const Grid g(4, 4);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    FailureSet failures(16);
+    for (ReplicaId id = 0; id < 16; ++id) {
+      if (rng.chance(0.2)) failures.fail(id);
+    }
+    const auto r = g.assemble_read_quorum(failures, rng);
+    const auto w = g.assemble_write_quorum(failures, rng);
+    if (r && w) {
+      EXPECT_TRUE(r->intersects(*w));
+    }
+  }
+}
+
+TEST(GridTest, ReadDiesWithAColumn) {
+  const Grid g(2, 2);
+  FailureSet failures(4);
+  failures.fail(0);  // column 0: replicas 0, 2
+  failures.fail(2);
+  Rng rng(6);
+  EXPECT_FALSE(g.assemble_read_quorum(failures, rng).has_value());
+  EXPECT_FALSE(g.assemble_write_quorum(failures, rng).has_value());
+}
+
+TEST(GridTest, WriteNeedsAFullColumn) {
+  const Grid g(2, 2);
+  FailureSet failures(4);
+  failures.fail(0);  // kills column 0 (partially) ...
+  failures.fail(3);  // ... and column 1 (partially): reads ok, writes not
+  Rng rng(7);
+  EXPECT_TRUE(g.assemble_read_quorum(failures, rng).has_value());
+  EXPECT_FALSE(g.assemble_write_quorum(failures, rng).has_value());
+}
+
+TEST(GridTest, AvailabilityFormulasMatchMeasurement) {
+  const Grid g(3, 3);
+  Rng rng(8);
+  for (double p : {0.7, 0.9}) {
+    const auto measured = measured_availability(g, p, 30000, rng);
+    EXPECT_NEAR(measured.read, g.read_availability(p), 0.01) << "p=" << p;
+    EXPECT_NEAR(measured.write, g.write_availability(p), 0.01) << "p=" << p;
+  }
+}
+
+TEST(GridTest, SquareGridLoadsScaleAsSqrtN) {
+  const Grid g(10, 10);
+  EXPECT_NEAR(g.read_load(), 0.1, 1e-12);
+  EXPECT_NEAR(g.write_load(), 1.0 / 10 + 9.0 / 100, 1e-12);  // ~2/sqrt(n)
+}
+
+TEST(GridTest, EmpiricalLoadsMatchFormulas) {
+  const Grid g(4, 4);
+  Rng rng(9);
+  const auto loads = empirical_loads(g, 50000, rng);
+  EXPECT_NEAR(loads.max_read, g.read_load(), 0.02);
+  EXPECT_NEAR(loads.max_write, g.write_load(), 0.02);
+}
+
+}  // namespace
+}  // namespace atrcp

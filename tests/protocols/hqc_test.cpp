@@ -1,0 +1,132 @@
+#include "protocols/hqc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/empirical.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/lp.hpp"
+#include "quorum/set_system.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(HqcTest, Sizes) {
+  EXPECT_EQ(Hqc(0).universe_size(), 1u);
+  EXPECT_EQ(Hqc(1).universe_size(), 3u);
+  EXPECT_EQ(Hqc(2).universe_size(), 9u);
+  EXPECT_EQ(Hqc(3).universe_size(), 27u);
+}
+
+TEST(HqcTest, RejectsNonIntersectingQuorumSpecs) {
+  EXPECT_THROW(Hqc(2, 1, 2), std::invalid_argument);  // r+w = 3
+  EXPECT_THROW(Hqc(2, 3, 1), std::invalid_argument);  // 2w = 2 <= 3
+  EXPECT_THROW(Hqc(2, 0, 3), std::invalid_argument);
+  EXPECT_THROW(Hqc(2, 4, 2), std::invalid_argument);
+  EXPECT_NO_THROW(Hqc(2, 2, 2));
+  EXPECT_NO_THROW(Hqc(2, 1, 3));
+  EXPECT_NO_THROW(Hqc(2, 3, 2));
+}
+
+TEST(HqcTest, QuorumSizeIsNToThe063) {
+  // Kumar: quorum size 2^depth = n^log3(2) ~= n^0.63 for r = w = 2.
+  const Hqc h(3);
+  EXPECT_DOUBLE_EQ(h.read_cost(), 8.0);
+  EXPECT_NEAR(h.read_cost(), std::pow(27.0, std::log(2.0) / std::log(3.0)),
+              1e-9);
+}
+
+TEST(HqcTest, LoadIsNToTheMinus037) {
+  const Hqc h(2);
+  EXPECT_NEAR(h.read_load(), std::pow(9.0, std::log(2.0 / 3.0) / std::log(3.0)),
+              1e-9);
+  EXPECT_NEAR(h.read_load(), 4.0 / 9.0, 1e-12);  // (2/3)^2
+}
+
+TEST(HqcTest, FailureFreeQuorumHasExactSize) {
+  const Hqc h(2);
+  FailureSet none(9);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = h.assemble_read_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->size(), 4u);  // 2^2
+  }
+}
+
+TEST(HqcTest, ToleratesOneFailurePerGroup) {
+  const Hqc h(1);  // 3 leaves, need 2
+  FailureSet failures(3);
+  failures.fail(1);
+  Rng rng(4);
+  const auto q = h.assemble_read_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, Quorum({0, 2}));
+  failures.fail(2);
+  EXPECT_FALSE(h.assemble_read_quorum(failures, rng).has_value());
+}
+
+TEST(HqcTest, EnumerationCountsAndCoterie) {
+  // N(depth): N(0)=1, N(k+1) = 3*N(k)^2. Depth 1: 3; depth 2: 27.
+  EXPECT_EQ(Hqc(1).enumerate_read_quorums(100).size(), 3u);
+  const auto quorums = Hqc(2).enumerate_read_quorums(100);
+  EXPECT_EQ(quorums.size(), 27u);
+  const SetSystem system(9, quorums);
+  EXPECT_TRUE(system.is_coterie());
+}
+
+TEST(HqcTest, AsymmetricReadWriteIntersect) {
+  // r=1, w=3: read picks one subtree per level, write needs all three.
+  const Hqc h(2, 1, 3);
+  const auto reads = h.enumerate_read_quorums(100);
+  const auto writes = h.enumerate_write_quorums(100);
+  EXPECT_EQ(reads.size(), 9u);   // 3^depth choices... one leaf per path
+  EXPECT_EQ(writes.size(), 1u);  // everything
+  Bicoterie b(9, reads, writes);
+  EXPECT_TRUE(b.intersection_holds());
+}
+
+TEST(HqcTest, AvailabilityRecursionMatchesEnumeration) {
+  const Hqc h(2);
+  const SetSystem system(9, h.enumerate_read_quorums(100));
+  for (double p : {0.6, 0.8}) {
+    EXPECT_NEAR(h.read_availability(p), exact_availability(system, p), 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(HqcTest, KumarRecursionByHand) {
+  // A1 = 3p^2(1-p) + p^3 at p=0.8 -> 0.896; depth 2 applies it again.
+  const double p = 0.8;
+  const double a1 = 3 * p * p * (1 - p) + p * p * p;
+  const double a2 = 3 * a1 * a1 * (1 - a1) + a1 * a1 * a1;
+  EXPECT_NEAR(Hqc(1).read_availability(p), a1, 1e-12);
+  EXPECT_NEAR(Hqc(2).read_availability(p), a2, 1e-12);
+}
+
+TEST(HqcTest, LoadMatchesLpOptimum) {
+  // Naor-Wool §6.4 says HQC's optimal load is n^-0.37; verify by LP at
+  // depth 2 (9 replicas, 27 quorums).
+  const Hqc h(2);
+  const SetSystem system(9, h.enumerate_read_quorums(100));
+  EXPECT_NEAR(optimal_load(system).load, h.read_load(), 1e-8);
+}
+
+TEST(HqcTest, EmpiricalLoadsBalanced) {
+  const Hqc h(2);
+  Rng rng(6);
+  const auto loads = empirical_loads(h, 50000, rng);
+  for (double l : loads.read) EXPECT_NEAR(l, 4.0 / 9.0, 0.02);
+}
+
+TEST(HqcTest, MeasuredAvailabilityMatchesFormula) {
+  const Hqc h(3);
+  Rng rng(8);
+  const auto measured = measured_availability(h, 0.75, 20000, rng);
+  EXPECT_NEAR(measured.read, h.read_availability(0.75), 0.015);
+  EXPECT_NEAR(measured.write, h.write_availability(0.75), 0.015);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,92 @@
+#include "protocols/maekawa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/set_system.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(MaekawaTest, Construction) {
+  EXPECT_THROW(Maekawa(0), std::invalid_argument);
+  EXPECT_EQ(Maekawa(4).universe_size(), 16u);
+  EXPECT_EQ(Maekawa::for_at_least(10).side(), 4u);
+  EXPECT_EQ(Maekawa::for_at_least(16).side(), 4u);
+}
+
+TEST(MaekawaTest, CostIsTwoSqrtNMinusOne) {
+  const Maekawa m(5);
+  EXPECT_DOUBLE_EQ(m.read_cost(), 9.0);
+  EXPECT_DOUBLE_EQ(m.write_cost(), 9.0);
+}
+
+TEST(MaekawaTest, LoadIsAboutTwoOverSqrtN) {
+  const Maekawa m(10);
+  EXPECT_NEAR(m.read_load(), 19.0 / 100.0, 1e-12);
+}
+
+TEST(MaekawaTest, QuorumsArePairwiseIntersecting) {
+  const Maekawa m(3);
+  const auto quorums = m.enumerate_read_quorums(100);
+  EXPECT_EQ(quorums.size(), 9u);
+  const SetSystem system(9, quorums);
+  EXPECT_TRUE(system.is_quorum_system());
+  for (const Quorum& q : quorums) EXPECT_EQ(q.size(), 5u);  // 2*3-1
+}
+
+TEST(MaekawaTest, FailureFreeAssembly) {
+  const Maekawa m(3);
+  FailureSet none(9);
+  Rng rng(4);
+  const auto q = m.assemble_read_quorum(none, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->size(), 5u);
+}
+
+TEST(MaekawaTest, NeedsAFullRowAndColumn) {
+  const Maekawa m(2);
+  FailureSet failures(4);
+  // Kill replica 0: row 0 and column 0 both broken; row 1 = {2,3} and
+  // column 1 = {1,3} still fully alive -> quorum of site (1,1).
+  failures.fail(0);
+  Rng rng(5);
+  const auto q = m.assemble_read_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, Quorum({1, 2, 3}));
+  // Kill 3 as well: no fully-alive row remains.
+  failures.fail(3);
+  EXPECT_FALSE(m.assemble_read_quorum(failures, rng).has_value());
+}
+
+TEST(MaekawaTest, DpAvailabilityMatchesEnumeration) {
+  // The row/column DP must agree with brute-force enumeration over the
+  // explicit quorum system for small grids.
+  for (std::size_t side : {2u, 3u}) {
+    const Maekawa m(side);
+    const SetSystem system(m.universe_size(),
+                           m.enumerate_read_quorums(1000));
+    for (double p : {0.6, 0.8, 0.95}) {
+      EXPECT_NEAR(m.read_availability(p), exact_availability(system, p), 1e-9)
+          << "side=" << side << " p=" << p;
+    }
+  }
+}
+
+TEST(MaekawaTest, DpAvailabilityMatchesLiveAssembly) {
+  const Maekawa m(4);
+  Rng rng(6);
+  const auto measured = measured_availability(m, 0.9, 30000, rng);
+  EXPECT_NEAR(measured.read, m.read_availability(0.9), 0.01);
+}
+
+TEST(MaekawaTest, EmpiricalLoadMatchesFormula) {
+  const Maekawa m(4);
+  Rng rng(7);
+  const auto loads = empirical_loads(m, 50000, rng);
+  EXPECT_NEAR(loads.max_read, m.read_load(), 0.03);
+}
+
+}  // namespace
+}  // namespace atrcp

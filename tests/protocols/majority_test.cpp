@@ -1,0 +1,98 @@
+#include "protocols/majority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/lp.hpp"
+#include "quorum/set_system.hpp"
+#include "util/math.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(MajorityTest, QuorumSizes) {
+  EXPECT_EQ(MajorityQuorum(1).quorum_size(), 1u);
+  EXPECT_EQ(MajorityQuorum(5).quorum_size(), 3u);
+  EXPECT_EQ(MajorityQuorum(6).quorum_size(), 4u);
+  EXPECT_EQ(MajorityQuorum(7).quorum_size(), 4u);
+}
+
+TEST(MajorityTest, PaperCosts) {
+  // Paper §1: read and write cost (n+1)/2 for odd n.
+  const MajorityQuorum m(9);
+  EXPECT_DOUBLE_EQ(m.read_cost(), 5.0);
+  EXPECT_DOUBLE_EQ(m.write_cost(), 5.0);
+  // "imposes a system load of at least 0.5"
+  EXPECT_GE(m.read_load(), 0.5);
+}
+
+TEST(MajorityTest, AssembleRespectsFailures) {
+  const MajorityQuorum m(5);
+  FailureSet failures(5);
+  failures.fail(0);
+  failures.fail(1);
+  Rng rng(4);
+  const auto q = m.assemble_read_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->size(), 3u);
+  EXPECT_FALSE(q->contains(0));
+  EXPECT_FALSE(q->contains(1));
+  failures.fail(2);  // only 2 alive < 3
+  EXPECT_FALSE(m.assemble_read_quorum(failures, rng).has_value());
+}
+
+TEST(MajorityTest, EnumerationIsACoterie) {
+  const MajorityQuorum m(5);
+  const auto quorums = m.enumerate_read_quorums(100);
+  EXPECT_EQ(quorums.size(), binomial(5, 3));
+  const SetSystem system(5, quorums);
+  EXPECT_TRUE(system.is_coterie());
+}
+
+TEST(MajorityTest, AvailabilityIsBinomialTail) {
+  const MajorityQuorum m(5);
+  const SetSystem system(5, m.enumerate_read_quorums(100));
+  for (double p : {0.5, 0.75}) {
+    EXPECT_NEAR(m.read_availability(p), exact_availability(system, p), 1e-12);
+    EXPECT_NEAR(m.read_availability(p), binomial_sf(5, 3, p), 1e-12);
+  }
+}
+
+TEST(MajorityTest, LoadMatchesLpOptimum) {
+  for (std::size_t n : {3u, 5u, 7u}) {
+    const MajorityQuorum m(n);
+    const SetSystem system(n, m.enumerate_read_quorums(1000));
+    EXPECT_NEAR(optimal_load(system).load, m.read_load(), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(MajorityTest, EmpiricalLoadsAreBalanced) {
+  const MajorityQuorum m(5);
+  Rng rng(11);
+  const auto loads = empirical_loads(m, 50000, rng);
+  // Each replica should appear in ~3/5 of quorums under the uniform pick.
+  for (double l : loads.read) EXPECT_NEAR(l, 0.6, 0.02);
+}
+
+TEST(MajorityTest, PeakAvailabilityAboveHalf) {
+  // For p > 1/2, majority availability exceeds p itself as n grows
+  // (Peleg-Wool): check the trend at p = 0.8.
+  const double a3 = MajorityQuorum(3).read_availability(0.8);
+  const double a9 = MajorityQuorum(9).read_availability(0.8);
+  const double a21 = MajorityQuorum(21).read_availability(0.8);
+  EXPECT_GT(a3, 0.8);
+  EXPECT_GT(a9, a3);
+  EXPECT_GT(a21, a9);
+}
+
+TEST(MajorityTest, AvailabilityDegradesBelowHalf) {
+  // For p < 1/2 replication hurts: availability falls with n.
+  const double a3 = MajorityQuorum(3).read_availability(0.4);
+  const double a15 = MajorityQuorum(15).read_availability(0.4);
+  EXPECT_LT(a3, 0.4);
+  EXPECT_LT(a15, a3);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,51 @@
+// Coverage of the ReplicaControlProtocol base-class contract itself: the
+// default enumeration behaviour and the Equation-3.2 free functions.
+#include "protocols/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/grid.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(ProtocolInterfaceTest, DefaultEnumerationThrows) {
+  // Grid does not implement enumeration; the base must refuse, not return
+  // an empty (and therefore wrong) quorum list.
+  const Grid grid(3, 3);
+  EXPECT_FALSE(grid.supports_enumeration());
+  EXPECT_THROW(grid.enumerate_read_quorums(10), std::logic_error);
+  EXPECT_THROW(grid.enumerate_write_quorums(10), std::logic_error);
+}
+
+TEST(ProtocolInterfaceTest, ExpectedReadLoadEquation) {
+  // E L_RD = av * (L - 1) + 1.
+  EXPECT_DOUBLE_EQ(expected_read_load(1.0, 0.25), 0.25);  // perfect av
+  EXPECT_DOUBLE_EQ(expected_read_load(0.0, 0.25), 1.0);   // no av: load 1
+  EXPECT_DOUBLE_EQ(expected_read_load(0.5, 0.5), 0.75);
+}
+
+TEST(ProtocolInterfaceTest, ExpectedWriteLoadEquation) {
+  // E L_WR = av * L + (1 - av) * 1.
+  EXPECT_DOUBLE_EQ(expected_write_load(1.0, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(expected_write_load(0.0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(expected_write_load(0.8, 0.5), 0.6);
+}
+
+TEST(ProtocolInterfaceTest, ExpectedLoadsInterpolateMonotonically) {
+  for (double load : {0.1, 0.5, 0.9}) {
+    double previous_read = 2.0;
+    double previous_write = 2.0;
+    for (double av = 0.0; av <= 1.0001; av += 0.1) {
+      const double read = expected_read_load(std::min(av, 1.0), load);
+      const double write = expected_write_load(std::min(av, 1.0), load);
+      EXPECT_LE(read, previous_read + 1e-12);    // better av, lower E-load
+      EXPECT_LE(write, previous_write + 1e-12);
+      previous_read = read;
+      previous_write = write;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

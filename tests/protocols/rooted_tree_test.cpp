@@ -1,0 +1,129 @@
+#include "protocols/rooted_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(RootedTreeTest, ConstructionValidation) {
+  EXPECT_THROW(RootedTreeQuorum(0, 2, 1, 1), std::invalid_argument);
+  EXPECT_THROW(RootedTreeQuorum(3, 2, 1, 2), std::invalid_argument);  // r+w=3
+  EXPECT_THROW(RootedTreeQuorum(3, 2, 4, 2), std::invalid_argument);
+  EXPECT_THROW(RootedTreeQuorum(4, 2, 3, 2), std::invalid_argument);  // 2w=4
+  EXPECT_NO_THROW(RootedTreeQuorum(3, 2, 2, 2));
+}
+
+TEST(RootedTreeTest, SizeOfCompleteTernaryTree) {
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  EXPECT_EQ(t.universe_size(), 13u);  // 1 + 3 + 9
+  EXPECT_EQ(RootedTreeQuorum::agrawal90(1, 2).universe_size(), 13u);
+}
+
+TEST(RootedTreeTest, FailureFreeReadIsJustTheRoot) {
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  FailureSet none(13);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = t.assemble_read_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, Quorum({0}));  // cost 1, load 1 — the §1 pathology
+  }
+}
+
+TEST(RootedTreeTest, DeadRootReadDescendsToChildren) {
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  FailureSet failures(13);
+  failures.fail(0);
+  Rng rng(2);
+  const auto q = t.assemble_read_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->size(), 2u);  // two alive children serve directly
+  for (ReplicaId id : q->members()) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, 3u);
+  }
+}
+
+TEST(RootedTreeTest, WriteAlwaysContainsTheRoot) {
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  FailureSet none(13);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = t.assemble_write_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_TRUE(q->contains(0));
+    EXPECT_EQ(q->size(), 7u);  // 1 + 2 + 4
+  }
+}
+
+TEST(RootedTreeTest, RootCrashHaltsWrites) {
+  // The motivating defect of [1] that [2] fixed: no root, no writes.
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  FailureSet failures(13);
+  failures.fail(0);
+  Rng rng(4);
+  EXPECT_FALSE(t.assemble_write_quorum(failures, rng).has_value());
+  EXPECT_TRUE(t.assemble_read_quorum(failures, rng).has_value());
+}
+
+TEST(RootedTreeTest, ReadWriteQuorumsIntersectUnderFailures) {
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    FailureSet failures(13);
+    for (ReplicaId id = 0; id < 13; ++id) {
+      if (rng.chance(0.25)) failures.fail(id);
+    }
+    const auto r = t.assemble_read_quorum(failures, rng);
+    const auto w = t.assemble_write_quorum(failures, rng);
+    if (r && w) {
+      EXPECT_TRUE(r->intersects(*w))
+          << "R=" << r->to_string() << " W=" << w->to_string();
+    }
+  }
+}
+
+TEST(RootedTreeTest, AvailabilityMatchesMonteCarlo) {
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  Rng rng(6);
+  for (double p : {0.7, 0.9}) {
+    const auto measured = measured_availability(t, p, 30000, rng);
+    EXPECT_NEAR(measured.read, t.read_availability(p), 0.01) << "p=" << p;
+    EXPECT_NEAR(measured.write, t.write_availability(p), 0.01) << "p=" << p;
+  }
+}
+
+TEST(RootedTreeTest, WriteAvailabilityBelowPReadAbove) {
+  // Writes need the root (availability < p); reads have root fallback
+  // (availability > p) — the asymmetry §1 describes for [1]/[7]/[5].
+  const RootedTreeQuorum t(3, 3, 2, 2);
+  for (double p : {0.6, 0.8, 0.95}) {
+    EXPECT_LT(t.write_availability(p), p) << "p=" << p;
+    EXPECT_GT(t.read_availability(p), p) << "p=" << p;
+  }
+}
+
+TEST(RootedTreeTest, CostsMatchTheRelatedWorkTable) {
+  // [7]-style S=3 tree: write cost sum 3^0..? with width 2: 1+2+4+8 = 15
+  // at height 3; read best case 1, worst case 2^3 = 8.
+  const RootedTreeQuorum t(3, 3, 2, 2);
+  EXPECT_DOUBLE_EQ(t.read_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(t.write_cost(), 15.0);
+  EXPECT_EQ(t.max_read_cost(), 8u);
+  EXPECT_DOUBLE_EQ(t.read_load(), 1.0);
+  EXPECT_DOUBLE_EQ(t.write_load(), 1.0);
+}
+
+TEST(RootedTreeTest, EmpiricalRootLoadIsTotal) {
+  // Every failure-free read and write hits the root: measured load 1.
+  const RootedTreeQuorum t(3, 2, 2, 2);
+  Rng rng(7);
+  const auto loads = empirical_loads(t, 5000, rng);
+  EXPECT_DOUBLE_EQ(loads.read[0], 1.0);
+  EXPECT_DOUBLE_EQ(loads.write[0], 1.0);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,110 @@
+#include "protocols/rowa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/empirical.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/lp.hpp"
+#include "quorum/set_system.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(RowaTest, RejectsZeroReplicas) {
+  EXPECT_THROW(Rowa(0), std::invalid_argument);
+}
+
+TEST(RowaTest, AnalyticModel) {
+  const Rowa rowa(5);
+  EXPECT_EQ(rowa.universe_size(), 5u);
+  EXPECT_DOUBLE_EQ(rowa.read_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(rowa.write_cost(), 5.0);
+  EXPECT_DOUBLE_EQ(rowa.read_load(), 0.2);
+  EXPECT_DOUBLE_EQ(rowa.write_load(), 1.0);
+  EXPECT_NEAR(rowa.read_availability(0.7), 1.0 - std::pow(0.3, 5), 1e-12);
+  EXPECT_NEAR(rowa.write_availability(0.7), std::pow(0.7, 5), 1e-12);
+}
+
+TEST(RowaTest, ReadQuorumIsOneAliveReplica) {
+  const Rowa rowa(4);
+  FailureSet failures(4);
+  failures.fail(0);
+  failures.fail(2);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto q = rowa.assemble_read_quorum(failures, rng);
+    ASSERT_TRUE(q.has_value());
+    ASSERT_EQ(q->size(), 1u);
+    const ReplicaId member = q->members()[0];
+    EXPECT_TRUE(member == 1 || member == 3);
+  }
+}
+
+TEST(RowaTest, ReadFailsOnlyWhenAllDead) {
+  const Rowa rowa(3);
+  FailureSet failures(3);
+  failures.fail(0);
+  failures.fail(1);
+  failures.fail(2);
+  Rng rng(2);
+  EXPECT_FALSE(rowa.assemble_read_quorum(failures, rng).has_value());
+  failures.recover(1);
+  EXPECT_TRUE(rowa.assemble_read_quorum(failures, rng).has_value());
+}
+
+TEST(RowaTest, WriteNeedsEveryone) {
+  const Rowa rowa(3);
+  FailureSet failures(3);
+  Rng rng(3);
+  const auto q = rowa.assemble_write_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->size(), 3u);
+  failures.fail(1);
+  EXPECT_FALSE(rowa.assemble_write_quorum(failures, rng).has_value());
+}
+
+TEST(RowaTest, EnumerationFormsBicoterie) {
+  const Rowa rowa(4);
+  const auto reads = rowa.enumerate_read_quorums(100);
+  const auto writes = rowa.enumerate_write_quorums(100);
+  EXPECT_EQ(reads.size(), 4u);
+  EXPECT_EQ(writes.size(), 1u);
+  Bicoterie b(4, reads, writes);
+  EXPECT_TRUE(b.intersection_holds());
+}
+
+TEST(RowaTest, EnumerationLimit) {
+  const Rowa rowa(10);
+  EXPECT_THROW(rowa.enumerate_read_quorums(5), std::length_error);
+}
+
+TEST(RowaTest, ReadLoadMatchesLpOptimum) {
+  const Rowa rowa(6);
+  const SetSystem reads(6, rowa.enumerate_read_quorums(100));
+  EXPECT_NEAR(optimal_load(reads).load, rowa.read_load(), 1e-9);
+}
+
+TEST(RowaTest, AvailabilityMatchesExactEnumeration) {
+  const Rowa rowa(5);
+  const SetSystem reads(5, rowa.enumerate_read_quorums(100));
+  const SetSystem writes(5, rowa.enumerate_write_quorums(100));
+  for (double p : {0.6, 0.9}) {
+    EXPECT_NEAR(exact_availability(reads, p), rowa.read_availability(p),
+                1e-12);
+    EXPECT_NEAR(exact_availability(writes, p), rowa.write_availability(p),
+                1e-12);
+  }
+}
+
+TEST(RowaTest, EmpiricalReadLoadIsBalanced) {
+  const Rowa rowa(5);
+  Rng rng(7);
+  const auto loads = empirical_loads(rowa, 100000, rng);
+  for (double l : loads.read) EXPECT_NEAR(l, 0.2, 0.01);
+  for (double l : loads.write) EXPECT_NEAR(l, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,145 @@
+#include "protocols/tree_quorum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/empirical.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/set_system.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(TreeQuorumTest, Sizes) {
+  EXPECT_EQ(TreeQuorum(0).universe_size(), 1u);
+  EXPECT_EQ(TreeQuorum(1).universe_size(), 3u);
+  EXPECT_EQ(TreeQuorum(2).universe_size(), 7u);
+  EXPECT_EQ(TreeQuorum(3).universe_size(), 15u);
+}
+
+TEST(TreeQuorumTest, ForAtLeast) {
+  EXPECT_EQ(TreeQuorum::for_at_least(1).universe_size(), 1u);
+  EXPECT_EQ(TreeQuorum::for_at_least(4).universe_size(), 7u);
+  EXPECT_EQ(TreeQuorum::for_at_least(7).universe_size(), 7u);
+  EXPECT_EQ(TreeQuorum::for_at_least(8).universe_size(), 15u);
+}
+
+TEST(TreeQuorumTest, QuorumSizeBounds) {
+  // Paper: costs range from log(n) (a path) to (n+1)/2 (all leaves).
+  const TreeQuorum t(3);
+  EXPECT_EQ(t.min_quorum_size(), 4u);
+  EXPECT_EQ(t.max_quorum_size(), 8u);
+}
+
+TEST(TreeQuorumTest, FailureFreeQuorumIsARootLeafPath) {
+  const TreeQuorum t(2);  // 7 replicas
+  FailureSet none(7);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = t.assemble_read_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->size(), 3u);       // h+1
+    EXPECT_TRUE(q->contains(0));    // root on every failure-free path
+  }
+}
+
+TEST(TreeQuorumTest, RootFailureReplacedByChildQuorums) {
+  // Height 2: root 0, children 1/2, leaves 3..6. Root dead: need quorums of
+  // both child subtrees -> size 4 (both children + one leaf each) or more.
+  const TreeQuorum t(2);
+  FailureSet failures(7);
+  failures.fail(0);
+  Rng rng(6);
+  const auto q = t.assemble_read_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_FALSE(q->contains(0));
+  EXPECT_TRUE(q->contains(1));
+  EXPECT_TRUE(q->contains(2));
+  EXPECT_EQ(q->size(), 4u);
+}
+
+TEST(TreeQuorumTest, DegradesToAllLeaves) {
+  // All interior nodes dead: quorum must be every leaf.
+  const TreeQuorum t(2);
+  FailureSet failures(7);
+  failures.fail(0);
+  failures.fail(1);
+  failures.fail(2);
+  Rng rng(7);
+  const auto q = t.assemble_read_quorum(failures, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, Quorum({3, 4, 5, 6}));
+}
+
+TEST(TreeQuorumTest, UnavailableWhenALeafPairAndRootDie) {
+  // Root dead and one entire child subtree dead -> no quorum.
+  const TreeQuorum t(2);
+  FailureSet failures(7);
+  failures.fail(0);
+  failures.fail(1);
+  failures.fail(3);
+  failures.fail(4);
+  Rng rng(8);
+  EXPECT_FALSE(t.assemble_read_quorum(failures, rng).has_value());
+}
+
+TEST(TreeQuorumTest, SurvivesRootCrashUnlikeRootedProtocols) {
+  // The motivating property of [2]: writes proceed with a dead root.
+  const TreeQuorum t(3);
+  FailureSet failures(15);
+  failures.fail(0);
+  Rng rng(9);
+  EXPECT_TRUE(t.assemble_write_quorum(failures, rng).has_value());
+}
+
+TEST(TreeQuorumTest, EnumerationIsAQuorumSystem) {
+  const TreeQuorum t(2);
+  const auto quorums = t.enumerate_read_quorums(1000);
+  // Height 2: N(v) satisfies N(leaf)=1, N = 2*N_child + N_child^2:
+  // leaves 1; height1: 2*1+1 = 3; height2: 2*3+9 = 15.
+  EXPECT_EQ(quorums.size(), 15u);
+  const SetSystem system(7, quorums);
+  EXPECT_TRUE(system.is_quorum_system());
+}
+
+TEST(TreeQuorumTest, AvailabilityRecursionMatchesEnumeration) {
+  const TreeQuorum t(2);
+  const SetSystem system(7, t.enumerate_read_quorums(1000));
+  for (double p : {0.6, 0.8, 0.95}) {
+    EXPECT_NEAR(t.read_availability(p), exact_availability(system, p), 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(TreeQuorumTest, AvailabilityMatchesLiveAssembly) {
+  const TreeQuorum t(3);
+  Rng rng(10);
+  const auto measured = measured_availability(t, 0.8, 20000, rng);
+  EXPECT_NEAR(measured.read, t.read_availability(0.8), 0.01);
+}
+
+TEST(TreeQuorumTest, LoadFormula) {
+  // Naor-Wool: 2/(h+2).
+  EXPECT_NEAR(TreeQuorum(2).read_load(), 0.5, 1e-12);
+  EXPECT_NEAR(TreeQuorum(3).read_load(), 0.4, 1e-12);
+  EXPECT_NEAR(TreeQuorum(6).read_load(), 0.25, 1e-12);
+}
+
+TEST(TreeQuorumTest, AnalyticCostWithinBounds) {
+  for (std::uint32_t h : {2u, 3u, 5u, 8u}) {
+    const TreeQuorum t(h);
+    const double cost = t.read_cost();
+    EXPECT_GE(cost, static_cast<double>(t.min_quorum_size()) - 1e-9)
+        << "h=" << h;
+    EXPECT_LE(cost, static_cast<double>(t.max_quorum_size()) + 1e-9)
+        << "h=" << h;
+  }
+}
+
+TEST(TreeQuorumTest, HeightLimitEnforced) {
+  EXPECT_THROW(TreeQuorum(31), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,102 @@
+#include "protocols/weighted_voting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rowa.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(WeightedVotingTest, RejectsBrokenThresholds) {
+  EXPECT_THROW(WeightedVoting({}, 1, 1), std::invalid_argument);
+  EXPECT_THROW(WeightedVoting({1, 0, 1}, 2, 2), std::invalid_argument);
+  EXPECT_THROW(WeightedVoting({1, 1, 1}, 1, 2), std::invalid_argument);  // R+W=T
+  EXPECT_THROW(WeightedVoting({1, 1, 1, 1}, 3, 2), std::invalid_argument);  // 2W=T
+  EXPECT_THROW(WeightedVoting({1, 1, 1}, 0, 3), std::invalid_argument);
+  EXPECT_THROW(WeightedVoting({1, 1, 1}, 4, 3), std::invalid_argument);
+  EXPECT_NO_THROW(WeightedVoting({1, 1, 1}, 2, 2));
+}
+
+TEST(WeightedVotingTest, MajoritySpecialCaseMatchesMajorityQuorum) {
+  const WeightedVoting wv = WeightedVoting::majority(5);
+  const MajorityQuorum mq(5);
+  for (double p : {0.6, 0.8}) {
+    EXPECT_NEAR(wv.read_availability(p), mq.read_availability(p), 1e-12);
+    EXPECT_NEAR(wv.write_availability(p), mq.write_availability(p), 1e-12);
+  }
+  EXPECT_NEAR(wv.read_load(), mq.read_load(), 0.02);
+  EXPECT_NEAR(wv.read_cost(), mq.read_cost(), 1e-9);
+}
+
+TEST(WeightedVotingTest, RowaSpecialCaseMatchesRowa) {
+  const WeightedVoting wv = WeightedVoting::rowa(6);
+  const Rowa rowa(6);
+  for (double p : {0.5, 0.9}) {
+    EXPECT_NEAR(wv.read_availability(p), rowa.read_availability(p), 1e-12);
+    EXPECT_NEAR(wv.write_availability(p), rowa.write_availability(p), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(wv.read_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(wv.write_cost(), 6.0);
+}
+
+TEST(WeightedVotingTest, HeavyReplicaShrinksQuorums) {
+  // Votes 3,1,1 with R=W=3: the heavy replica alone is a quorum.
+  const WeightedVoting wv({3, 1, 1}, 3, 3);
+  FailureSet none(3);
+  Rng rng(1);
+  double total_size = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto q = wv.assemble_read_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    total_size += static_cast<double>(q->size());
+    // Any 3-vote set here either contains replica 0 or is {1,2} (2 votes —
+    // impossible). So replica 0 is in every quorum... unless {0} fails.
+    EXPECT_TRUE(q->contains(0));
+  }
+  EXPECT_LT(total_size / 200, 3.0);  // often just {0} or {0,x}
+}
+
+TEST(WeightedVotingTest, HeavyReplicaFailureKillsQuorums) {
+  const WeightedVoting wv({3, 1, 1}, 3, 3);
+  FailureSet failures(3);
+  failures.fail(0);
+  Rng rng(2);
+  EXPECT_FALSE(wv.assemble_read_quorum(failures, rng).has_value());
+  // Availability == p exactly: only sets containing replica 0 reach 3.
+  EXPECT_NEAR(wv.read_availability(0.7), 0.7, 1e-12);
+}
+
+TEST(WeightedVotingTest, DpAvailabilityMatchesMonteCarlo) {
+  const WeightedVoting wv({4, 2, 2, 1, 1}, 6, 6);
+  Rng rng(3);
+  const auto measured = measured_availability(wv, 0.8, 30000, rng);
+  EXPECT_NEAR(measured.read, wv.read_availability(0.8), 0.01);
+  EXPECT_NEAR(measured.write, wv.write_availability(0.8), 0.01);
+}
+
+TEST(WeightedVotingTest, AsymmetricReadWriteThresholds) {
+  // R=2, W=5 over 6 unit votes: cheap reads, expensive writes (Gifford).
+  const WeightedVoting wv(std::vector<std::uint32_t>(6, 1), 2, 5);
+  FailureSet none(6);
+  Rng rng(4);
+  EXPECT_EQ(wv.assemble_read_quorum(none, rng)->size(), 2u);
+  EXPECT_EQ(wv.assemble_write_quorum(none, rng)->size(), 5u);
+  // Read/write quorums intersect by votes: 2 + 5 > 6.
+  for (int i = 0; i < 100; ++i) {
+    const auto r = wv.assemble_read_quorum(none, rng);
+    const auto w = wv.assemble_write_quorum(none, rng);
+    EXPECT_TRUE(r->intersects(*w));
+  }
+}
+
+TEST(WeightedVotingTest, EmpiricalLoadIsBalancedForUnitVotes) {
+  const WeightedVoting wv = WeightedVoting::majority(7);
+  Rng rng(5);
+  const auto loads = empirical_loads(wv, 30000, rng);
+  for (double l : loads.read) EXPECT_NEAR(l, 4.0 / 7.0, 0.02);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,108 @@
+#include "quorum/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace atrcp {
+namespace {
+
+TEST(ExactAvailabilityTest, SingleReplica) {
+  const SetSystem system(1, {Quorum{0}});
+  for (double p : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_NEAR(exact_availability(system, p), p, 1e-12);
+  }
+}
+
+TEST(ExactAvailabilityTest, RowaRead) {
+  // Singleton quorums: available iff any replica alive: 1-(1-p)^n.
+  const std::size_t n = 5;
+  std::vector<Quorum> sets;
+  for (ReplicaId id = 0; id < n; ++id) sets.push_back(Quorum{id});
+  const SetSystem system(n, sets);
+  for (double p : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(exact_availability(system, p), 1.0 - std::pow(1.0 - p, 5),
+                1e-12);
+  }
+}
+
+TEST(ExactAvailabilityTest, RowaWrite) {
+  // One quorum with everyone: available iff all alive: p^n.
+  const SetSystem system(4, {Quorum{0, 1, 2, 3}});
+  for (double p : {0.3, 0.9}) {
+    EXPECT_NEAR(exact_availability(system, p), std::pow(p, 4), 1e-12);
+  }
+}
+
+TEST(ExactAvailabilityTest, MajorityOfThree) {
+  // Available iff >= 2 alive: 3p^2(1-p) + p^3.
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  for (double p : {0.4, 0.7}) {
+    const double expected = 3 * p * p * (1 - p) + p * p * p;
+    EXPECT_NEAR(exact_availability(system, p), expected, 1e-12);
+  }
+}
+
+TEST(ExactAvailabilityTest, DegenerateP) {
+  const SetSystem system(3, {Quorum{0, 1}});
+  EXPECT_NEAR(exact_availability(system, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(exact_availability(system, 1.0), 1.0, 1e-12);
+}
+
+TEST(ExactAvailabilityTest, MonotoneInP) {
+  const SetSystem system(4, {Quorum{0, 1}, Quorum{2, 3}, Quorum{1, 2}});
+  double previous = -1.0;
+  for (double p = 0.0; p <= 1.0001; p += 0.05) {
+    const double a = exact_availability(system, std::min(p, 1.0));
+    EXPECT_GE(a, previous - 1e-12);
+    previous = a;
+  }
+}
+
+TEST(ExactAvailabilityTest, RejectsBadInput) {
+  const SetSystem big(25, {Quorum{0}});
+  EXPECT_THROW(exact_availability(big, 0.5), std::invalid_argument);
+  const SetSystem ok(2, {Quorum{0}});
+  EXPECT_THROW(exact_availability(ok, -0.1), std::invalid_argument);
+  EXPECT_THROW(exact_availability(ok, 1.1), std::invalid_argument);
+}
+
+TEST(SampleFailuresTest, MatchesProbability) {
+  Rng rng(3);
+  std::size_t failed = 0;
+  constexpr std::size_t kTrials = 20000;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    failed += sample_failures(10, 0.8, rng).failed_count();
+  }
+  // Expected failures per trial: 10 * 0.2 = 2.
+  EXPECT_NEAR(static_cast<double>(failed) / kTrials, 2.0, 0.05);
+}
+
+TEST(MonteCarloAvailabilityTest, AgreesWithExact) {
+  const SetSystem system(5, {Quorum{0, 1, 2}, Quorum{2, 3, 4}, Quorum{0, 2, 4}});
+  Rng rng(17);
+  for (double p : {0.5, 0.8}) {
+    const double exact = exact_availability(system, p);
+    const double estimate = monte_carlo_availability(system, p, 40000, rng);
+    EXPECT_NEAR(estimate, exact, 0.01) << "p=" << p;
+  }
+}
+
+TEST(MonteCarloAvailabilityTest, PredicateOverload) {
+  // Predicate "replica 0 alive" has availability exactly p.
+  Rng rng(29);
+  const double estimate = monte_carlo_availability(
+      4, 0.6, 40000, rng,
+      [](const FailureSet& failures) { return failures.is_alive(0); });
+  EXPECT_NEAR(estimate, 0.6, 0.01);
+}
+
+TEST(MonteCarloAvailabilityTest, ZeroTrialsThrows) {
+  const SetSystem system(2, {Quorum{0}});
+  Rng rng(1);
+  EXPECT_THROW(monte_carlo_availability(system, 0.5, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,206 @@
+#include "quorum/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/quorums.hpp"
+#include "protocols/hqc.hpp"
+#include "quorum/availability.hpp"
+#include "quorum/lp.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(BuildingBlocksTest, AllOfOneOfMajority) {
+  EXPECT_EQ(all_of(4).set_count(), 1u);
+  EXPECT_EQ(all_of(4).sets()[0].size(), 4u);
+  EXPECT_EQ(one_of(4).set_count(), 4u);
+  EXPECT_TRUE(all_of(4).is_coterie());
+  EXPECT_FALSE(one_of(4).is_quorum_system());  // singletons don't intersect
+  EXPECT_EQ(majority_of(3).set_count(), 3u);
+  EXPECT_TRUE(majority_of(5).is_coterie());
+  EXPECT_EQ(need_of_three(2).set_count(), 3u);
+}
+
+TEST(ComposeTest, RejectsSizeMismatch) {
+  EXPECT_THROW(compose(all_of(2), {all_of(1)}), std::invalid_argument);
+}
+
+TEST(ComposeTest, UniverseIsConcatenated) {
+  const SetSystem composed =
+      compose(all_of(2), {majority_of(3), majority_of(3)});
+  EXPECT_EQ(composed.universe_size(), 6u);
+  // all-of-2 outer: every composite quorum takes a majority from EACH side:
+  // 3 * 3 = 9 quorums of size 4.
+  EXPECT_EQ(composed.set_count(), 9u);
+  for (const Quorum& q : composed.sets()) EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(ComposeTest, QuorumPropertyInherited) {
+  // Majority-of-3 outer over three majority-of-3 inners: a coterie.
+  const SetSystem composed = compose(
+      majority_of(3), {majority_of(3), majority_of(3), majority_of(3)});
+  EXPECT_EQ(composed.universe_size(), 9u);
+  EXPECT_TRUE(composed.is_quorum_system());
+}
+
+TEST(ComposeTest, NonIntersectingOuterBreaksIt) {
+  // one-of-2 outer: quorums from different sides never meet.
+  const SetSystem composed = compose(one_of(2), {all_of(2), all_of(2)});
+  EXPECT_FALSE(composed.is_quorum_system());
+  EXPECT_EQ(composed.set_count(), 2u);
+}
+
+TEST(ComposeTest, HqcByCompositionMatchesProtocol) {
+  // The composition algebra must reproduce the Hqc protocol's quorum set
+  // exactly (as sets, order-insensitive), at depths 1 and 2.
+  for (std::uint32_t depth : {1u, 2u}) {
+    SetSystem composed = hqc_by_composition(depth);
+    const Hqc protocol(depth);
+    auto expected = protocol.enumerate_read_quorums(100000);
+    auto actual = composed.sets();
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "depth " << depth;
+  }
+}
+
+TEST(ComposeTest, HqcLoadViaCompositionMatchesFormula) {
+  const SetSystem composed = hqc_by_composition(2);
+  EXPECT_NEAR(optimal_load(composed).load, 4.0 / 9.0, 1e-8);
+}
+
+TEST(ComposeTest, ArbitraryReadSystemIsAComposition) {
+  // Read quorums of the 1-3-5 tree = all-of-2 outer over one-of-3 and
+  // one-of-5 (one member from EVERY level).
+  const SetSystem composed = compose(all_of(2), {one_of(3), one_of(5)});
+  const ArbitraryProtocol protocol(ArbitraryTree::from_spec("1-3-5"));
+  auto expected = protocol.enumerate_read_quorums(1000);
+  auto actual = composed.sets();
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ComposeTest, ArbitraryWriteSystemIsAComposition) {
+  // Write quorums = one-of-2 outer over all-of-3 and all-of-5 (ALL members
+  // of ONE level).
+  const SetSystem composed = compose(one_of(2), {all_of(3), all_of(5)});
+  const ArbitraryProtocol protocol(ArbitraryTree::from_spec("1-3-5"));
+  auto expected = protocol.enumerate_write_quorums(10);
+  auto actual = composed.sets();
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ComposeTest, FactCountsFollowFromComposition) {
+  // m(R) multiplies (product over levels), m(W) adds (one per level) — the
+  // compositional reason behind Facts 3.2.1 and 3.2.2.
+  const SetSystem reads =
+      compose(all_of(3), {one_of(2), one_of(4), one_of(5)});
+  EXPECT_EQ(reads.set_count(), 2u * 4u * 5u);
+  const SetSystem writes =
+      compose(one_of(3), {all_of(2), all_of(4), all_of(5)});
+  EXPECT_EQ(writes.set_count(), 3u);
+}
+
+TEST(ComposeTest, AvailabilityFactorizes) {
+  // For the all-of outer, availability is the product of the inner
+  // availabilities (independence across disjoint universes).
+  const SetSystem left = majority_of(3);
+  const SetSystem right = one_of(4);  // "any single replica"
+  const SetSystem composed = compose(all_of(2), {left, right});
+  for (double p : {0.6, 0.85}) {
+    EXPECT_NEAR(exact_availability(composed, p),
+                exact_availability(left, p) * exact_availability(right, p),
+                1e-10);
+  }
+}
+
+TEST(ComposeTest, LimitEnforced) {
+  EXPECT_THROW(compose(all_of(2), {majority_of(5), majority_of(5)}, 10),
+               std::length_error);
+}
+
+// -- Load composition theorems -----------------------------------------------
+//
+// These two facts GENERALIZE the paper's appendix proofs (6.1: read load
+// 1/d; 6.2: write load 1/|K_phy|), verified here against the exact LP:
+//
+//  (1) all-of outer:  L(compose(all_of(k), S_1..S_k)) = max_i L(S_i)
+//      — every composite quorum uses every subsystem, so the busiest
+//      subsystem sets the load. The arbitrary READ system composes
+//      singleton systems with L(S_i) = 1/m_phy_i, giving max = 1/d.
+//
+//  (2) one-of outer:  1/L(compose(one_of(k), S_1..S_k)) = Σ_i 1/L(S_i)
+//      — weight can be split across subsystems in proportion to their
+//      capacity 1/L. The arbitrary WRITE system composes all-of systems
+//      with L = 1 each, giving L = 1/k = 1/|K_phy|.
+
+TEST(ComposeLoadTheoremsTest, AllOfOuterTakesTheMaxLoad) {
+  const std::vector<SetSystem> parts = {one_of(3), majority_of(3), one_of(5)};
+  const SetSystem composed = compose(all_of(3), parts);
+  double expected = 0.0;
+  for (const SetSystem& part : parts) {
+    expected = std::max(expected, optimal_load(part).load);
+  }
+  EXPECT_NEAR(optimal_load(composed).load, expected, 1e-8);
+  // Sanity: the parts' loads are 1/3, 2/3, 1/5 -> max 2/3.
+  EXPECT_NEAR(expected, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ComposeLoadTheoremsTest, OneOfOuterAddsCapacities) {
+  const std::vector<SetSystem> parts = {all_of(2), majority_of(3), all_of(4)};
+  const SetSystem composed = compose(one_of(3), parts);
+  double inverse = 0.0;
+  for (const SetSystem& part : parts) {
+    inverse += 1.0 / optimal_load(part).load;
+  }
+  EXPECT_NEAR(optimal_load(composed).load, 1.0 / inverse, 1e-8);
+  // Loads 1, 2/3, 1 -> capacities 1 + 1.5 + 1 = 3.5 -> L = 2/7.
+  EXPECT_NEAR(1.0 / inverse, 2.0 / 7.0, 1e-9);
+}
+
+TEST(ComposeLoadTheoremsTest, PaperLoadsAreTheSpecialCases) {
+  // Arbitrary 1-3-5: reads = all_of over one_of(3), one_of(5): max(1/3,
+  // 1/5) = 1/3 = 1/d. Writes = one_of over all_of(3), all_of(5):
+  // 1/(1+1) = 1/2 = 1/|K_phy|.
+  const SetSystem reads = compose(all_of(2), {one_of(3), one_of(5)});
+  const SetSystem writes = compose(one_of(2), {all_of(3), all_of(5)});
+  EXPECT_NEAR(optimal_load(reads).load, 1.0 / 3.0, 1e-8);
+  EXPECT_NEAR(optimal_load(writes).load, 0.5, 1e-8);
+}
+
+TEST(ComposeLoadTheoremsTest, RandomizedAgainstLp) {
+  Rng rng(2718);
+  for (int round = 0; round < 10; ++round) {
+    // Random small parts: one_of(s), all_of(s) or majority_of(s), s in 2..4.
+    std::vector<SetSystem> parts;
+    const std::size_t k = 2 + rng.below(2);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t s = 2 + rng.below(3);
+      switch (rng.below(3)) {
+        case 0: parts.push_back(one_of(s)); break;
+        case 1: parts.push_back(all_of(s)); break;
+        default: parts.push_back(majority_of(s)); break;
+      }
+    }
+    double max_load = 0.0;
+    double inverse_sum = 0.0;
+    for (const SetSystem& part : parts) {
+      const double load = optimal_load(part).load;
+      max_load = std::max(max_load, load);
+      inverse_sum += 1.0 / load;
+    }
+    EXPECT_NEAR(optimal_load(compose(all_of(k), parts)).load, max_load, 1e-7)
+        << "round " << round;
+    EXPECT_NEAR(optimal_load(compose(one_of(k), parts)).load,
+                1.0 / inverse_sum, 1e-7)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,150 @@
+#include "quorum/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "quorum/strategy.hpp"
+#include "util/math.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(SimplexTest, TextbookProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  x=2, y=6, z=36.
+  const auto result = simplex_maximize(
+      {3, 5}, {{1, 0}, {0, 2}, {3, 2}}, {4, 12, 18});
+  ASSERT_TRUE(result.bounded);
+  EXPECT_NEAR(result.objective, 36.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, DualValues) {
+  // Same LP; strong duality: b·y = objective.
+  const std::vector<double> b = {4, 12, 18};
+  const auto result = simplex_maximize(
+      {3, 5}, {{1, 0}, {0, 2}, {3, 2}}, b);
+  double dual_objective = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_GE(result.duals[i], -1e-9);
+    dual_objective += b[i] * result.duals[i];
+  }
+  EXPECT_NEAR(dual_objective, result.objective, 1e-9);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // max x with no binding constraint on x.
+  const auto result = simplex_maximize({1, 0}, {{0, 1}}, {5});
+  EXPECT_FALSE(result.bounded);
+}
+
+TEST(SimplexTest, DegenerateTiesTerminate) {
+  // Classic degenerate LP; Bland's rule must not cycle.
+  const auto result = simplex_maximize(
+      {10, -57, -9, -24},
+      {{0.5, -5.5, -2.5, 9}, {0.5, -1.5, -0.5, 1}, {1, 0, 0, 0}}, {0, 0, 1});
+  ASSERT_TRUE(result.bounded);
+  EXPECT_NEAR(result.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, RejectsBadInput) {
+  EXPECT_THROW(simplex_maximize({1}, {{1}}, {-1}), std::invalid_argument);
+  EXPECT_THROW(simplex_maximize({1}, {{1, 2}}, {1}), std::invalid_argument);
+  EXPECT_THROW(simplex_maximize({1}, {{1}}, {1, 2}), std::invalid_argument);
+}
+
+TEST(OptimalLoadTest, SingletonSystem) {
+  // One quorum {0}: the only strategy loads replica 0 fully.
+  const auto result = optimal_load(SetSystem(1, {Quorum{0}}));
+  EXPECT_NEAR(result.load, 1.0, 1e-9);
+}
+
+TEST(OptimalLoadTest, RowaReads) {
+  // n singleton read quorums: optimal load 1/n.
+  const std::size_t n = 6;
+  std::vector<Quorum> sets;
+  for (ReplicaId id = 0; id < n; ++id) sets.push_back(Quorum{id});
+  const auto result = optimal_load(SetSystem(n, sets));
+  EXPECT_NEAR(result.load, 1.0 / n, 1e-9);
+}
+
+TEST(OptimalLoadTest, MajorityOfThree) {
+  // Naor-Wool: majority quorum system load is q/n = 2/3.
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  const auto result = optimal_load(system);
+  EXPECT_NEAR(result.load, 2.0 / 3.0, 1e-9);
+}
+
+TEST(OptimalLoadTest, StrategyAchievesTheLoad) {
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  const auto result = optimal_load(system);
+  EXPECT_NEAR(strategy_load(system, result.strategy), result.load, 1e-9);
+}
+
+TEST(OptimalLoadTest, CertificateIsValid) {
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  const auto result = optimal_load(system);
+  EXPECT_TRUE(certifies_lower_bound(system, result.y, result.load, 1e-7));
+}
+
+TEST(OptimalLoadTest, AsymmetricSystem) {
+  // Sets {0} and {0,1}: every quorum contains 0, so load is 1 no matter
+  // the strategy (the "root in every quorum" pathology the paper discusses).
+  const auto result = optimal_load(SetSystem(2, {Quorum{0}, Quorum{0, 1}}));
+  EXPECT_NEAR(result.load, 1.0, 1e-9);
+}
+
+TEST(OptimalLoadTest, StarSystem) {
+  // Quorums {0,i} for i=1..4: replica 0 is in all -> load 1... each quorum
+  // must include 0, so the load is 1 on replica 0 regardless.
+  std::vector<Quorum> sets;
+  for (ReplicaId i = 1; i <= 4; ++i) sets.push_back(Quorum{0, i});
+  const auto result = optimal_load(SetSystem(5, sets));
+  EXPECT_NEAR(result.load, 1.0, 1e-9);
+}
+
+TEST(OptimalLoadTest, TwoDisjointQuorums) {
+  // {0,1} and {2,3}: split weight evenly -> load 1/2.
+  const auto result = optimal_load(SetSystem(4, {Quorum{0, 1}, Quorum{2, 3}}));
+  EXPECT_NEAR(result.load, 0.5, 1e-9);
+}
+
+TEST(OptimalLoadTest, RejectsDegenerateSystems) {
+  EXPECT_THROW(optimal_load(SetSystem(2, {})), std::invalid_argument);
+  EXPECT_THROW(optimal_load(SetSystem(2, {Quorum{}})), std::invalid_argument);
+}
+
+class MajorityLoadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MajorityLoadTest, LoadIsQOverN) {
+  // Property (Naor-Wool): the majority system over n replicas has optimal
+  // load ceil((n+1)/2)/n. Verified by the LP for n = 3..7.
+  const std::size_t n = GetParam();
+  const std::size_t q = n / 2 + 1;
+  std::vector<Quorum> sets;
+  // all subsets of size q
+  std::vector<ReplicaId> pick(q);
+  std::function<void(std::size_t, ReplicaId)> gen = [&](std::size_t depth,
+                                                        ReplicaId start) {
+    if (depth == q) {
+      sets.emplace_back(pick);
+      return;
+    }
+    for (ReplicaId id = start; id < n; ++id) {
+      pick[depth] = id;
+      gen(depth + 1, id + 1);
+    }
+  };
+  gen(0, 0);
+  const auto result = optimal_load(SetSystem(n, sets));
+  EXPECT_NEAR(result.load, static_cast<double>(q) / n, 1e-8);
+  EXPECT_TRUE(certifies_lower_bound(SetSystem(n, sets), result.y, result.load,
+                                    1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, MajorityLoadTest,
+                         ::testing::Values(3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace atrcp

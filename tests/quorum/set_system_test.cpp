@@ -1,0 +1,78 @@
+#include "quorum/set_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atrcp {
+namespace {
+
+TEST(SetSystemTest, RejectsOutOfUniverseMembers) {
+  EXPECT_THROW(SetSystem(3, {Quorum{0, 3}}), std::invalid_argument);
+  EXPECT_NO_THROW(SetSystem(4, {Quorum{0, 3}}));
+}
+
+TEST(SetSystemTest, QuorumSystemRequiresPairwiseIntersection) {
+  const SetSystem majority3(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  EXPECT_TRUE(majority3.is_quorum_system());
+
+  const SetSystem disjoint(4, {Quorum{0, 1}, Quorum{2, 3}});
+  EXPECT_FALSE(disjoint.is_quorum_system());
+}
+
+TEST(SetSystemTest, EmptySetBreaksQuorumSystem) {
+  const SetSystem with_empty(3, {Quorum{0, 1}, Quorum{}});
+  EXPECT_FALSE(with_empty.is_quorum_system());
+}
+
+TEST(SetSystemTest, CoterieRequiresMinimality) {
+  // {0,1} ⊂ {0,1,2} violates minimality.
+  const SetSystem non_minimal(3, {Quorum{0, 1}, Quorum{0, 1, 2}});
+  EXPECT_TRUE(non_minimal.is_quorum_system());
+  EXPECT_FALSE(non_minimal.is_coterie());
+
+  const SetSystem majority3(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  EXPECT_TRUE(majority3.is_coterie());
+}
+
+TEST(SetSystemTest, DuplicateSetsAreNotACoterie) {
+  const SetSystem dup(2, {Quorum{0, 1}, Quorum{0, 1}});
+  EXPECT_FALSE(dup.is_coterie());
+}
+
+TEST(SetSystemTest, MinMaxSetSize) {
+  const SetSystem s(5, {Quorum{0}, Quorum{0, 1, 2}, Quorum{0, 4}});
+  EXPECT_EQ(s.min_set_size(), 1u);
+  EXPECT_EQ(s.max_set_size(), 3u);
+}
+
+TEST(SetSystemTest, MinSizeOfEmptySystemThrows) {
+  const SetSystem s(3, {});
+  EXPECT_THROW(s.min_set_size(), std::logic_error);
+}
+
+TEST(BicoterieTest, SingletonReadsIntersectFullWrite) {
+  // ROWA-shaped: reads {i}, write {0..2}.
+  Bicoterie b(3, {Quorum{0}, Quorum{1}, Quorum{2}}, {Quorum{0, 1, 2}});
+  EXPECT_TRUE(b.intersection_holds());
+}
+
+TEST(BicoterieTest, DetectsMissedIntersection) {
+  Bicoterie b(4, {Quorum{0}, Quorum{1}}, {Quorum{0, 2}});
+  EXPECT_FALSE(b.intersection_holds());  // {1} ∩ {0,2} = ∅
+}
+
+TEST(BicoterieTest, PaperExampleTree135) {
+  // The 1-3-5 tree of §3.4: replicas 0..2 on level 1, 3..7 on level 2.
+  // Read quorums: one of {0,1,2} x one of {3..7}; writes: both levels.
+  std::vector<Quorum> reads;
+  for (ReplicaId a = 0; a < 3; ++a) {
+    for (ReplicaId b = 3; b < 8; ++b) reads.push_back(Quorum{a, b});
+  }
+  const std::vector<Quorum> writes = {Quorum{0, 1, 2}, Quorum{3, 4, 5, 6, 7}};
+  Bicoterie b(8, reads, writes);
+  EXPECT_EQ(b.reads().set_count(), 15u);  // m(R) = 3*5
+  EXPECT_EQ(b.writes().set_count(), 2u);  // m(W) = 2
+  EXPECT_TRUE(b.intersection_holds());
+}
+
+}  // namespace
+}  // namespace atrcp

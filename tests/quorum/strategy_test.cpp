@@ -1,0 +1,104 @@
+#include "quorum/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/math.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(StrategyTest, NormalizesWeights) {
+  const Strategy s({2.0, 6.0});
+  EXPECT_NEAR(s.weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(s.weights()[1], 0.75, 1e-12);
+}
+
+TEST(StrategyTest, UniformWeights) {
+  const Strategy s = Strategy::uniform(4);
+  for (double w : s.weights()) EXPECT_NEAR(w, 0.25, 1e-12);
+}
+
+TEST(StrategyTest, RejectsInvalidWeights) {
+  EXPECT_THROW(Strategy({}), std::invalid_argument);
+  EXPECT_THROW(Strategy({1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(Strategy({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Strategy::uniform(0), std::invalid_argument);
+}
+
+TEST(StrategyTest, SampleMatchesDistribution) {
+  const Strategy s({0.1, 0.0, 0.9});
+  Rng rng(5);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[s.sample(rng)];
+  EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.9, 0.01);
+}
+
+TEST(InducedLoadsTest, Definition25) {
+  // Universe {0,1,2}; sets {0,1} and {1,2}, weights 0.25/0.75.
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{1, 2}});
+  const Strategy strategy({0.25, 0.75});
+  const auto loads = induced_loads(system, strategy);
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_NEAR(loads[0], 0.25, 1e-12);
+  EXPECT_NEAR(loads[1], 1.0, 1e-12);
+  EXPECT_NEAR(loads[2], 0.75, 1e-12);
+  EXPECT_NEAR(strategy_load(system, strategy), 1.0, 1e-12);
+}
+
+TEST(InducedLoadsTest, SizeMismatchThrows) {
+  const SetSystem system(2, {Quorum{0}});
+  EXPECT_THROW(induced_loads(system, Strategy::uniform(2)),
+               std::invalid_argument);
+}
+
+TEST(InducedLoadsTest, UniformMajorityLoadIsQOverN) {
+  // All C(4,3) majorities of 4 replicas, uniform strategy: load 3/4 each.
+  std::vector<Quorum> sets;
+  for (ReplicaId skip = 0; skip < 4; ++skip) {
+    std::vector<ReplicaId> members;
+    for (ReplicaId id = 0; id < 4; ++id) {
+      if (id != skip) members.push_back(id);
+    }
+    sets.emplace_back(members);
+  }
+  const SetSystem system(4, sets);
+  const auto loads = induced_loads(system, Strategy::uniform(4));
+  for (double l : loads) EXPECT_NEAR(l, 0.75, 1e-12);
+}
+
+TEST(CertifyTest, AcceptsValidWitness) {
+  // Majority-of-3: y = (1/3,1/3,1/3) certifies load 2/3.
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  const std::vector<double> y(3, 1.0 / 3.0);
+  EXPECT_TRUE(certifies_lower_bound(system, y, 2.0 / 3.0));
+}
+
+TEST(CertifyTest, RejectsTooStrongClaim) {
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{0, 2}, Quorum{1, 2}});
+  const std::vector<double> y(3, 1.0 / 3.0);
+  EXPECT_FALSE(certifies_lower_bound(system, y, 0.9));
+}
+
+TEST(CertifyTest, RejectsNonDistribution) {
+  const SetSystem system(2, {Quorum{0, 1}});
+  EXPECT_FALSE(certifies_lower_bound(system, {0.7, 0.7}, 1.0));  // sums to 1.4
+  EXPECT_FALSE(certifies_lower_bound(system, {0.5}, 0.5));       // wrong size
+}
+
+TEST(EmpiricalLoadsTest, ConvergesToInduced) {
+  const SetSystem system(3, {Quorum{0, 1}, Quorum{1, 2}});
+  const Strategy strategy({0.3, 0.7});
+  Rng rng(99);
+  const auto measured = empirical_loads(system, strategy, 200000, rng);
+  const auto exact = induced_loads(system, strategy);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(measured[i], exact[i], 0.01) << "replica " << i;
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

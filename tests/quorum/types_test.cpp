@@ -1,0 +1,99 @@
+#include "quorum/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atrcp {
+namespace {
+
+TEST(QuorumTest, SortsAndDeduplicates) {
+  const Quorum q({3, 1, 2, 1, 3});
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.members()[0], 1u);
+  EXPECT_EQ(q.members()[1], 2u);
+  EXPECT_EQ(q.members()[2], 3u);
+}
+
+TEST(QuorumTest, Contains) {
+  const Quorum q{1, 5, 9};
+  EXPECT_TRUE(q.contains(1));
+  EXPECT_TRUE(q.contains(9));
+  EXPECT_FALSE(q.contains(2));
+  EXPECT_FALSE(q.contains(0));
+}
+
+TEST(QuorumTest, EmptyQuorum) {
+  const Quorum q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.contains(0));
+  EXPECT_FALSE(q.intersects(Quorum{1, 2}));
+}
+
+TEST(QuorumTest, Intersects) {
+  EXPECT_TRUE(Quorum({1, 2, 3}).intersects(Quorum{3, 4}));
+  EXPECT_TRUE(Quorum({7}).intersects(Quorum{7}));
+  EXPECT_FALSE(Quorum({1, 3, 5}).intersects(Quorum{0, 2, 4}));
+}
+
+TEST(QuorumTest, SubsetOf) {
+  EXPECT_TRUE(Quorum({1, 2}).subset_of(Quorum{1, 2, 3}));
+  EXPECT_TRUE(Quorum({1, 2}).subset_of(Quorum{1, 2}));
+  EXPECT_TRUE(Quorum{}.subset_of(Quorum{1}));
+  EXPECT_FALSE(Quorum({1, 4}).subset_of(Quorum{1, 2, 3}));
+}
+
+TEST(QuorumTest, EqualityAndOrdering) {
+  EXPECT_EQ(Quorum({2, 1}), Quorum({1, 2}));
+  EXPECT_NE(Quorum({1}), Quorum({2}));
+}
+
+TEST(QuorumTest, ToString) {
+  EXPECT_EQ(Quorum({2, 0, 7}).to_string(), "{0, 2, 7}");
+  EXPECT_EQ(Quorum{}.to_string(), "{}");
+}
+
+TEST(FailureSetTest, StartsAllAlive) {
+  const FailureSet failures(5);
+  for (ReplicaId id = 0; id < 5; ++id) {
+    EXPECT_TRUE(failures.is_alive(id));
+    EXPECT_FALSE(failures.is_failed(id));
+  }
+  EXPECT_EQ(failures.failed_count(), 0u);
+  EXPECT_EQ(failures.alive_count(), 5u);
+}
+
+TEST(FailureSetTest, FailAndRecover) {
+  FailureSet failures(4);
+  failures.fail(2);
+  EXPECT_TRUE(failures.is_failed(2));
+  EXPECT_EQ(failures.failed_count(), 1u);
+  failures.recover(2);
+  EXPECT_TRUE(failures.is_alive(2));
+  EXPECT_EQ(failures.failed_count(), 0u);
+}
+
+TEST(FailureSetTest, OutOfRangeIdsAreAlive) {
+  const FailureSet failures(3);
+  EXPECT_TRUE(failures.is_alive(99));
+}
+
+TEST(FailureSetTest, FailGrowsUniverse) {
+  FailureSet failures;
+  failures.fail(7);
+  EXPECT_TRUE(failures.is_failed(7));
+  EXPECT_EQ(failures.universe_size(), 8u);
+}
+
+TEST(FailureSetTest, AllAlive) {
+  FailureSet failures(6);
+  const Quorum q{1, 3, 5};
+  EXPECT_TRUE(failures.all_alive(q));
+  failures.fail(3);
+  EXPECT_FALSE(failures.all_alive(q));
+  failures.recover(3);
+  failures.fail(0);  // not a member
+  EXPECT_TRUE(failures.all_alive(q));
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,199 @@
+// Drives a single ReplicaServer through raw messages, checking every
+// handler: read, version, and the 2PC participant state machine including
+// duplicate decisions and the stable prepared-set.
+#include "replica/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace atrcp {
+namespace {
+
+/// Captures replies sent back to the "coordinator" site.
+class ReplyCollector final : public SiteHandler {
+ public:
+  void on_message(const Message& message) override {
+    bodies.push_back(message.body);
+  }
+  template <typename T>
+  const T* last_as() const {
+    if (bodies.empty()) return nullptr;
+    return dynamic_cast<const T*>(bodies.back().get());
+  }
+  std::vector<std::shared_ptr<const MessageBody>> bodies;
+};
+
+class ReplicaServerTest : public ::testing::Test {
+ protected:
+  ReplicaServerTest() : network_(scheduler_, Rng(1)), server_(network_) {
+    const SiteId server_site = network_.add_site(server_);
+    server_.set_site(server_site);
+    coordinator_site_ = network_.add_site(collector_);
+  }
+
+  void deliver(std::shared_ptr<MessageBody> body) {
+    network_.send(coordinator_site_, server_.site(), std::move(body));
+    scheduler_.run();
+  }
+
+  std::shared_ptr<PrepareRequest> make_prepare(TxnId txn, Key key,
+                                               Value value, Timestamp ts) {
+    auto prepare = std::make_shared<PrepareRequest>();
+    prepare->txn_id = txn;
+    prepare->writes.push_back(StagedWrite{key, std::move(value), ts});
+    return prepare;
+  }
+
+  Scheduler scheduler_;
+  Network network_;
+  ReplicaServer server_;
+  ReplyCollector collector_;
+  SiteId coordinator_site_ = 0;
+};
+
+TEST_F(ReplicaServerTest, VersionRequestOnFreshKey) {
+  auto request = std::make_shared<VersionRequest>();
+  request->op_id = 7;
+  request->key = 1;
+  deliver(std::move(request));
+  const auto* reply = collector_.last_as<VersionReply>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->op_id, 7u);
+  EXPECT_EQ(reply->timestamp, kInitialTimestamp);
+}
+
+TEST_F(ReplicaServerTest, ReadRequestOnFreshKeyHasNoValue) {
+  auto request = std::make_shared<ReadRequest>();
+  request->op_id = 9;
+  request->key = 5;
+  deliver(std::move(request));
+  const auto* reply = collector_.last_as<ReadReply>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_FALSE(reply->has_value);
+}
+
+TEST_F(ReplicaServerTest, PrepareStagesWithoutApplying) {
+  deliver(make_prepare(1, 5, "value", Timestamp{1, 0}));
+  const auto* vote = collector_.last_as<PrepareVote>();
+  ASSERT_NE(vote, nullptr);
+  EXPECT_TRUE(vote->yes);
+  EXPECT_EQ(server_.prepared_count(), 1u);
+  // Not visible to reads until commit.
+  EXPECT_FALSE(server_.store().get(5).has_value());
+}
+
+TEST_F(ReplicaServerTest, CommitAppliesStagedWrites) {
+  deliver(make_prepare(1, 5, "value", Timestamp{1, 0}));
+  auto commit = std::make_shared<CommitRequest>();
+  commit->txn_id = 1;
+  deliver(std::move(commit));
+  const auto* ack = collector_.last_as<CommitAck>();
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(server_.prepared_count(), 0u);
+  ASSERT_TRUE(server_.store().get(5).has_value());
+  EXPECT_EQ(server_.store().get(5)->value, "value");
+  EXPECT_EQ(server_.commits_applied(), 1u);
+}
+
+TEST_F(ReplicaServerTest, AbortDropsStagedWrites) {
+  deliver(make_prepare(2, 6, "doomed", Timestamp{1, 0}));
+  auto abort = std::make_shared<AbortRequest>();
+  abort->txn_id = 2;
+  deliver(std::move(abort));
+  EXPECT_NE(collector_.last_as<AbortAck>(), nullptr);
+  EXPECT_EQ(server_.prepared_count(), 0u);
+  EXPECT_FALSE(server_.store().get(6).has_value());
+  EXPECT_EQ(server_.aborts_seen(), 1u);
+}
+
+TEST_F(ReplicaServerTest, DuplicateCommitIsIdempotent) {
+  deliver(make_prepare(1, 5, "value", Timestamp{1, 0}));
+  for (int i = 0; i < 3; ++i) {
+    auto commit = std::make_shared<CommitRequest>();
+    commit->txn_id = 1;
+    deliver(std::move(commit));
+    EXPECT_NE(collector_.last_as<CommitAck>(), nullptr);  // always re-acked
+  }
+  EXPECT_EQ(server_.commits_applied(), 1u);
+  EXPECT_EQ(server_.store().get(5)->value, "value");
+}
+
+TEST_F(ReplicaServerTest, CommitForUnknownTxnStillAcks) {
+  auto commit = std::make_shared<CommitRequest>();
+  commit->txn_id = 99;
+  deliver(std::move(commit));
+  EXPECT_NE(collector_.last_as<CommitAck>(), nullptr);
+  EXPECT_EQ(server_.commits_applied(), 0u);
+}
+
+TEST_F(ReplicaServerTest, RetransmittedPrepareAfterCommitVotesYes) {
+  deliver(make_prepare(1, 5, "value", Timestamp{1, 0}));
+  auto commit = std::make_shared<CommitRequest>();
+  commit->txn_id = 1;
+  deliver(std::move(commit));
+  // Late retransmission of the prepare: must repeat yes, not re-stage.
+  deliver(make_prepare(1, 5, "value", Timestamp{1, 0}));
+  const auto* vote = collector_.last_as<PrepareVote>();
+  ASSERT_NE(vote, nullptr);
+  EXPECT_TRUE(vote->yes);
+  EXPECT_EQ(server_.prepared_count(), 0u);
+}
+
+TEST_F(ReplicaServerTest, RetransmittedPrepareAfterAbortVotesNo) {
+  deliver(make_prepare(3, 7, "value", Timestamp{1, 0}));
+  auto abort = std::make_shared<AbortRequest>();
+  abort->txn_id = 3;
+  deliver(std::move(abort));
+  deliver(make_prepare(3, 7, "value", Timestamp{1, 0}));
+  const auto* vote = collector_.last_as<PrepareVote>();
+  ASSERT_NE(vote, nullptr);
+  EXPECT_FALSE(vote->yes);
+}
+
+TEST_F(ReplicaServerTest, ReadAfterCommitReturnsValueAndTimestamp) {
+  deliver(make_prepare(1, 5, "payload", Timestamp{4, 2}));
+  auto commit = std::make_shared<CommitRequest>();
+  commit->txn_id = 1;
+  deliver(std::move(commit));
+  auto read = std::make_shared<ReadRequest>();
+  read->op_id = 11;
+  read->key = 5;
+  deliver(std::move(read));
+  const auto* reply = collector_.last_as<ReadReply>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->has_value);
+  EXPECT_EQ(reply->value, "payload");
+  EXPECT_EQ(reply->timestamp, (Timestamp{4, 2}));
+}
+
+TEST_F(ReplicaServerTest, MultiWritePrepareAppliesAll) {
+  auto prepare = std::make_shared<PrepareRequest>();
+  prepare->txn_id = 4;
+  prepare->writes.push_back(StagedWrite{1, "a", Timestamp{1, 0}});
+  prepare->writes.push_back(StagedWrite{2, "b", Timestamp{1, 0}});
+  deliver(std::move(prepare));
+  auto commit = std::make_shared<CommitRequest>();
+  commit->txn_id = 4;
+  deliver(std::move(commit));
+  EXPECT_EQ(server_.store().get(1)->value, "a");
+  EXPECT_EQ(server_.store().get(2)->value, "b");
+}
+
+TEST_F(ReplicaServerTest, StatisticsCount) {
+  auto read = std::make_shared<ReadRequest>();
+  read->op_id = 1;
+  read->key = 0;
+  deliver(std::move(read));
+  auto version = std::make_shared<VersionRequest>();
+  version->op_id = 2;
+  version->key = 0;
+  deliver(std::move(version));
+  EXPECT_EQ(server_.reads_served(), 1u);
+  EXPECT_EQ(server_.versions_served(), 1u);
+  EXPECT_EQ(server_.messages_received(), 2u);
+}
+
+}  // namespace
+}  // namespace atrcp

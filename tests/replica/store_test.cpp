@@ -1,0 +1,86 @@
+#include "replica/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atrcp {
+namespace {
+
+TEST(TimestampTest, PaperOrdering) {
+  // Highest version wins; ties broken by LOWEST site id.
+  EXPECT_TRUE(Timestamp({2, 5}).is_newer_than(Timestamp{1, 0}));
+  EXPECT_FALSE(Timestamp({1, 0}).is_newer_than(Timestamp{2, 5}));
+  EXPECT_TRUE(Timestamp({3, 1}).is_newer_than(Timestamp{3, 2}));
+  EXPECT_FALSE(Timestamp({3, 2}).is_newer_than(Timestamp{3, 1}));
+  // A timestamp is never newer than itself.
+  EXPECT_FALSE(Timestamp({3, 1}).is_newer_than(Timestamp{3, 1}));
+}
+
+TEST(TimestampTest, InitialIsOlderThanAnyWrite) {
+  EXPECT_TRUE(Timestamp({1, 99}).is_newer_than(kInitialTimestamp));
+  EXPECT_FALSE(kInitialTimestamp.is_newer_than(Timestamp{1, 99}));
+}
+
+TEST(TimestampTest, ToString) {
+  EXPECT_EQ(Timestamp({7, 3}).to_string(), "v7@3");
+}
+
+TEST(VersionedStoreTest, MissingKey) {
+  VersionedStore store;
+  EXPECT_FALSE(store.get(1).has_value());
+  EXPECT_EQ(store.timestamp_of(1), kInitialTimestamp);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(VersionedStoreTest, ApplyAndGet) {
+  VersionedStore store;
+  EXPECT_TRUE(store.apply(1, "hello", Timestamp{1, 0}));
+  const auto entry = store.get(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->value, "hello");
+  EXPECT_EQ(entry->timestamp, (Timestamp{1, 0}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(VersionedStoreTest, NewerVersionReplaces) {
+  VersionedStore store;
+  store.apply(1, "old", Timestamp{1, 0});
+  EXPECT_TRUE(store.apply(1, "new", Timestamp{2, 0}));
+  EXPECT_EQ(store.get(1)->value, "new");
+}
+
+TEST(VersionedStoreTest, StaleWriteIgnored) {
+  VersionedStore store;
+  store.apply(1, "current", Timestamp{5, 0});
+  EXPECT_FALSE(store.apply(1, "stale", Timestamp{4, 0}));
+  EXPECT_FALSE(store.apply(1, "same", Timestamp{5, 0}));  // not newer
+  EXPECT_EQ(store.get(1)->value, "current");
+}
+
+TEST(VersionedStoreTest, SidTieBreakOnApply) {
+  VersionedStore store;
+  store.apply(1, "site3", Timestamp{5, 3});
+  // Same version, lower sid: the paper says lower sid wins.
+  EXPECT_TRUE(store.apply(1, "site1", Timestamp{5, 1}));
+  EXPECT_EQ(store.get(1)->value, "site1");
+  // Higher sid at same version loses.
+  EXPECT_FALSE(store.apply(1, "site9", Timestamp{5, 9}));
+}
+
+TEST(VersionedStoreTest, ApplyIsIdempotentUnderReplay) {
+  VersionedStore store;
+  EXPECT_TRUE(store.apply(1, "v", Timestamp{3, 2}));
+  EXPECT_FALSE(store.apply(1, "v", Timestamp{3, 2}));  // replayed message
+  EXPECT_EQ(store.get(1)->value, "v");
+}
+
+TEST(VersionedStoreTest, KeysAreIndependent) {
+  VersionedStore store;
+  store.apply(1, "one", Timestamp{9, 0});
+  store.apply(2, "two", Timestamp{1, 0});
+  EXPECT_EQ(store.get(1)->value, "one");
+  EXPECT_EQ(store.get(2)->value, "two");
+  EXPECT_EQ(store.size(), 2u);
+}
+
+}  // namespace
+}  // namespace atrcp

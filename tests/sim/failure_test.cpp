@@ -1,0 +1,122 @@
+#include "sim/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace atrcp {
+namespace {
+
+class NullHandler final : public SiteHandler {
+ public:
+  void on_message(const Message&) override {}
+};
+
+class FailureInjectorTest : public ::testing::Test {
+ protected:
+  FailureInjectorTest() : network_(scheduler_, Rng(3)) {
+    for (int i = 0; i < 5; ++i) {
+      handlers_.push_back(std::make_unique<NullHandler>());
+      network_.add_site(*handlers_.back());
+    }
+    injector_ =
+        std::make_unique<FailureInjector>(network_, scheduler_, 5, Rng(4));
+  }
+
+  Scheduler scheduler_;
+  Network network_;
+  std::vector<std::unique_ptr<NullHandler>> handlers_;
+  std::unique_ptr<FailureInjector> injector_;
+};
+
+TEST_F(FailureInjectorTest, CrashNowUpdatesBothViews) {
+  injector_->crash_now(2);
+  EXPECT_TRUE(injector_->failures().is_failed(2));
+  EXPECT_FALSE(network_.is_up(2));
+  EXPECT_EQ(injector_->crash_count(), 1u);
+}
+
+TEST_F(FailureInjectorTest, RecoverNowUpdatesBothViews) {
+  injector_->crash_now(2);
+  injector_->recover_now(2);
+  EXPECT_TRUE(injector_->failures().is_alive(2));
+  EXPECT_TRUE(network_.is_up(2));
+  EXPECT_EQ(injector_->recovery_count(), 1u);
+}
+
+TEST_F(FailureInjectorTest, DoubleCrashIsIdempotent) {
+  injector_->crash_now(1);
+  injector_->crash_now(1);
+  EXPECT_EQ(injector_->crash_count(), 1u);
+  injector_->recover_now(1);
+  injector_->recover_now(1);
+  EXPECT_EQ(injector_->recovery_count(), 1u);
+}
+
+TEST_F(FailureInjectorTest, ScheduledCrashFiresAtTheRightTime) {
+  injector_->crash_at(1000, 3);
+  scheduler_.run_until(999);
+  EXPECT_TRUE(injector_->failures().is_alive(3));
+  scheduler_.run_until(1000);
+  EXPECT_TRUE(injector_->failures().is_failed(3));
+}
+
+TEST_F(FailureInjectorTest, TransientFailureRecovers) {
+  injector_->transient_failure(100, 0, 500);
+  scheduler_.run_until(200);
+  EXPECT_TRUE(injector_->failures().is_failed(0));
+  scheduler_.run_until(700);
+  EXPECT_TRUE(injector_->failures().is_alive(0));
+}
+
+TEST_F(FailureInjectorTest, PartitionMovesMinorityAndHeals) {
+  injector_->partition_at(100, {0, 1}, 400);
+  scheduler_.run_until(150);
+  EXPECT_EQ(network_.partition_of(0), 1u);
+  EXPECT_EQ(network_.partition_of(1), 1u);
+  EXPECT_EQ(network_.partition_of(2), 0u);
+  scheduler_.run_until(600);
+  for (SiteId site = 0; site < 5; ++site) {
+    EXPECT_EQ(network_.partition_of(site), 0u);
+  }
+}
+
+TEST_F(FailureInjectorTest, OutOfRangeSiteRejected) {
+  EXPECT_THROW(injector_->crash_now(5), std::out_of_range);
+  EXPECT_THROW(injector_->recover_now(9), std::out_of_range);
+}
+
+TEST_F(FailureInjectorTest, RandomProcessHitsStationaryAvailability) {
+  // mean_uptime 9000, mean_downtime 1000 -> stationary availability 0.9.
+  injector_->start_random_failures(9000, 1000, 10'000'000);
+  // Sample the alive fraction across the run.
+  std::uint64_t alive_samples = 0;
+  std::uint64_t total_samples = 0;
+  for (SimTime t = 100'000; t <= 10'000'000; t += 10'000) {
+    scheduler_.run_until(t);
+    for (SiteId site = 0; site < 5; ++site) {
+      alive_samples += injector_->failures().is_alive(site) ? 1 : 0;
+      ++total_samples;
+    }
+  }
+  const double availability =
+      static_cast<double>(alive_samples) / static_cast<double>(total_samples);
+  EXPECT_NEAR(availability, 0.9, 0.03);
+  EXPECT_GT(injector_->crash_count(), 100u);
+}
+
+TEST_F(FailureInjectorTest, RandomProcessStopsAtHorizon) {
+  injector_->start_random_failures(500, 500, 50'000);
+  scheduler_.run();
+  EXPECT_LE(scheduler_.now(), 50'000u);
+}
+
+TEST_F(FailureInjectorTest, RejectsZeroMeans) {
+  EXPECT_THROW(injector_->start_random_failures(0, 100, 1000),
+               std::invalid_argument);
+  EXPECT_THROW(injector_->start_random_failures(100, 0, 1000),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atrcp

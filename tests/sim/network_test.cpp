@@ -1,0 +1,180 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace atrcp {
+namespace {
+
+struct Ping final : MessageBody {
+  int payload = 0;
+  explicit Ping(int p) : payload(p) {}
+};
+
+/// Records everything it receives, with arrival times.
+class Recorder final : public SiteHandler {
+ public:
+  explicit Recorder(Scheduler& scheduler) : scheduler_(scheduler) {}
+  void on_message(const Message& message) override {
+    const auto* ping = dynamic_cast<const Ping*>(message.body.get());
+    ASSERT_NE(ping, nullptr);
+    payloads.push_back(ping->payload);
+    froms.push_back(message.from);
+    times.push_back(scheduler_.now());
+  }
+  std::vector<int> payloads;
+  std::vector<SiteId> froms;
+  std::vector<SimTime> times;
+
+ private:
+  Scheduler& scheduler_;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : network_(scheduler_, Rng(7),
+                 LinkParams{.base_latency = 100, .jitter = 0}) {
+    for (int i = 0; i < 3; ++i) {
+      recorders_.push_back(std::make_unique<Recorder>(scheduler_));
+      network_.add_site(*recorders_.back());
+    }
+  }
+
+  Scheduler scheduler_;
+  Network network_;
+  std::vector<std::unique_ptr<Recorder>> recorders_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  network_.send(0, 1, std::make_shared<Ping>(42));
+  scheduler_.run();
+  ASSERT_EQ(recorders_[1]->payloads.size(), 1u);
+  EXPECT_EQ(recorders_[1]->payloads[0], 42);
+  EXPECT_EQ(recorders_[1]->froms[0], 0u);
+  EXPECT_EQ(recorders_[1]->times[0], 100u);
+  EXPECT_EQ(network_.messages_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, JitterStaysWithinBound) {
+  Network jittery(scheduler_, Rng(9),
+                  LinkParams{.base_latency = 100, .jitter = 50});
+  Recorder recorder(scheduler_);
+  jittery.add_site(recorder);
+  Recorder sender(scheduler_);
+  jittery.add_site(sender);
+  for (int i = 0; i < 100; ++i) jittery.send(1, 0, std::make_shared<Ping>(i));
+  scheduler_.run();
+  ASSERT_EQ(recorder.times.size(), 100u);
+  for (SimTime t : recorder.times) {
+    EXPECT_GE(t, 100u);
+    EXPECT_LE(t, 150u);
+  }
+}
+
+TEST_F(NetworkTest, DownDestinationDropsSilently) {
+  network_.set_up(1, false);
+  network_.send(0, 1, std::make_shared<Ping>(1));
+  scheduler_.run();
+  EXPECT_TRUE(recorders_[1]->payloads.empty());
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DownSenderSendsNothing) {
+  network_.set_up(0, false);
+  network_.send(0, 1, std::make_shared<Ping>(1));
+  scheduler_.run();
+  EXPECT_TRUE(recorders_[1]->payloads.empty());
+}
+
+TEST_F(NetworkTest, CrashWhileInFlightDropsAtDelivery) {
+  network_.send(0, 1, std::make_shared<Ping>(1));
+  scheduler_.schedule_at(50, [&] { network_.set_up(1, false); });
+  scheduler_.run();
+  EXPECT_TRUE(recorders_[1]->payloads.empty());
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, RecoveredSiteReceivesAgain) {
+  network_.set_up(1, false);
+  network_.set_up(1, true);
+  network_.send(0, 1, std::make_shared<Ping>(5));
+  scheduler_.run();
+  EXPECT_EQ(recorders_[1]->payloads.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossTraffic) {
+  network_.set_partition(2, 1);
+  network_.send(0, 2, std::make_shared<Ping>(1));  // group 0 -> group 1
+  network_.send(0, 1, std::make_shared<Ping>(2));  // within group 0
+  scheduler_.run();
+  EXPECT_TRUE(recorders_[2]->payloads.empty());
+  EXPECT_EQ(recorders_[1]->payloads.size(), 1u);
+}
+
+TEST_F(NetworkTest, HealPartitionsRestoresTraffic) {
+  network_.set_partition(2, 1);
+  network_.heal_partitions();
+  network_.send(0, 2, std::make_shared<Ping>(3));
+  scheduler_.run();
+  EXPECT_EQ(recorders_[2]->payloads.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionFormedWhileInFlightDropsMessage) {
+  network_.send(0, 2, std::make_shared<Ping>(1));
+  scheduler_.schedule_at(50, [&] { network_.set_partition(2, 1); });
+  scheduler_.run();
+  EXPECT_TRUE(recorders_[2]->payloads.empty());
+}
+
+TEST_F(NetworkTest, SeveredLinkDropsEverything) {
+  network_.set_link(0, 1, LinkParams{.severed = true});
+  network_.send(0, 1, std::make_shared<Ping>(1));
+  network_.send(1, 0, std::make_shared<Ping>(2));  // symmetric
+  network_.send(0, 2, std::make_shared<Ping>(3));  // unaffected
+  scheduler_.run();
+  EXPECT_TRUE(recorders_[1]->payloads.empty());
+  EXPECT_TRUE(recorders_[0]->payloads.empty());
+  EXPECT_EQ(recorders_[2]->payloads.size(), 1u);
+}
+
+TEST_F(NetworkTest, LossyLinkDropsAboutTheRightFraction) {
+  network_.set_link(0, 1,
+                    LinkParams{.base_latency = 1, .drop_probability = 0.3});
+  for (int i = 0; i < 10000; ++i) {
+    network_.send(0, 1, std::make_shared<Ping>(i));
+  }
+  scheduler_.run();
+  EXPECT_NEAR(recorders_[1]->payloads.size() / 10000.0, 0.7, 0.02);
+}
+
+TEST_F(NetworkTest, PerLinkOverrideLatency) {
+  network_.set_link(0, 1, LinkParams{.base_latency = 500, .jitter = 0});
+  network_.send(0, 1, std::make_shared<Ping>(1));
+  network_.send(0, 2, std::make_shared<Ping>(2));
+  scheduler_.run();
+  EXPECT_EQ(recorders_[1]->times[0], 500u);
+  EXPECT_EQ(recorders_[2]->times[0], 100u);
+}
+
+TEST_F(NetworkTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(network_.send(0, 99, std::make_shared<Ping>(0)),
+               std::out_of_range);
+  EXPECT_THROW(network_.send(99, 0, std::make_shared<Ping>(0)),
+               std::out_of_range);
+  EXPECT_THROW(network_.send(0, 1, nullptr), std::invalid_argument);
+  EXPECT_THROW(network_.set_up(99, true), std::out_of_range);
+  EXPECT_THROW(network_.set_partition(99, 1), std::out_of_range);
+}
+
+TEST_F(NetworkTest, SelfSendWorks) {
+  network_.send(1, 1, std::make_shared<Ping>(9));
+  scheduler_.run();
+  ASSERT_EQ(recorders_[1]->payloads.size(), 1u);
+  EXPECT_EQ(recorders_[1]->froms[0], 1u);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,95 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace atrcp {
+namespace {
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.schedule_at(30, [&] { order.push_back(3); });
+  scheduler.schedule_at(10, [&] { order.push_back(1); });
+  scheduler.schedule_at(20, [&] { order.push_back(2); });
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 30u);
+}
+
+TEST(SchedulerTest, FifoWithinSameTimestamp) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  scheduler.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  Scheduler scheduler;
+  SimTime fired_at = 0;
+  scheduler.schedule_at(100, [&] {
+    scheduler.schedule_after(50, [&] { fired_at = scheduler.now(); });
+  });
+  scheduler.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(SchedulerTest, RejectsPastAndEmptyActions) {
+  Scheduler scheduler;
+  scheduler.schedule_at(10, [] {});
+  scheduler.run();
+  EXPECT_THROW(scheduler.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(scheduler.schedule_at(20, nullptr), std::invalid_argument);
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  Scheduler scheduler;
+  EXPECT_FALSE(scheduler.step());
+  scheduler.schedule_at(1, [] {});
+  EXPECT_TRUE(scheduler.step());
+  EXPECT_FALSE(scheduler.step());
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler scheduler;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10u, 20u, 30u, 40u}) {
+    scheduler.schedule_at(t, [&, t] { fired.push_back(t); });
+  }
+  const std::size_t count = scheduler.run_until(25);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(scheduler.now(), 25u);  // clock advanced to the deadline
+  scheduler.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  Scheduler scheduler;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) scheduler.schedule_after(1, chain);
+  };
+  scheduler.schedule_at(0, chain);
+  scheduler.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(scheduler.now(), 99u);
+  EXPECT_EQ(scheduler.executed(), 100u);
+}
+
+TEST(SchedulerTest, EventCapStopsLivelock) {
+  Scheduler scheduler;
+  std::function<void()> forever = [&] { scheduler.schedule_after(1, forever); };
+  scheduler.schedule_at(0, forever);
+  const std::size_t executed = scheduler.run(1000);
+  EXPECT_EQ(executed, 1000u);
+  EXPECT_EQ(scheduler.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace atrcp

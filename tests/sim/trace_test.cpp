@@ -1,0 +1,129 @@
+// Message tracing, including message-level assertions on the 2PC exchange
+// of a quorum write — the strongest behavioural test of the wire protocol.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/quorums.hpp"
+#include "replica/messages.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(TraceTest, TypeLabels) {
+  EXPECT_EQ(message_type_label(ReadRequest{}), "ReadRequest");
+  EXPECT_EQ(message_type_label(PrepareRequest{}), "PrepareRequest");
+  EXPECT_EQ(message_type_label(CommitAck{}), "CommitAck");
+  EXPECT_EQ(message_type_label(PingRequest{}), "PingRequest");
+}
+
+TEST(TraceTest, RecordsSendsDeliveriesAndDrops) {
+  Scheduler scheduler;
+  Network network(scheduler, Rng(1),
+                  LinkParams{.base_latency = 10, .jitter = 0});
+  class Sink final : public SiteHandler {
+   public:
+    void on_message(const Message&) override {}
+  } a, b;
+  network.add_site(a);
+  network.add_site(b);
+  MessageTrace trace;
+  network.set_trace_sink(&trace);
+
+  network.send(0, 1, std::make_shared<ReadRequest>());
+  scheduler.run();  // first message delivered while the site is up
+  network.set_up(1, false);
+  network.send(0, 1, std::make_shared<ReadRequest>());
+  scheduler.run();
+
+  EXPECT_EQ(trace.count(TraceEvent::kSend, "ReadRequest"), 2u);
+  EXPECT_EQ(trace.count(TraceEvent::kDeliver, "ReadRequest"), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::kDrop, "ReadRequest"), 1u);
+  EXPECT_NE(trace.to_string().find("ReadRequest 0->1"), std::string::npos);
+}
+
+TEST(TraceTest, FilterRestrictsRecords) {
+  Scheduler scheduler;
+  Network network(scheduler, Rng(1));
+  class Sink final : public SiteHandler {
+   public:
+    void on_message(const Message&) override {}
+  } a, b;
+  network.add_site(a);
+  network.add_site(b);
+  MessageTrace trace([](const TraceRecord& r) {
+    return r.event == TraceEvent::kDeliver;
+  });
+  network.set_trace_sink(&trace);
+  network.send(0, 1, std::make_shared<ReadRequest>());
+  scheduler.run();
+  ASSERT_EQ(trace.records().size(), 1u);
+  EXPECT_EQ(trace.records()[0].event, TraceEvent::kDeliver);
+}
+
+TEST(TraceTest, TwoPhaseCommitExchangeOfAWrite) {
+  // A single write through the full stack must produce exactly:
+  //   2 VersionRequests (read quorum of 1-3-5 has 2 members) and replies,
+  //   k PrepareRequests / votes / commits / acks where k = write quorum
+  //   size (3 or 5), in phase order.
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  options);
+  MessageTrace trace;
+  cluster.network().set_trace_sink(&trace);
+  ASSERT_EQ(cluster.write_sync(0, 1, "traced"), TxnOutcome::kCommitted);
+  cluster.network().set_trace_sink(nullptr);
+
+  const auto delivered = trace.type_sequence(TraceEvent::kDeliver);
+  const auto count = [&](const std::string& type) {
+    return trace.count(TraceEvent::kDeliver, type);
+  };
+  EXPECT_EQ(count("VersionRequest"), 2u);
+  EXPECT_EQ(count("VersionReply"), 2u);
+  const std::size_t participants = count("PrepareRequest");
+  EXPECT_TRUE(participants == 3 || participants == 5) << participants;
+  EXPECT_EQ(count("PrepareVote"), participants);
+  EXPECT_EQ(count("CommitRequest"), participants);
+  EXPECT_EQ(count("CommitAck"), participants);
+  // Phase ordering: every VersionReply before any PrepareRequest; every
+  // PrepareVote before any CommitRequest.
+  const auto last_version_reply = std::distance(
+      delivered.begin(),
+      std::find(delivered.rbegin(), delivered.rend(), "VersionReply").base());
+  const auto first_prepare = std::distance(
+      delivered.begin(),
+      std::find(delivered.begin(), delivered.end(), "PrepareRequest"));
+  EXPECT_LE(last_version_reply, first_prepare);
+  const auto last_vote = std::distance(
+      delivered.begin(),
+      std::find(delivered.rbegin(), delivered.rend(), "PrepareVote").base());
+  const auto first_commit = std::distance(
+      delivered.begin(),
+      std::find(delivered.begin(), delivered.end(), "CommitRequest"));
+  EXPECT_LE(last_vote, first_commit);
+}
+
+TEST(TraceTest, ReadIsTwoMessagesPerQuorumMember) {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  options);
+  ASSERT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kCommitted);
+  MessageTrace trace;
+  cluster.network().set_trace_sink(&trace);
+  ASSERT_TRUE(cluster.read_sync(0, 1).has_value());
+  cluster.network().set_trace_sink(nullptr);
+  EXPECT_EQ(trace.count(TraceEvent::kDeliver, "ReadRequest"), 2u);
+  EXPECT_EQ(trace.count(TraceEvent::kDeliver, "ReadReply"), 2u);
+  // Read-only transactions must never touch 2PC.
+  EXPECT_EQ(trace.count(TraceEvent::kSend, "PrepareRequest"), 0u);
+}
+
+}  // namespace
+}  // namespace atrcp

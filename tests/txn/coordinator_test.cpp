@@ -1,0 +1,271 @@
+// End-to-end coordinator behaviour over a simulated cluster: quorum reads
+// and writes, version chaining, 2PC outcomes (commit / abort / blocked),
+// lock interaction and failure handling.
+#include "txn/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions quiet_options(std::size_t clients = 1) {
+  ClusterOptions options;
+  options.clients = clients;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  return options;
+}
+
+std::unique_ptr<ArbitraryProtocol> paper_protocol() {
+  return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+}
+
+TEST(CoordinatorTest, ReadOfUnwrittenKeyCommitsWithNoValue) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  const auto value = cluster.read_sync(0, 42);
+  EXPECT_FALSE(value.has_value());
+  EXPECT_EQ(cluster.client(0).committed(), 1u);
+}
+
+TEST(CoordinatorTest, WriteThenReadRoundTrips) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  EXPECT_EQ(cluster.write_sync(0, 1, "hello"), TxnOutcome::kCommitted);
+  const auto value = cluster.read_sync(0, 1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "hello");
+  EXPECT_EQ(value->timestamp.version, 1u);
+}
+
+TEST(CoordinatorTest, VersionsIncrementAcrossWrites) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(cluster.write_sync(0, 7, "v" + std::to_string(i)),
+              TxnOutcome::kCommitted);
+    const auto value = cluster.read_sync(0, 7);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->value, "v" + std::to_string(i));
+    EXPECT_EQ(value->timestamp.version, i);
+  }
+}
+
+TEST(CoordinatorTest, WriteLandsOnExactlyOneLevel) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  ASSERT_EQ(cluster.write_sync(0, 3, "x"), TxnOutcome::kCommitted);
+  // The write quorum is one whole physical level: either replicas {0,1,2}
+  // or {3..7}. Count replicas holding the key.
+  std::size_t holders = 0;
+  bool level1_full = true;
+  bool level2_full = true;
+  for (ReplicaId r = 0; r < 8; ++r) {
+    const bool has = cluster.server(r).store().get(3).has_value();
+    holders += has ? 1 : 0;
+    if (r < 3 && !has) level1_full = false;
+    if (r >= 3 && !has) level2_full = false;
+  }
+  EXPECT_TRUE((holders == 3 && level1_full) || (holders == 5 && level2_full));
+}
+
+TEST(CoordinatorTest, ReadFindsWriteOnEitherLevel) {
+  // The bicoterie in action: wherever the write landed, every read quorum
+  // crosses it. Many rounds with different rng draws.
+  Cluster cluster(paper_protocol(), quiet_options());
+  ASSERT_EQ(cluster.write_sync(0, 9, "seen"), TxnOutcome::kCommitted);
+  for (int i = 0; i < 20; ++i) {
+    const auto value = cluster.read_sync(0, 9);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->value, "seen");
+  }
+}
+
+TEST(CoordinatorTest, MultiOpTransaction) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  ASSERT_EQ(cluster.write_sync(0, 1, "one"), TxnOutcome::kCommitted);
+  const TxnResult result = cluster.run_sync(
+      0, {TxnOp::read(1), TxnOp::write(2, "two"), TxnOp::read(2)});
+  EXPECT_EQ(result.outcome, TxnOutcome::kCommitted);
+  ASSERT_EQ(result.reads.size(), 3u);
+  ASSERT_TRUE(result.reads[0].has_value());
+  EXPECT_EQ(result.reads[0]->value, "one");
+  EXPECT_FALSE(result.reads[1].has_value());  // writes report no value
+  // Deferred-update semantics: the transaction's own buffered write is NOT
+  // visible to its later reads (it commits at the end).
+  EXPECT_FALSE(result.reads[2].has_value());
+  // After commit the write is visible to everyone.
+  const auto value = cluster.read_sync(0, 2);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "two");
+}
+
+TEST(CoordinatorTest, ChainedWritesInOneTransaction) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  const TxnResult result = cluster.run_sync(
+      0, {TxnOp::write(5, "first"), TxnOp::write(5, "second")});
+  EXPECT_EQ(result.outcome, TxnOutcome::kCommitted);
+  const auto value = cluster.read_sync(0, 5);
+  ASSERT_TRUE(value.has_value());
+  // The second write must win: its version chains past the first.
+  EXPECT_EQ(value->value, "second");
+  EXPECT_EQ(value->timestamp.version, 2u);
+}
+
+TEST(CoordinatorTest, ReadAbortsWhenALevelIsDead) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  // Kill all of physical level 1 (replicas 0..2): reads need every level.
+  for (ReplicaId r = 0; r < 3; ++r) cluster.injector().crash_now(r);
+  const auto value = cluster.read_sync(0, 1);
+  EXPECT_FALSE(value.has_value());
+  EXPECT_EQ(cluster.client(0).aborted(), 1u);
+}
+
+TEST(CoordinatorTest, WritesSurviveOneDeadLevelReadsDont) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  for (ReplicaId r = 0; r < 3; ++r) cluster.injector().crash_now(r);
+  // Writes can still target level 2 — but the version pre-read needs a
+  // read quorum, which is dead. The paper's write therefore aborts too;
+  // this asymmetry is inherent to version-discovering writes.
+  EXPECT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kAborted);
+}
+
+TEST(CoordinatorTest, WriteAbortsWhenNoLevelFullyAlive) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  cluster.injector().crash_now(0);  // hole in level 1
+  cluster.injector().crash_now(7);  // hole in level 2
+  EXPECT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kAborted);
+  // Reads still fine.
+  EXPECT_EQ(cluster.client(0).aborted(), 1u);
+  cluster.read_sync(0, 1);
+  EXPECT_EQ(cluster.client(0).committed(), 1u);
+}
+
+TEST(CoordinatorTest, WriteSucceedsWithPartialFailuresLeavingAFullLevel) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  cluster.injector().crash_now(4);  // level 2 broken, level 1 intact
+  EXPECT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kCommitted);
+  // The write must have landed on level 1.
+  for (ReplicaId r = 0; r < 3; ++r) {
+    EXPECT_TRUE(cluster.server(r).store().get(1).has_value());
+  }
+}
+
+TEST(CoordinatorTest, RecoveryRestoresFullOperation) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  for (ReplicaId r = 0; r < 3; ++r) cluster.injector().crash_now(r);
+  EXPECT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kAborted);
+  for (ReplicaId r = 0; r < 3; ++r) cluster.injector().recover_now(r);
+  EXPECT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kCommitted);
+}
+
+TEST(CoordinatorTest, BlockedWhenParticipantDiesBeforeCommitDelivery) {
+  // Two replicas in one level: write quorum = both. Crash one between its
+  // yes-vote and the commit's arrival: the decision is commit, the ack
+  // never comes, the outcome is kBlocked and the prepared write survives
+  // on the crashed participant's stable log.
+  ClusterOptions options = quiet_options();
+  options.coordinator.commit_retry_interval = 50;
+  options.coordinator.max_commit_retries = 3;
+  Cluster cluster(make_mostly_read(2), options);
+  // Timeline (latency 10): version req 0->10, reply ->20; prepare ->30,
+  // votes ->40; commit sent at 40, arrives 50. Crash replica 1 at t=45.
+  cluster.injector().crash_at(45, 1);
+  const TxnOutcome outcome = cluster.write_sync(0, 1, "ghost");
+  EXPECT_EQ(outcome, TxnOutcome::kBlocked);
+  EXPECT_EQ(cluster.server(1).prepared_count(), 1u);  // stable log holds it
+  EXPECT_TRUE(cluster.server(0).store().get(1).has_value());  // applied there
+}
+
+TEST(CoordinatorTest, CommitRetransmissionCompletesAfterTransientCrash) {
+  // Same timeline as the kBlocked test, but the participant recovers while
+  // the coordinator is still retransmitting: the retried Commit applies the
+  // stable prepared write and the transaction completes as kCommitted.
+  ClusterOptions options = quiet_options();
+  options.coordinator.commit_retry_interval = 50;
+  options.coordinator.max_commit_retries = 20;
+  Cluster cluster(make_mostly_read(2), options);
+  cluster.injector().crash_at(45, 1);     // loses the first Commit (t=50)
+  cluster.injector().recover_at(200, 1);  // back before retries run out
+  const TxnOutcome outcome = cluster.write_sync(0, 1, "durable");
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  // Both participants applied it, including the one that crashed.
+  for (ReplicaId r = 0; r < 2; ++r) {
+    ASSERT_TRUE(cluster.server(r).store().get(1).has_value()) << "r=" << r;
+    EXPECT_EQ(cluster.server(r).store().get(1)->value, "durable");
+  }
+  EXPECT_EQ(cluster.server(1).prepared_count(), 0u);
+}
+
+TEST(CoordinatorTest, LockTimeoutAbortsStuckTransaction) {
+  ClusterOptions options = quiet_options();
+  options.coordinator.lock_timeout = 500;
+  Cluster cluster(paper_protocol(), options);
+  // An external lock holder that never releases (simulates a stuck peer).
+  cluster.locks().acquire(/*txn=*/0xDEAD, /*key=*/1, LockMode::kExclusive,
+                          [] {});
+  const TxnResult result = cluster.run_sync(0, {TxnOp::write(1, "x")});
+  EXPECT_EQ(result.outcome, TxnOutcome::kAborted);
+  EXPECT_NE(result.abort_reason.find("lock timeout"), std::string::npos);
+}
+
+TEST(CoordinatorTest, TwoClientsSerializeOnTheSameKey) {
+  Cluster cluster(paper_protocol(), quiet_options(/*clients=*/2));
+  TxnResult r0;
+  TxnResult r1;
+  bool done0 = false;
+  bool done1 = false;
+  cluster.client(0).run({TxnOp::write(1, "from0")}, [&](TxnResult r) {
+    r0 = std::move(r);
+    done0 = true;
+  });
+  cluster.client(1).run({TxnOp::write(1, "from1")}, [&](TxnResult r) {
+    r1 = std::move(r);
+    done1 = true;
+  });
+  cluster.settle();
+  ASSERT_TRUE(done0 && done1);
+  EXPECT_EQ(r0.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(r1.outcome, TxnOutcome::kCommitted);
+  // Serialized by the lock manager: versions must be 1 and 2, and the
+  // final value is the second writer's.
+  const auto value = cluster.read_sync(0, 1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->timestamp.version, 2u);
+}
+
+TEST(CoordinatorTest, ManyClientsManyKeys) {
+  Cluster cluster(paper_protocol(), quiet_options(/*clients=*/4));
+  int committed = 0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (Key k = 0; k < 5; ++k) {
+      cluster.client(c).run(
+          {TxnOp::write(k, "c" + std::to_string(c))},
+          [&](TxnResult r) {
+            committed += r.outcome == TxnOutcome::kCommitted ? 1 : 0;
+          });
+    }
+  }
+  cluster.settle();
+  EXPECT_EQ(committed, 20);
+  // Every key holds version 4 (four writers each).
+  for (Key k = 0; k < 5; ++k) {
+    const auto value = cluster.read_sync(0, k);
+    ASSERT_TRUE(value.has_value()) << "key " << k;
+    EXPECT_EQ(value->timestamp.version, 4u) << "key " << k;
+  }
+}
+
+TEST(CoordinatorTest, StatisticsAreConsistent) {
+  Cluster cluster(paper_protocol(), quiet_options());
+  cluster.write_sync(0, 1, "a");
+  cluster.read_sync(0, 1);
+  cluster.injector().crash_now(0);
+  cluster.injector().crash_now(7);
+  cluster.write_sync(0, 1, "b");
+  EXPECT_EQ(cluster.client(0).committed(), 2u);
+  EXPECT_EQ(cluster.client(0).aborted(), 1u);
+  EXPECT_EQ(cluster.client(0).in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/quorums.hpp"
+#include "txn/cluster.hpp"
+#include "txn/lock_manager.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(DeadlockDetectorTest, NoLocksNoDeadlock) {
+  LockManager locks;
+  EXPECT_FALSE(locks.find_deadlock_victim().has_value());
+}
+
+TEST(DeadlockDetectorTest, WaitingWithoutCycleIsFine) {
+  LockManager locks;
+  locks.acquire(1, 10, LockMode::kExclusive, [] {});
+  locks.acquire(2, 10, LockMode::kExclusive, [] {});
+  locks.acquire(3, 10, LockMode::kExclusive, [] {});
+  EXPECT_FALSE(locks.find_deadlock_victim().has_value());
+}
+
+TEST(DeadlockDetectorTest, ClassicTwoTxnCycle) {
+  LockManager locks;
+  locks.acquire(1, 10, LockMode::kExclusive, [] {});
+  locks.acquire(2, 20, LockMode::kExclusive, [] {});
+  locks.acquire(1, 20, LockMode::kExclusive, [] {});  // 1 waits for 2
+  EXPECT_FALSE(locks.find_deadlock_victim().has_value());  // still a DAG
+  locks.acquire(2, 10, LockMode::kExclusive, [] {});  // 2 waits for 1: cycle
+  const auto victim = locks.find_deadlock_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);  // youngest on the cycle
+}
+
+TEST(DeadlockDetectorTest, VictimAbortResolvesTheCycle) {
+  LockManager locks;
+  locks.acquire(1, 10, LockMode::kExclusive, [] {});
+  locks.acquire(2, 20, LockMode::kExclusive, [] {});
+  bool txn1_got_20 = false;
+  locks.acquire(1, 20, LockMode::kExclusive, [&] { txn1_got_20 = true; });
+  locks.acquire(2, 10, LockMode::kExclusive, [] {});
+  const auto victim = locks.find_deadlock_victim();
+  ASSERT_TRUE(victim.has_value());
+  locks.release_all(*victim);  // abort the victim
+  EXPECT_FALSE(locks.find_deadlock_victim().has_value());
+  EXPECT_TRUE(txn1_got_20);  // survivor proceeds
+}
+
+TEST(DeadlockDetectorTest, ThreeTxnRing) {
+  LockManager locks;
+  locks.acquire(1, 10, LockMode::kExclusive, [] {});
+  locks.acquire(2, 20, LockMode::kExclusive, [] {});
+  locks.acquire(3, 30, LockMode::kExclusive, [] {});
+  locks.acquire(1, 20, LockMode::kExclusive, [] {});  // 1 -> 2
+  locks.acquire(2, 30, LockMode::kExclusive, [] {});  // 2 -> 3
+  locks.acquire(3, 10, LockMode::kExclusive, [] {});  // 3 -> 1: ring
+  const auto victim = locks.find_deadlock_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 3u);
+}
+
+TEST(DeadlockDetectorTest, UpgradeDeadlockDetected) {
+  // Both hold shared; both queue upgrades: each waits for the other.
+  LockManager locks;
+  locks.acquire(1, 10, LockMode::kShared, [] {});
+  locks.acquire(2, 10, LockMode::kShared, [] {});
+  locks.acquire(1, 10, LockMode::kExclusive, [] {});
+  locks.acquire(2, 10, LockMode::kExclusive, [] {});
+  const auto victim = locks.find_deadlock_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+}
+
+TEST(DeadlockDetectorTest, SharedCoexistenceIsNotADeadlock) {
+  LockManager locks;
+  locks.acquire(1, 10, LockMode::kShared, [] {});
+  locks.acquire(2, 10, LockMode::kShared, [] {});
+  locks.acquire(3, 10, LockMode::kExclusive, [] {});  // waits for 1 AND 2
+  EXPECT_FALSE(locks.find_deadlock_victim().has_value());
+}
+
+TEST(DeadlockDetectorTest, DisjointCyclesFindOne) {
+  LockManager locks;
+  // Cycle A: 1 <-> 2 on keys 10/20; cycle B: 7 <-> 8 on keys 70/80.
+  locks.acquire(1, 10, LockMode::kExclusive, [] {});
+  locks.acquire(2, 20, LockMode::kExclusive, [] {});
+  locks.acquire(1, 20, LockMode::kExclusive, [] {});
+  locks.acquire(2, 10, LockMode::kExclusive, [] {});
+  locks.acquire(7, 70, LockMode::kExclusive, [] {});
+  locks.acquire(8, 80, LockMode::kExclusive, [] {});
+  locks.acquire(7, 80, LockMode::kExclusive, [] {});
+  locks.acquire(8, 70, LockMode::kExclusive, [] {});
+  const auto victim = locks.find_deadlock_victim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_TRUE(*victim == 2u || *victim == 8u);
+}
+
+TEST(CoordinatorDeadlockTest, SortedLockOrderPreventsDeadlocks) {
+  // Two coordinators each write the same two keys; sorted acquisition
+  // means no cycle can form, so both commit without lock timeouts.
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  options);
+  int committed = 0;
+  cluster.client(0).run(
+      {TxnOp::write(1, "a1"), TxnOp::write(2, "a2")},
+      [&](TxnResult r) { committed += r.outcome == TxnOutcome::kCommitted; });
+  cluster.client(1).run(
+      {TxnOp::write(2, "b2"), TxnOp::write(1, "b1")},  // reversed op order
+      [&](TxnResult r) { committed += r.outcome == TxnOutcome::kCommitted; });
+  cluster.settle();
+  EXPECT_EQ(committed, 2);
+  EXPECT_FALSE(cluster.locks().find_deadlock_victim().has_value());
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,128 @@
+// Heartbeat failure detector: detection latency, rehabilitation, false
+// suspicion under message loss, and end-to-end use as a coordinator's
+// failure view (replacing the omniscient oracle).
+#include "txn/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/quorums.hpp"
+#include "replica/server.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+/// A miniature rig: n replica servers + the detector on its own site.
+class DetectorRig {
+ public:
+  explicit DetectorRig(std::size_t n, DetectorOptions options = {},
+                       LinkParams link = {.base_latency = 100, .jitter = 0})
+      : network_(scheduler_, Rng(5), link) {
+    for (std::size_t r = 0; r < n; ++r) {
+      servers_.push_back(std::make_unique<ReplicaServer>(network_));
+      const SiteId site = network_.add_site(*servers_.back());
+      servers_.back()->set_site(site);
+    }
+    detector_ =
+        std::make_unique<HeartbeatDetector>(network_, scheduler_, n, options);
+    detector_->set_site(network_.add_site(*detector_));
+    detector_->start();
+  }
+
+  Scheduler scheduler_;
+  Network network_;
+  std::vector<std::unique_ptr<ReplicaServer>> servers_;
+  std::unique_ptr<HeartbeatDetector> detector_;
+};
+
+TEST(HeartbeatDetectorTest, HealthyReplicasStayTrusted) {
+  DetectorRig rig(4);
+  rig.scheduler_.run_until(100'000);
+  EXPECT_GT(rig.detector_->rounds(), 10u);
+  EXPECT_EQ(rig.detector_->suspicions(), 0u);
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_TRUE(rig.detector_->view().is_alive(r));
+  }
+}
+
+TEST(HeartbeatDetectorTest, CrashDetectedWithinBudget) {
+  DetectorOptions options;
+  options.interval = 5'000;
+  options.suspect_after = 3;
+  DetectorRig rig(4, options);
+  rig.scheduler_.run_until(50'000);
+  rig.network_.set_up(2, false);  // silent crash, nobody tells the detector
+  // Suspicion must land within (suspect_after + 2) intervals.
+  rig.scheduler_.run_until(50'000 + 5 * 5'000);
+  EXPECT_TRUE(rig.detector_->view().is_failed(2));
+  EXPECT_TRUE(rig.detector_->view().is_alive(1));
+  EXPECT_EQ(rig.detector_->suspicions(), 1u);
+}
+
+TEST(HeartbeatDetectorTest, RecoveryRehabilitates) {
+  DetectorOptions options;
+  options.interval = 5'000;
+  options.suspect_after = 2;
+  DetectorRig rig(3, options);
+  rig.network_.set_up(0, false);
+  rig.scheduler_.run_until(40'000);
+  ASSERT_TRUE(rig.detector_->view().is_failed(0));
+  rig.network_.set_up(0, true);
+  rig.scheduler_.run_until(60'000);
+  EXPECT_TRUE(rig.detector_->view().is_alive(0));
+  EXPECT_GE(rig.detector_->rehabilitations(), 1u);
+}
+
+TEST(HeartbeatDetectorTest, PartitionLooksLikeACrash) {
+  DetectorRig rig(3);
+  rig.scheduler_.run_until(30'000);
+  rig.network_.set_partition(1, 7);  // detector stays in group 0
+  rig.scheduler_.run_until(80'000);
+  EXPECT_TRUE(rig.detector_->view().is_failed(1));
+  rig.network_.heal_partitions();
+  rig.scheduler_.run_until(120'000);
+  EXPECT_TRUE(rig.detector_->view().is_alive(1));
+}
+
+TEST(HeartbeatDetectorTest, LossyLinksCauseOnlyTransientFalseSuspicion) {
+  DetectorOptions options;
+  options.interval = 5'000;
+  options.suspect_after = 4;  // tolerate bursts of loss
+  DetectorRig rig(4, options,
+                  LinkParams{.base_latency = 100,
+                             .jitter = 0,
+                             .drop_probability = 0.2});
+  rig.scheduler_.run_until(2'000'000);  // 400 rounds at 20% loss
+  // With suspect_after = 4, a false suspicion needs 4 consecutive losses
+  // on the same replica's ping+pong path: rare but possible; every one
+  // must have been rehabilitated by the next successful pong.
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_TRUE(rig.detector_->view().is_alive(r)) << "r=" << r;
+  }
+  EXPECT_EQ(rig.detector_->suspicions(), rig.detector_->rehabilitations());
+}
+
+TEST(HeartbeatDetectorTest, RejectsDegenerateOptions) {
+  Scheduler scheduler;
+  Network network(scheduler, Rng(1));
+  EXPECT_THROW(HeartbeatDetector(network, scheduler, 0), std::invalid_argument);
+  EXPECT_THROW(HeartbeatDetector(network, scheduler, 2, {.interval = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      HeartbeatDetector(network, scheduler, 2, {.suspect_after = 0}),
+      std::invalid_argument);
+}
+
+TEST(HeartbeatDetectorTest, StopHaltsProbing) {
+  DetectorRig rig(2);
+  rig.scheduler_.run_until(30'000);
+  const auto rounds = rig.detector_->rounds();
+  rig.detector_->stop();
+  rig.scheduler_.run();
+  EXPECT_LE(rig.detector_->rounds(), rounds + 1);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,172 @@
+#include "txn/lock_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace atrcp {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManager locks_;
+
+  /// Issues an acquire and reports whether it was granted synchronously.
+  bool try_acquire(TxnId txn, Key key, LockMode mode) {
+    bool granted = false;
+    locks_.acquire(txn, key, mode, [&] { granted = true; });
+    return granted;
+  }
+};
+
+TEST_F(LockManagerTest, FreeLockGrantsImmediately) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(locks_.holds(1, 10));
+  EXPECT_FALSE(locks_.holds_exclusive(1, 10));
+}
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(try_acquire(2, 10, LockMode::kShared));
+  EXPECT_TRUE(locks_.holds(1, 10));
+  EXPECT_TRUE(locks_.holds(2, 10));
+}
+
+TEST_F(LockManagerTest, ExclusiveBlocksOthers) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  EXPECT_TRUE(locks_.holds_exclusive(1, 10));
+  EXPECT_FALSE(try_acquire(2, 10, LockMode::kShared));
+  EXPECT_FALSE(try_acquire(3, 10, LockMode::kExclusive));
+  EXPECT_EQ(locks_.waiting_on(10), 2u);
+}
+
+TEST_F(LockManagerTest, SharedBlocksExclusive) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  EXPECT_FALSE(try_acquire(2, 10, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, ReleaseGrantsNextWaiter) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  bool granted = false;
+  locks_.acquire(2, 10, LockMode::kExclusive, [&] { granted = true; });
+  EXPECT_FALSE(granted);
+  locks_.release_all(1);
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(locks_.holds_exclusive(2, 10));
+}
+
+TEST_F(LockManagerTest, FifoOrderAmongWaiters) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  std::vector<int> order;
+  locks_.acquire(2, 10, LockMode::kExclusive, [&] { order.push_back(2); });
+  locks_.acquire(3, 10, LockMode::kExclusive, [&] { order.push_back(3); });
+  locks_.release_all(1);
+  ASSERT_EQ(order.size(), 1u);  // only the head gets the exclusive lock
+  EXPECT_EQ(order[0], 2);
+  locks_.release_all(2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], 3);
+}
+
+TEST_F(LockManagerTest, BatchedSharedGrants) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  int granted = 0;
+  locks_.acquire(2, 10, LockMode::kShared, [&] { ++granted; });
+  locks_.acquire(3, 10, LockMode::kShared, [&] { ++granted; });
+  locks_.release_all(1);
+  EXPECT_EQ(granted, 2);  // both shared waiters drain together
+}
+
+TEST_F(LockManagerTest, FreshSharedMustQueueBehindWaitingExclusive) {
+  // No queue-jumping: S behind a waiting X waits too (fairness).
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  EXPECT_FALSE(try_acquire(2, 10, LockMode::kExclusive));
+  EXPECT_FALSE(try_acquire(3, 10, LockMode::kShared));
+  locks_.release_all(1);
+  EXPECT_TRUE(locks_.holds_exclusive(2, 10));
+  EXPECT_FALSE(locks_.holds(3, 10));
+  locks_.release_all(2);
+  EXPECT_TRUE(locks_.holds(3, 10));
+}
+
+TEST_F(LockManagerTest, ReentrantAcquireGrantsImmediately) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  EXPECT_EQ(locks_.held_keys(1), 1u);
+}
+
+TEST_F(LockManagerTest, UpgradeWhenSoleHolder) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  EXPECT_TRUE(locks_.holds_exclusive(1, 10));
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherSharers) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  EXPECT_TRUE(try_acquire(2, 10, LockMode::kShared));
+  bool upgraded = false;
+  locks_.acquire(1, 10, LockMode::kExclusive, [&] { upgraded = true; });
+  EXPECT_FALSE(upgraded);
+  locks_.release_all(2);
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(locks_.holds_exclusive(1, 10));
+}
+
+TEST_F(LockManagerTest, CancelRemovesQueuedRequest) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  bool granted = false;
+  locks_.acquire(2, 10, LockMode::kExclusive, [&] { granted = true; });
+  EXPECT_TRUE(locks_.cancel(2, 10));
+  locks_.release_all(1);
+  EXPECT_FALSE(granted);  // the cancelled grant never fires
+  EXPECT_FALSE(locks_.cancel(2, 10));  // nothing left to cancel
+}
+
+TEST_F(LockManagerTest, CancelHeadUnblocksCompatibleWaiters) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kShared));
+  bool x_granted = false;
+  bool s_granted = false;
+  locks_.acquire(2, 10, LockMode::kExclusive, [&] { x_granted = true; });
+  locks_.acquire(3, 10, LockMode::kShared, [&] { s_granted = true; });
+  // Cancelling the exclusive head must let the queued shared in.
+  EXPECT_TRUE(locks_.cancel(2, 10));
+  EXPECT_FALSE(x_granted);
+  EXPECT_TRUE(s_granted);
+}
+
+TEST_F(LockManagerTest, ReleaseAllCoversEveryKey) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  EXPECT_TRUE(try_acquire(1, 11, LockMode::kShared));
+  EXPECT_EQ(locks_.held_keys(1), 2u);
+  locks_.release_all(1);
+  EXPECT_EQ(locks_.held_keys(1), 0u);
+  EXPECT_FALSE(locks_.holds(1, 10));
+  EXPECT_FALSE(locks_.holds(1, 11));
+}
+
+TEST_F(LockManagerTest, ReleaseAllAlsoDropsQueuedRequests) {
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  bool granted = false;
+  locks_.acquire(2, 10, LockMode::kExclusive, [&] { granted = true; });
+  locks_.release_all(2);  // txn 2 gives up while still queued
+  locks_.release_all(1);
+  EXPECT_FALSE(granted);
+}
+
+TEST_F(LockManagerTest, GrantCallbackMayReenter) {
+  // A grant callback that immediately acquires another key must not corrupt
+  // the table (pump() runs callbacks after state updates).
+  EXPECT_TRUE(try_acquire(1, 10, LockMode::kExclusive));
+  bool inner = false;
+  locks_.acquire(2, 10, LockMode::kExclusive, [&] {
+    locks_.acquire(2, 11, LockMode::kExclusive, [&] { inner = true; });
+  });
+  locks_.release_all(1);
+  EXPECT_TRUE(inner);
+  EXPECT_TRUE(locks_.holds_exclusive(2, 10));
+  EXPECT_TRUE(locks_.holds_exclusive(2, 11));
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,97 @@
+// Read repair: reads push the freshest value back to stale quorum members.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions repair_options() {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  options.coordinator.read_repair = true;
+  return options;
+}
+
+TEST(ReadRepairTest, StaleMemberGetsHealedByARead) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  repair_options());
+  // v1 lands on level 1 only (level 2 has a hole).
+  cluster.injector().crash_now(7);
+  ASSERT_EQ(cluster.write_sync(0, 1, "v1"), TxnOutcome::kCommitted);
+  cluster.injector().recover_now(7);
+  // Level-2 replicas are stale (no value at all). Reads touch one level-2
+  // member each; with repair on, every read heals the member it touched.
+  std::size_t healed_before = 0;
+  for (ReplicaId r = 3; r < 8; ++r) {
+    healed_before += cluster.server(r).store().get(1).has_value() ? 1 : 0;
+  }
+  ASSERT_EQ(healed_before, 0u);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cluster.read_sync(0, 1).has_value());
+  }
+  cluster.settle();  // let fire-and-forget repairs land
+  std::size_t healed_after = 0;
+  std::uint64_t repairs = 0;
+  for (ReplicaId r = 3; r < 8; ++r) {
+    healed_after += cluster.server(r).store().get(1).has_value() ? 1 : 0;
+    repairs += cluster.server(r).repairs_applied();
+  }
+  EXPECT_GE(healed_after, 4u);  // 40 uniform draws cover ~all 5 members
+  EXPECT_GE(repairs, 4u);
+  // Healed copies carry the original timestamp, not a new version.
+  for (ReplicaId r = 3; r < 8; ++r) {
+    if (const auto entry = cluster.server(r).store().get(1)) {
+      EXPECT_EQ(entry->value, "v1");
+      EXPECT_EQ(entry->timestamp.version, 1u);
+    }
+  }
+}
+
+TEST(ReadRepairTest, RepairNeverRegressesNewerValues) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  repair_options());
+  // v1 on level 1, then v2 on level 2: level-1 members are stale at v1.
+  cluster.injector().crash_now(7);
+  ASSERT_EQ(cluster.write_sync(0, 1, "v1"), TxnOutcome::kCommitted);
+  cluster.injector().recover_now(7);
+  cluster.injector().crash_now(0);
+  ASSERT_EQ(cluster.write_sync(0, 1, "v2"), TxnOutcome::kCommitted);
+  cluster.injector().recover_now(0);
+  for (int i = 0; i < 40; ++i) {
+    const auto value = cluster.read_sync(0, 1);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->value, "v2");  // repair must never resurrect v1
+  }
+  cluster.settle();
+  // After enough reads the stale level-1 members converge to v2.
+  std::size_t at_v2 = 0;
+  for (ReplicaId r = 0; r < 3; ++r) {
+    const auto entry = cluster.server(r).store().get(1);
+    if (entry && entry->value == "v2") ++at_v2;
+  }
+  EXPECT_GE(at_v2, 2u);
+}
+
+TEST(ReadRepairTest, OffByDefault) {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  options);
+  cluster.injector().crash_now(7);
+  ASSERT_EQ(cluster.write_sync(0, 1, "v1"), TxnOutcome::kCommitted);
+  cluster.injector().recover_now(7);
+  for (int i = 0; i < 20; ++i) cluster.read_sync(0, 1);
+  cluster.settle();
+  for (ReplicaId r = 3; r < 8; ++r) {
+    EXPECT_EQ(cluster.server(r).repairs_applied(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

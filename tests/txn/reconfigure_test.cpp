@@ -1,0 +1,141 @@
+// In-place reconfiguration (Cluster::reconfigure): the paper's
+// configuration shift executed on live state. The critical safety property:
+// a write committed under the OLD shape's quorums must be visible to the
+// NEW shape's read quorums — guaranteed by the state transfer, and checked
+// here with shapes chosen so the old and new quorums would NOT intersect
+// without it.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/majority.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions fast(std::size_t clients = 1) {
+  ClusterOptions options;
+  options.clients = clients;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  return options;
+}
+
+TEST(ReconfigureTest, DataSurvivesShapeChange) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  for (Key k = 0; k < 5; ++k) {
+    ASSERT_EQ(cluster.write_sync(0, k, "v" + std::to_string(k)),
+              TxnOutcome::kCommitted);
+  }
+  cluster.reconfigure(
+      std::make_unique<ArbitraryProtocol>(balanced_tree(8, 4)));
+  for (Key k = 0; k < 5; ++k) {
+    const auto value = cluster.read_sync(0, k);
+    ASSERT_TRUE(value.has_value()) << "key " << k;
+    EXPECT_EQ(value->value, "v" + std::to_string(k));
+  }
+}
+
+TEST(ReconfigureTest, OldQuorumWritesVisibleToDisjointNewQuorums) {
+  // Force the write onto level 2 of 1-3-5 (replicas 3..7) by breaking
+  // level 1, then reconfigure to MOSTLY-READ whose read quorum is a single
+  // ARBITRARY replica — e.g. replica 0, which never saw the write. Without
+  // the state transfer, reading through replica 0 would lose the write.
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  cluster.injector().crash_now(0);
+  ASSERT_EQ(cluster.write_sync(0, 1, "level2-only"), TxnOutcome::kCommitted);
+  cluster.injector().recover_now(0);
+  // Precondition of the scenario: replica 0 does not hold the key.
+  ASSERT_FALSE(cluster.server(0).store().get(1).has_value());
+
+  cluster.reconfigure(make_mostly_read(8));
+  // After the transfer EVERY replica holds it.
+  for (ReplicaId r = 0; r < 8; ++r) {
+    ASSERT_TRUE(cluster.server(r).store().get(1).has_value()) << "r=" << r;
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto value = cluster.read_sync(0, 1);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->value, "level2-only");
+  }
+}
+
+TEST(ReconfigureTest, TimestampsSurviveTransfer) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  ASSERT_EQ(cluster.write_sync(0, 1, "a"), TxnOutcome::kCommitted);
+  ASSERT_EQ(cluster.write_sync(0, 1, "b"), TxnOutcome::kCommitted);
+  cluster.reconfigure(
+      std::make_unique<ArbitraryProtocol>(balanced_tree(8, 2)));
+  const auto value = cluster.read_sync(0, 1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->timestamp.version, 2u);
+  // Versions keep counting up after the switch.
+  ASSERT_EQ(cluster.write_sync(0, 1, "c"), TxnOutcome::kCommitted);
+  EXPECT_EQ(cluster.read_sync(0, 1)->timestamp.version, 3u);
+}
+
+TEST(ReconfigureTest, WorksAcrossProtocolFamilies) {
+  // Arbitrary tree -> plain majority quorums: the reconfiguration machinery
+  // is protocol-agnostic (same universe is all it needs).
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-4")),
+                  fast());
+  ASSERT_EQ(cluster.write_sync(0, 9, "x"), TxnOutcome::kCommitted);
+  cluster.reconfigure(std::make_unique<MajorityQuorum>(7));
+  EXPECT_EQ(cluster.protocol().name(), "MAJORITY");
+  const auto value = cluster.read_sync(0, 9);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "x");
+}
+
+TEST(ReconfigureTest, RejectsUniverseChange) {
+  Cluster cluster(make_mostly_read(8), fast());
+  EXPECT_THROW(cluster.reconfigure(make_mostly_read(9)),
+               std::invalid_argument);
+  EXPECT_THROW(cluster.reconfigure(nullptr), std::invalid_argument);
+  // The original protocol still works after the failed attempts.
+  EXPECT_EQ(cluster.write_sync(0, 1, "ok"), TxnOutcome::kCommitted);
+}
+
+TEST(ReconfigureTest, EmptyClusterReconfigures) {
+  Cluster cluster(make_mostly_read(6), fast());
+  cluster.reconfigure(std::make_unique<ArbitraryProtocol>(
+      balanced_tree(6, 3)));
+  EXPECT_EQ(cluster.write_sync(0, 1, "fresh"), TxnOutcome::kCommitted);
+  EXPECT_TRUE(cluster.read_sync(0, 1).has_value());
+}
+
+TEST(ReconfigureTest, WorkloadsAcrossMultipleReconfigurations) {
+  Cluster cluster(make_mostly_read(12), fast(2));
+  WorkloadOptions options;
+  options.transactions_per_client = 40;
+  options.num_keys = 10;
+  options.read_fraction = 0.5;
+  std::uint64_t total_committed = 0;
+  for (std::size_t levels : {1u, 3u, 6u, 2u}) {
+    cluster.reconfigure(std::make_unique<ArbitraryProtocol>(
+        balanced_tree(12, levels)));
+    const WorkloadStats stats = run_workload(cluster, options);
+    EXPECT_EQ(stats.aborted, 0u) << "levels=" << levels;
+    total_committed += stats.committed;
+  }
+  EXPECT_EQ(total_committed, 4u * 80u);
+  // The store is still coherent: keys carry monotone versions across all
+  // four shapes (16 writers-ish per key in expectation; just verify reads).
+  for (Key k = 0; k < 10; ++k) {
+    const auto value = cluster.read_sync(0, k);
+    if (value) {
+      EXPECT_GE(value->timestamp.version, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,128 @@
+#include "txn/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/quorums.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions fast() {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 0};
+  options.coordinator.request_timeout = 2'000;
+  return options;
+}
+
+TEST(RetryingClientTest, OptionValidation) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  EXPECT_THROW(RetryingClient(cluster.client(0), cluster.scheduler(), Rng(1),
+                              {.max_attempts = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(RetryingClient(cluster.client(0), cluster.scheduler(), Rng(1),
+                              {.multiplier = 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(RetryingClient(cluster.client(0), cluster.scheduler(), Rng(1),
+                              {.jitter = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(RetryingClientTest, FirstTrySuccessNeedsNoRetry) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  RetryingClient client(cluster.client(0), cluster.scheduler(), Rng(1));
+  TxnOutcome outcome = TxnOutcome::kAborted;
+  client.run({TxnOp::write(1, "v")},
+             [&](TxnResult r) { outcome = r.outcome; });
+  cluster.settle();
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(client.attempts(), 1u);
+  EXPECT_EQ(client.retries(), 0u);
+}
+
+TEST(RetryingClientTest, RetriesThroughATransientOutage) {
+  // All of level 1 is down when the transaction first runs; it recovers
+  // while the client is backing off, and a later attempt commits.
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  for (ReplicaId r = 0; r < 3; ++r) {
+    cluster.injector().transient_failure(0, r, 20'000);
+  }
+  cluster.scheduler().run_until(10);  // outage in force
+  RetryingClient client(cluster.client(0), cluster.scheduler(), Rng(2),
+                        {.max_attempts = 8, .initial_backoff = 5'000});
+  TxnOutcome outcome = TxnOutcome::kAborted;
+  client.run({TxnOp::write(1, "persistent")},
+             [&](TxnResult r) { outcome = r.outcome; });
+  cluster.settle();
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_EQ(client.gave_up(), 0u);
+  // The write is durable and visible.
+  const auto value = cluster.read_sync(0, 1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "persistent");
+}
+
+TEST(RetryingClientTest, GivesUpAfterMaxAttempts) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  for (ReplicaId r = 0; r < 3; ++r) cluster.injector().crash_now(r);  // forever
+  RetryingClient client(cluster.client(0), cluster.scheduler(), Rng(3),
+                        {.max_attempts = 3, .initial_backoff = 1'000});
+  TxnOutcome outcome = TxnOutcome::kCommitted;
+  std::string reason;
+  client.run({TxnOp::read(1)}, [&](TxnResult r) {
+    outcome = r.outcome;
+    reason = r.abort_reason;
+  });
+  cluster.settle();
+  EXPECT_EQ(outcome, TxnOutcome::kAborted);
+  EXPECT_EQ(client.attempts(), 3u);
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(client.gave_up(), 1u);
+  EXPECT_FALSE(reason.empty());
+}
+
+TEST(RetryingClientTest, CallbackFiresExactlyOnce) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  cluster.injector().crash_now(0);
+  cluster.injector().crash_now(7);  // no full level: writes abort
+  RetryingClient client(cluster.client(0), cluster.scheduler(), Rng(4),
+                        {.max_attempts = 4, .initial_backoff = 500});
+  int calls = 0;
+  client.run({TxnOp::write(1, "x")}, [&](TxnResult) { ++calls; });
+  cluster.settle();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(client.attempts(), 4u);
+}
+
+TEST(RetryingClientTest, BackoffGrows) {
+  // With a dead cluster, attempt times must spread out geometrically.
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast());
+  for (ReplicaId r = 0; r < 3; ++r) cluster.injector().crash_now(r);
+  RetryingClient client(cluster.client(0), cluster.scheduler(), Rng(5),
+                        {.max_attempts = 4,
+                         .initial_backoff = 10'000,
+                         .multiplier = 2.0,
+                         .jitter = 0.0});
+  bool finished = false;
+  client.run({TxnOp::read(1)}, [&](TxnResult) { finished = true; });
+  cluster.settle();
+  ASSERT_TRUE(finished);
+  // 3 backoffs of 10ms, 20ms, 40ms plus 4 short abort rounds: >= 70ms.
+  EXPECT_GE(cluster.scheduler().now(), 70'000u);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,141 @@
+#include "txn/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions fast_links(std::size_t clients = 1) {
+  ClusterOptions options;
+  options.clients = clients;
+  options.link = LinkParams{.base_latency = 10, .jitter = 2};
+  return options;
+}
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  ZipfSampler sampler(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+TEST(ZipfSamplerTest, SkewFavoursLowKeys) {
+  ZipfSampler sampler(10, 1.2);
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[0], 3 * counts[9]);
+}
+
+TEST(ZipfSamplerTest, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(WorkloadTest, AllCommitOnHealthyCluster) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast_links(2));
+  WorkloadOptions options;
+  options.transactions_per_client = 50;
+  options.read_fraction = 0.5;
+  options.num_keys = 8;
+  const WorkloadStats stats = run_workload(cluster, options);
+  EXPECT_EQ(stats.committed, 100u);
+  EXPECT_EQ(stats.aborted, 0u);
+  EXPECT_EQ(stats.blocked, 0u);
+  EXPECT_EQ(stats.reads_issued + stats.writes_issued, 100u);
+  EXPECT_GT(stats.mean_latency_us, 0.0);
+  EXPECT_GT(stats.messages_sent, 0u);
+}
+
+TEST(WorkloadTest, ReadFractionRespected) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast_links());
+  WorkloadOptions options;
+  options.transactions_per_client = 400;
+  options.read_fraction = 0.75;
+  const WorkloadStats stats = run_workload(cluster, options);
+  const double observed =
+      static_cast<double>(stats.reads_issued) /
+      static_cast<double>(stats.reads_issued + stats.writes_issued);
+  EXPECT_NEAR(observed, 0.75, 0.06);
+}
+
+TEST(WorkloadTest, DeterministicUnderSeed) {
+  WorkloadOptions options;
+  options.transactions_per_client = 30;
+  options.seed = 77;
+  auto run_once = [&] {
+    Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                        ArbitraryTree::from_spec("1-3-5")),
+                    fast_links(2));
+    return run_workload(cluster, options);
+  };
+  const WorkloadStats a = run_once();
+  const WorkloadStats b = run_once();
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us, b.mean_latency_us);
+  EXPECT_EQ(a.replica_messages, b.replica_messages);
+}
+
+TEST(WorkloadTest, MostlyReadConfigLoadsOneReplicaLightly) {
+  // On MOSTLY-READ with a read-only workload, reads spread across replicas:
+  // the busiest replica should carry about 1/n of the traffic.
+  Cluster cluster(make_mostly_read(8), fast_links());
+  WorkloadOptions options;
+  options.transactions_per_client = 400;
+  options.read_fraction = 1.0;
+  const WorkloadStats stats = run_workload(cluster, options);
+  EXPECT_EQ(stats.committed, 400u);
+  EXPECT_NEAR(stats.max_replica_share(), 1.0 / 8.0, 0.05);
+}
+
+TEST(WorkloadTest, WriteHeavyOnMostlyReadHitsEveryone) {
+  // Write-only on MOSTLY-READ: every replica participates in every write,
+  // so shares equalize at 1/n and total messages are high.
+  Cluster cluster(make_mostly_read(8), fast_links());
+  WorkloadOptions options;
+  options.transactions_per_client = 100;
+  options.read_fraction = 0.0;
+  const WorkloadStats stats = run_workload(cluster, options);
+  EXPECT_EQ(stats.committed, 100u);
+  const auto total = std::accumulate(stats.replica_messages.begin(),
+                                     stats.replica_messages.end(), 0ull);
+  // Each write: 1 version request + 8 prepares + 8 commits = 17 messages.
+  EXPECT_GE(total, 100u * 17u);
+}
+
+TEST(WorkloadTest, MultiOpTransactions) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5")),
+                  fast_links(2));
+  WorkloadOptions options;
+  options.transactions_per_client = 40;
+  options.ops_per_txn = 4;
+  options.num_keys = 16;
+  const WorkloadStats stats = run_workload(cluster, options);
+  EXPECT_EQ(stats.committed + stats.aborted + stats.blocked, 80u);
+  EXPECT_EQ(stats.reads_issued + stats.writes_issued, 320u);
+  // Healthy cluster, sorted lock order: everything commits.
+  EXPECT_EQ(stats.committed, 80u);
+}
+
+TEST(WorkloadTest, RejectsEmptyWorkload) {
+  Cluster cluster(make_mostly_read(4), fast_links());
+  WorkloadOptions options;
+  options.transactions_per_client = 0;
+  EXPECT_THROW(run_workload(cluster, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,46 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atrcp {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(ATRCP_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsInvariantError) {
+  EXPECT_THROW(ATRCP_CHECK(false), InvariantError);
+}
+
+TEST(CheckTest, MessageCarriesExpressionAndLocation) {
+  try {
+    ATRCP_CHECK(2 > 3);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, EvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  const auto count = [&] {
+    ++calls;
+    return true;
+  };
+  ATRCP_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, IsAnExpressionStatementInBranches) {
+  // Compiles cleanly in unbraced if/else (the do-while(false) idiom).
+  if (true)
+    ATRCP_CHECK(true);
+  else
+    ATRCP_CHECK(true);
+}
+
+}  // namespace
+}  // namespace atrcp

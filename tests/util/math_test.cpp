@@ -1,0 +1,170 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace atrcp {
+namespace {
+
+TEST(BinomialTest, BaseCases) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+}
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTest, RowSumsArePowersOfTwo) {
+  for (std::uint64_t n = 0; n <= 20; ++n) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t k = 0; k <= n; ++k) sum += binomial(n, k);
+    EXPECT_EQ(sum, 1ULL << n);
+  }
+}
+
+TEST(BinomialTest, OverflowThrows) {
+  EXPECT_THROW(binomial(200, 100), std::overflow_error);
+}
+
+TEST(PowU64Test, Basics) {
+  EXPECT_EQ(pow_u64(2, 0), 1u);
+  EXPECT_EQ(pow_u64(2, 10), 1024u);
+  EXPECT_EQ(pow_u64(3, 4), 81u);
+  EXPECT_EQ(pow_u64(0, 5), 0u);
+  EXPECT_EQ(pow_u64(0, 0), 1u);
+  EXPECT_EQ(pow_u64(1, 1000), 1u);
+}
+
+TEST(PowU64Test, OverflowThrows) {
+  EXPECT_THROW(pow_u64(2, 64), std::overflow_error);
+  EXPECT_NO_THROW(pow_u64(2, 63));
+}
+
+TEST(FloorLog2Test, ExactPowers) {
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(floor_log2(1ULL << k), k);
+  }
+}
+
+TEST(FloorLog2Test, BetweenPowers) {
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(7), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+}
+
+TEST(FloorLog2Test, ZeroThrows) {
+  EXPECT_THROW(floor_log2(0), std::invalid_argument);
+}
+
+TEST(IsPowerOfTwoTest, Classification) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1ULL << 40));
+  EXPECT_FALSE(is_power_of_two((1ULL << 40) + 1));
+}
+
+TEST(IsqrtTest, PerfectSquaresAndNeighbours) {
+  for (std::uint64_t s = 0; s <= 1000; ++s) {
+    EXPECT_EQ(isqrt(s * s), s);
+    if (s > 0) {
+      EXPECT_EQ(isqrt(s * s - 1), s - 1);
+      EXPECT_EQ(isqrt(s * s + 1), s);
+    }
+  }
+}
+
+TEST(IsqrtTest, LargeValues) {
+  EXPECT_EQ(isqrt(1ULL << 62), 1ULL << 31);
+}
+
+TEST(ApproxEqualTest, Tolerances) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  for (double p : {0.1, 0.5, 0.9}) {
+    for (std::uint64_t n : {1u, 5u, 20u}) {
+      double total = 0.0;
+      for (std::uint64_t k = 0; k <= n; ++k) total += binomial_pmf(n, k, p);
+      EXPECT_NEAR(total, 1.0, 1e-10) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialPmfTest, MatchesExactFormulaSmall) {
+  // n=4, k=2, p=0.5 -> C(4,2)/16 = 6/16.
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  // n=3, k=0, p=0.3 -> 0.7^3.
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.3), 0.343, 1e-12);
+}
+
+TEST(BinomialPmfTest, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialSfTest, Majority) {
+  // P(X >= 2) for X~Bin(3, 0.5) = 4/8.
+  EXPECT_NEAR(binomial_sf(3, 2, 0.5), 0.5, 1e-12);
+  // k = 0 is always 1.
+  EXPECT_NEAR(binomial_sf(7, 0, 0.3), 1.0, 1e-12);
+}
+
+TEST(PartitionsTest, CountsMatchHandEnumeration) {
+  // Partitions of 6 into 3 non-decreasing parts (max 6):
+  // 1+1+4, 1+2+3, 2+2+2 -> 3 of them.
+  const auto parts = partitions_non_decreasing(6, 3, 6);
+  EXPECT_EQ(parts.size(), 3u);
+}
+
+TEST(PartitionsTest, AllValid) {
+  const auto parts = partitions_non_decreasing(12, 4, 12);
+  EXPECT_FALSE(parts.empty());
+  for (const auto& part : parts) {
+    EXPECT_EQ(part.size(), 4u);
+    EXPECT_EQ(std::accumulate(part.begin(), part.end(), 0u), 12u);
+    for (std::size_t i = 0; i + 1 < part.size(); ++i) {
+      EXPECT_LE(part[i], part[i + 1]);
+    }
+  }
+}
+
+TEST(PartitionsTest, MaxPartRespected) {
+  const auto parts = partitions_non_decreasing(10, 2, 5);
+  // 5+5 only.
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], (std::vector<std::uint32_t>{5, 5}));
+}
+
+TEST(PartitionsTest, Infeasible) {
+  EXPECT_TRUE(partitions_non_decreasing(3, 5, 3).empty());   // too many parts
+  EXPECT_TRUE(partitions_non_decreasing(30, 2, 5).empty());  // parts too small
+  EXPECT_TRUE(partitions_non_decreasing(5, 0, 5).empty());   // zero parts
+}
+
+}  // namespace
+}  // namespace atrcp

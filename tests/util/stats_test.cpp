@@ -1,0 +1,61 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace atrcp {
+namespace {
+
+TEST(SampleSummaryTest, EmptyThrows) {
+  SampleSummary summary;
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_THROW(summary.mean(), std::logic_error);
+  EXPECT_THROW(summary.min(), std::logic_error);
+  EXPECT_THROW(summary.percentile(0.5), std::logic_error);
+}
+
+TEST(SampleSummaryTest, BasicStatistics) {
+  SampleSummary summary;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) summary.add(v);
+  EXPECT_EQ(summary.count(), 5u);
+  EXPECT_DOUBLE_EQ(summary.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 5.0);
+}
+
+TEST(SampleSummaryTest, NearestRankPercentiles) {
+  SampleSummary summary;
+  for (int v = 1; v <= 100; ++v) summary.add(v);
+  EXPECT_DOUBLE_EQ(summary.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(summary.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(summary.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(summary.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(summary.percentile(1.0), 100.0);
+}
+
+TEST(SampleSummaryTest, SingleSample) {
+  SampleSummary summary;
+  summary.add(7.5);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(summary.percentile(q), 7.5);
+  }
+}
+
+TEST(SampleSummaryTest, InterleavedAddAndQuery) {
+  SampleSummary summary;
+  summary.add(10.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 10.0);
+  summary.add(20.0);  // forces a re-sort on the next query
+  EXPECT_DOUBLE_EQ(summary.max(), 20.0);
+  summary.add(5.0);
+  EXPECT_DOUBLE_EQ(summary.min(), 5.0);
+}
+
+TEST(SampleSummaryTest, InvalidQuantileThrows) {
+  SampleSummary summary;
+  summary.add(1.0);
+  EXPECT_THROW(summary.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(summary.percentile(1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace atrcp {
+namespace {
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, RejectsRowWidthMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TableTest, TextOutputAligned) {
+  Table table({"n", "cost"});
+  table.add_row({"8", "2.5"});
+  table.add_row({"128", "11.3"});
+  std::ostringstream os;
+  table.print_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_NE(text.find("128"), std::string::npos);
+  EXPECT_NE(text.find("11.3"), std::string::npos);
+  // Header, rule, and two data rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"n", "cost"});
+  table.add_row({"8", "2.5"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "n,cost\n8,2.5\n");
+}
+
+TEST(CellTest, DoubleTrimming) {
+  EXPECT_EQ(cell(1.5), "1.5");
+  EXPECT_EQ(cell(2.0), "2.0");
+  EXPECT_EQ(cell(0.25), "0.25");
+  EXPECT_EQ(cell(1.0 / 3.0), "0.3333");
+  EXPECT_EQ(cell(0.123456, 2), "0.12");
+}
+
+TEST(CellTest, Integers) {
+  EXPECT_EQ(cell(42), "42");
+  EXPECT_EQ(cell(std::size_t{7}), "7");
+  EXPECT_EQ(cell(std::int64_t{-3}), "-3");
+}
+
+}  // namespace
+}  // namespace atrcp
