@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_levels"
+  "../bench/bench_ablation_levels.pdb"
+  "CMakeFiles/bench_ablation_levels.dir/ablation_levels.cpp.o"
+  "CMakeFiles/bench_ablation_levels.dir/ablation_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_spectrum"
+  "../bench/bench_ablation_spectrum.pdb"
+  "CMakeFiles/bench_ablation_spectrum.dir/ablation_spectrum.cpp.o"
+  "CMakeFiles/bench_ablation_spectrum.dir/ablation_spectrum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_availability_limits"
+  "../bench/bench_availability_limits.pdb"
+  "CMakeFiles/bench_availability_limits.dir/availability_limits.cpp.o"
+  "CMakeFiles/bench_availability_limits.dir/availability_limits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_availability_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_binary_degradation"
+  "../bench/bench_binary_degradation.pdb"
+  "CMakeFiles/bench_binary_degradation.dir/binary_degradation.cpp.o"
+  "CMakeFiles/bench_binary_degradation.dir/binary_degradation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binary_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

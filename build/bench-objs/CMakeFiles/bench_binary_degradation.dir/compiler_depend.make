@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_binary_degradation.
+# This may be replaced when dependencies are built.

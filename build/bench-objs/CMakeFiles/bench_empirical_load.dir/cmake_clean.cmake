@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_empirical_load"
+  "../bench/bench_empirical_load.pdb"
+  "CMakeFiles/bench_empirical_load.dir/empirical_load.cpp.o"
+  "CMakeFiles/bench_empirical_load.dir/empirical_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_empirical_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_costs"
+  "../bench/bench_fig2_costs.pdb"
+  "CMakeFiles/bench_fig2_costs.dir/fig2_costs.cpp.o"
+  "CMakeFiles/bench_fig2_costs.dir/fig2_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_read_load"
+  "../bench/bench_fig3_read_load.pdb"
+  "CMakeFiles/bench_fig3_read_load.dir/fig3_read_load.cpp.o"
+  "CMakeFiles/bench_fig3_read_load.dir/fig3_read_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_read_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

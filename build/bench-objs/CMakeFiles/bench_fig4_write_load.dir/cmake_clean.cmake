@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_write_load"
+  "../bench/bench_fig4_write_load.pdb"
+  "CMakeFiles/bench_fig4_write_load.dir/fig4_write_load.cpp.o"
+  "CMakeFiles/bench_fig4_write_load.dir/fig4_write_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_write_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

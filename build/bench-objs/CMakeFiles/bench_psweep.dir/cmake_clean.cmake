@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_psweep"
+  "../bench/bench_psweep.pdb"
+  "CMakeFiles/bench_psweep.dir/psweep.cpp.o"
+  "CMakeFiles/bench_psweep.dir/psweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

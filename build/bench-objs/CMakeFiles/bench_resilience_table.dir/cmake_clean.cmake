@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_resilience_table"
+  "../bench/bench_resilience_table.pdb"
+  "CMakeFiles/bench_resilience_table.dir/resilience_table.cpp.o"
+  "CMakeFiles/bench_resilience_table.dir/resilience_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resilience_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_example.cpp" "bench-objs/CMakeFiles/bench_table1_example.dir/table1_example.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_table1_example.dir/table1_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/atrcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atrcp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/atrcp_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atrcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atrcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/atrcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_example"
+  "../bench/bench_table1_example.pdb"
+  "CMakeFiles/bench_table1_example.dir/table1_example.cpp.o"
+  "CMakeFiles/bench_table1_example.dir/table1_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

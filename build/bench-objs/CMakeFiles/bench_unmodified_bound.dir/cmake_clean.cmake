@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unmodified_bound"
+  "../bench/bench_unmodified_bound.pdb"
+  "CMakeFiles/bench_unmodified_bound.dir/unmodified_bound.cpp.o"
+  "CMakeFiles/bench_unmodified_bound.dir/unmodified_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unmodified_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

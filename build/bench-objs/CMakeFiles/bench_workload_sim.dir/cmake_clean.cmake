@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_workload_sim"
+  "../bench/bench_workload_sim.pdb"
+  "CMakeFiles/bench_workload_sim.dir/workload_sim.cpp.o"
+  "CMakeFiles/bench_workload_sim.dir/workload_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

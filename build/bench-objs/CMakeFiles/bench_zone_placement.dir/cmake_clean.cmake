@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_zone_placement"
+  "../bench/bench_zone_placement.pdb"
+  "CMakeFiles/bench_zone_placement.dir/zone_placement.cpp.o"
+  "CMakeFiles/bench_zone_placement.dir/zone_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zone_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_reconfiguration.dir/adaptive_reconfiguration.cpp.o"
+  "CMakeFiles/adaptive_reconfiguration.dir/adaptive_reconfiguration.cpp.o.d"
+  "adaptive_reconfiguration"
+  "adaptive_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

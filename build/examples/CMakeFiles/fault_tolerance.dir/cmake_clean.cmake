@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o"
+  "CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o.d"
+  "fault_tolerance"
+  "fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

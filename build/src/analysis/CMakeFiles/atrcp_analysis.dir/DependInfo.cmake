@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/empirical.cpp" "src/analysis/CMakeFiles/atrcp_analysis.dir/empirical.cpp.o" "gcc" "src/analysis/CMakeFiles/atrcp_analysis.dir/empirical.cpp.o.d"
+  "/root/repo/src/analysis/models.cpp" "src/analysis/CMakeFiles/atrcp_analysis.dir/models.cpp.o" "gcc" "src/analysis/CMakeFiles/atrcp_analysis.dir/models.cpp.o.d"
+  "/root/repo/src/analysis/zones.cpp" "src/analysis/CMakeFiles/atrcp_analysis.dir/zones.cpp.o" "gcc" "src/analysis/CMakeFiles/atrcp_analysis.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atrcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/atrcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

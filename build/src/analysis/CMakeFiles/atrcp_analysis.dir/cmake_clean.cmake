@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_analysis.dir/empirical.cpp.o"
+  "CMakeFiles/atrcp_analysis.dir/empirical.cpp.o.d"
+  "CMakeFiles/atrcp_analysis.dir/models.cpp.o"
+  "CMakeFiles/atrcp_analysis.dir/models.cpp.o.d"
+  "CMakeFiles/atrcp_analysis.dir/zones.cpp.o"
+  "CMakeFiles/atrcp_analysis.dir/zones.cpp.o.d"
+  "libatrcp_analysis.a"
+  "libatrcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/atrcp_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/atrcp_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/atrcp_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/atrcp_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/dot.cpp" "src/core/CMakeFiles/atrcp_core.dir/dot.cpp.o" "gcc" "src/core/CMakeFiles/atrcp_core.dir/dot.cpp.o.d"
+  "/root/repo/src/core/quorums.cpp" "src/core/CMakeFiles/atrcp_core.dir/quorums.cpp.o" "gcc" "src/core/CMakeFiles/atrcp_core.dir/quorums.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/core/CMakeFiles/atrcp_core.dir/tree.cpp.o" "gcc" "src/core/CMakeFiles/atrcp_core.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/atrcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_core.dir/analysis.cpp.o"
+  "CMakeFiles/atrcp_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/atrcp_core.dir/config.cpp.o"
+  "CMakeFiles/atrcp_core.dir/config.cpp.o.d"
+  "CMakeFiles/atrcp_core.dir/dot.cpp.o"
+  "CMakeFiles/atrcp_core.dir/dot.cpp.o.d"
+  "CMakeFiles/atrcp_core.dir/quorums.cpp.o"
+  "CMakeFiles/atrcp_core.dir/quorums.cpp.o.d"
+  "CMakeFiles/atrcp_core.dir/tree.cpp.o"
+  "CMakeFiles/atrcp_core.dir/tree.cpp.o.d"
+  "libatrcp_core.a"
+  "libatrcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

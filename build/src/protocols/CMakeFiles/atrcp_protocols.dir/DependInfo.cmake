@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/grid.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/grid.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/grid.cpp.o.d"
+  "/root/repo/src/protocols/hqc.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/hqc.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/hqc.cpp.o.d"
+  "/root/repo/src/protocols/maekawa.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/maekawa.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/maekawa.cpp.o.d"
+  "/root/repo/src/protocols/majority.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/majority.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/majority.cpp.o.d"
+  "/root/repo/src/protocols/protocol.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/protocol.cpp.o.d"
+  "/root/repo/src/protocols/rooted_tree.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/rooted_tree.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/rooted_tree.cpp.o.d"
+  "/root/repo/src/protocols/rowa.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/rowa.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/rowa.cpp.o.d"
+  "/root/repo/src/protocols/tree_quorum.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/tree_quorum.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/tree_quorum.cpp.o.d"
+  "/root/repo/src/protocols/weighted_voting.cpp" "src/protocols/CMakeFiles/atrcp_protocols.dir/weighted_voting.cpp.o" "gcc" "src/protocols/CMakeFiles/atrcp_protocols.dir/weighted_voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_protocols.dir/grid.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/grid.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/hqc.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/hqc.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/maekawa.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/maekawa.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/majority.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/majority.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/protocol.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/protocol.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/rooted_tree.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/rooted_tree.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/rowa.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/rowa.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/tree_quorum.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/tree_quorum.cpp.o.d"
+  "CMakeFiles/atrcp_protocols.dir/weighted_voting.cpp.o"
+  "CMakeFiles/atrcp_protocols.dir/weighted_voting.cpp.o.d"
+  "libatrcp_protocols.a"
+  "libatrcp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/availability.cpp" "src/quorum/CMakeFiles/atrcp_quorum.dir/availability.cpp.o" "gcc" "src/quorum/CMakeFiles/atrcp_quorum.dir/availability.cpp.o.d"
+  "/root/repo/src/quorum/composition.cpp" "src/quorum/CMakeFiles/atrcp_quorum.dir/composition.cpp.o" "gcc" "src/quorum/CMakeFiles/atrcp_quorum.dir/composition.cpp.o.d"
+  "/root/repo/src/quorum/lp.cpp" "src/quorum/CMakeFiles/atrcp_quorum.dir/lp.cpp.o" "gcc" "src/quorum/CMakeFiles/atrcp_quorum.dir/lp.cpp.o.d"
+  "/root/repo/src/quorum/resilience.cpp" "src/quorum/CMakeFiles/atrcp_quorum.dir/resilience.cpp.o" "gcc" "src/quorum/CMakeFiles/atrcp_quorum.dir/resilience.cpp.o.d"
+  "/root/repo/src/quorum/set_system.cpp" "src/quorum/CMakeFiles/atrcp_quorum.dir/set_system.cpp.o" "gcc" "src/quorum/CMakeFiles/atrcp_quorum.dir/set_system.cpp.o.d"
+  "/root/repo/src/quorum/strategy.cpp" "src/quorum/CMakeFiles/atrcp_quorum.dir/strategy.cpp.o" "gcc" "src/quorum/CMakeFiles/atrcp_quorum.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_quorum.dir/availability.cpp.o"
+  "CMakeFiles/atrcp_quorum.dir/availability.cpp.o.d"
+  "CMakeFiles/atrcp_quorum.dir/composition.cpp.o"
+  "CMakeFiles/atrcp_quorum.dir/composition.cpp.o.d"
+  "CMakeFiles/atrcp_quorum.dir/lp.cpp.o"
+  "CMakeFiles/atrcp_quorum.dir/lp.cpp.o.d"
+  "CMakeFiles/atrcp_quorum.dir/resilience.cpp.o"
+  "CMakeFiles/atrcp_quorum.dir/resilience.cpp.o.d"
+  "CMakeFiles/atrcp_quorum.dir/set_system.cpp.o"
+  "CMakeFiles/atrcp_quorum.dir/set_system.cpp.o.d"
+  "CMakeFiles/atrcp_quorum.dir/strategy.cpp.o"
+  "CMakeFiles/atrcp_quorum.dir/strategy.cpp.o.d"
+  "libatrcp_quorum.a"
+  "libatrcp_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

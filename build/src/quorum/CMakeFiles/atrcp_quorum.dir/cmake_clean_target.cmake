@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatrcp_quorum.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_replica.dir/server.cpp.o"
+  "CMakeFiles/atrcp_replica.dir/server.cpp.o.d"
+  "CMakeFiles/atrcp_replica.dir/store.cpp.o"
+  "CMakeFiles/atrcp_replica.dir/store.cpp.o.d"
+  "libatrcp_replica.a"
+  "libatrcp_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

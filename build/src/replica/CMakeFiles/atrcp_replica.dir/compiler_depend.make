@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for atrcp_replica.
+# This may be replaced when dependencies are built.

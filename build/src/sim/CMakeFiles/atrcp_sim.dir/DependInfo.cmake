@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/failure.cpp" "src/sim/CMakeFiles/atrcp_sim.dir/failure.cpp.o" "gcc" "src/sim/CMakeFiles/atrcp_sim.dir/failure.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/atrcp_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/atrcp_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/atrcp_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/atrcp_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/atrcp_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/atrcp_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

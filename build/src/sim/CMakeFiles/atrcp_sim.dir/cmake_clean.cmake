@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_sim.dir/failure.cpp.o"
+  "CMakeFiles/atrcp_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/atrcp_sim.dir/network.cpp.o"
+  "CMakeFiles/atrcp_sim.dir/network.cpp.o.d"
+  "CMakeFiles/atrcp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/atrcp_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/atrcp_sim.dir/trace.cpp.o"
+  "CMakeFiles/atrcp_sim.dir/trace.cpp.o.d"
+  "libatrcp_sim.a"
+  "libatrcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

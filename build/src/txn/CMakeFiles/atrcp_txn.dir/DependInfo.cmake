@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/cluster.cpp" "src/txn/CMakeFiles/atrcp_txn.dir/cluster.cpp.o" "gcc" "src/txn/CMakeFiles/atrcp_txn.dir/cluster.cpp.o.d"
+  "/root/repo/src/txn/coordinator.cpp" "src/txn/CMakeFiles/atrcp_txn.dir/coordinator.cpp.o" "gcc" "src/txn/CMakeFiles/atrcp_txn.dir/coordinator.cpp.o.d"
+  "/root/repo/src/txn/detector.cpp" "src/txn/CMakeFiles/atrcp_txn.dir/detector.cpp.o" "gcc" "src/txn/CMakeFiles/atrcp_txn.dir/detector.cpp.o.d"
+  "/root/repo/src/txn/lock_manager.cpp" "src/txn/CMakeFiles/atrcp_txn.dir/lock_manager.cpp.o" "gcc" "src/txn/CMakeFiles/atrcp_txn.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/txn/retry.cpp" "src/txn/CMakeFiles/atrcp_txn.dir/retry.cpp.o" "gcc" "src/txn/CMakeFiles/atrcp_txn.dir/retry.cpp.o.d"
+  "/root/repo/src/txn/workload.cpp" "src/txn/CMakeFiles/atrcp_txn.dir/workload.cpp.o" "gcc" "src/txn/CMakeFiles/atrcp_txn.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replica/CMakeFiles/atrcp_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/atrcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atrcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_txn.dir/cluster.cpp.o"
+  "CMakeFiles/atrcp_txn.dir/cluster.cpp.o.d"
+  "CMakeFiles/atrcp_txn.dir/coordinator.cpp.o"
+  "CMakeFiles/atrcp_txn.dir/coordinator.cpp.o.d"
+  "CMakeFiles/atrcp_txn.dir/detector.cpp.o"
+  "CMakeFiles/atrcp_txn.dir/detector.cpp.o.d"
+  "CMakeFiles/atrcp_txn.dir/lock_manager.cpp.o"
+  "CMakeFiles/atrcp_txn.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/atrcp_txn.dir/retry.cpp.o"
+  "CMakeFiles/atrcp_txn.dir/retry.cpp.o.d"
+  "CMakeFiles/atrcp_txn.dir/workload.cpp.o"
+  "CMakeFiles/atrcp_txn.dir/workload.cpp.o.d"
+  "libatrcp_txn.a"
+  "libatrcp_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

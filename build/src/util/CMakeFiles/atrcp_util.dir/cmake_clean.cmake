@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atrcp_util.dir/math.cpp.o"
+  "CMakeFiles/atrcp_util.dir/math.cpp.o.d"
+  "CMakeFiles/atrcp_util.dir/rng.cpp.o"
+  "CMakeFiles/atrcp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/atrcp_util.dir/stats.cpp.o"
+  "CMakeFiles/atrcp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/atrcp_util.dir/table.cpp.o"
+  "CMakeFiles/atrcp_util.dir/table.cpp.o.d"
+  "libatrcp_util.a"
+  "libatrcp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atrcp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/core_test.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/core_test.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/dot_test.cpp" "tests/CMakeFiles/core_test.dir/core/dot_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dot_test.cpp.o.d"
+  "/root/repo/tests/core/paper_example_test.cpp" "tests/CMakeFiles/core_test.dir/core/paper_example_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/paper_example_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/core_test.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/quorums_test.cpp" "tests/CMakeFiles/core_test.dir/core/quorums_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/quorums_test.cpp.o.d"
+  "/root/repo/tests/core/sweep_test.cpp" "tests/CMakeFiles/core_test.dir/core/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sweep_test.cpp.o.d"
+  "/root/repo/tests/core/tree_test.cpp" "tests/CMakeFiles/core_test.dir/core/tree_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/atrcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atrcp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/atrcp_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atrcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atrcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/atrcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analysis_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/analysis_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/config_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/dot_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/dot_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/paper_example_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/paper_example_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/quorums_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/quorums_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sweep_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sweep_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tree_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tree_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

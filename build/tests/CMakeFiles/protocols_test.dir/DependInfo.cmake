@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocols/cross_protocol_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/cross_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/cross_protocol_test.cpp.o.d"
+  "/root/repo/tests/protocols/grid_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/grid_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/grid_test.cpp.o.d"
+  "/root/repo/tests/protocols/hqc_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/hqc_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/hqc_test.cpp.o.d"
+  "/root/repo/tests/protocols/maekawa_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/maekawa_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/maekawa_test.cpp.o.d"
+  "/root/repo/tests/protocols/majority_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/majority_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/majority_test.cpp.o.d"
+  "/root/repo/tests/protocols/protocol_interface_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/protocol_interface_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/protocol_interface_test.cpp.o.d"
+  "/root/repo/tests/protocols/rooted_tree_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/rooted_tree_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/rooted_tree_test.cpp.o.d"
+  "/root/repo/tests/protocols/rowa_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/rowa_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/rowa_test.cpp.o.d"
+  "/root/repo/tests/protocols/tree_quorum_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/tree_quorum_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/tree_quorum_test.cpp.o.d"
+  "/root/repo/tests/protocols/weighted_voting_test.cpp" "tests/CMakeFiles/protocols_test.dir/protocols/weighted_voting_test.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/protocols/weighted_voting_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/atrcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atrcp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/atrcp_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atrcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atrcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/atrcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

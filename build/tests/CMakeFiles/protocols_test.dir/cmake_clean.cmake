@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_test.dir/protocols/cross_protocol_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/cross_protocol_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/grid_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/grid_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/hqc_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/hqc_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/maekawa_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/maekawa_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/majority_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/majority_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/protocol_interface_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/protocol_interface_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/rooted_tree_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/rooted_tree_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/rowa_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/rowa_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/tree_quorum_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/tree_quorum_test.cpp.o.d"
+  "CMakeFiles/protocols_test.dir/protocols/weighted_voting_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols/weighted_voting_test.cpp.o.d"
+  "protocols_test"
+  "protocols_test.pdb"
+  "protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quorum/availability_test.cpp" "tests/CMakeFiles/quorum_test.dir/quorum/availability_test.cpp.o" "gcc" "tests/CMakeFiles/quorum_test.dir/quorum/availability_test.cpp.o.d"
+  "/root/repo/tests/quorum/composition_test.cpp" "tests/CMakeFiles/quorum_test.dir/quorum/composition_test.cpp.o" "gcc" "tests/CMakeFiles/quorum_test.dir/quorum/composition_test.cpp.o.d"
+  "/root/repo/tests/quorum/lp_test.cpp" "tests/CMakeFiles/quorum_test.dir/quorum/lp_test.cpp.o" "gcc" "tests/CMakeFiles/quorum_test.dir/quorum/lp_test.cpp.o.d"
+  "/root/repo/tests/quorum/resilience_test.cpp" "tests/CMakeFiles/quorum_test.dir/quorum/resilience_test.cpp.o" "gcc" "tests/CMakeFiles/quorum_test.dir/quorum/resilience_test.cpp.o.d"
+  "/root/repo/tests/quorum/set_system_test.cpp" "tests/CMakeFiles/quorum_test.dir/quorum/set_system_test.cpp.o" "gcc" "tests/CMakeFiles/quorum_test.dir/quorum/set_system_test.cpp.o.d"
+  "/root/repo/tests/quorum/strategy_test.cpp" "tests/CMakeFiles/quorum_test.dir/quorum/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/quorum_test.dir/quorum/strategy_test.cpp.o.d"
+  "/root/repo/tests/quorum/types_test.cpp" "tests/CMakeFiles/quorum_test.dir/quorum/types_test.cpp.o" "gcc" "tests/CMakeFiles/quorum_test.dir/quorum/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/atrcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atrcp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/atrcp_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atrcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atrcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/atrcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/atrcp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/atrcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_test.dir/quorum/availability_test.cpp.o"
+  "CMakeFiles/quorum_test.dir/quorum/availability_test.cpp.o.d"
+  "CMakeFiles/quorum_test.dir/quorum/composition_test.cpp.o"
+  "CMakeFiles/quorum_test.dir/quorum/composition_test.cpp.o.d"
+  "CMakeFiles/quorum_test.dir/quorum/lp_test.cpp.o"
+  "CMakeFiles/quorum_test.dir/quorum/lp_test.cpp.o.d"
+  "CMakeFiles/quorum_test.dir/quorum/resilience_test.cpp.o"
+  "CMakeFiles/quorum_test.dir/quorum/resilience_test.cpp.o.d"
+  "CMakeFiles/quorum_test.dir/quorum/set_system_test.cpp.o"
+  "CMakeFiles/quorum_test.dir/quorum/set_system_test.cpp.o.d"
+  "CMakeFiles/quorum_test.dir/quorum/strategy_test.cpp.o"
+  "CMakeFiles/quorum_test.dir/quorum/strategy_test.cpp.o.d"
+  "CMakeFiles/quorum_test.dir/quorum/types_test.cpp.o"
+  "CMakeFiles/quorum_test.dir/quorum/types_test.cpp.o.d"
+  "quorum_test"
+  "quorum_test.pdb"
+  "quorum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

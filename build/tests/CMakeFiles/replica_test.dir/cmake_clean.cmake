@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_test.dir/replica/server_test.cpp.o"
+  "CMakeFiles/replica_test.dir/replica/server_test.cpp.o.d"
+  "CMakeFiles/replica_test.dir/replica/store_test.cpp.o"
+  "CMakeFiles/replica_test.dir/replica/store_test.cpp.o.d"
+  "replica_test"
+  "replica_test.pdb"
+  "replica_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_test.dir/txn/cluster_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/cluster_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/coordinator_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/coordinator_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/deadlock_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/deadlock_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/detector_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/detector_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/lock_manager_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/lock_manager_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/read_repair_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/read_repair_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/reconfigure_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/reconfigure_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/retry_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/retry_test.cpp.o.d"
+  "CMakeFiles/txn_test.dir/txn/workload_test.cpp.o"
+  "CMakeFiles/txn_test.dir/txn/workload_test.cpp.o.d"
+  "txn_test"
+  "txn_test.pdb"
+  "txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
