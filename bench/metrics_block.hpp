@@ -1,0 +1,64 @@
+// Shared by the executed-workload benches: the "metrics" JSON block.
+//
+// Emits one JSON object per instrumented cluster run — the full
+// MetricsRegistry snapshot plus the headline comparison the obs layer
+// exists for: measured mean read/write quorum size (from the
+// quorum.<name>.* counters) against the analytic predictions of
+// Facts 3.2.1/3.2.2 (read cost |K_phy|, average write cost n/|K_phy|).
+// Everything routes through MetricsRegistry::to_json / format_double, so
+// two runs under the same seed print byte-identical blocks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "protocols/protocol.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp::benchio {
+
+/// Measured mean assembled-quorum size for `kind` ("read" or "write"):
+/// members / (attempts - failures). NaN when the run never assembled one.
+inline double measured_mean_quorum(const MetricsRegistry& metrics,
+                                   const std::string& protocol_name,
+                                   const std::string& kind) {
+  const std::string prefix = "quorum." + protocol_name + "." + kind + ".";
+  const Counter* attempts = metrics.find_counter(prefix + "attempts");
+  const Counter* failures = metrics.find_counter(prefix + "failures");
+  const Counter* members = metrics.find_counter(prefix + "members");
+  if (attempts == nullptr || members == nullptr) return std::nan("");
+  const std::uint64_t failed = failures == nullptr ? 0 : failures->value();
+  const std::uint64_t assembled = attempts->value() - failed;
+  if (assembled == 0) return std::nan("");
+  return static_cast<double>(members->value()) /
+         static_cast<double>(assembled);
+}
+
+/// Prints the block on one line:
+///   {"label":...,"protocol":...,
+///    "quorum_cost":{"read":{"measured":...,"predicted":...},"write":{...}},
+///    "spans_recorded":...,"registry":{...}}
+/// `predicted` is the protocol's analytic read_cost()/write_cost(); a
+/// measured value that never materialized serializes as null.
+inline void emit_metrics_block(std::ostream& os, const std::string& label,
+                               const Cluster& cluster) {
+  const ReplicaControlProtocol& protocol = cluster.protocol();
+  const MetricsRegistry& metrics = cluster.metrics();
+  os << "{\"label\":\"" << json_escape(label) << "\",\"protocol\":\""
+     << json_escape(protocol.name()) << "\",\"quorum_cost\":{\"read\":{"
+     << "\"measured\":"
+     << format_double(measured_mean_quorum(metrics, protocol.name(), "read"))
+     << ",\"predicted\":" << format_double(protocol.read_cost())
+     << "},\"write\":{\"measured\":"
+     << format_double(measured_mean_quorum(metrics, protocol.name(), "write"))
+     << ",\"predicted\":" << format_double(protocol.write_cost())
+     << "}},\"spans_recorded\":" << cluster.spans().total_recorded()
+     << ",\"registry\":";
+  metrics.to_json(os);
+  os << "}";
+}
+
+}  // namespace atrcp::benchio

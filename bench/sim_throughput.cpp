@@ -1,18 +1,25 @@
 // E9 — google-benchmark microbenchmarks of the substrate: quorum assembly
 // for each protocol, tree construction, the LP solver, scheduler and
 // network throughput, and end-to-end simulated transactions per second.
+// After the benchmarks, main() runs one fixed-seed Table 1 workload and
+// prints its deterministic metrics block (see metrics_block.hpp) — the
+// timing numbers above it vary with the host, the block never does.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
 
 #include "core/config.hpp"
 #include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "metrics_block.hpp"
 #include "protocols/hqc.hpp"
 #include "protocols/majority.hpp"
 #include "protocols/rowa.hpp"
 #include "protocols/tree_quorum.hpp"
 #include "quorum/lp.hpp"
 #include "txn/cluster.hpp"
+#include "txn/workload.hpp"
 #include "util/rng.hpp"
 
 namespace atrcp {
@@ -123,3 +130,30 @@ BENCHMARK(BM_SpectrumConfigurator)->Arg(100)->Arg(400)->Arg(1000);
 
 }  // namespace
 }  // namespace atrcp
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Deterministic epilogue: Table 1 tree (1-3-5) at p = 0, fixed seed.
+  // Measured mean read-quorum size must equal |K_phy| = 2 exactly; the
+  // write mean approaches n / |K_phy| = 4 (Facts 3.2.1/3.2.2).
+  using namespace atrcp;
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                  options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 400;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 16;
+  run_workload(cluster, workload);
+  std::cout << "metrics ";
+  benchio::emit_metrics_block(std::cout, "table1-p0", cluster);
+  std::cout << '\n';
+  return 0;
+}

@@ -8,6 +8,8 @@
 
 #include "core/config.hpp"
 #include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "metrics_block.hpp"
 #include "txn/cluster.hpp"
 #include "txn/workload.hpp"
 #include "util/table.hpp"
@@ -57,6 +59,29 @@ int main() {
     table.print_text(std::cout);
     std::cout << '\n';
   }
+  // Metrics block: the Table 1 tree (1-3-5) executed at p = 0, validating
+  // Facts 3.2.1/3.2.2 empirically — the measured mean read-quorum size must
+  // equal |K_phy| = 2 exactly (every assembled read quorum picks one node
+  // per physical level; version pre-reads included) and the measured mean
+  // write-quorum size approaches n / |K_phy| = 4 (uniform pick over the
+  // level sizes {3, 5}). Fixed seed: the line is byte-identical across runs.
+  {
+    ClusterOptions options;
+    options.clients = 2;
+    options.link = LinkParams{.base_latency = 50, .jitter = 10};
+    Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                        ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                    options);
+    WorkloadOptions workload;
+    workload.transactions_per_client = 400;
+    workload.read_fraction = 0.5;
+    workload.num_keys = 16;
+    run_workload(cluster, workload);
+    std::cout << "metrics ";
+    benchio::emit_metrics_block(std::cout, "table1-p0", cluster);
+    std::cout << "\n\n";
+  }
+
   std::cout
       << "Observed shape: MOSTLY-READ is cheapest under read-heavy traffic\n"
       << "and collapses under write-heavy traffic, as the paper predicts.\n"

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/math.hpp"
 
 namespace atrcp {
 
@@ -12,7 +13,7 @@ ArbitraryProtocol::ArbitraryProtocol(ArbitraryTree tree,
       analysis_(tree_),
       display_name_(std::move(display_name)) {}
 
-std::optional<Quorum> ArbitraryProtocol::assemble_read_quorum(
+std::optional<Quorum> ArbitraryProtocol::do_assemble_read_quorum(
     const FailureSet& failures, Rng& rng) const {
   std::vector<ReplicaId> members;
   members.reserve(tree_.physical_levels().size());
@@ -36,7 +37,7 @@ std::optional<Quorum> ArbitraryProtocol::assemble_read_quorum(
   return Quorum(std::move(members));
 }
 
-std::optional<Quorum> ArbitraryProtocol::assemble_write_quorum(
+std::optional<Quorum> ArbitraryProtocol::do_assemble_write_quorum(
     const FailureSet& failures, Rng& rng) const {
   // Uniform pick among the physical levels whose replicas are all alive.
   std::vector<std::uint32_t> candidates;
@@ -58,10 +59,22 @@ std::optional<Quorum> ArbitraryProtocol::assemble_write_quorum(
 
 std::vector<Quorum> ArbitraryProtocol::enumerate_read_quorums(
     std::size_t limit) const {
-  if (analysis_.read_quorum_count() > static_cast<double>(limit)) {
+  const auto& levels = tree_.physical_levels();
+  // m(R) = prod |level| counted in exact overflow-checked uint64 arithmetic.
+  // The analytic read_quorum_count() is a double: above 2^53 it cannot
+  // represent every integer, so `count > limit` misclassifies limits that
+  // sit within one rounding step of the true product (and a product past
+  // 2^64 must still reject rather than wrap).
+  std::optional<std::uint64_t> count = 1;
+  for (std::uint32_t level : levels) {
+    count = checked_mul(*count, tree_.replicas_at_level(level).size());
+    if (!count) {  // more than 2^64 quorums: no std::size_t limit can hold
+      throw std::length_error("ArbitraryProtocol: read quorum limit exceeded");
+    }
+  }
+  if (*count > limit) {
     throw std::length_error("ArbitraryProtocol: read quorum limit exceeded");
   }
-  const auto& levels = tree_.physical_levels();
   std::vector<Quorum> out;
   std::vector<std::size_t> idx(levels.size(), 0);
   while (true) {

@@ -38,12 +38,12 @@ class ArbitraryProtocol final : public ReplicaControlProtocol {
 
   /// One alive physical node per physical level, picked uniformly among the
   /// alive nodes of each level; nullopt if some physical level is dead.
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
 
   /// A uniformly-picked physical level whose nodes are ALL alive; nullopt
   /// if every level has at least one failed replica.
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   double read_cost() const override { return analysis_.read_cost(); }

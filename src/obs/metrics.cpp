@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace atrcp {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size(), 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must strictly increase");
+    }
+  }
+}
+
+void Histogram::record(std::uint64_t sample) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  if (it == bounds_.end()) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  }
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+  ++count_;
+  sum_ += sample;
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+namespace {
+
+template <typename Instrument, typename Map>
+Instrument* find_in(const Map& map, const std::string& name) {
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already names another instrument kind");
+  }
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already names another instrument kind");
+  }
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already names another instrument kind");
+  }
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (slot->bounds() != bounds) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  return find_in<Counter>(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  return find_in<Gauge>(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  return find_in<Histogram>(histograms_, name);
+}
+
+const std::vector<std::uint64_t>& MetricsRegistry::latency_bounds_us() {
+  static const std::vector<std::uint64_t> bounds = {
+      50,     100,    200,    500,     1'000,   2'000,   5'000,
+      10'000, 20'000, 50'000, 100'000, 200'000, 500'000, 1'000'000};
+  return bounds;
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN literals; null keeps the snapshot parseable.
+    return "null";
+  }
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "null";
+  return std::string(buffer, end);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_u64_array(std::ostream& os, const std::vector<std::uint64_t>& xs) {
+  os << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) os << ',';
+    os << xs[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void MetricsRegistry::to_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, instrument] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << instrument->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, instrument] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name)
+       << "\":" << format_double(instrument->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, instrument] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << instrument->count()
+       << ",\"sum\":" << instrument->sum() << ",\"min\":" << instrument->min()
+       << ",\"max\":" << instrument->max()
+       << ",\"mean\":" << format_double(instrument->mean()) << ",\"bounds\":";
+    write_u64_array(os, instrument->bounds());
+    os << ",\"buckets\":";
+    write_u64_array(os, instrument->bucket_counts());
+    os << ",\"overflow\":" << instrument->overflow() << '}';
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::to_json_string() const {
+  std::ostringstream os;
+  to_json(os);
+  return os.str();
+}
+
+}  // namespace atrcp

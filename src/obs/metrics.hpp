@@ -1,0 +1,126 @@
+// Deterministic, allocation-light metrics for the simulator and benches.
+//
+// A MetricsRegistry owns named counters, gauges and fixed-bucket histograms.
+// Instruments are created once (first use) and then updated through stable
+// pointers, so hot paths pay a pointer dereference and an add — no lookups,
+// no allocation. Registration order does not matter: instruments live in
+// name-sorted maps, so the JSON snapshot of two runs with identical inputs
+// is byte-identical (the determinism the sim tests rely on). Nothing here
+// reads a wall clock; latency histograms record SimTime samples fed by the
+// caller.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+/// Monotonically increasing unsigned 64-bit event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time double (queue depths, ratios, configuration echoes).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  void add(double delta) noexcept { value_ += delta; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram over unsigned 64-bit samples (SimTime latencies,
+/// quorum sizes, message counts). Bucket i counts samples <= bounds[i];
+/// samples above the last bound land in the overflow bucket. Bounds are
+/// frozen at creation, so recording never allocates.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing; throws
+  /// std::invalid_argument otherwise.
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void record(std::uint64_t sample) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  /// min/max of recorded samples; 0 when empty.
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept;
+
+  const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  /// One count per bound, in bound order.
+  const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The returned reference is stable for the registry's
+  /// lifetime — instrumented code caches the pointer and never looks up
+  /// again. A name names exactly one kind of instrument; reusing it for a
+  /// different kind throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// For an existing histogram the bounds argument must match the original
+  /// (throws std::invalid_argument on mismatch).
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds);
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t counter_count() const noexcept { return counters_.size(); }
+  std::size_t gauge_count() const noexcept { return gauges_.size(); }
+  std::size_t histogram_count() const noexcept { return histograms_.size(); }
+
+  /// The default latency bucket bounds (sim-microseconds): 50us .. 1s in a
+  /// 1-2-5 progression. Shared by every latency histogram so snapshots are
+  /// directly comparable.
+  static const std::vector<std::uint64_t>& latency_bounds_us();
+
+  /// Deterministic JSON snapshot: instruments sorted by name, integers
+  /// exact, doubles in shortest round-trip form. Two runs that feed the
+  /// registry identical values serialize byte-identically.
+  void to_json(std::ostream& os) const;
+  std::string to_json_string() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shortest round-trip decimal form of a double ("2", "0.35", "1e+300") —
+/// the deterministic formatting used by MetricsRegistry::to_json, exposed
+/// for benches that append derived values to a snapshot.
+std::string format_double(double value);
+
+/// Escape a string for inclusion in a JSON string literal.
+std::string json_escape(const std::string& text);
+
+}  // namespace atrcp

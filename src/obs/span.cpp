@@ -1,0 +1,41 @@
+#include "obs/span.hpp"
+
+#include <stdexcept>
+
+namespace atrcp {
+
+TxnSpanLog::TxnSpanLog(std::size_t capacity) : slots_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TxnSpanLog: capacity must be > 0");
+  }
+}
+
+void TxnSpanLog::record(const TxnSpan& span) {
+  if (size_ < slots_.size()) {
+    slots_[(head_ + size_) % slots_.size()] = span;
+    ++size_;
+  } else {
+    slots_[head_] = span;
+    head_ = (head_ + 1) % slots_.size();
+  }
+  ++total_;
+}
+
+const TxnSpan& TxnSpanLog::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("TxnSpanLog::at");
+  return slots_[(head_ + i) % slots_.size()];
+}
+
+std::vector<TxnSpan> TxnSpanLog::snapshot() const {
+  std::vector<TxnSpan> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+void TxnSpanLog::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,67 @@
+// Per-transaction trace spans — the record of WHERE a transaction's time
+// went, keyed by transaction id. The coordinator stamps phase-transition
+// times (all in SimTime microseconds; never the wall clock) and round
+// counters into a TxnSpan as the state machine advances, then hands the
+// finished span to a TxnSpanLog: a fixed-capacity ring that keeps the most
+// recent spans without allocating per record. Histograms in the
+// MetricsRegistry summarize the population; spans preserve the individual
+// slow transaction for inspection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atrcp {
+
+struct TxnSpan {
+  /// Marks a phase the transaction never reached (0 is a valid sim time:
+  /// the first transaction of a run acquires uncontended locks at t = 0).
+  static constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+
+  std::uint64_t txn_id = 0;
+  /// Phase-transition times, sim-microseconds; kUnset when never reached
+  /// (e.g. `decided` for a read-only or aborted txn).
+  std::uint64_t begin = 0;                ///< run() entry
+  std::uint64_t locks_acquired = kUnset;  ///< last lock granted
+  std::uint64_t ops_done = kUnset;        ///< last read/write op finished
+  std::uint64_t decided = kUnset;         ///< 2PC all-yes instant
+  std::uint64_t end = 0;                  ///< outcome delivered
+  /// TxnOutcome as its underlying value (0 committed, 1 aborted, 2 blocked).
+  std::uint8_t outcome = 0;
+  std::uint32_t quorum_rounds = 0;      ///< read/version rounds issued
+  std::uint32_t quorum_reassemblies = 0;  ///< rounds re-run after a timeout
+  std::uint32_t commit_retransmits = 0;   ///< commit rounds beyond the first
+
+  std::uint64_t total_latency() const noexcept { return end - begin; }
+};
+
+/// Fixed-capacity ring of finished spans (most recent kept, oldest evicted).
+class TxnSpanLog {
+ public:
+  explicit TxnSpanLog(std::size_t capacity = 4096);
+
+  void record(const TxnSpan& span);
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Number of spans currently held (<= capacity).
+  std::size_t size() const noexcept { return size_; }
+  /// Total spans ever recorded, including evicted ones.
+  std::uint64_t total_recorded() const noexcept { return total_; }
+
+  /// i-th retained span, oldest first; throws std::out_of_range.
+  const TxnSpan& at(std::size_t i) const;
+
+  /// Retained spans, oldest first.
+  std::vector<TxnSpan> snapshot() const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<TxnSpan> slots_;
+  std::size_t head_ = 0;  ///< index of the oldest retained span
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace atrcp

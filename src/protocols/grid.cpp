@@ -30,7 +30,7 @@ std::optional<ReplicaId> Grid::pick_alive_in_column(
   return std::nullopt;
 }
 
-std::optional<Quorum> Grid::assemble_read_quorum(const FailureSet& failures,
+std::optional<Quorum> Grid::do_assemble_read_quorum(const FailureSet& failures,
                                                  Rng& rng) const {
   std::vector<ReplicaId> members;
   members.reserve(cols_);
@@ -42,7 +42,7 @@ std::optional<Quorum> Grid::assemble_read_quorum(const FailureSet& failures,
   return Quorum(std::move(members));
 }
 
-std::optional<Quorum> Grid::assemble_write_quorum(const FailureSet& failures,
+std::optional<Quorum> Grid::do_assemble_write_quorum(const FailureSet& failures,
                                                   Rng& rng) const {
   // Find a fully-alive column, starting the scan at a random offset so the
   // uniform column strategy is realized.

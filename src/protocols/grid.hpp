@@ -32,9 +32,9 @@ class Grid final : public ReplicaControlProtocol {
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
 
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   double read_cost() const override { return static_cast<double>(cols_); }

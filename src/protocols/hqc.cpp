@@ -59,14 +59,14 @@ std::optional<std::vector<ReplicaId>> Hqc::assemble(
   return std::nullopt;
 }
 
-std::optional<Quorum> Hqc::assemble_read_quorum(const FailureSet& failures,
+std::optional<Quorum> Hqc::do_assemble_read_quorum(const FailureSet& failures,
                                                 Rng& rng) const {
   auto members = assemble(0, 0, read_need_, failures, rng);
   if (!members) return std::nullopt;
   return Quorum(*std::move(members));
 }
 
-std::optional<Quorum> Hqc::assemble_write_quorum(const FailureSet& failures,
+std::optional<Quorum> Hqc::do_assemble_write_quorum(const FailureSet& failures,
                                                  Rng& rng) const {
   auto members = assemble(0, 0, write_need_, failures, rng);
   if (!members) return std::nullopt;

@@ -34,9 +34,9 @@ class Hqc final : public ReplicaControlProtocol {
   std::size_t universe_size() const override { return n_; }
   std::uint32_t depth() const noexcept { return depth_; }
 
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   /// Quorum sizes are exactly need^depth (n^0.63 for need = 2).

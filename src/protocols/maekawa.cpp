@@ -31,7 +31,7 @@ Quorum Maekawa::quorum_of(std::size_t row, std::size_t col) const {
   return Quorum(std::move(members));
 }
 
-std::optional<Quorum> Maekawa::assemble_read_quorum(const FailureSet& failures,
+std::optional<Quorum> Maekawa::do_assemble_read_quorum(const FailureSet& failures,
                                                     Rng& rng) const {
   // A quorum exists iff some row AND some column are fully alive; scan from
   // random offsets so the uniform site strategy is realized in expectation.
@@ -67,9 +67,9 @@ std::optional<Quorum> Maekawa::assemble_read_quorum(const FailureSet& failures,
   return quorum_of(alive_row, alive_col);
 }
 
-std::optional<Quorum> Maekawa::assemble_write_quorum(
+std::optional<Quorum> Maekawa::do_assemble_write_quorum(
     const FailureSet& failures, Rng& rng) const {
-  return assemble_read_quorum(failures, rng);
+  return do_assemble_read_quorum(failures, rng);
 }
 
 double Maekawa::exact_availability_dp(double p) const {
@@ -115,7 +115,7 @@ double Maekawa::read_availability(double p) const {
   return monte_carlo_availability(
       universe_size(), p, 20'000, rng, [this](const FailureSet& failures) {
         Rng probe(1);
-        return assemble_read_quorum(failures, probe).has_value();
+        return do_assemble_read_quorum(failures, probe).has_value();
       });
 }
 

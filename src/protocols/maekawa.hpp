@@ -31,9 +31,9 @@ class Maekawa final : public ReplicaControlProtocol {
   std::size_t universe_size() const override { return side_ * side_; }
   std::size_t side() const noexcept { return side_; }
 
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   double read_cost() const override {

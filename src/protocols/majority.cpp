@@ -31,12 +31,12 @@ std::optional<Quorum> MajorityQuorum::assemble(const FailureSet& failures,
   return Quorum(std::move(alive));
 }
 
-std::optional<Quorum> MajorityQuorum::assemble_read_quorum(
+std::optional<Quorum> MajorityQuorum::do_assemble_read_quorum(
     const FailureSet& failures, Rng& rng) const {
   return assemble(failures, rng);
 }
 
-std::optional<Quorum> MajorityQuorum::assemble_write_quorum(
+std::optional<Quorum> MajorityQuorum::do_assemble_write_quorum(
     const FailureSet& failures, Rng& rng) const {
   return assemble(failures, rng);
 }

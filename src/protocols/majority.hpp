@@ -21,9 +21,9 @@ class MajorityQuorum final : public ReplicaControlProtocol {
   /// Size of every quorum: floor(n/2) + 1.
   std::size_t quorum_size() const noexcept { return n_ / 2 + 1; }
 
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   double read_cost() const override {

@@ -2,7 +2,49 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace atrcp {
+
+std::optional<Quorum> ReplicaControlProtocol::assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  auto quorum = do_assemble_read_quorum(failures, rng);
+  observe(read_obs_, quorum);
+  return quorum;
+}
+
+std::optional<Quorum> ReplicaControlProtocol::assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  auto quorum = do_assemble_write_quorum(failures, rng);
+  observe(write_obs_, quorum);
+  return quorum;
+}
+
+void ReplicaControlProtocol::observe(
+    const QuorumObs& obs, const std::optional<Quorum>& quorum) const {
+  if (obs.attempts == nullptr) return;
+  obs.attempts->inc();
+  if (quorum.has_value()) {
+    obs.members->inc(quorum->size());
+  } else {
+    obs.failures->inc();
+  }
+}
+
+void ReplicaControlProtocol::attach_metrics(MetricsRegistry& registry) {
+  const std::string prefix = "quorum." + name() + ".";
+  read_obs_.attempts = &registry.counter(prefix + "read.attempts");
+  read_obs_.failures = &registry.counter(prefix + "read.failures");
+  read_obs_.members = &registry.counter(prefix + "read.members");
+  write_obs_.attempts = &registry.counter(prefix + "write.attempts");
+  write_obs_.failures = &registry.counter(prefix + "write.failures");
+  write_obs_.members = &registry.counter(prefix + "write.members");
+}
+
+void ReplicaControlProtocol::detach_metrics() noexcept {
+  read_obs_ = QuorumObs{};
+  write_obs_ = QuorumObs{};
+}
 
 std::vector<Quorum> ReplicaControlProtocol::enumerate_read_quorums(
     std::size_t /*limit*/) const {

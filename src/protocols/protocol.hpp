@@ -23,6 +23,9 @@
 
 namespace atrcp {
 
+class Counter;
+class MetricsRegistry;
+
 class ReplicaControlProtocol {
  public:
   virtual ~ReplicaControlProtocol() = default;
@@ -37,12 +40,24 @@ class ReplicaControlProtocol {
   /// protocol's quorum-picking strategy (Definition 2.4); a deterministic
   /// seed yields a deterministic quorum. Returns nullopt if no read quorum
   /// can be formed under the given failures.
-  virtual std::optional<Quorum> assemble_read_quorum(
-      const FailureSet& failures, Rng& rng) const = 0;
+  ///
+  /// Non-virtual: records attempt/failure/size counters when a registry is
+  /// attached, then delegates to the protocol's do_assemble_read_quorum.
+  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+                                             Rng& rng) const;
 
   /// Assemble a write quorum avoiding failed replicas; nullopt if impossible.
-  virtual std::optional<Quorum> assemble_write_quorum(
-      const FailureSet& failures, Rng& rng) const = 0;
+  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+                                              Rng& rng) const;
+
+  /// Attach quorum observability. Every subsequent assemble_* call tallies
+  /// into counters named "quorum.<name()>.<read|write>.{attempts,failures,
+  /// members}" — members is the running sum of assembled quorum sizes, so
+  /// members / (attempts - failures) is the measured mean quorum cost that
+  /// the benches check against the analytic read_cost()/write_cost(). The
+  /// registry must outlive the protocol (or detach_metrics first).
+  void attach_metrics(MetricsRegistry& registry);
+  void detach_metrics() noexcept;
 
   // -- analytic model ------------------------------------------------------
 
@@ -72,6 +87,26 @@ class ReplicaControlProtocol {
 
   /// All distinct write quorums, up to `limit`.
   virtual std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const;
+
+ protected:
+  /// The protocol-specific quorum assembly the public wrappers instrument.
+  virtual std::optional<Quorum> do_assemble_read_quorum(
+      const FailureSet& failures, Rng& rng) const = 0;
+  virtual std::optional<Quorum> do_assemble_write_quorum(
+      const FailureSet& failures, Rng& rng) const = 0;
+
+ private:
+  /// Counters owned by the attached registry; null while detached.
+  struct QuorumObs {
+    Counter* attempts = nullptr;
+    Counter* failures = nullptr;
+    Counter* members = nullptr;
+  };
+  void observe(const QuorumObs& obs,
+               const std::optional<Quorum>& quorum) const;
+
+  QuorumObs read_obs_{};
+  QuorumObs write_obs_{};
 };
 
 /// The paper's expected-load equations (Equation 3.2): what load the system

@@ -91,14 +91,14 @@ std::optional<std::vector<ReplicaId>> RootedTreeQuorum::write_rec(
   return std::nullopt;
 }
 
-std::optional<Quorum> RootedTreeQuorum::assemble_read_quorum(
+std::optional<Quorum> RootedTreeQuorum::do_assemble_read_quorum(
     const FailureSet& failures, Rng& rng) const {
   auto members = read_rec(0, 0, failures, rng);
   if (!members) return std::nullopt;
   return Quorum(*std::move(members));
 }
 
-std::optional<Quorum> RootedTreeQuorum::assemble_write_quorum(
+std::optional<Quorum> RootedTreeQuorum::do_assemble_write_quorum(
     const FailureSet& failures, Rng& rng) const {
   auto members = write_rec(0, 0, failures, rng);
   if (!members) return std::nullopt;

@@ -39,9 +39,9 @@ class RootedTreeQuorum final : public ReplicaControlProtocol {
   std::size_t universe_size() const override { return n_; }
   std::uint32_t height() const noexcept { return height_; }
 
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   /// Best-case read cost is 1 (the root). This reports the cost of the

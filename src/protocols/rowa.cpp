@@ -9,7 +9,7 @@ Rowa::Rowa(std::size_t n) : n_(n) {
   if (n == 0) throw std::invalid_argument("Rowa: n must be > 0");
 }
 
-std::optional<Quorum> Rowa::assemble_read_quorum(const FailureSet& failures,
+std::optional<Quorum> Rowa::do_assemble_read_quorum(const FailureSet& failures,
                                                  Rng& rng) const {
   // Uniform strategy over the n singleton read quorums: pick a random alive
   // replica. Start from a random offset so load spreads evenly.
@@ -21,7 +21,7 @@ std::optional<Quorum> Rowa::assemble_read_quorum(const FailureSet& failures,
   return std::nullopt;
 }
 
-std::optional<Quorum> Rowa::assemble_write_quorum(const FailureSet& failures,
+std::optional<Quorum> Rowa::do_assemble_write_quorum(const FailureSet& failures,
                                                   Rng& /*rng*/) const {
   std::vector<ReplicaId> all;
   all.reserve(n_);

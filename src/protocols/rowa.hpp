@@ -18,9 +18,9 @@ class Rowa final : public ReplicaControlProtocol {
   std::string name() const override { return "ROWA"; }
   std::size_t universe_size() const override { return n_; }
 
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   double read_cost() const override { return 1.0; }

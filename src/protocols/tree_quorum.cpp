@@ -50,16 +50,16 @@ std::optional<std::vector<ReplicaId>> TreeQuorum::assemble(
   return lq;
 }
 
-std::optional<Quorum> TreeQuorum::assemble_read_quorum(
+std::optional<Quorum> TreeQuorum::do_assemble_read_quorum(
     const FailureSet& failures, Rng& rng) const {
   auto members = assemble(0, failures, rng);
   if (!members) return std::nullopt;
   return Quorum(*std::move(members));
 }
 
-std::optional<Quorum> TreeQuorum::assemble_write_quorum(
+std::optional<Quorum> TreeQuorum::do_assemble_write_quorum(
     const FailureSet& failures, Rng& rng) const {
-  return assemble_read_quorum(failures, rng);
+  return do_assemble_read_quorum(failures, rng);
 }
 
 double TreeQuorum::analytic_cost() const {

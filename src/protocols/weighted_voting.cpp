@@ -68,12 +68,12 @@ std::optional<Quorum> WeightedVoting::assemble(std::uint64_t needed,
   return std::nullopt;
 }
 
-std::optional<Quorum> WeightedVoting::assemble_read_quorum(
+std::optional<Quorum> WeightedVoting::do_assemble_read_quorum(
     const FailureSet& failures, Rng& rng) const {
   return assemble(read_votes_, failures, rng);
 }
 
-std::optional<Quorum> WeightedVoting::assemble_write_quorum(
+std::optional<Quorum> WeightedVoting::do_assemble_write_quorum(
     const FailureSet& failures, Rng& rng) const {
   return assemble(write_votes_, failures, rng);
 }

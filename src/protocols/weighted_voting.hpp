@@ -41,9 +41,9 @@ class WeightedVoting final : public ReplicaControlProtocol {
   std::uint64_t write_votes() const noexcept { return write_votes_; }
   const std::vector<std::uint32_t>& votes() const noexcept { return votes_; }
 
-  std::optional<Quorum> assemble_read_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
                                              Rng& rng) const override;
-  std::optional<Quorum> assemble_write_quorum(const FailureSet& failures,
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
                                               Rng& rng) const override;
 
   /// Expected members contacted by the greedy random assembly, estimated

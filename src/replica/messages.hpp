@@ -46,6 +46,10 @@ struct ReadReply final : MessageBody {
   bool has_value = false;
   Value value;
   Timestamp timestamp;
+
+  std::size_t modelled_bytes() const override {
+    return kEnvelopeBytes + value.size();
+  }
 };
 
 /// Liveness probe (heartbeat detector -> replica); answered with PongReply
@@ -65,6 +69,10 @@ struct ApplyRequest final : MessageBody {
   Key key = 0;
   Value value;
   Timestamp timestamp;
+
+  std::size_t modelled_bytes() const override {
+    return kEnvelopeBytes + value.size();
+  }
 };
 
 /// One write as staged on a participant.
@@ -77,6 +85,13 @@ struct StagedWrite {
 struct PrepareRequest final : MessageBody {
   TxnId txn_id = 0;
   std::vector<StagedWrite> writes;
+
+  std::size_t modelled_bytes() const override {
+    // Envelope plus key+timestamp (24 bytes modelled) and payload per write.
+    std::size_t bytes = kEnvelopeBytes;
+    for (const StagedWrite& write : writes) bytes += 24 + write.value.size();
+    return bytes;
+  }
 };
 
 struct PrepareVote final : MessageBody {

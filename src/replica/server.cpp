@@ -2,11 +2,26 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace atrcp {
 
 ReplicaServer::ReplicaServer(Network& network) : network_(network) {}
+
+void ReplicaServer::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    reads_obs_ = versions_obs_ = staged_obs_ = applied_obs_ = aborts_obs_ =
+        repairs_obs_ = nullptr;
+    return;
+  }
+  reads_obs_ = &registry->counter("replica.reads_served");
+  versions_obs_ = &registry->counter("replica.versions_served");
+  staged_obs_ = &registry->counter("replica.writes_staged");
+  applied_obs_ = &registry->counter("replica.writes_applied");
+  aborts_obs_ = &registry->counter("replica.aborts_seen");
+  repairs_obs_ = &registry->counter("replica.repairs_applied");
+}
 
 void ReplicaServer::on_message(const Message& message) {
   ATRCP_CHECK(message.body != nullptr);
@@ -23,7 +38,10 @@ void ReplicaServer::on_message(const Message& message) {
   } else if (const auto* m = dynamic_cast<const AbortRequest*>(&body)) {
     handle(*m, message.from);
   } else if (const auto* m = dynamic_cast<const ApplyRequest*>(&body)) {
-    if (store_.apply(m->key, m->value, m->timestamp)) ++repairs_applied_;
+    if (store_.apply(m->key, m->value, m->timestamp)) {
+      ++repairs_applied_;
+      if (repairs_obs_ != nullptr) repairs_obs_->inc();
+    }
   } else if (const auto* m = dynamic_cast<const PingRequest*>(&body)) {
     auto pong = std::make_shared<PongReply>();
     pong->sequence = m->sequence;
@@ -34,6 +52,7 @@ void ReplicaServer::on_message(const Message& message) {
 
 void ReplicaServer::handle(const VersionRequest& request, SiteId from) {
   ++versions_served_;
+  if (versions_obs_ != nullptr) versions_obs_->inc();
   auto reply = std::make_shared<VersionReply>();
   reply->op_id = request.op_id;
   reply->key = request.key;
@@ -43,6 +62,7 @@ void ReplicaServer::handle(const VersionRequest& request, SiteId from) {
 
 void ReplicaServer::handle(const ReadRequest& request, SiteId from) {
   ++reads_served_;
+  if (reads_obs_ != nullptr) reads_obs_->inc();
   auto reply = std::make_shared<ReadReply>();
   reply->op_id = request.op_id;
   reply->key = request.key;
@@ -70,6 +90,7 @@ void ReplicaServer::handle(const PrepareRequest& request, SiteId from) {
     // always succeeds while it is up (a down site simply never replies and
     // the coordinator counts it as a no).
     prepared_[request.txn_id] = request.writes;
+    if (staged_obs_ != nullptr) staged_obs_->inc(request.writes.size());
     vote->yes = true;
   }
   network_.send(site_, from, std::move(vote));
@@ -81,6 +102,7 @@ void ReplicaServer::handle(const CommitRequest& request, SiteId from) {
     for (const StagedWrite& write : it->second) {
       store_.apply(write.key, write.value, write.timestamp);
     }
+    if (applied_obs_ != nullptr) applied_obs_->inc(it->second.size());
     prepared_.erase(it);
     decided_[request.txn_id] = true;
     ++commits_applied_;
@@ -95,6 +117,7 @@ void ReplicaServer::handle(const AbortRequest& request, SiteId from) {
   if (prepared_.erase(request.txn_id) > 0) {
     decided_[request.txn_id] = false;
     ++aborts_seen_;
+    if (aborts_obs_ != nullptr) aborts_obs_->inc();
   }
   auto ack = std::make_shared<AbortAck>();
   ack->txn_id = request.txn_id;

@@ -20,6 +20,9 @@
 
 namespace atrcp {
 
+class Counter;
+class MetricsRegistry;
+
 class ReplicaServer final : public SiteHandler {
  public:
   /// The server must be registered with the network by the caller (the
@@ -29,6 +32,13 @@ class ReplicaServer final : public SiteHandler {
 
   void set_site(SiteId site) noexcept { site_ = site; }
   SiteId site() const noexcept { return site_; }
+
+  /// Attaches fleet-wide replica counters (nullptr detaches):
+  /// replica.{reads_served,versions_served,writes_staged,writes_applied,
+  /// aborts_seen,repairs_applied}. Every server of a cluster shares the
+  /// same counters, so the registry reports aggregate replica work; the
+  /// per-server tallies below remain available for per-replica shares.
+  void set_metrics(MetricsRegistry* registry);
 
   const VersionedStore& store() const noexcept { return store_; }
   VersionedStore& store() noexcept { return store_; }
@@ -71,6 +81,14 @@ class ReplicaServer final : public SiteHandler {
   std::uint64_t commits_applied_ = 0;
   std::uint64_t aborts_seen_ = 0;
   std::uint64_t repairs_applied_ = 0;
+
+  /// Registry-owned counters; null while detached.
+  Counter* reads_obs_ = nullptr;
+  Counter* versions_obs_ = nullptr;
+  Counter* staged_obs_ = nullptr;
+  Counter* applied_obs_ = nullptr;
+  Counter* aborts_obs_ = nullptr;
+  Counter* repairs_obs_ = nullptr;
 };
 
 }  // namespace atrcp

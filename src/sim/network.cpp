@@ -1,10 +1,46 @@
 #include "sim/network.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
 namespace atrcp {
+
+void Network::set_metrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  link_obs_.clear();
+  if (registry == nullptr) {
+    sent_obs_ = delivered_obs_ = dropped_obs_ = bytes_sent_obs_ = nullptr;
+    return;
+  }
+  sent_obs_ = &registry->counter("net.sent");
+  delivered_obs_ = &registry->counter("net.delivered");
+  dropped_obs_ = &registry->counter("net.dropped");
+  bytes_sent_obs_ = &registry->counter("net.bytes_sent");
+}
+
+Network::LinkObs& Network::link_obs(SiteId from, SiteId to) {
+  const auto key = std::pair{from, to};
+  const auto it = link_obs_.find(key);
+  if (it != link_obs_.end()) return it->second;
+  const std::string prefix = "net.link." + std::to_string(from) + "->" +
+                             std::to_string(to) + ".";
+  LinkObs obs;
+  obs.sent = &metrics_->counter(prefix + "sent");
+  obs.delivered = &metrics_->counter(prefix + "delivered");
+  obs.dropped = &metrics_->counter(prefix + "dropped");
+  return link_obs_.emplace(key, obs).first->second;
+}
+
+void Network::count_drop(SiteId from, SiteId to) {
+  ++dropped_;
+  if (metrics_ != nullptr) {
+    dropped_obs_->inc();
+    link_obs(from, to).dropped->inc();
+  }
+}
 
 void Network::trace(std::uint8_t event, SiteId from, SiteId to,
                     const MessageBody& body) const {
@@ -73,16 +109,21 @@ void Network::send(SiteId from, SiteId to,
   check_site(to);
   if (!body) throw std::invalid_argument("Network::send: null body");
   ++sent_;
+  if (metrics_ != nullptr) {
+    sent_obs_->inc();
+    bytes_sent_obs_->inc(body->modelled_bytes());
+    link_obs(from, to).sent->inc();
+  }
   trace(static_cast<std::uint8_t>(TraceEvent::kSend), from, to, *body);
 
   if (!up_[from]) {  // a crashed site sends nothing
-    ++dropped_;
+    count_drop(from, to);
     trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
     return;
   }
   const LinkParams& params = link(from, to);
   if (params.severed || rng_.chance(params.drop_probability)) {
-    ++dropped_;
+    count_drop(from, to);
     trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
     return;
   }
@@ -93,11 +134,15 @@ void Network::send(SiteId from, SiteId to,
     // Delivery-time checks: the destination may have crashed or a partition
     // may have formed while the message was in flight.
     if (!up_[to] || partition_[from] != partition_[to]) {
-      ++dropped_;
+      count_drop(from, to);
       trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
       return;
     }
     ++delivered_;
+    if (metrics_ != nullptr) {
+      delivered_obs_->inc();
+      link_obs(from, to).delivered->inc();
+    }
     trace(static_cast<std::uint8_t>(TraceEvent::kDeliver), from, to, *body);
     sites_[to]->on_message(Message{from, to, body});
   });

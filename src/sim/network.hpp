@@ -21,10 +21,20 @@ namespace atrcp {
 /// Unique site identifier (the paper's SID). Dense, starting at 0.
 using SiteId = std::uint32_t;
 
+class Counter;
+class MetricsRegistry;
+
 /// Base class of everything shipped through the network. Concrete message
 /// types live with the subsystem that owns them (see replica/messages.hpp).
 struct MessageBody {
   virtual ~MessageBody() = default;
+
+  /// Modelled wire size in bytes: a fixed per-message envelope plus the
+  /// payload a real serialization would carry. Purely an accounting figure
+  /// for the metrics layer — latency is still governed by LinkParams.
+  virtual std::size_t modelled_bytes() const { return kEnvelopeBytes; }
+
+  static constexpr std::size_t kEnvelopeBytes = 64;
 };
 
 struct Message {
@@ -95,9 +105,22 @@ class Network {
   /// default and costs nothing when off.
   void set_trace_sink(class TraceSink* sink) noexcept { trace_ = sink; }
 
+  /// Attaches a metrics registry (nullptr detaches): aggregate counters
+  /// net.{sent,delivered,dropped,bytes_sent} plus per-directed-link
+  /// counters net.link.<from>-><to>.{sent,delivered,dropped}, created
+  /// lazily the first time a link carries traffic. The registry must
+  /// outlive the network or be detached first. Off by default.
+  void set_metrics(MetricsRegistry* registry);
+
   Scheduler& scheduler() noexcept { return scheduler_; }
 
  private:
+  struct LinkObs {
+    Counter* sent = nullptr;
+    Counter* delivered = nullptr;
+    Counter* dropped = nullptr;
+  };
+
   void check_site(SiteId site) const;
   static std::pair<SiteId, SiteId> ordered(SiteId a, SiteId b) noexcept {
     return a < b ? std::pair{a, b} : std::pair{b, a};
@@ -105,10 +128,18 @@ class Network {
 
   void trace(std::uint8_t event, SiteId from, SiteId to,
              const MessageBody& body) const;
+  LinkObs& link_obs(SiteId from, SiteId to);
+  void count_drop(SiteId from, SiteId to);
 
   Scheduler& scheduler_;
   Rng rng_;
   class TraceSink* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* sent_obs_ = nullptr;
+  Counter* delivered_obs_ = nullptr;
+  Counter* dropped_obs_ = nullptr;
+  Counter* bytes_sent_obs_ = nullptr;
+  std::map<std::pair<SiteId, SiteId>, LinkObs> link_obs_;
   LinkParams default_link_;
   std::vector<SiteHandler*> sites_;
   std::vector<bool> up_;

@@ -9,12 +9,15 @@ namespace atrcp {
 
 Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
                  ClusterOptions options)
-    : protocol_(std::move(protocol)),
+    : spans_(options.span_log_capacity),
+      protocol_(std::move(protocol)),
       network_(scheduler_, Rng(options.seed), options.link) {
   if (!protocol_) throw std::invalid_argument("Cluster: null protocol");
   if (options.clients == 0) {
     throw std::invalid_argument("Cluster: need at least one client");
   }
+  protocol_->attach_metrics(metrics_);
+  network_.set_metrics(&metrics_);
   Rng seeder(options.seed ^ 0x5DEECE66DULL);
 
   const std::size_t n = protocol_->universe_size();
@@ -26,6 +29,7 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
     const SiteId site = network_.add_site(*server);
     ATRCP_CHECK(site == r);  // replica id == site id by construction
     server->set_site(site);
+    server->set_metrics(&metrics_);
     replica_sites.push_back(site);
     servers_.push_back(std::move(server));
   }
@@ -49,6 +53,7 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
         seeder.fork(), options.coordinator, failure_view);
     const SiteId site = network_.add_site(*coordinator);
     coordinator->set_site(site);
+    coordinator->set_metrics(&metrics_, &spans_);
     coordinators_.push_back(std::move(coordinator));
   }
 }
@@ -101,6 +106,7 @@ void Cluster::reconfigure(std::unique_ptr<ReplicaControlProtocol> next) {
     }
   }
   protocol_ = std::move(next);
+  protocol_->attach_metrics(metrics_);
   for (const auto& coordinator : coordinators_) {
     coordinator->set_protocol(*protocol_);
   }

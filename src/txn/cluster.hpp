@@ -13,6 +13,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "protocols/protocol.hpp"
 #include "replica/server.hpp"
 #include "sim/failure.hpp"
@@ -34,6 +36,8 @@ struct ClusterOptions {
   /// the realistic reading of the paper's "failures are detectable".
   bool use_heartbeat_detector = false;
   DetectorOptions detector{};
+  /// Capacity of the per-cluster TxnSpanLog ring (most recent spans kept).
+  std::size_t span_log_capacity = 4096;
 };
 
 class Cluster {
@@ -53,6 +57,18 @@ class Cluster {
 
   std::size_t replica_count() const noexcept { return servers_.size(); }
   std::size_t client_count() const noexcept { return coordinators_.size(); }
+
+  /// The cluster-wide metrics registry. Every component is wired into it at
+  /// construction: the protocol (quorum.* counters), the network (net.*),
+  /// all replica servers (replica.*) and all coordinators (txn.* counters
+  /// plus txn.latency.* histograms). metrics().to_json(out) snapshots the
+  /// whole system; under a fixed seed the snapshot is byte-deterministic.
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Ring of the most recent finished transaction spans across all clients.
+  TxnSpanLog& spans() noexcept { return spans_; }
+  const TxnSpanLog& spans() const noexcept { return spans_; }
 
   /// Non-null iff use_heartbeat_detector was set.
   HeartbeatDetector* detector() noexcept { return detector_.get(); }
@@ -92,6 +108,10 @@ class Cluster {
   void reconfigure(std::unique_ptr<ReplicaControlProtocol> next);
 
  private:
+  // Declared first so instrument pointers held by the components below stay
+  // valid for their whole lifetime (members destroy in reverse order).
+  MetricsRegistry metrics_;
+  TxnSpanLog spans_;
   std::unique_ptr<ReplicaControlProtocol> protocol_;
   Scheduler scheduler_;
   Network network_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace atrcp {
@@ -26,6 +27,31 @@ Coordinator::Coordinator(Network& network, Scheduler& scheduler,
   for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
     site_to_replica_[replica_sites_[r]] = static_cast<ReplicaId>(r);
   }
+}
+
+void Coordinator::set_metrics(MetricsRegistry* registry, TxnSpanLog* spans) {
+  if (registry == nullptr) {
+    obs_ = Obs{};
+    spans_ = nullptr;
+    return;
+  }
+  obs_.committed = &registry->counter("txn.committed");
+  obs_.aborted = &registry->counter("txn.aborted");
+  obs_.blocked = &registry->counter("txn.blocked");
+  obs_.lock_timeouts = &registry->counter("txn.lock_timeouts");
+  obs_.quorum_rounds = &registry->counter("txn.quorum_rounds");
+  obs_.quorum_reassemblies = &registry->counter("txn.quorum_reassemblies");
+  obs_.quorum_unavailable = &registry->counter("txn.quorum_unavailable");
+  obs_.commit_retransmits = &registry->counter("txn.commit_retransmits");
+  obs_.read_repairs = &registry->counter("txn.read_repairs_sent");
+  const auto& bounds = MetricsRegistry::latency_bounds_us();
+  obs_.latency_total = &registry->histogram("txn.latency.total_us", bounds);
+  obs_.latency_lock_wait =
+      &registry->histogram("txn.latency.lock_wait_us", bounds);
+  obs_.latency_execute =
+      &registry->histogram("txn.latency.execute_us", bounds);
+  obs_.latency_commit = &registry->histogram("txn.latency.commit_us", bounds);
+  spans_ = spans;
 }
 
 void Coordinator::set_protocol(const ReplicaControlProtocol& protocol) {
@@ -71,6 +97,8 @@ void Coordinator::run(std::vector<TxnOp> ops, TxnCallback done) {
   txn.ops = std::move(ops);
   txn.done = std::move(done);
   txn.suspected = FailureSet(protocol_->universe_size());
+  txn.span.txn_id = id;
+  txn.span.begin = scheduler_.now();
 
   // Lock plan: one lock per distinct key, exclusive if any op writes it,
   // in ascending key order (reduces deadlocks among well-behaved clients).
@@ -108,6 +136,7 @@ void Coordinator::acquire_next_lock(TxnId id) {
   Txn* txn = find(id);
   ATRCP_CHECK(txn != nullptr);
   if (txn->next_lock >= txn->lock_plan.size()) {
+    txn->span.locks_acquired = scheduler_.now();
     start_next_op(id);
     return;
   }
@@ -121,6 +150,7 @@ void Coordinator::acquire_next_lock(TxnId id) {
       return;  // lock was granted (or txn finished) in the meantime
     }
     locks_.cancel(id, key);
+    if (obs_.lock_timeouts != nullptr) obs_.lock_timeouts->inc();
     abort_txn(id, "lock timeout on key " + std::to_string(key));
   });
   locks_.acquire(id, key, mode, [this, id] { on_lock_granted(id); });
@@ -157,9 +187,12 @@ void Coordinator::begin_read_round(TxnId id) {
   const FailureSet view = combined_failures(*txn);
   const auto quorum = protocol_->assemble_read_quorum(view, rng_);
   if (!quorum) {
+    if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
     abort_txn(id, "read quorum unavailable");
     return;
   }
+  ++txn->span.quorum_rounds;
+  if (obs_.quorum_rounds != nullptr) obs_.quorum_rounds->inc();
   txn->op_id = next_op_id_++;
   txn->awaiting.clear();
   txn->best_ts = kInitialTimestamp;
@@ -186,9 +219,12 @@ void Coordinator::begin_version_round(TxnId id) {
   const FailureSet view = combined_failures(*txn);
   const auto quorum = protocol_->assemble_read_quorum(view, rng_);
   if (!quorum) {
+    if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
     abort_txn(id, "version (read) quorum unavailable");
     return;
   }
+  ++txn->span.quorum_rounds;
+  if (obs_.quorum_rounds != nullptr) obs_.quorum_rounds->inc();
   txn->op_id = next_op_id_++;
   txn->awaiting.clear();
   txn->best_ts = kInitialTimestamp;
@@ -221,6 +257,8 @@ void Coordinator::on_round_timeout(TxnId id, OpId op_id) {
     abort_txn(id, "quorum round retries exhausted");
     return;
   }
+  ++txn->span.quorum_reassemblies;
+  if (obs_.quorum_reassemblies != nullptr) obs_.quorum_reassemblies->inc();
   if (txn->phase == Phase::kReadQuorum) {
     begin_read_round(id);
   } else {
@@ -267,6 +305,7 @@ void Coordinator::finish_read_op(TxnId id) {
         repair->key = key;
         repair->value = txn->best_value->value;
         repair->timestamp = txn->best_ts;
+        if (obs_.read_repairs != nullptr) obs_.read_repairs->inc();
         network_.send(site_, member, std::move(repair));
       }
     }
@@ -293,6 +332,7 @@ void Coordinator::finish_version_op(TxnId id) {
   const FailureSet view = combined_failures(*txn);
   const auto quorum = protocol_->assemble_write_quorum(view, rng_);
   if (!quorum) {
+    if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
     abort_txn(id, "write quorum unavailable");
     return;
   }
@@ -309,6 +349,7 @@ void Coordinator::finish_version_op(TxnId id) {
 void Coordinator::begin_prepare(TxnId id) {
   Txn* txn = find(id);
   ATRCP_CHECK(txn != nullptr);
+  txn->span.ops_done = scheduler_.now();
   if (txn->staged.empty()) {  // read-only transaction: nothing to commit
     finish(id, TxnOutcome::kCommitted);
     return;
@@ -348,6 +389,7 @@ void Coordinator::handle(const PrepareVote& vote, SiteId from) {
   }
   if (txn->votes_pending.empty()) {
     // All yes: the transaction is decided-committed from this instant.
+    txn->span.decided = scheduler_.now();
     txn->phase = Phase::kCommitting;
     txn->acks_pending.clear();
     for (const auto& entry : txn->staged) {
@@ -383,6 +425,8 @@ void Coordinator::on_commit_tick(TxnId id) {
     finish(id, TxnOutcome::kBlocked);
     return;
   }
+  ++txn->span.commit_retransmits;
+  if (obs_.commit_retransmits != nullptr) obs_.commit_retransmits->inc();
   send_commits(id);
   scheduler_.schedule_after(options_.commit_retry_interval,
                             [this, id] { on_commit_tick(id); });
@@ -417,6 +461,29 @@ void Coordinator::finish(TxnId id, TxnOutcome outcome) {
   TxnResult result = std::move(it->second.result);
   result.outcome = outcome;
   TxnCallback done = std::move(it->second.done);
+
+  TxnSpan span = it->second.span;
+  span.end = scheduler_.now();
+  span.outcome = static_cast<std::uint8_t>(outcome);
+  if (obs_.latency_total != nullptr) {
+    obs_.latency_total->record(span.end - span.begin);
+    if (span.locks_acquired != TxnSpan::kUnset) {
+      obs_.latency_lock_wait->record(span.locks_acquired - span.begin);
+      if (span.ops_done != TxnSpan::kUnset) {
+        obs_.latency_execute->record(span.ops_done - span.locks_acquired);
+      }
+    }
+    if (span.ops_done != TxnSpan::kUnset) {
+      obs_.latency_commit->record(span.end - span.ops_done);
+    }
+    switch (outcome) {
+      case TxnOutcome::kCommitted: obs_.committed->inc(); break;
+      case TxnOutcome::kAborted: obs_.aborted->inc(); break;
+      case TxnOutcome::kBlocked: obs_.blocked->inc(); break;
+    }
+  }
+  if (spans_ != nullptr) spans_->record(span);
+
   txns_.erase(it);
   locks_.release_all(id);
   switch (outcome) {

@@ -33,6 +33,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "protocols/protocol.hpp"
 #include "replica/messages.hpp"
 #include "sim/failure.hpp"
@@ -40,6 +41,9 @@
 #include "txn/lock_manager.hpp"
 
 namespace atrcp {
+
+class Histogram;
+class MetricsRegistry;
 
 /// Final state of a transaction.
 enum class TxnOutcome : std::uint8_t {
@@ -97,6 +101,16 @@ class Coordinator final : public SiteHandler {
   void set_site(SiteId site) noexcept { site_ = site; }
   SiteId site() const noexcept { return site_; }
 
+  /// Attaches transaction observability (nullptr registry detaches both):
+  /// outcome counters txn.{committed,aborted,blocked}, event counters
+  /// txn.{lock_timeouts,quorum_rounds,quorum_reassemblies,
+  /// quorum_unavailable,commit_retransmits,read_repairs_sent}, and
+  /// fixed-bucket SimTime histograms txn.latency.{total,lock_wait,execute,
+  /// commit}_us. When `spans` is non-null every finished transaction's
+  /// TxnSpan is recorded there. Both must outlive the coordinator or be
+  /// detached first.
+  void set_metrics(MetricsRegistry* registry, TxnSpanLog* spans = nullptr);
+
   /// Swaps the protocol driving quorum choices — the reconfiguration hook
   /// (the paper's §3.3: shifting configurations only re-shapes the tree).
   /// The new protocol must manage the same universe (same replica count)
@@ -140,6 +154,7 @@ class Coordinator final : public SiteHandler {
     TxnCallback done;
     Phase phase = Phase::kLocking;
     TxnResult result;
+    TxnSpan span;  ///< phase timestamps + round counters for observability
 
     // locking
     std::vector<std::pair<Key, LockMode>> lock_plan;
@@ -162,6 +177,23 @@ class Coordinator final : public SiteHandler {
     std::set<SiteId> votes_pending;
     std::set<SiteId> acks_pending;
     int commit_retries = 0;
+  };
+
+  /// Registry-owned instruments; all null while detached.
+  struct Obs {
+    Counter* committed = nullptr;
+    Counter* aborted = nullptr;
+    Counter* blocked = nullptr;
+    Counter* lock_timeouts = nullptr;
+    Counter* quorum_rounds = nullptr;
+    Counter* quorum_reassemblies = nullptr;
+    Counter* quorum_unavailable = nullptr;
+    Counter* commit_retransmits = nullptr;
+    Counter* read_repairs = nullptr;
+    Histogram* latency_total = nullptr;
+    Histogram* latency_lock_wait = nullptr;
+    Histogram* latency_execute = nullptr;
+    Histogram* latency_commit = nullptr;
   };
 
   Txn* find(TxnId id);
@@ -199,6 +231,8 @@ class Coordinator final : public SiteHandler {
   CoordinatorOptions options_;
   const FailureSet* failures_;
   SiteId site_ = 0;
+  Obs obs_{};
+  TxnSpanLog* spans_ = nullptr;
 
   std::map<TxnId, Txn> txns_;
   std::uint64_t next_txn_seq_ = 1;

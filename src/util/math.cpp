@@ -48,9 +48,20 @@ std::uint64_t isqrt(std::uint64_t x) {
   if (x == 0) return 0;
   auto guess = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
   // std::sqrt can be off by one ulp near perfect squares; fix up exactly.
-  while (guess > 0 && guess * guess > x) --guess;
-  while ((guess + 1) * (guess + 1) <= x) ++guess;
+  // Compare via division: guess*guess (and worse, (guess+1)*(guess+1) when
+  // guess is already 2^32) wraps modulo 2^64 — for x near UINT64_MAX the
+  // wrapped product is tiny and a product-based loop walks off the answer.
+  // guess > x / guess  <=>  guess * guess > x for positive integers.
+  while (guess > 0 && guess > x / guess) --guess;
+  while (guess + 1 <= x / (guess + 1)) ++guess;
   return guess;
+}
+
+std::optional<std::uint64_t> checked_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::nullopt;
+  }
+  return a * b;
 }
 
 bool approx_equal(double a, double b, double rtol, double atol) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace atrcp {
@@ -25,6 +26,11 @@ bool is_power_of_two(std::uint64_t x);
 
 /// The largest s with s*s <= x (integer square root).
 std::uint64_t isqrt(std::uint64_t x);
+
+/// a * b, or nullopt if the product does not fit in 64 bits. For counting
+/// code (quorum enumeration bounds) that must detect overflow instead of
+/// silently wrapping or rounding through double.
+std::optional<std::uint64_t> checked_mul(std::uint64_t a, std::uint64_t b);
 
 /// Relative-or-absolute tolerance comparison used throughout the tests:
 /// |a-b| <= atol + rtol*max(|a|,|b|).

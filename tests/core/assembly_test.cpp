@@ -1,0 +1,121 @@
+// Statistical and availability properties of live quorum assembly under
+// partial failures (Definition 2.4's random strategy executed against a
+// failure set): the read pick is uniform over the ALIVE replicas of each
+// physical level, the write pick uniform over the surviving full levels,
+// and assembly returns nullopt exactly when the paper says the operation
+// is unavailable (a physical level fully dead for reads; no full level
+// alive for writes). All draws use fixed seeds, so the counts — and hence
+// the tolerance checks — are deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+
+namespace atrcp {
+namespace {
+
+ArbitraryProtocol paper_tree() {
+  return ArbitraryProtocol(ArbitraryTree::from_spec("1-3-5"));
+}
+
+// Frequency check in the spirit of a chi-squared test: with `trials` draws
+// over `options` equally likely outcomes, each observed count lies within
+// 5 standard deviations of trials/options (for a binomial count the sd is
+// sqrt(trials * q * (1-q)), q = 1/options). Deterministic under the fixed
+// seed; 5 sd leaves enormous headroom against an unlucky seed while any
+// systematic bias (a skipped replica, an off-by-one in the alive-indexing)
+// lands tens of sds out.
+void expect_uniform(const std::map<ReplicaId, int>& counts, int trials,
+                    std::size_t options) {
+  const double q = 1.0 / static_cast<double>(options);
+  const double expected = trials * q;
+  const double sd = std::sqrt(trials * q * (1.0 - q));
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count, expected, 5.0 * sd) << "replica " << id;
+  }
+}
+
+TEST(AssemblyTest, ReadPickUniformOverAliveReplicasPerLevel) {
+  const auto protocol = paper_tree();
+  // Kill one replica in each physical level: level 1 keeps {0, 2}, level 2
+  // keeps {3, 5, 6, 7}.
+  FailureSet failures(8);
+  failures.fail(1);
+  failures.fail(4);
+  Rng rng(11);
+  const int trials = 6000;
+  std::map<ReplicaId, int> level1;
+  std::map<ReplicaId, int> level2;
+  for (int i = 0; i < trials; ++i) {
+    const auto q = protocol.assemble_read_quorum(failures, rng);
+    ASSERT_TRUE(q.has_value());
+    ASSERT_EQ(q->size(), 2u);
+    ++level1[q->members()[0]];
+    ++level2[q->members()[1]];
+  }
+  ASSERT_EQ(level1.size(), 2u);  // exactly the alive level-1 replicas
+  EXPECT_EQ(level1.count(1), 0u);
+  ASSERT_EQ(level2.size(), 4u);
+  EXPECT_EQ(level2.count(4), 0u);
+  expect_uniform(level1, trials, 2);
+  expect_uniform(level2, trials, 4);
+}
+
+TEST(AssemblyTest, WritePickUniformOverSurvivingFullLevels) {
+  const auto protocol = paper_tree();
+  const FailureSet none(8);
+  Rng rng(12);
+  const int trials = 6000;
+  std::map<ReplicaId, int> first_member;  // 0 => level 1, 3 => level 2
+  for (int i = 0; i < trials; ++i) {
+    const auto q = protocol.assemble_write_quorum(none, rng);
+    ASSERT_TRUE(q.has_value());
+    ++first_member[q->members().front()];
+  }
+  ASSERT_EQ(first_member.size(), 2u);
+  expect_uniform(first_member, trials, 2);
+}
+
+TEST(AssemblyTest, ReadNulloptIffSomePhysicalLevelFullyDead) {
+  const auto protocol = paper_tree();
+  Rng rng(13);
+  // All of level 1 dead: unavailable no matter how healthy level 2 is.
+  FailureSet level1_dead(8);
+  for (ReplicaId id : {0, 1, 2}) level1_dead.fail(id);
+  EXPECT_FALSE(protocol.assemble_read_quorum(level1_dead, rng).has_value());
+  // One survivor per level: still available, and the quorum is forced.
+  FailureSet barely(8);
+  for (ReplicaId id : {0, 1, 3, 4, 5, 6}) barely.fail(id);
+  for (int i = 0; i < 10; ++i) {
+    const auto q = protocol.assemble_read_quorum(barely, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, Quorum({2, 7}));
+  }
+}
+
+TEST(AssemblyTest, WriteNulloptIffNoFullLevelSurvives) {
+  const auto protocol = paper_tree();
+  Rng rng(14);
+  // One hole in each level: no full level left, write unavailable — while
+  // a read quorum still exists from the same failure set.
+  FailureSet holes(8);
+  holes.fail(0);
+  holes.fail(7);
+  EXPECT_FALSE(protocol.assemble_write_quorum(holes, rng).has_value());
+  EXPECT_TRUE(protocol.assemble_read_quorum(holes, rng).has_value());
+  // Level 2 entirely dead but level 1 intact: writes go through level 1.
+  FailureSet level2_dead(8);
+  for (ReplicaId id : {3, 4, 5, 6, 7}) level2_dead.fail(id);
+  for (int i = 0; i < 10; ++i) {
+    const auto q = protocol.assemble_write_quorum(level2_dead, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, Quorum({0, 1, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

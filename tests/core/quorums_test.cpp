@@ -107,6 +107,17 @@ TEST(ArbitraryProtocolTest, EnumerationLimitRespected) {
   EXPECT_THROW(protocol.enumerate_write_quorums(1), std::length_error);
 }
 
+TEST(ArbitraryProtocolTest, EnumerationLimitBoundaryIsExact) {
+  // Regression: the limit guard used to compare the analytic quorum count,
+  // a double, against the limit — exact at m(R) = 15, but an integer
+  // comparison by contract: limit == m(R) must enumerate, m(R) - 1 must
+  // throw. Checked in exact uint64 arithmetic now.
+  const auto protocol = paper_tree();
+  EXPECT_EQ(protocol.enumerate_read_quorums(15).size(), 15u);
+  EXPECT_THROW(protocol.enumerate_read_quorums(14), std::length_error);
+  EXPECT_EQ(protocol.enumerate_write_quorums(2).size(), 2u);
+}
+
 TEST(ArbitraryProtocolTest, ReadLoadMatchesLpOptimum) {
   // Appendix 6.1: L_RD = 1/d. The LP over all enumerated read quorums must
   // agree exactly.

@@ -1,0 +1,180 @@
+// The metrics registry: instrument semantics, JSON determinism, and the
+// end-to-end check the obs layer exists for — an executed Table 1 workload
+// whose measured quorum costs reproduce Facts 3.2.1/3.2.2.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(CounterTest, IncrementsAndDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(HistogramTest, BucketizesAtBoundsInclusively) {
+  Histogram h({10, 100, 1000});
+  h.record(0);
+  h.record(10);    // <= 10: first bucket
+  h.record(11);    // second bucket
+  h.record(1000);  // last bucket, inclusive
+  h.record(1001);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 1000 + 1001);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1001u);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2022.0 / 5.0);
+}
+
+TEST(HistogramTest, EmptyAndInvalidBounds) {
+  Histogram h({5});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({3, 3}), std::invalid_argument);
+  EXPECT_THROW(Histogram({5, 2}), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  a.inc(3);
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.counter_count(), 1u);
+  EXPECT_EQ(registry.find_counter("x")->value(), 3u);
+  EXPECT_EQ(registry.find_counter("y"), nullptr);
+}
+
+TEST(MetricsRegistryTest, NameNamesExactlyOneKind) {
+  MetricsRegistry registry;
+  registry.counter("n");
+  EXPECT_THROW(registry.gauge("n"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("n", {1, 2}), std::invalid_argument);
+  registry.histogram("h", {1, 2});
+  EXPECT_THROW(registry.histogram("h", {1, 3}), std::invalid_argument);
+  EXPECT_NO_THROW(registry.histogram("h", {1, 2}));
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndInsertionOrderFree) {
+  MetricsRegistry first;
+  first.counter("b").inc(2);
+  first.counter("a").inc(1);
+  first.gauge("g").set(0.5);
+  MetricsRegistry second;
+  second.gauge("g").set(0.5);
+  second.counter("a").inc(1);
+  second.counter("b").inc(2);
+  EXPECT_EQ(first.to_json_string(), second.to_json_string());
+  const std::string json = first.to_json_string();
+  EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
+}
+
+TEST(FormatDoubleTest, ShortestRoundTripAndNull) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.35), "0.35");
+  EXPECT_EQ(format_double(std::nan("")), "null");
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// ---- end-to-end: the executed Table 1 tree reproduces Facts 3.2.1/3.2.2 ----
+
+Cluster table1_cluster() {
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  return Cluster(std::make_unique<ArbitraryProtocol>(
+                     ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                 options);
+}
+
+WorkloadStats run_table1(Cluster& cluster) {
+  WorkloadOptions workload;
+  workload.transactions_per_client = 200;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 16;
+  return run_workload(cluster, workload);
+}
+
+double measured_mean(const MetricsRegistry& m, const std::string& kind) {
+  const auto attempts =
+      m.find_counter("quorum.ARBITRARY." + kind + ".attempts")->value();
+  const auto failures =
+      m.find_counter("quorum.ARBITRARY." + kind + ".failures")->value();
+  const auto members =
+      m.find_counter("quorum.ARBITRARY." + kind + ".members")->value();
+  return static_cast<double>(members) /
+         static_cast<double>(attempts - failures);
+}
+
+TEST(MetricsEndToEndTest, MeasuredQuorumCostsMatchFacts321And322) {
+  Cluster cluster = table1_cluster();
+  const WorkloadStats stats = run_table1(cluster);
+  ASSERT_GT(stats.committed, 0u);
+  const MetricsRegistry& m = cluster.metrics();
+  // Fact 3.2.1: every read quorum (version pre-reads included) contains
+  // exactly one node per physical level — the mean is |K_phy| = 2 EXACTLY,
+  // not approximately, at p = 0.
+  EXPECT_EQ(m.find_counter("quorum.ARBITRARY.read.failures")->value(), 0u);
+  EXPECT_DOUBLE_EQ(measured_mean(m, "read"), 2.0);
+  // Fact 3.2.2: a write quorum is one whole level, picked uniformly from
+  // sizes {3, 5} — the mean approaches n / |K_phy| = 4 (5% tolerance).
+  EXPECT_EQ(m.find_counter("quorum.ARBITRARY.write.failures")->value(), 0u);
+  EXPECT_NEAR(measured_mean(m, "write"), 4.0, 0.2);
+  // The net and replica counters saw the traffic.
+  EXPECT_GT(m.find_counter("net.sent")->value(), 0u);
+  EXPECT_EQ(m.find_counter("net.dropped")->value(), 0u);
+  EXPECT_GT(m.find_counter("net.bytes_sent")->value(), 0u);
+  EXPECT_GT(m.find_counter("replica.reads_served")->value(), 0u);
+  EXPECT_GT(m.find_counter("replica.writes_applied")->value(), 0u);
+  // Outcome tallies agree with the workload's own accounting.
+  EXPECT_EQ(m.find_counter("txn.committed")->value(), stats.committed);
+  EXPECT_EQ(m.find_counter("txn.aborted")->value(), stats.aborted);
+  const Histogram* total = m.find_histogram("txn.latency.total_us");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count(), stats.committed + stats.aborted + stats.blocked);
+}
+
+TEST(MetricsEndToEndTest, SameSeedRunsSerializeByteIdentically) {
+  Cluster first = table1_cluster();
+  run_table1(first);
+  Cluster second = table1_cluster();
+  run_table1(second);
+  std::ostringstream a;
+  std::ostringstream b;
+  first.metrics().to_json(a);
+  second.metrics().to_json(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+}  // namespace
+}  // namespace atrcp

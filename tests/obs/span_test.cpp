@@ -1,0 +1,84 @@
+// TxnSpan ring-log semantics plus the cluster integration: every finished
+// transaction leaves a span whose phase stamps are ordered and whose
+// counters mirror the registry's.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+TxnSpan span_with_id(std::uint64_t id) {
+  TxnSpan span;
+  span.txn_id = id;
+  return span;
+}
+
+TEST(TxnSpanLogTest, KeepsMostRecentUpToCapacity) {
+  TxnSpanLog log(3);
+  EXPECT_EQ(log.capacity(), 3u);
+  EXPECT_EQ(log.size(), 0u);
+  for (std::uint64_t id = 1; id <= 5; ++id) log.record(span_with_id(id));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 5u);
+  // Oldest-first view holds the last three records.
+  EXPECT_EQ(log.at(0).txn_id, 3u);
+  EXPECT_EQ(log.at(1).txn_id, 4u);
+  EXPECT_EQ(log.at(2).txn_id, 5u);
+  EXPECT_THROW(log.at(3), std::out_of_range);
+  const auto spans = log.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.front().txn_id, 3u);
+  EXPECT_EQ(spans.back().txn_id, 5u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 5u);
+}
+
+TEST(TxnSpanTest, UnsetSentinelDistinguishesTimeZero) {
+  const TxnSpan fresh;
+  EXPECT_EQ(fresh.locks_acquired, TxnSpan::kUnset);
+  EXPECT_EQ(fresh.decided, TxnSpan::kUnset);
+  // t = 0 is a legitimate stamp, distinct from "never happened".
+  TxnSpan stamped;
+  stamped.locks_acquired = 0;
+  EXPECT_NE(stamped.locks_acquired, TxnSpan::kUnset);
+}
+
+TEST(TxnSpanClusterTest, EveryFinishedTxnLeavesAnOrderedSpan) {
+  ClusterOptions options;
+  options.span_log_capacity = 8;  // smaller than the txn count: ring wraps
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                  options);
+  const int txns = 20;
+  for (int i = 0; i < txns; ++i) {
+    cluster.write_sync(0, static_cast<Key>(i % 4), "v");
+  }
+  const TxnSpanLog& log = cluster.spans();
+  EXPECT_EQ(log.total_recorded(), static_cast<std::uint64_t>(txns));
+  EXPECT_EQ(log.size(), 8u);
+  for (const TxnSpan& span : log.snapshot()) {
+    EXPECT_EQ(span.outcome, 0u);  // all committed
+    EXPECT_GE(span.end, span.begin);
+    ASSERT_NE(span.locks_acquired, TxnSpan::kUnset);
+    ASSERT_NE(span.ops_done, TxnSpan::kUnset);
+    ASSERT_NE(span.decided, TxnSpan::kUnset);
+    EXPECT_GE(span.ops_done, span.locks_acquired);
+    EXPECT_GE(span.decided, span.ops_done);
+    EXPECT_GE(span.end, span.decided);
+    EXPECT_GE(span.quorum_rounds, 1u);  // at least the version pre-read
+    EXPECT_EQ(span.total_latency(), span.end - span.begin);
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace atrcp {
@@ -12,10 +13,12 @@ class LockManagerTest : public ::testing::Test {
   LockManager locks_;
 
   /// Issues an acquire and reports whether it was granted synchronously.
+  /// The flag lives on the heap: when the request queues instead, the
+  /// callback survives this frame and may fire during a later release.
   bool try_acquire(TxnId txn, Key key, LockMode mode) {
-    bool granted = false;
-    locks_.acquire(txn, key, mode, [&] { granted = true; });
-    return granted;
+    auto granted = std::make_shared<bool>(false);
+    locks_.acquire(txn, key, mode, [granted] { *granted = true; });
+    return *granted;
   }
 };
 

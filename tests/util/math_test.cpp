@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -93,6 +94,41 @@ TEST(IsqrtTest, PerfectSquaresAndNeighbours) {
 
 TEST(IsqrtTest, LargeValues) {
   EXPECT_EQ(isqrt(1ULL << 62), 1ULL << 31);
+}
+
+TEST(IsqrtTest, NearUint64MaxDoesNotWrap) {
+  // Regression: the fix-up loops used to compare via guess*guess, which
+  // wraps modulo 2^64 up here — (2^32)^2 == 0, so isqrt(UINT64_MAX) walked
+  // away from the answer instead of settling on 2^32 - 1.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(isqrt(kMax), (1ULL << 32) - 1);
+  EXPECT_EQ(isqrt(kMax - 1), (1ULL << 32) - 1);
+}
+
+TEST(IsqrtTest, LargestPerfectSquareBoundary) {
+  // (2^32 - 1)^2 is the largest 64-bit perfect square; check it and both
+  // neighbours land exactly.
+  constexpr std::uint64_t s = (1ULL << 32) - 1;
+  constexpr std::uint64_t square = s * s;  // 0xFFFFFFFE00000001
+  EXPECT_EQ(isqrt(square), s);
+  EXPECT_EQ(isqrt(square - 1), s - 1);
+  EXPECT_EQ(isqrt(square + 1), s);
+}
+
+TEST(CheckedMulTest, ExactAndOverflow) {
+  EXPECT_EQ(checked_mul(0, 0), 0u);
+  EXPECT_EQ(checked_mul(7, 6), 42u);
+  EXPECT_EQ(checked_mul(0, std::numeric_limits<std::uint64_t>::max()), 0u);
+  EXPECT_EQ(checked_mul(1ULL << 32, 1ULL << 31), 1ULL << 63);
+  EXPECT_EQ(checked_mul(std::numeric_limits<std::uint64_t>::max(), 1),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(checked_mul(1ULL << 32, 1ULL << 32).has_value());
+  EXPECT_FALSE(checked_mul(std::numeric_limits<std::uint64_t>::max(), 2)
+                   .has_value());
+  // Boundary: max = (2^32-1) * (2^32+1) + ... check an exact split:
+  // 2^64 - 2 = 2 * (2^63 - 1) fits; 2 * 2^63 does not.
+  EXPECT_EQ(checked_mul(2, (1ULL << 63) - 1), ~std::uint64_t{1});
+  EXPECT_FALSE(checked_mul(2, 1ULL << 63).has_value());
 }
 
 TEST(ApproxEqualTest, Tolerances) {
