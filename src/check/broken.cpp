@@ -1,0 +1,77 @@
+#include "check/broken.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atrcp {
+
+BrokenIntersectionProtocol::BrokenIntersectionProtocol(std::size_t n)
+    : n_(n), half_(n / 2) {
+  if (n < 2) {
+    throw std::invalid_argument("BrokenIntersectionProtocol: n must be >= 2");
+  }
+}
+
+std::optional<Quorum> BrokenIntersectionProtocol::pick_singleton(
+    std::size_t lo, std::size_t hi, const FailureSet& failures,
+    Rng& rng) const {
+  const std::size_t span = hi - lo;
+  const std::size_t start = rng.below(span);
+  for (std::size_t k = 0; k < span; ++k) {
+    const auto id = static_cast<ReplicaId>(lo + (start + k) % span);
+    if (failures.is_alive(id)) return Quorum{id};
+  }
+  return std::nullopt;
+}
+
+std::optional<Quorum> BrokenIntersectionProtocol::do_assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  return pick_singleton(0, half_, failures, rng);
+}
+
+std::optional<Quorum> BrokenIntersectionProtocol::do_assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  return pick_singleton(half_, n_, failures, rng);
+}
+
+double BrokenIntersectionProtocol::read_availability(double p) const {
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(half_));
+}
+
+double BrokenIntersectionProtocol::write_availability(double p) const {
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(n_ - half_));
+}
+
+double BrokenIntersectionProtocol::read_load() const {
+  return 1.0 / static_cast<double>(half_);
+}
+
+double BrokenIntersectionProtocol::write_load() const {
+  return 1.0 / static_cast<double>(n_ - half_);
+}
+
+std::vector<Quorum> BrokenIntersectionProtocol::enumerate_read_quorums(
+    std::size_t limit) const {
+  if (half_ > limit) {
+    throw std::length_error("BrokenIntersectionProtocol: read limit exceeded");
+  }
+  std::vector<Quorum> out;
+  for (std::size_t i = 0; i < half_; ++i) {
+    out.push_back(Quorum{static_cast<ReplicaId>(i)});
+  }
+  return out;
+}
+
+std::vector<Quorum> BrokenIntersectionProtocol::enumerate_write_quorums(
+    std::size_t limit) const {
+  if (n_ - half_ > limit) {
+    throw std::length_error("BrokenIntersectionProtocol: write limit exceeded");
+  }
+  std::vector<Quorum> out;
+  for (std::size_t i = half_; i < n_; ++i) {
+    out.push_back(Quorum{static_cast<ReplicaId>(i)});
+  }
+  return out;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,54 @@
+// A deliberately WRONG replica control protocol — the checker's teeth test.
+//
+// Read quorums are singletons drawn from the low half [0, n/2) of the
+// universe, write quorums singletons from the high half [n/2, n): no read
+// quorum ever intersects a write quorum, violating the bicoterie property
+// (Definition 2.2) that every real protocol in src/protocols upholds. Under
+// this protocol reads miss committed writes and concurrent writers both
+// derive their version from the same stale pre-read, so the schedule
+// explorer must surface a dependency cycle (lost update: ww + rw) within a
+// handful of seeds. It lives in src/check, not src/protocols, because it is
+// a test double — never a baseline.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class BrokenIntersectionProtocol final : public ReplicaControlProtocol {
+ public:
+  /// Throws std::invalid_argument if n < 2 (both halves must be non-empty).
+  explicit BrokenIntersectionProtocol(std::size_t n);
+
+  std::string name() const override { return "BROKEN-INTERSECTION"; }
+  std::size_t universe_size() const override { return n_; }
+
+  // Analytic model of the (non-)protocol, for completeness: singleton
+  // quorums over each half.
+  double read_cost() const override { return 1.0; }
+  double write_cost() const override { return 1.0; }
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+  double read_load() const override;
+  double write_load() const override;
+
+  bool supports_enumeration() const override { return true; }
+  std::vector<Quorum> enumerate_read_quorums(std::size_t limit) const override;
+  std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const override;
+
+ protected:
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
+                                                Rng& rng) const override;
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
+                                                 Rng& rng) const override;
+
+ private:
+  std::optional<Quorum> pick_singleton(std::size_t lo, std::size_t hi,
+                                       const FailureSet& failures,
+                                       Rng& rng) const;
+
+  std::size_t n_;
+  std::size_t half_;  ///< readers draw from [0, half_), writers [half_, n_)
+};
+
+}  // namespace atrcp

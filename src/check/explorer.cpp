@@ -1,0 +1,364 @@
+#include "check/explorer.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "check/broken.hpp"
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "protocols/grid.hpp"
+#include "protocols/hqc.hpp"
+#include "protocols/maekawa.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rooted_tree.hpp"
+#include "protocols/rowa.hpp"
+#include "protocols/tree_quorum.hpp"
+#include "protocols/weighted_voting.hpp"
+#include "txn/cluster.hpp"
+#include "util/check.hpp"
+
+namespace atrcp {
+namespace {
+
+/// The explorer's fixed link shape; degrade actions restore to this.
+constexpr LinkParams kExplorerLink{.base_latency = 10, .jitter = 3};
+
+std::string site_name(SiteId site) { return "s" + std::to_string(site); }
+
+}  // namespace
+
+// -- nemesis ----------------------------------------------------------------
+
+std::string NemesisSchedule::Action::to_string() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kCrash:
+      out = "crash r" + std::to_string(sites.front());
+      break;
+    case Kind::kPartition: {
+      out = "part {";
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(sites[i]);
+      }
+      out += "}";
+      break;
+    }
+    case Kind::kDegrade:
+      out = "drop " + site_name(sites[0]) + "<->" + site_name(sites[1]) +
+            " p=" + std::to_string(static_cast<int>(drop_probability * 100.0 +
+                                                    0.5)) +
+            "%";
+      break;
+  }
+  out += "@" + std::to_string(at) + "+" + std::to_string(duration);
+  return out;
+}
+
+std::string NemesisSchedule::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += actions[i].to_string();
+  }
+  return out + "]";
+}
+
+NemesisSchedule NemesisSchedule::generate(Rng& rng, std::size_t replicas,
+                                          std::size_t clients) {
+  NemesisSchedule plan;
+  const std::size_t count = rng.below(4);  // 0..3 faults per run
+  for (std::size_t i = 0; i < count; ++i) {
+    Action action;
+    action.at = 100 + rng.below(2400);
+    const std::uint64_t roll = rng.below(10);
+    if (roll < 4) {
+      action.kind = Action::Kind::kCrash;
+      action.duration = 500 + rng.below(5500);
+      action.sites = {static_cast<SiteId>(rng.below(replicas))};
+    } else if (roll < 7 && replicas >= 3) {
+      action.kind = Action::Kind::kPartition;
+      action.duration = 500 + rng.below(3500);
+      // A minority of the replica sites moves to partition group 1.
+      const std::size_t size = 1 + rng.below((replicas - 1) / 2);
+      std::vector<SiteId> minority;
+      while (minority.size() < size) {
+        const auto site = static_cast<SiteId>(rng.below(replicas));
+        bool fresh = true;
+        for (SiteId have : minority) fresh = fresh && have != site;
+        if (fresh) minority.push_back(site);
+      }
+      action.sites = std::move(minority);
+      action.kind = Action::Kind::kPartition;
+    } else {
+      // Degrade one client<->replica link (all traffic is client-driven).
+      action.kind = Action::Kind::kDegrade;
+      action.duration = 500 + rng.below(3500);
+      action.sites = {static_cast<SiteId>(rng.below(replicas)),
+                      static_cast<SiteId>(replicas + rng.below(clients))};
+      action.drop_probability = 0.10 + 0.05 * static_cast<double>(rng.below(5));
+    }
+    plan.actions.push_back(std::move(action));
+  }
+  return plan;
+}
+
+void NemesisSchedule::apply(Cluster& cluster) const {
+  for (const Action& action : actions) {
+    switch (action.kind) {
+      case Action::Kind::kCrash:
+        cluster.injector().transient_failure(action.at, action.sites.front(),
+                                             action.duration);
+        break;
+      case Action::Kind::kPartition:
+        cluster.injector().partition_at(action.at, action.sites,
+                                        action.duration);
+        break;
+      case Action::Kind::kDegrade: {
+        const SiteId a = action.sites[0];
+        const SiteId b = action.sites[1];
+        LinkParams degraded = kExplorerLink;
+        degraded.drop_probability = action.drop_probability;
+        degraded.jitter = kExplorerLink.jitter * 3;
+        cluster.scheduler().schedule_at(action.at, [&cluster, a, b, degraded] {
+          cluster.network().set_link(a, b, degraded);
+        });
+        cluster.scheduler().schedule_at(
+            action.at + action.duration,
+            [&cluster, a, b] { cluster.network().set_link(a, b, kExplorerLink); });
+        break;
+      }
+    }
+  }
+}
+
+// -- workload ---------------------------------------------------------------
+
+namespace {
+
+std::vector<TxnOp> make_txn(Rng& rng, std::size_t client, std::size_t seq,
+                            std::size_t keys) {
+  const Key key = static_cast<Key>(rng.below(keys));
+  std::string value =
+      "c" + std::to_string(client) + "." + std::to_string(seq);
+  const std::uint64_t roll = rng.below(10);
+  if (roll < 4) return {TxnOp::read(key)};
+  if (roll < 7) return {TxnOp::write(key, std::move(value))};
+  if (roll < 9 || keys < 2) {
+    // Read-modify-write on one key: the canonical lost-update probe.
+    return {TxnOp::read(key), TxnOp::write(key, std::move(value))};
+  }
+  const Key other = static_cast<Key>((key + 1 + rng.below(keys - 1)) % keys);
+  return {TxnOp::read(key), TxnOp::write(other, std::move(value))};
+}
+
+/// Closed-loop drivers: every client issues its next transaction from the
+/// completion callback of the previous one, staggered so invocations
+/// interleave. Runs the cluster until everything (workload + nemesis
+/// heal events) has drained.
+void run_concurrent_workload(Cluster& cluster, std::uint64_t seed,
+                             const ExplorerOptions& options) {
+  struct State {
+    std::vector<Rng> rngs;
+    std::vector<std::size_t> issued;
+    std::function<void(std::size_t)> issue;
+  };
+  auto st = std::make_shared<State>();
+  Rng root(seed);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    st->rngs.push_back(root.fork());
+  }
+  st->issued.assign(options.clients, 0);
+  st->issue = [&cluster, st, options](std::size_t c) {
+    if (st->issued[c] >= options.txns_per_client) return;
+    const std::size_t seq = st->issued[c]++;
+    cluster.client(c).run(make_txn(st->rngs[c], c, seq, options.keys),
+                          [st, c](TxnResult) {
+                            if (st->issue) st->issue(c);
+                          });
+  };
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    cluster.scheduler().schedule_at(static_cast<SimTime>(1 + 37 * c),
+                                    [st, c] {
+                                      if (st->issue) st->issue(c);
+                                    });
+  }
+  cluster.settle();
+  st->issue = nullptr;  // break the callback <-> state reference cycle
+}
+
+std::string indent(const std::string& text, const std::string& prefix) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    out += prefix + text.substr(pos, eol - pos) + "\n";
+    pos = eol + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+// -- explorer ---------------------------------------------------------------
+
+ScheduleExplorer::ScheduleExplorer(ExplorerOptions options)
+    : options_(options) {}
+
+std::string SeedReport::line() const {
+  std::string out = "seed=" + std::to_string(seed) + " " +
+                    (ok ? "ok" : "FAIL") +
+                    " commit=" + std::to_string(committed) +
+                    " abort=" + std::to_string(aborted) +
+                    " block=" + std::to_string(blocked) + " lin=" +
+                    std::to_string(lin_keys_checked) + "/" +
+                    std::to_string(lin_keys_skipped) + "skip";
+  out += " nem=" + nemesis;
+  return out;
+}
+
+SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
+                                      std::uint64_t seed) const {
+  // Independent deterministic streams per concern, so e.g. adding an option
+  // draw never perturbs the nemesis plan or the workload of a given seed.
+  SplitMix64 mix(seed);
+  const std::uint64_t cluster_seed = mix.next();
+  const std::uint64_t option_seed = mix.next();
+  const std::uint64_t nemesis_seed = mix.next();
+  const std::uint64_t workload_seed = mix.next();
+
+  auto protocol = factory();
+  ATRCP_CHECK(protocol != nullptr);
+  const std::size_t replicas = protocol->universe_size();
+
+  ClusterOptions copt;
+  copt.seed = cluster_seed;
+  copt.link = kExplorerLink;
+  copt.clients = options_.clients;
+  copt.record_history = true;
+  copt.coordinator.request_timeout = 2'000;
+  copt.coordinator.lock_timeout = 20'000;
+  copt.coordinator.commit_retry_interval = 1'000;
+  // Nemesis schedules always heal, so an unbounded commit-retry budget
+  // guarantees every decided transaction eventually applies everywhere:
+  // kBlocked (which would release locks while a write is still pending)
+  // never enters explorer histories.
+  copt.coordinator.max_commit_retries = 1'000'000;
+  Rng option_rng(option_seed);
+  copt.coordinator.read_repair = option_rng.chance(0.5);
+  Cluster cluster(std::move(protocol), copt);
+
+  SeedReport report;
+  report.seed = seed;
+
+  NemesisSchedule nemesis;
+  if (options_.nemesis) {
+    Rng nemesis_rng(nemesis_seed);
+    nemesis = NemesisSchedule::generate(nemesis_rng, replicas,
+                                        options_.clients);
+    nemesis.apply(cluster);
+  }
+  report.nemesis = nemesis.to_string();
+
+  run_concurrent_workload(cluster, workload_seed, options_);
+
+  const HistoryRecorder& history = cluster.history();
+  if (history.open_count() != 0) {
+    report.ok = false;
+    report.detail += "history did not drain: " +
+                     std::to_string(history.open_count()) +
+                     " transactions still open\n";
+  }
+  for (const HistoryTxn& txn : history.txns()) {
+    switch (txn.outcome) {
+      case HistoryOutcome::kCommitted: ++report.committed; break;
+      case HistoryOutcome::kAborted: ++report.aborted; break;
+      case HistoryOutcome::kBlocked: ++report.blocked; break;
+    }
+  }
+
+  SerializabilityChecker checker(history.txns());
+  const CheckResult serial = checker.check();
+  if (!serial.ok) {
+    report.ok = false;
+    report.detail += serial.report;
+  }
+  for (const Key key : checker.keys()) {
+    const LinResult lin =
+        checker.check_key_linearizable(key, options_.max_lin_ops);
+    if (lin.skipped) {
+      ++report.lin_keys_skipped;
+      continue;
+    }
+    ++report.lin_keys_checked;
+    if (!lin.ok) {
+      report.ok = false;
+      report.detail += lin.report;
+    }
+  }
+  return report;
+}
+
+ExploreReport ScheduleExplorer::explore(const ProtocolFactory& factory,
+                                        const std::string& label,
+                                        std::uint64_t first_seed,
+                                        std::size_t seed_count,
+                                        bool stop_at_first_failure) const {
+  ExploreReport out;
+  out.label = label;
+  out.text = "== explore protocol=" + label + " seeds=[" +
+             std::to_string(first_seed) + "," +
+             std::to_string(first_seed + seed_count) + ") clients=" +
+             std::to_string(options_.clients) + " txns=" +
+             std::to_string(options_.txns_per_client) + " keys=" +
+             std::to_string(options_.keys) +
+             (options_.nemesis ? " nemesis=on" : " nemesis=off") + " ==\n";
+  std::size_t ok_count = 0;
+  for (std::uint64_t seed = first_seed; seed < first_seed + seed_count;
+       ++seed) {
+    const SeedReport report = run_seed(factory, seed);
+    ++out.seeds_run;
+    out.text += report.line() + "\n";
+    if (report.ok) {
+      ++ok_count;
+      continue;
+    }
+    out.ok = false;
+    out.failing_seeds.push_back(seed);
+    out.text += indent(report.detail, "    ");
+    if (stop_at_first_failure) break;
+  }
+  out.text += "== result protocol=" + label + ": " +
+              (out.ok ? "PASS" : "FAIL") + " (" + std::to_string(ok_count) +
+              "/" + std::to_string(out.seeds_run) + " seeds ok) ==\n";
+  return out;
+}
+
+// -- the zoo ----------------------------------------------------------------
+
+std::vector<ZooEntry> protocol_zoo() {
+  std::vector<ZooEntry> zoo;
+  zoo.push_back({"arbitrary_135", [] {
+    return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+  }});
+  zoo.push_back({"mostly_read", [] { return make_mostly_read(5); }});
+  zoo.push_back({"mostly_write", [] { return make_mostly_write(5); }});
+  zoo.push_back({"unmodified", [] { return make_unmodified(2); }});
+  zoo.push_back({"rowa", [] { return std::make_unique<Rowa>(5); }});
+  zoo.push_back({"majority", [] { return std::make_unique<MajorityQuorum>(5); }});
+  zoo.push_back({"binary_tree", [] { return std::make_unique<TreeQuorum>(2); }});
+  zoo.push_back({"hqc", [] { return std::make_unique<Hqc>(2); }});
+  zoo.push_back({"weighted", [] {
+    return std::make_unique<WeightedVoting>(WeightedVoting::majority(5));
+  }});
+  zoo.push_back({"grid", [] { return std::make_unique<Grid>(2, 3); }});
+  zoo.push_back({"maekawa", [] { return std::make_unique<Maekawa>(2); }});
+  zoo.push_back({"rooted_tree", [] {
+    return std::make_unique<RootedTreeQuorum>(RootedTreeQuorum::agrawal90(1, 1));
+  }});
+  return zoo;
+}
+
+}  // namespace atrcp

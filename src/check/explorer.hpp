@@ -1,0 +1,131 @@
+// Seeded schedule exploration — the FoundationDB/VOPR-style driver that
+// turns the serializability checker into a harness.
+//
+// One explorer seed fully determines one experiment: the cluster seed (all
+// network jitter, quorum strategy draws, message ordering), the coordinator
+// option draws, the nemesis schedule (crashes/recoveries, partitions, link
+// degradation, all of which heal before the run ends) and the concurrent
+// multi-client workload (a mix of reads, blind writes, read-modify-writes
+// and cross-key transactions). The simulation is single-threaded and
+// discrete-event, so the recorded history — and therefore the emitted
+// report — is byte-for-byte reproducible from (protocol, seed).
+//
+// Every seed's history goes through SerializabilityChecker::check() plus
+// the per-key Wing–Gong linearizability check. Real protocols must pass
+// every seed; the BrokenIntersectionProtocol test double must be flagged
+// with a cycle counterexample within a handful of seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/serializability.hpp"
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+class Cluster;
+
+/// A deterministic fault plan generated from the nemesis RNG: every action
+/// heals (recovery / partition heal / link restore) before the plan's
+/// horizon, so a settled run is always reachable.
+struct NemesisSchedule {
+  struct Action {
+    enum class Kind : std::uint8_t { kCrash = 0, kPartition = 1, kDegrade = 2 };
+    Kind kind = Kind::kCrash;
+    SimTime at = 0;
+    SimTime duration = 0;
+    /// kCrash: the crashed replica. kDegrade: the degraded link's endpoints.
+    /// kPartition: the minority group.
+    std::vector<SiteId> sites;
+    double drop_probability = 0.0;  ///< kDegrade only
+
+    std::string to_string() const;
+  };
+  std::vector<Action> actions;
+
+  /// Draws 0..3 healing fault actions over the replica universe; degrade
+  /// actions target client<->replica links (all traffic is client-driven).
+  static NemesisSchedule generate(Rng& rng, std::size_t replicas,
+                                  std::size_t clients);
+
+  /// Schedules every action (and its heal) on the cluster's scheduler.
+  void apply(Cluster& cluster) const;
+
+  /// "[crash r2@500+4000; part {0,3}@1200+3000]" — the documented format.
+  std::string to_string() const;
+};
+
+struct ExplorerOptions {
+  std::size_t clients = 4;          ///< concurrent closed-loop clients
+  std::size_t txns_per_client = 12;
+  std::size_t keys = 3;             ///< small hot key space forces conflicts
+  bool nemesis = true;
+  /// Per-key linearizability sub-histories above this are skipped (<= 64).
+  std::size_t max_lin_ops = 48;
+};
+
+/// Outcome of a single (protocol, seed) experiment.
+struct SeedReport {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::size_t blocked = 0;
+  std::size_t lin_keys_checked = 0;
+  std::size_t lin_keys_skipped = 0;
+  std::string nemesis;  ///< NemesisSchedule::to_string()
+  /// Counterexample (serializability and/or linearizability reports);
+  /// empty when ok.
+  std::string detail;
+
+  /// One deterministic summary line (no detail).
+  std::string line() const;
+};
+
+struct ExploreReport {
+  std::string label;
+  bool ok = true;
+  std::size_t seeds_run = 0;
+  std::vector<std::uint64_t> failing_seeds;
+  /// Full byte-reproducible report text: header, one line per seed,
+  /// failing-seed counterexamples, result trailer.
+  std::string text;
+};
+
+class ScheduleExplorer {
+ public:
+  using ProtocolFactory =
+      std::function<std::unique_ptr<ReplicaControlProtocol>()>;
+
+  explicit ScheduleExplorer(ExplorerOptions options = {});
+
+  /// Runs one seeded experiment and checks the recorded history.
+  SeedReport run_seed(const ProtocolFactory& factory, std::uint64_t seed) const;
+
+  /// Sweeps seeds [first_seed, first_seed + seed_count). When
+  /// stop_at_first_failure is set the sweep ends with the first failing
+  /// seed's counterexample (the teeth test); otherwise every seed runs.
+  ExploreReport explore(const ProtocolFactory& factory,
+                        const std::string& label, std::uint64_t first_seed,
+                        std::size_t seed_count,
+                        bool stop_at_first_failure = false) const;
+
+  const ExplorerOptions& options() const noexcept { return options_; }
+
+ private:
+  ExplorerOptions options_;
+};
+
+/// Every protocol in src/protocols plus the paper's arbitrary-tree
+/// configurations, sized small so a 200-seed sweep stays fast.
+struct ZooEntry {
+  std::string label;
+  ScheduleExplorer::ProtocolFactory factory;
+};
+std::vector<ZooEntry> protocol_zoo();
+
+}  // namespace atrcp

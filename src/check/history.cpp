@@ -1,0 +1,85 @@
+#include "check/history.hpp"
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+std::string to_string(HistoryOutcome outcome) {
+  switch (outcome) {
+    case HistoryOutcome::kCommitted: return "committed";
+    case HistoryOutcome::kAborted: return "aborted";
+    case HistoryOutcome::kBlocked: return "blocked";
+  }
+  return "unknown";
+}
+
+std::string HistoryOp::to_string() const {
+  std::string out;
+  if (is_write) {
+    out = "w k" + std::to_string(key) + ":=\"" + value + "\" " +
+          written.to_string() + " (base " + observed.to_string() + ")";
+  } else if (hit) {
+    out = "r k" + std::to_string(key) + "=\"" + value + "\" " +
+          observed.to_string();
+  } else {
+    out = "r k" + std::to_string(key) + "=miss";
+  }
+  out += " @[" + std::to_string(start) + "," + std::to_string(end) + "]";
+  return out;
+}
+
+std::string HistoryTxn::label() const {
+  return "c" + std::to_string(site) + "#" +
+         std::to_string(txn_id & 0xFFFFFFFFULL);
+}
+
+std::string HistoryEvent::to_string() const {
+  std::string out = "seq=" + std::to_string(seq) + " t=" + std::to_string(at) +
+                    " c" + std::to_string(site) + "#" +
+                    std::to_string(txn_id & 0xFFFFFFFFULL);
+  if (kind == Kind::kInvoke) {
+    out += " invoke";
+  } else {
+    out += " " + atrcp::to_string(outcome);
+  }
+  return out;
+}
+
+std::uint64_t HistoryRecorder::record_invoke(SiteId site, std::uint64_t txn_id,
+                                             SimTime at) {
+  const auto seq = static_cast<std::uint64_t>(events_.size());
+  events_.push_back(HistoryEvent{HistoryEvent::Kind::kInvoke, seq, site,
+                                 txn_id, at, HistoryOutcome::kAborted});
+  ++open_;
+  return seq;
+}
+
+void HistoryRecorder::record_complete(SiteId site, std::uint64_t txn_id,
+                                      std::uint64_t invoke_seq,
+                                      HistoryOutcome outcome,
+                                      const TxnSpan& span,
+                                      std::vector<HistoryOp> ops, SimTime at) {
+  ATRCP_CHECK(open_ > 0);
+  const auto seq = static_cast<std::uint64_t>(events_.size());
+  events_.push_back(
+      HistoryEvent{HistoryEvent::Kind::kComplete, seq, site, txn_id, at,
+                   outcome});
+  HistoryTxn txn;
+  txn.txn_id = txn_id;
+  txn.site = site;
+  txn.outcome = outcome;
+  txn.span = span;
+  txn.invoke_seq = invoke_seq;
+  txn.complete_seq = seq;
+  txn.ops = std::move(ops);
+  txns_.push_back(std::move(txn));
+  --open_;
+}
+
+void HistoryRecorder::clear() {
+  events_.clear();
+  txns_.clear();
+  open_ = 0;
+}
+
+}  // namespace atrcp

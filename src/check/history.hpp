@@ -1,0 +1,127 @@
+// Concurrent-history recording — the raw material of the one-copy
+// serializability checker (src/check/serializability.hpp).
+//
+// The transaction coordinator (src/txn) stamps an invoke event when a
+// transaction enters run() and a complete event when its outcome is
+// delivered, together with one HistoryOp per executed operation: reads
+// carry the observed (value, timestamp), writes carry the version-pre-read
+// base timestamp AND the installed timestamp. Because replica timestamps
+// are (version, SID) pairs unique per committed write, the checker can
+// reconstruct the per-key version order and the full transaction
+// dependency graph from this record alone — across any number of
+// concurrently interleaved clients, which is exactly what the sequential
+// reference-copy tests (one_copy_test, chaos_test) cannot see.
+//
+// The recorder is deliberately below the txn layer (it depends only on
+// obs/replica/sim vocabulary types) so atrcp_txn can link against it.
+// Events get a global sequence number in recording order; the simulation
+// is single-threaded and deterministic under its seed, so the sequence is
+// byte-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "replica/store.hpp"
+#include "replica/timestamp.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace atrcp {
+
+/// TxnOutcome mirrored below the txn layer (same underlying values).
+enum class HistoryOutcome : std::uint8_t {
+  kCommitted = 0,
+  kAborted = 1,
+  kBlocked = 2,
+};
+
+/// One executed operation of a transaction, as the coordinator saw it.
+struct HistoryOp {
+  bool is_write = false;
+  Key key = 0;
+  /// Reads: whether any quorum member held a value. Writes: always true.
+  bool hit = false;
+  /// Reads: the observed value. Writes: the written value.
+  Value value;
+  /// Reads: the observed timestamp (kInitialTimestamp on a miss).
+  /// Writes: the effective base of the version pre-read — the newest
+  /// timestamp the write derived its version from (the paper's "learn the
+  /// highest version number from a read quorum", or the transaction's own
+  /// earlier staged write of the same key).
+  Timestamp observed;
+  /// Writes only: the installed (version, SID) timestamp.
+  Timestamp written;
+  SimTime start = 0;  ///< first quorum round issued (post-locking)
+  SimTime end = 0;    ///< operation result accepted
+
+  std::string to_string() const;
+};
+
+/// A finished transaction: outcome, obs phase stamps, executed ops.
+struct HistoryTxn {
+  std::uint64_t txn_id = 0;
+  SiteId site = 0;  ///< issuing coordinator's site (span.coordinator_site)
+  HistoryOutcome outcome = HistoryOutcome::kAborted;
+  /// The obs layer's phase stamps (begin/locks_acquired/ops_done/decided/
+  /// end) for this transaction — reused verbatim, so real-time reasoning in
+  /// the checker shares one clock with the metrics histograms.
+  TxnSpan span;
+  std::uint64_t invoke_seq = 0;
+  std::uint64_t complete_seq = 0;
+  std::vector<HistoryOp> ops;
+
+  /// "c<site>#<sequence>" — stable human-readable name for reports.
+  std::string label() const;
+};
+
+/// Invoke/complete event stream, for event-ordering tests and for printing
+/// the schedule prefix of a counterexample.
+struct HistoryEvent {
+  enum class Kind : std::uint8_t { kInvoke = 0, kComplete = 1 };
+  Kind kind = Kind::kInvoke;
+  std::uint64_t seq = 0;
+  SiteId site = 0;
+  std::uint64_t txn_id = 0;
+  SimTime at = 0;
+  /// Meaningful for kComplete only.
+  HistoryOutcome outcome = HistoryOutcome::kAborted;
+
+  std::string to_string() const;
+};
+
+class HistoryRecorder {
+ public:
+  /// Called by the coordinator at run() entry; returns the event sequence
+  /// number, which the coordinator hands back to record_complete.
+  std::uint64_t record_invoke(SiteId site, std::uint64_t txn_id, SimTime at);
+
+  /// Called by the coordinator when the outcome callback is about to fire.
+  void record_complete(SiteId site, std::uint64_t txn_id,
+                       std::uint64_t invoke_seq, HistoryOutcome outcome,
+                       const TxnSpan& span, std::vector<HistoryOp> ops,
+                       SimTime at);
+
+  /// All events in global (= sim-time) order; seq equals the index.
+  const std::vector<HistoryEvent>& events() const noexcept { return events_; }
+
+  /// Finished transactions in completion order.
+  const std::vector<HistoryTxn>& txns() const noexcept { return txns_; }
+
+  /// Transactions invoked but not yet completed (0 once a run settled).
+  std::size_t open_count() const noexcept { return open_; }
+
+  void clear();
+
+ private:
+  std::vector<HistoryEvent> events_;
+  std::vector<HistoryTxn> txns_;
+  std::size_t open_ = 0;
+};
+
+/// "committed" / "aborted" / "blocked".
+std::string to_string(HistoryOutcome outcome);
+
+}  // namespace atrcp

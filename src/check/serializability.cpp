@@ -1,0 +1,424 @@
+#include "check/serializability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace atrcp {
+namespace {
+
+/// Ascending "oldest first" order of distinct timestamps: a precedes b iff
+/// b wins the paper's newer-than comparison.
+bool older(const Timestamp& a, const Timestamp& b) {
+  return b.is_newer_than(a);
+}
+
+struct WriteRef {
+  Timestamp ts;
+  int txn = 0;          ///< index into txns_
+  std::size_t op = 0;   ///< index into txns_[txn].ops
+};
+
+struct Observation {
+  int txn = 0;
+  std::size_t op = 0;
+  Key key = 0;
+  Timestamp ts;         ///< kInitialTimestamp for a read miss
+  bool is_preread = false;
+  bool hit = false;     ///< read found a value (pre-reads: unused)
+};
+
+}  // namespace
+
+SerializabilityChecker::SerializabilityChecker(std::vector<HistoryTxn> txns)
+    : txns_(std::move(txns)) {}
+
+std::vector<Key> SerializabilityChecker::keys() const {
+  std::set<Key> keys;
+  for (const HistoryTxn& txn : txns_) {
+    if (txn.outcome == HistoryOutcome::kAborted) continue;
+    for (const HistoryOp& op : txn.ops) keys.insert(op.key);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+CheckResult SerializabilityChecker::check() const {
+  CheckResult result;
+
+  // -- 1. choose the included transactions ---------------------------------
+  // Committed always; blocked (decided commit, never fully acked) only when
+  // one of their written versions was observed by an included transaction —
+  // otherwise the history simply ended before the pending write landed.
+  std::vector<char> included(txns_.size(), 0);
+  for (std::size_t i = 0; i < txns_.size(); ++i) {
+    if (txns_[i].outcome == HistoryOutcome::kCommitted) included[i] = 1;
+  }
+  const auto observes = [&](std::size_t i, Key key, const Timestamp& ts) {
+    for (const HistoryOp& op : txns_[i].ops) {
+      if (op.key != key) continue;
+      if (op.is_write || op.hit) {
+        if (op.observed == ts) return true;
+      }
+    }
+    return false;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t b = 0; b < txns_.size(); ++b) {
+      if (included[b] || txns_[b].outcome != HistoryOutcome::kBlocked) continue;
+      for (const HistoryOp& op : txns_[b].ops) {
+        if (!op.is_write) continue;
+        for (std::size_t i = 0; i < txns_.size() && !included[b]; ++i) {
+          if (included[i] && observes(i, op.key, op.written)) {
+            included[b] = 1;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // -- 2. per-key version chains from the replica timestamps ---------------
+  std::map<Key, std::vector<WriteRef>> chains;
+  std::vector<Observation> observations;
+  for (std::size_t i = 0; i < txns_.size(); ++i) {
+    if (!included[i]) continue;
+    for (std::size_t o = 0; o < txns_[i].ops.size(); ++o) {
+      const HistoryOp& op = txns_[i].ops[o];
+      if (op.is_write) {
+        chains[op.key].push_back({op.written, static_cast<int>(i), o});
+        observations.push_back({static_cast<int>(i), o, op.key, op.observed,
+                                /*is_preread=*/true, /*hit=*/true});
+      } else {
+        observations.push_back({static_cast<int>(i), o, op.key,
+                                op.hit ? op.observed : kInitialTimestamp,
+                                /*is_preread=*/false, op.hit});
+      }
+    }
+  }
+  for (auto& [key, chain] : chains) {
+    std::sort(chain.begin(), chain.end(),
+              [&](const WriteRef& a, const WriteRef& b) {
+                if (!(a.ts == b.ts)) return older(a.ts, b.ts);
+                // Duplicate timestamps (broken intersection): completion
+                // order is the only deterministic install order left.
+                return txns_[a.txn].complete_seq < txns_[b.txn].complete_seq;
+              });
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      if (chain[i].ts == chain[i - 1].ts) {
+        result.violations.push_back(
+            "duplicate version " + chain[i].ts.to_string() + " of key " +
+            std::to_string(key) + " written by both " +
+            txns_[chain[i - 1].txn].label() + " and " +
+            txns_[chain[i].txn].label());
+      }
+    }
+  }
+
+  // -- 3. integrity of every observation -----------------------------------
+  for (const Observation& obs : observations) {
+    if (obs.ts == kInitialTimestamp) continue;  // initial version: fine
+    const auto it = chains.find(obs.key);
+    const WriteRef* writer = nullptr;
+    if (it != chains.end()) {
+      for (const WriteRef& ref : it->second) {
+        if (ref.ts == obs.ts) writer = &ref;
+      }
+    }
+    const HistoryTxn& reader = txns_[obs.txn];
+    if (writer == nullptr) {
+      result.violations.push_back(
+          reader.label() + (obs.is_preread ? " version pre-read" : " read") +
+          " of key " + std::to_string(obs.key) + " observed " +
+          obs.ts.to_string() +
+          ", which no committed transaction wrote (dirty/aborted read)");
+      continue;
+    }
+    if (!obs.is_preread && obs.hit) {
+      const HistoryOp& read_op = reader.ops[obs.op];
+      const HistoryOp& write_op = txns_[writer->txn].ops[writer->op];
+      if (read_op.value != write_op.value) {
+        result.violations.push_back(
+            reader.label() + " read of key " + std::to_string(obs.key) +
+            " observed " + obs.ts.to_string() + " with value \"" +
+            read_op.value + "\" but " + txns_[writer->txn].label() +
+            " wrote \"" + write_op.value + "\"");
+      }
+    }
+  }
+
+  // -- 4. dependency graph --------------------------------------------------
+  // Nodes: included transactions. Edges: ww (adjacent chain versions),
+  // wr (writer -> observer of the version), rw (observer of a version ->
+  // writer of its successor). Self edges are dropped.
+  std::vector<int> nodes;
+  std::vector<int> node_of(txns_.size(), -1);
+  for (std::size_t i = 0; i < txns_.size(); ++i) {
+    if (included[i]) {
+      node_of[i] = static_cast<int>(nodes.size());
+      nodes.push_back(static_cast<int>(i));
+    }
+  }
+  struct Edge {
+    int to = 0;
+    std::string label;
+  };
+  std::vector<std::vector<Edge>> adj(nodes.size());
+  std::set<std::pair<int, int>> seen_edges;
+  const auto add_edge = [&](int from_txn, int to_txn, std::string label) {
+    if (from_txn == to_txn) return;
+    const int u = node_of[from_txn];
+    const int v = node_of[to_txn];
+    if (seen_edges.insert({u, v}).second) {
+      adj[u].push_back(Edge{v, std::move(label)});
+    }
+  };
+  for (const auto& [key, chain] : chains) {
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      add_edge(chain[i - 1].txn, chain[i].txn,
+               "ww[k" + std::to_string(key) + ": " +
+                   chain[i - 1].ts.to_string() + " -> " +
+                   chain[i].ts.to_string() + "]");
+    }
+  }
+  for (const Observation& obs : observations) {
+    const auto it = chains.find(obs.key);
+    if (it == chains.end()) continue;
+    const std::vector<WriteRef>& chain = it->second;
+    const char* verb = obs.is_preread ? "pre-read" : "read";
+    // wr: every writer of the exact observed version precedes the observer.
+    if (!(obs.ts == kInitialTimestamp)) {
+      for (const WriteRef& ref : chain) {
+        if (ref.ts == obs.ts) {
+          add_edge(ref.txn, obs.txn,
+                   "wr[k" + std::to_string(obs.key) + ": " +
+                       obs.ts.to_string() + " " + verb + "]");
+        }
+      }
+    }
+    // rw: the observer precedes the writer of the first strictly newer
+    // version (for a miss, the first version of the chain).
+    for (const WriteRef& ref : chain) {
+      if (ref.ts.is_newer_than(obs.ts)) {
+        add_edge(obs.txn, ref.txn,
+                 "rw[k" + std::to_string(obs.key) + ": " + verb + " " +
+                     obs.ts.to_string() + ", overwritten by " +
+                     ref.ts.to_string() + "]");
+        break;
+      }
+    }
+  }
+
+  // -- 5. shortest dependency cycle ----------------------------------------
+  // BFS from every node s: a cycle through s closes via any edge u -> s
+  // with u reachable from s; the global minimum is the minimized
+  // counterexample.
+  const int n = static_cast<int>(nodes.size());
+  int best_len = -1;
+  std::vector<int> best_cycle;  // node ids, in order
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> dist(n, -1);
+    std::vector<int> parent(n, -1);
+    std::vector<int> queue{s};
+    dist[s] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int u = queue[head];
+      for (const Edge& e : adj[u]) {
+        if (dist[e.to] < 0) {
+          dist[e.to] = dist[u] + 1;
+          parent[e.to] = u;
+          queue.push_back(e.to);
+        }
+      }
+    }
+    for (int u = 0; u < n; ++u) {
+      if (dist[u] < 0) continue;
+      for (const Edge& e : adj[u]) {
+        if (e.to != s) continue;
+        const int len = dist[u] + 1;
+        if (best_len < 0 || len < best_len) {
+          best_len = len;
+          best_cycle.clear();
+          for (int v = u; v != -1; v = parent[v]) best_cycle.push_back(v);
+          std::reverse(best_cycle.begin(), best_cycle.end());  // s .. u
+        }
+      }
+    }
+  }
+  if (best_len > 0) {
+    for (int node : best_cycle) {
+      result.cycle.push_back(txns_[nodes[node]].txn_id);
+    }
+  }
+
+  result.ok = result.violations.empty() && result.cycle.empty();
+  if (result.ok) return result;
+
+  // -- 6. the counterexample report ----------------------------------------
+  std::string& report = result.report;
+  report = "SERIALIZABILITY VIOLATION\n";
+  for (const std::string& violation : result.violations) {
+    report += "  violation: " + violation + "\n";
+  }
+  if (!best_cycle.empty()) {
+    report += "  dependency cycle (" + std::to_string(best_cycle.size()) +
+              " transactions):\n";
+    std::set<int> involved;
+    for (std::size_t i = 0; i < best_cycle.size(); ++i) {
+      const int u = best_cycle[i];
+      const int v = best_cycle[(i + 1) % best_cycle.size()];
+      involved.insert(nodes[u]);
+      const Edge* edge = nullptr;
+      for (const Edge& e : adj[u]) {
+        if (e.to == v) edge = &e;
+      }
+      report += "    " + txns_[nodes[u]].label() + " --" +
+                (edge != nullptr ? edge->label : std::string("?")) +
+                "--> " + txns_[nodes[v]].label() + "\n";
+    }
+    // Minimized schedule prefix: just the cycle's transactions, in invoke
+    // order, with their executed ops — enough to replay the anomaly by hand.
+    std::vector<int> schedule(involved.begin(), involved.end());
+    std::sort(schedule.begin(), schedule.end(), [&](int a, int b) {
+      return txns_[a].invoke_seq < txns_[b].invoke_seq;
+    });
+    report += "  schedule prefix (cycle transactions only):\n";
+    for (int i : schedule) {
+      const HistoryTxn& txn = txns_[i];
+      report += "    " + txn.label() + " " + to_string(txn.outcome) +
+                " invoke_seq=" + std::to_string(txn.invoke_seq) +
+                " complete_seq=" + std::to_string(txn.complete_seq) +
+                " span=[" + std::to_string(txn.span.begin) + "," +
+                std::to_string(txn.span.end) + "]\n";
+      for (const HistoryOp& op : txn.ops) {
+        report += "      " + op.to_string() + "\n";
+      }
+    }
+  }
+  return result;
+}
+
+LinResult SerializabilityChecker::check_key_linearizable(
+    Key key, std::size_t max_ops) const {
+  constexpr SimTime kInf = ~SimTime{0};
+  struct LOp {
+    bool is_write = false;
+    bool optional = false;  ///< blocked write: may take effect or not
+    Timestamp ts;           ///< write: installed; read: observed
+    bool hit = false;
+    SimTime start = 0;
+    SimTime end = 0;
+    std::string desc;
+  };
+  std::vector<LOp> ops;
+  for (const HistoryTxn& txn : txns_) {
+    if (txn.outcome == HistoryOutcome::kAborted) continue;
+    const bool blocked = txn.outcome == HistoryOutcome::kBlocked;
+    for (const HistoryOp& op : txn.ops) {
+      if (op.key != key) continue;
+      if (op.is_write) {
+        // The write's effect lands between staging and outcome delivery —
+        // for a blocked transaction possibly after the recorded history
+        // ends, hence the open interval and the optional flag.
+        ops.push_back(LOp{true, blocked, op.written, true, op.start,
+                          blocked ? kInf : txn.span.end,
+                          txn.label() + " " + op.to_string()});
+      } else if (!blocked) {
+        ops.push_back(LOp{false, false, op.observed, op.hit, op.start, op.end,
+                          txn.label() + " " + op.to_string()});
+      }
+    }
+  }
+  LinResult result;
+  if (ops.empty()) return result;
+  std::sort(ops.begin(), ops.end(), [](const LOp& a, const LOp& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end < b.end;
+    return a.desc < b.desc;
+  });
+  max_ops = std::min<std::size_t>(max_ops, 64);
+  if (ops.size() > max_ops) {
+    result.skipped = true;
+    return result;
+  }
+  const int n = static_cast<int>(ops.size());
+
+  const auto fail = [&](const std::string& why) {
+    result.ok = false;
+    result.report = "LINEARIZABILITY VIOLATION key=" + std::to_string(key) +
+                    ": " + why + "\n  sub-history (" + std::to_string(n) +
+                    " ops, by start time):\n";
+    for (const LOp& op : ops) result.report += "    " + op.desc + "\n";
+    return result;
+  };
+
+  // Register states: -1 = initial, otherwise an index into `versions`.
+  std::vector<Timestamp> versions;
+  for (const LOp& op : ops) {
+    if (op.is_write) versions.push_back(op.ts);
+  }
+  std::sort(versions.begin(), versions.end(), older);
+  versions.erase(std::unique(versions.begin(), versions.end()),
+                 versions.end());
+  const auto version_index = [&](const Timestamp& ts) {
+    for (std::size_t i = 0; i < versions.size(); ++i) {
+      if (versions[i] == ts) return static_cast<int>(i);
+    }
+    return -2;
+  };
+  for (const LOp& op : ops) {
+    if (!op.is_write && op.hit && version_index(op.ts) == -2) {
+      return fail("read observed " + op.ts.to_string() +
+                  ", which no committed write of this key installed");
+    }
+  }
+
+  std::uint64_t required = 0;  // bits of the non-optional ops
+  for (int i = 0; i < n; ++i) {
+    if (!ops[i].optional) required |= std::uint64_t{1} << i;
+  }
+
+  // Wing–Gong search: repeatedly linearize some pending op no other
+  // pending op strictly precedes in real time; reads must match the
+  // register, writes set it. Memoized on (done-mask, register state).
+  std::set<std::pair<std::uint64_t, int>> visited;
+  const auto dfs = [&](const auto& self, std::uint64_t done,
+                       int current) -> bool {
+    if ((done & required) == required) return true;
+    if (!visited.insert({done, current}).second) return false;
+    for (int i = 0; i < n; ++i) {
+      if (done & (std::uint64_t{1} << i)) continue;
+      bool minimal = true;
+      for (int j = 0; j < n && minimal; ++j) {
+        if (j == i || (done & (std::uint64_t{1} << j))) continue;
+        if (ops[j].end < ops[i].start) minimal = false;
+      }
+      if (!minimal) continue;
+      if (ops[i].is_write) {
+        if (self(self, done | (std::uint64_t{1} << i),
+                 version_index(ops[i].ts))) {
+          return true;
+        }
+      } else {
+        const bool matches = ops[i].hit
+                                 ? (current >= 0 &&
+                                    versions[current] == ops[i].ts)
+                                 : current == -1;
+        if (matches &&
+            self(self, done | (std::uint64_t{1} << i), current)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  if (!dfs(dfs, 0, -1)) {
+    return fail(
+        "no linearization of the committed reads/writes is consistent with "
+        "real time and register semantics");
+  }
+  return result;
+}
+
+}  // namespace atrcp

@@ -29,6 +29,9 @@ struct TxnSpan {
   std::uint64_t end = 0;                  ///< outcome delivered
   /// TxnOutcome as its underlying value (0 committed, 1 aborted, 2 blocked).
   std::uint8_t outcome = 0;
+  /// Site id of the issuing coordinator — lets span consumers (and the
+  /// history checker) attribute a span to its client without a join.
+  std::uint32_t coordinator_site = 0;
   std::uint32_t quorum_rounds = 0;      ///< read/version rounds issued
   std::uint32_t quorum_reassemblies = 0;  ///< rounds re-run after a timeout
   std::uint32_t commit_retransmits = 0;   ///< commit rounds beyond the first

@@ -54,6 +54,7 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
     const SiteId site = network_.add_site(*coordinator);
     coordinator->set_site(site);
     coordinator->set_metrics(&metrics_, &spans_);
+    if (options.record_history) coordinator->set_history(&history_);
     coordinators_.push_back(std::move(coordinator));
   }
 }

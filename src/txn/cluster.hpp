@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "protocols/protocol.hpp"
@@ -38,6 +39,11 @@ struct ClusterOptions {
   DetectorOptions detector{};
   /// Capacity of the per-cluster TxnSpanLog ring (most recent spans kept).
   std::size_t span_log_capacity = 4096;
+  /// When true every coordinator records its transactions into the
+  /// cluster-wide HistoryRecorder (history()) for the serializability
+  /// checker. Off by default: histories grow without bound, which long
+  /// benches don't want.
+  bool record_history = false;
 };
 
 class Cluster {
@@ -69,6 +75,11 @@ class Cluster {
   /// Ring of the most recent finished transaction spans across all clients.
   TxnSpanLog& spans() noexcept { return spans_; }
   const TxnSpanLog& spans() const noexcept { return spans_; }
+
+  /// The cluster-wide concurrent history; empty unless
+  /// ClusterOptions::record_history was set.
+  HistoryRecorder& history() noexcept { return history_; }
+  const HistoryRecorder& history() const noexcept { return history_; }
 
   /// Non-null iff use_heartbeat_detector was set.
   HeartbeatDetector* detector() noexcept { return detector_.get(); }
@@ -112,6 +123,7 @@ class Cluster {
   // valid for their whole lifetime (members destroy in reverse order).
   MetricsRegistry metrics_;
   TxnSpanLog spans_;
+  HistoryRecorder history_;
   std::unique_ptr<ReplicaControlProtocol> protocol_;
   Scheduler scheduler_;
   Network network_;

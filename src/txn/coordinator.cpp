@@ -99,6 +99,10 @@ void Coordinator::run(std::vector<TxnOp> ops, TxnCallback done) {
   txn.suspected = FailureSet(protocol_->universe_size());
   txn.span.txn_id = id;
   txn.span.begin = scheduler_.now();
+  txn.span.coordinator_site = static_cast<std::uint32_t>(site_);
+  if (history_ != nullptr) {
+    txn.invoke_seq = history_->record_invoke(site_, id, scheduler_.now());
+  }
 
   // Lock plan: one lock per distinct key, exclusive if any op writes it,
   // in ascending key order (reduces deadlocks among well-behaved clients).
@@ -173,6 +177,7 @@ void Coordinator::start_next_op(TxnId id) {
     return;
   }
   txn->attempts = 0;
+  txn->op_start = scheduler_.now();
   if (txn->ops[txn->current_op].is_write) {
     begin_version_round(id);
   } else {
@@ -310,6 +315,19 @@ void Coordinator::finish_read_op(TxnId id) {
       }
     }
   }
+  if (history_ != nullptr) {
+    HistoryOp hop;
+    hop.is_write = false;
+    hop.key = txn->ops[txn->current_op].key;
+    hop.hit = txn->best_value.has_value();
+    if (txn->best_value.has_value()) {
+      hop.value = txn->best_value->value;
+      hop.observed = txn->best_ts;
+    }
+    hop.start = txn->op_start;
+    hop.end = scheduler_.now();
+    txn->history_ops.push_back(std::move(hop));
+  }
   txn->result.reads.push_back(txn->best_value);
   ++txn->current_op;
   start_next_op(id);
@@ -338,6 +356,21 @@ void Coordinator::finish_version_op(TxnId id) {
   }
   for (ReplicaId r : quorum->members()) {
     txn->staged[replica_sites_[r]].push_back(StagedWrite{op.key, op.value, ts});
+  }
+  if (history_ != nullptr) {
+    HistoryOp hop;
+    hop.is_write = true;
+    hop.key = op.key;
+    hop.hit = true;
+    hop.value = op.value;
+    // The effective base of the version pre-read: our own earlier staged
+    // write of this key when it was newer than the quorum's answer.
+    hop.observed = base == txn->best_ts.version ? txn->best_ts
+                                                : Timestamp{base, site_};
+    hop.written = ts;
+    hop.start = txn->op_start;
+    hop.end = scheduler_.now();
+    txn->history_ops.push_back(std::move(hop));
   }
   txn->result.reads.emplace_back(std::nullopt);
   ++txn->current_op;
@@ -483,6 +516,12 @@ void Coordinator::finish(TxnId id, TxnOutcome outcome) {
     }
   }
   if (spans_ != nullptr) spans_->record(span);
+  if (history_ != nullptr) {
+    history_->record_complete(
+        site_, id, it->second.invoke_seq,
+        static_cast<HistoryOutcome>(static_cast<std::uint8_t>(outcome)), span,
+        std::move(it->second.history_ops), scheduler_.now());
+  }
 
   txns_.erase(it);
   locks_.release_all(id);

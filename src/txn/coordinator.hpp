@@ -33,6 +33,7 @@
 #include <set>
 #include <vector>
 
+#include "check/history.hpp"
 #include "obs/span.hpp"
 #include "protocols/protocol.hpp"
 #include "replica/messages.hpp"
@@ -111,6 +112,13 @@ class Coordinator final : public SiteHandler {
   /// detached first.
   void set_metrics(MetricsRegistry* registry, TxnSpanLog* spans = nullptr);
 
+  /// Attaches a concurrent-history recorder (nullptr detaches): every
+  /// transaction records an invoke event at run() entry and a complete
+  /// event — outcome, span, executed ops with observed/installed
+  /// timestamps — just before its callback fires. The recorder must
+  /// outlive the coordinator or be detached first.
+  void set_history(HistoryRecorder* history) noexcept { history_ = history; }
+
   /// Swaps the protocol driving quorum choices — the reconfiguration hook
   /// (the paper's §3.3: shifting configurations only re-shapes the tree).
   /// The new protocol must manage the same universe (same replica count)
@@ -155,6 +163,11 @@ class Coordinator final : public SiteHandler {
     Phase phase = Phase::kLocking;
     TxnResult result;
     TxnSpan span;  ///< phase timestamps + round counters for observability
+
+    // history recording (only populated while a recorder is attached)
+    std::uint64_t invoke_seq = 0;
+    SimTime op_start = 0;  ///< current op's first quorum round
+    std::vector<HistoryOp> history_ops;
 
     // locking
     std::vector<std::pair<Key, LockMode>> lock_plan;
@@ -233,6 +246,7 @@ class Coordinator final : public SiteHandler {
   SiteId site_ = 0;
   Obs obs_{};
   TxnSpanLog* spans_ = nullptr;
+  HistoryRecorder* history_ = nullptr;
 
   std::map<TxnId, Txn> txns_;
   std::uint64_t next_txn_seq_ = 1;

@@ -1,0 +1,151 @@
+// HistoryRecorder: event ordering, sequencing and the coordinator hook.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/history.hpp"
+#include "protocols/majority.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(HistoryRecorderTest, AssignsGlobalSequenceInRecordingOrder) {
+  HistoryRecorder recorder;
+  const auto inv0 = recorder.record_invoke(9, 100, 0);
+  const auto inv1 = recorder.record_invoke(10, 200, 5);
+  EXPECT_EQ(inv0, 0u);
+  EXPECT_EQ(inv1, 1u);
+  EXPECT_EQ(recorder.open_count(), 2u);
+
+  TxnSpan span;
+  span.begin = 5;
+  span.end = 40;
+  recorder.record_complete(10, 200, inv1, HistoryOutcome::kCommitted, span, {},
+                           40);
+  recorder.record_complete(9, 100, inv0, HistoryOutcome::kAborted, span, {},
+                           55);
+  EXPECT_EQ(recorder.open_count(), 0u);
+
+  ASSERT_EQ(recorder.events().size(), 4u);
+  for (std::size_t i = 0; i < recorder.events().size(); ++i) {
+    EXPECT_EQ(recorder.events()[i].seq, i);  // seq == index, always
+  }
+  // Completion order, not invocation order, orders txns().
+  ASSERT_EQ(recorder.txns().size(), 2u);
+  EXPECT_EQ(recorder.txns()[0].txn_id, 200u);
+  EXPECT_EQ(recorder.txns()[0].invoke_seq, 1u);
+  EXPECT_EQ(recorder.txns()[0].complete_seq, 2u);
+  EXPECT_EQ(recorder.txns()[1].txn_id, 100u);
+  EXPECT_EQ(recorder.txns()[1].outcome, HistoryOutcome::kAborted);
+}
+
+TEST(HistoryRecorderTest, EventTimesAreMonotoneInSequence) {
+  HistoryRecorder recorder;
+  const auto inv = recorder.record_invoke(3, 7, 10);
+  TxnSpan span;
+  recorder.record_complete(3, 7, inv, HistoryOutcome::kCommitted, span, {}, 25);
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_LE(recorder.events()[0].at, recorder.events()[1].at);
+  EXPECT_EQ(recorder.events()[0].kind, HistoryEvent::Kind::kInvoke);
+  EXPECT_EQ(recorder.events()[1].kind, HistoryEvent::Kind::kComplete);
+}
+
+TEST(HistoryRecorderTest, ToStringFormatsAreStable) {
+  HistoryOp write;
+  write.is_write = true;
+  write.key = 2;
+  write.hit = true;
+  write.value = "val";
+  write.observed = kInitialTimestamp;
+  write.written = Timestamp{1, 9};
+  write.start = 120;
+  write.end = 880;
+  EXPECT_EQ(write.to_string(), "w k2:=\"val\" v1@9 (base v0@0) @[120,880]");
+
+  HistoryOp miss;
+  miss.key = 5;
+  miss.start = 1;
+  miss.end = 2;
+  EXPECT_EQ(miss.to_string(), "r k5=miss @[1,2]");
+
+  HistoryTxn txn;
+  txn.txn_id = (std::uint64_t{9} << 32) | 4;
+  txn.site = 9;
+  EXPECT_EQ(txn.label(), "c9#4");
+}
+
+TEST(HistoryRecorderTest, ClearResets) {
+  HistoryRecorder recorder;
+  recorder.record_invoke(1, 1, 0);
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_TRUE(recorder.txns().empty());
+  EXPECT_EQ(recorder.open_count(), 0u);
+}
+
+TEST(HistoryClusterHookTest, CoordinatorRecordsInvokeCompleteAndOps) {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 2};
+  options.record_history = true;
+  options.clients = 2;
+  Cluster cluster(std::make_unique<MajorityQuorum>(5), options);
+
+  ASSERT_EQ(cluster.write_sync(0, 7, "a"), TxnOutcome::kCommitted);
+  ASSERT_TRUE(cluster.read_sync(1, 7).has_value());
+
+  const HistoryRecorder& history = cluster.history();
+  EXPECT_EQ(history.open_count(), 0u);
+  ASSERT_EQ(history.txns().size(), 2u);
+  ASSERT_EQ(history.events().size(), 4u);
+
+  const HistoryTxn& write = history.txns()[0];
+  EXPECT_EQ(write.outcome, HistoryOutcome::kCommitted);
+  EXPECT_EQ(write.site, 5u);  // first client site = n
+  EXPECT_EQ(write.span.coordinator_site, 5u);
+  ASSERT_EQ(write.ops.size(), 1u);
+  EXPECT_TRUE(write.ops[0].is_write);
+  EXPECT_EQ(write.ops[0].key, 7u);
+  EXPECT_EQ(write.ops[0].value, "a");
+  EXPECT_EQ(write.ops[0].observed, kInitialTimestamp);
+  EXPECT_EQ(write.ops[0].written, (Timestamp{1, 5}));
+  // Op interval nests inside the span; invoke precedes complete.
+  EXPECT_LE(write.span.begin, write.ops[0].start);
+  EXPECT_LE(write.ops[0].start, write.ops[0].end);
+  EXPECT_LE(write.ops[0].end, write.span.end);
+  EXPECT_LT(write.invoke_seq, write.complete_seq);
+
+  const HistoryTxn& read = history.txns()[1];
+  EXPECT_EQ(read.site, 6u);
+  ASSERT_EQ(read.ops.size(), 1u);
+  EXPECT_FALSE(read.ops[0].is_write);
+  EXPECT_TRUE(read.ops[0].hit);
+  EXPECT_EQ(read.ops[0].value, "a");
+  EXPECT_EQ(read.ops[0].observed, (Timestamp{1, 5}));
+}
+
+TEST(HistoryClusterHookTest, RecordingIsOffByDefault) {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 2};
+  Cluster cluster(std::make_unique<MajorityQuorum>(3), options);
+  ASSERT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kCommitted);
+  EXPECT_TRUE(cluster.history().events().empty());
+}
+
+TEST(HistoryClusterHookTest, AbortedTransactionsAreRecorded) {
+  ClusterOptions options;
+  options.link = LinkParams{.base_latency = 10, .jitter = 2};
+  options.coordinator.request_timeout = 2'000;
+  options.record_history = true;
+  Cluster cluster(std::make_unique<MajorityQuorum>(3), options);
+  // Majority of 3 needs 2 alive; kill two replicas.
+  cluster.injector().crash_now(0);
+  cluster.injector().crash_now(1);
+  ASSERT_EQ(cluster.write_sync(0, 1, "x"), TxnOutcome::kAborted);
+  ASSERT_EQ(cluster.history().txns().size(), 1u);
+  EXPECT_EQ(cluster.history().txns()[0].outcome, HistoryOutcome::kAborted);
+  EXPECT_TRUE(cluster.history().txns()[0].ops.empty());  // op never executed
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -36,7 +36,12 @@ TEST_P(ChaosTest, HistoryMatchesReferenceCopy) {
   ClusterOptions options;
   options.link = LinkParams{.base_latency = 10, .jitter = 2};
   options.coordinator.request_timeout = 2'000;
-  options.coordinator.read_repair = rng.chance(0.5);
+  // Option randomization lives on a seed DERIVED from the case seed, never
+  // on the chaos rng itself: drawing it from `rng` would shift every draw
+  // of the history loop below, so adding an option would silently rewrite
+  // all existing seeded schedules.
+  Rng option_rng(SplitMix64(GetParam().seed ^ 0x9E3779B97F4A7C15ULL).next());
+  options.coordinator.read_repair = option_rng.chance(0.5);
   Cluster cluster(GetParam().make(), options);
   const std::size_t n = cluster.replica_count();
 
@@ -106,7 +111,7 @@ std::vector<ChaosCase> chaos_cases() {
   };
   std::vector<ChaosCase> cases;
   for (const auto& [label, factory] : protocols) {
-    for (std::uint64_t seed : {101u, 202u}) {
+    for (std::uint64_t seed : {404u, 808u}) {
       cases.push_back(
           {label + "_s" + std::to_string(seed), factory, seed});
     }
