@@ -8,10 +8,12 @@
 // configuration CI uses. Deterministic: a given binary prints byte-identical
 // output on every run. Exit code 0 iff every expectation held.
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "check/broken.hpp"
 #include "check/explorer.hpp"
+#include "obs/json_lint.hpp"
 
 int main() {
   using namespace atrcp;
@@ -48,6 +50,21 @@ int main() {
     std::printf("PASS broken-intersection flagged at seed %llu with a "
                 "dependency cycle\n",
                 static_cast<unsigned long long>(broken.failing_seeds.front()));
+    // The flight recorder must have dumped the offending schedule's full
+    // timeline next to the counterexample; park it on disk for Perfetto.
+    if (broken.first_failure_trace.empty() ||
+        !json_valid(broken.first_failure_trace)) {
+      all_ok = false;
+      std::printf("FAIL failing seed carried no valid flight-recorder "
+                  "trace\n");
+    } else {
+      const char* trace_path = "check_explore_counterexample.json";
+      std::ofstream file(trace_path, std::ios::binary);
+      file << broken.first_failure_trace;
+      std::printf("PASS flight recorder dumped %zu bytes -> %s\n",
+                  broken.first_failure_trace.size(),
+                  file ? trace_path : "(write failed; trace kept in memory)");
+    }
   } else {
     all_ok = false;
     std::printf("FAIL broken-intersection was NOT flagged with a cycle "

@@ -15,34 +15,27 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/site_load.hpp"
+#include "obs/span.hpp"
 #include "protocols/protocol.hpp"
 #include "txn/cluster.hpp"
 
 namespace atrcp::benchio {
 
-/// Measured mean assembled-quorum size for `kind` ("read" or "write"):
-/// members / (attempts - failures). NaN when the run never assembled one.
-inline double measured_mean_quorum(const MetricsRegistry& metrics,
-                                   const std::string& protocol_name,
-                                   const std::string& kind) {
-  const std::string prefix = "quorum." + protocol_name + "." + kind + ".";
-  const Counter* attempts = metrics.find_counter(prefix + "attempts");
-  const Counter* failures = metrics.find_counter(prefix + "failures");
-  const Counter* members = metrics.find_counter(prefix + "members");
-  if (attempts == nullptr || members == nullptr) return std::nan("");
-  const std::uint64_t failed = failures == nullptr ? 0 : failures->value();
-  const std::uint64_t assembled = attempts->value() - failed;
-  if (assembled == 0) return std::nan("");
-  return static_cast<double>(members->value()) /
-         static_cast<double>(assembled);
-}
+/// Measured mean assembled-quorum size; the implementation (and its NaN
+/// safety when attempts == failures) lives in obs/site_load.cpp where the
+/// obs tests can pin it down.
+using atrcp::measured_mean_quorum;
 
 /// Prints the block on one line:
 ///   {"label":...,"protocol":...,
 ///    "quorum_cost":{"read":{"measured":...,"predicted":...},"write":{...}},
-///    "spans_recorded":...,"registry":{...}}
+///    "spans":{"recorded":...,"retained":...,"latency_us":{"p50":...,
+///    "p95":...,"p99":...},"slowest":{...}},"registry":{...}}
 /// `predicted` is the protocol's analytic read_cost()/write_cost(); a
-/// measured value that never materialized serializes as null.
+/// measured value that never materialized serializes as null. The spans
+/// object snapshots the cluster's TxnSpanLog (p50/p95/p99 over retained
+/// spans plus the single slowest transaction).
 inline void emit_metrics_block(std::ostream& os, const std::string& label,
                                const Cluster& cluster) {
   const ReplicaControlProtocol& protocol = cluster.protocol();
@@ -55,7 +48,7 @@ inline void emit_metrics_block(std::ostream& os, const std::string& label,
      << "},\"write\":{\"measured\":"
      << format_double(measured_mean_quorum(metrics, protocol.name(), "write"))
      << ",\"predicted\":" << format_double(protocol.write_cost())
-     << "}},\"spans_recorded\":" << cluster.spans().total_recorded()
+     << "}},\"spans\":" << summarize_spans(cluster.spans()).to_json()
      << ",\"registry\":";
   metrics.to_json(os);
   os << "}";

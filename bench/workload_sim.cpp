@@ -82,6 +82,36 @@ int main() {
     std::cout << "\n\n";
   }
 
+  // Load block: a healthy 64-site ARBITRARY run, validating Facts
+  // 3.2.3/3.2.4 empirically — the busiest site's measured read share must
+  // stay within the analytic optimum 1/d = 1/4 (one pick per physical
+  // level, the bottom level has d = 4 nodes) and the busiest write share
+  // near 1/|K_phy| = 1/8 = 1/sqrt(64). Fixed seed: byte-identical output.
+  {
+    std::unique_ptr<ArbitraryProtocol> protocol = make_arbitrary(64);
+    SiteLoadOptions load_options;
+    load_options.protocol = protocol->name();
+    load_options.universe = protocol->universe_size();
+    load_options.analytic_read_load = protocol->read_load();
+    load_options.analytic_write_load = protocol->write_load();
+    const ArbitraryTree& tree = protocol->tree();
+    for (const std::uint32_t level : tree.physical_levels()) {
+      load_options.levels.push_back(tree.replicas_at_level(level));
+    }
+    ClusterOptions options;
+    options.clients = 4;
+    options.link = LinkParams{.base_latency = 50, .jitter = 10};
+    Cluster cluster(std::move(protocol), options);
+    WorkloadOptions workload;
+    workload.transactions_per_client = 300;
+    workload.read_fraction = 0.5;
+    workload.num_keys = 32;
+    run_workload(cluster, workload);
+    std::cout << "load "
+              << collect_site_load(cluster.metrics(), load_options).to_json()
+              << "\n\n";
+  }
+
   std::cout
       << "Observed shape: MOSTLY-READ is cheapest under read-heavy traffic\n"
       << "and collapses under write-heavy traffic, as the paper predicts.\n"

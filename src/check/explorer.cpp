@@ -1,9 +1,11 @@
 #include "check/explorer.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "check/broken.hpp"
+#include "obs/chrome_trace.hpp"
 #include "core/config.hpp"
 #include "core/quorums.hpp"
 #include "core/tree.hpp"
@@ -238,6 +240,7 @@ SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
   copt.link = kExplorerLink;
   copt.clients = options_.clients;
   copt.record_history = true;
+  copt.event_bus_capacity = options_.event_bus_capacity;
   copt.coordinator.request_timeout = 2'000;
   copt.coordinator.lock_timeout = 20'000;
   copt.coordinator.commit_retry_interval = 1'000;
@@ -298,6 +301,23 @@ SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
       report.detail += lin.report;
     }
   }
+  if (!report.ok && cluster.events() != nullptr) {
+    // Dump the offending schedule's flight recorder next to the
+    // counterexample: full Chrome trace for Perfetto, plus a bounded event
+    // tail inline (both deterministic, so reports stay byte-reproducible).
+    const EventBus& events = *cluster.events();
+    ChromeTraceStats stats;
+    report.flight_recorder =
+        chrome_trace_json(events, cluster.site_names(), &stats);
+    report.detail += "flight recorder: " +
+                     std::to_string(events.total_published()) + " events (" +
+                     std::to_string(events.size()) + " retained, " +
+                     std::to_string(stats.flow_begins) +
+                     " causal edges), last " +
+                     std::to_string(std::min<std::size_t>(
+                         options_.trace_tail_lines, events.size())) +
+                     ":\n" + events.tail_to_string(options_.trace_tail_lines);
+  }
   return report;
 }
 
@@ -328,6 +348,9 @@ ExploreReport ScheduleExplorer::explore(const ProtocolFactory& factory,
     out.ok = false;
     out.failing_seeds.push_back(seed);
     out.text += indent(report.detail, "    ");
+    if (out.first_failure_trace.empty()) {
+      out.first_failure_trace = report.flight_recorder;
+    }
     if (stop_at_first_failure) break;
   }
   out.text += "== result protocol=" + label + ": " +

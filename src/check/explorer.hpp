@@ -66,6 +66,14 @@ struct ExplorerOptions {
   bool nemesis = true;
   /// Per-key linearizability sub-histories above this are skipped (<= 64).
   std::size_t max_lin_ops = 48;
+  /// Flight-recorder ring capacity for every explored run. Recording
+  /// consumes no randomness, so it never changes which schedules a seed
+  /// explores; a failing seed's trace is exported into the report. 0 turns
+  /// the recorder off (no trace next to counterexamples).
+  std::size_t event_bus_capacity = 1 << 14;
+  /// Number of flight-recorder tail lines appended to a failing seed's
+  /// counterexample detail.
+  std::size_t trace_tail_lines = 32;
 };
 
 /// Outcome of a single (protocol, seed) experiment.
@@ -79,8 +87,13 @@ struct SeedReport {
   std::size_t lin_keys_skipped = 0;
   std::string nemesis;  ///< NemesisSchedule::to_string()
   /// Counterexample (serializability and/or linearizability reports);
-  /// empty when ok.
+  /// empty when ok. When a failure occurred with the flight recorder on,
+  /// also carries a summary line and the recorder's event tail.
   std::string detail;
+  /// Chrome trace-event JSON of the failing run's flight recorder — the
+  /// offending schedule's full timeline, ready for Perfetto. Empty when ok
+  /// or when the recorder was disabled.
+  std::string flight_recorder;
 
   /// One deterministic summary line (no detail).
   std::string line() const;
@@ -94,6 +107,9 @@ struct ExploreReport {
   /// Full byte-reproducible report text: header, one line per seed,
   /// failing-seed counterexamples, result trailer.
   std::string text;
+  /// Flight-recorder trace (Chrome JSON) of the FIRST failing seed; empty
+  /// when every seed passed or the recorder was disabled.
+  std::string first_failure_trace;
 };
 
 class ScheduleExplorer {

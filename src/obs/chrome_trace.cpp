@@ -1,0 +1,141 @@
+#include "obs/chrome_trace.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace atrcp {
+namespace {
+
+// All records live in pid 0; tid is the site id, with one synthetic track
+// after the last real site for site-less (system) events.
+struct TrackPlan {
+  std::uint32_t system_tid = 0;
+  std::uint32_t track_count = 0;  ///< real site tracks (0..track_count-1)
+};
+
+TrackPlan plan_tracks(const std::vector<Event>& events,
+                      const std::vector<std::string>& site_names) {
+  std::uint32_t max_site = 0;
+  bool any_site = !site_names.empty();
+  if (any_site) max_site = static_cast<std::uint32_t>(site_names.size() - 1);
+  for (const Event& e : events) {
+    if (e.site != Event::kNoSite && (!any_site || e.site > max_site)) {
+      max_site = e.site;
+      any_site = true;
+    }
+    if (e.peer != Event::kNoSite && (!any_site || e.peer > max_site)) {
+      max_site = e.peer;
+      any_site = true;
+    }
+  }
+  TrackPlan plan;
+  plan.track_count = any_site ? max_site + 1 : 0;
+  plan.system_tid = plan.track_count;
+  return plan;
+}
+
+std::string track_name(std::uint32_t site,
+                       const std::vector<std::string>& site_names) {
+  if (site < site_names.size() && !site_names[site].empty()) {
+    return site_names[site];
+  }
+  return "site " + std::to_string(site);
+}
+
+void open_record(std::ostream& os, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+}
+
+}  // namespace
+
+ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
+                                    const std::vector<std::string>&
+                                        site_names) {
+  const std::vector<Event> events = bus.snapshot();
+  const TrackPlan plan = plan_tracks(events, site_names);
+  ChromeTraceStats stats;
+  bool first = true;
+
+  os << "{\"traceEvents\":[\n";
+  for (std::uint32_t tid = 0; tid < plan.track_count; ++tid) {
+    open_record(os, first);
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(track_name(tid, site_names)) << "\"}}";
+    ++stats.records;
+    ++stats.tracks;
+  }
+  open_record(os, first);
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << plan.system_tid
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"system\"}}";
+  ++stats.records;
+
+  for (const Event& e : events) {
+    const std::uint32_t tid =
+        e.site != Event::kNoSite ? e.site : plan.system_tid;
+    const std::string name =
+        e.label.empty() ? event_kind_name(e.kind) : json_escape(e.label);
+    switch (e.kind) {
+      case EventKind::kMsgSend:
+      case EventKind::kMsgDeliver:
+      case EventKind::kMsgDrop: {
+        open_record(os, first);
+        os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << e.time
+           << ",\"dur\":1,\"cat\":\"msg\",\"name\":\"" << name
+           << "\",\"args\":{\"kind\":\"" << event_kind_name(e.kind)
+           << "\",\"peer\":" << e.peer << ",\"cid\":" << e.causal_id << "}}";
+        ++stats.records;
+        if (e.causal_id != 0) {
+          open_record(os, first);
+          if (e.kind == EventKind::kMsgSend) {
+            os << "{\"ph\":\"s\",\"pid\":0,\"tid\":" << tid
+               << ",\"ts\":" << e.time << ",\"cat\":\"msg\",\"name\":\"" << name
+               << "\",\"id\":" << e.causal_id << "}";
+            ++stats.flow_begins;
+          } else {
+            os << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":" << tid
+               << ",\"ts\":" << e.time << ",\"cat\":\"msg\",\"name\":\"" << name
+               << "\",\"id\":" << e.causal_id << "}";
+            ++stats.flow_ends;
+          }
+          ++stats.records;
+        }
+        break;
+      }
+      case EventKind::kTxnBegin:
+      case EventKind::kTxnFinish: {
+        open_record(os, first);
+        const char* ph = e.kind == EventKind::kTxnBegin ? "b" : "e";
+        os << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << tid
+           << ",\"ts\":" << e.time << ",\"cat\":\"txn\",\"id\":" << e.txn_id
+           << ",\"name\":\"txn\",\"args\":{\"label\":\"" << name << "\"}}";
+        ++stats.records;
+        break;
+      }
+      default: {
+        open_record(os, first);
+        os << "{\"ph\":\"i\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << e.time
+           << ",\"s\":\"t\",\"name\":\"" << event_kind_name(e.kind)
+           << "\",\"args\":{\"label\":\"" << name
+           << "\",\"txn\":" << e.txn_id << "}}";
+        ++stats.records;
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+  return stats;
+}
+
+std::string chrome_trace_json(const EventBus& bus,
+                              const std::vector<std::string>& site_names,
+                              ChromeTraceStats* stats) {
+  std::ostringstream os;
+  const ChromeTraceStats s = write_chrome_trace(os, bus, site_names);
+  if (stats != nullptr) *stats = s;
+  return os.str();
+}
+
+}  // namespace atrcp

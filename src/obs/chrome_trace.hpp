@@ -1,0 +1,40 @@
+// Chrome trace-event export of a flight-recorder run: open the file in
+// Perfetto (ui.perfetto.dev) or chrome://tracing and every site is a track,
+// message sends/delivers are slices connected by flow arrows along the
+// causal id, transactions are async spans, and crashes/partitions are
+// instants. The emitted JSON is byte-deterministic: same bus contents,
+// same bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+
+namespace atrcp {
+
+/// What an export wrote, for smoke checks ("nonzero flow events").
+struct ChromeTraceStats {
+  std::size_t records = 0;      ///< trace records emitted (incl. metadata)
+  std::size_t flow_begins = 0;  ///< "s" flow-start events (at kMsgSend)
+  std::size_t flow_ends = 0;    ///< "f" flow-finish events (deliver/drop)
+  std::size_t tracks = 0;       ///< named per-site tracks
+};
+
+/// Renders the bus's retained events as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}). `site_names[i]` labels site i's track; missing
+/// names fall back to "site <i>". Events with site == Event::kNoSite land
+/// on a synthetic "system" track.
+ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
+                                    const std::vector<std::string>&
+                                        site_names = {});
+
+/// Convenience: the same document as a string.
+std::string chrome_trace_json(const EventBus& bus,
+                              const std::vector<std::string>& site_names = {},
+                              ChromeTraceStats* stats = nullptr);
+
+}  // namespace atrcp

@@ -1,0 +1,91 @@
+#include "obs/event_bus.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace atrcp {
+
+EventBus::EventBus(std::size_t capacity) : slots_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EventBus: capacity must be > 0");
+  }
+}
+
+void EventBus::publish(Event event) {
+  if (size_ < slots_.size()) {
+    slots_[(head_ + size_) % slots_.size()] = std::move(event);
+    ++size_;
+  } else {
+    slots_[head_] = std::move(event);
+    head_ = (head_ + 1) % slots_.size();
+  }
+  ++total_;
+}
+
+const Event& EventBus::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("EventBus::at");
+  return slots_[(head_ + i) % slots_.size()];
+}
+
+std::vector<Event> EventBus::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+void EventBus::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+}
+
+std::string EventBus::tail_to_string(std::size_t count) const {
+  const std::size_t n = count < size_ ? count : size_;
+  std::ostringstream os;
+  for (std::size_t i = size_ - n; i < size_; ++i) {
+    os << format_event(at(i)) << '\n';
+  }
+  return os.str();
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMsgSend: return "send";
+    case EventKind::kMsgDeliver: return "deliver";
+    case EventKind::kMsgDrop: return "drop";
+    case EventKind::kTxnBegin: return "txn_begin";
+    case EventKind::kTxnPhase: return "txn_phase";
+    case EventKind::kTxnFinish: return "txn_finish";
+    case EventKind::kLockWait: return "lock_wait";
+    case EventKind::kLockGranted: return "lock_granted";
+    case EventKind::kLockTimeout: return "lock_timeout";
+    case EventKind::kQuorumRound: return "quorum_round";
+    case EventKind::kQuorumReassembly: return "quorum_reassembly";
+    case EventKind::kQuorumUnavailable: return "quorum_unavailable";
+    case EventKind::kCommitRetransmit: return "commit_retransmit";
+    case EventKind::kReplicaRead: return "replica_read";
+    case EventKind::kReplicaVersion: return "replica_version";
+    case EventKind::kReplicaStage: return "replica_stage";
+    case EventKind::kReplicaApply: return "replica_apply";
+    case EventKind::kReplicaAbort: return "replica_abort";
+    case EventKind::kReplicaRepair: return "replica_repair";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRecover: return "recover";
+    case EventKind::kPartition: return "partition";
+    case EventKind::kHeal: return "heal";
+  }
+  return "unknown";
+}
+
+std::string format_event(const Event& event) {
+  std::ostringstream os;
+  os << "t=" << event.time << ' ' << event_kind_name(event.kind);
+  if (event.site != Event::kNoSite) os << " site=" << event.site;
+  if (event.peer != Event::kNoSite) os << " peer=" << event.peer;
+  if (event.causal_id != 0) os << " cid=" << event.causal_id;
+  if (event.txn_id != 0) os << " txn=" << event.txn_id;
+  if (!event.label.empty()) os << ' ' << event.label;
+  return os.str();
+}
+
+}  // namespace atrcp

@@ -1,0 +1,126 @@
+// The causal flight recorder's spine: a fixed-ring, allocation-light event
+// log that every layer of the simulated system publishes into. One pipeline
+// replaces the ad-hoc TraceSink plumbing: the Network stamps message
+// send/deliver/drop edges (linked by a causal message id so an export can
+// draw the send->deliver arrow), the Coordinator stamps txn phase
+// transitions and lock waits, the ReplicaServer stamps request handling and
+// version installs, and the FailureInjector stamps crash/recover/
+// partition/heal edges.
+//
+// Layering: obs sits below sim, so Event mirrors SimTime / SiteId as raw
+// std::uint64_t / std::uint32_t rather than including sim headers. Like
+// MetricsRegistry, everything here is byte-deterministic under a fixed
+// seed: publishing consumes no randomness and formatting never depends on
+// addresses or wall-clock time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+/// Event kinds, grouped by publishing layer. Values are part of the
+/// recorded format (exports and tests rely on them), so they are explicit
+/// and append-only.
+enum class EventKind : std::uint8_t {
+  // Network (causal_id links a send to its deliver or in-flight drop).
+  kMsgSend = 0,
+  kMsgDeliver = 1,
+  kMsgDrop = 2,
+  // Coordinator / LockManager.
+  kTxnBegin = 3,
+  kTxnPhase = 4,
+  kTxnFinish = 5,
+  kLockWait = 6,
+  kLockGranted = 7,
+  kLockTimeout = 8,
+  kQuorumRound = 9,
+  kQuorumReassembly = 10,
+  kQuorumUnavailable = 11,
+  kCommitRetransmit = 12,
+  // ReplicaServer.
+  kReplicaRead = 13,
+  kReplicaVersion = 14,
+  kReplicaStage = 15,
+  kReplicaApply = 16,
+  kReplicaAbort = 17,
+  kReplicaRepair = 18,
+  // FailureInjector.
+  kCrash = 19,
+  kRecover = 20,
+  kPartition = 21,
+  kHeal = 22,
+};
+
+/// One recorded fact. Fixed-size except `label`, which for every built-in
+/// publisher is a short tag ("PrepareRequest", "commit", ...) that fits
+/// small-string optimization — recording stays allocation-light.
+struct Event {
+  /// site/peer value meaning "no site" (system-wide events like kHeal).
+  static constexpr std::uint32_t kNoSite = 0xFFFF'FFFFu;
+
+  std::uint64_t time = 0;  ///< SimTime microseconds
+  EventKind kind = EventKind::kMsgSend;
+  /// Site the event happened AT: sender for kMsgSend, destination for
+  /// kMsgDeliver/kMsgDrop, coordinator site for txn events.
+  std::uint32_t site = kNoSite;
+  /// The other endpoint of a message edge; kNoSite for local events.
+  std::uint32_t peer = kNoSite;
+  /// Nonzero links a kMsgSend to the kMsgDeliver/kMsgDrop of the same
+  /// message; ids are unique and monotone within one bus.
+  std::uint64_t causal_id = 0;
+  /// Owning transaction where known; 0 = none.
+  std::uint64_t txn_id = 0;
+  /// Short human tag: message type, phase name, outcome, lock key.
+  std::string label;
+};
+
+/// Fixed-capacity ring of events: most recent kept, oldest evicted, no
+/// per-record allocation beyond the label's SSO. Mirrors TxnSpanLog.
+class EventBus {
+ public:
+  explicit EventBus(std::size_t capacity = 1 << 14);
+
+  void publish(Event event);
+
+  /// Allocates the next causal message id (monotone, starting at 1; 0
+  /// stays the "no causal link" sentinel).
+  std::uint64_t next_causal_id() noexcept { return ++last_causal_id_; }
+  std::uint64_t last_causal_id() const noexcept { return last_causal_id_; }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Number of events currently retained (<= capacity).
+  std::size_t size() const noexcept { return size_; }
+  /// Total events ever published, including evicted ones.
+  std::uint64_t total_published() const noexcept { return total_; }
+
+  /// i-th retained event, oldest first; throws std::out_of_range.
+  const Event& at(std::size_t i) const;
+
+  /// Retained events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  void clear() noexcept;
+
+  /// "t=120 deliver site=0 peer=8 cid=3 ReadRequest" lines for the most
+  /// recent `count` events — the debugging tail appended to explorer
+  /// counterexamples.
+  std::string tail_to_string(std::size_t count) const;
+
+ private:
+  std::vector<Event> slots_;
+  std::size_t head_ = 0;  ///< index of the oldest retained event
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t last_causal_id_ = 0;
+};
+
+/// Stable lowercase name of a kind ("send", "deliver", "txn_begin", ...).
+const char* event_kind_name(EventKind kind);
+
+/// One-line rendering of an event, used by tail_to_string.
+std::string format_event(const Event& event);
+
+}  // namespace atrcp

@@ -1,0 +1,187 @@
+#include "obs/json_lint.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace atrcp {
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+struct Linter {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string reason;
+
+  bool fail(const std::string& why) {
+    if (reason.empty()) {
+      reason = "offset " + std::to_string(pos) + ": " + why;
+    }
+    return false;
+  }
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (at_end()) return fail("unterminated escape");
+        const char e = text[pos];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++pos;
+        } else if (e == 'u') {
+          ++pos;
+          for (int i = 0; i < 4; ++i, ++pos) {
+            if (at_end() ||
+                std::isxdigit(static_cast<unsigned char>(peek())) == 0) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else {
+          return fail("bad escape");
+        }
+      } else {
+        ++pos;
+      }
+    }
+  }
+
+  bool digits() {
+    if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      return fail("expected digit");
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++pos;
+    }
+    return true;
+  }
+
+  bool number() {
+    if (!at_end() && peek() == '-') ++pos;
+    if (at_end()) return fail("truncated number");
+    if (peek() == '0') {
+      ++pos;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("expected value");
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return number();
+    }
+    return fail("unexpected character");
+  }
+
+  bool object(int depth) {
+    consume('{');
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool array(int depth) {
+    consume('[');
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+  Linter linter;
+  linter.text = text;
+  bool ok = linter.value(0);
+  if (ok) {
+    linter.skip_ws();
+    if (!linter.at_end()) ok = linter.fail("trailing content");
+  }
+  if (!ok && error != nullptr) *error = linter.reason;
+  return ok;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,18 @@
+// Minimal JSON well-formedness checker — enough to let the trace-export
+// smoke test and the obs tests validate emitted documents without an
+// external parser dependency. Checks structure (RFC 8259 grammar, UTF-8
+// passthrough, escape sequences, number syntax) with a recursion-depth cap;
+// it does not build a DOM.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace atrcp {
+
+/// True iff `text` is one complete, well-formed JSON value (with optional
+/// surrounding whitespace). On failure, fills *error (when non-null) with a
+/// byte offset and reason.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace atrcp

@@ -1,0 +1,134 @@
+#include "obs/site_load.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace atrcp {
+namespace {
+
+std::uint64_t counter_value(const MetricsRegistry& metrics,
+                            const std::string& name) {
+  const Counter* c = metrics.find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::uint64_t assembled_quorums(const MetricsRegistry& metrics,
+                                const std::string& prefix) {
+  const std::uint64_t attempts = counter_value(metrics, prefix + "attempts");
+  const std::uint64_t failures = counter_value(metrics, prefix + "failures");
+  return failures > attempts ? 0 : attempts - failures;
+}
+
+double share(std::uint64_t hits, std::uint64_t quorums) {
+  if (quorums == 0) return std::nan("");
+  return static_cast<double>(hits) / static_cast<double>(quorums);
+}
+
+/// NaN-aware max: ignores NaN candidates, keeps NaN when nothing real seen.
+double max_share(double current, double candidate) {
+  if (std::isnan(candidate)) return current;
+  if (std::isnan(current) || candidate > current) return candidate;
+  return current;
+}
+
+}  // namespace
+
+SiteLoadTable collect_site_load(const MetricsRegistry& metrics,
+                                const SiteLoadOptions& options) {
+  const std::string prefix = "quorum." + options.protocol + ".";
+  SiteLoadTable table;
+  table.protocol = options.protocol;
+  table.analytic_read_load = options.analytic_read_load;
+  table.analytic_write_load = options.analytic_write_load;
+  table.read_quorums = assembled_quorums(metrics, prefix + "read.");
+  table.write_quorums = assembled_quorums(metrics, prefix + "write.");
+  table.max_read_share = std::nan("");
+  table.max_write_share = std::nan("");
+
+  table.sites.reserve(options.universe);
+  for (std::size_t r = 0; r < options.universe; ++r) {
+    const std::string suffix = "site." + std::to_string(r);
+    SiteLoadRow row;
+    row.site = static_cast<std::uint32_t>(r);
+    row.read_hits = counter_value(metrics, prefix + "read." + suffix);
+    row.write_hits = counter_value(metrics, prefix + "write." + suffix);
+    row.read_share = share(row.read_hits, table.read_quorums);
+    row.write_share = share(row.write_hits, table.write_quorums);
+    table.read_hits_total += row.read_hits;
+    table.write_hits_total += row.write_hits;
+    table.max_read_share = max_share(table.max_read_share, row.read_share);
+    table.max_write_share = max_share(table.max_write_share, row.write_share);
+    table.sites.push_back(row);
+  }
+
+  table.levels.reserve(options.levels.size());
+  for (std::size_t l = 0; l < options.levels.size(); ++l) {
+    LevelLoadRow row;
+    row.level = l;
+    row.size = options.levels[l].size();
+    row.max_read_share = std::nan("");
+    row.max_write_share = std::nan("");
+    for (const std::uint32_t r : options.levels[l]) {
+      if (r >= table.sites.size()) continue;
+      const SiteLoadRow& site = table.sites[r];
+      row.read_hits += site.read_hits;
+      row.write_hits += site.write_hits;
+      row.max_read_share = max_share(row.max_read_share, site.read_share);
+      row.max_write_share = max_share(row.max_write_share, site.write_share);
+    }
+    table.levels.push_back(row);
+  }
+  return table;
+}
+
+std::string SiteLoadTable::to_json() const {
+  std::ostringstream os;
+  os << "{\"protocol\":\"" << json_escape(protocol) << "\""
+     << ",\"read_quorums\":" << read_quorums
+     << ",\"write_quorums\":" << write_quorums
+     << ",\"read_hits_total\":" << read_hits_total
+     << ",\"write_hits_total\":" << write_hits_total
+     << ",\"analytic_read_load\":" << format_double(analytic_read_load)
+     << ",\"analytic_write_load\":" << format_double(analytic_write_load)
+     << ",\"max_read_share\":" << format_double(max_read_share)
+     << ",\"max_write_share\":" << format_double(max_write_share)
+     << ",\"sites\":[";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const SiteLoadRow& row = sites[i];
+    if (i != 0) os << ',';
+    os << "{\"site\":" << row.site << ",\"read_hits\":" << row.read_hits
+       << ",\"write_hits\":" << row.write_hits
+       << ",\"read_share\":" << format_double(row.read_share)
+       << ",\"write_share\":" << format_double(row.write_share) << "}";
+  }
+  os << "],\"levels\":[";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelLoadRow& row = levels[i];
+    if (i != 0) os << ',';
+    os << "{\"level\":" << row.level << ",\"size\":" << row.size
+       << ",\"read_hits\":" << row.read_hits
+       << ",\"write_hits\":" << row.write_hits
+       << ",\"max_read_share\":" << format_double(row.max_read_share)
+       << ",\"max_write_share\":" << format_double(row.max_write_share)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+double measured_mean_quorum(const MetricsRegistry& metrics,
+                            const std::string& protocol_name,
+                            const std::string& kind) {
+  const std::string prefix = "quorum." + protocol_name + "." + kind + ".";
+  const Counter* attempts = metrics.find_counter(prefix + "attempts");
+  const Counter* members = metrics.find_counter(prefix + "members");
+  if (attempts == nullptr || members == nullptr) return std::nan("");
+  const std::uint64_t assembled = assembled_quorums(metrics, prefix);
+  if (assembled == 0) return std::nan("");
+  return static_cast<double>(members->value()) /
+         static_cast<double>(assembled);
+}
+
+}  // namespace atrcp

@@ -1,0 +1,85 @@
+// Per-site and per-physical-level load accounting — the measurement side of
+// the paper's headline claims. Facts 3.2.3/3.2.4 say the arbitrary protocol
+// achieves optimal read load 1/d (d = smallest physical level size) and
+// write load 1/|K_phy|; the aggregate counters of PR 1 cannot show how load
+// distributes, so this accountant reads the per-site counters the protocol
+// layer maintains ("quorum.<name>.<read|write>.site.<r>") and produces a
+// deterministic table: per-site quorum participation shares, per-level
+// aggregates, and the measured maxima to compare against the analytic
+// optima. A site's share is hits / assembled-quorums — exactly the paper's
+// Definition 2.5 load of the access strategy the run actually used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+class MetricsRegistry;
+
+struct SiteLoadOptions {
+  /// Protocol name() — selects the "quorum.<protocol>." counter prefix.
+  std::string protocol;
+  /// Number of replicas (ids [0, universe)).
+  std::size_t universe = 0;
+  /// Analytic optima to print beside the measurement; NaN when unknown
+  /// (serialized as null).
+  double analytic_read_load = 0;
+  double analytic_write_load = 0;
+  /// Optional physical-level partition of the replica ids (the tree's
+  /// K_phy); enables the per-level aggregate rows.
+  std::vector<std::vector<std::uint32_t>> levels;
+};
+
+struct SiteLoadRow {
+  std::uint32_t site = 0;
+  std::uint64_t read_hits = 0;   ///< read quorums containing this site
+  std::uint64_t write_hits = 0;  ///< write quorums containing this site
+  double read_share = 0;         ///< read_hits / assembled read quorums
+  double write_share = 0;        ///< NaN when no quorum assembled
+};
+
+struct LevelLoadRow {
+  std::size_t level = 0;
+  std::size_t size = 0;          ///< replicas in the level
+  std::uint64_t read_hits = 0;   ///< summed over the level's replicas
+  std::uint64_t write_hits = 0;
+  double max_read_share = 0;     ///< max per-site share within the level
+  double max_write_share = 0;
+};
+
+struct SiteLoadTable {
+  std::string protocol;
+  std::uint64_t read_quorums = 0;   ///< assembled (attempts - failures)
+  std::uint64_t write_quorums = 0;
+  /// Summed per-site hits; each must equal the protocol's read/write
+  /// `members` counter (the invariant site_load_test pins down).
+  std::uint64_t read_hits_total = 0;
+  std::uint64_t write_hits_total = 0;
+  double analytic_read_load = 0;
+  double analytic_write_load = 0;
+  double max_read_share = 0;   ///< max over all sites; NaN when no quorums
+  double max_write_share = 0;
+  std::vector<SiteLoadRow> sites;
+  std::vector<LevelLoadRow> levels;  ///< empty without SiteLoadOptions::levels
+
+  /// One-line deterministic JSON (format_double rules; NaN -> null).
+  std::string to_json() const;
+};
+
+/// Builds the table from the per-site counters the protocol's
+/// attach_metrics created. Sites never observed (no counters) read as 0.
+SiteLoadTable collect_site_load(const MetricsRegistry& metrics,
+                                const SiteLoadOptions& options);
+
+/// Measured mean assembled-quorum size for `kind` ("read" or "write"):
+/// members / (attempts - failures). NaN-safe: returns NaN (serialized as
+/// null by format_double) when no quorum was ever assembled — including the
+/// attempts == failures path — or when the counters are absent or
+/// inconsistent (failures > attempts).
+double measured_mean_quorum(const MetricsRegistry& metrics,
+                            const std::string& protocol_name,
+                            const std::string& kind);
+
+}  // namespace atrcp

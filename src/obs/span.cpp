@@ -1,5 +1,7 @@
 #include "obs/span.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace atrcp {
@@ -36,6 +38,65 @@ std::vector<TxnSpan> TxnSpanLog::snapshot() const {
 void TxnSpanLog::clear() noexcept {
   head_ = 0;
   size_ = 0;
+}
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample vector (q in [0, 100]).
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                         unsigned q) {
+  if (sorted.empty()) return 0;
+  std::size_t rank = (sorted.size() * q + 99) / 100;  // ceil(n*q/100)
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+SpanSummary summarize_spans(const TxnSpanLog& log) {
+  SpanSummary summary;
+  summary.recorded = log.total_recorded();
+  summary.retained = log.size();
+  if (summary.retained == 0) return summary;
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(log.size());
+  std::uint64_t slowest_latency = 0;
+  bool have_slowest = false;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const TxnSpan& span = log.at(i);
+    const std::uint64_t latency = span.total_latency();
+    latencies.push_back(latency);
+    if (!have_slowest || latency > slowest_latency) {
+      have_slowest = true;
+      slowest_latency = latency;
+      summary.slowest = span;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  summary.p50_us = percentile(latencies, 50);
+  summary.p95_us = percentile(latencies, 95);
+  summary.p99_us = percentile(latencies, 99);
+  return summary;
+}
+
+std::string SpanSummary::to_json() const {
+  std::ostringstream os;
+  os << "{\"recorded\":" << recorded << ",\"retained\":" << retained
+     << ",\"latency_us\":{\"p50\":" << p50_us << ",\"p95\":" << p95_us
+     << ",\"p99\":" << p99_us << "},\"slowest\":";
+  if (retained == 0) {
+    os << "null";
+  } else {
+    os << "{\"txn\":" << slowest.txn_id
+       << ",\"coordinator\":" << slowest.coordinator_site
+       << ",\"latency_us\":" << slowest.total_latency()
+       << ",\"outcome\":" << static_cast<unsigned>(slowest.outcome)
+       << ",\"quorum_rounds\":" << slowest.quorum_rounds
+       << ",\"reassemblies\":" << slowest.quorum_reassemblies
+       << ",\"commit_retransmits\":" << slowest.commit_retransmits << "}";
+  }
+  os << "}";
+  return os.str();
 }
 
 }  // namespace atrcp

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace atrcp {
@@ -66,5 +67,23 @@ class TxnSpanLog {
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
 };
+
+/// Digest of a TxnSpanLog for the benches' `metrics` JSON block: latency
+/// percentiles over the retained spans plus the single slowest span —
+/// recorded-but-never-emitted no more.
+struct SpanSummary {
+  std::uint64_t recorded = 0;  ///< total ever recorded, incl. evicted
+  std::size_t retained = 0;
+  /// Nearest-rank percentiles of total_latency(); 0 when no span retained.
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  TxnSpan slowest{};  ///< highest total_latency(); zeroed when empty
+
+  /// One-line deterministic JSON; "slowest" is null when retained == 0.
+  std::string to_json() const;
+};
+
+SpanSummary summarize_spans(const TxnSpanLog& log);
 
 }  // namespace atrcp

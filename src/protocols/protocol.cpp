@@ -26,6 +26,9 @@ void ReplicaControlProtocol::observe(
   obs.attempts->inc();
   if (quorum.has_value()) {
     obs.members->inc(quorum->size());
+    for (const ReplicaId r : quorum->members()) {
+      if (r < obs.site.size()) obs.site[r]->inc();
+    }
   } else {
     obs.failures->inc();
   }
@@ -39,6 +42,14 @@ void ReplicaControlProtocol::attach_metrics(MetricsRegistry& registry) {
   write_obs_.attempts = &registry.counter(prefix + "write.attempts");
   write_obs_.failures = &registry.counter(prefix + "write.failures");
   write_obs_.members = &registry.counter(prefix + "write.members");
+  const std::size_t n = universe_size();
+  read_obs_.site.resize(n);
+  write_obs_.site.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::string suffix = "site." + std::to_string(r);
+    read_obs_.site[r] = &registry.counter(prefix + "read." + suffix);
+    write_obs_.site[r] = &registry.counter(prefix + "write." + suffix);
+  }
 }
 
 void ReplicaControlProtocol::detach_metrics() noexcept {

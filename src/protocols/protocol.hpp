@@ -54,8 +54,13 @@ class ReplicaControlProtocol {
   /// into counters named "quorum.<name()>.<read|write>.{attempts,failures,
   /// members}" — members is the running sum of assembled quorum sizes, so
   /// members / (attempts - failures) is the measured mean quorum cost that
-  /// the benches check against the analytic read_cost()/write_cost(). The
-  /// registry must outlive the protocol (or detach_metrics first).
+  /// the benches check against the analytic read_cost()/write_cost().
+  /// Additionally one counter per replica, "quorum.<name()>.<read|write>.
+  /// site.<r>", counts the quorums replica r participated in — the raw data
+  /// behind the per-site load table (obs/site_load.hpp) that checks the
+  /// paper's load claims (Facts 3.2.3/3.2.4). All counters are created at
+  /// attach time so registry contents are seed-independent. The registry
+  /// must outlive the protocol (or detach_metrics first).
   void attach_metrics(MetricsRegistry& registry);
   void detach_metrics() noexcept;
 
@@ -101,6 +106,8 @@ class ReplicaControlProtocol {
     Counter* attempts = nullptr;
     Counter* failures = nullptr;
     Counter* members = nullptr;
+    /// One per replica id; site[r] counts quorums containing r.
+    std::vector<Counter*> site;
   };
   void observe(const QuorumObs& obs,
                const std::optional<Quorum>& quorum) const;

@@ -2,12 +2,24 @@
 
 #include <memory>
 
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace atrcp {
 
 ReplicaServer::ReplicaServer(Network& network) : network_(network) {}
+
+void ReplicaServer::record(std::uint8_t kind, TxnId txn, std::uint64_t key) {
+  if (bus_ == nullptr) return;
+  Event event;
+  event.time = network_.scheduler().now();
+  event.kind = static_cast<EventKind>(kind);
+  event.site = site_;
+  event.txn_id = txn;
+  event.label = "key " + std::to_string(key);
+  bus_->publish(std::move(event));
+}
 
 void ReplicaServer::set_metrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -41,6 +53,7 @@ void ReplicaServer::on_message(const Message& message) {
     if (store_.apply(m->key, m->value, m->timestamp)) {
       ++repairs_applied_;
       if (repairs_obs_ != nullptr) repairs_obs_->inc();
+      record(static_cast<std::uint8_t>(EventKind::kReplicaRepair), 0, m->key);
     }
   } else if (const auto* m = dynamic_cast<const PingRequest*>(&body)) {
     auto pong = std::make_shared<PongReply>();
@@ -53,6 +66,8 @@ void ReplicaServer::on_message(const Message& message) {
 void ReplicaServer::handle(const VersionRequest& request, SiteId from) {
   ++versions_served_;
   if (versions_obs_ != nullptr) versions_obs_->inc();
+  record(static_cast<std::uint8_t>(EventKind::kReplicaVersion), 0,
+         request.key);
   auto reply = std::make_shared<VersionReply>();
   reply->op_id = request.op_id;
   reply->key = request.key;
@@ -63,6 +78,7 @@ void ReplicaServer::handle(const VersionRequest& request, SiteId from) {
 void ReplicaServer::handle(const ReadRequest& request, SiteId from) {
   ++reads_served_;
   if (reads_obs_ != nullptr) reads_obs_->inc();
+  record(static_cast<std::uint8_t>(EventKind::kReplicaRead), 0, request.key);
   auto reply = std::make_shared<ReadReply>();
   reply->op_id = request.op_id;
   reply->key = request.key;
@@ -91,6 +107,10 @@ void ReplicaServer::handle(const PrepareRequest& request, SiteId from) {
     // the coordinator counts it as a no).
     prepared_[request.txn_id] = request.writes;
     if (staged_obs_ != nullptr) staged_obs_->inc(request.writes.size());
+    if (bus_ != nullptr && !request.writes.empty()) {
+      record(static_cast<std::uint8_t>(EventKind::kReplicaStage),
+             request.txn_id, request.writes.front().key);
+    }
     vote->yes = true;
   }
   network_.send(site_, from, std::move(vote));
@@ -103,6 +123,10 @@ void ReplicaServer::handle(const CommitRequest& request, SiteId from) {
       store_.apply(write.key, write.value, write.timestamp);
     }
     if (applied_obs_ != nullptr) applied_obs_->inc(it->second.size());
+    if (bus_ != nullptr && !it->second.empty()) {
+      record(static_cast<std::uint8_t>(EventKind::kReplicaApply),
+             request.txn_id, it->second.front().key);
+    }
     prepared_.erase(it);
     decided_[request.txn_id] = true;
     ++commits_applied_;
@@ -114,7 +138,13 @@ void ReplicaServer::handle(const CommitRequest& request, SiteId from) {
 }
 
 void ReplicaServer::handle(const AbortRequest& request, SiteId from) {
-  if (prepared_.erase(request.txn_id) > 0) {
+  const auto it = prepared_.find(request.txn_id);
+  if (it != prepared_.end()) {
+    if (bus_ != nullptr && !it->second.empty()) {
+      record(static_cast<std::uint8_t>(EventKind::kReplicaAbort),
+             request.txn_id, it->second.front().key);
+    }
+    prepared_.erase(it);
     decided_[request.txn_id] = false;
     ++aborts_seen_;
     if (aborts_obs_ != nullptr) aborts_obs_->inc();

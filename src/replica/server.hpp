@@ -21,6 +21,7 @@
 namespace atrcp {
 
 class Counter;
+class EventBus;
 class MetricsRegistry;
 
 class ReplicaServer final : public SiteHandler {
@@ -39,6 +40,11 @@ class ReplicaServer final : public SiteHandler {
   /// same counters, so the registry reports aggregate replica work; the
   /// per-server tallies below remain available for per-replica shares.
   void set_metrics(MetricsRegistry* registry);
+
+  /// Attaches the flight recorder (nullptr detaches): request handling and
+  /// version installs publish kReplica* events stamped with this site. The
+  /// bus must outlive the server or be detached first.
+  void set_event_bus(EventBus* bus) noexcept { bus_ = bus; }
 
   const VersionedStore& store() const noexcept { return store_; }
   VersionedStore& store() noexcept { return store_; }
@@ -60,6 +66,8 @@ class ReplicaServer final : public SiteHandler {
   std::uint64_t repairs_applied() const noexcept { return repairs_applied_; }
 
  private:
+  void record(std::uint8_t kind, TxnId txn, std::uint64_t key);
+
   void handle(const VersionRequest& request, SiteId from);
   void handle(const ReadRequest& request, SiteId from);
   void handle(const PrepareRequest& request, SiteId from);
@@ -68,6 +76,7 @@ class ReplicaServer final : public SiteHandler {
 
   Network& network_;
   SiteId site_ = 0;
+  EventBus* bus_ = nullptr;
   VersionedStore store_;
   /// txn -> staged writes; models the stable 2PC log.
   std::unordered_map<TxnId, std::vector<StagedWrite>> prepared_;

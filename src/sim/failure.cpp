@@ -3,7 +3,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/event_bus.hpp"
+
 namespace atrcp {
+
+void FailureInjector::record(std::uint8_t kind, SiteId site) {
+  if (bus_ == nullptr) return;
+  Event event;
+  event.time = scheduler_.now();
+  event.kind = static_cast<EventKind>(kind);
+  event.site = site;
+  bus_->publish(std::move(event));
+}
 
 FailureInjector::FailureInjector(Network& network, Scheduler& scheduler,
                                  std::size_t site_count, Rng rng)
@@ -25,6 +36,7 @@ void FailureInjector::crash_now(SiteId site) {
   failures_.fail(site);
   network_.set_up(site, false);
   ++crashes_;
+  record(static_cast<std::uint8_t>(EventKind::kCrash), site);
 }
 
 void FailureInjector::recover_now(SiteId site) {
@@ -35,6 +47,7 @@ void FailureInjector::recover_now(SiteId site) {
   failures_.recover(site);
   network_.set_up(site, true);
   ++recoveries_;
+  record(static_cast<std::uint8_t>(EventKind::kRecover), site);
 }
 
 void FailureInjector::crash_at(SimTime when, SiteId site) {
@@ -55,11 +68,16 @@ void FailureInjector::partition_at(SimTime when,
                                    const std::vector<SiteId>& minority,
                                    SimTime duration) {
   scheduler_.schedule_at(when, [this, minority] {
-    for (SiteId site : minority) network_.set_partition(site, 1);
+    for (SiteId site : minority) {
+      network_.set_partition(site, 1);
+      record(static_cast<std::uint8_t>(EventKind::kPartition), site);
+    }
   });
   if (duration > 0) {
-    scheduler_.schedule_at(when + duration,
-                           [this] { network_.heal_partitions(); });
+    scheduler_.schedule_at(when + duration, [this] {
+      network_.heal_partitions();
+      record(static_cast<std::uint8_t>(EventKind::kHeal), Event::kNoSite);
+    });
   }
 }
 

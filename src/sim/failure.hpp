@@ -65,13 +65,20 @@ class FailureInjector {
   std::uint64_t crash_count() const noexcept { return crashes_; }
   std::uint64_t recovery_count() const noexcept { return recoveries_; }
 
+  /// Attaches the flight recorder (nullptr detaches): crash/recover/
+  /// partition/heal edges are published as they take effect. The bus must
+  /// outlive the injector or be detached first.
+  void set_event_bus(class EventBus* bus) noexcept { bus_ = bus; }
+
  private:
+  void record(std::uint8_t kind, SiteId site);
   void schedule_next_transition(SiteId site, SimTime horizon,
                                 SimTime mean_uptime, SimTime mean_downtime);
   SimTime sample_exponential(SimTime mean);
 
   Network& network_;
   Scheduler& scheduler_;
+  class EventBus* bus_ = nullptr;
   Rng rng_;
   FailureSet failures_;
   std::uint64_t crashes_ = 0;

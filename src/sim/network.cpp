@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
@@ -42,12 +43,32 @@ void Network::count_drop(SiteId from, SiteId to) {
   }
 }
 
-void Network::trace(std::uint8_t event, SiteId from, SiteId to,
-                    const MessageBody& body) const {
-  if (trace_ == nullptr) return;
-  trace_->on_event(TraceRecord{static_cast<TraceEvent>(event),
-                               scheduler_.now(), from, to,
-                               message_type_label(body)});
+void Network::emit(std::uint8_t event, SiteId from, SiteId to,
+                   std::uint64_t causal_id, const MessageBody& body) const {
+  if (bus_ == nullptr && trace_ == nullptr) return;
+  Event record;
+  record.time = scheduler_.now();
+  switch (static_cast<TraceEvent>(event)) {
+    case TraceEvent::kSend:
+      record.kind = EventKind::kMsgSend;
+      record.site = from;  // a send happens AT the sender
+      record.peer = to;
+      break;
+    case TraceEvent::kDeliver:
+      record.kind = EventKind::kMsgDeliver;
+      record.site = to;  // a delivery (or drop) happens AT the destination
+      record.peer = from;
+      break;
+    case TraceEvent::kDrop:
+      record.kind = EventKind::kMsgDrop;
+      record.site = to;
+      record.peer = from;
+      break;
+  }
+  record.causal_id = causal_id;
+  record.label = message_type_label(body);
+  if (trace_ != nullptr) trace_->on_event(trace_record_from(record));
+  if (bus_ != nullptr) bus_->publish(std::move(record));
 }
 
 Network::Network(Scheduler& scheduler, Rng rng, LinkParams default_link)
@@ -114,28 +135,31 @@ void Network::send(SiteId from, SiteId to,
     bytes_sent_obs_->inc(body->modelled_bytes());
     link_obs(from, to).sent->inc();
   }
-  trace(static_cast<std::uint8_t>(TraceEvent::kSend), from, to, *body);
+  // One causal id per message, allocated at send and repeated by the
+  // deliver/drop edge so exports can link the pair.
+  const std::uint64_t cid = bus_ != nullptr ? bus_->next_causal_id() : 0;
+  emit(static_cast<std::uint8_t>(TraceEvent::kSend), from, to, cid, *body);
 
   if (!up_[from]) {  // a crashed site sends nothing
     count_drop(from, to);
-    trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
+    emit(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, cid, *body);
     return;
   }
   const LinkParams& params = link(from, to);
   if (params.severed || rng_.chance(params.drop_probability)) {
     count_drop(from, to);
-    trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
+    emit(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, cid, *body);
     return;
   }
   const SimTime jitter = params.jitter > 0 ? rng_.below(params.jitter + 1) : 0;
   const SimTime latency = params.base_latency + jitter;
-  scheduler_.schedule_after(latency, [this, from, to,
+  scheduler_.schedule_after(latency, [this, from, to, cid,
                                       body = std::move(body)]() {
     // Delivery-time checks: the destination may have crashed or a partition
     // may have formed while the message was in flight.
     if (!up_[to] || partition_[from] != partition_[to]) {
       count_drop(from, to);
-      trace(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, *body);
+      emit(static_cast<std::uint8_t>(TraceEvent::kDrop), from, to, cid, *body);
       return;
     }
     ++delivered_;
@@ -143,7 +167,8 @@ void Network::send(SiteId from, SiteId to,
       delivered_obs_->inc();
       link_obs(from, to).delivered->inc();
     }
-    trace(static_cast<std::uint8_t>(TraceEvent::kDeliver), from, to, *body);
+    emit(static_cast<std::uint8_t>(TraceEvent::kDeliver), from, to, cid,
+         *body);
     sites_[to]->on_message(Message{from, to, body});
   });
 }

@@ -22,6 +22,7 @@ namespace atrcp {
 using SiteId = std::uint32_t;
 
 class Counter;
+class EventBus;
 class MetricsRegistry;
 
 /// Base class of everything shipped through the network. Concrete message
@@ -102,8 +103,19 @@ class Network {
 
   /// Attaches a trace observer (see sim/trace.hpp); nullptr detaches. The
   /// sink must outlive the network or be detached first. Tracing is off by
-  /// default and costs nothing when off.
+  /// default and costs nothing when off. Sinks are a compatibility adapter
+  /// over the flight recorder's event pipeline — a sink sees the same
+  /// send/deliver/drop edges an attached EventBus records.
   void set_trace_sink(class TraceSink* sink) noexcept { trace_ = sink; }
+
+  /// Attaches the causal flight recorder (see obs/event_bus.hpp); nullptr
+  /// detaches. Every send is stamped with a fresh causal id that its
+  /// eventual deliver (or in-flight drop) repeats, so exports can draw the
+  /// send->deliver edge. Publishing consumes no randomness: attaching a bus
+  /// never perturbs a seeded schedule. The bus must outlive the network or
+  /// be detached first.
+  void set_event_bus(EventBus* bus) noexcept { bus_ = bus; }
+  EventBus* event_bus() const noexcept { return bus_; }
 
   /// Attaches a metrics registry (nullptr detaches): aggregate counters
   /// net.{sent,delivered,dropped,bytes_sent} plus per-directed-link
@@ -126,14 +138,17 @@ class Network {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }
 
-  void trace(std::uint8_t event, SiteId from, SiteId to,
-             const MessageBody& body) const;
+  /// Single emit point of the message pipeline: publishes to the event bus
+  /// (when attached) and forwards to the legacy trace sink (when attached).
+  void emit(std::uint8_t event, SiteId from, SiteId to,
+            std::uint64_t causal_id, const MessageBody& body) const;
   LinkObs& link_obs(SiteId from, SiteId to);
   void count_drop(SiteId from, SiteId to);
 
   Scheduler& scheduler_;
   Rng rng_;
   class TraceSink* trace_ = nullptr;
+  EventBus* bus_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   Counter* sent_obs_ = nullptr;
   Counter* delivered_obs_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 #include <typeinfo>
 
 namespace atrcp {
@@ -45,6 +46,32 @@ std::size_t MessageTrace::count(TraceEvent event,
     if (record.event == event && record.type == type) ++total;
   }
   return total;
+}
+
+TraceRecord trace_record_from(const Event& event) {
+  TraceRecord record;
+  record.time = event.time;
+  record.type = event.label;
+  switch (event.kind) {
+    case EventKind::kMsgSend:
+      record.event = TraceEvent::kSend;
+      record.from = event.site;
+      record.to = event.peer;
+      break;
+    case EventKind::kMsgDeliver:
+      record.event = TraceEvent::kDeliver;
+      record.from = event.peer;
+      record.to = event.site;
+      break;
+    case EventKind::kMsgDrop:
+      record.event = TraceEvent::kDrop;
+      record.from = event.peer;
+      record.to = event.site;
+      break;
+    default:
+      throw std::invalid_argument("trace_record_from: not a message event");
+  }
+  return record;
 }
 
 std::string MessageTrace::to_string() const {

@@ -1,10 +1,13 @@
-// Message tracing for the simulated network.
+// Message tracing for the simulated network — now a thin compatibility
+// adapter over the causal flight recorder (obs/event_bus.hpp).
 //
-// A TraceSink observes every send, delivery and drop with simulated
-// timestamps; MessageTrace is the standard recording sink with filtering
-// and compact rendering. Tests use it to assert message-level protocol
-// behaviour (e.g. the exact 2PC exchange of a write), and it is the tool
-// you reach for when debugging a coordinator state machine.
+// The Network emits every send/deliver/drop through ONE pipeline: it builds
+// an obs::Event and (a) publishes it to an attached EventBus and (b)
+// converts it via trace_record_from for any attached TraceSink. MessageTrace
+// is the standard recording sink with filtering and compact rendering;
+// tests use it to assert message-level protocol behaviour (e.g. the exact
+// 2PC exchange of a write). New code that wants timelines, causal edges or
+// exports should attach an EventBus instead.
 #pragma once
 
 #include <functional>
@@ -12,6 +15,7 @@
 #include <typeindex>
 #include <vector>
 
+#include "obs/event_bus.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 
@@ -71,5 +75,11 @@ class MessageTrace final : public TraceSink {
 /// Human-readable label for a message body's dynamic type: the unqualified
 /// class name where derivable, else the mangled name.
 std::string message_type_label(const MessageBody& body);
+
+/// Adapter from a flight-recorder message event (kMsgSend/kMsgDeliver/
+/// kMsgDrop) to the legacy TraceRecord shape: from/to are always
+/// (sender, destination) regardless of which side the event sits on.
+/// Throws std::invalid_argument for non-message events.
+TraceRecord trace_record_from(const Event& event);
 
 }  // namespace atrcp

@@ -18,6 +18,10 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
   }
   protocol_->attach_metrics(metrics_);
   network_.set_metrics(&metrics_);
+  if (options.event_bus_capacity > 0) {
+    events_ = std::make_unique<EventBus>(options.event_bus_capacity);
+    network_.set_event_bus(events_.get());
+  }
   Rng seeder(options.seed ^ 0x5DEECE66DULL);
 
   const std::size_t n = protocol_->universe_size();
@@ -30,12 +34,14 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
     ATRCP_CHECK(site == r);  // replica id == site id by construction
     server->set_site(site);
     server->set_metrics(&metrics_);
+    server->set_event_bus(events_.get());
     replica_sites.push_back(site);
     servers_.push_back(std::move(server));
   }
 
   injector_ = std::make_unique<FailureInjector>(network_, scheduler_, n,
                                                 seeder.fork());
+  injector_->set_event_bus(events_.get());
 
   const FailureSet* failure_view = &injector_->failures();
   if (options.use_heartbeat_detector) {
@@ -54,9 +60,23 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
     const SiteId site = network_.add_site(*coordinator);
     coordinator->set_site(site);
     coordinator->set_metrics(&metrics_, &spans_);
+    coordinator->set_event_bus(events_.get());
     if (options.record_history) coordinator->set_history(&history_);
     coordinators_.push_back(std::move(coordinator));
   }
+}
+
+std::vector<std::string> Cluster::site_names() const {
+  std::vector<std::string> names;
+  names.reserve(servers_.size() + (detector_ ? 1 : 0) + coordinators_.size());
+  for (std::size_t r = 0; r < servers_.size(); ++r) {
+    names.push_back("replica " + std::to_string(r));
+  }
+  if (detector_) names.push_back("detector");
+  for (std::size_t c = 0; c < coordinators_.size(); ++c) {
+    names.push_back("client " + std::to_string(c));
+  }
+  return names;
 }
 
 void Cluster::settle() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "check/history.hpp"
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "protocols/protocol.hpp"
@@ -44,6 +45,11 @@ struct ClusterOptions {
   /// checker. Off by default: histories grow without bound, which long
   /// benches don't want.
   bool record_history = false;
+  /// Capacity of the causal flight recorder ring (obs/event_bus.hpp).
+  /// 0 (the default) disables recording entirely — no bus is created and
+  /// the hot paths pay a single null check. Publishing consumes no
+  /// randomness, so enabling it never perturbs a seeded schedule.
+  std::size_t event_bus_capacity = 0;
 };
 
 class Cluster {
@@ -80,6 +86,15 @@ class Cluster {
   /// ClusterOptions::record_history was set.
   HistoryRecorder& history() noexcept { return history_; }
   const HistoryRecorder& history() const noexcept { return history_; }
+
+  /// The causal flight recorder wired through every component; nullptr
+  /// unless ClusterOptions::event_bus_capacity was nonzero.
+  EventBus* events() noexcept { return events_.get(); }
+  const EventBus* events() const noexcept { return events_.get(); }
+
+  /// Track labels for chrome-trace exports: "replica r" for sites [0, n),
+  /// then "detector" when one is wired, then "client c" per coordinator.
+  std::vector<std::string> site_names() const;
 
   /// Non-null iff use_heartbeat_detector was set.
   HeartbeatDetector* detector() noexcept { return detector_.get(); }
@@ -124,6 +139,7 @@ class Cluster {
   MetricsRegistry metrics_;
   TxnSpanLog spans_;
   HistoryRecorder history_;
+  std::unique_ptr<EventBus> events_;  ///< null when recording is off
   std::unique_ptr<ReplicaControlProtocol> protocol_;
   Scheduler scheduler_;
   Network network_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 
@@ -66,6 +67,17 @@ void Coordinator::set_protocol(const ReplicaControlProtocol& protocol) {
   protocol_ = &protocol;
 }
 
+void Coordinator::record(std::uint8_t kind, TxnId txn, std::string label) {
+  if (bus_ == nullptr) return;
+  Event event;
+  event.time = scheduler_.now();
+  event.kind = static_cast<EventKind>(kind);
+  event.site = site_;
+  event.txn_id = txn;
+  event.label = std::move(label);
+  bus_->publish(std::move(event));
+}
+
 Coordinator::Txn* Coordinator::find(TxnId id) {
   const auto it = txns_.find(id);
   return it == txns_.end() ? nullptr : &it->second;
@@ -103,6 +115,8 @@ void Coordinator::run(std::vector<TxnOp> ops, TxnCallback done) {
   if (history_ != nullptr) {
     txn.invoke_seq = history_->record_invoke(site_, id, scheduler_.now());
   }
+  record(static_cast<std::uint8_t>(EventKind::kTxnBegin), id,
+         "ops " + std::to_string(txn.ops.size()));
 
   // Lock plan: one lock per distinct key, exclusive if any op writes it,
   // in ascending key order (reduces deadlocks among well-behaved clients).
@@ -141,10 +155,13 @@ void Coordinator::acquire_next_lock(TxnId id) {
   ATRCP_CHECK(txn != nullptr);
   if (txn->next_lock >= txn->lock_plan.size()) {
     txn->span.locks_acquired = scheduler_.now();
+    record(static_cast<std::uint8_t>(EventKind::kTxnPhase), id, "execute");
     start_next_op(id);
     return;
   }
   const auto [key, mode] = txn->lock_plan[txn->next_lock];
+  record(static_cast<std::uint8_t>(EventKind::kLockWait), id,
+         "key " + std::to_string(key));
   const std::uint64_t epoch = ++txn->lock_epoch;
   // Schedule the deadlock-breaking timeout BEFORE acquiring: a synchronous
   // grant advances the epoch/phase, which invalidates this timer.
@@ -155,6 +172,8 @@ void Coordinator::acquire_next_lock(TxnId id) {
     }
     locks_.cancel(id, key);
     if (obs_.lock_timeouts != nullptr) obs_.lock_timeouts->inc();
+    record(static_cast<std::uint8_t>(EventKind::kLockTimeout), id,
+           "key " + std::to_string(key));
     abort_txn(id, "lock timeout on key " + std::to_string(key));
   });
   locks_.acquire(id, key, mode, [this, id] { on_lock_granted(id); });
@@ -163,6 +182,8 @@ void Coordinator::acquire_next_lock(TxnId id) {
 void Coordinator::on_lock_granted(TxnId id) {
   Txn* txn = find(id);
   if (txn == nullptr) return;  // aborted while the grant was in flight
+  record(static_cast<std::uint8_t>(EventKind::kLockGranted), id,
+         "key " + std::to_string(txn->lock_plan[txn->next_lock].first));
   ++txn->next_lock;
   acquire_next_lock(id);
 }
@@ -193,11 +214,15 @@ void Coordinator::begin_read_round(TxnId id) {
   const auto quorum = protocol_->assemble_read_quorum(view, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
+    record(static_cast<std::uint8_t>(EventKind::kQuorumUnavailable), id,
+           "read");
     abort_txn(id, "read quorum unavailable");
     return;
   }
   ++txn->span.quorum_rounds;
   if (obs_.quorum_rounds != nullptr) obs_.quorum_rounds->inc();
+  record(static_cast<std::uint8_t>(EventKind::kQuorumRound), id,
+         "read " + quorum->to_string());
   txn->op_id = next_op_id_++;
   txn->awaiting.clear();
   txn->best_ts = kInitialTimestamp;
@@ -225,11 +250,15 @@ void Coordinator::begin_version_round(TxnId id) {
   const auto quorum = protocol_->assemble_read_quorum(view, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
+    record(static_cast<std::uint8_t>(EventKind::kQuorumUnavailable), id,
+           "version");
     abort_txn(id, "version (read) quorum unavailable");
     return;
   }
   ++txn->span.quorum_rounds;
   if (obs_.quorum_rounds != nullptr) obs_.quorum_rounds->inc();
+  record(static_cast<std::uint8_t>(EventKind::kQuorumRound), id,
+         "version " + quorum->to_string());
   txn->op_id = next_op_id_++;
   txn->awaiting.clear();
   txn->best_ts = kInitialTimestamp;
@@ -264,6 +293,8 @@ void Coordinator::on_round_timeout(TxnId id, OpId op_id) {
   }
   ++txn->span.quorum_reassemblies;
   if (obs_.quorum_reassemblies != nullptr) obs_.quorum_reassemblies->inc();
+  record(static_cast<std::uint8_t>(EventKind::kQuorumReassembly), id,
+         txn->phase == Phase::kReadQuorum ? "read" : "version");
   if (txn->phase == Phase::kReadQuorum) {
     begin_read_round(id);
   } else {
@@ -351,9 +382,13 @@ void Coordinator::finish_version_op(TxnId id) {
   const auto quorum = protocol_->assemble_write_quorum(view, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
+    record(static_cast<std::uint8_t>(EventKind::kQuorumUnavailable), id,
+           "write");
     abort_txn(id, "write quorum unavailable");
     return;
   }
+  record(static_cast<std::uint8_t>(EventKind::kQuorumRound), id,
+         "write " + quorum->to_string());
   for (ReplicaId r : quorum->members()) {
     txn->staged[replica_sites_[r]].push_back(StagedWrite{op.key, op.value, ts});
   }
@@ -388,6 +423,7 @@ void Coordinator::begin_prepare(TxnId id) {
     return;
   }
   txn->phase = Phase::kPreparing;
+  record(static_cast<std::uint8_t>(EventKind::kTxnPhase), id, "prepare");
   txn->op_id = next_op_id_++;
   txn->votes_pending.clear();
   for (const auto& [target, writes] : txn->staged) {
@@ -423,6 +459,8 @@ void Coordinator::handle(const PrepareVote& vote, SiteId from) {
   if (txn->votes_pending.empty()) {
     // All yes: the transaction is decided-committed from this instant.
     txn->span.decided = scheduler_.now();
+    record(static_cast<std::uint8_t>(EventKind::kTxnPhase), vote.txn_id,
+           "commit");
     txn->phase = Phase::kCommitting;
     txn->acks_pending.clear();
     for (const auto& entry : txn->staged) {
@@ -460,6 +498,8 @@ void Coordinator::on_commit_tick(TxnId id) {
   }
   ++txn->span.commit_retransmits;
   if (obs_.commit_retransmits != nullptr) obs_.commit_retransmits->inc();
+  record(static_cast<std::uint8_t>(EventKind::kCommitRetransmit), id,
+         std::to_string(txn->acks_pending.size()) + " acks pending");
   send_commits(id);
   scheduler_.schedule_after(options_.commit_retry_interval,
                             [this, id] { on_commit_tick(id); });
@@ -491,6 +531,17 @@ void Coordinator::finish(TxnId id, TxnOutcome outcome) {
   const auto it = txns_.find(id);
   ATRCP_CHECK(it != txns_.end());
   it->second.phase = Phase::kDone;
+  if (bus_ != nullptr) {
+    std::string label = outcome == TxnOutcome::kCommitted ? "committed"
+                        : outcome == TxnOutcome::kBlocked ? "blocked"
+                                                          : "aborted";
+    if (outcome == TxnOutcome::kAborted &&
+        !it->second.result.abort_reason.empty()) {
+      label += ": " + it->second.result.abort_reason;
+    }
+    record(static_cast<std::uint8_t>(EventKind::kTxnFinish), id,
+           std::move(label));
+  }
   TxnResult result = std::move(it->second.result);
   result.outcome = outcome;
   TxnCallback done = std::move(it->second.done);

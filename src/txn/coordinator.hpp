@@ -43,6 +43,7 @@
 
 namespace atrcp {
 
+class EventBus;
 class Histogram;
 class MetricsRegistry;
 
@@ -111,6 +112,13 @@ class Coordinator final : public SiteHandler {
   /// TxnSpan is recorded there. Both must outlive the coordinator or be
   /// detached first.
   void set_metrics(MetricsRegistry* registry, TxnSpanLog* spans = nullptr);
+
+  /// Attaches the flight recorder (nullptr detaches): the transaction state
+  /// machine publishes txn begin/phase/finish, lock wait/grant/timeout and
+  /// quorum round/reassembly/unavailable events, all stamped with this
+  /// coordinator's site and txn id. The bus must outlive the coordinator or
+  /// be detached first.
+  void set_event_bus(EventBus* bus) noexcept { bus_ = bus; }
 
   /// Attaches a concurrent-history recorder (nullptr detaches): every
   /// transaction records an invoke event at run() entry and a complete
@@ -211,6 +219,7 @@ class Coordinator final : public SiteHandler {
 
   Txn* find(TxnId id);
   FailureSet combined_failures(const Txn& txn) const;
+  void record(std::uint8_t kind, TxnId txn, std::string label);
 
   void acquire_next_lock(TxnId id);
   void on_lock_granted(TxnId id);
@@ -247,6 +256,7 @@ class Coordinator final : public SiteHandler {
   Obs obs_{};
   TxnSpanLog* spans_ = nullptr;
   HistoryRecorder* history_ = nullptr;
+  EventBus* bus_ = nullptr;
 
   std::map<TxnId, Txn> txns_;
   std::uint64_t next_txn_seq_ = 1;

@@ -9,6 +9,7 @@
 
 #include "check/broken.hpp"
 #include "check/explorer.hpp"
+#include "obs/json_lint.hpp"
 
 namespace atrcp {
 namespace {
@@ -37,6 +38,33 @@ TEST(ExplorerTest, BrokenIntersectionFlaggedWithCycleWithin200Seeds) {
   EXPECT_NE(report.text.find("dependency cycle"), std::string::npos)
       << report.text;
   EXPECT_NE(report.text.find("schedule prefix"), std::string::npos);
+}
+
+TEST(ExplorerTest, FailingSeedCarriesFlightRecorderTrace) {
+  ScheduleExplorer explorer;
+  const ExploreReport report = explorer.explore(
+      broken_factory(), "broken", 0, 200, /*stop_at_first_failure=*/true);
+  ASSERT_FALSE(report.ok);
+  // The counterexample ships with the offending schedule's full timeline:
+  // a valid Chrome trace with causal send->deliver flow events, plus the
+  // recorder tail inlined in the report text.
+  ASSERT_FALSE(report.first_failure_trace.empty());
+  std::string error;
+  EXPECT_TRUE(json_valid(report.first_failure_trace, &error)) << error;
+  EXPECT_NE(report.first_failure_trace.find("\"ph\":\"s\""),
+            std::string::npos);
+  EXPECT_NE(report.first_failure_trace.find("\"ph\":\"f\""),
+            std::string::npos);
+  EXPECT_NE(report.text.find("flight recorder:"), std::string::npos);
+
+  // Turning the recorder off removes the trace but not the verdict.
+  ExplorerOptions no_recorder;
+  no_recorder.event_bus_capacity = 0;
+  const ExploreReport silent = ScheduleExplorer(no_recorder).explore(
+      broken_factory(), "broken", 0, 200, /*stop_at_first_failure=*/true);
+  ASSERT_FALSE(silent.ok);
+  EXPECT_TRUE(silent.first_failure_trace.empty());
+  EXPECT_EQ(silent.failing_seeds, report.failing_seeds);
 }
 
 TEST(ExplorerTest, RealProtocolsPassSweep) {

@@ -1,0 +1,144 @@
+// EventBus ring semantics, causal id allocation, and the cluster
+// integration: every network deliver/drop repeats its send's causal id, so
+// an export can draw the send->deliver arrow.
+#include "obs/event_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+Event event_with_cid(std::uint64_t cid) {
+  Event event;
+  event.kind = EventKind::kMsgSend;
+  event.causal_id = cid;
+  return event;
+}
+
+TEST(EventBusTest, RejectsZeroCapacity) {
+  EXPECT_THROW(EventBus(0), std::invalid_argument);
+}
+
+TEST(EventBusTest, RingKeepsMostRecentUpToCapacity) {
+  EventBus bus(3);
+  EXPECT_EQ(bus.capacity(), 3u);
+  EXPECT_EQ(bus.size(), 0u);
+  for (std::uint64_t id = 1; id <= 5; ++id) bus.publish(event_with_cid(id));
+  EXPECT_EQ(bus.size(), 3u);
+  EXPECT_EQ(bus.total_published(), 5u);
+  // Oldest-first view holds the last three events.
+  EXPECT_EQ(bus.at(0).causal_id, 3u);
+  EXPECT_EQ(bus.at(1).causal_id, 4u);
+  EXPECT_EQ(bus.at(2).causal_id, 5u);
+  EXPECT_THROW(bus.at(3), std::out_of_range);
+  const auto events = bus.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().causal_id, 3u);
+  EXPECT_EQ(events.back().causal_id, 5u);
+  bus.clear();
+  EXPECT_EQ(bus.size(), 0u);
+  EXPECT_EQ(bus.total_published(), 5u);
+}
+
+TEST(EventBusTest, CausalIdsAreMonotoneFromOne) {
+  EventBus bus(4);
+  EXPECT_EQ(bus.last_causal_id(), 0u);  // 0 stays the "no link" sentinel
+  EXPECT_EQ(bus.next_causal_id(), 1u);
+  EXPECT_EQ(bus.next_causal_id(), 2u);
+  EXPECT_EQ(bus.next_causal_id(), 3u);
+  EXPECT_EQ(bus.last_causal_id(), 3u);
+}
+
+TEST(EventBusTest, FormatEventOmitsUnsetFields) {
+  Event event;
+  event.time = 120;
+  event.kind = EventKind::kMsgDeliver;
+  event.site = 0;
+  event.peer = 8;
+  event.causal_id = 3;
+  event.label = "ReadRequest";
+  EXPECT_EQ(format_event(event), "t=120 deliver site=0 peer=8 cid=3 "
+                                 "ReadRequest");
+  Event bare;
+  bare.time = 7;
+  bare.kind = EventKind::kHeal;
+  EXPECT_EQ(format_event(bare), "t=7 heal");
+}
+
+TEST(EventBusTest, TailRendersMostRecentEvents) {
+  EventBus bus(8);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    Event event = event_with_cid(id);
+    event.time = id * 10;
+    event.site = 0;
+    event.peer = 1;
+    bus.publish(event);
+  }
+  const std::string tail = bus.tail_to_string(2);
+  EXPECT_EQ(tail.find("cid=1"), std::string::npos);
+  EXPECT_NE(tail.find("cid=3"), std::string::npos);
+  EXPECT_NE(tail.find("cid=4"), std::string::npos);
+}
+
+TEST(EventBusClusterTest, DeliversAndDropsRepeatTheirSendsCausalId) {
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10,
+                            .drop_probability = 0.05};
+  options.event_bus_capacity = 1 << 15;
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                  options);
+  ASSERT_NE(cluster.events(), nullptr);
+  for (int i = 0; i < 20; ++i) {
+    cluster.write_sync(i % 2, /*key=*/i % 4, "v" + std::to_string(i));
+    cluster.read_sync(i % 2, i % 4);
+  }
+  const EventBus& bus = *cluster.events();
+  ASSERT_LE(bus.total_published(), bus.capacity()) << "ring wrapped; the "
+      "send<->deliver pairing below needs the full history";
+  std::map<std::uint64_t, Event> sends;
+  std::size_t completions = 0;
+  std::uint64_t last_send_cid = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const Event& e = bus.at(i);
+    if (e.kind == EventKind::kMsgSend) {
+      ASSERT_NE(e.causal_id, 0u);
+      // Ids are allocated at send time, so sends observe them in order.
+      EXPECT_GT(e.causal_id, last_send_cid);
+      last_send_cid = e.causal_id;
+      EXPECT_TRUE(sends.emplace(e.causal_id, e).second)
+          << "duplicate send cid " << e.causal_id;
+    } else if (e.kind == EventKind::kMsgDeliver ||
+               e.kind == EventKind::kMsgDrop) {
+      ASSERT_NE(e.causal_id, 0u);
+      const auto it = sends.find(e.causal_id);
+      ASSERT_NE(it, sends.end()) << "completion without a send";
+      // The edge's endpoints flip: deliver happens AT the send's target.
+      EXPECT_EQ(e.site, it->second.peer);
+      EXPECT_EQ(e.peer, it->second.site);
+      EXPECT_EQ(e.label, it->second.label);
+      ++completions;
+    }
+  }
+  EXPECT_GT(sends.size(), 0u);
+  EXPECT_GT(completions, 0u);
+}
+
+TEST(EventBusClusterTest, RecordingIsOffByDefault) {
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+      ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"));
+  EXPECT_EQ(cluster.events(), nullptr);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,43 @@
+// The tiny JSON linter that lets exports self-validate without a JSON
+// dependency: accepts RFC 8259 documents, rejects the classic near-misses.
+#include "obs/json_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace atrcp {
+namespace {
+
+TEST(JsonLintTest, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("null"));
+  EXPECT_TRUE(json_valid("-12.5e-3"));
+  EXPECT_TRUE(json_valid(R"({"a":[1,2,{"b":"c\né"}],"d":true})"));
+  EXPECT_TRUE(json_valid(" {\n\t\"x\" : [ ] }\r\n"));
+}
+
+TEST(JsonLintTest, RejectsNearMissesWithOffsets) {
+  std::string error;
+  EXPECT_FALSE(json_valid("", &error));
+  EXPECT_FALSE(json_valid("{", &error));
+  EXPECT_FALSE(json_valid("{\"a\":1,}", &error));
+  EXPECT_FALSE(json_valid("[1 2]", &error));
+  EXPECT_FALSE(json_valid("\"unterminated", &error));
+  EXPECT_FALSE(json_valid("\"bad\\q\"", &error));
+  EXPECT_FALSE(json_valid("\"bad\\u12g4\"", &error));
+  EXPECT_FALSE(json_valid("01", &error));
+  EXPECT_FALSE(json_valid("1.", &error));
+  EXPECT_FALSE(json_valid("truth", &error));
+  EXPECT_FALSE(json_valid("{} {}", &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonLintTest, RejectsRawControlCharactersInStrings) {
+  EXPECT_FALSE(json_valid(std::string("\"a\nb\"")));
+  EXPECT_TRUE(json_valid(R"("a\nb")"));
+}
+
+}  // namespace
+}  // namespace atrcp

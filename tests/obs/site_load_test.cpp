@@ -1,0 +1,141 @@
+// SiteLoadAccountant: per-site hit totals reconcile with the aggregate
+// members counters, the 64-site arbitrary tree measures near its analytic
+// optima (Facts 3.2.3/3.2.4), and measured_mean_quorum stays NaN-safe when
+// every attempt failed.
+#include "obs/site_load.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "obs/json_lint.hpp"
+#include "obs/metrics.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+namespace atrcp {
+namespace {
+
+std::uint64_t counter(const MetricsRegistry& metrics,
+                      const std::string& name) {
+  const Counter* c = metrics.find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+TEST(SiteLoadTest, PerSiteTotalsMatchAggregateMembersCounters) {
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                  options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 100;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 8;
+  run_workload(cluster, workload);
+
+  SiteLoadOptions load_options;
+  load_options.protocol = "ARBITRARY";
+  load_options.universe = cluster.protocol().universe_size();
+  const SiteLoadTable table =
+      collect_site_load(cluster.metrics(), load_options);
+  // Every member of every assembled quorum was counted exactly once per
+  // site, so the per-site sum reconciles with the aggregate counter.
+  EXPECT_GT(table.read_quorums, 0u);
+  EXPECT_GT(table.write_quorums, 0u);
+  EXPECT_EQ(table.read_hits_total,
+            counter(cluster.metrics(), "quorum.ARBITRARY.read.members"));
+  EXPECT_EQ(table.write_hits_total,
+            counter(cluster.metrics(), "quorum.ARBITRARY.write.members"));
+  ASSERT_EQ(table.sites.size(), 8u);  // the 1-3-5 root is logical
+  std::string error;
+  EXPECT_TRUE(json_valid(table.to_json(), &error)) << error;
+}
+
+TEST(SiteLoadTest, SixtyFourSiteTreeMeasuresNearAnalyticOptima) {
+  std::unique_ptr<ArbitraryProtocol> protocol = make_arbitrary(64);
+  SiteLoadOptions load_options;
+  load_options.protocol = protocol->name();
+  load_options.universe = protocol->universe_size();
+  load_options.analytic_read_load = protocol->read_load();
+  load_options.analytic_write_load = protocol->write_load();
+  const ArbitraryTree& tree = protocol->tree();
+  for (const std::uint32_t level : tree.physical_levels()) {
+    load_options.levels.push_back(tree.replicas_at_level(level));
+  }
+  // Fact 3.2.3: read load 1/d with d = 4; Fact 3.2.4: write load
+  // 1/|K_phy| = 1/8 = 1/sqrt(64).
+  EXPECT_DOUBLE_EQ(load_options.analytic_read_load, 0.25);
+  EXPECT_DOUBLE_EQ(load_options.analytic_write_load, 0.125);
+
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(std::move(protocol), options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 150;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 16;
+  run_workload(cluster, workload);
+
+  const SiteLoadTable table =
+      collect_site_load(cluster.metrics(), load_options);
+  ASSERT_EQ(table.sites.size(), 64u);
+  ASSERT_EQ(table.levels.size(), 8u);
+  // The busiest site's measured shares sit near the analytic optima —
+  // sampling noise only, no hot site.
+  EXPECT_NEAR(table.max_read_share, 0.25, 0.08);
+  EXPECT_NEAR(table.max_write_share, 0.125, 0.06);
+  // Level rows partition the sites: their hit sums reconcile exactly.
+  std::uint64_t level_read_hits = 0;
+  std::uint64_t level_write_hits = 0;
+  for (const LevelLoadRow& row : table.levels) {
+    level_read_hits += row.read_hits;
+    level_write_hits += row.write_hits;
+  }
+  EXPECT_EQ(level_read_hits, table.read_hits_total);
+  EXPECT_EQ(level_write_hits, table.write_hits_total);
+}
+
+TEST(SiteLoadTest, MeasuredMeanQuorumIsNaNWhenEveryAttemptFailed) {
+  MetricsRegistry metrics;
+  metrics.counter("quorum.P.read.attempts").inc(7);
+  metrics.counter("quorum.P.read.failures").inc(7);  // attempts == failures
+  metrics.counter("quorum.P.read.members");
+  const double mean = measured_mean_quorum(metrics, "P", "read");
+  EXPECT_TRUE(std::isnan(mean));
+  EXPECT_EQ(format_double(mean), "null");  // serializes as JSON null
+}
+
+TEST(SiteLoadTest, MeasuredMeanQuorumIsNaNOnAbsentOrInconsistentCounters) {
+  MetricsRegistry metrics;
+  EXPECT_TRUE(std::isnan(measured_mean_quorum(metrics, "P", "read")));
+  metrics.counter("quorum.P.write.attempts").inc(2);
+  metrics.counter("quorum.P.write.failures").inc(3);  // failures > attempts
+  metrics.counter("quorum.P.write.members").inc(6);
+  EXPECT_TRUE(std::isnan(measured_mean_quorum(metrics, "P", "write")));
+}
+
+TEST(SiteLoadTest, EmptyRegistrySerializesSharesAsNull) {
+  MetricsRegistry metrics;
+  SiteLoadOptions load_options;
+  load_options.protocol = "P";
+  load_options.universe = 2;
+  load_options.analytic_read_load = std::nan("");
+  const SiteLoadTable table = collect_site_load(metrics, load_options);
+  EXPECT_EQ(table.read_quorums, 0u);
+  EXPECT_TRUE(std::isnan(table.max_read_share));
+  const std::string json = table.to_json();
+  std::string error;
+  EXPECT_TRUE(json_valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"analytic_read_load\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"read_share\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atrcp
