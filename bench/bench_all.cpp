@@ -1,0 +1,225 @@
+// bench_all — the one-command paper reproduction and the repo's perf
+// baseline emitter.
+//
+// Runs the full table/figure suite as sharded units through the parallel
+// run driver, each unit TWICE — once serial (--jobs 1 semantics) and once
+// at the requested `--jobs N` — and emits BENCH_ATRCP.json into the
+// working directory: per-unit wall-clock (serial and parallel), speedup,
+// committed transactions per second, and an FNV-1a digest of the unit's
+// deterministic payload. Because every shard is a pure function of its
+// index, the digests — and every line of the file except the single
+// "timing" line — are byte-identical at every --jobs count and across
+// runs; the timing line is the only host-dependent content. A PR that
+// changes a digest changed simulation behaviour; a PR that only moves the
+// timing line changed performance. That split is the whole point: the
+// file seeds the perf trajectory ROADMAP.md asks for.
+//
+// Exit code 0 iff every unit's parallel payload matched its serial payload
+// byte for byte and the emitted document passes the obs JSON linter.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "check/broken.hpp"
+#include "check/explorer.hpp"
+#include "driver/digest.hpp"
+#include "driver/pool.hpp"
+#include "obs/json_lint.hpp"
+#include "obs/metrics.hpp"
+#include "suite.hpp"
+
+using namespace atrcp;
+using namespace atrcp::benchio;
+
+namespace {
+
+/// One shardable bench unit of the suite.
+struct Unit {
+  std::string name;
+  std::size_t shards = 0;
+  std::function<ShardResult(std::size_t)> run;
+};
+
+/// The explorer sweep sharded one (protocol, seed-block) per shard. Smaller
+/// than the full check_explore 200-seed gate (which stays the correctness
+/// sweep; this is the perf baseline) but still the heaviest unit by far.
+constexpr std::size_t kExploreSeedsPerProtocol = 48;
+constexpr std::size_t kExploreSeedBlock = 8;
+
+Unit explore_unit() {
+  const auto zoo = std::make_shared<std::vector<ZooEntry>>(protocol_zoo());
+  const std::size_t blocks = kExploreSeedsPerProtocol / kExploreSeedBlock;
+  return Unit{
+      "explore_zoo", zoo->size() * blocks, [zoo, blocks](std::size_t shard) {
+        const ZooEntry& entry = (*zoo)[shard / blocks];
+        const std::uint64_t first_seed = (shard % blocks) * kExploreSeedBlock;
+        const ScheduleExplorer explorer;
+        ShardResult out;
+        for (std::uint64_t seed = first_seed;
+             seed < first_seed + kExploreSeedBlock; ++seed) {
+          const SeedReport report = explorer.run_seed(entry.factory, seed);
+          out.payload += entry.label + " " + report.line() + "\n";
+          if (!report.ok) out.payload += report.detail;
+          out.committed += report.committed;
+        }
+        return out;
+      }};
+}
+
+std::vector<Unit> suite() {
+  std::vector<Unit> units;
+  units.push_back(explore_unit());
+  units.push_back({"workload_grid", workload_cell_count(),
+                   [](std::size_t shard) {
+                     ShardResult out;
+                     std::uint64_t committed = 0;
+                     for (const std::string& column :
+                          workload_cell_row(shard, &committed)) {
+                       out.payload += column + "|";
+                     }
+                     out.payload += "\n";
+                     out.committed = committed;
+                     return out;
+                   }});
+  units.push_back({"table1_metrics", 1,
+                   [](std::size_t) { return table1_metrics_block(); }});
+  units.push_back({"site_load_64", 1, [](std::size_t) { return load64_block(); }});
+  units.push_back({"sim_throughput", 8,
+                   [](std::size_t shard) { return throughput_shard(shard); }});
+  units.push_back({"figures_2_3_4", figure_point_count(),
+                   [](std::size_t shard) { return figure_point(shard); }});
+  units.push_back({"psweep", psweep_point_count(),
+                   [](std::size_t shard) { return psweep_point(shard); }});
+  return units;
+}
+
+/// Merged result of running one unit under one driver.
+struct UnitRun {
+  std::string payload;
+  std::uint64_t committed = 0;
+  double wall_ms = 0;
+};
+
+UnitRun run_unit(const Unit& unit, const RunDriver& driver) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<ShardResult> shards =
+      driver.map<ShardResult>(unit.shards, unit.run);
+  UnitRun out;
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  for (const ShardResult& shard : shards) {
+    out.payload += shard.payload;
+    out.committed += shard.committed;
+  }
+  return out;
+}
+
+std::string ms(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+std::string ratio(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const RunDriver parallel(parse_jobs_flag(argc, argv));
+  const RunDriver serial(1);
+
+  bool all_ok = true;
+  std::string units_json;    // deterministic section, one line per unit
+  std::string timing_json;   // the single host-dependent line
+  double total_serial_ms = 0;
+  double total_parallel_ms = 0;
+  std::uint64_t total_committed = 0;
+
+  const std::vector<Unit> units = suite();
+  std::printf("# bench_all: %zu units, jobs=%zu (serial reference first)\n",
+              units.size(), parallel.jobs());
+  for (const Unit& unit : units) {
+    const UnitRun reference = run_unit(unit, serial);
+    const UnitRun sharded = run_unit(unit, parallel);
+    const bool match = reference.payload == sharded.payload &&
+                       reference.committed == sharded.committed;
+    all_ok = all_ok && match;
+    const double speedup =
+        sharded.wall_ms > 0 ? reference.wall_ms / sharded.wall_ms : 0;
+    const double txns_per_sec =
+        sharded.wall_ms > 0
+            ? static_cast<double>(sharded.committed) / (sharded.wall_ms / 1e3)
+            : 0;
+    total_serial_ms += reference.wall_ms;
+    total_parallel_ms += sharded.wall_ms;
+    total_committed += sharded.committed;
+
+    if (!units_json.empty()) units_json += ",\n";
+    units_json += "{\"name\":\"" + unit.name +
+                  "\",\"shards\":" + std::to_string(unit.shards) +
+                  ",\"committed\":" + std::to_string(reference.committed) +
+                  ",\"payload_bytes\":" +
+                  std::to_string(reference.payload.size()) + ",\"digest\":\"" +
+                  hex64(fnv1a64(reference.payload)) + "\"}";
+    if (!timing_json.empty()) timing_json += ",";
+    timing_json += "{\"name\":\"" + unit.name +
+                   "\",\"serial_ms\":" + ms(reference.wall_ms) +
+                   ",\"parallel_ms\":" + ms(sharded.wall_ms) +
+                   ",\"speedup\":" + ratio(speedup) +
+                   ",\"txns_per_sec\":" + ms(txns_per_sec) + "}";
+    std::printf("%-16s %s shards=%zu committed=%llu digest=%s "
+                "serial=%sms parallel=%sms speedup=%sx\n",
+                unit.name.c_str(), match ? "OK  " : "FAIL", unit.shards,
+                static_cast<unsigned long long>(reference.committed),
+                hex64(fnv1a64(reference.payload)).c_str(),
+                ms(reference.wall_ms).c_str(), ms(sharded.wall_ms).c_str(),
+                ratio(speedup).c_str());
+    if (!match) {
+      std::printf("  parallel payload diverged from the serial reference — "
+                  "a shard is not a pure function of its index\n");
+    }
+  }
+
+  const double overall_speedup =
+      total_parallel_ms > 0 ? total_serial_ms / total_parallel_ms : 0;
+  std::ostringstream doc;
+  doc << "{\n\"bench\":\"atrcp\",\n\"schema\":1,\n\"units\":[\n"
+      << units_json << "\n],\n\"timing\":{\"jobs\":" << parallel.jobs()
+      << ",\"units\":[" << timing_json << "],\"total\":{\"serial_ms\":"
+      << ms(total_serial_ms) << ",\"parallel_ms\":" << ms(total_parallel_ms)
+      << ",\"speedup\":" << ratio(overall_speedup)
+      << ",\"committed\":" << total_committed << ",\"committed_per_sec\":"
+      << ms(total_parallel_ms > 0
+                ? static_cast<double>(total_committed) /
+                      (total_parallel_ms / 1e3)
+                : 0)
+      << "}}\n}\n";
+
+  std::string error;
+  if (!json_valid(doc.str(), &error)) {
+    all_ok = false;
+    std::printf("FAIL BENCH_ATRCP.json does not lint: %s\n", error.c_str());
+  }
+
+  const char* path = "BENCH_ATRCP.json";
+  std::ofstream file(path, std::ios::binary);
+  file << doc.str();
+  file.close();
+  std::printf("# wrote %s (%zu bytes): total committed=%llu "
+              "serial=%sms parallel=%sms speedup=%sx jobs=%zu\n",
+              file ? path : "(write failed)", doc.str().size(),
+              static_cast<unsigned long long>(total_committed),
+              ms(total_serial_ms).c_str(), ms(total_parallel_ms).c_str(),
+              ratio(overall_speedup).c_str(), parallel.jobs());
+  std::printf(all_ok ? "# bench_all: PASS\n" : "# bench_all: FAIL\n");
+  return all_ok ? 0 : 1;
+}

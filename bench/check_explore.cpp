@@ -5,21 +5,26 @@
 //
 // Build with -DATRCP_SANITIZE=ON and the whole sweep — simulator,
 // coordinator, recorder, checker — runs under ASan+UBSan; that is the
-// configuration CI uses. Deterministic: a given binary prints byte-identical
-// output on every run. Exit code 0 iff every expectation held.
+// configuration CI uses. Seeds are sharded across `--jobs N` workers
+// (default: hardware concurrency) and merged in seed order, so output is
+// byte-identical at every worker count — and deterministic: a given binary
+// prints byte-identical output on every run. Exit code 0 iff every
+// expectation held.
 #include <cstdio>
 #include <fstream>
 #include <memory>
 
 #include "check/broken.hpp"
 #include "check/explorer.hpp"
+#include "driver/pool.hpp"
 #include "obs/json_lint.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace atrcp;
   constexpr std::uint64_t kFirstSeed = 0;
   constexpr std::size_t kSeeds = 200;
 
+  const RunDriver driver(parse_jobs_flag(argc, argv));
   ScheduleExplorer explorer;
   bool all_ok = true;
 
@@ -29,7 +34,8 @@ int main() {
               explorer.options().txns_per_client, explorer.options().keys);
   for (const ZooEntry& entry : protocol_zoo()) {
     const ExploreReport report =
-        explorer.explore(entry.factory, entry.label, kFirstSeed, kSeeds);
+        explorer.explore(entry.factory, entry.label, kFirstSeed, kSeeds,
+                         /*stop_at_first_failure=*/false, &driver);
     if (report.ok) {
       std::printf("PASS %-14s %zu/%zu seeds ok\n", entry.label.c_str(),
                   report.seeds_run, report.seeds_run);
@@ -41,6 +47,8 @@ int main() {
 
   // Teeth: the deliberately non-intersecting protocol must be caught, and
   // caught with a cycle (not merely a stale read).
+  // Run serially (no driver): the failure lands at seed 0, so parallel
+  // speculation would only waste the other workers' time here.
   const ExploreReport broken = explorer.explore(
       [] { return std::make_unique<BrokenIntersectionProtocol>(6); },
       "broken-intersection", kFirstSeed, kSeeds,

@@ -1,22 +1,16 @@
-// Shared by the executed-workload benches: the "metrics" JSON block.
-//
-// Emits one JSON object per instrumented cluster run — the full
-// MetricsRegistry snapshot plus the headline comparison the obs layer
-// exists for: measured mean read/write quorum size (from the
-// quorum.<name>.* counters) against the analytic predictions of
-// Facts 3.2.1/3.2.2 (read cost |K_phy|, average write cost n/|K_phy|).
-// Everything routes through MetricsRegistry::to_json / format_double, so
-// two runs under the same seed print byte-identical blocks.
+// Cluster-facing adapter for the "metrics" JSON block. The emitter itself
+// — formatting, escape path, determinism contract — lives in
+// src/obs/metrics_block.hpp so bench_all, the per-bench binaries and the
+// driver determinism tests share one implementation; this header only
+// bridges the layering gap (obs cannot see Cluster) by extracting the
+// block's inputs from a settled cluster.
 #pragma once
 
-#include <cmath>
-#include <cstdint>
 #include <ostream>
 #include <string>
 
-#include "obs/metrics.hpp"
+#include "obs/metrics_block.hpp"
 #include "obs/site_load.hpp"
-#include "obs/span.hpp"
 #include "protocols/protocol.hpp"
 #include "txn/cluster.hpp"
 
@@ -27,31 +21,34 @@ namespace atrcp::benchio {
 /// obs tests can pin it down.
 using atrcp::measured_mean_quorum;
 
-/// Prints the block on one line:
-///   {"label":...,"protocol":...,
-///    "quorum_cost":{"read":{"measured":...,"predicted":...},"write":{...}},
-///    "spans":{"recorded":...,"retained":...,"latency_us":{"p50":...,
-///    "p95":...,"p99":...},"slowest":{...}},"registry":{...}}
-/// `predicted` is the protocol's analytic read_cost()/write_cost(); a
-/// measured value that never materialized serializes as null. The spans
-/// object snapshots the cluster's TxnSpanLog (p50/p95/p99 over retained
-/// spans plus the single slowest transaction).
+/// Fills MetricsBlockInputs from the cluster's protocol, span log and
+/// registry. Shared by the emit/string helpers below and by callers that
+/// want to digest the block (bench_all).
+inline MetricsBlockInputs metrics_block_inputs(const std::string& label,
+                                               const Cluster& cluster) {
+  const ReplicaControlProtocol& protocol = cluster.protocol();
+  MetricsBlockInputs in;
+  in.label = label;
+  in.protocol = protocol.name();
+  in.read_predicted = protocol.read_cost();
+  in.write_predicted = protocol.write_cost();
+  in.spans = &cluster.spans();
+  in.registry = &cluster.metrics();
+  return in;
+}
+
+/// Prints the block on one line (see obs/metrics_block.hpp for the format).
+/// Under a fixed seed two runs print byte-identical blocks.
 inline void emit_metrics_block(std::ostream& os, const std::string& label,
                                const Cluster& cluster) {
-  const ReplicaControlProtocol& protocol = cluster.protocol();
-  const MetricsRegistry& metrics = cluster.metrics();
-  os << "{\"label\":\"" << json_escape(label) << "\",\"protocol\":\""
-     << json_escape(protocol.name()) << "\",\"quorum_cost\":{\"read\":{"
-     << "\"measured\":"
-     << format_double(measured_mean_quorum(metrics, protocol.name(), "read"))
-     << ",\"predicted\":" << format_double(protocol.read_cost())
-     << "},\"write\":{\"measured\":"
-     << format_double(measured_mean_quorum(metrics, protocol.name(), "write"))
-     << ",\"predicted\":" << format_double(protocol.write_cost())
-     << "}},\"spans\":" << summarize_spans(cluster.spans()).to_json()
-     << ",\"registry\":";
-  metrics.to_json(os);
-  os << "}";
+  emit_metrics_block_json(os, metrics_block_inputs(label, cluster));
+}
+
+/// The same block as a string, for sharded benches that render per-job text
+/// off the driver and merge in job-index order.
+inline std::string metrics_block(const std::string& label,
+                                 const Cluster& cluster) {
+  return metrics_block_json(metrics_block_inputs(label, cluster));
 }
 
 }  // namespace atrcp::benchio

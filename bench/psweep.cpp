@@ -5,15 +5,21 @@
 // read side and MOSTLY-READ's write side destabilize early; this sweep
 // makes the whole p-axis visible (the figures in the paper fix p and sweep
 // n; this is the complementary cut).
+//
+// Each (read|write, p) row is an independent parameter point, sharded
+// across `--jobs N` workers and merged in row order — byte-identical output
+// at every worker count.
 #include <iostream>
 #include <vector>
 
 #include "analysis/models.hpp"
+#include "driver/pool.hpp"
 #include "util/table.hpp"
 
 using namespace atrcp;
 
-int main() {
+int main(int argc, char** argv) {
+  const RunDriver driver(parse_jobs_flag(argc, argv));
   std::cout << "=== E12: expected loads vs replica availability p (n ~ 100) "
                "===\n\n";
   const std::size_t n = 100;
@@ -21,20 +27,29 @@ int main() {
   const std::vector<double> ps = {0.55, 0.6, 0.65, 0.7, 0.75,
                                   0.8,  0.85, 0.9, 0.95, 0.99};
 
+  // Row job (kind, p) -> preformatted cells; kind 0 = read, 1 = write.
+  const std::vector<std::vector<std::string>> rows =
+      driver.map<std::vector<std::string>>(
+          2 * ps.size(), [&](std::size_t job) {
+            const bool read_side = job < ps.size();
+            const double p = ps[job % ps.size()];
+            std::vector<std::string> row = {cell(p, 2)};
+            for (const auto& config : configs) {
+              const ConfigMetrics m = config.at(n, p);
+              row.push_back(cell(read_side ? m.expected_read_load
+                                           : m.expected_write_load,
+                                 4));
+            }
+            return row;
+          });
+
   for (const char* which : {"read", "write"}) {
     std::vector<std::string> header = {"p"};
     for (const auto& config : configs) header.push_back(config.name);
     Table table(header);
-    for (double p : ps) {
-      std::vector<std::string> row = {cell(p, 2)};
-      for (const auto& config : configs) {
-        const ConfigMetrics m = config.at(n, p);
-        row.push_back(cell(std::string(which) == "read"
-                               ? m.expected_read_load
-                               : m.expected_write_load,
-                           4));
-      }
-      table.add_row(std::move(row));
+    const std::size_t base = std::string(which) == "read" ? 0 : ps.size();
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      table.add_row(std::vector<std::string>(rows[base + i]));
     }
     std::cout << "expected " << which << " load vs p:\n";
     table.print_text(std::cout);

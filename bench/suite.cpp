@@ -1,0 +1,173 @@
+#include "suite.hpp"
+
+#include <memory>
+
+#include "analysis/models.hpp"
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "metrics_block.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+#include "util/table.hpp"
+
+namespace atrcp::benchio {
+namespace {
+
+constexpr double kReadFractions[] = {0.95, 0.5, 0.05};
+const char* const kConfigs[] = {"MOSTLY-READ", "ARBITRARY", "UNMODIFIED",
+                                "MOSTLY-WRITE"};
+constexpr std::size_t kConfigCount = std::size(kConfigs);
+
+std::unique_ptr<ArbitraryProtocol> make_config(const std::string& name,
+                                               std::size_t n) {
+  if (name == "MOSTLY-READ") return make_mostly_read(n);
+  if (name == "MOSTLY-WRITE") return make_mostly_write(n | 1);
+  if (name == "ARBITRARY") return make_arbitrary(n);
+  return std::make_unique<ArbitraryProtocol>(
+      unmodified_tree(5), "UNMODIFIED");  // 63 replicas
+}
+
+}  // namespace
+
+std::size_t workload_cell_count() {
+  return std::size(kReadFractions) * kConfigCount;
+}
+
+double workload_cell_fraction(std::size_t index) {
+  return kReadFractions[index / kConfigCount];
+}
+
+std::vector<std::string> workload_cell_row(std::size_t index,
+                                           std::uint64_t* committed) {
+  const std::size_t n = 63;
+  const double read_fraction = workload_cell_fraction(index);
+  const std::string name = kConfigs[index % kConfigCount];
+  ClusterOptions options;
+  options.clients = 4;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(make_config(name, n), options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 150;
+  workload.read_fraction = read_fraction;
+  workload.num_keys = 32;
+  const WorkloadStats stats = run_workload(cluster, workload);
+  if (committed != nullptr) *committed = stats.committed;
+  return {name, cell(stats.commit_rate(), 3),
+          cell(stats.mean_latency_us, 0) + " / " +
+              cell(stats.latency.percentile(0.95), 0) + " / " +
+              cell(stats.latency.percentile(0.99), 0),
+          cell(stats.messages_sent), cell(stats.max_replica_share(), 4)};
+}
+
+ShardResult table1_metrics_block() {
+  // Table 1 tree (1-3-5) executed at p = 0: the measured mean read-quorum
+  // size must equal |K_phy| = 2 exactly (one node per physical level;
+  // version pre-reads included) and the measured mean write-quorum size
+  // approaches n / |K_phy| = 4 (uniform pick over the level sizes {3, 5})
+  // — Facts 3.2.1/3.2.2 executed. Fixed seed: byte-identical across runs.
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                  options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 400;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 16;
+  const WorkloadStats stats = run_workload(cluster, workload);
+  return {metrics_block("table1-p0", cluster), stats.committed};
+}
+
+ShardResult load64_block() {
+  // A healthy 64-site ARBITRARY run: the busiest site's measured read share
+  // must stay within the analytic optimum 1/d = 1/4 and the busiest write
+  // share near 1/|K_phy| = 1/8 = 1/sqrt(64) — Facts 3.2.3/3.2.4 executed.
+  // Fixed seed: byte-identical output.
+  std::unique_ptr<ArbitraryProtocol> protocol = make_arbitrary(64);
+  SiteLoadOptions load_options;
+  load_options.protocol = protocol->name();
+  load_options.universe = protocol->universe_size();
+  load_options.analytic_read_load = protocol->read_load();
+  load_options.analytic_write_load = protocol->write_load();
+  const ArbitraryTree& tree = protocol->tree();
+  for (const std::uint32_t level : tree.physical_levels()) {
+    load_options.levels.push_back(tree.replicas_at_level(level));
+  }
+  ClusterOptions options;
+  options.clients = 4;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(std::move(protocol), options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 300;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 32;
+  const WorkloadStats stats = run_workload(cluster, workload);
+  return {collect_site_load(cluster.metrics(), load_options).to_json(),
+          stats.committed};
+}
+
+ShardResult throughput_shard(std::size_t shard) {
+  ClusterOptions options;
+  options.seed = 1 + shard;
+  options.clients = 4;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(make_arbitrary(40), options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 120;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 32;
+  workload.seed = 42 + shard;
+  const WorkloadStats stats = run_workload(cluster, workload);
+  return {"shard=" + std::to_string(shard) +
+              " committed=" + std::to_string(stats.committed) +
+              " aborted=" + std::to_string(stats.aborted) +
+              " messages=" + std::to_string(stats.messages_sent) + "\n",
+          stats.committed};
+}
+
+namespace {
+
+// The Figure 2-4 n-axis and the availability the figures fix (p = 0.9).
+constexpr std::size_t kFigureNs[] = {5,  10,  20,  40,  63,
+                                     80, 100, 150, 200, 300};
+constexpr double kFigureP = 0.9;
+
+constexpr double kPsweepPs[] = {0.55, 0.6,  0.65, 0.7,  0.75,
+                                0.8,  0.85, 0.9,  0.95, 0.99};
+
+}  // namespace
+
+std::size_t figure_point_count() { return std::size(kFigureNs); }
+
+ShardResult figure_point(std::size_t index) {
+  const std::size_t n = kFigureNs[index];
+  std::string out;
+  for (const ConfigModel& config : paper_configurations()) {
+    const ConfigMetrics m = config.at(n, kFigureP);
+    out += std::to_string(n) + "," + config.name + "," + cell(m.read_cost, 4) +
+           "," + cell(m.write_cost, 4) + "," + cell(m.read_load, 4) + "," +
+           cell(m.write_load, 4) + "," + cell(m.expected_read_load, 4) + "," +
+           cell(m.expected_write_load, 4) + "\n";
+  }
+  return {std::move(out), 0};
+}
+
+std::size_t psweep_point_count() { return 2 * std::size(kPsweepPs); }
+
+ShardResult psweep_point(std::size_t index) {
+  const bool read_side = index < std::size(kPsweepPs);
+  const double p = kPsweepPs[index % std::size(kPsweepPs)];
+  std::string out = read_side ? "read" : "write";
+  out += "," + cell(p, 2);
+  for (const ConfigModel& config : paper_configurations()) {
+    const ConfigMetrics m = config.at(100, p);
+    out += "," +
+           cell(read_side ? m.expected_read_load : m.expected_write_load, 4);
+  }
+  out += "\n";
+  return {std::move(out), 0};
+}
+
+}  // namespace atrcp::benchio

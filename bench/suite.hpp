@@ -1,0 +1,63 @@
+// The shared, shardable bench units behind bench_workload_sim,
+// bench_sim_throughput and bench_all. Every function here is a pure
+// function of its shard index — it builds its own Cluster (or evaluates a
+// closed form) from fixed seeds and touches no shared state — so the run
+// driver can execute any subset concurrently and the merged output is
+// byte-identical at every `--jobs` count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atrcp::benchio {
+
+/// What one shard of a bench unit produced: a deterministic payload chunk
+/// (digested into BENCH_ATRCP.json) and the committed-transaction count
+/// (the throughput numerator). Analytic shards leave committed at 0.
+struct ShardResult {
+  std::string payload;
+  std::uint64_t committed = 0;
+};
+
+// -- E11 workload grid (n ~ 63) ---------------------------------------------
+
+/// Number of (read fraction x configuration) cells in the E11 grid.
+std::size_t workload_cell_count();
+
+/// Read fraction of cell `index` (grid is fraction-major).
+double workload_cell_fraction(std::size_t index);
+
+/// One E11 grid cell: preformatted table cells {config, commit rate,
+/// latency, messages, busiest replica share}, plus the committed count via
+/// *committed when non-null.
+std::vector<std::string> workload_cell_row(std::size_t index,
+                                           std::uint64_t* committed = nullptr);
+
+/// The Table 1 (1-3-5) fixed-seed metrics block validating Facts
+/// 3.2.1/3.2.2 ("metrics " line of bench_workload_sim).
+ShardResult table1_metrics_block();
+
+/// The 64-site ARBITRARY site-load block validating Facts 3.2.3/3.2.4
+/// ("load " line of bench_workload_sim).
+ShardResult load64_block();
+
+// -- parallel simulation throughput (shared with bench_sim_throughput) ------
+
+/// One independent fixed-seed cluster running a mixed workload; payload is
+/// a one-line summary, committed is the commit count. Shards differ only
+/// in their seeds, so any shard set is reproducible.
+ShardResult throughput_shard(std::size_t shard);
+
+// -- analytic parameter points ----------------------------------------------
+
+/// Figure 2-4 series point: all six §4 configurations evaluated at one
+/// (n, p) grid index; payload is a deterministic CSV row block.
+ShardResult figure_point(std::size_t index);
+std::size_t figure_point_count();
+
+/// E12 availability point: one (read|write, p) row at n = 100.
+ShardResult psweep_point(std::size_t index);
+std::size_t psweep_point_count();
+
+}  // namespace atrcp::benchio

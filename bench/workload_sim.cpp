@@ -3,114 +3,67 @@
 // servers, 2PC, locks, real messages — for each paper configuration, and
 // reports commit rate, latency, total messages and the busiest replica's
 // message share (the empirical system load under execution, not analysis).
+//
+// Every (read fraction, configuration) cell is an independent job — its own
+// Cluster, its own fixed seed (see bench/suite.cpp) — so the grid fans out
+// across `--jobs N` workers (default: hardware concurrency) and merges in
+// cell order: output is byte-identical at every worker count, and identical
+// to the pre-driver serial code at --jobs 1.
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "core/config.hpp"
-#include "core/quorums.hpp"
-#include "core/tree.hpp"
-#include "metrics_block.hpp"
-#include "txn/cluster.hpp"
-#include "txn/workload.hpp"
+#include "driver/pool.hpp"
+#include "suite.hpp"
 #include "util/table.hpp"
 
 using namespace atrcp;
+using namespace atrcp::benchio;
 
 namespace {
 
-std::unique_ptr<ArbitraryProtocol> make_config(const std::string& name,
-                                               std::size_t n) {
-  if (name == "MOSTLY-READ") return make_mostly_read(n);
-  if (name == "MOSTLY-WRITE") return make_mostly_write(n | 1);
-  if (name == "ARBITRARY") return make_arbitrary(n);
-  return std::make_unique<ArbitraryProtocol>(
-      unmodified_tree(5), "UNMODIFIED");  // 63 replicas
-}
+/// Result slot of one sharded job: grid cells fill `row`, the two
+/// deterministic JSON blocks fill `block`.
+struct JobResult {
+  std::vector<std::string> row;
+  std::string block;
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const RunDriver driver(parse_jobs_flag(argc, argv));
   std::cout << "=== E11: executed workloads across configurations (n~63) "
                "===\n\n";
-  const std::size_t n = 63;
 
-  for (double read_fraction : {0.95, 0.5, 0.05}) {
+  // 12 grid cells + the metrics block + the load block, all independent;
+  // merged below in job-index order.
+  const std::size_t cells = workload_cell_count();
+  const std::vector<JobResult> results = driver.map<JobResult>(
+      cells + 2, [cells](std::size_t job) {
+        JobResult out;
+        if (job < cells) {
+          out.row = workload_cell_row(job);
+        } else if (job == cells) {
+          out.block = table1_metrics_block().payload;
+        } else {
+          out.block = load64_block().payload;
+        }
+        return out;
+      });
+
+  const std::size_t fractions = cells / 4;
+  for (std::size_t f = 0; f < fractions; ++f) {
     Table table({"config", "commit rate", "latency us (mean/p95/p99)",
                  "messages", "busiest replica share"});
-    for (const std::string name :
-         {"MOSTLY-READ", "ARBITRARY", "UNMODIFIED", "MOSTLY-WRITE"}) {
-      ClusterOptions options;
-      options.clients = 4;
-      options.link = LinkParams{.base_latency = 50, .jitter = 10};
-      Cluster cluster(make_config(name, n), options);
-      WorkloadOptions workload;
-      workload.transactions_per_client = 150;
-      workload.read_fraction = read_fraction;
-      workload.num_keys = 32;
-      const WorkloadStats stats = run_workload(cluster, workload);
-      table.add_row({name, cell(stats.commit_rate(), 3),
-                     cell(stats.mean_latency_us, 0) + " / " +
-                         cell(stats.latency.percentile(0.95), 0) + " / " +
-                         cell(stats.latency.percentile(0.99), 0),
-                     cell(stats.messages_sent),
-                     cell(stats.max_replica_share(), 4)});
+    for (std::size_t c = 0; c < 4; ++c) {
+      table.add_row(std::vector<std::string>(results[f * 4 + c].row));
     }
-    std::cout << "read fraction " << read_fraction << ":\n";
+    std::cout << "read fraction " << workload_cell_fraction(f * 4) << ":\n";
     table.print_text(std::cout);
     std::cout << '\n';
   }
-  // Metrics block: the Table 1 tree (1-3-5) executed at p = 0, validating
-  // Facts 3.2.1/3.2.2 empirically — the measured mean read-quorum size must
-  // equal |K_phy| = 2 exactly (every assembled read quorum picks one node
-  // per physical level; version pre-reads included) and the measured mean
-  // write-quorum size approaches n / |K_phy| = 4 (uniform pick over the
-  // level sizes {3, 5}). Fixed seed: the line is byte-identical across runs.
-  {
-    ClusterOptions options;
-    options.clients = 2;
-    options.link = LinkParams{.base_latency = 50, .jitter = 10};
-    Cluster cluster(std::make_unique<ArbitraryProtocol>(
-                        ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
-                    options);
-    WorkloadOptions workload;
-    workload.transactions_per_client = 400;
-    workload.read_fraction = 0.5;
-    workload.num_keys = 16;
-    run_workload(cluster, workload);
-    std::cout << "metrics ";
-    benchio::emit_metrics_block(std::cout, "table1-p0", cluster);
-    std::cout << "\n\n";
-  }
-
-  // Load block: a healthy 64-site ARBITRARY run, validating Facts
-  // 3.2.3/3.2.4 empirically — the busiest site's measured read share must
-  // stay within the analytic optimum 1/d = 1/4 (one pick per physical
-  // level, the bottom level has d = 4 nodes) and the busiest write share
-  // near 1/|K_phy| = 1/8 = 1/sqrt(64). Fixed seed: byte-identical output.
-  {
-    std::unique_ptr<ArbitraryProtocol> protocol = make_arbitrary(64);
-    SiteLoadOptions load_options;
-    load_options.protocol = protocol->name();
-    load_options.universe = protocol->universe_size();
-    load_options.analytic_read_load = protocol->read_load();
-    load_options.analytic_write_load = protocol->write_load();
-    const ArbitraryTree& tree = protocol->tree();
-    for (const std::uint32_t level : tree.physical_levels()) {
-      load_options.levels.push_back(tree.replicas_at_level(level));
-    }
-    ClusterOptions options;
-    options.clients = 4;
-    options.link = LinkParams{.base_latency = 50, .jitter = 10};
-    Cluster cluster(std::move(protocol), options);
-    WorkloadOptions workload;
-    workload.transactions_per_client = 300;
-    workload.read_fraction = 0.5;
-    workload.num_keys = 32;
-    run_workload(cluster, workload);
-    std::cout << "load "
-              << collect_site_load(cluster.metrics(), load_options).to_json()
-              << "\n\n";
-  }
+  std::cout << "metrics " << results[cells].block << "\n\n";
+  std::cout << "load " << results[cells + 1].block << "\n\n";
 
   std::cout
       << "Observed shape: MOSTLY-READ is cheapest under read-heavy traffic\n"

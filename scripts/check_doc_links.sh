@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link resolves: the target file exists,
+# a #L<n> fragment points inside the file (docs/ARCHITECTURE.md anchors its
+# module tour to defining header lines), and a #heading fragment matches a
+# real heading of the target. External (http/mailto) links are skipped.
+#
+# Usage: scripts/check_doc_links.sh [file.md ...]   (default: all tracked .md)
+set -u
+
+cd "$(dirname "$0")/.."
+
+# Default set: the repo's own documentation. PAPER.md / PAPERS.md /
+# SNIPPETS.md are verbatim paper-retrieval artifacts whose figure
+# references never shipped with the text, so they are not checked.
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md docs/*.md)
+fi
+
+errors=0
+checked=0
+
+# GitHub-style heading slug: lowercase, punctuation stripped, spaces -> dashes.
+slugify() {
+  printf '%s' "$1" | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+for md in "${files[@]}"; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract link targets: ](target) — one per line, ignoring images is
+  # unnecessary (image paths must resolve too).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) # in-page anchor
+        fragment=${target#\#}
+        path=$md
+        ;;
+      *'#'*)
+        fragment=${target#*#}
+        path=$dir/${target%%#*}
+        ;;
+      *)
+        fragment=""
+        path=$dir/$target
+        ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$path" ]; then
+      echo "BROKEN  $md -> $target (no such file: $path)"
+      errors=$((errors + 1))
+      continue
+    fi
+    if [ -n "$fragment" ]; then
+      case "$fragment" in
+        L[0-9]*)
+          line=${fragment#L}
+          total=$(wc -l < "$path")
+          if [ "$line" -gt "$total" ]; then
+            echo "BROKEN  $md -> $target (#L$line but $path has $total lines)"
+            errors=$((errors + 1))
+          fi
+          ;;
+        *)
+          found=0
+          while IFS= read -r heading; do
+            if [ "$(slugify "$heading")" = "$fragment" ]; then
+              found=1
+              break
+            fi
+          done < <(sed -n 's/^#\{1,6\} \{1,\}//p' "$path")
+          if [ "$found" -eq 0 ]; then
+            echo "BROKEN  $md -> $target (no heading slug '#$fragment' in $path)"
+            errors=$((errors + 1))
+          fi
+          ;;
+      esac
+    fi
+  done < <(grep -o ']([^)]*)' "$md" | sed -e 's/^](//' -e 's/)$//')
+done
+
+echo "check_doc_links: $checked links checked, $errors broken"
+[ "$errors" -eq 0 ]

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "check/broken.hpp"
+#include "driver/pool.hpp"
 #include "obs/chrome_trace.hpp"
 #include "core/config.hpp"
 #include "core/quorums.hpp"
@@ -325,7 +326,8 @@ ExploreReport ScheduleExplorer::explore(const ProtocolFactory& factory,
                                         const std::string& label,
                                         std::uint64_t first_seed,
                                         std::size_t seed_count,
-                                        bool stop_at_first_failure) const {
+                                        bool stop_at_first_failure,
+                                        const RunDriver* driver) const {
   ExploreReport out;
   out.label = label;
   out.text = "== explore protocol=" + label + " seeds=[" +
@@ -336,23 +338,46 @@ ExploreReport ScheduleExplorer::explore(const ProtocolFactory& factory,
              std::to_string(options_.keys) +
              (options_.nemesis ? " nemesis=on" : " nemesis=off") + " ==\n";
   std::size_t ok_count = 0;
-  for (std::uint64_t seed = first_seed; seed < first_seed + seed_count;
-       ++seed) {
-    const SeedReport report = run_seed(factory, seed);
+
+  // One fold for both paths, applied strictly in seed order; returns false
+  // once the sweep should stop. Everything order-sensitive (report text,
+  // failing-seed list, first-failure trace) lives here, so WHERE a seed ran
+  // cannot leak into the output.
+  auto fold = [&](const SeedReport& report) {
     ++out.seeds_run;
     out.text += report.line() + "\n";
     if (report.ok) {
       ++ok_count;
-      continue;
+      return true;
     }
     out.ok = false;
-    out.failing_seeds.push_back(seed);
+    out.failing_seeds.push_back(report.seed);
     out.text += indent(report.detail, "    ");
     if (out.first_failure_trace.empty()) {
       out.first_failure_trace = report.flight_recorder;
     }
-    if (stop_at_first_failure) break;
+    return !stop_at_first_failure;
+  };
+
+  if (driver != nullptr && driver->jobs() > 1 && seed_count > 1) {
+    // Seed shards: every run_seed call is self-contained (own Cluster, own
+    // SplitMix64 streams), so seeds run on whichever worker steals them and
+    // the fold below restores serial order. Under stop_at_first_failure
+    // this speculates past the first failure and discards the excess.
+    const std::vector<SeedReport> reports = driver->map<SeedReport>(
+        seed_count, [this, &factory, first_seed](std::size_t index) {
+          return run_seed(factory, first_seed + index);
+        });
+    for (const SeedReport& report : reports) {
+      if (!fold(report)) break;
+    }
+  } else {
+    for (std::uint64_t seed = first_seed; seed < first_seed + seed_count;
+         ++seed) {
+      if (!fold(run_seed(factory, seed))) break;
+    }
   }
+
   out.text += "== result protocol=" + label + ": " +
               (out.ok ? "PASS" : "FAIL") + " (" + std::to_string(ok_count) +
               "/" + std::to_string(out.seeds_run) + " seeds ok) ==\n";

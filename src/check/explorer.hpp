@@ -28,6 +28,7 @@
 namespace atrcp {
 
 class Cluster;
+class RunDriver;
 
 /// A deterministic fault plan generated from the nemesis RNG: every action
 /// heals (recovery / partition heal / link restore) before the plan's
@@ -120,15 +121,32 @@ class ScheduleExplorer {
   explicit ScheduleExplorer(ExplorerOptions options = {});
 
   /// Runs one seeded experiment and checks the recorded history.
+  ///
+  /// Thread-safety: const and self-contained — every call builds its own
+  /// Cluster from the seed's own SplitMix64 streams and touches no shared
+  /// mutable state, so any number of run_seed calls may execute
+  /// concurrently on different threads. This is the property the parallel
+  /// driver's seed shards rely on; the factory must likewise return a
+  /// fresh protocol per call (every factory in protocol_zoo() does).
   SeedReport run_seed(const ProtocolFactory& factory, std::uint64_t seed) const;
 
   /// Sweeps seeds [first_seed, first_seed + seed_count). When
   /// stop_at_first_failure is set the sweep ends with the first failing
   /// seed's counterexample (the teeth test); otherwise every seed runs.
+  ///
+  /// With a driver, seeds are sharded across its workers and the per-seed
+  /// reports are merged back in seed order, so the returned report —
+  /// text, failing seeds, first-failure trace — is byte-identical to the
+  /// serial sweep at every worker count (a driver with jobs() == 1, or
+  /// driver == nullptr, IS the serial code path). Under
+  /// stop_at_first_failure a parallel sweep may speculatively run seeds
+  /// past the first failure; their results are discarded so the report
+  /// still ends at the same seed the serial sweep would have stopped at.
   ExploreReport explore(const ProtocolFactory& factory,
                         const std::string& label, std::uint64_t first_seed,
                         std::size_t seed_count,
-                        bool stop_at_first_failure = false) const;
+                        bool stop_at_first_failure = false,
+                        const RunDriver* driver = nullptr) const;
 
   const ExplorerOptions& options() const noexcept { return options_; }
 

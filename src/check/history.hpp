@@ -17,6 +17,12 @@
 // Events get a global sequence number in recording order; the simulation
 // is single-threaded and deterministic under its seed, so the sequence is
 // byte-reproducible.
+//
+// Thread-safety: a recorder is owned by one Cluster and is not
+// synchronized — "concurrent" refers to the simulated clients, which all
+// run on the cluster's single scheduler thread. Under the parallel run
+// driver each seed's recorder lives and dies inside its own worker
+// (ScheduleExplorer::run_seed), so recorders never cross threads.
 #pragma once
 
 #include <cstdint>

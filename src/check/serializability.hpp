@@ -32,6 +32,12 @@
 // transaction and excluded otherwise — the history then simply ends before
 // the pending write materialized. Explorer runs configure the coordinator
 // so blocking does not arise (see explorer.cpp).
+//
+// Thread-safety and determinism: check() is a const, pure function of the
+// history it is given — no shared state, no randomness, deterministic
+// report text (sorted iteration, stable tie-breaks) — so any number of
+// checks may run concurrently on different histories; the parallel run
+// driver runs one per seed shard.
 #pragma once
 
 #include <cstdint>

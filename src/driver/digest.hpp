@@ -1,0 +1,36 @@
+// Tiny deterministic content digest for bench payloads. BENCH_ATRCP.json
+// stores one digest per bench instead of the (often multi-megabyte)
+// deterministic payload itself; comparing digests across `--jobs` settings
+// — or across PRs — is how the perf trajectory proves "same bytes, less
+// wall-clock". FNV-1a is not cryptographic; it only needs to make an
+// accidental payload change visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace atrcp {
+
+/// 64-bit FNV-1a over the bytes of `text`.
+constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Fixed-width lowercase hex rendering ("00c0ffee00c0ffee") — the digest
+/// format used in BENCH_ATRCP.json.
+inline std::string hex64(std::uint64_t value) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = "0123456789abcdef"[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace atrcp

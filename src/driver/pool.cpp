@@ -1,0 +1,163 @@
+#include "driver/pool.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+namespace atrcp {
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+RunDriver::RunDriver(std::size_t jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {}
+
+namespace {
+
+/// One worker's job queue. Owner pops the front, thieves take the back —
+/// the classic split that keeps owner/thief contention to the ends.
+struct Shard {
+  std::mutex mutex;
+  std::deque<std::size_t> queue;
+
+  bool pop_front(std::size_t* job) {
+    std::lock_guard lock(mutex);
+    if (queue.empty()) return false;
+    *job = queue.front();
+    queue.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t* job) {
+    std::lock_guard lock(mutex);
+    if (queue.empty()) return false;
+    *job = queue.back();
+    queue.pop_back();
+    return true;
+  }
+
+  std::size_t size() {
+    std::lock_guard lock(mutex);
+    return queue.size();
+  }
+};
+
+}  // namespace
+
+void RunDriver::for_each(std::size_t count,
+                         const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers = std::min(jobs_, count);
+  if (workers <= 1) {
+    // The serial path: no threads, no queues — byte-for-byte the loop the
+    // benches ran before the driver existed.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Deal jobs round-robin so every shard starts with a near-equal slice of
+  // the index space; uneven job costs are evened out by stealing below.
+  std::vector<Shard> shards(workers);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards[i % workers].queue.push_back(i);
+  }
+
+  // First exception wins by JOB INDEX (not completion time) so a failing
+  // sweep reports the same job no matter how the schedule interleaved.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_job = count;
+
+  auto work = [&](std::size_t self) {
+    for (;;) {
+      std::size_t job;
+      if (!shards[self].pop_front(&job)) {
+        // Own shard drained: steal from the fullest remaining shard.
+        std::size_t victim = workers;
+        std::size_t victim_size = 0;
+        for (std::size_t s = 0; s < workers; ++s) {
+          if (s == self) continue;
+          const std::size_t size = shards[s].size();
+          if (size > victim_size) {
+            victim = s;
+            victim_size = size;
+          }
+        }
+        if (victim == workers || !shards[victim].steal_back(&job)) {
+          if (victim == workers) return;  // everything everywhere drained
+          continue;  // lost the race for the victim's last job; rescan
+        }
+      }
+      try {
+        fn(job);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (job < first_error_job) {
+          first_error_job = job;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      pool.emplace_back(work, w);
+    }
+    work(0);  // the calling thread is worker 0
+  }  // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t parse_jobs_flag(int& argc, char** argv) {
+  std::size_t jobs = 0;
+
+  auto parse_value = [](std::string_view text) -> std::size_t {
+    if (text.empty()) return 0;
+    std::size_t value = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') return 0;
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      if (value > 4096) return 0;  // reject absurd counts along with garbage
+    }
+    return value;
+  };
+  auto die = [](const char* got) {
+    std::fprintf(stderr, "error: --jobs expects a positive integer, got %s\n",
+                 got == nullptr ? "(nothing)" : got);
+    std::exit(2);
+  };
+
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) die(nullptr);
+      jobs = parse_value(argv[i + 1]);
+      if (jobs == 0) die(argv[i + 1]);
+      ++i;  // consume the value token too
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = parse_value(arg.substr(7));
+      if (jobs == 0) die(argv[i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return jobs == 0 ? default_jobs() : jobs;
+}
+
+}  // namespace atrcp

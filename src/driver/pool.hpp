@@ -1,0 +1,81 @@
+// Parallel run driver for the embarrassingly parallel sweeps the benches
+// and the schedule explorer run: seed sweeps, parameter-point grids, the
+// protocol zoo. The paper's whole evaluation decomposes into independent
+// (configuration, seed) jobs — each job builds its own Cluster from its own
+// SplitMix64 stream and touches no shared state (src/ has no mutable
+// globals; the audit lives in docs/ARCHITECTURE.md#determinism) — so the
+// driver can fan jobs out across std::jthread workers and still produce
+// bit-identical results.
+//
+// Determinism contract: job i's work depends only on i (never on which
+// worker ran it or in what order), and results are merged in job-index
+// order after all workers join. Therefore the aggregate output of
+// `--jobs N` is byte-identical to `--jobs 1` for every N; `--jobs 1` does
+// not spawn threads at all and is exactly the pre-driver serial code path.
+//
+// Scheduling: jobs are dealt round-robin into one shard (deque) per worker;
+// a worker drains its own shard front-to-back and, when empty, steals from
+// the back of the fullest remaining shard. Stealing only changes WHO runs a
+// job, never its input or where its result lands, so the schedule is free
+// to be timing-dependent while the output stays deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+/// Worker count used when the caller does not pass `--jobs`:
+/// std::thread::hardware_concurrency(), clamped to at least 1.
+std::size_t default_jobs();
+
+class RunDriver {
+ public:
+  /// jobs == 0 selects default_jobs().
+  explicit RunDriver(std::size_t jobs = 0);
+
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Runs fn(0) .. fn(count - 1), each exactly once, across the worker
+  /// pool; returns only after every job finished. With jobs() == 1 (or
+  /// count <= 1) everything runs inline on the calling thread — no threads
+  /// are created and the call is exactly a serial for-loop. If jobs throw,
+  /// the remaining jobs still run and the first exception (by job index)
+  /// is rethrown after all workers join.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& fn) const;
+
+  /// for_each, collecting fn(i) into slot i of the returned vector — the
+  /// index-ordered merge every sweep builds on. R must be default
+  /// constructible and movable.
+  template <typename R>
+  std::vector<R> map(std::size_t count,
+                     const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(count);
+    for_each(count, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// map for the common case of jobs that render a chunk of report text;
+  /// concatenating the result reproduces the serial output byte for byte.
+  std::vector<std::string> map_text(
+      std::size_t count,
+      const std::function<std::string(std::size_t)>& fn) const {
+    return map<std::string>(count, fn);
+  }
+
+ private:
+  std::size_t jobs_ = 1;
+};
+
+/// Strips a trailing/leading/embedded `--jobs N` (or `--jobs=N`) from
+/// argv and returns the parsed worker count (0 = not given -> returns
+/// default_jobs()). argc is decremented for the consumed tokens so the
+/// remaining argv can be handed to another parser (google-benchmark).
+/// Invalid values (non-numeric, 0) abort with exit code 2 and a message on
+/// stderr — a sweep silently falling back to serial would defeat the flag.
+std::size_t parse_jobs_flag(int& argc, char** argv);
+
+}  // namespace atrcp

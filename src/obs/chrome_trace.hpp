@@ -4,6 +4,11 @@
 // causal id, transactions are async spans, and crashes/partitions are
 // instants. The emitted JSON is byte-deterministic: same bus contents,
 // same bytes.
+//
+// Thread-safety: pure functions of the bus they are handed; safe to call
+// from any thread as long as nothing is still publishing into that bus
+// (under the parallel run driver: after the worker owning the bus's
+// Cluster has finished its shard).
 #pragma once
 
 #include <cstddef>

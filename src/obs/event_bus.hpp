@@ -12,6 +12,12 @@
 // MetricsRegistry, everything here is byte-deterministic under a fixed
 // seed: publishing consumes no randomness and formatting never depends on
 // addresses or wall-clock time.
+//
+// Thread-safety: none, by design — a bus belongs to one Cluster and one
+// Cluster belongs to one run-driver worker. Publishing takes no lock so
+// the hot path stays an index bump and a struct copy; under the parallel
+// driver each shard records into its own bus and buses are only read
+// (exported, tailed) after the pool has joined.
 #pragma once
 
 #include <cstddef>

@@ -34,6 +34,21 @@ void Histogram::record(std::uint64_t sample) noexcept {
   sum_ += sample;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge_from: bounds differ");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  overflow_ += other.overflow_;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::mean() const noexcept {
   return count_ == 0
              ? 0.0
@@ -97,6 +112,18 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
   return find_in<Histogram>(histograms_, name);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, instrument] : other.counters_) {
+    counter(name).inc(instrument->value());
+  }
+  for (const auto& [name, instrument] : other.gauges_) {
+    gauge(name).add(instrument->value());
+  }
+  for (const auto& [name, instrument] : other.histograms_) {
+    histogram(name, instrument->bounds()).merge_from(*instrument);
+  }
 }
 
 const std::vector<std::uint64_t>& MetricsRegistry::latency_bounds_us() {

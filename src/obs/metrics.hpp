@@ -8,6 +8,15 @@
 // is byte-identical (the determinism the sim tests rely on). Nothing here
 // reads a wall clock; latency histograms record SimTime samples fed by the
 // caller.
+//
+// Thread-safety contract (the parallel run driver relies on this): nothing
+// in this file takes a lock. A registry and its instruments must stay
+// confined to the worker that owns the Cluster feeding them — one shard,
+// one registry. Cross-shard aggregation goes through merge_from(), called
+// on the driver thread AFTER its workers joined; the join is the
+// synchronization point, so the merge itself can stay lock-free and the
+// merged snapshot stays byte-deterministic (merge order over name-sorted
+// maps does not depend on worker scheduling).
 #pragma once
 
 #include <cstdint>
@@ -66,6 +75,12 @@ class Histogram {
   }
   std::uint64_t overflow() const noexcept { return overflow_; }
 
+  /// Folds another histogram's population into this one, as if every sample
+  /// recorded there had been recorded here. Requires identical bounds
+  /// (throws std::invalid_argument otherwise) — in practice all latency
+  /// histograms share latency_bounds_us(), so shard registries always merge.
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<std::uint64_t> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -108,6 +123,16 @@ class MetricsRegistry {
   /// registry identical values serialize byte-identically.
   void to_json(std::ostream& os) const;
   std::string to_json_string() const;
+
+  /// Folds another registry into this one: counters add, gauges add,
+  /// histograms merge bucket-wise (Histogram::merge_from; same-name
+  /// histograms must share bounds). Instruments absent here are created.
+  /// This is the shard-aggregation primitive of the parallel run driver:
+  /// per-shard Cluster registries, merged in shard-index order after the
+  /// worker pool joins, produce the same aggregate snapshot at any
+  /// `--jobs` count. NOT safe to call while another thread still updates
+  /// `other` — merge only after joining.
+  void merge_from(const MetricsRegistry& other);
 
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -1,0 +1,34 @@
+#include "obs/metrics_block.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/site_load.hpp"
+#include "obs/span.hpp"
+#include "util/check.hpp"
+
+namespace atrcp {
+
+void emit_metrics_block_json(std::ostream& os, const MetricsBlockInputs& in) {
+  ATRCP_CHECK(in.spans != nullptr && in.registry != nullptr);
+  os << "{\"label\":\"" << json_escape(in.label) << "\",\"protocol\":\""
+     << json_escape(in.protocol) << "\",\"quorum_cost\":{\"read\":{"
+     << "\"measured\":"
+     << format_double(measured_mean_quorum(*in.registry, in.protocol, "read"))
+     << ",\"predicted\":" << format_double(in.read_predicted)
+     << "},\"write\":{\"measured\":"
+     << format_double(measured_mean_quorum(*in.registry, in.protocol, "write"))
+     << ",\"predicted\":" << format_double(in.write_predicted)
+     << "}},\"spans\":" << summarize_spans(*in.spans).to_json()
+     << ",\"registry\":";
+  in.registry->to_json(os);
+  os << "}";
+}
+
+std::string metrics_block_json(const MetricsBlockInputs& in) {
+  std::ostringstream os;
+  emit_metrics_block_json(os, in);
+  return os.str();
+}
+
+}  // namespace atrcp

@@ -1,0 +1,47 @@
+// The one implementation of the benches' "metrics" JSON block. Before the
+// run driver existed this lived inline in bench/metrics_block.hpp; now that
+// bench_all, the per-bench binaries and the determinism tests all emit the
+// block, the emitter (and its json_escape/format_double escape path, which
+// the obs tests keep json_lint-clean) lives here. bench/metrics_block.hpp
+// remains as the thin adapter that fills MetricsBlockInputs from a Cluster
+// — obs sits below txn, so this file cannot (and does not) know Cluster.
+//
+// Thread-safety/determinism: pure function of its inputs; callers hand it
+// quiescent snapshots (a settled cluster, or a post-join shard merge).
+// Identical inputs produce byte-identical output.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace atrcp {
+
+class MetricsRegistry;
+class TxnSpanLog;
+
+/// Everything the block needs, expressed in obs vocabulary only. The
+/// measured mean quorum sizes are derived inside from the registry's
+/// "quorum.<protocol>.*" counters (see measured_mean_quorum).
+struct MetricsBlockInputs {
+  std::string label;       ///< the block's "label" field
+  std::string protocol;    ///< protocol name(); selects the counter prefix
+  double read_predicted = 0;   ///< analytic read cost (Fact 3.2.1)
+  double write_predicted = 0;  ///< analytic write cost (Fact 3.2.2)
+  const TxnSpanLog* spans = nullptr;        ///< required
+  const MetricsRegistry* registry = nullptr;  ///< required
+};
+
+/// Prints the block on one line:
+///   {"label":...,"protocol":...,
+///    "quorum_cost":{"read":{"measured":...,"predicted":...},"write":{...}},
+///    "spans":{"recorded":...,"retained":...,"latency_us":{"p50":...,
+///    "p95":...,"p99":...},"slowest":{...}},"registry":{...}}
+/// `measured` values that never materialized serialize as null (NaN via
+/// format_double). The spans object snapshots the TxnSpanLog (p50/p95/p99
+/// over retained spans plus the single slowest transaction).
+void emit_metrics_block_json(std::ostream& os, const MetricsBlockInputs& in);
+
+/// The same block as a string (what bench_all digests).
+std::string metrics_block_json(const MetricsBlockInputs& in);
+
+}  // namespace atrcp

@@ -8,6 +8,11 @@
 // aggregates, and the measured maxima to compare against the analytic
 // optima. A site's share is hits / assembled-quorums — exactly the paper's
 // Definition 2.5 load of the access strategy the run actually used.
+//
+// Thread-safety: collect_site_load is a const read of one registry and
+// to_json is a pure function of the table — deterministic (sites in id
+// order, shortest round-trip doubles) and safe anywhere the registry is
+// quiescent, i.e. after the run (or the driver worker) that fed it ended.
 #pragma once
 
 #include <cstdint>

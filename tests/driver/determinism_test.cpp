@@ -1,0 +1,151 @@
+// Driver determinism regression suite: the same sweep at --jobs 1, 2 and 8
+// must be byte-identical — report text, failing seeds, shard payloads,
+// merged metrics snapshots. This is the contract bench_all and the CI TSan
+// job enforce; if a test here fails, some shard stopped being a pure
+// function of its index.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/broken.hpp"
+#include "check/explorer.hpp"
+#include "driver/pool.hpp"
+#include "obs/json_lint.hpp"
+#include "obs/metrics.hpp"
+#include "suite.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(DriverDeterminism, ExplorerSweepByteIdenticalAcrossJobs) {
+  const ScheduleExplorer explorer;
+  const std::vector<ZooEntry> zoo = protocol_zoo();
+  ASSERT_FALSE(zoo.empty());
+  const ZooEntry& entry = zoo.front();
+
+  const ExploreReport serial =
+      explorer.explore(entry.factory, entry.label, 0, 10);
+  EXPECT_EQ(serial.seeds_run, 10u);
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    const RunDriver driver(jobs);
+    const ExploreReport sharded =
+        explorer.explore(entry.factory, entry.label, 0, 10, false, &driver);
+    EXPECT_EQ(sharded.text, serial.text) << "jobs=" << jobs;
+    EXPECT_EQ(sharded.ok, serial.ok) << "jobs=" << jobs;
+    EXPECT_EQ(sharded.seeds_run, serial.seeds_run) << "jobs=" << jobs;
+    EXPECT_EQ(sharded.failing_seeds, serial.failing_seeds) << "jobs=" << jobs;
+  }
+}
+
+TEST(DriverDeterminism, StopAtFirstFailureMatchesSerialUnderSpeculation) {
+  // The broken protocol fails at seed 0. A parallel sweep speculatively
+  // runs later seeds, then must discard them and end the report exactly
+  // where the serial sweep does.
+  const ScheduleExplorer explorer;
+  const auto factory = [] {
+    return std::make_unique<BrokenIntersectionProtocol>(6);
+  };
+  const ExploreReport serial =
+      explorer.explore(factory, "broken", 0, 16, /*stop_at_first_failure=*/true);
+  ASSERT_FALSE(serial.ok);
+  for (const std::size_t jobs : {2u, 8u}) {
+    const RunDriver driver(jobs);
+    const ExploreReport sharded = explorer.explore(
+        factory, "broken", 0, 16, /*stop_at_first_failure=*/true, &driver);
+    EXPECT_EQ(sharded.text, serial.text) << "jobs=" << jobs;
+    EXPECT_EQ(sharded.failing_seeds, serial.failing_seeds) << "jobs=" << jobs;
+    EXPECT_EQ(sharded.first_failure_trace, serial.first_failure_trace)
+        << "jobs=" << jobs;
+  }
+}
+
+std::string merged_payload(const RunDriver& driver, std::size_t shards) {
+  const std::vector<benchio::ShardResult> results =
+      driver.map<benchio::ShardResult>(shards, benchio::throughput_shard);
+  std::string payload;
+  for (const benchio::ShardResult& shard : results) payload += shard.payload;
+  return payload;
+}
+
+TEST(DriverDeterminism, ThroughputShardsByteIdenticalAcrossJobs) {
+  const std::string serial = merged_payload(RunDriver(1), 6);
+  EXPECT_EQ(merged_payload(RunDriver(2), 6), serial);
+  EXPECT_EQ(merged_payload(RunDriver(8), 6), serial);
+}
+
+TEST(DriverDeterminism, AnalyticPointsByteIdenticalAcrossJobs) {
+  for (const std::size_t jobs : {2u, 8u}) {
+    const RunDriver driver(jobs);
+    const std::vector<benchio::ShardResult> sharded =
+        driver.map<benchio::ShardResult>(benchio::psweep_point_count(),
+                                         benchio::psweep_point);
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+      EXPECT_EQ(sharded[i].payload, benchio::psweep_point(i).payload)
+          << "point " << i << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(DriverDeterminism, Table1MetricsBlockLintsAndIsStable) {
+  const benchio::ShardResult first = benchio::table1_metrics_block();
+  const benchio::ShardResult second = benchio::table1_metrics_block();
+  EXPECT_EQ(first.payload, second.payload);
+  std::string error;
+  // The payload is "metrics-block JSON\n"-style text ending in newline;
+  // lint the JSON itself.
+  const std::string json = first.payload;
+  EXPECT_TRUE(json_valid(json.substr(0, json.find_last_not_of('\n') + 1),
+                         &error))
+      << error;
+}
+
+TEST(MetricsMerge, HistogramMergeFoldsPopulations) {
+  Histogram a({10, 100, 1000});
+  Histogram b({10, 100, 1000});
+  a.record(5);
+  a.record(50);
+  b.record(500);
+  b.record(5000);  // overflow
+  b.record(7);
+
+  Histogram merged({10, 100, 1000});
+  merged.merge_from(a);
+  merged.merge_from(b);
+  EXPECT_EQ(merged.count(), 5u);
+  EXPECT_EQ(merged.sum(), 5u + 50 + 500 + 5000 + 7);
+  EXPECT_EQ(merged.min(), 5u);
+  EXPECT_EQ(merged.max(), 5000u);
+  EXPECT_EQ(merged.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(merged.overflow(), 1u);
+
+  Histogram mismatched({1, 2});
+  EXPECT_THROW(merged.merge_from(mismatched), std::invalid_argument);
+}
+
+TEST(MetricsMerge, RegistryMergeMatchesSingleRegistry) {
+  // Feeding N shard registries and merging them in shard order must
+  // serialize identically to feeding one registry everything.
+  MetricsRegistry expected;
+  MetricsRegistry shard_merged;
+  std::vector<MetricsRegistry> shards(3);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (std::uint64_t i = 0; i <= s; ++i) {
+      shards[s].counter("txn.committed").inc(s + 1);
+      expected.counter("txn.committed").inc(s + 1);
+      shards[s].gauge("load.share").add(0.125);
+      expected.gauge("load.share").add(0.125);
+      shards[s]
+          .histogram("latency", MetricsRegistry::latency_bounds_us())
+          .record(100 * (s + 1));
+      expected.histogram("latency", MetricsRegistry::latency_bounds_us())
+          .record(100 * (s + 1));
+    }
+  }
+  for (const MetricsRegistry& shard : shards) shard_merged.merge_from(shard);
+  EXPECT_EQ(shard_merged.to_json_string(), expected.to_json_string());
+}
+
+}  // namespace
+}  // namespace atrcp

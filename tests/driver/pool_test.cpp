@@ -1,0 +1,145 @@
+// RunDriver unit tests: index-ordered merge, the serial path, work
+// stealing under skewed job costs, exception semantics, --jobs parsing and
+// the FNV digest helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/digest.hpp"
+#include "driver/pool.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(RunDriverTest, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(default_jobs(), 1u);
+  EXPECT_EQ(RunDriver(0).jobs(), default_jobs());
+  EXPECT_EQ(RunDriver(3).jobs(), 3u);
+}
+
+TEST(RunDriverTest, MapReturnsResultsInIndexOrder) {
+  const RunDriver driver(4);
+  const std::vector<std::size_t> out = driver.map<std::size_t>(
+      100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(RunDriverTest, EveryJobRunsExactlyOnce) {
+  for (const std::size_t jobs : {1u, 2u, 7u, 16u}) {
+    const RunDriver driver(jobs);
+    std::vector<std::atomic<int>> hits(257);
+    driver.for_each(hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& hit : hits) {
+      EXPECT_EQ(hit.load(), 1);
+    }
+  }
+}
+
+TEST(RunDriverTest, SerialAndParallelProduceIdenticalText) {
+  auto render = [](std::size_t i) {
+    return "job " + std::to_string(i) + "\n";
+  };
+  const std::vector<std::string> serial = RunDriver(1).map_text(33, render);
+  for (const std::size_t jobs : {2u, 8u}) {
+    EXPECT_EQ(RunDriver(jobs).map_text(33, render), serial);
+  }
+}
+
+TEST(RunDriverTest, WorkStealingDrainsSkewedShards) {
+  // Shard 0's jobs (round-robin indices 0, 4, 8, ...) are slow; the other
+  // workers must steal them rather than idle, and every result must still
+  // land in its own slot.
+  const RunDriver driver(4);
+  const std::vector<std::size_t> out = driver.map<std::size_t>(
+      32, [](std::size_t i) {
+        if (i % 4 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return i + 1;
+      });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i + 1);
+  }
+}
+
+TEST(RunDriverTest, FirstExceptionByJobIndexPropagates) {
+  // Both the serial loop (stops at the lowest throwing index) and the
+  // threaded pool (runs everything, keeps the lowest-index exception)
+  // surface the same failure.
+  for (const std::size_t jobs : {1u, 4u}) {
+    const RunDriver driver(jobs);
+    try {
+      driver.for_each(50, [](std::size_t i) {
+        if (i == 5 || i == 37) {
+          throw std::runtime_error("job " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception at jobs=" << jobs;
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "job 5");
+    }
+  }
+}
+
+TEST(RunDriverTest, ZeroJobsIsANoOp) {
+  const RunDriver driver(8);
+  bool ran = false;
+  driver.for_each(0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+std::size_t parse(std::vector<std::string> args, std::vector<std::string>* rest) {
+  std::vector<std::string> storage = std::move(args);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  int argc = static_cast<int>(argv.size()) - 1;
+  const std::size_t jobs = parse_jobs_flag(argc, argv.data());
+  if (rest != nullptr) {
+    rest->clear();
+    for (int i = 1; i < argc; ++i) rest->push_back(argv[static_cast<std::size_t>(i)]);
+  }
+  return jobs;
+}
+
+TEST(ParseJobsFlagTest, SpacedFormConsumesBothTokens) {
+  std::vector<std::string> rest;
+  EXPECT_EQ(parse({"--jobs", "4", "--color"}, &rest), 4u);
+  EXPECT_EQ(rest, std::vector<std::string>{"--color"});
+}
+
+TEST(ParseJobsFlagTest, EqualsFormConsumesOneToken) {
+  std::vector<std::string> rest;
+  EXPECT_EQ(parse({"--benchmark_filter=x", "--jobs=16"}, &rest), 16u);
+  EXPECT_EQ(rest, std::vector<std::string>{"--benchmark_filter=x"});
+}
+
+TEST(ParseJobsFlagTest, AbsentFlagFallsBackToDefault) {
+  std::vector<std::string> rest;
+  EXPECT_EQ(parse({"--unrelated"}, &rest), default_jobs());
+  EXPECT_EQ(rest, std::vector<std::string>{"--unrelated"});
+}
+
+TEST(DigestTest, Fnv1a64MatchesKnownVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_NE(fnv1a64("payload A"), fnv1a64("payload B"));
+}
+
+TEST(DigestTest, Hex64IsFixedWidthLowercase) {
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xCBF29CE484222325ULL), "cbf29ce484222325");
+}
+
+}  // namespace
+}  // namespace atrcp
