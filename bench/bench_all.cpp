@@ -28,6 +28,7 @@
 #include "check/explorer.hpp"
 #include "driver/digest.hpp"
 #include "driver/pool.hpp"
+#include "hotpath_units.hpp"
 #include "obs/json_lint.hpp"
 #include "obs/metrics.hpp"
 #include "suite.hpp"
@@ -42,6 +43,10 @@ struct Unit {
   std::string name;
   std::size_t shards = 0;
   std::function<ShardResult(std::size_t)> run;
+  /// Modelled operations across all shards, when the unit counts them
+  /// (the hotpath units); 0 means "not an ops-metered unit" and the
+  /// timing line reports ns_per_op 0.
+  std::uint64_t ops = 0;
 };
 
 /// The explorer sweep sharded one (protocol, seed-block) per shard. Smaller
@@ -94,6 +99,17 @@ std::vector<Unit> suite() {
                    [](std::size_t shard) { return figure_point(shard); }});
   units.push_back({"psweep", psweep_point_count(),
                    [](std::size_t shard) { return psweep_point(shard); }});
+  // Quarter-length runs of the hotpath microbenchmark units: bench_all
+  // tracks their digests and rough ns/op alongside the paper units, while
+  // bench_hotpath stays the precise standalone meter.
+  for (const HotpathUnit& hp : hotpath_units()) {
+    const std::uint64_t iters = hp.iters / 4;
+    units.push_back({"hotpath_" + hp.name, hp.shards,
+                     [run = hp.run, iters](std::size_t shard) {
+                       return run(shard, iters);
+                     },
+                     hp.shards * iters});
+  }
   return units;
 }
 
@@ -170,12 +186,17 @@ int main(int argc, char** argv) {
                   ",\"payload_bytes\":" +
                   std::to_string(reference.payload.size()) + ",\"digest\":\"" +
                   hex64(fnv1a64(reference.payload)) + "\"}";
+    const double ns_per_op =
+        unit.ops > 0 && sharded.wall_ms > 0
+            ? sharded.wall_ms * 1e6 / static_cast<double>(unit.ops)
+            : 0;
     if (!timing_json.empty()) timing_json += ",";
     timing_json += "{\"name\":\"" + unit.name +
                    "\",\"serial_ms\":" + ms(reference.wall_ms) +
                    ",\"parallel_ms\":" + ms(sharded.wall_ms) +
                    ",\"speedup\":" + ratio(speedup) +
-                   ",\"txns_per_sec\":" + ms(txns_per_sec) + "}";
+                   ",\"txns_per_sec\":" + ms(txns_per_sec) +
+                   ",\"ns_per_op\":" + ms(ns_per_op) + "}";
     std::printf("%-16s %s shards=%zu committed=%llu digest=%s "
                 "serial=%sms parallel=%sms speedup=%sx\n",
                 unit.name.c_str(), match ? "OK  " : "FAIL", unit.shards,

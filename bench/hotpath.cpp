@@ -1,0 +1,152 @@
+// bench_hotpath — E19: per-operation cost of the simulation substrate's
+// hot paths (scheduler churn, network send/deliver, quorum assembly).
+//
+// Runs every hotpath unit serially, reports ns/op per unit, and writes the
+// hotpath section of BENCH_ATRCP.json into the working directory: the
+// "hotpath" array (name, shards, ops, FNV payload digest) is deterministic
+// and byte-identical across runs and hosts; the single "timing" line
+// (ns/op, ops/sec) is the host-dependent perf record. bench_all emits the
+// same units inside its full document — this binary is the quick refresher
+// when only the hot paths are of interest.
+//
+// Flags:
+//   --smoke        tiny iteration counts (CI wiring check, not a perf run)
+//   --lint <file>  validate <file> with obs::json_lint and exit
+//
+// Exit 0 iff every unit ran, a repeat run of every unit reproduced the
+// same payload digest, and the emitted document lints.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/digest.hpp"
+#include "hotpath_units.hpp"
+#include "obs/json_lint.hpp"
+
+using namespace atrcp;
+using namespace atrcp::benchio;
+
+namespace {
+
+struct UnitRun {
+  std::string payload;
+  std::uint64_t ops = 0;
+  double wall_ms = 0;
+};
+
+UnitRun run_unit(const HotpathUnit& unit, std::uint64_t iters) {
+  UnitRun out;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t shard = 0; shard < unit.shards; ++shard) {
+    ShardResult result = unit.run(shard, iters);
+    out.payload += result.payload;
+    out.ops += result.committed;
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+int lint_file(const char* path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::printf("FAIL cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string error;
+  if (!json_valid(text.str(), &error)) {
+    std::printf("FAIL %s does not lint: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::printf("OK %s lints (%zu bytes)\n", path, text.str().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0 && i + 1 < argc) {
+      return lint_file(argv[i + 1]);
+    } else {
+      std::printf("usage: bench_hotpath [--smoke] [--lint <file>]\n");
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+  std::string units_json;
+  std::string timing_json;
+  std::printf("# bench_hotpath%s: %zu units\n", smoke ? " (smoke)" : "",
+              hotpath_units().size());
+  for (const HotpathUnit& unit : hotpath_units()) {
+    const std::uint64_t iters =
+        smoke ? (unit.iters / 50 > 1000 ? unit.iters / 50 : 1000) : unit.iters;
+    const UnitRun run = run_unit(unit, iters);
+    const UnitRun rerun = run_unit(unit, iters);
+    const bool stable = run.payload == rerun.payload;
+    all_ok = all_ok && stable;
+    const double ns_per_op =
+        run.ops > 0 ? run.wall_ms * 1e6 / static_cast<double>(run.ops) : 0;
+    const double best_ms = rerun.wall_ms < run.wall_ms ? rerun.wall_ms : run.wall_ms;
+    const double best_ns =
+        run.ops > 0 ? best_ms * 1e6 / static_cast<double>(run.ops) : 0;
+    const std::string digest = hex64(fnv1a64(run.payload));
+    std::printf("%-14s %s shards=%zu ops=%llu ns/op=%s (best %s) digest=%s\n",
+                unit.name.c_str(), stable ? "OK  " : "FAIL", unit.shards,
+                static_cast<unsigned long long>(run.ops),
+                fixed(ns_per_op, 1).c_str(), fixed(best_ns, 1).c_str(),
+                digest.c_str());
+    if (!stable) {
+      std::printf("  repeat run changed the payload — unit is not a pure "
+                  "function of its shard index\n");
+    }
+    if (!units_json.empty()) units_json += ",\n";
+    units_json += "{\"name\":\"" + unit.name +
+                  "\",\"shards\":" + std::to_string(unit.shards) +
+                  ",\"ops\":" + std::to_string(run.ops) + ",\"digest\":\"" +
+                  digest + "\"}";
+    if (!timing_json.empty()) timing_json += ",";
+    timing_json += "{\"name\":\"" + unit.name +
+                   "\",\"wall_ms\":" + fixed(run.wall_ms, 1) +
+                   ",\"ns_per_op\":" + fixed(best_ns, 1) + ",\"ops_per_sec\":" +
+                   fixed(best_ms > 0
+                             ? static_cast<double>(run.ops) / (best_ms / 1e3)
+                             : 0,
+                         0) +
+                   "}";
+  }
+
+  std::ostringstream doc;
+  doc << "{\n\"bench\":\"atrcp\",\n\"schema\":1,\n\"hotpath\":[\n"
+      << units_json << "\n],\n\"timing\":{\"smoke\":" << (smoke ? "true" : "false")
+      << ",\"units\":[" << timing_json << "]}\n}\n";
+  std::string error;
+  if (!json_valid(doc.str(), &error)) {
+    all_ok = false;
+    std::printf("FAIL hotpath document does not lint: %s\n", error.c_str());
+  }
+  const char* path = "BENCH_ATRCP.json";
+  std::ofstream file(path, std::ios::binary);
+  file << doc.str();
+  file.close();
+  std::printf("# wrote %s (%zu bytes)\n", file ? path : "(write failed)",
+              doc.str().size());
+  std::printf(all_ok ? "# bench_hotpath: PASS\n" : "# bench_hotpath: FAIL\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,197 @@
+#include "hotpath_units.hpp"
+
+#include <array>
+#include <memory>
+
+#include "check/explorer.hpp"
+#include "obs/metrics.hpp"
+#include "protocols/protocol.hpp"
+#include "quorum/types.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp::benchio {
+namespace {
+
+// -- sched_churn: self-rescheduling event storm ------------------------------
+//
+// kNodes events live in the queue at all times; each firing mixes the clock
+// into an accumulator and reschedules itself with a data-dependent delay.
+// This is pure Scheduler cost: entry storage, heap sift, callable dispatch.
+
+constexpr std::size_t kChurnNodes = 64;
+
+struct ChurnNode {
+  Scheduler* sched = nullptr;
+  std::uint64_t remaining = 0;
+  std::uint64_t acc = 0;
+
+  void fire() {
+    acc += sched->now() ^ remaining;
+    if (--remaining > 0) {
+      sched->schedule_after(1 + (acc % 7), [this] { fire(); });
+    }
+  }
+};
+
+ShardResult sched_churn_shard(std::size_t shard, std::uint64_t iters) {
+  Scheduler sched;
+  std::array<ChurnNode, kChurnNodes> nodes;
+  const std::uint64_t per_node = iters / kChurnNodes > 0 ? iters / kChurnNodes : 1;
+  for (std::size_t i = 0; i < kChurnNodes; ++i) {
+    nodes[i].sched = &sched;
+    nodes[i].remaining = per_node;
+    nodes[i].acc = shard * 0x9E3779B97F4A7C15ULL + i;
+    ChurnNode* node = &nodes[i];
+    sched.schedule_after(1 + i, [node] { node->fire(); });
+  }
+  sched.run(per_node * kChurnNodes + kChurnNodes);
+  std::uint64_t acc = 0;
+  for (const ChurnNode& node : nodes) acc ^= node.acc + 0x9E3779B9 + (acc << 6);
+  ShardResult out;
+  out.payload = "sched shard=" + std::to_string(shard) +
+                " executed=" + std::to_string(sched.executed()) +
+                " now=" + std::to_string(sched.now()) +
+                " acc=" + std::to_string(acc) + "\n";
+  out.committed = sched.executed();
+  return out;
+}
+
+// -- net_ring: send/deliver loop with metrics attached -----------------------
+//
+// kBalls messages circulate over kSites sites until the send budget is
+// spent. Every hop pays the full production path: link parameter lookup,
+// jitter sampling, metrics counters, scheduling a delivery closure that
+// owns the message body.
+
+constexpr std::size_t kRingSites = 8;
+constexpr std::size_t kRingBalls = 16;
+
+struct Packet final : MessageBody {
+  std::uint64_t hop = 0;
+};
+
+struct RingState {
+  Network* net = nullptr;
+  std::uint64_t budget = 0;  ///< sends still allowed
+  std::uint64_t acc = 0;
+};
+
+struct RingSite final : SiteHandler {
+  RingState* state = nullptr;
+  SiteId self = 0;
+
+  void on_message(const Message& message) override {
+    const auto& packet = static_cast<const Packet&>(*message.body);
+    state->acc += packet.hop + message.from;
+    if (state->budget == 0) return;
+    --state->budget;
+    auto next = state->net->make_body<Packet>();
+    next->hop = packet.hop + 1;
+    state->net->send(self, static_cast<SiteId>((self + 1) % kRingSites),
+                     std::move(next));
+  }
+};
+
+ShardResult net_ring_shard(std::size_t shard, std::uint64_t iters) {
+  MetricsRegistry metrics;
+  Scheduler sched;
+  LinkParams link;
+  link.base_latency = 50;
+  link.jitter = 20;
+  Network net(sched, Rng(0xBA11 + shard), link);
+  net.set_metrics(&metrics);
+  RingState state;
+  state.net = &net;
+  std::array<RingSite, kRingSites> sites;
+  for (std::size_t i = 0; i < kRingSites; ++i) {
+    sites[i].state = &state;
+    sites[i].self = net.add_site(sites[i]);
+  }
+  const std::uint64_t balls = iters < kRingBalls ? iters : kRingBalls;
+  state.budget = iters - balls;
+  for (std::uint64_t b = 0; b < balls; ++b) {
+    auto packet = net.make_body<Packet>();
+    packet->hop = shard * 1000 + b;
+    const auto from = static_cast<SiteId>(b % kRingSites);
+    net.send(from, static_cast<SiteId>((from + 1) % kRingSites),
+             std::move(packet));
+  }
+  sched.run();
+  ShardResult out;
+  out.payload = "net shard=" + std::to_string(shard) +
+                " sent=" + std::to_string(net.messages_sent()) +
+                " delivered=" + std::to_string(net.messages_delivered()) +
+                " dropped=" + std::to_string(net.messages_dropped()) +
+                " now=" + std::to_string(sched.now()) +
+                " acc=" + std::to_string(state.acc) + "\n";
+  out.committed = net.messages_sent();
+  return out;
+}
+
+// -- assemble_zoo: live quorum assembly across the protocol zoo --------------
+//
+// One shard per zoo entry. A mid-universe replica stays failed throughout
+// (quorums must route around it) and replica 0 flips between failed and
+// alive every kEpochPeriod iterations, so protocols with failure-epoch
+// caches pay a periodic rebuild — the steady state measured is "cache hit
+// with a real failure present".
+
+constexpr std::uint64_t kEpochPeriod = 4096;
+
+ShardResult assemble_zoo_shard(std::size_t shard, std::uint64_t iters) {
+  const std::vector<ZooEntry> zoo = protocol_zoo();
+  const ZooEntry& entry = zoo[shard % zoo.size()];
+  const std::unique_ptr<ReplicaControlProtocol> protocol = entry.factory();
+  const std::size_t n = protocol->universe_size();
+  FailureSet failures(n);
+  if (n > 2) failures.fail(static_cast<ReplicaId>(n / 2));
+  Rng rng(0xA55E + shard);
+  std::uint64_t acc = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t writes_ok = 0;
+  bool zero_down = false;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    if (n > 2 && i % kEpochPeriod == kEpochPeriod - 1) {
+      zero_down = !zero_down;
+      if (zero_down) {
+        failures.fail(0);
+      } else {
+        failures.recover(0);
+      }
+    }
+    if (const auto q = protocol->assemble_read_quorum(failures, rng)) {
+      ++reads_ok;
+      acc += q->size();
+      acc += q->members().front() * 3 + q->members().back();
+    }
+    if (const auto q = protocol->assemble_write_quorum(failures, rng)) {
+      ++writes_ok;
+      acc += q->size() * 2;
+    }
+  }
+  ShardResult out;
+  out.payload = "assemble " + entry.label +
+                " reads_ok=" + std::to_string(reads_ok) +
+                " writes_ok=" + std::to_string(writes_ok) +
+                " acc=" + std::to_string(acc) + "\n";
+  out.committed = iters * 2;
+  return out;
+}
+
+}  // namespace
+
+const std::vector<HotpathUnit>& hotpath_units() {
+  static const std::vector<HotpathUnit> units = [] {
+    std::vector<HotpathUnit> out;
+    out.push_back({"sched_churn", 4, 250'000, sched_churn_shard});
+    out.push_back({"net_ring", 4, 150'000, net_ring_shard});
+    out.push_back(
+        {"assemble_zoo", protocol_zoo().size(), 12'000, assemble_zoo_shard});
+    return out;
+  }();
+  return units;
+}
+
+}  // namespace atrcp::benchio

@@ -1,0 +1,36 @@
+// E19 hot-path microbenchmark units — the substrate operations that
+// dominate a simulated run: scheduler event churn, network send/deliver,
+// and live quorum assembly across the protocol zoo.
+//
+// Each unit is a set of shards that are pure functions of their index
+// (their own Scheduler/Network/protocol, fixed seeds, no shared state), so
+// they slot into bench_all's serial-vs-sharded digest machinery unchanged.
+// The deterministic payload digests make behaviour changes visible; the
+// wall-clock per operation is the number the allocation overhaul moves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "suite.hpp"
+
+namespace atrcp::benchio {
+
+struct HotpathUnit {
+  std::string name;
+  std::size_t shards = 0;
+  /// Operations executed per shard at full depth; callers scale this down
+  /// for smoke runs. ShardResult::committed reports the ops actually run.
+  std::uint64_t iters = 0;
+  std::function<ShardResult(std::size_t shard, std::uint64_t iters)> run;
+};
+
+/// The three hot-path unit families: "sched_churn" (self-rescheduling
+/// event storm), "net_ring" (send/deliver loop with metrics attached) and
+/// "assemble_zoo" (read+write quorum assembly, one shard per zoo entry,
+/// with periodic failure-epoch churn).
+const std::vector<HotpathUnit>& hotpath_units();
+
+}  // namespace atrcp::benchio

@@ -13,20 +13,51 @@ ArbitraryProtocol::ArbitraryProtocol(ArbitraryTree tree,
       analysis_(tree_),
       display_name_(std::move(display_name)) {}
 
-std::optional<Quorum> ArbitraryProtocol::do_assemble_read_quorum(
-    const FailureSet& failures, Rng& rng) const {
-  std::vector<ReplicaId> members;
-  members.reserve(tree_.physical_levels().size());
+const ArbitraryProtocol::LevelCache& ArbitraryProtocol::level_cache(
+    const FailureSet& failures) const {
+  if (cache_.epoch == failures.epoch()) return cache_;
+  // New failure pattern: one pass over every physical level refreshes both
+  // the per-level alive counts and the fully-alive write candidates. The
+  // vectors keep their capacity, so a rebuild allocates nothing after the
+  // first call.
+  cache_.alive.clear();
+  cache_.full.clear();
   for (std::uint32_t level : tree_.physical_levels()) {
     const std::vector<ReplicaId>& replicas = tree_.replicas_at_level(level);
-    // Uniform pick among the alive replicas of this level: count them,
-    // then index into the alive subsequence.
-    std::size_t alive = 0;
-    for (ReplicaId id : replicas) {
-      if (failures.is_alive(id)) ++alive;
+    std::uint32_t alive = 0;
+    if (failures.failed_count() == 0) {
+      alive = static_cast<std::uint32_t>(replicas.size());
+    } else {
+      for (ReplicaId id : replicas) {
+        if (failures.is_alive(id)) ++alive;
+      }
     }
+    cache_.alive.push_back(alive);
+    if (alive == replicas.size()) cache_.full.push_back(level);
+  }
+  cache_.epoch = failures.epoch();
+  return cache_;
+}
+
+std::optional<Quorum> ArbitraryProtocol::do_assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  const LevelCache& cache = level_cache(failures);
+  const std::vector<std::uint32_t>& levels = tree_.physical_levels();
+  std::vector<ReplicaId> members;
+  members.reserve(levels.size());
+  for (std::size_t u = 0; u < levels.size(); ++u) {
+    const std::vector<ReplicaId>& replicas = tree_.replicas_at_level(levels[u]);
+    // Uniform pick among the alive replicas of this level: the cached
+    // count, then an index into the alive subsequence. The rng stream is
+    // identical to the former count-then-pick loop (one below() per
+    // level, in level order, nothing consumed after a dead level).
+    const std::uint32_t alive = cache.alive[u];
     if (alive == 0) return std::nullopt;
     std::size_t pick = rng.below(alive);
+    if (alive == replicas.size()) {
+      members.push_back(replicas[pick]);
+      continue;
+    }
     for (ReplicaId id : replicas) {
       if (failures.is_alive(id) && pick-- == 0) {
         members.push_back(id);
@@ -34,27 +65,22 @@ std::optional<Quorum> ArbitraryProtocol::do_assemble_read_quorum(
       }
     }
   }
-  return Quorum(std::move(members));
+  // Ids ascend level by level (the tree numbers replicas top-to-bottom),
+  // so the per-level picks arrive sorted and duplicate-free.
+  return Quorum::from_sorted(std::move(members));
 }
 
 std::optional<Quorum> ArbitraryProtocol::do_assemble_write_quorum(
     const FailureSet& failures, Rng& rng) const {
-  // Uniform pick among the physical levels whose replicas are all alive.
-  std::vector<std::uint32_t> candidates;
-  for (std::uint32_t level : tree_.physical_levels()) {
-    bool full = true;
-    for (ReplicaId id : tree_.replicas_at_level(level)) {
-      if (failures.is_failed(id)) {
-        full = false;
-        break;
-      }
-    }
-    if (full) candidates.push_back(level);
-  }
-  if (candidates.empty()) return std::nullopt;
-  const std::uint32_t level = candidates[rng.below(candidates.size())];
+  // Uniform pick among the physical levels whose replicas are all alive —
+  // the cached candidate list, rebuilt only when the failure pattern's
+  // epoch changes instead of on every call.
+  const LevelCache& cache = level_cache(failures);
+  if (cache.full.empty()) return std::nullopt;
+  const std::uint32_t level = cache.full[rng.below(cache.full.size())];
   const std::vector<ReplicaId>& replicas = tree_.replicas_at_level(level);
-  return Quorum(std::vector<ReplicaId>(replicas.begin(), replicas.end()));
+  return Quorum::from_sorted(
+      std::vector<ReplicaId>(replicas.begin(), replicas.end()));
 }
 
 std::vector<Quorum> ArbitraryProtocol::enumerate_read_quorums(
@@ -83,7 +109,7 @@ std::vector<Quorum> ArbitraryProtocol::enumerate_read_quorums(
     for (std::size_t u = 0; u < levels.size(); ++u) {
       members.push_back(tree_.replicas_at_level(levels[u])[idx[u]]);
     }
-    out.emplace_back(std::move(members));
+    out.push_back(Quorum::from_sorted(std::move(members)));
     // Odometer increment across the per-level replica lists.
     std::size_t u = 0;
     while (u < levels.size()) {
@@ -106,7 +132,8 @@ std::vector<Quorum> ArbitraryProtocol::enumerate_write_quorums(
   out.reserve(levels.size());
   for (std::uint32_t level : levels) {
     const auto& replicas = tree_.replicas_at_level(level);
-    out.emplace_back(std::vector<ReplicaId>(replicas.begin(), replicas.end()));
+    out.push_back(Quorum::from_sorted(
+        std::vector<ReplicaId>(replicas.begin(), replicas.end())));
   }
   return out;
 }

@@ -64,9 +64,24 @@ class ArbitraryProtocol final : public ReplicaControlProtocol {
   std::vector<Quorum> enumerate_write_quorums(std::size_t limit) const override;
 
  private:
+  /// Per-physical-level alive accounting for one failure pattern, keyed on
+  /// FailureSet::epoch(): alive replica counts per level (read assembly)
+  /// and the fully-alive levels in K_phy order (the write candidates —
+  /// formerly rebuilt on every call). Mutable because assembly is
+  /// logically const; the cache makes concurrent assemble_* calls on one
+  /// instance racy, which matches the existing one-protocol-per-cluster
+  /// (and one-cluster-per-driver-shard) ownership model.
+  struct LevelCache {
+    std::uint64_t epoch = 0;  ///< 0 never matches (real epochs start at 1)
+    std::vector<std::uint32_t> alive;
+    std::vector<std::uint32_t> full;
+  };
+  const LevelCache& level_cache(const FailureSet& failures) const;
+
   ArbitraryTree tree_;
   ArbitraryAnalysis analysis_;
   std::string display_name_;
+  mutable LevelCache cache_;
 };
 
 }  // namespace atrcp

@@ -13,22 +13,29 @@ MajorityQuorum::MajorityQuorum(std::size_t n) : n_(n) {
 
 std::optional<Quorum> MajorityQuorum::assemble(const FailureSet& failures,
                                                Rng& rng) const {
-  std::vector<ReplicaId> alive;
-  alive.reserve(n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    const auto id = static_cast<ReplicaId>(i);
-    if (failures.is_alive(id)) alive.push_back(id);
+  if (cache_.epoch != failures.epoch()) {
+    cache_.alive.clear();
+    cache_.alive.reserve(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto id = static_cast<ReplicaId>(i);
+      if (failures.is_alive(id)) cache_.alive.push_back(id);
+    }
+    cache_.epoch = failures.epoch();
   }
   const std::size_t q = quorum_size();
-  if (alive.size() < q) return std::nullopt;
+  if (cache_.alive.size() < q) return std::nullopt;
   // Fisher–Yates prefix shuffle: pick q uniformly random alive replicas so
   // the realized strategy matches the uniform one the load analysis assumes.
+  // The shuffle runs on a reused scratch copy of the cached alive list, so
+  // both the rng stream and the resulting quorum are identical to the
+  // former rebuild-per-call path.
+  scratch_.assign(cache_.alive.begin(), cache_.alive.end());
   for (std::size_t i = 0; i < q; ++i) {
-    const std::size_t j = i + rng.below(alive.size() - i);
-    std::swap(alive[i], alive[j]);
+    const std::size_t j = i + rng.below(scratch_.size() - i);
+    std::swap(scratch_[i], scratch_[j]);
   }
-  alive.resize(q);
-  return Quorum(std::move(alive));
+  return Quorum(
+      std::vector<ReplicaId>(scratch_.begin(), scratch_.begin() + q));
 }
 
 std::optional<Quorum> MajorityQuorum::do_assemble_read_quorum(

@@ -47,6 +47,17 @@ class MajorityQuorum final : public ReplicaControlProtocol {
   std::optional<Quorum> assemble(const FailureSet& failures, Rng& rng) const;
 
   std::size_t n_;
+  /// Alive-replica list for the last failure pattern seen, keyed on
+  /// FailureSet::epoch(); assemble() shuffles a reused scratch copy, so
+  /// the former per-call universe rescan happens only when the pattern
+  /// actually changes. Mutable because assembly is logically const; see
+  /// ArbitraryProtocol::LevelCache for the ownership argument.
+  struct AliveCache {
+    std::uint64_t epoch = 0;  ///< 0 never matches (real epochs start at 1)
+    std::vector<ReplicaId> alive;
+  };
+  mutable AliveCache cache_;
+  mutable std::vector<ReplicaId> scratch_;
 };
 
 }  // namespace atrcp

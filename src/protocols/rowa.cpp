@@ -23,14 +23,17 @@ std::optional<Quorum> Rowa::do_assemble_read_quorum(const FailureSet& failures,
 
 std::optional<Quorum> Rowa::do_assemble_write_quorum(const FailureSet& failures,
                                                   Rng& /*rng*/) const {
+  // Everyone, or nobody: a single failed replica kills the write quorum,
+  // and failed_count() is O(1), so probe it before materializing anything.
+  if (failures.failed_count() != 0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (failures.is_failed(static_cast<ReplicaId>(i))) return std::nullopt;
+    }
+  }
   std::vector<ReplicaId> all;
   all.reserve(n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    const auto id = static_cast<ReplicaId>(i);
-    if (failures.is_failed(id)) return std::nullopt;
-    all.push_back(id);
-  }
-  return Quorum(std::move(all));
+  for (std::size_t i = 0; i < n_; ++i) all.push_back(static_cast<ReplicaId>(i));
+  return Quorum::from_sorted(std::move(all));
 }
 
 double Rowa::read_availability(double p) const {
@@ -56,7 +59,7 @@ std::vector<Quorum> Rowa::enumerate_write_quorums(std::size_t limit) const {
   std::vector<ReplicaId> all;
   all.reserve(n_);
   for (std::size_t i = 0; i < n_; ++i) all.push_back(static_cast<ReplicaId>(i));
-  return {Quorum(std::move(all))};
+  return {Quorum::from_sorted(std::move(all))};
 }
 
 }  // namespace atrcp

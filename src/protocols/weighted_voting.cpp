@@ -49,18 +49,27 @@ std::optional<Quorum> WeightedVoting::assemble(std::uint64_t needed,
                                                Rng& rng) const {
   // Random permutation of the alive replicas, then take until the votes
   // suffice — the "random eligible set" strategy of the load analysis.
-  std::vector<ReplicaId> alive;
-  for (std::size_t i = 0; i < votes_.size(); ++i) {
-    const auto id = static_cast<ReplicaId>(i);
-    if (failures.is_alive(id)) alive.push_back(id);
+  // The alive list is cached per failure-pattern epoch; the permutation
+  // runs on a reused scratch copy, keeping the rng stream and the
+  // resulting quorum identical to the former rebuild-per-call path.
+  if (cache_.epoch != failures.epoch()) {
+    cache_.alive.clear();
+    cache_.alive.reserve(votes_.size());
+    for (std::size_t i = 0; i < votes_.size(); ++i) {
+      const auto id = static_cast<ReplicaId>(i);
+      if (failures.is_alive(id)) cache_.alive.push_back(id);
+    }
+    cache_.epoch = failures.epoch();
   }
-  for (std::size_t i = 0; i + 1 < alive.size(); ++i) {
-    const std::size_t j = i + rng.below(alive.size() - i);
-    std::swap(alive[i], alive[j]);
+  scratch_.assign(cache_.alive.begin(), cache_.alive.end());
+  for (std::size_t i = 0; i + 1 < scratch_.size(); ++i) {
+    const std::size_t j = i + rng.below(scratch_.size() - i);
+    std::swap(scratch_[i], scratch_[j]);
   }
   std::vector<ReplicaId> members;
+  members.reserve(scratch_.size());
   std::uint64_t gathered = 0;
-  for (ReplicaId id : alive) {
+  for (ReplicaId id : scratch_) {
     members.push_back(id);
     gathered += votes_[id];
     if (gathered >= needed) return Quorum(std::move(members));

@@ -70,6 +70,18 @@ class WeightedVoting final : public ReplicaControlProtocol {
   double load(std::uint64_t needed) const;
   double estimate_cost(std::uint64_t needed) const;
 
+  /// Alive-replica list for the last failure pattern seen, keyed on
+  /// FailureSet::epoch(); assemble() permutes a reused scratch copy, so
+  /// the former per-call universe rescan happens only when the pattern
+  /// actually changes. Mutable because assembly is logically const; see
+  /// ArbitraryProtocol::LevelCache for the ownership argument.
+  struct AliveCache {
+    std::uint64_t epoch = 0;  ///< 0 never matches (real epochs start at 1)
+    std::vector<ReplicaId> alive;
+  };
+  mutable AliveCache cache_;
+  mutable std::vector<ReplicaId> scratch_;
+
   std::vector<std::uint32_t> votes_;
   std::uint64_t total_ = 0;
   std::uint64_t read_votes_ = 0;

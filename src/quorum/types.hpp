@@ -4,9 +4,21 @@
 // is a mutable membership bitmap of crashed replicas. Both are deliberately
 // small value types — every protocol in src/protocols and the arbitrary
 // protocol in src/core trade in these.
+//
+// FailureSet is a word-packed bitmap with a running failed-replica count
+// (O(1) failed_count) and a globally-unique *epoch* that changes on every
+// mutation: protocols key their per-level alive-count caches on it, so a
+// quorum assembly under an unchanged failure pattern rescans nothing.
+// Universes up to kInlineBits replicas live entirely in inline storage, so
+// the per-round FailureSet copies the transaction layer makes are
+// allocation-free for every configuration in the repo.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
@@ -34,6 +46,21 @@ class Quorum {
 
   Quorum(std::initializer_list<ReplicaId> members)
       : Quorum(std::vector<ReplicaId>(members)) {}
+
+  /// Trusted constructor for callers whose members are sorted and
+  /// duplicate-free by construction (per-level tree walks, level slices):
+  /// adopts the vector without the O(m log m) sort + unique pass of the
+  /// public constructor. The precondition is debug-asserted; release
+  /// builds trust the caller.
+  static Quorum from_sorted(std::vector<ReplicaId> members) {
+    assert(std::is_sorted(members.begin(), members.end()) &&
+           std::adjacent_find(members.begin(), members.end()) ==
+               members.end() &&
+           "Quorum::from_sorted: members must be sorted and duplicate-free");
+    Quorum quorum;
+    quorum.members_ = std::move(members);
+    return quorum;
+  }
 
   std::span<const ReplicaId> members() const noexcept { return members_; }
   std::size_t size() const noexcept { return members_.size(); }
@@ -86,38 +113,78 @@ class Quorum {
   std::vector<ReplicaId> members_;
 };
 
+namespace detail {
+/// Hands out globally-unique, monotonically-increasing epoch values (never
+/// 0). Each value is issued exactly once, so an epoch identifies one
+/// immutable snapshot of one FailureSet's contents — the key property the
+/// protocol-side assembly caches rely on. Copies share their source's
+/// epoch (equal contents), which is what lets a cache survive the
+/// by-value failure views the transaction layer passes around. The
+/// counter is atomic only so independent simulations on different driver
+/// threads stay race-free; it carries no ordering semantics.
+inline std::uint64_t next_failure_epoch() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace detail
+
 /// The set of currently-crashed replicas of a system of fixed size n.
 /// Fail-stop per the paper's model: a failed replica answers nothing.
 class FailureSet {
  public:
-  FailureSet() = default;
-  explicit FailureSet(std::size_t universe_size) : failed_(universe_size, false) {}
+  /// Universes at most this large need no heap storage (bitmap inlined).
+  static constexpr std::size_t kInlineBits = 256;
 
-  std::size_t universe_size() const noexcept { return failed_.size(); }
+  FailureSet() = default;
+  explicit FailureSet(std::size_t universe_size) : size_(universe_size) {
+    if (word_count() > kInlineWords) heap_.resize(word_count(), 0);
+  }
+
+  std::size_t universe_size() const noexcept { return size_; }
 
   bool is_failed(ReplicaId id) const noexcept {
-    return id < failed_.size() && failed_[id];
+    return id < size_ && (words()[id >> 6] >> (id & 63) & 1) != 0;
   }
   bool is_alive(ReplicaId id) const noexcept { return !is_failed(id); }
 
   void fail(ReplicaId id) {
-    if (id >= failed_.size()) failed_.resize(id + 1, false);
-    failed_[id] = true;
+    if (id >= size_) grow(static_cast<std::size_t>(id) + 1);
+    std::uint64_t& word = words()[id >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++failed_count_;
+      epoch_ = detail::next_failure_epoch();
+    }
   }
   void recover(ReplicaId id) {
-    if (id < failed_.size()) failed_[id] = false;
+    if (id >= size_) return;
+    std::uint64_t& word = words()[id >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if ((word & bit) != 0) {
+      word &= ~bit;
+      --failed_count_;
+      epoch_ = detail::next_failure_epoch();
+    }
   }
 
+  /// O(1): a running count maintained by fail/recover (and verified
+  /// against a popcount of the bitmap in debug builds).
   std::size_t failed_count() const noexcept {
-    return static_cast<std::size_t>(
-        std::count(failed_.begin(), failed_.end(), true));
+    assert(failed_count_ == popcount_all());
+    return failed_count_;
   }
-  std::size_t alive_count() const noexcept {
-    return failed_.size() - failed_count();
-  }
+  std::size_t alive_count() const noexcept { return size_ - failed_count_; }
+
+  /// Identifies this exact failure pattern: two FailureSet objects with
+  /// the same epoch have identical contents (copies share epochs; every
+  /// mutation installs a fresh, never-reused value). Cache quorum-
+  /// assembly work keyed on this.
+  std::uint64_t epoch() const noexcept { return epoch_; }
 
   /// True iff every member of q is alive (q can be assembled as-is).
   bool all_alive(const Quorum& q) const noexcept {
+    if (failed_count_ == 0) return true;
     for (ReplicaId id : q.members()) {
       if (is_failed(id)) return false;
     }
@@ -125,7 +192,40 @@ class FailureSet {
   }
 
  private:
-  std::vector<bool> failed_;
+  static constexpr std::size_t kInlineWords = kInlineBits / 64;
+
+  std::size_t word_count() const noexcept { return (size_ + 63) / 64; }
+  const std::uint64_t* words() const noexcept {
+    return heap_.empty() ? inline_.data() : heap_.data();
+  }
+  std::uint64_t* words() noexcept {
+    return heap_.empty() ? inline_.data() : heap_.data();
+  }
+
+  void grow(std::size_t new_size) {
+    const std::size_t new_words = (new_size + 63) / 64;
+    if (new_words > kInlineWords && new_words > heap_.size()) {
+      if (heap_.empty()) {
+        heap_.assign(inline_.begin(), inline_.end());
+      }
+      heap_.resize(new_words, 0);
+    }
+    size_ = new_size;
+  }
+
+  std::size_t popcount_all() const noexcept {
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < word_count(); ++w) {
+      count += static_cast<std::size_t>(std::popcount(words()[w]));
+    }
+    return count;
+  }
+
+  std::array<std::uint64_t, kInlineWords> inline_{};
+  std::vector<std::uint64_t> heap_;  ///< used iff universe > kInlineBits
+  std::size_t size_ = 0;
+  std::size_t failed_count_ = 0;
+  std::uint64_t epoch_ = detail::next_failure_epoch();
 };
 
 }  // namespace atrcp

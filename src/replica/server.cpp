@@ -56,7 +56,7 @@ void ReplicaServer::on_message(const Message& message) {
       record(static_cast<std::uint8_t>(EventKind::kReplicaRepair), 0, m->key);
     }
   } else if (const auto* m = dynamic_cast<const PingRequest*>(&body)) {
-    auto pong = std::make_shared<PongReply>();
+    auto pong = network_.make_body<PongReply>();
     pong->sequence = m->sequence;
     network_.send(site_, message.from, std::move(pong));
   }
@@ -68,7 +68,7 @@ void ReplicaServer::handle(const VersionRequest& request, SiteId from) {
   if (versions_obs_ != nullptr) versions_obs_->inc();
   record(static_cast<std::uint8_t>(EventKind::kReplicaVersion), 0,
          request.key);
-  auto reply = std::make_shared<VersionReply>();
+  auto reply = network_.make_body<VersionReply>();
   reply->op_id = request.op_id;
   reply->key = request.key;
   reply->timestamp = store_.timestamp_of(request.key);
@@ -79,7 +79,7 @@ void ReplicaServer::handle(const ReadRequest& request, SiteId from) {
   ++reads_served_;
   if (reads_obs_ != nullptr) reads_obs_->inc();
   record(static_cast<std::uint8_t>(EventKind::kReplicaRead), 0, request.key);
-  auto reply = std::make_shared<ReadReply>();
+  auto reply = network_.make_body<ReadReply>();
   reply->op_id = request.op_id;
   reply->key = request.key;
   if (const auto entry = store_.get(request.key)) {
@@ -93,7 +93,7 @@ void ReplicaServer::handle(const ReadRequest& request, SiteId from) {
 }
 
 void ReplicaServer::handle(const PrepareRequest& request, SiteId from) {
-  auto vote = std::make_shared<PrepareVote>();
+  auto vote = network_.make_body<PrepareVote>();
   vote->txn_id = request.txn_id;
   if (const auto decided = decided_.find(request.txn_id);
       decided != decided_.end()) {
@@ -132,7 +132,7 @@ void ReplicaServer::handle(const CommitRequest& request, SiteId from) {
     ++commits_applied_;
   }
   // Ack even for duplicates so coordinator retransmissions terminate.
-  auto ack = std::make_shared<CommitAck>();
+  auto ack = network_.make_body<CommitAck>();
   ack->txn_id = request.txn_id;
   network_.send(site_, from, std::move(ack));
 }
@@ -149,7 +149,7 @@ void ReplicaServer::handle(const AbortRequest& request, SiteId from) {
     ++aborts_seen_;
     if (aborts_obs_ != nullptr) aborts_obs_->inc();
   }
-  auto ack = std::make_shared<AbortAck>();
+  auto ack = network_.make_body<AbortAck>();
   ack->txn_id = request.txn_id;
   network_.send(site_, from, std::move(ack));
 }

@@ -11,7 +11,7 @@ namespace atrcp {
 
 void Network::set_metrics(MetricsRegistry* registry) {
   metrics_ = registry;
-  link_obs_.clear();
+  for (LinkObs& obs : link_obs_) obs = LinkObs{};
   if (registry == nullptr) {
     sent_obs_ = delivered_obs_ = dropped_obs_ = bytes_sent_obs_ = nullptr;
     return;
@@ -23,16 +23,16 @@ void Network::set_metrics(MetricsRegistry* registry) {
 }
 
 Network::LinkObs& Network::link_obs(SiteId from, SiteId to) {
-  const auto key = std::pair{from, to};
-  const auto it = link_obs_.find(key);
-  if (it != link_obs_.end()) return it->second;
+  LinkObs& obs = link_obs_[pair_index(from, to)];
+  if (obs.sent != nullptr) return obs;
+  // First traffic on this directed link: create its counters (the lazy
+  // creation keeps registry contents equal to the pre-dense-table layout).
   const std::string prefix = "net.link." + std::to_string(from) + "->" +
                              std::to_string(to) + ".";
-  LinkObs obs;
   obs.sent = &metrics_->counter(prefix + "sent");
   obs.delivered = &metrics_->counter(prefix + "delivered");
   obs.dropped = &metrics_->counter(prefix + "dropped");
-  return link_obs_.emplace(key, obs).first->second;
+  return obs;
 }
 
 void Network::count_drop(SiteId from, SiteId to) {
@@ -75,10 +75,27 @@ Network::Network(Scheduler& scheduler, Rng rng, LinkParams default_link)
     : scheduler_(scheduler), rng_(rng), default_link_(default_link) {}
 
 SiteId Network::add_site(SiteHandler& handler) {
+  const std::size_t old_n = sites_.size();
   sites_.push_back(&handler);
   up_.push_back(true);
   partition_.push_back(0);
-  return static_cast<SiteId>(sites_.size() - 1);
+  // Rebuild the dense n x n pair tables around the new site: existing
+  // directed-pair entries keep their (possibly overridden) parameters and
+  // already-created counters; pairs involving the new site start at the
+  // defaults. Registration is setup-time work, so the O(n^2) copy is paid
+  // outside any hot path.
+  const std::size_t new_n = old_n + 1;
+  std::vector<LinkParams> links(new_n * new_n, default_link_);
+  std::vector<LinkObs> obs(new_n * new_n);
+  for (std::size_t from = 0; from < old_n; ++from) {
+    for (std::size_t to = 0; to < old_n; ++to) {
+      links[from * new_n + to] = links_[from * old_n + to];
+      obs[from * new_n + to] = link_obs_[from * old_n + to];
+    }
+  }
+  links_ = std::move(links);
+  link_obs_ = std::move(obs);
+  return static_cast<SiteId>(old_n);
 }
 
 void Network::check_site(SiteId site) const {
@@ -114,14 +131,14 @@ void Network::heal_partitions() {
 void Network::set_link(SiteId a, SiteId b, LinkParams params) {
   check_site(a);
   check_site(b);
-  links_[ordered(a, b)] = params;
+  links_[pair_index(a, b)] = params;
+  links_[pair_index(b, a)] = params;
 }
 
 const LinkParams& Network::link(SiteId a, SiteId b) const {
   check_site(a);
   check_site(b);
-  const auto it = links_.find(ordered(a, b));
-  return it != links_.end() ? it->second : default_link_;
+  return links_[pair_index(a, b)];
 }
 
 void Network::send(SiteId from, SiteId to,

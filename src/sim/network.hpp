@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "sim/message_pool.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -95,6 +95,18 @@ class Network {
   /// SENDER's message is dropped too (a crashed site sends nothing).
   void send(SiteId from, SiteId to, std::shared_ptr<const MessageBody> body);
 
+  /// Builds a message body out of the network's recycling pool — the
+  /// zero-alloc replacement for std::make_shared at every send site. The
+  /// returned message may outlive the network (the pool arena is kept
+  /// alive by the messages themselves).
+  template <class T, class... Args>
+  std::shared_ptr<T> make_body(Args&&... args) {
+    return pool_.make<T>(std::forward<Args>(args)...);
+  }
+
+  /// The envelope pool behind make_body, exposed for allocation tests.
+  const MessagePool& pool() const noexcept { return pool_; }
+
   // -- statistics --------------------------------------------------------------
 
   std::uint64_t messages_sent() const noexcept { return sent_; }
@@ -134,8 +146,9 @@ class Network {
   };
 
   void check_site(SiteId site) const;
-  static std::pair<SiteId, SiteId> ordered(SiteId a, SiteId b) noexcept {
-    return a < b ? std::pair{a, b} : std::pair{b, a};
+  /// Dense directed-pair index into links_/link_obs_ (row-major n x n).
+  std::size_t pair_index(SiteId from, SiteId to) const noexcept {
+    return static_cast<std::size_t>(from) * sites_.size() + to;
   }
 
   /// Single emit point of the message pipeline: publishes to the event bus
@@ -147,6 +160,7 @@ class Network {
 
   Scheduler& scheduler_;
   Rng rng_;
+  MessagePool pool_;
   class TraceSink* trace_ = nullptr;
   EventBus* bus_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
@@ -154,12 +168,17 @@ class Network {
   Counter* delivered_obs_ = nullptr;
   Counter* dropped_obs_ = nullptr;
   Counter* bytes_sent_obs_ = nullptr;
-  std::map<std::pair<SiteId, SiteId>, LinkObs> link_obs_;
   LinkParams default_link_;
   std::vector<SiteHandler*> sites_;
   std::vector<bool> up_;
   std::vector<std::uint32_t> partition_;
-  std::map<std::pair<SiteId, SiteId>, LinkParams> links_;
+  /// Flat n x n tables indexed by pair_index, rebuilt by add_site: link
+  /// parameters per directed pair (set_link writes both directions) and
+  /// the lazily-created per-link counters. O(1) lookup on every send —
+  /// the former std::map lookups were two of the three allocations-or-
+  /// searches on the per-message path.
+  std::vector<LinkParams> links_;
+  std::vector<LinkObs> link_obs_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

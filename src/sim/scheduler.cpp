@@ -1,5 +1,6 @@
 #include "sim/scheduler.hpp"
 
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -12,19 +13,140 @@ void Scheduler::schedule_at(SimTime t, Action action) {
   if (!action) {
     throw std::invalid_argument("Scheduler: empty action");
   }
-  queue_.push(Entry{t, next_seq_++, std::move(action)});
+  const std::uint32_t slot = acquire_slot(std::move(action));
+  ++pending_;
+  // now_ >= base_ always holds (the window only rolls forward inside
+  // step(), to the window of an event that is then immediately popped),
+  // so t >= now_ puts every near event inside the current window.
+  if (t - base_ < kWindow) {
+    const std::size_t tick = t % kWindow;
+    ring_[tick].push_back(slot);
+    occ_[tick >> 6] |= std::uint64_t{1} << (tick & 63);
+    return;
+  }
+  heap_.push_back(Entry{t, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
+}
+
+std::uint32_t Scheduler::acquire_slot(Action action) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(action);
+    return slot;
+  }
+  slots_.push_back(std::move(action));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::sift_up(std::size_t index) {
+  const Entry entry = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = entry;
+}
+
+void Scheduler::sift_down(std::size_t index) {
+  const Entry entry = heap_[index];
+  const std::size_t size = heap_.size();
+  while (true) {
+    const std::size_t first = 4 * index + 1;
+    if (first >= size) break;
+    const std::size_t last = first + 4 < size ? first + 4 : size;
+    std::size_t best = first;
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = entry;
+}
+
+void Scheduler::heap_pop() {
+  if (heap_.size() > 1) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+std::size_t Scheduler::next_occupied(std::size_t from) const noexcept {
+  if (from >= kWindow) return kWindow;
+  std::size_t word = from >> 6;
+  std::uint64_t bits = occ_[word] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) {
+      return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    }
+    if (++word == kOccWords) return kWindow;
+    bits = occ_[word];
+  }
+}
+
+std::optional<SimTime> Scheduler::next_event_time() const noexcept {
+  const std::size_t tick = static_cast<std::size_t>(cursor_ - base_);
+  if (intra_ < ring_[tick].size()) return cursor_;
+  // Other ticks are never partially consumed, so any occupied tick past
+  // the cursor holds a live event.
+  const std::size_t next = next_occupied(tick + 1);
+  if (next < kWindow) return base_ + next;
+  if (!heap_.empty()) return heap_.front().time;
+  return std::nullopt;
 }
 
 bool Scheduler::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the action must be moved out, so copy the
-  // handle then pop. Entry's action is a shared_ptr-backed std::function —
-  // the copy is cheap relative to event work.
-  Entry entry = queue_.top();
-  queue_.pop();
-  now_ = entry.time;
+  if (pending_ == 0) return false;
+  // Advance the cursor to the next occupied tick, rolling the window
+  // forward onto the overflow heap when the ring drains.
+  std::size_t tick = static_cast<std::size_t>(cursor_ - base_);
+  while (intra_ >= ring_[tick].size()) {
+    if (intra_ != 0) {  // retire the consumed tick
+      ring_[tick].clear();
+      occ_[tick >> 6] &= ~(std::uint64_t{1} << (tick & 63));
+      intra_ = 0;
+    }
+    const std::size_t next = next_occupied(tick + 1);
+    if (next < kWindow) {
+      tick = next;
+      cursor_ = base_ + next;
+      continue;
+    }
+    // Ring empty: jump to the overflow heap's window and drain every
+    // event that now fits. The drain pops in (time, seq) order, so each
+    // tick's FIFO is filled in insertion order — and nothing can have
+    // appended to this window before the drain, because direct appends
+    // require base_ to already cover the target time.
+    base_ = heap_.front().time & ~static_cast<SimTime>(kWindow - 1);
+    while (!heap_.empty() && heap_.front().time - base_ < kWindow) {
+      const std::size_t t = heap_.front().time % kWindow;
+      ring_[t].push_back(heap_.front().slot);
+      occ_[t >> 6] |= std::uint64_t{1} << (t & 63);
+      heap_pop();
+    }
+    tick = next_occupied(0);
+    cursor_ = base_ + tick;
+  }
+  const std::uint32_t slot = ring_[tick][intra_];
+  ++intra_;
+  --pending_;
+  // The action moves to a local before its slot is recycled and before it
+  // runs: the call may schedule new events, which could otherwise grow
+  // slots_ underneath an in-place invocation (appends to the CURRENT tick
+  // are fine — intra_ keeps the position, and the vector is re-read on
+  // the next step).
+  Action action = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+  now_ = cursor_;
   ++executed_;
-  entry.action();
+  action();
   return true;
 }
 
@@ -36,8 +158,9 @@ std::size_t Scheduler::run(std::size_t max_events) {
 
 std::size_t Scheduler::run_until(SimTime deadline, std::size_t max_events) {
   std::size_t count = 0;
-  while (count < max_events && !queue_.empty() &&
-         queue_.top().time <= deadline) {
+  while (count < max_events) {
+    const std::optional<SimTime> next = next_event_time();
+    if (!next.has_value() || *next > deadline) break;
     step();
     ++count;
   }

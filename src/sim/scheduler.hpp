@@ -4,12 +4,32 @@
 // ties are broken by insertion order so a fixed seed yields a bit-identical
 // run (the tests rely on this determinism). Time is in integer
 // microseconds; there is no wall-clock coupling anywhere.
+//
+// Hot-path design: Action is a small-buffer-optimized callable
+// (util/inline_function.hpp) whose 48-byte inline buffer holds every
+// closure the simulator schedules, parked in a slot of a recycled slab so
+// queue maintenance never touches action storage. The queue itself is a
+// two-tier calendar queue: events within the current kWindow-microsecond
+// window go into a timing-wheel ring (one FIFO vector per tick, occupancy
+// bitmap for the next-event scan — O(1) schedule and pop, no
+// comparisons), and farther events wait in an overflow min-heap that is
+// drained into the ring when the window rolls forward. Steady-state
+// schedule/execute cycles perform zero heap allocations.
+//
+// The pop order is identical to the std::priority_queue this replaced —
+// strictly (time, insertion order) — because ring ticks are popped in
+// time order, a tick's vector is FIFO, and every append source preserves
+// insertion order: direct schedules arrive with increasing seq, and a
+// window roll drains the overflow heap in (time, seq) order before any
+// direct append can target the new window. Determinism tests pin this.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <optional>
 #include <vector>
+
+#include "util/inline_function.hpp"
 
 namespace atrcp {
 
@@ -18,10 +38,12 @@ using SimTime = std::uint64_t;
 
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  /// Inline capacity 48 covers the largest closure in the tree (Network's
+  /// delivery closure, 40 bytes); bigger callables fall back to the heap.
+  using Action = InlineFunction<48>;
 
   SimTime now() const noexcept { return now_; }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t pending() const noexcept { return pending_; }
   std::uint64_t executed() const noexcept { return executed_; }
 
   /// Schedule an action at absolute time t (>= now; throws otherwise).
@@ -47,21 +69,59 @@ class Scheduler {
   static constexpr std::size_t kDefaultEventCap = 10'000'000;
 
  private:
+  /// Ring span in microseconds. Covers every latency the simulator's
+  /// networks model; only long timers (failure-detector intervals,
+  /// transaction timeouts) overflow to the heap.
+  static constexpr std::size_t kWindow = 256;
+  static constexpr std::size_t kOccWords = kWindow / 64;
+
+  /// Overflow-heap item: ordering key plus the slab slot of the action.
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Strict total order of execution: earlier time first, insertion order
+  /// breaking ties (seq is unique).
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::uint32_t acquire_slot(Action action);
+  void sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+  void heap_pop();
+  /// First occupied ring tick with index >= from, or kWindow if none.
+  std::size_t next_occupied(std::size_t from) const noexcept;
+  /// Earliest pending event time, if any (does not mutate — run_until's
+  /// peek must not roll the window, or schedule_at could race it).
+  std::optional<SimTime> next_event_time() const noexcept;
+
+  /// Timing wheel for [base_, base_ + kWindow): ring_[t % kWindow] is the
+  /// FIFO of action slots due at tick t, occ_ its occupancy bitmap.
+  /// cursor_ is the tick currently being consumed and intra_ the position
+  /// inside its FIFO — kept as state so an action appending to its own
+  /// tick is picked up before the tick is retired.
+  std::array<std::vector<std::uint32_t>, kWindow> ring_;
+  std::array<std::uint64_t, kOccWords> occ_{};
+  SimTime base_ = 0;
+  SimTime cursor_ = 0;
+  std::size_t intra_ = 0;
+
+  /// 4-ary min-heap on `earlier`: the cold overflow tier for events at or
+  /// beyond base_ + kWindow.
+  std::vector<Entry> heap_;
+
+  /// Action storage, indexed by slot id. A popped slot is pushed onto
+  /// free_slots_ and handed to the next schedule_at, so after the high-
+  /// water mark the slab never grows and scheduling allocates nothing.
+  std::vector<Action> slots_;
+  std::vector<std::uint32_t> free_slots_;
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
   std::uint64_t executed_ = 0;
 };
 

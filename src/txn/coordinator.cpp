@@ -232,7 +232,7 @@ void Coordinator::begin_read_round(TxnId id) {
   for (ReplicaId r : quorum->members()) {
     const SiteId target = replica_sites_[r];
     txn->awaiting.insert(target);
-    auto request = std::make_shared<ReadRequest>();
+    auto request = network_.make_body<ReadRequest>();
     request->op_id = txn->op_id;
     request->key = key;
     network_.send(site_, target, std::move(request));
@@ -266,7 +266,7 @@ void Coordinator::begin_version_round(TxnId id) {
   for (ReplicaId r : quorum->members()) {
     const SiteId target = replica_sites_[r];
     txn->awaiting.insert(target);
-    auto request = std::make_shared<VersionRequest>();
+    auto request = network_.make_body<VersionRequest>();
     request->op_id = txn->op_id;
     request->key = key;
     network_.send(site_, target, std::move(request));
@@ -337,7 +337,7 @@ void Coordinator::finish_read_op(TxnId id) {
     const Key key = txn->ops[txn->current_op].key;
     for (const auto& [member, ts] : txn->reply_timestamps) {
       if (txn->best_ts.is_newer_than(ts)) {
-        auto repair = std::make_shared<ApplyRequest>();
+        auto repair = network_.make_body<ApplyRequest>();
         repair->key = key;
         repair->value = txn->best_value->value;
         repair->timestamp = txn->best_ts;
@@ -428,7 +428,7 @@ void Coordinator::begin_prepare(TxnId id) {
   txn->votes_pending.clear();
   for (const auto& [target, writes] : txn->staged) {
     txn->votes_pending.insert(target);
-    auto request = std::make_shared<PrepareRequest>();
+    auto request = network_.make_body<PrepareRequest>();
     request->txn_id = id;
     request->writes = writes;
     network_.send(site_, target, std::move(request));
@@ -477,7 +477,7 @@ void Coordinator::send_commits(TxnId id) {
   Txn* txn = find(id);
   ATRCP_CHECK(txn != nullptr);
   for (SiteId target : txn->acks_pending) {
-    auto request = std::make_shared<CommitRequest>();
+    auto request = network_.make_body<CommitRequest>();
     request->txn_id = id;
     network_.send(site_, target, std::move(request));
   }
@@ -520,7 +520,7 @@ void Coordinator::abort_txn(TxnId id, std::string reason) {
   txn->result.abort_reason = std::move(reason);
   // Tell every participant that might have staged writes to drop them.
   for (const auto& entry : txn->staged) {
-    auto request = std::make_shared<AbortRequest>();
+    auto request = network_.make_body<AbortRequest>();
     request->txn_id = id;
     network_.send(site_, entry.first, std::move(request));
   }

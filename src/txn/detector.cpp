@@ -45,7 +45,7 @@ void HeartbeatDetector::probe_round() {
   ++rounds_;
   ++sequence_;
   for (std::size_t r = 0; r < missed_.size(); ++r) {
-    auto ping = std::make_shared<PingRequest>();
+    auto ping = network_.make_body<PingRequest>();
     ping->sequence = sequence_;
     network_.send(site_, static_cast<SiteId>(r), std::move(ping));
   }

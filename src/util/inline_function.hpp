@@ -1,0 +1,150 @@
+// A small-buffer-optimized, move-only `void()` callable — the zero-alloc
+// replacement for std::function in the scheduler's hot path.
+//
+// Every closure the simulator schedules captures a handful of pointers and
+// ids (the largest, Network's delivery closure, is 40 bytes), so the
+// default 48-byte inline buffer stores them all in place: scheduling an
+// event performs no heap allocation and moving an entry inside the event
+// queue is a constant-time relocation. Oversized callables still work —
+// they transparently fall back to a heap box — so correctness never
+// depends on the capture fitting.
+//
+// Deliberately minimal compared to std::function: no copy (the queue only
+// moves), no target_type, void() signature only. The dispatch table is one
+// static per stored type (invoke / relocate / destroy), the same technique
+// production executors use for their task cells.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace atrcp {
+
+template <std::size_t Capacity = 48>
+class InlineFunction {
+  static_assert(Capacity >= sizeof(void*),
+                "buffer must at least hold the heap-fallback pointer");
+
+ public:
+  InlineFunction() noexcept = default;
+  /// Matches std::function's nullptr conversion so call sites that pass
+  /// `nullptr` for "no action" keep compiling.
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFunction(F&& callable) {  // NOLINT(google-explicit-constructor)
+    using Stored = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Stored>()) {
+      ::new (static_cast<void*>(storage_)) Stored(std::forward<F>(callable));
+      ops_ = &kInlineOps<Stored>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Stored*(new Stored(std::forward<F>(callable)));
+      ops_ = &kBoxedOps<Stored>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(other);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { destroy(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// True iff a callable of type F would be stored in the inline buffer
+  /// (used by tests to pin the no-allocation property of known closures).
+  template <class F>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::remove_cvref_t<F>>();
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src, then destroys src. nullptr means the
+    /// stored representation is trivially copyable (including the boxed
+    /// pointer) and relocation is a fixed-size buffer memcpy — the common
+    /// case for the simulator's pointer-and-id captures, which then move
+    /// through the event queue without any indirect call.
+    void (*relocate)(void* src, void* dst) noexcept;
+    /// nullptr means trivially destructible: destruction is a no-op.
+    void (*destroy)(void*) noexcept;
+  };
+
+  void relocate_from(InlineFunction& other) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, Capacity);
+    }
+  }
+
+  void destroy() noexcept {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(storage_);
+  }
+
+  template <class Stored>
+  static constexpr bool fits_inline() {
+    return sizeof(Stored) <= Capacity &&
+           alignof(Stored) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Stored>;
+  }
+
+  template <class Stored>
+  static constexpr Ops kInlineOps{
+      [](void* storage) { (*std::launder(static_cast<Stored*>(storage)))(); },
+      std::is_trivially_copyable_v<Stored>
+          ? nullptr
+          : +[](void* src, void* dst) noexcept {
+              Stored* from = std::launder(static_cast<Stored*>(src));
+              ::new (dst) Stored(std::move(*from));
+              from->~Stored();
+            },
+      std::is_trivially_destructible_v<Stored>
+          ? nullptr
+          : +[](void* storage) noexcept {
+              std::launder(static_cast<Stored*>(storage))->~Stored();
+            }};
+
+  template <class Stored>
+  static constexpr Ops kBoxedOps{
+      [](void* storage) {
+        (**std::launder(static_cast<Stored**>(storage)))();
+      },
+      nullptr,  // the boxed pointer itself is trivially copyable
+      [](void* storage) noexcept {
+        delete *std::launder(static_cast<Stored**>(storage));
+      }};
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,111 @@
+// Golden RNG-stream regression for quorum assembly.
+//
+// The epoch-keyed assembly caches (core/quorums.cpp, protocols/majority.cpp,
+// protocols/weighted_voting.cpp) are pure layout/caching optimizations:
+// they must consume the RNG stream identically to the rebuild-per-call
+// code they replaced and return the same quorums. These sequences were
+// captured from the pre-overhaul implementation; any divergence means an
+// optimization changed observable behaviour, which invalidates every
+// digest-pinned baseline in the repo.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/weighted_voting.hpp"
+#include "quorum/types.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+namespace {
+
+std::string str(const std::optional<Quorum>& q) {
+  return q ? q->to_string() : "unavailable";
+}
+
+TEST(GoldenStreamTest, ArbitraryProtocolReadsAndWritesUnderFailures) {
+  // 1-3-5 tree, failures {1, 4}, Rng(42): 8 reads then 8 writes, then
+  // failure churn to force epoch invalidation between assemblies.
+  ArbitraryProtocol arb(ArbitraryTree::from_spec("1-3-5"));
+  FailureSet f(arb.universe_size());
+  f.fail(1);
+  f.fail(4);
+  Rng rng(42);
+
+  const std::vector<std::string> want_reads{
+      "{0, 5}", "{2, 7}", "{2, 7}", "{2, 7}",
+      "{2, 6}", "{2, 5}", "{2, 5}", "{2, 7}"};
+  for (const std::string& want : want_reads) {
+    EXPECT_EQ(str(arb.assemble_read_quorum(f, rng)), want);
+  }
+  // Level 2 has a failed replica on every full-level candidate: writes are
+  // unavailable, and must report so WITHOUT consuming extra RNG draws (the
+  // subsequent reads below would diverge otherwise).
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(str(arb.assemble_write_quorum(f, rng)), "unavailable");
+  }
+  f.fail(0);
+  EXPECT_EQ(str(arb.assemble_read_quorum(f, rng)), "{2, 7}");
+  f.recover(0);
+  EXPECT_EQ(str(arb.assemble_read_quorum(f, rng)), "{2, 6}");
+}
+
+TEST(GoldenStreamTest, ArbitraryProtocolWriteQuorumChoices) {
+  // Same tree, only replica 4 failed, Rng(99): the write path picks among
+  // the surviving full levels; recovery reopens the second level.
+  ArbitraryProtocol arb(ArbitraryTree::from_spec("1-3-5"));
+  FailureSet f(arb.universe_size());
+  f.fail(4);
+  Rng rng(99);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(str(arb.assemble_write_quorum(f, rng)), "{0, 1, 2}");
+  }
+  f.recover(4);
+  const std::vector<std::string> want{
+      "{0, 1, 2}", "{0, 1, 2}", "{3, 4, 5, 6, 7}", "{3, 4, 5, 6, 7}"};
+  for (const std::string& w : want) {
+    EXPECT_EQ(str(arb.assemble_write_quorum(f, rng)), w);
+  }
+}
+
+TEST(GoldenStreamTest, MajorityQuorumShuffleStream) {
+  // n=9, failures {2, 7}, Rng(7): the cached alive list + scratch shuffle
+  // must replay the exact Fisher–Yates draws of the rebuild-per-call code.
+  MajorityQuorum maj(9);
+  FailureSet fm(9);
+  fm.fail(2);
+  fm.fail(7);
+  Rng rng(7);
+  const std::vector<std::string> want{
+      "{1, 3, 4, 5, 8}", "{1, 3, 4, 5, 8}", "{1, 3, 4, 6, 8}",
+      "{0, 1, 3, 4, 5}", "{0, 1, 5, 6, 8}", "{0, 1, 4, 5, 6}"};
+  for (const std::string& w : want) {
+    EXPECT_EQ(str(maj.assemble_read_quorum(fm, rng)), w);
+  }
+  fm.fail(0);  // epoch bump: cache refills, stream continues unchanged
+  EXPECT_EQ(str(maj.assemble_read_quorum(fm, rng)), "{1, 3, 4, 5, 8}");
+}
+
+TEST(GoldenStreamTest, WeightedVotingPermutationStream) {
+  WeightedVoting wv = WeightedVoting::majority(7);
+  FailureSet fw(7);
+  fw.fail(3);
+  Rng rng(11);
+  const std::vector<std::string> want_reads{
+      "{0, 1, 2, 5}", "{1, 4, 5, 6}", "{0, 2, 4, 6}", "{1, 2, 4, 6}"};
+  for (const std::string& w : want_reads) {
+    EXPECT_EQ(str(wv.assemble_read_quorum(fw, rng)), w);
+  }
+  const std::vector<std::string> want_writes{
+      "{0, 1, 4, 6}", "{0, 1, 4, 6}", "{1, 4, 5, 6}", "{0, 2, 5, 6}"};
+  for (const std::string& w : want_writes) {
+    EXPECT_EQ(str(wv.assemble_write_quorum(fw, rng)), w);
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

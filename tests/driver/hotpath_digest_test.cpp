@@ -1,0 +1,61 @@
+// Golden payload digests for the hotpath bench units (bench/hotpath_units.cpp).
+//
+// Each unit's shards are pure functions of (shard index, iteration count),
+// so the FNV-1a digest of the concatenated payloads is a fingerprint of
+// substrate behaviour: scheduler pop order, network delivery order and
+// latency draws, quorum assembly RNG streams. These values were captured
+// from the pre-overhaul std::map/std::function/make_shared substrate — the
+// allocation overhaul must reproduce them bit for bit. A deliberate
+// behaviour change (new event source, different latency model) is expected
+// to update them, in the same commit, with an EXPERIMENTS.md note.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "driver/digest.hpp"
+#include "hotpath_units.hpp"
+
+namespace atrcp {
+namespace {
+
+using benchio::HotpathUnit;
+using benchio::hotpath_units;
+
+std::string digest_at_full_iters(const HotpathUnit& unit) {
+  std::string payload;
+  for (std::size_t shard = 0; shard < unit.shards; ++shard) {
+    payload += unit.run(shard, unit.iters).payload;
+  }
+  return hex64(fnv1a64(payload));
+}
+
+TEST(HotpathDigestTest, UnitsMatchPreOverhaulGoldenDigests) {
+  const std::map<std::string, std::string> want{
+      {"sched_churn", "53d1dba980cf2e7e"},
+      {"net_ring", "caf5e62cd8a49671"},
+      {"assemble_zoo", "84b4005371f5fe2b"},
+  };
+  ASSERT_EQ(hotpath_units().size(), want.size());
+  for (const HotpathUnit& unit : hotpath_units()) {
+    const auto it = want.find(unit.name);
+    ASSERT_NE(it, want.end()) << "unexpected unit " << unit.name;
+    EXPECT_EQ(digest_at_full_iters(unit), it->second)
+        << "behaviour fingerprint changed for unit " << unit.name;
+  }
+}
+
+TEST(HotpathDigestTest, ShardsArePureFunctionsOfTheirIndex) {
+  // The bench_all serial-vs-parallel contract in miniature: re-running a
+  // shard must reproduce its payload exactly.
+  for (const HotpathUnit& unit : hotpath_units()) {
+    const std::uint64_t iters = unit.iters / 50;
+    const auto first = unit.run(0, iters);
+    const auto again = unit.run(0, iters);
+    EXPECT_EQ(first.payload, again.payload) << unit.name;
+    EXPECT_EQ(first.committed, again.committed) << unit.name;
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -52,6 +52,22 @@ TEST(QuorumTest, ToString) {
   EXPECT_EQ(Quorum{}.to_string(), "{}");
 }
 
+TEST(QuorumTest, FromSortedMatchesSortingConstructor) {
+  const std::vector<ReplicaId> members{0, 2, 5, 9};
+  const Quorum trusted = Quorum::from_sorted(members);
+  const Quorum checked(members);
+  EXPECT_EQ(trusted, checked);
+  EXPECT_EQ(trusted.to_string(), "{0, 2, 5, 9}");
+  EXPECT_TRUE(Quorum::from_sorted({}).empty());
+}
+
+#ifndef NDEBUG
+TEST(QuorumDeathTest, FromSortedAssertsOnUnsortedInput) {
+  EXPECT_DEATH(Quorum::from_sorted({3, 1}), "sorted");
+  EXPECT_DEATH(Quorum::from_sorted({1, 1, 2}), "duplicate");
+}
+#endif
+
 TEST(FailureSetTest, StartsAllAlive) {
   const FailureSet failures(5);
   for (ReplicaId id = 0; id < 5; ++id) {
@@ -93,6 +109,82 @@ TEST(FailureSetTest, AllAlive) {
   failures.recover(3);
   failures.fail(0);  // not a member
   EXPECT_TRUE(failures.all_alive(q));
+}
+
+TEST(FailureSetTest, FailedCountIsRunningAndIdempotent) {
+  FailureSet failures(10);
+  failures.fail(3);
+  failures.fail(3);  // repeated fail must not double-count
+  EXPECT_EQ(failures.failed_count(), 1u);
+  failures.fail(7);
+  EXPECT_EQ(failures.failed_count(), 2u);
+  EXPECT_EQ(failures.alive_count(), 8u);
+  failures.recover(5);  // recovering an alive replica is a no-op
+  EXPECT_EQ(failures.failed_count(), 2u);
+  failures.recover(3);
+  failures.recover(3);
+  EXPECT_EQ(failures.failed_count(), 1u);
+  failures.recover(7);
+  EXPECT_EQ(failures.failed_count(), 0u);
+}
+
+TEST(FailureSetTest, FailedCountSurvivesGrowth) {
+  FailureSet failures(4);
+  failures.fail(1);
+  failures.fail(100);  // grows the universe past the original size
+  EXPECT_EQ(failures.universe_size(), 101u);
+  EXPECT_EQ(failures.failed_count(), 2u);
+  EXPECT_TRUE(failures.is_failed(1));
+  EXPECT_TRUE(failures.is_failed(100));
+}
+
+TEST(FailureSetTest, LargeUniverseSpillsToHeapCorrectly) {
+  // Past kInlineBits the bitmap moves to heap storage; semantics must not
+  // change across the boundary.
+  FailureSet failures(FailureSet::kInlineBits + 64);
+  failures.fail(0);
+  failures.fail(static_cast<ReplicaId>(FailureSet::kInlineBits));
+  failures.fail(static_cast<ReplicaId>(FailureSet::kInlineBits + 63));
+  EXPECT_EQ(failures.failed_count(), 3u);
+  EXPECT_TRUE(failures.is_failed(0));
+  EXPECT_TRUE(
+      failures.is_failed(static_cast<ReplicaId>(FailureSet::kInlineBits)));
+  failures.recover(static_cast<ReplicaId>(FailureSet::kInlineBits));
+  EXPECT_EQ(failures.failed_count(), 2u);
+}
+
+TEST(FailureSetTest, EpochChangesOnlyOnActualMutation) {
+  FailureSet failures(8);
+  const std::uint64_t initial = failures.epoch();
+  EXPECT_NE(initial, 0u);
+
+  failures.fail(2);
+  const std::uint64_t after_fail = failures.epoch();
+  EXPECT_NE(after_fail, initial);
+
+  failures.fail(2);     // already failed — contents unchanged
+  failures.recover(5);  // already alive — contents unchanged
+  EXPECT_EQ(failures.epoch(), after_fail);
+
+  failures.recover(2);
+  EXPECT_NE(failures.epoch(), after_fail);
+}
+
+TEST(FailureSetTest, EpochsAreGloballyUniqueAndSharedByCopies) {
+  FailureSet a(8);
+  FailureSet b(8);
+  // Distinct objects never share an epoch, even with identical contents —
+  // an epoch identifies one immutable snapshot of one set's history.
+  EXPECT_NE(a.epoch(), b.epoch());
+
+  a.fail(1);
+  const FailureSet copy = a;  // equal contents: cache entries keyed on
+  EXPECT_EQ(copy.epoch(), a.epoch());  // a's epoch stay valid for the copy
+
+  a.fail(2);  // diverging mutation gives a a fresh epoch; copy keeps its own
+  EXPECT_NE(a.epoch(), copy.epoch());
+  EXPECT_EQ(copy.failed_count(), 1u);
+  EXPECT_EQ(a.failed_count(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+#include "sim/message_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace atrcp {
+namespace {
+
+struct SmallBody {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+struct LargeBody {
+  std::array<std::uint64_t, 40> words{};  // > 256 bytes with control block
+};
+
+TEST(MessagePoolTest, ReusesBlocksAfterRelease) {
+  MessagePool pool;
+  { auto msg = pool.make<SmallBody>(); }
+  const auto after_first = pool.stats();
+  EXPECT_EQ(after_first.fresh, 1u);
+  EXPECT_EQ(after_first.reused, 0u);
+
+  // Steady state: one live message at a time cycles a single block.
+  for (int i = 0; i < 10; ++i) {
+    auto msg = pool.make<SmallBody>();
+    msg->a = static_cast<std::uint64_t>(i);
+  }
+  const auto after_cycle = pool.stats();
+  EXPECT_EQ(after_cycle.fresh, 1u);
+  EXPECT_EQ(after_cycle.reused, 10u);
+}
+
+TEST(MessagePoolTest, ConcurrentlyLiveMessagesGetDistinctBlocks) {
+  MessagePool pool;
+  auto first = pool.make<SmallBody>();
+  auto second = pool.make<SmallBody>();
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(pool.stats().fresh, 2u);
+  first.reset();
+  second.reset();
+  auto third = pool.make<SmallBody>();
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(MessagePoolTest, DifferentSizesUseDifferentBuckets) {
+  MessagePool pool;
+  { auto small = pool.make<SmallBody>(); }
+  // A larger body cannot reuse the small bucket's freed block.
+  { auto large = pool.make<LargeBody>(); }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.fresh, 2u);
+  EXPECT_EQ(stats.reused, 0u);
+  { auto large_again = pool.make<LargeBody>(); }
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(MessagePoolTest, MessageOutlivesPool) {
+  // A delivery closure can still hold a message after the Network (and its
+  // pool handle) is torn down; the arena must survive until the last
+  // message dies.
+  std::shared_ptr<SmallBody> survivor;
+  {
+    MessagePool pool;
+    survivor = pool.make<SmallBody>();
+    survivor->a = 0xdeadbeef;
+  }
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->a, 0xdeadbeefu);
+  survivor.reset();  // frees through the (kept-alive) arena — must not crash
+}
+
+TEST(MessagePoolTest, ConstructorArgumentsForwarded) {
+  MessagePool pool;
+  auto msg = pool.make<std::pair<int, int>>(3, 4);
+  EXPECT_EQ(msg->first, 3);
+  EXPECT_EQ(msg->second, 4);
+}
+
+}  // namespace
+}  // namespace atrcp

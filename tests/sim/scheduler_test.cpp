@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 namespace atrcp {
@@ -80,6 +84,103 @@ TEST(SchedulerTest, EventsCanScheduleEvents) {
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(scheduler.now(), 99u);
   EXPECT_EQ(scheduler.executed(), 100u);
+}
+
+// The calendar-queue rewrite splits events between a 256-µs ring and an
+// overflow heap; the tests below pin ordering across that boundary.
+
+TEST(SchedulerTest, OrdersEventsAcrossWindowBoundaries) {
+  Scheduler scheduler;
+  std::vector<SimTime> fired;
+  // Scrambled times spanning several 256-µs windows, plus in-window ones.
+  const std::vector<SimTime> times{3000, 10, 600, 255, 256, 5000,
+                                   257,  0,  999, 512, 40,  2999};
+  for (SimTime t : times) {
+    scheduler.schedule_at(t, [&, t] { fired.push_back(t); });
+  }
+  scheduler.run();
+  std::vector<SimTime> want = times;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(scheduler.now(), 5000u);
+}
+
+TEST(SchedulerTest, FifoPreservedAcrossHeapDrainAndDirectAppend) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  // A and C go to the overflow heap (t=300 is beyond the initial window);
+  // the window roll drains them into the ring in insertion order. D is
+  // appended directly to the tick A is executing from — it must still run
+  // after C.
+  scheduler.schedule_at(300, [&] {
+    order.push_back(1);  // A
+    scheduler.schedule_at(300, [&] { order.push_back(3); });  // D
+  });
+  scheduler.schedule_at(10, [&] {
+    order.push_back(0);  // B
+    scheduler.schedule_at(300, [&] { order.push_back(2); });  // C
+  });
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 300u);
+}
+
+TEST(SchedulerTest, FifoWithinSameFarTimestamp) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.schedule_at(100'000, [&, i] { order.push_back(i); });
+  }
+  scheduler.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, RunUntilAcrossEmptyWindows) {
+  Scheduler scheduler;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5u, 100'000u, 200'000u}) {
+    scheduler.schedule_at(t, [&, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(scheduler.run_until(50'000), 1u);
+  EXPECT_EQ(scheduler.now(), 50'000u);
+  EXPECT_EQ(scheduler.pending(), 2u);
+  // The peek that stopped the run must not have rolled the window: a new
+  // event before the far ones still executes first.
+  scheduler.schedule_at(60'000, [&] { fired.push_back(60'000); });
+  scheduler.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 60'000, 100'000, 200'000}));
+}
+
+TEST(SchedulerTest, OversizedClosuresExecuteCorrectly) {
+  // Captures beyond Action's 48-byte inline buffer fall back to a heap box;
+  // ordering and results must be identical.
+  Scheduler scheduler;
+  std::vector<long> results;
+  std::array<long, 16> big{};
+  for (int i = 0; i < 16; ++i) big[static_cast<std::size_t>(i)] = i;
+  auto probe = [big, &results] { results.push_back(big[15]); };
+  static_assert(!Scheduler::Action::stores_inline<decltype(probe)>());
+  scheduler.schedule_at(20, std::move(probe));
+  scheduler.schedule_at(10, [big, &results] { results.push_back(big[3]); });
+  scheduler.schedule_at(500, [big, &results] { results.push_back(big[7]); });
+  scheduler.run();
+  EXPECT_EQ(results, (std::vector<long>{3, 15, 7}));
+}
+
+TEST(SchedulerTest, SlotSlabRecyclesAcrossManyEvents) {
+  // Long self-rescheduling chains must not grow state without bound:
+  // pending stays at 1 and the clock tracks the chain across hundreds of
+  // window rolls.
+  Scheduler scheduler;
+  std::uint64_t ticks = 0;
+  std::function<void()> chain = [&] {
+    if (++ticks < 10'000) scheduler.schedule_after(97, chain);
+  };
+  scheduler.schedule_at(0, chain);
+  scheduler.run();
+  EXPECT_EQ(ticks, 10'000u);
+  EXPECT_EQ(scheduler.now(), 9'999u * 97u);
+  EXPECT_EQ(scheduler.pending(), 0u);
 }
 
 TEST(SchedulerTest, EventCapStopsLivelock) {

@@ -1,0 +1,122 @@
+#include "util/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace atrcp {
+namespace {
+
+using Fn = InlineFunction<48>;
+
+TEST(InlineFunctionTest, InvokesStoredCallable) {
+  int calls = 0;
+  Fn fn([&] { ++calls; });
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, DefaultAndNullptrAreEmpty) {
+  const Fn empty{};
+  EXPECT_FALSE(static_cast<bool>(empty));
+  const Fn null_constructed = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_constructed));
+  const Fn engaged([] {});
+  EXPECT_TRUE(static_cast<bool>(engaged));
+}
+
+TEST(InlineFunctionTest, MoveTransfersTarget) {
+  int calls = 0;
+  Fn source([&] { ++calls; });
+  Fn moved(std::move(source));
+  EXPECT_FALSE(static_cast<bool>(source));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(calls, 1);
+
+  Fn assigned;
+  assigned = std::move(moved);
+  EXPECT_FALSE(static_cast<bool>(moved));  // NOLINT(bugprone-use-after-move)
+  assigned();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPreviousTarget) {
+  auto tracked = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = tracked;
+  Fn fn([keep = std::move(tracked)] { (void)keep; });
+  EXPECT_FALSE(watch.expired());
+  fn = Fn([] {});
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, DestructorReleasesNonTrivialCapture) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracked;
+  {
+    Fn fn([keep = std::move(tracked)] { (void)keep; });
+    EXPECT_EQ(watch.use_count(), 1);
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, SmallClosuresStoreInline) {
+  // The scheduler relies on Network's 40-byte delivery closure (five
+  // 8-byte captures) fitting the 48-byte buffer.
+  struct FivePointers {
+    void* a;
+    void* b;
+    void* c;
+    void* d;
+    void* e;
+    void operator()() const {}
+  };
+  static_assert(Fn::stores_inline<FivePointers>());
+  auto lambda = [] {};
+  static_assert(Fn::stores_inline<decltype(lambda)>());
+}
+
+TEST(InlineFunctionTest, OversizedClosureFallsBackToHeapAndWorks) {
+  std::array<std::byte, 96> big{};
+  big[0] = std::byte{42};
+  big[95] = std::byte{7};
+  int observed = 0;
+  auto closure = [big, &observed] {
+    observed = static_cast<int>(big[0]) + static_cast<int>(big[95]);
+  };
+  static_assert(!Fn::stores_inline<decltype(closure)>());
+  Fn fn(std::move(closure));
+  Fn moved(std::move(fn));  // boxed pointer relocates without touching the box
+  moved();
+  EXPECT_EQ(observed, 49);
+}
+
+TEST(InlineFunctionTest, OversizedClosureDestroysCapture) {
+  auto tracked = std::make_shared<int>(3);
+  std::weak_ptr<int> watch = tracked;
+  std::array<std::byte, 96> pad{};
+  {
+    Fn fn([keep = std::move(tracked), pad] { (void)keep, (void)pad; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, MovedClosureSchedulableRepeatedly) {
+  // Slab recycling move-assigns into previously-used slots; exercise the
+  // same pattern directly: assign over live targets in a loop.
+  int total = 0;
+  Fn slot;
+  for (int i = 0; i < 100; ++i) {
+    slot = Fn([&total, i] { total += i; });
+    slot();
+  }
+  EXPECT_EQ(total, 4950);
+}
+
+}  // namespace
+}  // namespace atrcp
