@@ -29,6 +29,7 @@
 #include "driver/digest.hpp"
 #include "driver/pool.hpp"
 #include "hotpath_units.hpp"
+#include "obs/event_bus.hpp"
 #include "obs/json_lint.hpp"
 #include "obs/metrics.hpp"
 #include "suite.hpp"
@@ -63,10 +64,15 @@ Unit explore_unit() {
         const ZooEntry& entry = (*zoo)[shard / blocks];
         const std::uint64_t first_seed = (shard % blocks) * kExploreSeedBlock;
         const ScheduleExplorer explorer;
+        // One flight-recorder ring per block, reset between seeds — the
+        // shard-local arena reuse that stops a multi-MiB allocation per
+        // seed (recordings, hence digests, are unchanged).
+        const std::unique_ptr<EventBus> scratch = explorer.make_scratch_bus();
         ShardResult out;
         for (std::uint64_t seed = first_seed;
              seed < first_seed + kExploreSeedBlock; ++seed) {
-          const SeedReport report = explorer.run_seed(entry.factory, seed);
+          const SeedReport report =
+              explorer.run_seed(entry.factory, seed, scratch.get());
           out.payload += entry.label + " " + report.line() + "\n";
           if (!report.ok) out.payload += report.detail;
           out.committed += report.committed;
@@ -78,27 +84,45 @@ Unit explore_unit() {
 std::vector<Unit> suite() {
   std::vector<Unit> units;
   units.push_back(explore_unit());
-  units.push_back({"workload_grid", workload_cell_count(),
-                   [](std::size_t shard) {
-                     ShardResult out;
-                     std::uint64_t committed = 0;
-                     for (const std::string& column :
-                          workload_cell_row(shard, &committed)) {
-                       out.payload += column + "|";
-                     }
-                     out.payload += "\n";
-                     out.committed = committed;
-                     return out;
+  // Fine-grained units are batched into blocks of consecutive indices
+  // (run_index_block) so a job amortizes its scheduling and world-setup
+  // cost; the concatenated payload — and therefore every digest — is
+  // byte-identical to the per-index decomposition.
+  const auto workload_cell = [](std::size_t index) {
+    ShardResult out;
+    std::uint64_t committed = 0;
+    for (const std::string& column : workload_cell_row(index, &committed)) {
+      out.payload += column + "|";
+    }
+    out.payload += "\n";
+    out.committed = committed;
+    return out;
+  };
+  constexpr std::size_t kGridBlock = 3;    // 12 cells -> 4 jobs
+  constexpr std::size_t kFigureBlock = 5;  // 10 points -> 2 jobs
+  constexpr std::size_t kPsweepBlock = 5;  // 20 points -> 4 jobs
+  units.push_back({"workload_grid",
+                   block_count(workload_cell_count(), kGridBlock),
+                   [workload_cell](std::size_t shard) {
+                     return run_index_block(workload_cell_count(), kGridBlock,
+                                            shard, workload_cell);
                    }});
   units.push_back({"table1_metrics", 1,
                    [](std::size_t) { return table1_metrics_block(); }});
   units.push_back({"site_load_64", 1, [](std::size_t) { return load64_block(); }});
   units.push_back({"sim_throughput", 8,
                    [](std::size_t shard) { return throughput_shard(shard); }});
-  units.push_back({"figures_2_3_4", figure_point_count(),
-                   [](std::size_t shard) { return figure_point(shard); }});
-  units.push_back({"psweep", psweep_point_count(),
-                   [](std::size_t shard) { return psweep_point(shard); }});
+  units.push_back({"figures_2_3_4",
+                   block_count(figure_point_count(), kFigureBlock),
+                   [](std::size_t shard) {
+                     return run_index_block(figure_point_count(), kFigureBlock,
+                                            shard, figure_point);
+                   }});
+  units.push_back({"psweep", block_count(psweep_point_count(), kPsweepBlock),
+                   [](std::size_t shard) {
+                     return run_index_block(psweep_point_count(), kPsweepBlock,
+                                            shard, psweep_point);
+                   }});
   // Quarter-length runs of the hotpath microbenchmark units: bench_all
   // tracks their digests and rough ns/op alongside the paper units, while
   // bench_hotpath stays the precise standalone meter.
@@ -118,13 +142,14 @@ struct UnitRun {
   std::string payload;
   std::uint64_t committed = 0;
   double wall_ms = 0;
+  RunStats stats;  ///< scheduler perf counters (workers/claims/steals)
 };
 
 UnitRun run_unit(const Unit& unit, const RunDriver& driver) {
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<ShardResult> shards =
-      driver.map<ShardResult>(unit.shards, unit.run);
   UnitRun out;
+  const std::vector<ShardResult> shards =
+      driver.map<ShardResult>(unit.shards, unit.run, &out.stats);
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
@@ -196,7 +221,12 @@ int main(int argc, char** argv) {
                    ",\"parallel_ms\":" + ms(sharded.wall_ms) +
                    ",\"speedup\":" + ratio(speedup) +
                    ",\"txns_per_sec\":" + ms(txns_per_sec) +
-                   ",\"ns_per_op\":" + ms(ns_per_op) + "}";
+                   ",\"ns_per_op\":" + ms(ns_per_op) +
+                   ",\"workers\":" + std::to_string(sharded.stats.workers) +
+                   ",\"claims\":" +
+                   std::to_string(sharded.stats.chunk_claims) +
+                   ",\"steals\":" + std::to_string(sharded.stats.steals) +
+                   "}";
     std::printf("%-16s %s shards=%zu committed=%llu digest=%s "
                 "serial=%sms parallel=%sms speedup=%sx\n",
                 unit.name.c_str(), match ? "OK  " : "FAIL", unit.shards,

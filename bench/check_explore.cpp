@@ -28,6 +28,12 @@ int main(int argc, char** argv) {
   ScheduleExplorer explorer;
   bool all_ok = true;
 
+  // Note: jobs is echoed on stderr, not stdout — the stdout byte stream is
+  // what the CI jobs diff across `--jobs` counts, so it must not mention
+  // the worker count. Seeds are swept in blocks of 8 per driver job (see
+  // ScheduleExplorer::explore), each block reusing one flight-recorder
+  // arena across its seeds.
+  std::fprintf(stderr, "# check_explore: jobs=%zu\n", driver.jobs());
   std::printf("# check_explore: %zu seeds x protocol zoo, clients=%zu "
               "txns=%zu keys=%zu\n",
               kSeeds, explorer.options().clients,

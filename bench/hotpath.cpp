@@ -15,16 +15,20 @@
 //
 // Exit 0 iff every unit ran, a repeat run of every unit reproduced the
 // same payload digest, and the emitted document lints.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "driver/digest.hpp"
 #include "hotpath_units.hpp"
 #include "obs/json_lint.hpp"
+#include "sim/message_pool.hpp"
 
 using namespace atrcp;
 using namespace atrcp::benchio;
@@ -55,6 +59,48 @@ std::string fixed(double value, int digits) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
   return buffer;
+}
+
+/// The MessagePool leak regression gate: after warm-up, repeated identical
+/// iterations must leave the pool's footprint flat — `fresh` stops growing
+/// (steady state recycles), the retained free-list block count stays at
+/// its high-water mark, and oversized bodies never enter the free lists at
+/// all. A failure here means a long sweep's memory grows with run length.
+bool pool_stats_flat() {
+  struct Body {
+    std::array<char, 200> bytes{};
+  };
+  struct HugeBody {
+    std::array<char, 3 * MessagePool::kMaxPooledBytes> bytes{};
+  };
+  MessagePool pool;
+  const auto churn = [&pool] {
+    std::vector<std::shared_ptr<Body>> live;
+    for (int i = 0; i < 256; ++i) {
+      live.push_back(pool.make<Body>());
+      if (live.size() > 32) live.erase(live.begin());
+    }
+    { auto huge = pool.make<HugeBody>(); }  // bypasses every bucket
+  };
+  churn();  // warm-up establishes the high-water mark
+  const MessagePool::Stats warm = pool.stats();
+  for (int i = 0; i < 8; ++i) churn();
+  const MessagePool::Stats after = pool.stats();
+  const bool flat = after.fresh == warm.fresh &&
+                    after.free_blocks == warm.free_blocks &&
+                    after.reused > warm.reused && after.oversize == 9;
+  std::printf("pool_flat      %s fresh=%llu free_blocks=%zu reused=%llu "
+              "oversize=%llu trimmed=%llu\n",
+              flat ? "OK  " : "FAIL",
+              static_cast<unsigned long long>(after.fresh), after.free_blocks,
+              static_cast<unsigned long long>(after.reused),
+              static_cast<unsigned long long>(after.oversize),
+              static_cast<unsigned long long>(after.trimmed));
+  if (!flat) {
+    std::printf("  pool footprint grew across identical iterations — the "
+                "recycler is leaking or an oversized body entered a bucket\n");
+  }
+  return flat;
 }
 
 int lint_file(const char* path) {
@@ -94,6 +140,7 @@ int main(int argc, char** argv) {
   std::string timing_json;
   std::printf("# bench_hotpath%s: %zu units\n", smoke ? " (smoke)" : "",
               hotpath_units().size());
+  all_ok = pool_stats_flat() && all_ok;
   for (const HotpathUnit& unit : hotpath_units()) {
     const std::uint64_t iters =
         smoke ? (unit.iters / 50 > 1000 ? unit.iters / 50 : 1000) : unit.iters;

@@ -156,6 +156,24 @@ ShardResult figure_point(std::size_t index) {
 
 std::size_t psweep_point_count() { return 2 * std::size(kPsweepPs); }
 
+std::size_t block_count(std::size_t total, std::size_t block) {
+  return block == 0 ? 0 : (total + block - 1) / block;
+}
+
+ShardResult run_index_block(std::size_t total, std::size_t block,
+                            std::size_t shard,
+                            const std::function<ShardResult(std::size_t)>& fn) {
+  ShardResult out;
+  const std::size_t lo = shard * block;
+  const std::size_t hi = lo + block < total ? lo + block : total;
+  for (std::size_t i = lo; i < hi; ++i) {
+    ShardResult one = fn(i);
+    out.payload += one.payload;
+    out.committed += one.committed;
+  }
+  return out;
+}
+
 ShardResult psweep_point(std::size_t index) {
   const bool read_side = index < std::size(kPsweepPs);
   const double p = kPsweepPs[index % std::size(kPsweepPs)];

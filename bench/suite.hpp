@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,5 +60,21 @@ std::size_t figure_point_count();
 /// E12 availability point: one (read|write, p) row at n = 100.
 ShardResult psweep_point(std::size_t index);
 std::size_t psweep_point_count();
+
+// -- job-granularity batching -------------------------------------------------
+
+/// Number of `block`-sized groups covering `total` indices (the last group
+/// may be short). Pair with run_index_block to coarsen a fine-grained
+/// per-index unit into fewer, bigger driver jobs.
+std::size_t block_count(std::size_t total, std::size_t block);
+
+/// Runs `fn` over the `shard`-th block of consecutive indices and
+/// concatenates the results in index order. Concatenating all blocks
+/// reproduces the per-index unit's merged payload byte for byte — batching
+/// changes only job granularity (one job amortizes its scheduling and
+/// setup cost over `block` indices), never the digest.
+ShardResult run_index_block(std::size_t total, std::size_t block,
+                            std::size_t shard,
+                            const std::function<ShardResult(std::size_t)>& fn);
 
 }  // namespace atrcp::benchio

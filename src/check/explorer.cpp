@@ -7,6 +7,7 @@
 #include "check/broken.hpp"
 #include "driver/pool.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/event_bus.hpp"
 #include "core/config.hpp"
 #include "core/quorums.hpp"
 #include "core/tree.hpp"
@@ -223,7 +224,8 @@ std::string SeedReport::line() const {
 }
 
 SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
-                                      std::uint64_t seed) const {
+                                      std::uint64_t seed,
+                                      EventBus* scratch) const {
   // Independent deterministic streams per concern, so e.g. adding an option
   // draw never perturbs the nemesis plan or the workload of a given seed.
   SplitMix64 mix(seed);
@@ -241,7 +243,11 @@ SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
   copt.link = kExplorerLink;
   copt.clients = options_.clients;
   copt.record_history = true;
-  copt.event_bus_capacity = options_.event_bus_capacity;
+  if (scratch != nullptr && options_.event_bus_capacity > 0) {
+    copt.external_events = scratch;  // reused ring, reset by the Cluster
+  } else {
+    copt.event_bus_capacity = options_.event_bus_capacity;
+  }
   copt.coordinator.request_timeout = 2'000;
   copt.coordinator.lock_timeout = 20'000;
   copt.coordinator.commit_retry_interval = 1'000;
@@ -322,6 +328,11 @@ SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
   return report;
 }
 
+std::unique_ptr<EventBus> ScheduleExplorer::make_scratch_bus() const {
+  if (options_.event_bus_capacity == 0) return nullptr;
+  return std::make_unique<EventBus>(options_.event_bus_capacity);
+}
+
 ExploreReport ScheduleExplorer::explore(const ProtocolFactory& factory,
                                         const std::string& label,
                                         std::uint64_t first_seed,
@@ -360,21 +371,48 @@ ExploreReport ScheduleExplorer::explore(const ProtocolFactory& factory,
   };
 
   if (driver != nullptr && driver->jobs() > 1 && seed_count > 1) {
-    // Seed shards: every run_seed call is self-contained (own Cluster, own
-    // SplitMix64 streams), so seeds run on whichever worker steals them and
-    // the fold below restores serial order. Under stop_at_first_failure
-    // this speculates past the first failure and discards the excess.
-    const std::vector<SeedReport> reports = driver->map<SeedReport>(
-        seed_count, [this, &factory, first_seed](std::size_t index) {
-          return run_seed(factory, first_seed + index);
-        });
-    for (const SeedReport& report : reports) {
-      if (!fold(report)) break;
+    // Seed BLOCKS, not single seeds: one job runs kSeedBlock consecutive
+    // seeds so the per-job scheduling cost (queue locks, result slot) and
+    // the per-block world setup (one scratch flight-recorder ring reused
+    // across the block's seeds) amortize. Every run_seed call is still
+    // self-contained (own Cluster, own SplitMix64 streams), blocks run on
+    // whichever worker steals them, and the fold below walks blocks — and
+    // seeds within a block — in seed order, so the report is byte-identical
+    // to the serial sweep. Under stop_at_first_failure this speculates
+    // past the first failure and discards the excess.
+    constexpr std::size_t kSeedBlock = 8;
+    const std::size_t blocks = (seed_count + kSeedBlock - 1) / kSeedBlock;
+    const std::vector<std::vector<SeedReport>> reports =
+        driver->map<std::vector<SeedReport>>(
+            blocks,
+            [this, &factory, first_seed, seed_count](std::size_t block) {
+              const std::size_t lo = block * kSeedBlock;
+              const std::size_t hi =
+                  std::min(lo + kSeedBlock, seed_count);
+              const std::unique_ptr<EventBus> scratch = make_scratch_bus();
+              std::vector<SeedReport> out;
+              out.reserve(hi - lo);
+              for (std::size_t i = lo; i < hi; ++i) {
+                out.push_back(
+                    run_seed(factory, first_seed + i, scratch.get()));
+              }
+              return out;
+            });
+    bool stop = false;
+    for (const std::vector<SeedReport>& block : reports) {
+      for (const SeedReport& report : block) {
+        if (!fold(report)) {
+          stop = true;
+          break;
+        }
+      }
+      if (stop) break;
     }
   } else {
+    const std::unique_ptr<EventBus> scratch = make_scratch_bus();
     for (std::uint64_t seed = first_seed; seed < first_seed + seed_count;
          ++seed) {
-      if (!fold(run_seed(factory, seed))) break;
+      if (!fold(run_seed(factory, seed, scratch.get()))) break;
     }
   }
 

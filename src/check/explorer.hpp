@@ -28,6 +28,7 @@
 namespace atrcp {
 
 class Cluster;
+class EventBus;
 class RunDriver;
 
 /// A deterministic fault plan generated from the nemesis RNG: every action
@@ -128,7 +129,22 @@ class ScheduleExplorer {
   /// concurrently on different threads. This is the property the parallel
   /// driver's seed shards rely on; the factory must likewise return a
   /// fresh protocol per call (every factory in protocol_zoo() does).
-  SeedReport run_seed(const ProtocolFactory& factory, std::uint64_t seed) const;
+  ///
+  /// `scratch` is the shard-local arena-reuse hook: a caller sweeping many
+  /// seeds on one thread passes the same caller-owned EventBus to every
+  /// call, and each run records into it after a reset() instead of
+  /// allocating a fresh multi-MiB ring per seed. Recording into a reset
+  /// bus is indistinguishable from recording into a new one, so reports
+  /// stay byte-identical. The bus must be thread-confined like the
+  /// cluster; nullptr (the default) allocates per seed as before. Ignored
+  /// when options().event_bus_capacity is 0.
+  SeedReport run_seed(const ProtocolFactory& factory, std::uint64_t seed,
+                      EventBus* scratch = nullptr) const;
+
+  /// A scratch bus sized for run_seed's recordings (ring retention depends
+  /// on capacity, so reuse is only byte-identical when the scratch matches
+  /// options().event_bus_capacity). Returns nullptr when recording is off.
+  std::unique_ptr<EventBus> make_scratch_bus() const;
 
   /// Sweeps seeds [first_seed, first_seed + seed_count). When
   /// stop_at_first_failure is set the sweep ends with the first failing

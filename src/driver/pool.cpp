@@ -1,5 +1,6 @@
 #include "driver/pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -13,7 +14,10 @@ namespace atrcp {
 
 std::size_t default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  // hardware_concurrency() == 0 means "topology unknown", not "one core".
+  // Guess a small multicore so flagless runs still overlap work; the
+  // determinism contract makes the choice output-invisible.
+  return hw == 0 ? 2 : static_cast<std::size_t>(hw);
 }
 
 RunDriver::RunDriver(std::size_t jobs)
@@ -21,46 +25,98 @@ RunDriver::RunDriver(std::size_t jobs)
 
 namespace {
 
-/// One worker's job queue. Owner pops the front, thieves take the back —
-/// the classic split that keeps owner/thief contention to the ends.
-struct Shard {
+// Sized manually instead of std::hardware_destructive_interference_size:
+// the constant is 64 on every target we build for, and using the trait in
+// an ABI-relevant position trips GCC's -Winterference-size.
+constexpr std::size_t kCacheLine = 64;
+
+/// One worker's job queue, padded to its own cache line(s) so the mutex
+/// and deque heads of neighbouring shards never share a line. `approx`
+/// mirrors queue.size() with relaxed stores so thieves can scan for the
+/// fullest victim without touching any lock.
+struct alignas(kCacheLine) Shard {
   std::mutex mutex;
   std::deque<std::size_t> queue;
+  std::atomic<std::uint32_t> approx{0};
 
-  bool pop_front(std::size_t* job) {
+  /// Claims up to `grain` jobs from the front into `out` (owner path).
+  std::size_t pop_chunk(std::size_t grain, std::size_t* out) {
     std::lock_guard lock(mutex);
-    if (queue.empty()) return false;
-    *job = queue.front();
-    queue.pop_front();
-    return true;
+    const std::size_t take = std::min(grain, queue.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      out[i] = queue.front();
+      queue.pop_front();
+    }
+    approx.store(static_cast<std::uint32_t>(queue.size()),
+                 std::memory_order_relaxed);
+    return take;
   }
 
-  bool steal_back(std::size_t* job) {
+  /// Claims up to half the queue (capped at `grain`) from the back into
+  /// `out` (thief path) — the classic split that keeps owner/thief
+  /// contention to opposite ends of the deque.
+  std::size_t steal_chunk(std::size_t grain, std::size_t* out) {
     std::lock_guard lock(mutex);
-    if (queue.empty()) return false;
-    *job = queue.back();
-    queue.pop_back();
-    return true;
+    const std::size_t half = (queue.size() + 1) / 2;
+    const std::size_t take = std::min(grain, half);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[i] = queue.back();
+      queue.pop_back();
+    }
+    approx.store(static_cast<std::uint32_t>(queue.size()),
+                 std::memory_order_relaxed);
+    return take;
   }
 
-  std::size_t size() {
+  std::size_t locked_size() {
     std::lock_guard lock(mutex);
     return queue.size();
   }
 };
 
+/// Per-worker counters on their own cache line — the whole point of the
+/// driver's perf instrumentation is to not perturb what it measures.
+struct alignas(kCacheLine) WorkerCounters {
+  std::size_t jobs_run = 0;
+  std::size_t chunk_claims = 0;
+  std::size_t steals = 0;
+};
+
+/// Threads beyond the hardware's concurrency only add context switching
+/// and cache contention for CPU-bound jobs; cap the pool there. With an
+/// unknown topology (hw == 0) trust the caller's request.
+std::size_t clamp_workers(std::size_t requested) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return requested;
+  return std::min(requested, static_cast<std::size_t>(hw));
+}
+
 }  // namespace
 
 void RunDriver::for_each(std::size_t count,
-                         const std::function<void(std::size_t)>& fn) const {
+                         const std::function<void(std::size_t)>& fn,
+                         RunStats* stats) const {
+  if (stats != nullptr) *stats = RunStats{};
   if (count == 0) return;
-  const std::size_t workers = std::min(jobs_, count);
-  if (workers <= 1) {
+  const std::size_t workers = std::min(clamp_workers(jobs_), count);
+  if (jobs_ <= 1 || workers <= 1) {
     // The serial path: no threads, no queues — byte-for-byte the loop the
     // benches ran before the driver existed.
     for (std::size_t i = 0; i < count; ++i) fn(i);
+    if (stats != nullptr) {
+      stats->workers = 1;
+      stats->jobs_run = count;
+      stats->chunk_claims = 1;
+    }
     return;
   }
+
+  // Chunk size: coarse enough that claim locks amortize over several jobs
+  // (tiny analytic jobs were paying one lock round-trip each), fine enough
+  // that stealing can still balance a skewed deal. Capped so huge sweeps
+  // do not turn into a handful of unstealable slabs.
+  const std::size_t grain =
+      std::clamp<std::size_t>(count / (workers * 4), 1, 16);
 
   // Deal jobs round-robin so every shard starts with a near-equal slice of
   // the index space; uneven job costs are evened out by stealing below.
@@ -68,6 +124,11 @@ void RunDriver::for_each(std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     shards[i % workers].queue.push_back(i);
   }
+  for (Shard& shard : shards) {
+    shard.approx.store(static_cast<std::uint32_t>(shard.queue.size()),
+                       std::memory_order_relaxed);
+  }
+  std::vector<WorkerCounters> counters(workers);
 
   // First exception wins by JOB INDEX (not completion time) so a failing
   // sweep reports the same job no matter how the schedule interleaved.
@@ -76,32 +137,51 @@ void RunDriver::for_each(std::size_t count,
   std::size_t first_error_job = count;
 
   auto work = [&](std::size_t self) {
+    WorkerCounters& mine = counters[self];
+    std::size_t chunk[16];  // grain <= 16 by construction
     for (;;) {
-      std::size_t job;
-      if (!shards[self].pop_front(&job)) {
-        // Own shard drained: steal from the fullest remaining shard.
+      std::size_t got = shards[self].pop_chunk(grain, chunk);
+      if (got == 0) {
+        // Own shard drained: pick the fullest victim from the lock-free
+        // approximate sizes, then fall back to an authoritative locked
+        // scan before concluding everything is drained — a stale approx
+        // of 0 must never orphan a job.
         std::size_t victim = workers;
-        std::size_t victim_size = 0;
+        std::uint32_t victim_size = 0;
         for (std::size_t s = 0; s < workers; ++s) {
           if (s == self) continue;
-          const std::size_t size = shards[s].size();
+          const std::uint32_t size =
+              shards[s].approx.load(std::memory_order_relaxed);
           if (size > victim_size) {
             victim = s;
             victim_size = size;
           }
         }
-        if (victim == workers || !shards[victim].steal_back(&job)) {
-          if (victim == workers) return;  // everything everywhere drained
-          continue;  // lost the race for the victim's last job; rescan
+        if (victim != workers) {
+          got = shards[victim].steal_chunk(grain, chunk);
+          if (got == 0) continue;  // lost the race; rescan
+          mine.steals += got;
+        } else {
+          bool any = false;
+          for (std::size_t s = 0; s < workers && !any; ++s) {
+            any = shards[s].locked_size() > 0;
+          }
+          if (!any) return;  // everything everywhere claimed
+          continue;
         }
       }
-      try {
-        fn(job);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (job < first_error_job) {
-          first_error_job = job;
-          first_error = std::current_exception();
+      mine.chunk_claims += 1;
+      mine.jobs_run += got;
+      for (std::size_t i = 0; i < got; ++i) {
+        const std::size_t job = chunk[i];
+        try {
+          fn(job);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (job < first_error_job) {
+            first_error_job = job;
+            first_error = std::current_exception();
+          }
         }
       }
     }
@@ -116,41 +196,60 @@ void RunDriver::for_each(std::size_t count,
     work(0);  // the calling thread is worker 0
   }  // jthreads join here
 
+  if (stats != nullptr) {
+    stats->workers = workers;
+    for (const WorkerCounters& c : counters) {
+      stats->jobs_run += c.jobs_run;
+      stats->chunk_claims += c.chunk_claims;
+      stats->steals += c.steals;
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t parse_jobs_value(std::string_view text, std::string* error) {
+  auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return std::size_t{0};
+  };
+  if (text.empty()) return fail("--jobs expects a value");
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return fail("--jobs expects a positive integer, got '" +
+                  std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    if (value > kMaxJobs) {
+      return fail("--jobs value '" + std::string(text) +
+                  "' is out of range (max " + std::to_string(kMaxJobs) + ")");
+    }
+  }
+  if (value == 0) return fail("--jobs must be at least 1, got 0");
+  return value;
 }
 
 std::size_t parse_jobs_flag(int& argc, char** argv) {
   std::size_t jobs = 0;
-
-  auto parse_value = [](std::string_view text) -> std::size_t {
-    if (text.empty()) return 0;
-    std::size_t value = 0;
-    for (char c : text) {
-      if (c < '0' || c > '9') return 0;
-      value = value * 10 + static_cast<std::size_t>(c - '0');
-      if (value > 4096) return 0;  // reject absurd counts along with garbage
-    }
-    return value;
-  };
-  auto die = [](const char* got) {
-    std::fprintf(stderr, "error: --jobs expects a positive integer, got %s\n",
-                 got == nullptr ? "(nothing)" : got);
+  auto die = [](const std::string& why) {
+    std::fprintf(stderr, "error: %s\n", why.c_str());
     std::exit(2);
   };
 
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
+    std::string error;
     if (arg == "--jobs") {
-      if (i + 1 >= argc) die(nullptr);
-      jobs = parse_value(argv[i + 1]);
-      if (jobs == 0) die(argv[i + 1]);
+      if (i + 1 >= argc) die("--jobs expects a value");
+      jobs = parse_jobs_value(argv[i + 1], &error);
+      if (jobs == 0) die(error);
       ++i;  // consume the value token too
       continue;
     }
     if (arg.rfind("--jobs=", 0) == 0) {
-      jobs = parse_value(arg.substr(7));
-      if (jobs == 0) die(argv[i]);
+      jobs = parse_jobs_value(arg.substr(7), &error);
+      if (jobs == 0) die(error);
       continue;
     }
     argv[out++] = argv[i];

@@ -13,23 +13,50 @@
 // `--jobs N` is byte-identical to `--jobs 1` for every N; `--jobs 1` does
 // not spawn threads at all and is exactly the pre-driver serial code path.
 //
-// Scheduling: jobs are dealt round-robin into one shard (deque) per worker;
-// a worker drains its own shard front-to-back and, when empty, steals from
-// the back of the fullest remaining shard. Stealing only changes WHO runs a
+// Scheduling: jobs are dealt round-robin into one cache-line-padded shard
+// (deque) per worker; a worker claims a small CHUNK of indices from its own
+// shard front and, when empty, steals a chunk from the back of the fullest
+// remaining shard. Victim selection reads per-shard approximate sizes
+// (relaxed atomics) without taking locks; the authoritative all-empty check
+// before a worker exits still walks the shards under their mutexes, so no
+// job can be orphaned by a stale size. Stealing only changes WHO runs a
 // job, never its input or where its result lands, so the schedule is free
 // to be timing-dependent while the output stays deterministic.
+//
+// The pool never spawns more threads than the machine has hardware
+// threads: for CPU-bound sweeps, oversubscription only adds context-switch
+// and cache-contention overhead (the `--jobs 4` > serial regression on
+// 2-core hosts tracked in EXPERIMENTS.md E20). `jobs()` still reports the
+// requested count — the clamp affects scheduling, never output.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace atrcp {
 
 /// Worker count used when the caller does not pass `--jobs`:
-/// std::thread::hardware_concurrency(), clamped to at least 1.
+/// std::thread::hardware_concurrency(), clamped to at least 1. When the
+/// implementation cannot determine the topology (hardware_concurrency()
+/// == 0, allowed by the standard) falls back to 2: a small multicore is
+/// the sane modern guess, and the determinism contract makes the worker
+/// count output-invisible anyway.
 std::size_t default_jobs();
+
+/// Per-run scheduler counters, summed over workers after the join. These
+/// are the "perf counters" for root-causing scaling bugs: a healthy run
+/// has chunk_claims ≪ jobs_run (claims amortized over chunks) and a small
+/// steal share; a run where steals ≈ jobs_run means the deal was skewed or
+/// the grain too fine.
+struct RunStats {
+  std::size_t workers = 0;       ///< threads actually used (after clamping)
+  std::size_t jobs_run = 0;      ///< total jobs executed (== count)
+  std::size_t chunk_claims = 0;  ///< lock acquisitions that yielded work
+  std::size_t steals = 0;        ///< jobs obtained from another shard
+};
 
 class RunDriver {
  public:
@@ -43,18 +70,20 @@ class RunDriver {
   /// count <= 1) everything runs inline on the calling thread — no threads
   /// are created and the call is exactly a serial for-loop. If jobs throw,
   /// the remaining jobs still run and the first exception (by job index)
-  /// is rethrown after all workers join.
-  void for_each(std::size_t count,
-                const std::function<void(std::size_t)>& fn) const;
+  /// is rethrown after all workers join. When `stats` is non-null it is
+  /// overwritten with this run's scheduler counters.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn,
+                RunStats* stats = nullptr) const;
 
   /// for_each, collecting fn(i) into slot i of the returned vector — the
   /// index-ordered merge every sweep builds on. R must be default
   /// constructible and movable.
   template <typename R>
   std::vector<R> map(std::size_t count,
-                     const std::function<R(std::size_t)>& fn) const {
+                     const std::function<R(std::size_t)>& fn,
+                     RunStats* stats = nullptr) const {
     std::vector<R> out(count);
-    for_each(count, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    for_each(count, [&out, &fn](std::size_t i) { out[i] = fn(i); }, stats);
     return out;
   }
 
@@ -70,12 +99,23 @@ class RunDriver {
   std::size_t jobs_ = 1;
 };
 
+/// Largest worker count parse_jobs_value accepts; anything bigger is a
+/// typo, not a machine.
+inline constexpr std::size_t kMaxJobs = 4096;
+
+/// Parses a `--jobs` value. Returns the count in [1, kMaxJobs] on success;
+/// returns 0 and (when `error` is non-null) fills in a human-readable
+/// reason on failure. Split out of parse_jobs_flag so the reject paths are
+/// unit-testable without a death test.
+std::size_t parse_jobs_value(std::string_view text, std::string* error);
+
 /// Strips a trailing/leading/embedded `--jobs N` (or `--jobs=N`) from
 /// argv and returns the parsed worker count (0 = not given -> returns
 /// default_jobs()). argc is decremented for the consumed tokens so the
 /// remaining argv can be handed to another parser (google-benchmark).
-/// Invalid values (non-numeric, 0) abort with exit code 2 and a message on
-/// stderr — a sweep silently falling back to serial would defeat the flag.
+/// Invalid values (non-numeric, 0, > kMaxJobs, missing) abort with exit
+/// code 2 and a specific message on stderr — a sweep silently falling back
+/// to serial would defeat the flag.
 std::size_t parse_jobs_flag(int& argc, char** argv);
 
 }  // namespace atrcp

@@ -39,6 +39,13 @@ void EventBus::clear() noexcept {
   size_ = 0;
 }
 
+void EventBus::reset() noexcept {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+  last_causal_id_ = 0;
+}
+
 std::string EventBus::tail_to_string(std::size_t count) const {
   const std::size_t n = count < size_ ? count : size_;
   std::ostringstream os;

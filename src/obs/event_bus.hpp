@@ -108,7 +108,17 @@ class EventBus {
   /// Retained events, oldest first.
   std::vector<Event> snapshot() const;
 
+  /// Drops the retained events; total_published and the causal-id counter
+  /// keep running (a mid-run trim, not a rewind).
   void clear() noexcept;
+
+  /// Full as-new reset: drops retained events AND rewinds total_published
+  /// and the causal-id counter to 0. This is what lets one bus arena be
+  /// reused across seeds by an explorer worker shard — after reset() the
+  /// bus is indistinguishable from a freshly constructed one, so causal
+  /// ids (and any output derived from them) stay byte-identical to a
+  /// run that built a new bus per seed.
+  void reset() noexcept;
 
   /// "t=120 deliver site=0 peer=8 cid=3 ReadRequest" lines for the most
   /// recent `count` events — the debugging tail appended to explorer

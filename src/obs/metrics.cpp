@@ -115,6 +115,9 @@ const Histogram* MetricsRegistry::find_histogram(
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Self-merge would double every instrument while iterating the maps it
+  // mutates; treat it as the no-op the caller almost certainly meant.
+  if (&other == this) return;
   for (const auto& [name, instrument] : other.counters_) {
     counter(name).inc(instrument->value());
   }

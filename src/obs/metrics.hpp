@@ -131,7 +131,9 @@ class MetricsRegistry {
   /// per-shard Cluster registries, merged in shard-index order after the
   /// worker pool joins, produce the same aggregate snapshot at any
   /// `--jobs` count. NOT safe to call while another thread still updates
-  /// `other` — merge only after joining.
+  /// `other` — merge only after joining. Merging an empty registry (or an
+  /// empty shard into a populated one) leaves the to_json snapshot
+  /// byte-identical; merging a registry into itself is a no-op.
   void merge_from(const MetricsRegistry& other);
 
  private:

@@ -114,17 +114,35 @@ class Quorum {
 };
 
 namespace detail {
-/// Hands out globally-unique, monotonically-increasing epoch values (never
-/// 0). Each value is issued exactly once, so an epoch identifies one
-/// immutable snapshot of one FailureSet's contents — the key property the
-/// protocol-side assembly caches rely on. Copies share their source's
-/// epoch (equal contents), which is what lets a cache survive the
-/// by-value failure views the transaction layer passes around. The
-/// counter is atomic only so independent simulations on different driver
-/// threads stay race-free; it carries no ordering semantics.
+/// Hands out globally-unique epoch values (never 0). Each value is issued
+/// exactly once, so an epoch identifies one immutable snapshot of one
+/// FailureSet's contents — the key property the protocol-side assembly
+/// caches rely on. Copies share their source's epoch (equal contents),
+/// which is what lets a cache survive the by-value failure views the
+/// transaction layer passes around.
+///
+/// Allocation is block-wise thread-local: each thread claims a 2^32-value
+/// block from one shared atomic, then serves epochs from a plain
+/// thread-local counter. FailureSets are constructed and mutated on every
+/// transaction of every shard, so a single shared fetch_add here was a
+/// cross-worker cache-line ping-pong on the sim hot path under `--jobs N`
+/// (EXPERIMENTS.md E20); now a worker touches shared state once per 2^32
+/// epochs. Values are unique across threads (disjoint blocks) and
+/// monotone within a thread; epochs are only ever compared for equality,
+/// never ordered or serialized, so the cross-thread numbering gap is
+/// unobservable.
 inline std::uint64_t next_failure_epoch() noexcept {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  constexpr std::uint64_t kBlock = std::uint64_t{1} << 32;
+  static std::atomic<std::uint64_t> next_block{0};
+  thread_local std::uint64_t next = 0;
+  thread_local std::uint64_t limit = 0;
+  if (next == limit) {
+    const std::uint64_t base =
+        next_block.fetch_add(1, std::memory_order_relaxed) * kBlock;
+    next = base + 1;  // + 1 keeps 0 reserved as "no epoch"
+    limit = base + kBlock;
+  }
+  return next++;
 }
 }  // namespace detail
 

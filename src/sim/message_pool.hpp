@@ -32,12 +32,40 @@ namespace atrcp {
 
 class MessagePool {
  public:
+  /// Bucket geometry, public so tests can pin the recycling policy:
+  /// bucket b holds blocks of kMinBlock << b bytes; requests above
+  /// kMaxPooledBytes bypass the pool; each bucket parks at most
+  /// kMaxFreeBlocksPerBucket returned blocks.
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kBuckets = 8;
+  static constexpr std::size_t kMaxPooledBytes = kMinBlock << (kBuckets - 1);
+  static constexpr std::size_t kMaxFreeBlocksPerBucket = 1024;
+
+  /// Bucket index for a request of `bytes`, or kBuckets when no bucket
+  /// fits. Overflow-proof: a pathological near-SIZE_MAX request reports
+  /// "no bucket" via the kMaxPooledBytes comparison instead of shifting a
+  /// power of two off the top of std::size_t and spinning.
+  static std::size_t bucket_of(std::size_t bytes) noexcept {
+    if (bytes > kMaxPooledBytes) return kBuckets;
+    std::size_t bucket = 0;
+    std::size_t size = kMinBlock;
+    while (size < bytes) {
+      size <<= 1;
+      ++bucket;
+    }
+    return bucket;
+  }
+
   /// Allocation accounting, exposed for tests and for the zero-alloc
   /// claim: in steady state `fresh` stops growing while `reused` tracks
-  /// the message rate.
+  /// the message rate, and `free_blocks` (the pool's retained footprint)
+  /// stays flat at the high-water mark instead of growing with run length.
   struct Stats {
-    std::uint64_t fresh = 0;   ///< blocks obtained from operator new
-    std::uint64_t reused = 0;  ///< blocks served from a free list
+    std::uint64_t fresh = 0;     ///< blocks obtained from operator new
+    std::uint64_t reused = 0;    ///< blocks served from a free list
+    std::uint64_t oversize = 0;  ///< bypass allocations (no bucket fits)
+    std::uint64_t trimmed = 0;   ///< blocks freed because a bucket was full
+    std::size_t free_blocks = 0; ///< blocks currently parked in free lists
   };
 
   /// Like std::make_shared<T>(args...), but the control block + object
@@ -48,19 +76,28 @@ class MessagePool {
                                    std::forward<Args>(args)...);
   }
 
-  Stats stats() const noexcept { return {arena_->fresh, arena_->reused}; }
+  Stats stats() const noexcept {
+    Stats s;
+    s.fresh = arena_->fresh;
+    s.reused = arena_->reused;
+    s.oversize = arena_->oversize;
+    s.trimmed = arena_->trimmed;
+    for (const auto& list : arena_->free) s.free_blocks += list.size();
+    return s;
+  }
 
  private:
   /// Free lists of raw blocks, bucketed by power-of-two size: bucket b
   /// holds blocks of 64 << b bytes. Oversized requests (beyond 8 KiB —
-  /// nothing in the tree comes close) bypass the pool entirely.
+  /// nothing in the tree comes close) bypass the pool entirely: they are
+  /// plain operator new on take and plain operator delete on give, never
+  /// parked in a free list, so a rare huge body cannot grow the arena.
   struct Arena {
-    static constexpr std::size_t kMinBlock = 64;
-    static constexpr std::size_t kBuckets = 8;
-
     std::array<std::vector<void*>, kBuckets> free;
     std::uint64_t fresh = 0;
     std::uint64_t reused = 0;
+    std::uint64_t oversize = 0;
+    std::uint64_t trimmed = 0;
 
     ~Arena() {
       for (auto& list : free) {
@@ -68,20 +105,10 @@ class MessagePool {
       }
     }
 
-    static std::size_t bucket_of(std::size_t bytes) noexcept {
-      std::size_t bucket = 0;
-      std::size_t size = kMinBlock;
-      while (size < bytes) {
-        size <<= 1;
-        ++bucket;
-      }
-      return bucket;  // callers check bucket < kBuckets
-    }
-
     void* take(std::size_t bytes) {
       const std::size_t bucket = bucket_of(bytes);
       if (bucket >= kBuckets) {
-        ++fresh;
+        ++oversize;
         return ::operator new(bytes);
       }
       auto& list = free[bucket];
@@ -101,9 +128,20 @@ class MessagePool {
         ::operator delete(block);
         return;
       }
+      auto& list = free[bucket];
+      // Cap the retained footprint: a transient burst of in-flight
+      // messages released at once must not ratchet the arena up for the
+      // rest of a long sweep. 1024 blocks of the largest bucket is 8 MiB,
+      // far above any steady-state high-water mark in the benches, so
+      // steady state still never reaches the system allocator.
+      if (list.size() >= kMaxFreeBlocksPerBucket) {
+        ++trimmed;
+        ::operator delete(block);
+        return;
+      }
       // push_back may allocate list capacity; that growth is amortized and
-      // bounded by the high-water message count.
-      free[bucket].push_back(block);
+      // bounded by kMaxFreeBlocksPerBucket pointers per bucket.
+      list.push_back(block);
     }
   };
 

@@ -89,6 +89,12 @@ class Scheduler {
   }
 
   std::uint32_t acquire_slot(Action action);
+  /// Rolls cursor_/base_ forward to the next occupied tick and returns its
+  /// ring index. Requires pending_ > 0.
+  std::size_t advance_to_next_tick();
+  /// Pops and runs ring_[tick][intra_] — the single-event core shared by
+  /// step() and run()'s batched drain.
+  void execute_at_cursor(std::size_t tick);
   void sift_up(std::size_t index);
   void sift_down(std::size_t index);
   void heap_pop();

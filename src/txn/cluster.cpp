@@ -18,9 +18,17 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
   }
   protocol_->attach_metrics(metrics_);
   network_.set_metrics(&metrics_);
-  if (options.event_bus_capacity > 0) {
+  if (options.external_events != nullptr) {
+    // Arena reuse: record into the caller's bus, rewound to as-new so the
+    // recording (causal ids included) matches a freshly built bus.
+    options.external_events->reset();
+    events_view_ = options.external_events;
+  } else if (options.event_bus_capacity > 0) {
     events_ = std::make_unique<EventBus>(options.event_bus_capacity);
-    network_.set_event_bus(events_.get());
+    events_view_ = events_.get();
+  }
+  if (events_view_ != nullptr) {
+    network_.set_event_bus(events_view_);
   }
   Rng seeder(options.seed ^ 0x5DEECE66DULL);
 
@@ -34,14 +42,14 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
     ATRCP_CHECK(site == r);  // replica id == site id by construction
     server->set_site(site);
     server->set_metrics(&metrics_);
-    server->set_event_bus(events_.get());
+    server->set_event_bus(events_view_);
     replica_sites.push_back(site);
     servers_.push_back(std::move(server));
   }
 
   injector_ = std::make_unique<FailureInjector>(network_, scheduler_, n,
                                                 seeder.fork());
-  injector_->set_event_bus(events_.get());
+  injector_->set_event_bus(events_view_);
 
   const FailureSet* failure_view = &injector_->failures();
   if (options.use_heartbeat_detector) {
@@ -60,7 +68,7 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
     const SiteId site = network_.add_site(*coordinator);
     coordinator->set_site(site);
     coordinator->set_metrics(&metrics_, &spans_);
-    coordinator->set_event_bus(events_.get());
+    coordinator->set_event_bus(events_view_);
     if (options.record_history) coordinator->set_history(&history_);
     coordinators_.push_back(std::move(coordinator));
   }

@@ -50,6 +50,14 @@ struct ClusterOptions {
   /// the hot paths pay a single null check. Publishing consumes no
   /// randomness, so enabling it never perturbs a seeded schedule.
   std::size_t event_bus_capacity = 0;
+  /// Non-owning: when set, the cluster records into this caller-owned bus
+  /// instead of allocating its own (event_bus_capacity is ignored). The
+  /// bus is reset() at construction, so recordings are indistinguishable
+  /// from a freshly built bus — this is the shard-local arena reuse hook
+  /// the explorer's seed batches use to stop paying a multi-MiB
+  /// allocation per seed. The bus must outlive the cluster and, like the
+  /// cluster, stay confined to one driver worker.
+  EventBus* external_events = nullptr;
 };
 
 class Cluster {
@@ -88,9 +96,10 @@ class Cluster {
   const HistoryRecorder& history() const noexcept { return history_; }
 
   /// The causal flight recorder wired through every component; nullptr
-  /// unless ClusterOptions::event_bus_capacity was nonzero.
-  EventBus* events() noexcept { return events_.get(); }
-  const EventBus* events() const noexcept { return events_.get(); }
+  /// unless ClusterOptions::event_bus_capacity was nonzero or an
+  /// external_events bus was supplied.
+  EventBus* events() noexcept { return events_view_; }
+  const EventBus* events() const noexcept { return events_view_; }
 
   /// Track labels for chrome-trace exports: "replica r" for sites [0, n),
   /// then "detector" when one is wired, then "client c" per coordinator.
@@ -139,7 +148,8 @@ class Cluster {
   MetricsRegistry metrics_;
   TxnSpanLog spans_;
   HistoryRecorder history_;
-  std::unique_ptr<EventBus> events_;  ///< null when recording is off
+  std::unique_ptr<EventBus> events_;  ///< owned bus; null when off/external
+  EventBus* events_view_ = nullptr;   ///< owned or external bus; null = off
   std::unique_ptr<ReplicaControlProtocol> protocol_;
   Scheduler scheduler_;
   Network network_;

@@ -130,6 +130,62 @@ TEST(ParseJobsFlagTest, AbsentFlagFallsBackToDefault) {
   EXPECT_EQ(rest, std::vector<std::string>{"--unrelated"});
 }
 
+// parse_jobs_flag die()s on malformed input (exit 2), so the reject paths
+// are covered through parse_jobs_value — the same validator it calls.
+TEST(ParseJobsValueTest, AcceptsPlainPositiveIntegers) {
+  std::string error;
+  EXPECT_EQ(parse_jobs_value("1", &error), 1u);
+  EXPECT_EQ(parse_jobs_value("16", &error), 16u);
+  EXPECT_EQ(parse_jobs_value("4096", &error), kMaxJobs);
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(ParseJobsValueTest, RejectsZero) {
+  std::string error;
+  EXPECT_EQ(parse_jobs_value("0", &error), 0u);
+  EXPECT_NE(error.find("at least 1"), std::string::npos) << error;
+}
+
+TEST(ParseJobsValueTest, RejectsGarbage) {
+  for (const char* bad : {"", "  ", "abc", "4x", "x4", "-2", "+3", "3.5"}) {
+    std::string error;
+    EXPECT_EQ(parse_jobs_value(bad, &error), 0u) << "input: '" << bad << "'";
+    EXPECT_FALSE(error.empty()) << "input: '" << bad << "'";
+  }
+}
+
+TEST(ParseJobsValueTest, RejectsOverflow) {
+  for (const char* huge : {"4097", "99999", "18446744073709551616",
+                           "99999999999999999999999999"}) {
+    std::string error;
+    EXPECT_EQ(parse_jobs_value(huge, &error), 0u) << "input: '" << huge << "'";
+    EXPECT_NE(error.find("out of range"), std::string::npos)
+        << "input: '" << huge << "' error: " << error;
+  }
+}
+
+TEST(RunStatsTest, SerialRunReportsOneWorkerAndEveryJob) {
+  RunStats stats;
+  RunDriver(1).for_each(12, [](std::size_t) {}, &stats);
+  EXPECT_EQ(stats.workers, 1u);
+  EXPECT_EQ(stats.jobs_run, 12u);
+  EXPECT_EQ(stats.steals, 0u);
+}
+
+TEST(RunStatsTest, ParallelRunAccountsForEveryJobAndClampsWorkers) {
+  RunStats stats;
+  RunDriver(4).for_each(64, [](std::size_t) {}, &stats);
+  EXPECT_EQ(stats.jobs_run, 64u);
+  EXPECT_GE(stats.chunk_claims, 1u);
+  EXPECT_GE(stats.workers, 1u);
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw != 0) {
+    // The oversubscription fix: never more threads than cores, even when
+    // the caller asked for more.
+    EXPECT_LE(stats.workers, hw < 4u ? hw : 4u);
+  }
+}
+
 TEST(DigestTest, Fnv1a64MatchesKnownVectors) {
   EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
   EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);

@@ -1,0 +1,88 @@
+// Scaling regression gate: a fixed mini-suite of real bench shards run at
+// --jobs 1/2/4 must (a) merge to byte-identical payloads at every worker
+// count and (b) not get SLOWER when given more workers — the `--jobs 4`
+// pessimization this repo once shipped (EXPERIMENTS.md E20) must never
+// silently return. The wall-clock floor is deliberately generous (parallel
+// within 1.0x of serial, best-of-N on both sides) so loaded CI boxes and
+// small-core hosts don't flake; catching a 10% slowdown is not the goal,
+// catching "parallel is outright slower" is.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/pool.hpp"
+#include "suite.hpp"
+
+namespace atrcp {
+namespace {
+
+using benchio::ShardResult;
+
+/// The mini-suite: one shard function, several independent simulated
+/// clusters — big enough (~tens of ms per shard) that scheduling overhead
+/// cannot dominate, small enough to keep the tier-1 gate fast.
+constexpr std::size_t kShards = 6;
+
+std::string merged(const RunDriver& driver, RunStats* stats = nullptr) {
+  const std::vector<ShardResult> results = driver.map<ShardResult>(
+      kShards, benchio::throughput_shard, stats);
+  std::string payload;
+  for (const ShardResult& shard : results) payload += shard.payload;
+  return payload;
+}
+
+double best_of(int tries, const RunDriver& driver) {
+  double best = 1e300;
+  for (int i = 0; i < tries; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    merged(driver);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+TEST(ScalingRegression, PayloadsByteIdenticalAtJobs124) {
+  const std::string serial = merged(RunDriver(1));
+  ASSERT_FALSE(serial.empty());
+  for (const std::size_t jobs : {2u, 4u}) {
+    EXPECT_EQ(merged(RunDriver(jobs)), serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ScalingRegression, SchedulerCountersAccountForEveryJob) {
+  RunStats stats;
+  merged(RunDriver(4), &stats);
+  EXPECT_EQ(stats.jobs_run, kShards);
+  EXPECT_GE(stats.workers, 1u);
+  // Never more threads than the machine can run (the oversubscription fix):
+  // the clamp only applies when the topology is known.
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw != 0) {
+    EXPECT_LE(stats.workers, std::max<std::size_t>(hw, 1));
+  }
+  EXPECT_GE(stats.chunk_claims, 1u);
+}
+
+TEST(ScalingRegression, Jobs4NotSlowerThanSerial) {
+  // Warm up allocators and code paths once so neither side pays first-run
+  // costs, then compare best-of-3 (best-of filters scheduler noise on
+  // shared CI hardware).
+  merged(RunDriver(1));
+  const double serial_ms = best_of(3, RunDriver(1));
+  const double parallel_ms = best_of(3, RunDriver(4));
+  // Generous 1.0x floor with 25% tolerance: fail only when parallel is
+  // clearly, reproducibly slower than serial.
+  EXPECT_LE(parallel_ms, serial_ms * 1.25)
+      << "jobs=4 best-of-3 " << parallel_ms << "ms vs serial " << serial_ms
+      << "ms — the parallel driver is a pessimization again";
+}
+
+}  // namespace
+}  // namespace atrcp

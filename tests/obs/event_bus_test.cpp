@@ -58,6 +58,25 @@ TEST(EventBusTest, CausalIdsAreMonotoneFromOne) {
   EXPECT_EQ(bus.last_causal_id(), 3u);
 }
 
+TEST(EventBusTest, ResetIsIndistinguishableFromAFreshBus) {
+  // clear() keeps total_published/last_causal_id (mid-run trim); reset()
+  // rewinds them too, so a reused scratch bus records byte-identically to
+  // a bus constructed for the run — the arena-reuse contract the explorer's
+  // seed blocks depend on.
+  EventBus bus(4);
+  for (std::uint64_t id = 1; id <= 6; ++id) bus.publish(event_with_cid(id));
+  (void)bus.next_causal_id();
+  bus.reset();
+  EXPECT_EQ(bus.size(), 0u);
+  EXPECT_EQ(bus.total_published(), 0u);
+  EXPECT_EQ(bus.last_causal_id(), 0u);
+  EXPECT_EQ(bus.capacity(), 4u);
+  EXPECT_EQ(bus.next_causal_id(), 1u);  // id stream restarts like a new bus
+  bus.publish(event_with_cid(1));
+  EXPECT_EQ(bus.at(0).causal_id, 1u);
+  EXPECT_EQ(bus.total_published(), 1u);
+}
+
 TEST(EventBusTest, FormatEventOmitsUnsetFields) {
   Event event;
   event.time = 120;
@@ -138,6 +157,40 @@ TEST(EventBusClusterTest, RecordingIsOffByDefault) {
   Cluster cluster(std::make_unique<ArbitraryProtocol>(
       ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"));
   EXPECT_EQ(cluster.events(), nullptr);
+}
+
+TEST(EventBusClusterTest, ExternalBusRecordsIdenticallyToOwnedBus) {
+  // The shard-local arena reuse path: a caller-owned bus handed to
+  // consecutive clusters via ClusterOptions::external_events must record
+  // the same bytes as a bus each cluster allocates for itself — including
+  // on the SECOND use, after the bus has been dirtied by a previous run.
+  const auto run = [](EventBus* external) {
+    ClusterOptions options;
+    options.clients = 2;
+    options.link = LinkParams{.base_latency = 50, .jitter = 10};
+    if (external != nullptr) {
+      options.external_events = external;
+    } else {
+      options.event_bus_capacity = 1 << 12;
+    }
+    Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                        ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                    options);
+    for (int i = 0; i < 10; ++i) {
+      cluster.write_sync(i % 2, i % 4, "v" + std::to_string(i));
+    }
+    const EventBus* bus = cluster.events();
+    std::string out;
+    for (std::size_t i = 0; i < bus->size(); ++i) {
+      out += format_event(bus->at(i)) + "\n";
+    }
+    return out;
+  };
+  const std::string owned = run(nullptr);
+  ASSERT_FALSE(owned.empty());
+  EventBus shared(1 << 12);
+  EXPECT_EQ(run(&shared), owned);  // fresh external bus
+  EXPECT_EQ(run(&shared), owned);  // reused (dirty) external bus
 }
 
 }  // namespace

@@ -95,6 +95,82 @@ TEST(MetricsRegistryTest, JsonIsSortedAndInsertionOrderFree) {
   EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
 }
 
+// ---- merge_from edge cases: the shard-local-arena merge contract ----
+// Parallel sweeps give every shard its own registry and fold them into one;
+// none of these folds may perturb the serialized bytes.
+
+MetricsRegistry populated_registry() {
+  MetricsRegistry registry;
+  registry.counter("txn.committed").inc(7);
+  registry.gauge("load").set(0.25);
+  registry.histogram("lat", {10, 100}).record(42);
+  return registry;
+}
+
+TEST(MetricsRegistryMergeTest, MergingAnEmptyShardLeavesJsonByteIdentical) {
+  MetricsRegistry target = populated_registry();
+  const std::string before = target.to_json_string();
+  MetricsRegistry empty;
+  target.merge_from(empty);
+  EXPECT_EQ(target.to_json_string(), before);
+}
+
+TEST(MetricsRegistryMergeTest, MergingIntoAnEmptyTargetAdoptsShardBytes) {
+  MetricsRegistry shard = populated_registry();
+  MetricsRegistry target;
+  target.merge_from(shard);
+  EXPECT_EQ(target.to_json_string(), shard.to_json_string());
+}
+
+TEST(MetricsRegistryMergeTest, RegistrationOrderAcrossShardsDoesNotMatter) {
+  // Two shards that registered the same instruments in opposite order must
+  // fold to the same bytes regardless of merge order — output is sorted by
+  // name, never by registration sequence.
+  MetricsRegistry a;
+  a.counter("x").inc(1);
+  a.counter("y").inc(2);
+  a.histogram("h", {5, 50}).record(3);
+  MetricsRegistry b;
+  b.histogram("h", {5, 50}).record(60);
+  b.counter("y").inc(10);
+  b.counter("x").inc(20);
+  MetricsRegistry ab;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  MetricsRegistry ba;
+  ba.merge_from(b);
+  ba.merge_from(a);
+  EXPECT_EQ(ab.to_json_string(), ba.to_json_string());
+  EXPECT_EQ(ab.find_counter("x")->value(), 21u);
+  EXPECT_EQ(ab.find_counter("y")->value(), 12u);
+  EXPECT_EQ(ab.find_histogram("h")->count(), 2u);
+}
+
+TEST(MetricsRegistryMergeTest, SelfMergeIsANoOp) {
+  MetricsRegistry registry = populated_registry();
+  const std::string before = registry.to_json_string();
+  registry.merge_from(registry);
+  EXPECT_EQ(registry.to_json_string(), before);
+}
+
+TEST(HistogramMergeTest, EmptyOtherPreservesMinMaxAndBytes) {
+  Histogram target({10, 100});
+  target.record(7);
+  target.record(250);
+  Histogram empty({10, 100});
+  target.merge_from(empty);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 7u);
+  EXPECT_EQ(target.max(), 250u);
+  EXPECT_EQ(target.overflow(), 1u);
+  // And the reverse: an empty target adopts the other's extrema instead of
+  // clamping min to its zero-initialized state.
+  Histogram fresh({10, 100});
+  fresh.merge_from(target);
+  EXPECT_EQ(fresh.min(), 7u);
+  EXPECT_EQ(fresh.max(), 250u);
+}
+
 TEST(FormatDoubleTest, ShortestRoundTripAndNull) {
   EXPECT_EQ(format_double(2.0), "2");
   EXPECT_EQ(format_double(0.35), "0.35");

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace atrcp {
 namespace {
@@ -80,6 +81,54 @@ TEST(MessagePoolTest, ConstructorArgumentsForwarded) {
   auto msg = pool.make<std::pair<int, int>>(3, 4);
   EXPECT_EQ(msg->first, 3);
   EXPECT_EQ(msg->second, 4);
+}
+
+TEST(MessagePoolTest, BucketOfIsOverflowSafeAtExtremeSizes) {
+  // bucket_of must route anything beyond the pooled range — including
+  // sizes near SIZE_MAX, where naive doubling of the bucket size would
+  // wrap — to the out-of-pool sentinel kBuckets, never a real bucket.
+  EXPECT_EQ(MessagePool::bucket_of(1), 0u);
+  EXPECT_EQ(MessagePool::bucket_of(MessagePool::kMinBlock), 0u);
+  EXPECT_EQ(MessagePool::bucket_of(MessagePool::kMinBlock + 1), 1u);
+  EXPECT_EQ(MessagePool::bucket_of(MessagePool::kMaxPooledBytes),
+            MessagePool::kBuckets - 1);
+  EXPECT_EQ(MessagePool::bucket_of(MessagePool::kMaxPooledBytes + 1),
+            MessagePool::kBuckets);
+  EXPECT_EQ(MessagePool::bucket_of(SIZE_MAX / 2), MessagePool::kBuckets);
+  EXPECT_EQ(MessagePool::bucket_of(SIZE_MAX), MessagePool::kBuckets);
+}
+
+struct OversizedBody {
+  std::array<char, 2 * MessagePool::kMaxPooledBytes> bytes{};
+};
+
+TEST(MessagePoolTest, OversizedBodiesBypassThePoolAndAreFreed) {
+  MessagePool pool;
+  for (int i = 0; i < 5; ++i) {
+    auto huge = pool.make<OversizedBody>();
+    huge->bytes[0] = static_cast<char>(i);
+  }
+  const auto stats = pool.stats();
+  // Counted as oversize (not fresh), never recycled, and — the leak fix —
+  // never parked on a free list: the retained footprint stays zero.
+  EXPECT_EQ(stats.oversize, 5u);
+  EXPECT_EQ(stats.fresh, 0u);
+  EXPECT_EQ(stats.reused, 0u);
+  EXPECT_EQ(stats.free_blocks, 0u);
+}
+
+TEST(MessagePoolTest, FreeListsAreCappedSoBurstsDoNotPinMemory) {
+  MessagePool pool;
+  constexpr std::size_t kBurst = MessagePool::kMaxFreeBlocksPerBucket + 100;
+  {
+    std::vector<std::shared_ptr<SmallBody>> live;
+    live.reserve(kBurst);
+    for (std::size_t i = 0; i < kBurst; ++i) live.push_back(pool.make<SmallBody>());
+  }  // all released at once: only kMaxFreeBlocksPerBucket may be retained
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.fresh, kBurst);
+  EXPECT_EQ(stats.free_blocks, MessagePool::kMaxFreeBlocksPerBucket);
+  EXPECT_EQ(stats.trimmed, kBurst - MessagePool::kMaxFreeBlocksPerBucket);
 }
 
 }  // namespace
