@@ -29,6 +29,7 @@
 #include "driver/digest.hpp"
 #include "driver/pool.hpp"
 #include "hotpath_units.hpp"
+#include "keyspace_units.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/json_lint.hpp"
 #include "obs/metrics.hpp"
@@ -133,6 +134,16 @@ std::vector<Unit> suite() {
                        return run(shard, iters);
                      },
                      hp.shards * iters});
+  }
+  // Half-depth runs of the sharded-keyspace units (E21): digests tracked
+  // here alongside everything else, while bench_keyspace stays the full
+  // standalone meter (and the emitter of the load_bounds section).
+  for (const KeyspaceUnit& ks : keyspace_units()) {
+    const std::uint64_t ops = ks.full_ops / 2;
+    units.push_back({"keyspace_" + ks.name, ks.shards,
+                     [run = ks.run, ops](std::size_t shard) {
+                       return run(shard, ops);
+                     }});
   }
   return units;
 }

@@ -1,0 +1,188 @@
+#include "keyspace_units.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "keyspace/keyspace.hpp"
+#include "keyspace/multi_history.hpp"
+#include "obs/site_load.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp::benchio {
+namespace {
+
+std::string fixed4(double value) {
+  if (std::isnan(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4f", value);
+  return buffer;
+}
+
+std::string check_suffix(const ShardedKeyspace& keyspace,
+                         const std::vector<Key>& remap_allowed) {
+  const KeyspaceCheckResult check =
+      check_keyspace_histories(keyspace.histories(), remap_allowed);
+  std::string out = check.ok ? " check=ok" : " check=FAIL";
+  out += " lin_checked=" + std::to_string(check.lin_keys_checked) +
+         " lin_skipped=" + std::to_string(check.lin_keys_skipped);
+  if (!check.ok) out += "\n" + check.report;
+  return out;
+}
+
+/// One standard mix over a 4-tree keyspace of 9-site arbitrary trees —
+/// small enough that the grid's cost is the workload shapes, not the
+/// quorum fan-out, with the key-aware checker run inline on the recorded
+/// histories.
+ShardResult mix_grid_cell(std::size_t index, std::uint64_t ops_per_client) {
+  const std::vector<KeyspaceMix> mixes = standard_mixes();
+  const KeyspaceMix& mix = mixes.at(index);
+
+  KeyspaceOptions options;
+  options.shards = 4;
+  options.shard_protocol = [] {
+    return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+  };
+  options.clients = 4;
+  options.seed = 0xE21 + index;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  options.record_history = true;
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix = mix;
+  run.records = 256;
+  run.ops_per_client = ops_per_client;
+  run.workload_seed = 2100 + index;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  ShardResult out;
+  out.payload = mix.name + " " + stats.line() + " kinds=[";
+  for (std::size_t kind = 0; kind < stats.ops_by_kind.size(); ++kind) {
+    if (kind) out.payload += ",";
+    out.payload += std::to_string(stats.ops_by_kind[kind]);
+  }
+  out.payload += "]";
+  out.payload += check_suffix(keyspace, {});
+  out.payload += "\n";
+  out.committed = stats.committed;
+  return out;
+}
+
+/// The flagship load-bound meter: 4 home shards, each a 64-site ARBITRARY
+/// tree, under the Zipfian theta=0.99 update-heavy mix. The payload is a
+/// JSON array body — one object per keyspace shard with the measured max
+/// read/write site-load shares beside the analytic optima 1/d = 1/4 and
+/// 1/|K_phy| = 1/sqrt(64) = 1/8 (Facts 3.2.3/3.2.4), plus a trailing
+/// summary object — embedded verbatim into BENCH_ATRCP.json.
+ShardResult load64_cell(std::uint64_t ops_per_client) {
+  KeyspaceOptions options;
+  options.shards = 4;
+  options.shard_protocol = [] { return make_arbitrary(64); };
+  options.clients = 4;
+  options.seed = 64;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];  // ycsb_a: zipfian theta=0.99, 50% updates
+  run.records = 128;
+  run.ops_per_client = ops_per_client;
+  run.workload_seed = 6400;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  // The analytic optima come from one reference instance — every shard
+  // runs an identical tree.
+  const std::unique_ptr<ArbitraryProtocol> reference = make_arbitrary(64);
+  ShardResult out;
+  for (std::size_t shard = 0; shard < keyspace.shard_count(); ++shard) {
+    SiteLoadOptions load_options;
+    load_options.protocol = reference->name();
+    load_options.universe = reference->universe_size();
+    load_options.analytic_read_load = reference->read_load();
+    load_options.analytic_write_load = reference->write_load();
+    const SiteLoadTable table =
+        collect_site_load(keyspace.cluster(shard).metrics(), load_options);
+    out.payload += "{\"shard\":" + std::to_string(shard) +
+                   ",\"protocol\":\"" + table.protocol +
+                   "\",\"txns\":" + std::to_string(stats.txns_per_cluster[shard]) +
+                   ",\"read_quorums\":" + std::to_string(table.read_quorums) +
+                   ",\"write_quorums\":" + std::to_string(table.write_quorums) +
+                   ",\"max_read_share\":" + fixed4(table.max_read_share) +
+                   ",\"optimal_read_load\":" +
+                   fixed4(load_options.analytic_read_load) +
+                   ",\"max_write_share\":" + fixed4(table.max_write_share) +
+                   ",\"optimal_write_load\":" +
+                   fixed4(load_options.analytic_write_load) + "},\n";
+  }
+  out.payload += "{\"summary\":true,\"mix\":\"" + run.mix.name +
+                 "\",\"zipf_theta\":" + fixed4(run.mix.zipf_theta) +
+                 ",\"stats\":\"" + stats.line() + "\"}";
+  out.committed = stats.committed;
+  return out;
+}
+
+/// Skewed traffic (8 records) through the hot-key promote/restore
+/// lifecycle: batched run with the remap policy on, the transition log in
+/// the payload, and the key-aware check run with the remap allow-list.
+ShardResult remap_cell(std::uint64_t ops_per_client) {
+  KeyspaceOptions options;
+  options.shards = 2;
+  options.shard_protocol = [] {
+    return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+  };
+  options.light_protocol = [] { return make_mostly_read(5); };
+  options.clients = 4;
+  options.seed = 77;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  options.record_history = true;
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];  // zipfian ycsb_a
+  run.records = 8;                // tiny universe => extreme skew
+  run.ops_per_client = ops_per_client;
+  run.workload_seed = 5;
+  run.batch_size = ops_per_client / 8 > 4 ? ops_per_client / 8 : 4;
+  run.promote_top_k = 2;
+  run.promote_min_count = 6;
+  run.restore_below = 2;
+  run.max_remapped = 2;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  ShardResult out;
+  out.payload = stats.line() +
+                check_suffix(keyspace, keyspace.remap().ever_remapped_keys()) +
+                "\n";
+  for (const RemapTransition& transition : keyspace.remap().log()) {
+    out.payload += "  " + transition.to_string() + "\n";
+  }
+  out.committed = stats.committed;
+  return out;
+}
+
+}  // namespace
+
+const std::vector<KeyspaceUnit>& keyspace_units() {
+  static const std::vector<KeyspaceUnit> units = [] {
+    std::vector<KeyspaceUnit> out;
+    out.push_back({"mix_grid", standard_mixes().size(), 120,
+                   [](std::size_t shard, std::uint64_t ops) {
+                     return mix_grid_cell(shard, ops);
+                   }});
+    out.push_back({kLoadBoundsUnit, 1, 250,
+                   [](std::size_t, std::uint64_t ops) {
+                     return load64_cell(ops);
+                   }});
+    out.push_back({"remap", 1, 200, [](std::size_t, std::uint64_t ops) {
+                     return remap_cell(ops);
+                   }});
+    return out;
+  }();
+  return units;
+}
+
+}  // namespace atrcp::benchio

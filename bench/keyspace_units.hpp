@@ -1,0 +1,47 @@
+// E21 sharded-keyspace bench units — the multi-object layer under YCSB
+// mixes: the standard-mix grid, the 64-site load-bound meter (the paper's
+// Facts 3.2.3/3.2.4 measured per shard under Zipfian skew), and the
+// hot-key remap lifecycle.
+//
+// Each unit's shards are pure functions of (shard index, ops_per_client):
+// every cell builds its own ShardedKeyspace from fixed seeds and touches no
+// shared state, so bench_all's serial-vs-sharded digest machinery and
+// bench_keyspace's --jobs invariance check both apply unchanged. The
+// cells with history recording run the key-aware checker inline — a bench
+// run that produced a non-serializable or misrouted history says so in its
+// payload (and therefore in its digest).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "suite.hpp"
+
+namespace atrcp::benchio {
+
+struct KeyspaceUnit {
+  std::string name;
+  std::size_t shards = 0;
+  /// Keyspace operations issued per client at full depth; callers scale
+  /// this down for smoke or embedded runs.
+  std::uint64_t full_ops = 0;
+  std::function<ShardResult(std::size_t shard, std::uint64_t ops_per_client)>
+      run;
+};
+
+/// Name of the load-bound unit whose payload is a JSON array body (one
+/// object per keyspace shard: measured max read/write site-load share next
+/// to the analytic optima 1/d and 1/|K_phy|) embedded verbatim into
+/// BENCH_ATRCP.json's "load_bounds" section by bench_keyspace.
+inline constexpr const char* kLoadBoundsUnit = "load64";
+
+/// The three keyspace unit families: "mix_grid" (one shard per standard
+/// YCSB mix over a 4-tree keyspace, checker inline), "load64" (4 shards x
+/// 64-site ARBITRARY under Zipfian theta=0.99 — per-shard max load shares
+/// vs the 1/4 and 1/sqrt(64) optima) and "remap" (skewed traffic through
+/// the hot-key promote/restore lifecycle, transition log in the payload).
+const std::vector<KeyspaceUnit>& keyspace_units();
+
+}  // namespace atrcp::benchio

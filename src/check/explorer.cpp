@@ -6,6 +6,9 @@
 
 #include "check/broken.hpp"
 #include "driver/pool.hpp"
+#include "keyspace/keyspace.hpp"
+#include "keyspace/multi_history.hpp"
+#include "keyspace/shard_map.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/event_bus.hpp"
 #include "core/config.hpp"
@@ -192,6 +195,126 @@ void run_concurrent_workload(Cluster& cluster, std::uint64_t seed,
   st->issue = nullptr;  // break the callback <-> state reference cycle
 }
 
+/// The multi-key mode's workload shape: a mixed YCSB-style blend with
+/// enough read-modify-writes (the lost-update probe) and scans to stress
+/// every checker dimension, over a deliberately tiny key universe.
+KeyspaceMix explorer_keyspace_mix() {
+  KeyspaceMix mix;
+  mix.name = "explorer_mixed";
+  mix.distribution = KeyDistribution::kZipfian;
+  mix.zipf_theta = 0.99;
+  mix.read_p = 0.4;
+  mix.update_p = 0.3;
+  mix.rmw_p = 0.2;
+  mix.scan_p = 0.1;
+  mix.insert_p = 0.0;
+  mix.max_scan_len = 3;
+  return mix;
+}
+
+/// The multi-key (sharded keyspace) seed experiment. Same stream layout as
+/// the classic path — cluster/option/nemesis/workload concerns drawn from
+/// independent SplitMix64 streams — but the cluster seed feeds a whole
+/// ShardedKeyspace and the history check is the merged key-aware pipeline.
+SeedReport run_keyspace_seed(const ScheduleExplorer::ProtocolFactory& factory,
+                             std::uint64_t seed,
+                             const ExplorerOptions& options) {
+  SplitMix64 mix(seed);
+  const std::uint64_t keyspace_seed = mix.next();
+  const std::uint64_t option_seed = mix.next();
+  const std::uint64_t nemesis_seed = mix.next();
+  const std::uint64_t workload_seed = mix.next();
+
+  SeedReport report;
+  report.seed = seed;
+
+  const bool remap = options.remap && !options.broken_router;
+  BrokenCrossShardRouter broken_router(options.shards);
+
+  KeyspaceOptions kopt;
+  kopt.shards = options.shards;
+  kopt.shard_protocol = factory;
+  if (remap) {
+    kopt.light_protocol = [] { return make_mostly_read(3); };
+  }
+  kopt.clients = options.clients;
+  kopt.seed = keyspace_seed;
+  kopt.link = kExplorerLink;
+  kopt.record_history = true;
+  kopt.coordinator.request_timeout = 2'000;
+  kopt.coordinator.lock_timeout = 20'000;
+  kopt.coordinator.commit_retry_interval = 1'000;
+  // As in the classic path: nemesis plans always heal, so an unbounded
+  // retry budget keeps kBlocked out of the histories.
+  kopt.coordinator.max_commit_retries = 1'000'000;
+  Rng option_rng(option_seed);
+  kopt.coordinator.read_repair = option_rng.chance(0.5);
+  if (options.broken_router) kopt.router = &broken_router;
+  ShardedKeyspace keyspace(kopt);
+
+  // One independent healing fault plan per HOME shard (the light shard
+  // stays healthy — it models a dedicated relief tree).
+  Rng nemesis_root(nemesis_seed);
+  std::string nemesis_text;
+  for (std::size_t s = 0; s < keyspace.shard_count(); ++s) {
+    Rng shard_rng = nemesis_root.fork();
+    NemesisSchedule plan;
+    if (options.nemesis) {
+      plan = NemesisSchedule::generate(
+          shard_rng, keyspace.cluster(s).replica_count(), options.clients);
+      plan.apply(keyspace.cluster(s));
+    }
+    if (s > 0) nemesis_text += " ";
+    nemesis_text += "s" + std::to_string(s) + plan.to_string();
+  }
+  report.nemesis = nemesis_text;
+
+  KeyspaceRunOptions run;
+  run.mix = explorer_keyspace_mix();
+  run.records = options.keyspace_records;
+  run.ops_per_client = options.txns_per_client;
+  run.workload_seed = workload_seed;
+  if (remap) {
+    // Two batches so a promotion lands at a true mid-run quiescent
+    // boundary and post-remap traffic exercises the light shard.
+    run.batch_size = (options.txns_per_client + 1) / 2;
+    run.promote_top_k = 1;
+    run.promote_min_count = 4;
+    run.restore_below = 1;
+    run.max_remapped = 2;
+  }
+  run_keyspace_workload(keyspace, run);
+
+  for (std::size_t i = 0; i < keyspace.cluster_count(); ++i) {
+    const HistoryRecorder& history = keyspace.cluster(i).history();
+    if (history.open_count() != 0) {
+      report.ok = false;
+      report.detail += "cluster " + std::to_string(i) +
+                       " history did not drain: " +
+                       std::to_string(history.open_count()) +
+                       " transactions still open\n";
+    }
+    for (const HistoryTxn& txn : history.txns()) {
+      switch (txn.outcome) {
+        case HistoryOutcome::kCommitted: ++report.committed; break;
+        case HistoryOutcome::kAborted: ++report.aborted; break;
+        case HistoryOutcome::kBlocked: ++report.blocked; break;
+      }
+    }
+  }
+
+  const KeyspaceCheckResult check = check_keyspace_histories(
+      keyspace.histories(), keyspace.remap().ever_remapped_keys(),
+      options.max_lin_ops);
+  report.lin_keys_checked = check.lin_keys_checked;
+  report.lin_keys_skipped = check.lin_keys_skipped;
+  if (!check.ok) {
+    report.ok = false;
+    report.detail += check.report;
+  }
+  return report;
+}
+
 std::string indent(const std::string& text, const std::string& prefix) {
   std::string out;
   std::size_t pos = 0;
@@ -226,6 +349,7 @@ std::string SeedReport::line() const {
 SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
                                       std::uint64_t seed,
                                       EventBus* scratch) const {
+  if (options_.shards > 0) return run_keyspace_seed(factory, seed, options_);
   // Independent deterministic streams per concern, so e.g. adding an option
   // draw never perturbs the nemesis plan or the workload of a given seed.
   SplitMix64 mix(seed);
@@ -347,6 +471,14 @@ ExploreReport ScheduleExplorer::explore(const ProtocolFactory& factory,
              std::to_string(options_.clients) + " txns=" +
              std::to_string(options_.txns_per_client) + " keys=" +
              std::to_string(options_.keys) +
+             (options_.shards > 0
+                  ? " shards=" + std::to_string(options_.shards) +
+                        " records=" + std::to_string(options_.keyspace_records) +
+                        (options_.broken_router ? " router=broken" : "") +
+                        (options_.remap && !options_.broken_router
+                             ? " remap=on"
+                             : "")
+                  : "") +
              (options_.nemesis ? " nemesis=on" : " nemesis=off") + " ==\n";
   std::size_t ok_count = 0;
 

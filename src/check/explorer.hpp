@@ -76,6 +76,29 @@ struct ExplorerOptions {
   /// Number of flight-recorder tail lines appended to a failing seed's
   /// counterexample detail.
   std::size_t trace_tail_lines = 32;
+
+  // -- multi-key keyspace mode (0 = classic single-tree exploration) ---------
+  /// When > 0, each seed builds this many independent shard clusters of the
+  /// protocol under test, hashes a small key universe across them, drives a
+  /// mixed YCSB-style workload through the sharded keyspace
+  /// (keyspace/keyspace.hpp) and checks the MERGED key-aware history
+  /// (keyspace/multi_history.hpp): routing invariant + cross-shard
+  /// serializability + per-shard linearizability. The flight recorder is
+  /// not wired in this mode (event_bus_capacity and `scratch` are ignored);
+  /// counterexamples carry the checker reports only.
+  std::size_t shards = 0;
+  /// Key-universe size in multi-key mode; small forces cross-client
+  /// conflicts on every shard.
+  std::size_t keyspace_records = 16;
+  /// Replace the hash router with the BrokenCrossShardRouter test double
+  /// (keyspace/shard_map.hpp), which splits a key's version chain across
+  /// two shards — the multi-shard teeth test. The checker must flag every
+  /// seed whose workload writes any key twice.
+  bool broken_router = false;
+  /// Attach a light (mostly-read) shard and let the hot-key remap policy
+  /// promote/restore at quiescent batch boundaries mid-exploration.
+  /// Ignored under broken_router.
+  bool remap = false;
 };
 
 /// Outcome of a single (protocol, seed) experiment.

@@ -1,0 +1,215 @@
+#include "keyspace/generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+std::string KeyspaceOp::to_string() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kRead: out = "read"; break;
+    case Kind::kUpdate: out = "update"; break;
+    case Kind::kReadModifyWrite: out = "rmw"; break;
+    case Kind::kScan: out = "scan"; break;
+    case Kind::kInsert: out = "insert"; break;
+  }
+  out += " k=" + std::to_string(key);
+  if (kind == Kind::kScan) out += " len=" + std::to_string(scan_len);
+  return out;
+}
+
+std::vector<KeyspaceMix> standard_mixes() {
+  std::vector<KeyspaceMix> mixes;
+  mixes.push_back({.name = "ycsb_a",
+                   .distribution = KeyDistribution::kZipfian,
+                   .read_p = 0.5,
+                   .update_p = 0.5});
+  mixes.push_back({.name = "ycsb_b",
+                   .distribution = KeyDistribution::kZipfian,
+                   .read_p = 0.95,
+                   .update_p = 0.05});
+  mixes.push_back({.name = "ycsb_c",
+                   .distribution = KeyDistribution::kZipfian,
+                   .read_p = 1.0,
+                   .update_p = 0.0});
+  mixes.push_back({.name = "ycsb_d",
+                   .distribution = KeyDistribution::kLatest,
+                   .scramble = false,  // recency IS the key order
+                   .read_p = 0.90,
+                   .update_p = 0.05,
+                   .insert_p = 0.05});
+  mixes.push_back({.name = "ycsb_e",
+                   .distribution = KeyDistribution::kZipfian,
+                   .read_p = 0.0,
+                   .update_p = 0.05,
+                   .scan_p = 0.95,
+                   .max_scan_len = 4});
+  mixes.push_back({.name = "uniform_50_50",
+                   .distribution = KeyDistribution::kUniform,
+                   .read_p = 0.5,
+                   .update_p = 0.5});
+  return mixes;
+}
+
+// -- YcsbZipfian -------------------------------------------------------------
+
+namespace {
+
+/// zeta(lo..hi-1, theta) partial sum: Σ_{i=lo}^{hi-1} 1/(i+1)^θ.
+double zeta_range(std::uint64_t lo, std::uint64_t hi, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+YcsbZipfian::YcsbZipfian(std::uint64_t items, double theta)
+    : items_(items), theta_(theta) {
+  if (items == 0) throw std::invalid_argument("YcsbZipfian: items must be > 0");
+  if (!(theta > 0.0) || !(theta < 1.0)) {
+    throw std::invalid_argument("YcsbZipfian: theta must be in (0, 1)");
+  }
+  zeta2_ = zeta_range(0, 2, theta_);
+  zeta_n_ = zeta_range(0, items_, theta_);
+  refresh();
+}
+
+void YcsbZipfian::refresh() noexcept {
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double n = static_cast<double>(items_);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta_)) / (1.0 - zeta2_ / zeta_n_);
+}
+
+void YcsbZipfian::grow(std::uint64_t new_items) {
+  ATRCP_CHECK(new_items >= items_);
+  if (new_items == items_) return;
+  zeta_n_ += zeta_range(items_, new_items, theta_);
+  items_ = new_items;
+  refresh();
+}
+
+std::uint64_t YcsbZipfian::next(Rng& rng) const {
+  // Gray et al., "Quickly generating billion-record synthetic databases":
+  // one uniform draw mapped through the closed-form inverse.
+  const double u = rng.uniform();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= items_ ? items_ - 1 : rank;
+}
+
+double YcsbZipfian::mass(std::uint64_t rank) const {
+  ATRCP_CHECK(rank < items_);
+  return 1.0 / std::pow(static_cast<double>(rank + 1), theta_) / zeta_n_;
+}
+
+// -- KeyspaceWorkloadGenerator -----------------------------------------------
+
+KeyspaceWorkloadGenerator::KeyspaceWorkloadGenerator(
+    const KeyspaceWorkloadOptions& options)
+    : options_(options),
+      records_(options.records),
+      zipf_(options.records == 0 ? 1 : options.records, options.mix.zipf_theta) {
+  if (options.records == 0) {
+    throw std::invalid_argument("KeyspaceWorkloadGenerator: records == 0");
+  }
+  if (options.clients == 0) {
+    throw std::invalid_argument("KeyspaceWorkloadGenerator: clients == 0");
+  }
+  const KeyspaceMix& mix = options.mix;
+  const double proportions[] = {mix.read_p, mix.update_p, mix.rmw_p,
+                                mix.scan_p, mix.insert_p};
+  double sum = 0;
+  for (const double p : proportions) {
+    if (p < 0) {
+      throw std::invalid_argument(
+          "KeyspaceWorkloadGenerator: negative mix proportion");
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument(
+        "KeyspaceWorkloadGenerator: mix proportions must sum to 1");
+  }
+  if (mix.max_scan_len == 0) {
+    throw std::invalid_argument("KeyspaceWorkloadGenerator: max_scan_len == 0");
+  }
+  // One independent stream per client, expanded from the seed the same way
+  // the explorer expands its concern streams: adding a client never
+  // perturbs the streams of existing clients.
+  SplitMix64 mixstream(options.seed);
+  rngs_.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    rngs_.emplace_back(mixstream.next());
+  }
+}
+
+Key KeyspaceWorkloadGenerator::draw_key(Rng& rng) {
+  switch (options_.mix.distribution) {
+    case KeyDistribution::kUniform:
+      return static_cast<Key>(rng.below(records_));
+    case KeyDistribution::kZipfian: {
+      const std::uint64_t rank = zipf_.next(rng);
+      if (!options_.mix.scramble) return static_cast<Key>(rank);
+      return static_cast<Key>(SplitMix64(rank).next() % records_);
+    }
+    case KeyDistribution::kLatest: {
+      // Rank 0 = newest record; never scrambled (recency IS the order).
+      const std::uint64_t rank = zipf_.next(rng);
+      return static_cast<Key>(records_ - 1 - rank);
+    }
+  }
+  return 0;  // unreachable
+}
+
+KeyspaceOp KeyspaceWorkloadGenerator::next(std::size_t client) {
+  ATRCP_CHECK(client < rngs_.size());
+  Rng& rng = rngs_[client];
+  const KeyspaceMix& mix = options_.mix;
+  const double roll = rng.uniform();
+  KeyspaceOp op;
+  double edge = mix.read_p;
+  if (roll < edge) {
+    op.kind = KeyspaceOp::Kind::kRead;
+    op.key = draw_key(rng);
+    return op;
+  }
+  edge += mix.update_p;
+  if (roll < edge) {
+    op.kind = KeyspaceOp::Kind::kUpdate;
+    op.key = draw_key(rng);
+    return op;
+  }
+  edge += mix.rmw_p;
+  if (roll < edge) {
+    op.kind = KeyspaceOp::Kind::kReadModifyWrite;
+    op.key = draw_key(rng);
+    return op;
+  }
+  edge += mix.scan_p;
+  if (roll < edge) {
+    op.kind = KeyspaceOp::Kind::kScan;
+    op.key = draw_key(rng);
+    op.scan_len =
+        1 + static_cast<std::uint32_t>(rng.below(mix.max_scan_len));
+    return op;
+  }
+  // Insert: allocate the next record id (shared counter, issue order) and
+  // extend the zipfian range so latest draws can reach it.
+  op.kind = KeyspaceOp::Kind::kInsert;
+  op.key = static_cast<Key>(records_);
+  ++records_;
+  zipf_.grow(records_);
+  return op;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,150 @@
+// Deterministic YCSB-style workload generation over a sharded keyspace —
+// the "millions of keys, skewed traffic" scenario of ROADMAP item 2 made
+// executable and byte-reproducible.
+//
+// The shapes follow the standard YCSB core distributions:
+//  * uniform   — every key equally likely.
+//  * zipfian   — Gray et al.'s constant-time approximate Zipfian sampler
+//                (the YCSB ZipfianGenerator): P(rank r) ∝ 1/(r+1)^θ. With
+//                the default scrambling, ranks are SplitMix64-mixed over
+//                the key range so the hot head is spread across shards the
+//                way hash-sharded production keyspaces see it.
+//  * latest    — Zipfian over recency: the most recently inserted key is
+//                the hottest (rank 0 = newest). Inserts grow the range and
+//                the zeta normalizer is extended incrementally.
+//  * scan      — Zipfian-start, uniform-length range reads (YCSB-E).
+//
+// Determinism contract: each client draws from its own Xoshiro stream,
+// forked from one SplitMix64-expanded seed, so client c's operation
+// sequence depends only on (seed, c) — never on other clients, scheduling,
+// or the driver's `--jobs` count. The statistical suite
+// (tests/keyspace/generator_test.cpp) pins golden byte streams per mix and
+// compares empirical frequencies against the theoretical mass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replica/store.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+/// Key-popularity distribution of a mix.
+enum class KeyDistribution : std::uint8_t {
+  kUniform = 0,
+  kZipfian = 1,
+  kLatest = 2,
+};
+
+/// One logical keyspace operation. A scan is a bounded multi-key range
+/// read; everything else touches exactly one key. Inserts extend the key
+/// range (kLatest mixes) — key is the freshly allocated record.
+struct KeyspaceOp {
+  enum class Kind : std::uint8_t {
+    kRead = 0,
+    kUpdate = 1,
+    kReadModifyWrite = 2,
+    kScan = 3,
+    kInsert = 4,
+  };
+  Kind kind = Kind::kRead;
+  Key key = 0;
+  std::uint32_t scan_len = 1;  ///< kScan only: keys [key, key + scan_len)
+
+  /// "rmw k=17" / "scan k=3 len=4" — the golden-stream rendering.
+  std::string to_string() const;
+};
+
+/// A YCSB-style operation mix: proportions must be >= 0 and sum to ~1
+/// (validated at generator construction).
+struct KeyspaceMix {
+  std::string name = "custom";
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  double zipf_theta = 0.99;  ///< skew of zipfian/latest/scan-start draws
+  /// With scrambling, zipfian rank r maps to key SplitMix64(r) % records —
+  /// the YCSB "scrambled zipfian" that decouples popularity from key order.
+  bool scramble = true;
+  double read_p = 0.5;
+  double update_p = 0.5;
+  double rmw_p = 0.0;
+  double scan_p = 0.0;
+  double insert_p = 0.0;
+  std::uint32_t max_scan_len = 8;  ///< scan length uniform in [1, max]
+};
+
+/// The standard mixes the bench sweeps: A (50/50 zipfian update-heavy),
+/// B (95/5 zipfian read-mostly), C (read-only zipfian), D (latest,
+/// read-mostly with inserts), E (scan-heavy), U (uniform 50/50 control).
+std::vector<KeyspaceMix> standard_mixes();
+
+/// Gray et al. constant-time approximate Zipfian over ranks [0, items):
+/// P(r) ∝ 1/(r+1)^θ, 0 < θ < 1. The YCSB workhorse; zeta(items, θ) is
+/// computed once (O(items)) and extended incrementally when the range
+/// grows (kLatest inserts), never recomputed from scratch.
+class YcsbZipfian {
+ public:
+  /// Throws std::invalid_argument unless items > 0 and θ in (0, 1).
+  YcsbZipfian(std::uint64_t items, double theta);
+
+  std::uint64_t items() const noexcept { return items_; }
+
+  /// Rank in [0, items()), rank 0 the hottest.
+  std::uint64_t next(Rng& rng) const;
+
+  /// Extends the range to new_items (>= items()), updating zeta in
+  /// O(new_items - items()).
+  void grow(std::uint64_t new_items);
+
+  /// Theoretical probability mass of rank r — the oracle the statistical
+  /// tests compare empirical frequencies against.
+  double mass(std::uint64_t rank) const;
+
+ private:
+  void refresh() noexcept;  ///< recompute alpha/eta from zeta_n_
+
+  std::uint64_t items_;
+  double theta_;
+  double zeta2_;
+  double zeta_n_;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+struct KeyspaceWorkloadOptions {
+  KeyspaceMix mix{};
+  std::uint64_t records = 1ull << 20;  ///< initial keyspace size
+  std::size_t clients = 4;
+  std::size_t ops_per_client = 100;
+  std::uint64_t seed = 42;
+};
+
+/// Per-client deterministic operation streams. next(c) consumes only
+/// client c's stream EXCEPT for inserts, which allocate from the shared
+/// record counter — the single piece of cross-client state, advanced in
+/// issue order (deterministic under the single-threaded runner).
+class KeyspaceWorkloadGenerator {
+ public:
+  /// Throws std::invalid_argument on empty records/clients or a mix whose
+  /// proportions are negative or do not sum to 1 (±1e-9).
+  explicit KeyspaceWorkloadGenerator(const KeyspaceWorkloadOptions& options);
+
+  /// The next operation of client `client` (< options.clients).
+  KeyspaceOp next(std::size_t client);
+
+  /// Current key-range size (grows with kInsert).
+  std::uint64_t record_count() const noexcept { return records_; }
+
+  const KeyspaceWorkloadOptions& options() const noexcept { return options_; }
+
+ private:
+  Key draw_key(Rng& rng);
+
+  KeyspaceWorkloadOptions options_;
+  std::uint64_t records_;
+  YcsbZipfian zipf_;  ///< zipfian & latest ranks; scan starts
+  std::vector<Rng> rngs_;
+};
+
+}  // namespace atrcp

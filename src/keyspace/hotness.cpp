@@ -1,0 +1,86 @@
+#include "keyspace/hotness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace atrcp {
+
+std::uint64_t HotnessTracker::count(Key key) const {
+  const auto it = window_.find(key);
+  return it == window_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<Key, std::uint64_t>> HotnessTracker::top(
+    std::size_t k) const {
+  std::vector<std::pair<Key, std::uint64_t>> entries(window_.begin(),
+                                                     window_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+void HotnessTracker::roll() {
+  lifetime_ += total_;
+  total_ = 0;
+  window_.clear();
+}
+
+std::string to_string(HotKeyState state) {
+  switch (state) {
+    case HotKeyState::kNormal: return "normal";
+    case HotKeyState::kRemapped: return "remapped";
+    case HotKeyState::kRestored: return "restored";
+  }
+  return "?";
+}
+
+std::string RemapTransition::to_string() const {
+  return "k=" + std::to_string(key) + " " + atrcp::to_string(from) + "->" +
+         atrcp::to_string(to) + "@b" + std::to_string(batch);
+}
+
+HotKeyState HotKeyRemapManager::state(Key key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? HotKeyState::kNormal : it->second;
+}
+
+void HotKeyRemapManager::promote(Key key, std::uint64_t batch) {
+  const HotKeyState from = state(key);
+  if (from == HotKeyState::kRemapped) {
+    throw std::logic_error("HotKeyRemapManager: key already remapped");
+  }
+  states_[key] = HotKeyState::kRemapped;
+  log_.push_back({key, from, HotKeyState::kRemapped, batch});
+  ++remapped_;
+}
+
+void HotKeyRemapManager::restore(Key key, std::uint64_t batch) {
+  if (state(key) != HotKeyState::kRemapped) {
+    throw std::logic_error("HotKeyRemapManager: key is not remapped");
+  }
+  states_[key] = HotKeyState::kRestored;
+  log_.push_back({key, HotKeyState::kRemapped, HotKeyState::kRestored, batch});
+  --remapped_;
+}
+
+std::vector<Key> HotKeyRemapManager::remapped_keys() const {
+  std::vector<Key> keys;
+  for (const auto& [key, state] : states_) {
+    if (state == HotKeyState::kRemapped) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<Key> HotKeyRemapManager::ever_remapped_keys() const {
+  std::vector<Key> keys;
+  for (const auto& [key, state] : states_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,120 @@
+// Per-key hotness tracking and the hot-key remap state machine.
+//
+// Under Zipfian skew a handful of keys dominate traffic; the keyspace layer
+// tracks per-key access counts over rolling windows and, at quiescent batch
+// boundaries, remaps the hottest keys onto a LIGHTER quorum configuration —
+// a dedicated mostly-read tree whose singleton read quorums spread load —
+// then restores them once they cool. Remapping is modelled as EXPLICIT
+// state transitions (the memec degraded/remapped-mode pattern):
+//
+//     kNormal ──promote──▶ kRemapped ──restore──▶ kRestored
+//        ▲                                            │
+//        └────────────────(promote again)◀────────────┘
+//
+// Every transition is recorded in an append-only log with the batch index
+// it happened at; the log is both the observability record (bench output)
+// and the key-aware checker's allow-list (a key whose history spans two
+// shards is a routing violation UNLESS a transition moved it).
+//
+// Thread-safety: owned by one ShardedKeyspace, single-threaded like the
+// simulation itself; the parallel driver keeps whole keyspaces per worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "replica/store.hpp"
+
+namespace atrcp {
+
+/// Rolling-window access counter. record() tallies into the current
+/// window; roll() starts a fresh window (the previous counts are what a
+/// batch-boundary policy inspects). Exact counts, not a sketch — the
+/// simulation's key universes make exactness affordable and keep every
+/// report deterministic.
+class HotnessTracker {
+ public:
+  void record(Key key) {
+    ++window_[key];
+    ++total_;
+  }
+
+  /// Accesses of `key` in the current window.
+  std::uint64_t count(Key key) const;
+
+  /// All accesses recorded in the current window.
+  std::uint64_t window_total() const noexcept { return total_; }
+
+  /// Accesses recorded over the tracker's whole lifetime.
+  std::uint64_t lifetime_total() const noexcept {
+    return lifetime_ + total_;
+  }
+
+  /// The k hottest keys of the current window, count descending, key
+  /// ascending among equals — a deterministic order for reports and for
+  /// the remap policy.
+  std::vector<std::pair<Key, std::uint64_t>> top(std::size_t k) const;
+
+  /// Starts a fresh window.
+  void roll();
+
+ private:
+  std::unordered_map<Key, std::uint64_t> window_;
+  std::uint64_t total_ = 0;
+  std::uint64_t lifetime_ = 0;
+};
+
+/// The three states of a key with respect to quorum remapping.
+enum class HotKeyState : std::uint8_t {
+  kNormal = 0,    ///< served by its hash-routed home shard (never moved)
+  kRemapped = 1,  ///< served by the light (mostly-read) shard
+  kRestored = 2,  ///< back home after cooling down; re-promotable
+};
+
+/// "normal" / "remapped" / "restored".
+std::string to_string(HotKeyState state);
+
+/// One edge of the state machine, as it happened.
+struct RemapTransition {
+  Key key = 0;
+  HotKeyState from = HotKeyState::kNormal;
+  HotKeyState to = HotKeyState::kRemapped;
+  std::uint64_t batch = 0;  ///< quiescent boundary the transition ran at
+
+  std::string to_string() const;
+};
+
+class HotKeyRemapManager {
+ public:
+  HotKeyState state(Key key) const;
+  bool is_remapped(Key key) const {
+    return state(key) == HotKeyState::kRemapped;
+  }
+
+  /// kNormal/kRestored -> kRemapped. Throws std::logic_error if the key is
+  /// already remapped — the state machine has no self-loop.
+  void promote(Key key, std::uint64_t batch);
+
+  /// kRemapped -> kRestored. Throws std::logic_error unless remapped.
+  void restore(Key key, std::uint64_t batch);
+
+  /// Currently remapped keys, ascending.
+  std::vector<Key> remapped_keys() const;
+  std::size_t remapped_count() const noexcept { return remapped_; }
+
+  /// Keys that were EVER remapped (ascending) — the checker's allow-list
+  /// for histories legitimately spanning two shards.
+  std::vector<Key> ever_remapped_keys() const;
+
+  /// Append-only transition log in execution order.
+  const std::vector<RemapTransition>& log() const noexcept { return log_; }
+
+ private:
+  std::unordered_map<Key, HotKeyState> states_;
+  std::vector<RemapTransition> log_;
+  std::size_t remapped_ = 0;
+};
+
+}  // namespace atrcp

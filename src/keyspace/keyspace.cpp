@@ -1,0 +1,345 @@
+#include "keyspace/keyspace.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+ShardedKeyspace::ShardedKeyspace(KeyspaceOptions options)
+    : options_(std::move(options)) {
+  if (options_.shards == 0) {
+    throw std::invalid_argument("ShardedKeyspace: shards == 0");
+  }
+  if (!options_.shard_protocol) {
+    throw std::invalid_argument("ShardedKeyspace: shard_protocol is required");
+  }
+  if (options_.clients == 0) {
+    throw std::invalid_argument("ShardedKeyspace: clients == 0");
+  }
+  if (options_.router) {
+    if (options_.router->shard_count() != options_.shards) {
+      throw std::invalid_argument(
+          "ShardedKeyspace: router shard count mismatch");
+    }
+    router_ = options_.router;
+  } else {
+    owned_router_ = std::make_unique<HashShardRouter>(options_.shards);
+    router_ = owned_router_.get();
+  }
+
+  // Every cluster's seed is forked from one SplitMix64 stream, so cluster i
+  // is a pure function of (seed, i): adding the light shard never perturbs
+  // the home shards.
+  SplitMix64 seeds(options_.seed);
+  const auto build = [&](const ProtocolFactory& factory) {
+    ClusterOptions cluster_options;
+    cluster_options.seed = seeds.next();
+    cluster_options.link = options_.link;
+    cluster_options.coordinator = options_.coordinator;
+    cluster_options.clients = options_.clients;
+    cluster_options.record_history = options_.record_history;
+    cluster_options.event_bus_capacity = options_.event_bus_capacity;
+    return std::make_unique<Cluster>(factory(), cluster_options);
+  };
+  clusters_.reserve(options_.shards + (options_.light_protocol ? 1 : 0));
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    clusters_.push_back(build(options_.shard_protocol));
+  }
+  if (options_.light_protocol) {
+    light_index_ = clusters_.size();
+    clusters_.push_back(build(options_.light_protocol));
+  }
+}
+
+std::size_t ShardedKeyspace::home_shard(Key key, bool is_write) {
+  const ShardId shard = router_->route(key, is_write);
+  ATRCP_CHECK(shard < options_.shards);
+  return shard;
+}
+
+std::size_t ShardedKeyspace::route(Key key, bool is_write) {
+  if (remap_.is_remapped(key)) return light_index_;
+  return home_shard(key, is_write);
+}
+
+void ShardedKeyspace::settle_all() {
+  // A callback running inside one cluster's settle may enqueue work on
+  // another cluster, so iterate to a fixpoint over the executed-event
+  // counters.
+  for (;;) {
+    std::uint64_t before = 0;
+    for (const auto& cluster : clusters_) {
+      before += cluster->scheduler().executed();
+    }
+    for (const auto& cluster : clusters_) cluster->settle();
+    std::uint64_t after = 0;
+    for (const auto& cluster : clusters_) {
+      after += cluster->scheduler().executed();
+    }
+    if (after == before) return;
+  }
+}
+
+bool ShardedKeyspace::all_idle() const {
+  for (const auto& cluster : clusters_) {
+    for (std::size_t c = 0; c < cluster->client_count(); ++c) {
+      if (const_cast<Cluster&>(*cluster).client(c).in_flight() != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ShardedKeyspace::transfer_key(Cluster& from, Cluster& to, Key key) {
+  std::optional<VersionedValue> latest;
+  for (std::size_t r = 0; r < from.replica_count(); ++r) {
+    const auto entry = from.server(r).store().get(key);
+    if (entry &&
+        (!latest || entry->timestamp.is_newer_than(latest->timestamp))) {
+      latest = *entry;
+    }
+  }
+  if (!latest) return;  // never written; nothing to move
+  for (std::size_t r = 0; r < to.replica_count(); ++r) {
+    to.server(r).store().apply(key, latest->value, latest->timestamp);
+  }
+}
+
+void ShardedKeyspace::promote_key(Key key, std::uint64_t batch) {
+  if (!has_light()) {
+    throw std::logic_error("promote_key: keyspace has no light shard");
+  }
+  settle_all();
+  if (!all_idle()) {
+    throw std::logic_error("promote_key: transactions still in flight");
+  }
+  transfer_key(cluster(home_shard(key, false)), cluster(light_index_), key);
+  remap_.promote(key, batch);
+}
+
+void ShardedKeyspace::restore_key(Key key, std::uint64_t batch) {
+  if (!has_light()) {
+    throw std::logic_error("restore_key: keyspace has no light shard");
+  }
+  settle_all();
+  if (!all_idle()) {
+    throw std::logic_error("restore_key: transactions still in flight");
+  }
+  if (!remap_.is_remapped(key)) {
+    throw std::logic_error("restore_key: key is not remapped");
+  }
+  transfer_key(cluster(light_index_), cluster(home_shard(key, false)), key);
+  remap_.restore(key, batch);
+}
+
+std::vector<const HistoryRecorder*> ShardedKeyspace::histories() const {
+  std::vector<const HistoryRecorder*> out;
+  out.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) out.push_back(&cluster->history());
+  return out;
+}
+
+// -- runner ------------------------------------------------------------------
+
+std::string KeyspaceStats::line() const {
+  std::string out = "issued=" + std::to_string(issued) +
+                    " txns=" + std::to_string(txns) +
+                    " committed=" + std::to_string(committed) +
+                    " aborted=" + std::to_string(aborted) +
+                    " blocked=" + std::to_string(blocked) +
+                    " batches=" + std::to_string(batches) +
+                    " promoted=" + std::to_string(promoted) +
+                    " restored=" + std::to_string(restored) + " per_cluster=[";
+  for (std::size_t i = 0; i < txns_per_cluster.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(txns_per_cluster[i]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+/// One single-shard transaction of a decomposed keyspace op.
+struct SubTxn {
+  Key key = 0;
+  bool has_write = false;
+  std::vector<TxnOp> ops;
+};
+
+struct ClientState {
+  std::vector<SubTxn> queue;  ///< drained front-to-back via `head`
+  std::size_t head = 0;
+  bool pending = false;
+  std::size_t issued_ops = 0;      ///< keyspace ops over the whole run
+  std::size_t issued_in_batch = 0;
+  std::uint64_t value_seq = 0;
+};
+
+}  // namespace
+
+KeyspaceStats run_keyspace_workload(ShardedKeyspace& keyspace,
+                                    const KeyspaceRunOptions& options) {
+  const std::size_t clients = keyspace.cluster(0).client_count();
+  for (std::size_t i = 0; i < keyspace.cluster_count(); ++i) {
+    ATRCP_CHECK(keyspace.cluster(i).client_count() == clients);
+  }
+
+  KeyspaceWorkloadOptions generator_options;
+  generator_options.mix = options.mix;
+  generator_options.records = options.records;
+  generator_options.clients = clients;
+  generator_options.ops_per_client = options.ops_per_client;
+  generator_options.seed = options.workload_seed;
+  KeyspaceWorkloadGenerator generator(generator_options);
+
+  KeyspaceStats stats;
+  stats.txns_per_cluster.assign(keyspace.cluster_count(), 0);
+  std::vector<ClientState> states(clients);
+
+  const std::size_t quota =
+      options.batch_size == 0 ? options.ops_per_client : options.batch_size;
+  ATRCP_CHECK(quota > 0);
+  constexpr std::size_t kPumpChunk = 1024;
+
+  const auto expand = [&](std::size_t c, const KeyspaceOp& op) {
+    ClientState& state = states[c];
+    const auto value = [&] {
+      std::string v = "c";
+      v += std::to_string(c);
+      v += "#";
+      v += std::to_string(state.value_seq++);
+      return v;
+    };
+    switch (op.kind) {
+      case KeyspaceOp::Kind::kRead:
+        state.queue.push_back({op.key, false, {TxnOp::read(op.key)}});
+        break;
+      case KeyspaceOp::Kind::kUpdate:
+      case KeyspaceOp::Kind::kInsert:
+        state.queue.push_back({op.key, true, {TxnOp::write(op.key, value())}});
+        break;
+      case KeyspaceOp::Kind::kReadModifyWrite:
+        state.queue.push_back(
+            {op.key, true, {TxnOp::read(op.key), TxnOp::write(op.key, value())}});
+        break;
+      case KeyspaceOp::Kind::kScan: {
+        // Chained per-key read txns, wrapping at the current record count —
+        // non-atomic across segments (documented at the top of the header).
+        const std::uint64_t records = generator.record_count();
+        for (std::uint32_t i = 0; i < op.scan_len; ++i) {
+          const Key key = static_cast<Key>((op.key + i) % records);
+          state.queue.push_back({key, false, {TxnOp::read(key)}});
+        }
+        break;
+      }
+    }
+    for (std::size_t i = state.head; i < state.queue.size(); ++i) {
+      keyspace.hotness().record(state.queue[i].key);
+    }
+  };
+
+  const auto all_issued = [&] {
+    for (const ClientState& state : states) {
+      if (state.issued_ops < options.ops_per_client) return false;
+    }
+    return true;
+  };
+
+  while (!all_issued()) {
+    // -- one batch -----------------------------------------------------------
+    for (ClientState& state : states) state.issued_in_batch = 0;
+    for (;;) {
+      bool busy = false;
+      bool progressed = false;
+      for (std::size_t c = 0; c < clients; ++c) {
+        ClientState& state = states[c];
+        if (!state.pending && state.head == state.queue.size() &&
+            state.issued_in_batch < quota &&
+            state.issued_ops < options.ops_per_client) {
+          const KeyspaceOp op = generator.next(c);
+          ++stats.issued;
+          ++stats.ops_by_kind[static_cast<std::size_t>(op.kind)];
+          ++state.issued_ops;
+          ++state.issued_in_batch;
+          expand(c, op);
+        }
+        if (!state.pending && state.head < state.queue.size()) {
+          SubTxn& sub = state.queue[state.head++];
+          const std::size_t idx = keyspace.route(sub.key, sub.has_write);
+          Cluster& target = keyspace.cluster(idx);
+          ++stats.txns;
+          ++stats.txns_per_cluster[idx];
+          state.pending = true;
+          const SimTime issue_time = target.scheduler().now();
+          ClientState* state_ptr = &state;
+          KeyspaceStats* stats_ptr = &stats;
+          Cluster* target_ptr = &target;
+          target.client(c).run(
+              std::move(sub.ops), [state_ptr, stats_ptr, target_ptr,
+                                   issue_time](TxnResult result) {
+                state_ptr->pending = false;
+                switch (result.outcome) {
+                  case TxnOutcome::kCommitted: ++stats_ptr->committed; break;
+                  case TxnOutcome::kAborted: ++stats_ptr->aborted; break;
+                  case TxnOutcome::kBlocked: ++stats_ptr->blocked; break;
+                }
+                stats_ptr->latency_us.add(static_cast<double>(
+                    target_ptr->scheduler().now() - issue_time));
+              });
+          progressed = true;
+        }
+        if (state.pending || state.head < state.queue.size() ||
+            (state.issued_in_batch < quota &&
+             state.issued_ops < options.ops_per_client)) {
+          busy = true;
+        }
+        if (state.head == state.queue.size() && !state.pending) {
+          state.queue.clear();
+          state.head = 0;
+        }
+      }
+      if (!busy) break;
+      // Fixed round-robin pumping policy: every cluster advances by up to
+      // kPumpChunk events per pass. Purely index-driven, hence one
+      // deterministic global interleaving per (seed, options).
+      std::uint64_t executed = 0;
+      for (std::size_t i = 0; i < keyspace.cluster_count(); ++i) {
+        executed += keyspace.cluster(i).scheduler().run(kPumpChunk);
+      }
+      if (executed == 0 && !progressed) {
+        throw std::logic_error(
+            "run_keyspace_workload: stalled with transactions in flight");
+      }
+    }
+    // -- quiescent batch boundary -------------------------------------------
+    keyspace.settle_all();
+    const std::uint64_t batch = stats.batches++;
+    if (keyspace.has_light() && options.promote_top_k > 0) {
+      // Cooled-off keys go home first (frees light capacity), then the
+      // batch's hottest keys are promoted up to the cap.
+      for (const Key key : keyspace.remap().remapped_keys()) {
+        if (keyspace.hotness().count(key) < options.restore_below) {
+          keyspace.restore_key(key, batch);
+          ++stats.restored;
+        }
+      }
+      for (const auto& [key, count] :
+           keyspace.hotness().top(options.promote_top_k)) {
+        if (count < options.promote_min_count) break;  // sorted descending
+        if (keyspace.remap().is_remapped(key)) continue;
+        if (keyspace.remap().remapped_count() >= options.max_remapped) break;
+        keyspace.promote_key(key, batch);
+        ++stats.promoted;
+      }
+    }
+    keyspace.hotness().roll();
+  }
+  keyspace.settle_all();
+  return stats;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,189 @@
+// ShardedKeyspace: the multi-object layer — millions of logical keys hashed
+// across many independent tree instances (src/txn/cluster.hpp), each shard a
+// complete replicated system running its own ReplicaControlProtocol, plus an
+// optional LIGHT shard (a mostly-read tree, read cost 1) that hot keys are
+// remapped onto at quiescent batch boundaries.
+//
+// Topology
+//   cluster 0 .. S-1   home shards: HashShardRouter spreads keys uniformly
+//   cluster S          light shard (only when a light_protocol is supplied)
+//
+// Every transaction is single-shard: a key's operations execute on exactly
+// one cluster at a time (the routing invariant the key-aware checker in
+// keyspace/multi_history.hpp verifies). Scans are decomposed into chained
+// per-key read transactions — non-atomic across segments, like YCSB-E on a
+// range-unaware hash-sharded store.
+//
+// Shards do NOT share a simulated clock: each cluster owns its scheduler.
+// The runner (run_keyspace_workload) interleaves them with a fixed
+// round-robin pumping policy, so a (seed, options) pair yields one
+// byte-reproducible execution regardless of the host or --jobs fan-out —
+// the same determinism contract the rest of the repo holds (see
+// src/driver/pool.hpp).
+//
+// Hot-key remap protocol (keyspace/hotness.hpp has the state machine):
+//   1. the runner reaches a batch boundary and settles every cluster;
+//   2. promote: the key's latest committed (value, timestamp) is copied
+//      out-of-band onto EVERY light-shard replica (the same transfer
+//      service Cluster::reconfigure models), then the router override
+//      activates — subsequent ops on the key route to the light shard;
+//   3. restore: symmetric transfer back onto every home replica.
+// Timestamps ride along unchanged, so the key's version chain stays
+// monotone across the move and the merged serializability check holds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "keyspace/generator.hpp"
+#include "keyspace/hotness.hpp"
+#include "keyspace/shard_map.hpp"
+#include "txn/cluster.hpp"
+#include "util/stats.hpp"
+
+namespace atrcp {
+
+/// Builds one protocol instance per call; invoked once per home shard (and
+/// once for the light shard from KeyspaceOptions::light_protocol). Shards
+/// may use different universe sizes — clusters are fully independent.
+using ProtocolFactory =
+    std::function<std::unique_ptr<ReplicaControlProtocol>()>;
+
+struct KeyspaceOptions {
+  std::size_t shards = 4;
+  ProtocolFactory shard_protocol;  ///< required
+  /// When set, an extra light shard is built and hot-key remapping becomes
+  /// available; null disables remapping entirely.
+  ProtocolFactory light_protocol;
+  /// Global clients; client c owns coordinator c on EVERY cluster and has
+  /// at most one transaction in flight across the whole keyspace.
+  std::size_t clients = 4;
+  std::uint64_t seed = 1;
+  LinkParams link{};
+  CoordinatorOptions coordinator{};
+  bool record_history = false;
+  std::size_t event_bus_capacity = 0;
+  /// Non-owning router override (fault injection: BrokenCrossShardRouter).
+  /// Null = an owned HashShardRouter over `shards`. Must outlive the
+  /// keyspace. The router only sees home shards; remapped keys divert to
+  /// the light shard before the router is consulted.
+  ShardRouter* router = nullptr;
+};
+
+class ShardedKeyspace {
+ public:
+  explicit ShardedKeyspace(KeyspaceOptions options);
+
+  std::size_t shard_count() const noexcept { return options_.shards; }
+  bool has_light() const noexcept { return light_index_ != kNoLight; }
+  /// Index of the light cluster; only valid when has_light().
+  std::size_t light_index() const noexcept { return light_index_; }
+  /// Home shards plus the light shard, when present.
+  std::size_t cluster_count() const noexcept { return clusters_.size(); }
+
+  Cluster& cluster(std::size_t index) { return *clusters_.at(index); }
+  const Cluster& cluster(std::size_t index) const {
+    return *clusters_.at(index);
+  }
+
+  /// Cluster index serving `key` right now: the light shard while the key
+  /// is remapped, otherwise whatever the router says.
+  std::size_t route(Key key, bool is_write);
+
+  HotnessTracker& hotness() noexcept { return hotness_; }
+  const HotKeyRemapManager& remap() const noexcept { return remap_; }
+
+  /// Runs every cluster's scheduler dry, to a global fixpoint (a callback
+  /// on one cluster may have enqueued work on another).
+  void settle_all();
+
+  /// True when no coordinator on any cluster has a transaction in flight.
+  bool all_idle() const;
+
+  /// Moves `key` onto the light shard (state transfer + state machine
+  /// transition). Requires has_light() and a quiescent keyspace; throws
+  /// std::logic_error otherwise or if the key is already remapped.
+  void promote_key(Key key, std::uint64_t batch);
+
+  /// Moves `key` back onto its home shard. Requires quiescence and that
+  /// the key is currently remapped.
+  void restore_key(Key key, std::uint64_t batch);
+
+  /// Per-cluster history recorders (index-aligned with cluster(i)) — the
+  /// input to check_keyspace_histories. Meaningful only when
+  /// KeyspaceOptions::record_history was set.
+  std::vector<const HistoryRecorder*> histories() const;
+
+ private:
+  std::size_t home_shard(Key key, bool is_write);
+  /// Installs `key`'s latest committed (value, timestamp) found on any of
+  /// `from`'s replicas onto every one of `to`'s replicas. No-op when the
+  /// key was never written.
+  void transfer_key(Cluster& from, Cluster& to, Key key);
+
+  static constexpr std::size_t kNoLight = static_cast<std::size_t>(-1);
+
+  KeyspaceOptions options_;
+  std::unique_ptr<HashShardRouter> owned_router_;
+  ShardRouter* router_;  ///< owned_router_ or the override; never null
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::size_t light_index_ = kNoLight;
+  HotnessTracker hotness_;
+  HotKeyRemapManager remap_;
+};
+
+// -- the closed-loop multi-shard runner --------------------------------------
+
+struct KeyspaceRunOptions {
+  KeyspaceMix mix;
+  std::uint64_t records = 1024;
+  std::size_t ops_per_client = 100;
+  std::uint64_t workload_seed = 42;
+  /// Keyspace ops per client per batch; 0 = everything in one batch.
+  /// Batch boundaries are where the remap policy runs.
+  std::size_t batch_size = 0;
+
+  // Remap policy (effective only when the keyspace has a light shard).
+  /// Consider the top-k hottest keys of the finished batch's window.
+  std::size_t promote_top_k = 0;  ///< 0 disables promotion
+  /// A candidate must have at least this many window accesses.
+  std::uint64_t promote_min_count = 8;
+  /// Restore a remapped key whose window count fell below this.
+  std::uint64_t restore_below = 2;
+  /// Cap on simultaneously remapped keys (light-tree capacity model).
+  std::size_t max_remapped = 4;
+};
+
+struct KeyspaceStats {
+  std::uint64_t issued = 0;     ///< keyspace ops issued (scan = 1 op)
+  std::uint64_t txns = 0;       ///< single-shard transactions executed
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t blocked = 0;
+  /// Indexed by KeyspaceOp::Kind.
+  std::array<std::uint64_t, 5> ops_by_kind{};
+  /// Transactions issued per cluster index (home shards, then light).
+  std::vector<std::uint64_t> txns_per_cluster;
+  /// Per-transaction latency in shard-local simulated microseconds.
+  SampleSummary latency_us;
+  std::size_t batches = 0;
+  std::uint64_t promoted = 0;
+  std::uint64_t restored = 0;
+
+  /// One-line summary for logs and bench payloads (deterministic).
+  std::string line() const;
+};
+
+/// Drives `generator.clients()` closed-loop clients over the keyspace:
+/// issue -> route -> run on the owning cluster -> next, with all cluster
+/// schedulers pumped round-robin. At every batch boundary the keyspace is
+/// settled and the hot-key policy runs. Deterministic in (keyspace seed,
+/// run options). The generator's client count must equal the keyspace's.
+KeyspaceStats run_keyspace_workload(ShardedKeyspace& keyspace,
+                                    const KeyspaceRunOptions& options);
+
+}  // namespace atrcp

@@ -1,0 +1,112 @@
+#include "keyspace/multi_history.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace atrcp {
+
+MergedKeyspaceHistory merge_keyspace_histories(
+    const std::vector<const HistoryRecorder*>& shards,
+    const std::vector<Key>& remap_allowed) {
+  ATRCP_CHECK(std::is_sorted(remap_allowed.begin(), remap_allowed.end()));
+  MergedKeyspaceHistory out;
+
+  // Key -> (first shard seen, label of first txn there), plus the first
+  // conflicting (shard, label) when a second shard shows up — the minimized
+  // routing counterexample.
+  struct KeyHome {
+    std::size_t shard = 0;
+    std::string label;
+  };
+  std::map<Key, KeyHome> homes;
+  std::map<Key, std::string> violations;  // key -> counterexample (first wins)
+
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    ATRCP_CHECK(shards[s] != nullptr);
+    for (const HistoryTxn& txn : shards[s]->txns()) {
+      HistoryTxn copy = txn;
+      const std::uint64_t tag = (static_cast<std::uint64_t>(s) + 1)
+                                << kShardIdShift;
+      ATRCP_CHECK(txn.txn_id < (1ull << kShardIdShift));
+      copy.txn_id = tag | txn.txn_id;
+      copy.invoke_seq = tag | txn.invoke_seq;
+      copy.complete_seq = tag | txn.complete_seq;
+      for (const HistoryOp& op : txn.ops) {
+        const auto [it, fresh] =
+            homes.try_emplace(op.key, KeyHome{s, txn.label()});
+        if (!fresh && it->second.shard != s &&
+            !std::binary_search(remap_allowed.begin(), remap_allowed.end(),
+                                op.key) &&
+            violations.find(op.key) == violations.end()) {
+          violations[op.key] =
+              "routing violation: key " + std::to_string(op.key) +
+              " executed on shard " + std::to_string(it->second.shard) +
+              " (txn " + it->second.label + ") and shard " +
+              std::to_string(s) + " (txn " + txn.label() + ")";
+        }
+      }
+      out.txns.push_back(std::move(copy));
+    }
+  }
+  for (auto& [key, text] : violations) {
+    out.routing_violations.push_back(std::move(text));
+  }
+  return out;
+}
+
+KeyspaceCheckResult check_keyspace_histories(
+    const std::vector<const HistoryRecorder*>& shards,
+    const std::vector<Key>& remap_allowed, std::size_t max_lin_ops) {
+  KeyspaceCheckResult out;
+
+  const MergedKeyspaceHistory merged =
+      merge_keyspace_histories(shards, remap_allowed);
+  if (!merged.routing_ok()) {
+    out.ok = false;
+    for (const std::string& violation : merged.routing_violations) {
+      out.report += violation + "\n";
+    }
+  }
+
+  // Global graph/integrity analysis over the merged history. Version
+  // chains are clock-free, so independent shard clocks are harmless here.
+  SerializabilityChecker merged_checker(merged.txns);
+  const CheckResult serial = merged_checker.check();
+  if (!serial.ok) {
+    out.ok = false;
+    out.report += serial.report;
+  }
+
+  // Real-time (linearizability) analysis must stay within one simulation
+  // clock: run it per shard. Remapped keys are excluded — their values
+  // enter a shard out-of-band (the transfer installs a timestamp no local
+  // write produced), so the register-semantics check cannot see the full
+  // write set; the merged clock-free graph analysis above still covers
+  // them end to end.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    SerializabilityChecker shard_checker(shards[s]->txns());
+    for (const Key key : shard_checker.keys()) {
+      if (std::binary_search(remap_allowed.begin(), remap_allowed.end(),
+                             key)) {
+        ++out.lin_keys_skipped;
+        continue;
+      }
+      const LinResult lin =
+          shard_checker.check_key_linearizable(key, max_lin_ops);
+      if (lin.skipped) {
+        ++out.lin_keys_skipped;
+        continue;
+      }
+      ++out.lin_keys_checked;
+      if (!lin.ok) {
+        out.ok = false;
+        out.report += "shard " + std::to_string(s) + ": " + lin.report;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace atrcp

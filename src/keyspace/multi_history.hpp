@@ -1,0 +1,81 @@
+// Key-aware history merging across shards — how the serializability
+// checker (src/check/serializability.hpp) becomes multi-tree.
+//
+// Each shard is an independent Cluster with its own HistoryRecorder; keys
+// are disjoint across shards (a key lives on exactly one tree at a time),
+// so the union of the shard histories is itself a valid concurrent history
+// the unmodified SerializabilityChecker can analyze: conflicts only exist
+// within a key, and a key's version chain stays inside one shard — except
+// across an explicit hot-key remap, whose out-of-band state transfer
+// preserves timestamps, so the merged per-key chain remains version-
+// monotone across the move.
+//
+// The merge therefore does three things:
+//  1. Re-identify: shard-qualify transaction ids (and invoke/complete
+//     sequence numbers) so ids from different shards cannot collide.
+//  2. Verify the ROUTING INVARIANT: every key's operations must all have
+//     executed on one shard, unless a remap transition moved the key. A
+//     violation is reported as a minimized counterexample (the key and the
+//     first transaction that touched it on each shard) — this is what
+//     catches the BrokenCrossShardRouter directly, before the graph
+//     analysis even runs.
+//  3. Hand the merged transactions to SerializabilityChecker for the full
+//     integrity + dependency-graph analysis.
+//
+// Real-time caveat: shard simulation clocks are independent, so the
+// merged history supports the checker's version/graph analysis (which is
+// clock-free) but NOT cross-shard real-time reasoning — per-key
+// linearizability must be checked per shard (keyspace_check does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/serializability.hpp"
+
+namespace atrcp {
+
+struct MergedKeyspaceHistory {
+  /// All shards' finished transactions, ids shard-qualified, ordered by
+  /// (shard, completion) — a deterministic order for the checker's
+  /// tie-breaks.
+  std::vector<HistoryTxn> txns;
+  /// Routing-invariant violations, one minimized counterexample per key
+  /// (deterministic order). Empty for every correct router.
+  std::vector<std::string> routing_violations;
+
+  bool routing_ok() const noexcept { return routing_violations.empty(); }
+};
+
+/// Offset separating shard id from per-shard transaction ids in merged
+/// ids: merged_id = (shard + 1) << kShardIdShift | local_id. Large enough
+/// that no simulated run's local ids collide with the tag.
+inline constexpr unsigned kShardIdShift = 40;
+
+/// Merges per-shard histories and checks the routing invariant.
+/// `remap_allowed` is the ascending list of keys that legitimately moved
+/// between shards (HotKeyRemapManager::ever_remapped_keys()).
+MergedKeyspaceHistory merge_keyspace_histories(
+    const std::vector<const HistoryRecorder*>& shards,
+    const std::vector<Key>& remap_allowed);
+
+/// Result of the full key-aware check of one multi-shard run.
+struct KeyspaceCheckResult {
+  bool ok = true;
+  /// Routing violations + merged-history checker report; empty when ok.
+  std::string report;
+  std::size_t lin_keys_checked = 0;
+  std::size_t lin_keys_skipped = 0;
+};
+
+/// The whole pipeline: merge + routing invariant + merged
+/// SerializabilityChecker::check() + per-(shard, key) Wing–Gong
+/// linearizability (bounded by max_lin_ops; larger sub-histories are
+/// counted as skipped).
+KeyspaceCheckResult check_keyspace_histories(
+    const std::vector<const HistoryRecorder*>& shards,
+    const std::vector<Key>& remap_allowed, std::size_t max_lin_ops = 48);
+
+}  // namespace atrcp

@@ -1,0 +1,43 @@
+#include "keyspace/shard_map.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+ShardRouter::ShardRouter(std::size_t shards) : shards_(shards) {}
+
+HashShardRouter::HashShardRouter(std::size_t shards) : ShardRouter(shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("HashShardRouter: shards must be > 0");
+  }
+}
+
+ShardId HashShardRouter::shard_of(Key key, std::size_t shards) noexcept {
+  // One SplitMix64 round decorrelates the low bits from sequential key
+  // assignment; the modulo then spreads keys uniformly for any shard count.
+  return static_cast<ShardId>(SplitMix64(key).next() % shards);
+}
+
+ShardId HashShardRouter::route(Key key, bool /*is_write*/) {
+  return shard_of(key, shards_);
+}
+
+BrokenCrossShardRouter::BrokenCrossShardRouter(std::size_t shards)
+    : ShardRouter(shards) {
+  if (shards < 2) {
+    throw std::invalid_argument(
+        "BrokenCrossShardRouter: needs >= 2 shards to split a key");
+  }
+}
+
+ShardId BrokenCrossShardRouter::route(Key key, bool is_write) {
+  const ShardId home = HashShardRouter::shard_of(key, shards_);
+  if (!is_write) return home;
+  const std::uint64_t nth = write_count_[key]++;
+  if (nth % 2 == 0) return home;
+  return static_cast<ShardId>((home + 1) % shards_);
+}
+
+}  // namespace atrcp

@@ -1,0 +1,88 @@
+// Key -> shard routing for the sharded multi-object keyspace.
+//
+// The keyspace layer (src/keyspace/keyspace.hpp) hashes millions of logical
+// keys across many independent tree instances. A router decides which shard
+// serves an access; the contract every correct router must uphold is that
+// ALL accesses of a key — reads and writes alike — land on the same shard
+// while the key is not remapped, because quorum intersection (and therefore
+// one-copy serializability) only holds WITHIN one tree instance. Two
+// implementations live here:
+//
+//  * HashShardRouter — SplitMix64-mixed stationary hashing, the production
+//    router. Deterministic, O(1), spreads a scrambled-Zipfian head evenly
+//    in expectation (per-shard imbalance under skew is exactly what
+//    bench_keyspace measures).
+//  * BrokenCrossShardRouter — a deliberately WRONG router, the keyspace
+//    analogue of BrokenIntersectionProtocol (src/check/broken.hpp): every
+//    other write of a key is routed one shard to the right, so a key's
+//    version chain is split across two trees whose quorums never intersect.
+//    The merged key-aware checker must flag this (duplicate versions /
+//    lost-update cycles, plus the routing-invariant violation itself)
+//    within a handful of explorer seeds. Test double — never a baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "replica/store.hpp"
+
+namespace atrcp {
+
+/// Dense shard identifier; a keyspace of S shards uses ids [0, S).
+using ShardId = std::uint32_t;
+
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  virtual std::string name() const = 0;
+  std::size_t shard_count() const noexcept { return shards_; }
+
+  /// The shard that must execute this access. Correct routers ignore
+  /// `is_write` (a key has ONE home); the broken test double keys on it.
+  /// Non-const: the broken router is stateful (per-key access parity).
+  virtual ShardId route(Key key, bool is_write) = 0;
+
+ protected:
+  explicit ShardRouter(std::size_t shards);
+
+  std::size_t shards_;
+};
+
+/// Stationary SplitMix64 hash routing: shard = mix(key) mod shards.
+/// Stable across runs and processes — golden values are pinned in
+/// tests/keyspace/shard_map_test.cpp so a silent hash change (which would
+/// invalidate every recorded per-shard digest) cannot slip through.
+class HashShardRouter final : public ShardRouter {
+ public:
+  /// Throws std::invalid_argument if shards == 0.
+  explicit HashShardRouter(std::size_t shards);
+
+  std::string name() const override { return "hash"; }
+  ShardId route(Key key, bool is_write) override;
+
+  /// The routing function itself, usable without an instance (the workload
+  /// generator's rejection-free per-shard accounting uses it).
+  static ShardId shard_of(Key key, std::size_t shards) noexcept;
+};
+
+/// The teeth-test router: reads go home, but every second write of a key is
+/// misrouted to (home + 1) % shards. With >= 2 shards a key's writes split
+/// across two disjoint trees: concurrent read-modify-writes derive their
+/// versions from different chains (lost update), and the two chains install
+/// duplicate version numbers the merged checker flags.
+class BrokenCrossShardRouter final : public ShardRouter {
+ public:
+  /// Throws std::invalid_argument if shards < 2 (one shard cannot split).
+  explicit BrokenCrossShardRouter(std::size_t shards);
+
+  std::string name() const override { return "broken-cross-shard"; }
+  ShardId route(Key key, bool is_write) override;
+
+ private:
+  /// Per-key write parity: even writes go home, odd writes go right.
+  std::unordered_map<Key, std::uint64_t> write_count_;
+};
+
+}  // namespace atrcp

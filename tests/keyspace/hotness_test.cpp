@@ -1,0 +1,87 @@
+// HotnessTracker windows and the hot-key remap state machine.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "keyspace/hotness.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(HotnessTracker, CountsAndTopOrdering) {
+  HotnessTracker tracker;
+  for (int i = 0; i < 5; ++i) tracker.record(7);
+  for (int i = 0; i < 3; ++i) tracker.record(1);
+  for (int i = 0; i < 3; ++i) tracker.record(9);
+  tracker.record(2);
+  EXPECT_EQ(tracker.count(7), 5u);
+  EXPECT_EQ(tracker.count(42), 0u);
+  EXPECT_EQ(tracker.window_total(), 12u);
+  const auto top = tracker.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (std::pair<Key, std::uint64_t>{7, 5}));
+  // Equal counts break ties by ascending key: 1 before 9.
+  EXPECT_EQ(top[1], (std::pair<Key, std::uint64_t>{1, 3}));
+  EXPECT_EQ(top[2], (std::pair<Key, std::uint64_t>{9, 3}));
+}
+
+TEST(HotnessTracker, RollStartsFreshWindowButKeepsLifetime) {
+  HotnessTracker tracker;
+  tracker.record(1);
+  tracker.record(1);
+  tracker.roll();
+  EXPECT_EQ(tracker.count(1), 0u);
+  EXPECT_EQ(tracker.window_total(), 0u);
+  EXPECT_EQ(tracker.lifetime_total(), 2u);
+  tracker.record(2);
+  EXPECT_EQ(tracker.lifetime_total(), 3u);
+  EXPECT_TRUE(tracker.top(5).size() == 1);
+}
+
+TEST(HotKeyRemap, StateMachineWalk) {
+  HotKeyRemapManager manager;
+  EXPECT_EQ(manager.state(5), HotKeyState::kNormal);
+  EXPECT_FALSE(manager.is_remapped(5));
+
+  manager.promote(5, 2);
+  EXPECT_EQ(manager.state(5), HotKeyState::kRemapped);
+  EXPECT_TRUE(manager.is_remapped(5));
+  EXPECT_EQ(manager.remapped_count(), 1u);
+
+  manager.restore(5, 4);
+  EXPECT_EQ(manager.state(5), HotKeyState::kRestored);
+  EXPECT_FALSE(manager.is_remapped(5));
+  EXPECT_EQ(manager.remapped_count(), 0u);
+
+  // kRestored is re-promotable (the cycle in the state diagram).
+  manager.promote(5, 6);
+  EXPECT_EQ(manager.state(5), HotKeyState::kRemapped);
+}
+
+TEST(HotKeyRemap, IllegalTransitionsThrow) {
+  HotKeyRemapManager manager;
+  manager.promote(3, 0);
+  EXPECT_THROW(manager.promote(3, 1), std::logic_error);  // no self-loop
+  EXPECT_THROW(manager.restore(8, 1), std::logic_error);  // never promoted
+  manager.restore(3, 1);
+  EXPECT_THROW(manager.restore(3, 2), std::logic_error);  // already home
+}
+
+TEST(HotKeyRemap, KeySetsAndTransitionLog) {
+  HotKeyRemapManager manager;
+  manager.promote(9, 0);
+  manager.promote(2, 0);
+  manager.promote(5, 1);
+  manager.restore(5, 2);
+  EXPECT_EQ(manager.remapped_keys(), (std::vector<Key>{2, 9}));
+  // ever_remapped_keys keeps restored keys — the checker's allow-list must
+  // cover every key that EVER lived on the light shard.
+  EXPECT_EQ(manager.ever_remapped_keys(), (std::vector<Key>{2, 5, 9}));
+
+  ASSERT_EQ(manager.log().size(), 4u);
+  EXPECT_EQ(manager.log()[0].to_string(), "k=9 normal->remapped@b0");
+  EXPECT_EQ(manager.log()[3].to_string(), "k=5 remapped->restored@b2");
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,208 @@
+// ShardedKeyspace end to end: construction, routing, the hot-key remap
+// transfer, the closed-loop multi-shard runner, and the key-aware checker
+// pipeline — including the broken cross-shard router it must catch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "keyspace/keyspace.hpp"
+#include "keyspace/multi_history.hpp"
+#include "keyspace/shard_map.hpp"
+#include "protocols/majority.hpp"
+
+namespace atrcp {
+namespace {
+
+KeyspaceOptions base_options(std::size_t shards, bool light) {
+  KeyspaceOptions options;
+  options.shards = shards;
+  options.shard_protocol = [] { return std::make_unique<MajorityQuorum>(3); };
+  if (light) {
+    options.light_protocol = [] { return make_mostly_read(3); };
+  }
+  options.clients = 3;
+  options.seed = 42;
+  options.link = LinkParams{.base_latency = 10, .jitter = 3};
+  options.record_history = true;
+  return options;
+}
+
+TEST(ShardedKeyspace, ConstructionValidation) {
+  KeyspaceOptions options = base_options(2, false);
+  options.shards = 0;
+  EXPECT_THROW(ShardedKeyspace{options}, std::invalid_argument);
+  options = base_options(2, false);
+  options.shard_protocol = nullptr;
+  EXPECT_THROW(ShardedKeyspace{options}, std::invalid_argument);
+  options = base_options(2, false);
+  options.clients = 0;
+  EXPECT_THROW(ShardedKeyspace{options}, std::invalid_argument);
+  HashShardRouter mismatched(3);
+  options = base_options(2, false);
+  options.router = &mismatched;
+  EXPECT_THROW(ShardedKeyspace{options}, std::invalid_argument);
+}
+
+TEST(ShardedKeyspace, TopologyAndRouting) {
+  ShardedKeyspace keyspace(base_options(4, true));
+  EXPECT_EQ(keyspace.shard_count(), 4u);
+  ASSERT_TRUE(keyspace.has_light());
+  EXPECT_EQ(keyspace.cluster_count(), 5u);
+  EXPECT_EQ(keyspace.light_index(), 4u);
+  for (Key key = 0; key < 32; ++key) {
+    const std::size_t shard = keyspace.route(key, false);
+    EXPECT_EQ(shard, HashShardRouter::shard_of(key, 4));
+    EXPECT_EQ(keyspace.route(key, true), shard);
+  }
+  ShardedKeyspace no_light(base_options(2, false));
+  EXPECT_FALSE(no_light.has_light());
+  EXPECT_EQ(no_light.cluster_count(), 2u);
+  EXPECT_THROW(no_light.promote_key(1, 0), std::logic_error);
+}
+
+TEST(ShardedKeyspace, PromoteTransfersValueAndDivertsRouting) {
+  ShardedKeyspace keyspace(base_options(1, true));
+  const Key key = 5;  // single home shard, so its home is cluster 0
+  ASSERT_EQ(keyspace.cluster(0).write_sync(0, key, "v1"),
+            TxnOutcome::kCommitted);
+
+  keyspace.promote_key(key, 0);
+  EXPECT_TRUE(keyspace.remap().is_remapped(key));
+  EXPECT_EQ(keyspace.route(key, false), keyspace.light_index());
+  EXPECT_EQ(keyspace.route(key, true), keyspace.light_index());
+
+  // The transfer installed the home shard's latest committed value on the
+  // light shard, so a light-shard quorum read sees v1 immediately.
+  auto light_read = keyspace.cluster(keyspace.light_index()).read_sync(0, key);
+  ASSERT_TRUE(light_read.has_value());
+  EXPECT_EQ(light_read->value, "v1");
+
+  // Write on the light shard, restore, and the home shard must see it.
+  ASSERT_EQ(keyspace.cluster(keyspace.light_index()).write_sync(0, key, "v2"),
+            TxnOutcome::kCommitted);
+  keyspace.restore_key(key, 1);
+  EXPECT_FALSE(keyspace.remap().is_remapped(key));
+  EXPECT_EQ(keyspace.route(key, false), 0u);
+  auto home_read = keyspace.cluster(0).read_sync(0, key);
+  ASSERT_TRUE(home_read.has_value());
+  EXPECT_EQ(home_read->value, "v2");
+
+  EXPECT_THROW(keyspace.restore_key(key, 2), std::logic_error);
+}
+
+TEST(ShardedKeyspace, RunnerDrivesCleanWorkloadAcrossShards) {
+  ShardedKeyspace keyspace(base_options(2, false));
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];  // ycsb_a: reads + updates only
+  run.records = 16;
+  run.ops_per_client = 30;
+  run.workload_seed = 7;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  EXPECT_EQ(stats.issued, 3u * 30u);
+  EXPECT_EQ(stats.txns, stats.issued);  // no scans => one txn per op
+  EXPECT_EQ(stats.committed + stats.aborted + stats.blocked, stats.txns);
+  EXPECT_GT(stats.committed, 0u);
+  EXPECT_EQ(stats.latency_us.count(), stats.txns);
+  std::uint64_t per_cluster_total = 0;
+  for (const std::uint64_t count : stats.txns_per_cluster) {
+    per_cluster_total += count;
+  }
+  EXPECT_EQ(per_cluster_total, stats.txns);
+  EXPECT_TRUE(keyspace.all_idle());
+
+  const KeyspaceCheckResult check =
+      check_keyspace_histories(keyspace.histories(), {});
+  EXPECT_TRUE(check.ok) << check.report;
+  EXPECT_GT(check.lin_keys_checked, 0u);
+}
+
+TEST(ShardedKeyspace, ScansDecomposeIntoPerKeyTxns) {
+  ShardedKeyspace keyspace(base_options(2, false));
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[4];  // ycsb_e: 95% scans
+  ASSERT_EQ(run.mix.name, "ycsb_e");
+  run.records = 16;
+  run.ops_per_client = 10;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+  EXPECT_EQ(stats.issued, 3u * 10u);
+  EXPECT_GT(stats.txns, stats.issued);  // scans fan out into segments
+  const KeyspaceCheckResult check =
+      check_keyspace_histories(keyspace.histories(), {});
+  EXPECT_TRUE(check.ok) << check.report;
+}
+
+TEST(ShardedKeyspace, HotKeyRemapLifecycleUnderSkew) {
+  ShardedKeyspace keyspace(base_options(2, true));
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];  // zipfian ycsb_a
+  run.records = 8;                // tiny universe => extreme skew
+  run.ops_per_client = 40;
+  run.workload_seed = 3;
+  run.batch_size = 10;
+  run.promote_top_k = 2;
+  run.promote_min_count = 3;
+  run.restore_below = 1;
+  run.max_remapped = 2;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  EXPECT_GE(stats.batches, 4u);
+  EXPECT_GT(stats.promoted, 0u);
+  EXPECT_EQ(stats.promoted, keyspace.remap().log().size() - stats.restored);
+  // Post-promotion traffic actually reached the light shard.
+  EXPECT_GT(stats.txns_per_cluster[keyspace.light_index()], 0u);
+
+  const KeyspaceCheckResult check = check_keyspace_histories(
+      keyspace.histories(), keyspace.remap().ever_remapped_keys());
+  EXPECT_TRUE(check.ok) << check.report;
+}
+
+TEST(ShardedKeyspace, BrokenRouterIsFlaggedWithMinimizedCounterexample) {
+  KeyspaceOptions options = base_options(2, false);
+  BrokenCrossShardRouter broken(2);
+  options.router = &broken;
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix.name = "update_only";
+  run.mix.distribution = KeyDistribution::kUniform;
+  run.mix.read_p = 0.2;
+  run.mix.update_p = 0.8;
+  run.records = 4;  // every key written many times => guaranteed misroutes
+  run.ops_per_client = 20;
+  run_keyspace_workload(keyspace, run);
+
+  const KeyspaceCheckResult check =
+      check_keyspace_histories(keyspace.histories(), {});
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.report.find("routing violation"), std::string::npos)
+      << check.report;
+  // The counterexample is minimized: key + the first txn on each shard.
+  EXPECT_NE(check.report.find("executed on shard"), std::string::npos);
+
+  // The merge alone (no checker) pinpoints the same violation.
+  const MergedKeyspaceHistory merged =
+      merge_keyspace_histories(keyspace.histories(), {});
+  EXPECT_FALSE(merged.routing_ok());
+}
+
+TEST(ShardedKeyspace, MergedIdsAreShardQualified) {
+  ShardedKeyspace keyspace(base_options(2, false));
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];
+  run.records = 16;
+  run.ops_per_client = 5;
+  run_keyspace_workload(keyspace, run);
+  const MergedKeyspaceHistory merged =
+      merge_keyspace_histories(keyspace.histories(), {});
+  ASSERT_FALSE(merged.txns.empty());
+  for (const HistoryTxn& txn : merged.txns) {
+    EXPECT_GE(txn.txn_id >> kShardIdShift, 1u);
+    EXPECT_LE(txn.txn_id >> kShardIdShift, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace atrcp

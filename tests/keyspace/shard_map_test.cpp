@@ -1,0 +1,80 @@
+// Key routing: the hash router's golden values + uniformity, and the
+// deliberately broken cross-shard router the checker must catch.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "keyspace/shard_map.hpp"
+
+namespace atrcp {
+namespace {
+
+TEST(HashShardRouter, GoldenPlacements) {
+  // Pinned: shard placement feeds every bench digest and recorded history,
+  // so a silent change to the hash or the reduction must fail loudly.
+  EXPECT_EQ(HashShardRouter::shard_of(0, 4), 3u);
+  EXPECT_EQ(HashShardRouter::shard_of(1, 4), 1u);
+  EXPECT_EQ(HashShardRouter::shard_of(7, 4), 3u);
+  EXPECT_EQ(HashShardRouter::shard_of(12345, 4), 0u);
+  EXPECT_EQ(HashShardRouter::shard_of(999999999, 4), 2u);
+}
+
+TEST(HashShardRouter, RouteIsStableAndWriteAgnostic) {
+  HashShardRouter router(8);
+  EXPECT_EQ(router.shard_count(), 8u);
+  for (Key key = 0; key < 100; ++key) {
+    const ShardId read_shard = router.route(key, false);
+    EXPECT_LT(read_shard, 8u);
+    EXPECT_EQ(router.route(key, true), read_shard);
+    EXPECT_EQ(router.route(key, false), read_shard);  // stateless
+  }
+}
+
+TEST(HashShardRouter, SpreadsKeysRoughlyUniformly) {
+  constexpr std::size_t kShards = 4;
+  constexpr Key kKeys = 40'000;
+  std::vector<std::size_t> counts(kShards, 0);
+  for (Key key = 0; key < kKeys; ++key) {
+    ++counts[HashShardRouter::shard_of(key, kShards)];
+  }
+  const double expected = static_cast<double>(kKeys) / kShards;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]) / expected, 1.0, 0.05)
+        << "shard " << s;
+  }
+}
+
+TEST(HashShardRouter, RejectsZeroShards) {
+  EXPECT_THROW(HashShardRouter{0}, std::invalid_argument);
+}
+
+TEST(BrokenCrossShardRouter, MisroutesAlternateWrites) {
+  BrokenCrossShardRouter router(4);
+  const Key key = 7;
+  const ShardId home = HashShardRouter::shard_of(key, 4);
+  // Reads always go home — the split is write-side only, which is exactly
+  // what makes it a lost-update generator rather than instant unavailability.
+  EXPECT_EQ(router.route(key, false), home);
+  EXPECT_EQ(router.route(key, true), home);                    // 1st write
+  EXPECT_EQ(router.route(key, true), (home + 1) % 4);          // 2nd write
+  EXPECT_EQ(router.route(key, true), home);                    // 3rd write
+  EXPECT_EQ(router.route(key, true), (home + 1) % 4);          // 4th write
+  EXPECT_EQ(router.route(key, false), home);  // reads still unaffected
+}
+
+TEST(BrokenCrossShardRouter, PerKeyWriteCountersAreIndependent) {
+  BrokenCrossShardRouter router(2);
+  const ShardId home3 = HashShardRouter::shard_of(3, 2);
+  const ShardId home4 = HashShardRouter::shard_of(4, 2);
+  EXPECT_EQ(router.route(3, true), home3);
+  EXPECT_EQ(router.route(4, true), home4);  // key 4's first write: still home
+  EXPECT_EQ(router.route(3, true), (home3 + 1) % 2);
+}
+
+TEST(BrokenCrossShardRouter, RequiresAtLeastTwoShards) {
+  EXPECT_THROW(BrokenCrossShardRouter{1}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atrcp
