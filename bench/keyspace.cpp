@@ -7,18 +7,27 @@
 // jobs-invariant by construction and this run PROVES it), and writes the
 // keyspace section of BENCH_ATRCP.json into the working directory:
 //
-//   "keyspace"    per-unit {name, shards, committed, payload_bytes, digest}
-//   "load_bounds" one object per shard of the 64-site ARBITRARY keyspace —
-//                 measured max read/write site-load share under Zipfian
-//                 theta=0.99 beside the analytic optima 1/d = 1/4 and
-//                 1/|K_phy| = 1/8 (Facts 3.2.3/3.2.4)
-//   "timing"      the single host-dependent line
+//   "keyspace"      per-unit {name, shards, committed, payload_bytes, digest}
+//   "load_bounds"   one object per shard of the 64-site ARBITRARY keyspace —
+//                   measured max read/write site-load share under Zipfian
+//                   theta=0.99 beside the analytic optima 1/d = 1/4 and
+//                   1/|K_phy| = 1/8 (Facts 3.2.3/3.2.4)
+//   "tail_latency"  per-mix merged QuantileSketch tails: commit and
+//                   non-commit p50/p90/p99/p999, quorum-size distributions
+//                   and per-site turnaround p99s (the "tail" unit)
+//   "critical_path" the flight-recorder critical-path breakdown of the
+//                   "cpath" unit: lock/network/service/local decomposition,
+//                   per-site straggler counts, slowest paths
+//   "timing"        the single host-dependent line
 //
 // Everything except "timing" is byte-identical across runs, hosts and
 // --jobs counts. Flags:
-//   --jobs N       driver width for the parallel leg (default: hardware)
-//   --smoke        tiny op counts (CI wiring check, not a perf run)
-//   --lint <file>  validate <file> with obs::json_lint and exit
+//   --jobs N          driver width for the parallel leg (default: hardware)
+//   --smoke           tiny op counts (CI wiring check, not a perf run)
+//   --lint <file>     validate <file> with obs::json_lint and exit
+//   --trace-out FILE  additionally run a small flight-recorded keyspace and
+//                     dump a multi-shard Chrome trace (one process per
+//                     shard, critical-path overlay tracks) to FILE
 //
 // Exit 0 iff every unit's parallel payload matched its serial reference,
 // no inline check reported a violation, and the document lints.
@@ -26,13 +35,19 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
 #include "driver/digest.hpp"
 #include "driver/pool.hpp"
+#include "keyspace/keyspace.hpp"
 #include "keyspace_units.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json_lint.hpp"
 
 using namespace atrcp;
@@ -86,19 +101,81 @@ int lint_file(const char* path) {
   return 0;
 }
 
+/// Runs a small flight-recorded 4-shard keyspace and writes one Chrome
+/// trace document: each shard its own process, each shard's critical-path
+/// report overlaid as a "critical path" track. Returns true on success.
+bool write_trace_out(const std::string& path) {
+  KeyspaceOptions options;
+  options.shards = 4;
+  options.shard_protocol = [] {
+    return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+  };
+  options.clients = 4;
+  options.seed = 0x7ACE;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  options.event_bus_capacity = 1 << 15;
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];
+  run.records = 64;
+  run.ops_per_client = 60;
+  run.workload_seed = 0x7A;
+  run_keyspace_workload(keyspace, run);
+
+  std::vector<CriticalPathReport> reports;
+  reports.reserve(keyspace.cluster_count());
+  std::vector<ShardTrace> shards;
+  for (std::size_t s = 0; s < keyspace.cluster_count(); ++s) {
+    reports.push_back(analyze_critical_paths(*keyspace.cluster(s).events()));
+  }
+  for (std::size_t s = 0; s < keyspace.cluster_count(); ++s) {
+    ShardTrace shard;
+    shard.bus = keyspace.cluster(s).events();
+    shard.name = "shard " + std::to_string(s);
+    shard.site_names = keyspace.cluster(s).site_names();
+    shard.critical = &reports[s];
+    shards.push_back(std::move(shard));
+  }
+  ChromeTraceStats stats{};
+  const std::string trace = chrome_trace_shards_json(shards, &stats);
+  std::string error;
+  if (!json_valid(trace, &error)) {
+    std::printf("FAIL --trace-out document does not lint: %s\n",
+                error.c_str());
+    return false;
+  }
+  std::ofstream file(path, std::ios::binary);
+  file << trace;
+  file.close();
+  if (!file) {
+    std::printf("FAIL could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("# wrote %s (%zu bytes, %zu tracks, %zu flows, %zu critical "
+              "slices; open in chrome://tracing or Perfetto)\n",
+              path.c_str(), trace.size(), stats.tracks, stats.flow_begins,
+              stats.critical_slices);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const RunDriver parallel(parse_jobs_flag(argc, argv));
   const RunDriver serial(1);
   bool smoke = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--lint") == 0 && i + 1 < argc) {
       return lint_file(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
-      std::printf("usage: bench_keyspace [--smoke] [--jobs N] [--lint <file>]\n");
+      std::printf("usage: bench_keyspace [--smoke] [--jobs N] [--lint <file>] "
+                  "[--trace-out <file>]\n");
       return 2;
     }
   }
@@ -107,6 +184,8 @@ int main(int argc, char** argv) {
   std::string units_json;
   std::string timing_json;
   std::string load_bounds;
+  std::string tail_latency;
+  std::string critical_path;
   std::printf("# bench_keyspace%s: %zu units, jobs=%zu\n",
               smoke ? " (smoke)" : "", keyspace_units().size(),
               parallel.jobs());
@@ -121,6 +200,15 @@ int main(int argc, char** argv) {
     const bool clean = reference.payload.find("check=FAIL") == std::string::npos;
     all_ok = all_ok && match && clean;
     if (unit.name == kLoadBoundsUnit) load_bounds = reference.payload;
+    if (unit.name == kTailUnit) {
+      // Cells emit "{...},\n" each; trim the trailing ",\n" so the
+      // concatenation embeds as a JSON array body.
+      tail_latency = reference.payload;
+      if (tail_latency.size() >= 2) {
+        tail_latency.resize(tail_latency.size() - 2);
+      }
+    }
+    if (unit.name == kCriticalPathUnit) critical_path = reference.payload;
     const std::string digest = hex64(fnv1a64(reference.payload));
     const double txns_per_sec =
         sharded.wall_ms > 0
@@ -154,10 +242,17 @@ int main(int argc, char** argv) {
                    ",\"txns_per_sec\":" + fixed(txns_per_sec, 1) + "}";
   }
 
+  if (!trace_out.empty()) {
+    all_ok = write_trace_out(trace_out) && all_ok;
+  }
+
   std::ostringstream doc;
   doc << "{\n\"bench\":\"atrcp\",\n\"schema\":1,\n\"keyspace\":[\n"
       << units_json << "\n],\n\"load_bounds\":[\n" << load_bounds
-      << "\n],\n\"timing\":{\"smoke\":" << (smoke ? "true" : "false")
+      << "\n],\n\"tail_latency\":[\n" << tail_latency
+      << "\n],\n\"critical_path\":\n"
+      << (critical_path.empty() ? "{}" : critical_path)
+      << ",\n\"timing\":{\"smoke\":" << (smoke ? "true" : "false")
       << ",\"jobs\":" << parallel.jobs() << ",\"units\":[" << timing_json
       << "]}\n}\n";
   std::string error;

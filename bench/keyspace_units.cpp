@@ -9,6 +9,9 @@
 #include "core/tree.hpp"
 #include "keyspace/keyspace.hpp"
 #include "keyspace/multi_history.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/qsketch.hpp"
 #include "obs/site_load.hpp"
 #include "txn/cluster.hpp"
 
@@ -164,6 +167,170 @@ ShardResult remap_cell(std::uint64_t ops_per_client) {
   return out;
 }
 
+/// One standard mix through a 4-shard keyspace with every cluster's
+/// telemetry on, shard registries folded into one — the payload is a JSON
+/// object carrying the merged tail sketches: commit / non-commit latency
+/// quantiles, the quorum-size distributions (keyed by metric name) and the
+/// per-site turnaround p99s. Pure integers end to end, so the digest is
+/// jobs-invariant like every other cell.
+ShardResult tail_cell(std::size_t index, std::uint64_t ops_per_client) {
+  const std::vector<KeyspaceMix> mixes = standard_mixes();
+  const KeyspaceMix& mix = mixes.at(index);
+
+  KeyspaceOptions options;
+  options.shards = 4;
+  options.shard_protocol = [] {
+    return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+  };
+  options.clients = 4;
+  options.seed = 0xE22 + index;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix = mix;
+  run.records = 256;
+  run.ops_per_client = ops_per_client;
+  run.workload_seed = 2200 + index;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  // Fold the shard registries in shard order — QuantileSketch merges are
+  // exact and commutative, so this aggregate is the same one any grouping
+  // of the shards would produce.
+  MetricsRegistry merged;
+  for (std::size_t shard = 0; shard < keyspace.cluster_count(); ++shard) {
+    merged.merge_from(keyspace.cluster(shard).metrics());
+  }
+  const auto sketch_json = [&merged](const std::string& name) {
+    const QuantileSketch* sketch = merged.find_qsketch(name);
+    return sketch != nullptr ? sketch->to_json() : std::string("null");
+  };
+
+  ShardResult out;
+  out.payload = "{\"mix\":\"" + mix.name +
+                "\",\"committed\":" + std::to_string(stats.committed) +
+                ",\"txns\":" + std::to_string(stats.txns) +
+                ",\"commit_us\":" + sketch_json("txn.tail.commit_us") +
+                ",\"noncommit_us\":" + sketch_json("txn.tail.noncommit_us") +
+                ",\"quorum_size\":{";
+  bool first = true;
+  for (const auto& [name, sketch] : merged.qsketches()) {
+    const bool is_size = name.size() > 5 &&
+                         name.compare(name.size() - 5, 5, ".size") == 0;
+    if (!is_size || name.rfind("quorum.", 0) != 0) continue;
+    if (!first) out.payload += ",";
+    first = false;
+    out.payload += "\"" + name + "\":" + sketch->to_json();
+  }
+  out.payload += "},\"site_turnaround_p99\":[";
+  for (std::uint32_t site = 0;; ++site) {
+    const QuantileSketch* sketch = merged.find_qsketch(
+        "txn.tail.site." + std::to_string(site) + ".turnaround_us");
+    if (sketch == nullptr) break;
+    if (site) out.payload += ",";
+    out.payload += std::to_string(sketch->p99());
+  }
+  out.payload += "]},\n";
+  out.committed = stats.committed;
+  return out;
+}
+
+/// A flight-recorded 2-shard run analyzed by the critical-path pass: the
+/// payload is the merged CriticalPathReport as JSON — where committed
+/// transactions actually spent their time (lock wait / request flight /
+/// service / reply flight) and which sites straggled.
+ShardResult cpath_cell(std::uint64_t ops_per_client) {
+  KeyspaceOptions options;
+  options.shards = 2;
+  options.shard_protocol = [] {
+    return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+  };
+  options.clients = 4;
+  options.seed = 0xCAFE;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  options.event_bus_capacity = 1 << 15;
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];  // ycsb_a: zipfian theta=0.99
+  run.records = 64;
+  run.ops_per_client = ops_per_client;
+  run.workload_seed = 0xC1;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  CriticalPathReport merged;
+  for (std::size_t shard = 0; shard < keyspace.cluster_count(); ++shard) {
+    merged.merge_from(analyze_critical_paths(*keyspace.cluster(shard).events()));
+  }
+  ShardResult out;
+  out.payload = merged.to_json(5);
+  out.committed = stats.committed;
+  return out;
+}
+
+/// Sketch-mode hotness over a MILLION-key universe across 16 home shards,
+/// with the exact oracle kept alongside (cross_check) — the cell verifies
+/// the sketch's hard guarantees on every key the oracle saw: lower bound
+/// <= true count <= upper bound, and every key hotter than the Space-Saving
+/// threshold monitored. Any violation puts "bounds=FAIL" in the payload
+/// (and therefore in the digest).
+ShardResult msketch_cell(std::size_t index, std::uint64_t ops_per_client) {
+  KeyspaceOptions options;
+  options.shards = 16;
+  options.shard_protocol = [] {
+    return std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5"));
+  };
+  options.clients = 4;
+  options.seed = 0x1A + index;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  options.hotness.mode = HotnessMode::kSketch;
+  options.hotness.cross_check = true;
+  ShardedKeyspace keyspace(options);
+
+  KeyspaceRunOptions run;
+  run.mix = standard_mixes()[0];  // zipfian theta=0.99: real heavy hitters
+  run.records = index == 0 ? 1'000'000 : 65'536;
+  run.ops_per_client = ops_per_client;
+  run.workload_seed = 0x3E7 + index;
+  const KeyspaceStats stats = run_keyspace_workload(keyspace, run);
+
+  const HotnessTracker& hotness = keyspace.hotness();
+  const FreqSketch& sketch = *hotness.sketch();
+  bool bounds_ok = true;
+  std::uint64_t max_overshoot = 0;
+  std::size_t oracle_keys = 0;
+  for (const auto& [key, exact] : hotness.exact_top(
+           static_cast<std::size_t>(hotness.window_total()) + 1)) {
+    ++oracle_keys;
+    const std::uint64_t lower = hotness.count_lower(key);
+    const std::uint64_t upper = hotness.count_upper(key);
+    if (lower > exact || upper < exact) bounds_ok = false;
+    if (exact > sketch.guaranteed_hot_threshold() && !sketch.monitored(key)) {
+      bounds_ok = false;
+    }
+    if (upper - exact > max_overshoot) max_overshoot = upper - exact;
+  }
+  ShardResult out;
+  out.payload = "msketch records=" + std::to_string(run.records) +
+                " shards=16 window=" + std::to_string(hotness.window_total()) +
+                " oracle_keys=" + std::to_string(oracle_keys) +
+                " hot_threshold=" +
+                std::to_string(sketch.guaranteed_hot_threshold()) +
+                " max_overshoot=" + std::to_string(max_overshoot) +
+                (bounds_ok ? " bounds=ok" : " bounds=FAIL check=FAIL") +
+                " digest=" + std::to_string(sketch.digest() % 1000000007) +
+                " top=[";
+  bool first = true;
+  for (const auto& [key, upper] : hotness.top(4)) {
+    if (!first) out.payload += ",";
+    first = false;
+    out.payload += std::to_string(key) + ":" + std::to_string(upper);
+  }
+  out.payload += "] " + stats.line() + "\n";
+  out.committed = stats.committed;
+  return out;
+}
+
 }  // namespace
 
 const std::vector<KeyspaceUnit>& keyspace_units() {
@@ -179,6 +346,17 @@ const std::vector<KeyspaceUnit>& keyspace_units() {
                    }});
     out.push_back({"remap", 1, 200, [](std::size_t, std::uint64_t ops) {
                      return remap_cell(ops);
+                   }});
+    out.push_back({kTailUnit, standard_mixes().size(), 120,
+                   [](std::size_t shard, std::uint64_t ops) {
+                     return tail_cell(shard, ops);
+                   }});
+    out.push_back({kCriticalPathUnit, 1, 150,
+                   [](std::size_t, std::uint64_t ops) {
+                     return cpath_cell(ops);
+                   }});
+    out.push_back({"msketch", 2, 200, [](std::size_t shard, std::uint64_t ops) {
+                     return msketch_cell(shard, ops);
                    }});
     return out;
   }();

@@ -37,11 +37,27 @@ struct KeyspaceUnit {
 /// BENCH_ATRCP.json's "load_bounds" section by bench_keyspace.
 inline constexpr const char* kLoadBoundsUnit = "load64";
 
-/// The three keyspace unit families: "mix_grid" (one shard per standard
-/// YCSB mix over a 4-tree keyspace, checker inline), "load64" (4 shards x
-/// 64-site ARBITRARY under Zipfian theta=0.99 — per-shard max load shares
-/// vs the 1/4 and 1/sqrt(64) optima) and "remap" (skewed traffic through
-/// the hot-key promote/restore lifecycle, transition log in the payload).
+/// Name of the tail-latency unit: one cell per standard YCSB mix, each
+/// cell's payload a JSON object (",\n"-terminated) with the merged
+/// QuantileSketch p50/p90/p99/p999 of commit / non-commit latency, the
+/// quorum-size distributions and per-site turnaround p99s. bench_keyspace
+/// embeds the concatenation as its "tail_latency" array.
+inline constexpr const char* kTailUnit = "tail";
+
+/// Name of the critical-path unit: a flight-recorded multi-shard run whose
+/// payload is the merged CriticalPathReport::to_json() object — the
+/// "critical_path" section of BENCH_ATRCP.json.
+inline constexpr const char* kCriticalPathUnit = "cpath";
+
+/// The keyspace unit families: "mix_grid" (one shard per standard YCSB mix
+/// over a 4-tree keyspace, checker inline), "load64" (4 shards x 64-site
+/// ARBITRARY under Zipfian theta=0.99 — per-shard max load shares vs the
+/// 1/4 and 1/sqrt(64) optima), "remap" (skewed traffic through the hot-key
+/// promote/restore lifecycle, transition log in the payload), "tail" (the
+/// merged quantile-sketch latency distributions per mix), "cpath" (the
+/// flight-recorder critical-path breakdown) and "msketch" (sketch-mode
+/// hotness at a million-key universe, cross-checked against the exact
+/// oracle's bounds).
 const std::vector<KeyspaceUnit>& keyspace_units();
 
 }  // namespace atrcp::benchio

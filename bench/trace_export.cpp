@@ -1,10 +1,13 @@
 // E18 — causal flight recorder export: runs a seeded Table 1 (1-3-5)
 // cluster with the event bus on, injects a crash/recover fault so the
-// timeline shows failure handling, and exports the recorded events as
-// Chrome trace-event JSON (chrome://tracing / Perfetto). The bench is its
-// own smoke test: it validates the JSON with the obs linter, requires
-// nonzero send->deliver flow events, and re-runs the identical seed to
-// assert the export is byte-identical — exiting nonzero on any miss.
+// timeline shows failure handling, runs the critical-path analyzer over
+// the recording, and exports the events as Chrome trace-event JSON
+// (chrome://tracing / Perfetto) with the top-5 slowest committed
+// transactions' critical paths overlaid as their own track. The bench is
+// its own smoke test: it validates the JSON with the obs linter, requires
+// nonzero send->deliver flow events and critical-path slices, and re-runs
+// the identical seed to assert the export is byte-identical — exiting
+// nonzero on any miss.
 //
 // Usage: bench_trace_export [--out PATH]
 //   --out PATH  additionally writes the trace JSON to PATH.
@@ -17,6 +20,7 @@
 #include "core/quorums.hpp"
 #include "core/tree.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/json_lint.hpp"
 #include "txn/cluster.hpp"
@@ -27,8 +31,9 @@ using namespace atrcp;
 namespace {
 
 /// One full seeded run: 1-3-5 tree, two clients, a mid-run crash/recover
-/// of replica 3, flight recorder on. Returns the Chrome trace JSON.
-std::string record_run(ChromeTraceStats* stats) {
+/// of replica 3, flight recorder on. Returns the Chrome trace JSON with
+/// the critical-path overlay; `report` receives the analysis.
+std::string record_run(ChromeTraceStats* stats, CriticalPathReport* report) {
   ClusterOptions options;
   options.clients = 2;
   options.link = LinkParams{.base_latency = 50, .jitter = 10};
@@ -43,7 +48,13 @@ std::string record_run(ChromeTraceStats* stats) {
   workload.read_fraction = 0.5;
   workload.num_keys = 8;
   run_workload(cluster, workload);
-  return chrome_trace_json(*cluster.events(), cluster.site_names(), stats);
+  *report = analyze_critical_paths(*cluster.events());
+  ShardTrace shard;
+  shard.bus = cluster.events();
+  shard.site_names = cluster.site_names();
+  shard.critical = report;
+  shard.top_k = 5;
+  return chrome_trace_shards_json({shard}, stats);
 }
 
 }  // namespace
@@ -62,10 +73,12 @@ int main(int argc, char** argv) {
   std::cout << "=== E18: causal flight recorder -> Chrome trace export "
                "===\n\n";
   ChromeTraceStats stats{};
-  const std::string trace = record_run(&stats);
+  CriticalPathReport report;
+  const std::string trace = record_run(&stats, &report);
   std::cout << "records " << stats.records << ", tracks " << stats.tracks
             << ", flow begins " << stats.flow_begins << ", flow ends "
-            << stats.flow_ends << ", bytes " << trace.size() << "\n";
+            << stats.flow_ends << ", critical slices "
+            << stats.critical_slices << ", bytes " << trace.size() << "\n";
 
   bool ok = true;
   std::string error;
@@ -82,11 +95,30 @@ int main(int argc, char** argv) {
     std::cout << "causal edges: " << stats.flow_begins << " sends linked to "
               << stats.flow_ends << " deliveries/drops\n";
   }
+  if (report.txns_analyzed == 0 || stats.critical_slices == 0) {
+    std::cout << "FAIL: critical-path analyzer reconstructed no committed "
+                 "transactions\n";
+    ok = false;
+  } else {
+    std::cout << "critical path: " << report.txns_analyzed
+              << " txns analyzed, decomposition lock=" << report.lock_us
+              << "us network=" << report.network_us << "us service="
+              << report.service_us << "us local=" << report.local_us
+              << "us of " << report.total_us << "us total\n";
+    std::size_t rank = 0;
+    for (const TxnCriticalPath* path : report.slowest(5)) {
+      std::cout << "  cp#" << ++rank << " txn " << path->txn_id << " coord "
+                << path->coordinator << ": " << path->total_us() << "us, "
+                << path->rounds << " rounds, " << path->segments.size()
+                << " segments\n";
+    }
+  }
 
   // Determinism: the identical seed must export the identical bytes —
   // recording consumes no randomness, so two runs agree event for event.
   ChromeTraceStats second_stats{};
-  const std::string second = record_run(&second_stats);
+  CriticalPathReport second_report;
+  const std::string second = record_run(&second_stats, &second_report);
   if (second != trace) {
     std::cout << "FAIL: same-seed re-run exported different bytes\n";
     ok = false;

@@ -5,21 +5,59 @@
 
 namespace atrcp {
 
+HotnessTracker::HotnessTracker(const HotnessOptions& options)
+    : cross_check_(options.cross_check) {
+  if (options.mode == HotnessMode::kSketch) {
+    sketch_ = std::make_unique<FreqSketch>(options.sketch);
+  }
+}
+
 std::uint64_t HotnessTracker::count(Key key) const {
+  if (sketch_) return sketch_->upper_bound(key);
+  return exact_count(key);
+}
+
+std::uint64_t HotnessTracker::count_lower(Key key) const {
+  if (sketch_) return sketch_->lower_bound(key);
+  return exact_count(key);
+}
+
+std::uint64_t HotnessTracker::exact_count(Key key) const {
   const auto it = window_.find(key);
   return it == window_.end() ? 0 : it->second;
 }
 
-std::vector<std::pair<Key, std::uint64_t>> HotnessTracker::top(
-    std::size_t k) const {
-  std::vector<std::pair<Key, std::uint64_t>> entries(window_.begin(),
-                                                     window_.end());
+namespace {
+
+void sort_hotness(std::vector<std::pair<Key, std::uint64_t>>& entries,
+                  std::size_t k) {
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) {
               if (a.second != b.second) return a.second > b.second;
               return a.first < b.first;
             });
   if (entries.size() > k) entries.resize(k);
+}
+
+}  // namespace
+
+std::vector<std::pair<Key, std::uint64_t>> HotnessTracker::top(
+    std::size_t k) const {
+  if (sketch_) {
+    std::vector<std::pair<Key, std::uint64_t>> entries;
+    for (const auto& [key, count] : sketch_->top(k)) {
+      entries.emplace_back(static_cast<Key>(key), count);
+    }
+    return entries;
+  }
+  return exact_top(k);
+}
+
+std::vector<std::pair<Key, std::uint64_t>> HotnessTracker::exact_top(
+    std::size_t k) const {
+  std::vector<std::pair<Key, std::uint64_t>> entries(window_.begin(),
+                                                     window_.end());
+  sort_hotness(entries, k);
   return entries;
 }
 
@@ -27,6 +65,7 @@ void HotnessTracker::roll() {
   lifetime_ += total_;
   total_ = 0;
   window_.clear();
+  if (sketch_) sketch_->clear();
 }
 
 std::string to_string(HotKeyState state) {

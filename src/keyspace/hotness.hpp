@@ -21,28 +21,72 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/freq_sketch.hpp"
 #include "replica/store.hpp"
 
 namespace atrcp {
 
+/// How HotnessTracker counts key accesses.
+enum class HotnessMode : std::uint8_t {
+  /// Exact per-key map — O(distinct keys) memory. The default; byte-for-
+  /// byte the tracker the keyspace layer always had.
+  kExact = 0,
+  /// Count-Min + Space-Saving sketch (obs/freq_sketch.hpp) — memory
+  /// independent of the key universe; counts become guaranteed one-sided
+  /// bounds. Unlocks millions-of-keys runs.
+  kSketch = 1,
+};
+
+struct HotnessOptions {
+  HotnessMode mode = HotnessMode::kExact;
+  /// In sketch mode, ALSO maintain the exact map as a cross-check oracle
+  /// (exact_count / exact_top stay meaningful) — for accuracy tests and
+  /// the msketch bench; costs the exact map's memory again.
+  bool cross_check = false;
+  FreqSketchOptions sketch{};
+};
+
 /// Rolling-window access counter. record() tallies into the current
 /// window; roll() starts a fresh window (the previous counts are what a
-/// batch-boundary policy inspects). Exact counts, not a sketch — the
-/// simulation's key universes make exactness affordable and keep every
-/// report deterministic.
+/// batch-boundary policy inspects). Exact by default; in sketch mode the
+/// counts come from a Count-Min + Space-Saving sketch whose upper/lower
+/// bounds (count_upper/count_lower) the remap policy consumes — in exact
+/// mode both bounds collapse to the exact count, so policy code written
+/// against the bounds behaves identically under either mode. Either way
+/// every report is deterministic: the sketch hashes with fixed seeds and
+/// consumes no randomness.
 class HotnessTracker {
  public:
+  HotnessTracker() = default;
+  explicit HotnessTracker(const HotnessOptions& options);
+
   void record(Key key) {
-    ++window_[key];
     ++total_;
+    if (sketch_) {
+      sketch_->record(key);
+      if (!cross_check_) return;
+    }
+    ++window_[key];
   }
 
-  /// Accesses of `key` in the current window.
+  HotnessMode mode() const noexcept {
+    return sketch_ ? HotnessMode::kSketch : HotnessMode::kExact;
+  }
+
+  /// Accesses of `key` in the current window. Exact in exact mode; the
+  /// tightest upper bound in sketch mode.
   std::uint64_t count(Key key) const;
+
+  /// Guaranteed lower bound on the window count (== count in exact mode).
+  std::uint64_t count_lower(Key key) const;
+
+  /// Guaranteed upper bound on the window count (== count in exact mode).
+  std::uint64_t count_upper(Key key) const { return count(key); }
 
   /// All accesses recorded in the current window.
   std::uint64_t window_total() const noexcept { return total_; }
@@ -54,14 +98,26 @@ class HotnessTracker {
 
   /// The k hottest keys of the current window, count descending, key
   /// ascending among equals — a deterministic order for reports and for
-  /// the remap policy.
+  /// the remap policy. Sketch mode reports the monitored set's count
+  /// upper bounds.
   std::vector<std::pair<Key, std::uint64_t>> top(std::size_t k) const;
 
   /// Starts a fresh window.
   void roll();
 
+  /// The sketch, or nullptr in exact mode.
+  const FreqSketch* sketch() const noexcept { return sketch_.get(); }
+
+  /// Oracle window count — meaningful in exact mode or with cross_check.
+  std::uint64_t exact_count(Key key) const;
+  /// Oracle top-k over the exact map (same ordering as top()).
+  std::vector<std::pair<Key, std::uint64_t>> exact_top(std::size_t k) const;
+  bool has_oracle() const noexcept { return !sketch_ || cross_check_; }
+
  private:
   std::unordered_map<Key, std::uint64_t> window_;
+  std::unique_ptr<FreqSketch> sketch_;  ///< null in exact mode
+  bool cross_check_ = false;
   std::uint64_t total_ = 0;
   std::uint64_t lifetime_ = 0;
 };

@@ -8,7 +8,7 @@
 namespace atrcp {
 
 ShardedKeyspace::ShardedKeyspace(KeyspaceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), hotness_(options_.hotness) {
   if (options_.shards == 0) {
     throw std::invalid_argument("ShardedKeyspace: shards == 0");
   }
@@ -320,9 +320,14 @@ KeyspaceStats run_keyspace_workload(ShardedKeyspace& keyspace,
     const std::uint64_t batch = stats.batches++;
     if (keyspace.has_light() && options.promote_top_k > 0) {
       // Cooled-off keys go home first (frees light capacity), then the
-      // batch's hottest keys are promoted up to the cap.
+      // batch's hottest keys are promoted up to the cap. The policy acts on
+      // the tracker's guaranteed bounds — in exact mode both collapse to
+      // the exact count (identical decisions, pinned digests unchanged);
+      // in sketch mode restores need the UPPER bound below the threshold
+      // (never restore a possibly-hot key) and promotions the LOWER bound
+      // above it (never promote a possibly-cold key).
       for (const Key key : keyspace.remap().remapped_keys()) {
-        if (keyspace.hotness().count(key) < options.restore_below) {
+        if (keyspace.hotness().count_upper(key) < options.restore_below) {
           keyspace.restore_key(key, batch);
           ++stats.restored;
         }
@@ -330,13 +335,19 @@ KeyspaceStats run_keyspace_workload(ShardedKeyspace& keyspace,
       for (const auto& [key, count] :
            keyspace.hotness().top(options.promote_top_k)) {
         if (count < options.promote_min_count) break;  // sorted descending
+        if (keyspace.hotness().count_lower(key) < options.promote_min_count) {
+          continue;  // sketch upper bound passed but lower bound did not
+        }
         if (keyspace.remap().is_remapped(key)) continue;
         if (keyspace.remap().remapped_count() >= options.max_remapped) break;
         keyspace.promote_key(key, batch);
         ++stats.promoted;
       }
     }
-    keyspace.hotness().roll();
+    // Roll only between batches: the final batch's window stays readable
+    // after the run (the msketch bench cell and the sketch-accuracy tests
+    // audit it against the exact oracle).
+    if (!all_issued()) keyspace.hotness().roll();
   }
   keyspace.settle_all();
   return stats;

@@ -67,6 +67,9 @@ struct KeyspaceOptions {
   CoordinatorOptions coordinator{};
   bool record_history = false;
   std::size_t event_bus_capacity = 0;
+  /// Hotness tracking mode: exact map (default — the digest-pinned
+  /// behaviour) or Count-Min + Space-Saving sketch for millions of keys.
+  HotnessOptions hotness{};
   /// Non-owning router override (fault injection: BrokenCrossShardRouter).
   /// Null = an owned HashShardRouter over `shards`. Must outlive the
   /// keyspace. The router only sees home shards; remapped keys divert to

@@ -2,13 +2,15 @@
 
 #include <sstream>
 
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 
 namespace atrcp {
 namespace {
 
-// All records live in pid 0; tid is the site id, with one synthetic track
-// after the last real site for site-less (system) events.
+// All of a shard's records live in one pid; tid is the site id, with one
+// synthetic track after the last real site for site-less (system) events
+// and, when a critical-path overlay is requested, one more after that.
 struct TrackPlan {
   std::uint32_t system_tid = 0;
   std::uint32_t track_count = 0;  ///< real site tracks (0..track_count-1)
@@ -48,27 +50,72 @@ void open_record(std::ostream& os, bool& first) {
   first = false;
 }
 
-}  // namespace
+/// The top_k slowest paths as nested slices on their own track: one
+/// enclosing "cp#<rank> txn <id>" slice per path, one slice per segment
+/// inside it, so the straggler chain reads directly off the timeline.
+void emit_critical_overlay(std::ostream& os, std::size_t pid,
+                           std::uint32_t tid, const CriticalPathReport& report,
+                           std::size_t top_k, bool& first,
+                           ChromeTraceStats& stats) {
+  const std::vector<const TxnCriticalPath*> slowest = report.slowest(top_k);
+  if (slowest.empty()) return;
+  open_record(os, first);
+  os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"critical path\"}}";
+  ++stats.records;
+  std::size_t rank = 0;
+  for (const TxnCriticalPath* path : slowest) {
+    ++rank;
+    open_record(os, first);
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << path->begin << ",\"dur\":" << path->total_us()
+       << ",\"cat\":\"cpath\",\"name\":\"cp#" << rank << " txn "
+       << path->txn_id << "\",\"args\":{\"coord\":" << path->coordinator
+       << ",\"rounds\":" << path->rounds << ",\"lock_us\":" << path->lock_us
+       << ",\"network_us\":" << path->network_us
+       << ",\"service_us\":" << path->service_us
+       << ",\"local_us\":" << path->local_us << "}}";
+    ++stats.records;
+    ++stats.critical_slices;
+    for (const PathSegment& segment : path->segments) {
+      open_record(os, first);
+      os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":" << segment.start
+         << ",\"dur\":" << segment.duration() << ",\"cat\":\"cpath\","
+         << "\"name\":\"" << path_segment_kind_name(segment.kind) << " "
+         << json_escape(segment.label) << "\",\"args\":{";
+      if (segment.site != Event::kNoSite) {
+        os << "\"site\":" << segment.site << ",";
+      }
+      os << "\"txn\":" << path->txn_id << "}}";
+      ++stats.records;
+      ++stats.critical_slices;
+    }
+  }
+}
 
-ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
-                                    const std::vector<std::string>&
-                                        site_names) {
-  const std::vector<Event> events = bus.snapshot();
-  const TrackPlan plan = plan_tracks(events, site_names);
-  ChromeTraceStats stats;
-  bool first = true;
+void emit_shard(std::ostream& os, std::size_t pid, const ShardTrace& shard,
+                bool& first, ChromeTraceStats& stats) {
+  const std::vector<Event> events = shard.bus->snapshot();
+  const TrackPlan plan = plan_tracks(events, shard.site_names);
 
-  os << "{\"traceEvents\":[\n";
+  if (!shard.name.empty()) {
+    open_record(os, first);
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(shard.name) << "\"}}";
+    ++stats.records;
+  }
   for (std::uint32_t tid = 0; tid < plan.track_count; ++tid) {
     open_record(os, first);
-    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-       << json_escape(track_name(tid, site_names)) << "\"}}";
+       << json_escape(track_name(tid, shard.site_names)) << "\"}}";
     ++stats.records;
     ++stats.tracks;
   }
   open_record(os, first);
-  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << plan.system_tid
+  os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << plan.system_tid
      << ",\"name\":\"thread_name\",\"args\":{\"name\":\"system\"}}";
   ++stats.records;
 
@@ -82,21 +129,22 @@ ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
       case EventKind::kMsgDeliver:
       case EventKind::kMsgDrop: {
         open_record(os, first);
-        os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << e.time
-           << ",\"dur\":1,\"cat\":\"msg\",\"name\":\"" << name
-           << "\",\"args\":{\"kind\":\"" << event_kind_name(e.kind)
+        os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+           << ",\"ts\":" << e.time << ",\"dur\":1,\"cat\":\"msg\",\"name\":\""
+           << name << "\",\"args\":{\"kind\":\"" << event_kind_name(e.kind)
            << "\",\"peer\":" << e.peer << ",\"cid\":" << e.causal_id << "}}";
         ++stats.records;
         if (e.causal_id != 0) {
           open_record(os, first);
           if (e.kind == EventKind::kMsgSend) {
-            os << "{\"ph\":\"s\",\"pid\":0,\"tid\":" << tid
+            os << "{\"ph\":\"s\",\"pid\":" << pid << ",\"tid\":" << tid
                << ",\"ts\":" << e.time << ",\"cat\":\"msg\",\"name\":\"" << name
                << "\",\"id\":" << e.causal_id << "}";
             ++stats.flow_begins;
           } else {
-            os << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":" << tid
-               << ",\"ts\":" << e.time << ",\"cat\":\"msg\",\"name\":\"" << name
+            os << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":" << pid
+               << ",\"tid\":" << tid << ",\"ts\":" << e.time
+               << ",\"cat\":\"msg\",\"name\":\"" << name
                << "\",\"id\":" << e.causal_id << "}";
             ++stats.flow_ends;
           }
@@ -108,7 +156,7 @@ ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
       case EventKind::kTxnFinish: {
         open_record(os, first);
         const char* ph = e.kind == EventKind::kTxnBegin ? "b" : "e";
-        os << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << tid
+        os << "{\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
            << ",\"ts\":" << e.time << ",\"cat\":\"txn\",\"id\":" << e.txn_id
            << ",\"name\":\"txn\",\"args\":{\"label\":\"" << name << "\"}}";
         ++stats.records;
@@ -116,17 +164,43 @@ ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
       }
       default: {
         open_record(os, first);
-        os << "{\"ph\":\"i\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << e.time
-           << ",\"s\":\"t\",\"name\":\"" << event_kind_name(e.kind)
-           << "\",\"args\":{\"label\":\"" << name
+        os << "{\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":" << tid
+           << ",\"ts\":" << e.time << ",\"s\":\"t\",\"name\":\""
+           << event_kind_name(e.kind) << "\",\"args\":{\"label\":\"" << name
            << "\",\"txn\":" << e.txn_id << "}}";
         ++stats.records;
         break;
       }
     }
   }
+  if (shard.critical != nullptr) {
+    emit_critical_overlay(os, pid, plan.system_tid + 1, *shard.critical,
+                          shard.top_k, first, stats);
+  }
+}
+
+}  // namespace
+
+ChromeTraceStats write_chrome_trace_shards(std::ostream& os,
+                                           const std::vector<ShardTrace>&
+                                               shards) {
+  ChromeTraceStats stats;
+  bool first = true;
+  os << "{\"traceEvents\":[\n";
+  for (std::size_t pid = 0; pid < shards.size(); ++pid) {
+    emit_shard(os, pid, shards[pid], first, stats);
+  }
   os << "\n]}\n";
   return stats;
+}
+
+ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
+                                    const std::vector<std::string>&
+                                        site_names) {
+  ShardTrace shard;
+  shard.bus = &bus;
+  shard.site_names = site_names;
+  return write_chrome_trace_shards(os, {shard});
 }
 
 std::string chrome_trace_json(const EventBus& bus,
@@ -134,6 +208,14 @@ std::string chrome_trace_json(const EventBus& bus,
                               ChromeTraceStats* stats) {
   std::ostringstream os;
   const ChromeTraceStats s = write_chrome_trace(os, bus, site_names);
+  if (stats != nullptr) *stats = s;
+  return os.str();
+}
+
+std::string chrome_trace_shards_json(const std::vector<ShardTrace>& shards,
+                                     ChromeTraceStats* stats) {
+  std::ostringstream os;
+  const ChromeTraceStats s = write_chrome_trace_shards(os, shards);
   if (stats != nullptr) *stats = s;
   return os.str();
 }

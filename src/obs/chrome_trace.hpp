@@ -21,12 +21,31 @@
 
 namespace atrcp {
 
+struct CriticalPathReport;
+
 /// What an export wrote, for smoke checks ("nonzero flow events").
 struct ChromeTraceStats {
   std::size_t records = 0;      ///< trace records emitted (incl. metadata)
   std::size_t flow_begins = 0;  ///< "s" flow-start events (at kMsgSend)
   std::size_t flow_ends = 0;    ///< "f" flow-finish events (deliver/drop)
   std::size_t tracks = 0;       ///< named per-site tracks
+  std::size_t critical_slices = 0;  ///< critical-path overlay slices
+};
+
+/// One flight recorder to export. Multi-shard exports render each shard as
+/// its own Chrome trace PROCESS (pid = shard index, process_name metadata)
+/// with the shard's sites as threads inside it, so a Perfetto timeline
+/// shows every shard's world side by side.
+struct ShardTrace {
+  const EventBus* bus = nullptr;  ///< required
+  /// Process name ("shard 3"); empty = no process_name record (the
+  /// single-bus export's legacy shape).
+  std::string name;
+  std::vector<std::string> site_names;
+  /// When set, the top_k slowest analyzed paths are overlaid as nested
+  /// slices on a dedicated "critical path" track of this shard.
+  const CriticalPathReport* critical = nullptr;
+  std::size_t top_k = 3;
 };
 
 /// Renders the bus's retained events as a Chrome trace-event JSON document
@@ -41,5 +60,16 @@ ChromeTraceStats write_chrome_trace(std::ostream& os, const EventBus& bus,
 std::string chrome_trace_json(const EventBus& bus,
                               const std::vector<std::string>& site_names = {},
                               ChromeTraceStats* stats = nullptr);
+
+/// Multi-shard export: one document, one process per ShardTrace, optional
+/// critical-path overlays. A single unnamed shard with no overlay is byte-
+/// identical to write_chrome_trace.
+ChromeTraceStats write_chrome_trace_shards(std::ostream& os,
+                                           const std::vector<ShardTrace>&
+                                               shards);
+
+/// Convenience: the multi-shard document as a string.
+std::string chrome_trace_shards_json(const std::vector<ShardTrace>& shards,
+                                     ChromeTraceStats* stats = nullptr);
 
 }  // namespace atrcp

@@ -1,0 +1,426 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "obs/metrics.hpp"
+
+namespace atrcp {
+namespace {
+
+/// Request-message tags the coordinator fans out, and the reply tag each
+/// one is answered with. ApplyRequest (read repair) is fire-and-forget —
+/// it has no entry, so it can never steal a reply pairing.
+const char* expected_request(const std::string& reply_label) {
+  if (reply_label == "ReadReply") return "ReadRequest";
+  if (reply_label == "VersionReply") return "VersionRequest";
+  if (reply_label == "PrepareVote") return "PrepareRequest";
+  if (reply_label == "CommitAck") return "CommitRequest";
+  if (reply_label == "AbortAck") return "AbortRequest";
+  return nullptr;
+}
+
+bool is_request(const std::string& label) {
+  return label == "ReadRequest" || label == "VersionRequest" ||
+         label == "PrepareRequest" || label == "CommitRequest" ||
+         label == "AbortRequest";
+}
+
+struct ReqEntry {
+  std::uint64_t cid = 0;
+  std::uint64_t txn = 0;
+  std::uint64_t send = 0;
+  std::uint64_t deliver = 0;
+  bool delivered = false;
+  std::string label;
+};
+
+struct Cycle {
+  std::uint32_t peer = Event::kNoSite;
+  std::uint64_t req_send = 0;
+  std::uint64_t req_deliver = 0;
+  std::uint64_t reply_send = 0;
+  std::uint64_t reply_deliver = 0;
+  bool complete = false;
+  std::string label;  ///< the request tag
+};
+
+struct TxnBuild {
+  std::uint32_t coordinator = Event::kNoSite;
+  std::uint64_t begin = 0;
+  bool ambiguous = false;  ///< >1 txn active at the coordinator at once
+  std::uint64_t lock_wait_start = 0;
+  bool lock_waiting = false;
+  std::string lock_label;
+  std::vector<PathSegment> lock_segments;
+  std::vector<Cycle> cycles;
+};
+
+}  // namespace
+
+const char* path_segment_kind_name(PathSegment::Kind kind) {
+  switch (kind) {
+    case PathSegment::Kind::kLockWait: return "lock_wait";
+    case PathSegment::Kind::kRequestFlight: return "request";
+    case PathSegment::Kind::kService: return "service";
+    case PathSegment::Kind::kReplyFlight: return "reply";
+  }
+  return "unknown";
+}
+
+CriticalPathReport analyze_critical_paths(const EventBus& bus) {
+  CriticalPathReport report;
+
+  // (coordinator site, peer site) -> outstanding requests, send order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::deque<ReqEntry>>
+      outstanding;
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+      request_cid;                                  // cid -> queue key
+  std::map<std::uint64_t, std::uint64_t> reply_txn;  // cid -> txn id
+  std::map<std::uint64_t, std::size_t> reply_cycle;  // cid -> cycles index
+  std::map<std::uint32_t, std::vector<std::uint64_t>> active;  // site -> txns
+  std::map<std::uint64_t, TxnBuild> txns;
+
+  const auto bump_straggler = [&report](std::uint32_t site) {
+    if (report.straggler_counts.size() <= site) {
+      report.straggler_counts.resize(site + 1, 0);
+    }
+    ++report.straggler_counts[site];
+  };
+
+  const std::size_t n = bus.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = bus.at(i);
+    switch (e.kind) {
+      case EventKind::kTxnBegin: {
+        auto& list = active[e.site];
+        list.push_back(e.txn_id);
+        TxnBuild build;
+        build.coordinator = e.site;
+        build.begin = e.time;
+        if (list.size() > 1) {
+          // Concurrent txns on one coordinator: request sends can no
+          // longer be attributed soundly; skip all of them.
+          build.ambiguous = true;
+          for (const std::uint64_t id : list) {
+            const auto it = txns.find(id);
+            if (it != txns.end()) it->second.ambiguous = true;
+          }
+        }
+        txns.emplace(e.txn_id, std::move(build));
+        break;
+      }
+      case EventKind::kLockWait: {
+        const auto it = txns.find(e.txn_id);
+        if (it == txns.end()) break;
+        it->second.lock_wait_start = e.time;
+        it->second.lock_waiting = true;
+        it->second.lock_label = e.label;
+        break;
+      }
+      case EventKind::kLockGranted: {
+        const auto it = txns.find(e.txn_id);
+        if (it == txns.end() || !it->second.lock_waiting) break;
+        TxnBuild& build = it->second;
+        build.lock_waiting = false;
+        if (e.time > build.lock_wait_start) {
+          PathSegment segment;
+          segment.kind = PathSegment::Kind::kLockWait;
+          segment.start = build.lock_wait_start;
+          segment.end = e.time;
+          segment.label = build.lock_label;
+          build.lock_segments.push_back(std::move(segment));
+        }
+        break;
+      }
+      case EventKind::kMsgSend: {
+        if (e.causal_id == 0 || e.peer == Event::kNoSite) break;
+        if (is_request(e.label)) {
+          const auto it = active.find(e.site);
+          if (it == active.end() || it->second.empty()) break;
+          if (it->second.size() > 1) break;  // ambiguous, already flagged
+          ReqEntry entry;
+          entry.cid = e.causal_id;
+          entry.txn = it->second.front();
+          entry.send = e.time;
+          entry.label = e.label;
+          outstanding[{e.site, e.peer}].push_back(std::move(entry));
+          request_cid[e.causal_id] = {e.site, e.peer};
+          break;
+        }
+        if (const char* want = expected_request(e.label)) {
+          // A reply leaving peer e.site for coordinator e.peer: pair it
+          // with the oldest delivered outstanding request of the matching
+          // type (FIFO links + run-to-completion service make this exact).
+          const auto qit = outstanding.find({e.peer, e.site});
+          if (qit == outstanding.end()) break;
+          auto& queue = qit->second;
+          for (auto entry = queue.begin(); entry != queue.end(); ++entry) {
+            if (!entry->delivered || entry->label != want) continue;
+            const auto txn_it = txns.find(entry->txn);
+            if (txn_it != txns.end()) {
+              Cycle cycle;
+              cycle.peer = e.site;
+              cycle.req_send = entry->send;
+              cycle.req_deliver = entry->deliver;
+              cycle.reply_send = e.time;
+              cycle.label = entry->label;
+              reply_txn[e.causal_id] = entry->txn;
+              reply_cycle[e.causal_id] = txn_it->second.cycles.size();
+              txn_it->second.cycles.push_back(std::move(cycle));
+            }
+            request_cid.erase(entry->cid);
+            queue.erase(entry);
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::kMsgDeliver: {
+        if (e.causal_id == 0) break;
+        if (const auto rit = request_cid.find(e.causal_id);
+            rit != request_cid.end()) {
+          auto& queue = outstanding[rit->second];
+          for (ReqEntry& entry : queue) {
+            if (entry.cid != e.causal_id) continue;
+            entry.delivered = true;
+            entry.deliver = e.time;
+            break;
+          }
+          break;
+        }
+        if (const auto cit = reply_txn.find(e.causal_id);
+            cit != reply_txn.end()) {
+          const auto txn_it = txns.find(cit->second);
+          if (txn_it != txns.end()) {
+            Cycle& cycle =
+                txn_it->second.cycles[reply_cycle[e.causal_id]];
+            cycle.reply_deliver = e.time;
+            cycle.complete = true;
+          }
+          reply_txn.erase(cit);
+          reply_cycle.erase(e.causal_id);
+        }
+        break;
+      }
+      case EventKind::kMsgDrop: {
+        if (e.causal_id == 0) break;
+        if (const auto rit = request_cid.find(e.causal_id);
+            rit != request_cid.end()) {
+          auto& queue = outstanding[rit->second];
+          for (auto entry = queue.begin(); entry != queue.end(); ++entry) {
+            if (entry->cid != e.causal_id) continue;
+            queue.erase(entry);
+            break;
+          }
+          request_cid.erase(rit);
+          break;
+        }
+        reply_txn.erase(e.causal_id);
+        reply_cycle.erase(e.causal_id);
+        break;
+      }
+      case EventKind::kTxnFinish: {
+        // Drop from the coordinator's active list whatever happens next.
+        if (const auto ait = active.find(e.site); ait != active.end()) {
+          auto& list = ait->second;
+          list.erase(std::remove(list.begin(), list.end(), e.txn_id),
+                     list.end());
+        }
+        const bool committed = e.label == "committed";
+        const auto it = txns.find(e.txn_id);
+        if (it == txns.end()) {
+          if (committed) ++report.txns_truncated;
+          break;
+        }
+        TxnBuild build = std::move(it->second);
+        txns.erase(it);
+        // Purge any still-outstanding requests of this txn so later
+        // replies cannot mis-pair with a dead transaction.
+        for (auto& [key, queue] : outstanding) {
+          if (key.first != build.coordinator) continue;
+          for (auto entry = queue.begin(); entry != queue.end();) {
+            if (entry->txn == e.txn_id) {
+              request_cid.erase(entry->cid);
+              entry = queue.erase(entry);
+            } else {
+              ++entry;
+            }
+          }
+        }
+        if (!committed) break;
+        if (build.ambiguous) {
+          ++report.txns_truncated;
+          break;
+        }
+
+        TxnCriticalPath path;
+        path.txn_id = e.txn_id;
+        path.coordinator = build.coordinator;
+        path.begin = build.begin;
+        path.end = e.time;
+        path.segments = std::move(build.lock_segments);
+        for (const PathSegment& segment : path.segments) {
+          path.lock_us += segment.duration();
+        }
+
+        // Group completed cycles into rounds by fan-out instant; the
+        // round's straggler (latest reply, smallest peer on ties) is the
+        // critical chain through that round.
+        std::map<std::uint64_t, std::vector<const Cycle*>> rounds;
+        for (const Cycle& cycle : build.cycles) {
+          if (cycle.complete) rounds[cycle.req_send].push_back(&cycle);
+        }
+        path.rounds = rounds.size();
+        for (const auto& [send_time, members] : rounds) {
+          const Cycle* straggler = members.front();
+          for (const Cycle* cycle : members) {
+            if (cycle->reply_deliver > straggler->reply_deliver ||
+                (cycle->reply_deliver == straggler->reply_deliver &&
+                 cycle->peer < straggler->peer)) {
+              straggler = cycle;
+            }
+          }
+          bump_straggler(straggler->peer);
+          PathSegment request;
+          request.kind = PathSegment::Kind::kRequestFlight;
+          request.start = straggler->req_send;
+          request.end = straggler->req_deliver;
+          request.site = straggler->peer;
+          request.label = straggler->label;
+          PathSegment service;
+          service.kind = PathSegment::Kind::kService;
+          service.start = straggler->req_deliver;
+          service.end = straggler->reply_send;
+          service.site = straggler->peer;
+          service.label = straggler->label;
+          PathSegment reply;
+          reply.kind = PathSegment::Kind::kReplyFlight;
+          reply.start = straggler->reply_send;
+          reply.end = straggler->reply_deliver;
+          reply.site = straggler->peer;
+          reply.label = straggler->label;
+          path.network_us += request.duration() + reply.duration();
+          path.service_us += service.duration();
+          path.segments.push_back(std::move(request));
+          path.segments.push_back(std::move(service));
+          path.segments.push_back(std::move(reply));
+        }
+        std::sort(path.segments.begin(), path.segments.end(),
+                  [](const PathSegment& a, const PathSegment& b) {
+                    if (a.start != b.start) return a.start < b.start;
+                    return a.end < b.end;
+                  });
+        const std::uint64_t accounted =
+            path.lock_us + path.network_us + path.service_us;
+        // Commit-retransmit rounds can overlap the original fan-out, so
+        // clamp rather than trust the subtraction.
+        path.local_us =
+            path.total_us() > accounted ? path.total_us() - accounted : 0;
+
+        report.lock_us += path.lock_us;
+        report.network_us += path.network_us;
+        report.service_us += path.service_us;
+        report.local_us += path.local_us;
+        report.total_us += path.total_us();
+        ++report.txns_analyzed;
+        report.paths.push_back(std::move(path));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+void CriticalPathReport::merge_from(const CriticalPathReport& other) {
+  if (&other == this) return;
+  txns_analyzed += other.txns_analyzed;
+  txns_truncated += other.txns_truncated;
+  paths.insert(paths.end(), other.paths.begin(), other.paths.end());
+  if (straggler_counts.size() < other.straggler_counts.size()) {
+    straggler_counts.resize(other.straggler_counts.size(), 0);
+  }
+  for (std::size_t s = 0; s < other.straggler_counts.size(); ++s) {
+    straggler_counts[s] += other.straggler_counts[s];
+  }
+  lock_us += other.lock_us;
+  network_us += other.network_us;
+  service_us += other.service_us;
+  local_us += other.local_us;
+  total_us += other.total_us;
+}
+
+std::vector<const TxnCriticalPath*> CriticalPathReport::slowest(
+    std::size_t k) const {
+  std::vector<const TxnCriticalPath*> out;
+  out.reserve(paths.size());
+  for (const TxnCriticalPath& path : paths) out.push_back(&path);
+  std::sort(out.begin(), out.end(),
+            [](const TxnCriticalPath* a, const TxnCriticalPath* b) {
+              if (a->total_us() != b->total_us()) {
+                return a->total_us() > b->total_us();
+              }
+              if (a->coordinator != b->coordinator) {
+                return a->coordinator < b->coordinator;
+              }
+              return a->txn_id < b->txn_id;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::string CriticalPathReport::to_json(std::size_t top_k) const {
+  std::uint64_t rounds = 0;
+  for (const TxnCriticalPath& path : paths) rounds += path.rounds;
+  std::string out = "{\"txns\":" + std::to_string(txns_analyzed) +
+                    ",\"truncated\":" + std::to_string(txns_truncated) +
+                    ",\"rounds\":" + std::to_string(rounds) +
+                    ",\"lock_us\":" + std::to_string(lock_us) +
+                    ",\"network_us\":" + std::to_string(network_us) +
+                    ",\"service_us\":" + std::to_string(service_us) +
+                    ",\"local_us\":" + std::to_string(local_us) +
+                    ",\"total_us\":" + std::to_string(total_us) +
+                    ",\"stragglers\":[";
+  std::size_t last_nonzero = 0;
+  for (std::size_t s = 0; s < straggler_counts.size(); ++s) {
+    if (straggler_counts[s] != 0) last_nonzero = s + 1;
+  }
+  for (std::size_t s = 0; s < last_nonzero; ++s) {
+    if (s) out += ",";
+    out += std::to_string(straggler_counts[s]);
+  }
+  out += "],\"slowest\":[";
+  bool first_path = true;
+  for (const TxnCriticalPath* path : slowest(top_k)) {
+    if (!first_path) out += ",";
+    first_path = false;
+    out += "{\"txn\":" + std::to_string(path->txn_id) +
+           ",\"coord\":" + std::to_string(path->coordinator) +
+           ",\"total_us\":" + std::to_string(path->total_us()) +
+           ",\"rounds\":" + std::to_string(path->rounds) +
+           ",\"lock_us\":" + std::to_string(path->lock_us) +
+           ",\"network_us\":" + std::to_string(path->network_us) +
+           ",\"service_us\":" + std::to_string(path->service_us) +
+           ",\"local_us\":" + std::to_string(path->local_us) + ",\"path\":[";
+    bool first_segment = true;
+    for (const PathSegment& segment : path->segments) {
+      if (!first_segment) out += ",";
+      first_segment = false;
+      out += std::string("{\"kind\":\"") +
+             path_segment_kind_name(segment.kind) + "\"";
+      if (segment.site != Event::kNoSite) {
+        out += ",\"site\":" + std::to_string(segment.site);
+      }
+      out += ",\"start\":" + std::to_string(segment.start) +
+             ",\"end\":" + std::to_string(segment.end) + ",\"label\":\"" +
+             json_escape(segment.label) + "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,120 @@
+// Critical-path analysis over the flight recorder: which dependency chain
+// actually set each committed transaction's latency, and which quorum
+// member straggled.
+//
+// The EventBus records message send/deliver/drop edges (linked by causal
+// id but carrying no txn id) and coordinator txn lifecycle events (begin/
+// phase/finish, lock wait/grant). The analyzer reconstructs attribution
+// in one forward pass:
+//
+//   1. kTxnBegin/kTxnFinish bracket the txn ACTIVE at its coordinator
+//      site — a "*Request" send leaving that site while the txn is active
+//      belongs to it.
+//   2. A reply ("*Reply"/"*Vote"/"*Ack") sent from peer P back to
+//      coordinator C pairs FIFO with the oldest outstanding delivered
+//      request C -> P — sound because links are FIFO per ordered pair in
+//      the simulated network and replica service is run-to-completion.
+//   3. Requests fanned out at the same instant form a ROUND (one quorum
+//      fan-out); the round ends when its LAST reply delivers — that
+//      member is the round's straggler, and the straggler's
+//      request-flight / service / reply-flight cycle is the round's
+//      contribution to the critical path.
+//
+// The longest dependency chain of a committed txn is then: lock waits
+// (serial by construction) plus each round's straggler cycle, with the
+// remainder of the txn's wall time attributed to coordinator-local
+// scheduling. Every output quantity is integer microseconds derived only
+// from bus contents, so reports are byte-deterministic and shard merges
+// are order-stable.
+//
+// Ring eviction: a txn whose kTxnBegin fell off the ring cannot be
+// attributed; it is counted in txns_truncated and skipped. Capacity-0
+// buses yield an empty (but valid) report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+
+namespace atrcp {
+
+/// One hop of a committed txn's critical path.
+struct PathSegment {
+  enum class Kind : std::uint8_t {
+    kLockWait = 0,      ///< coordinator waited for a lock grant
+    kRequestFlight = 1, ///< request in flight coordinator -> straggler
+    kService = 2,       ///< request delivered -> reply sent at the peer
+    kReplyFlight = 3,   ///< reply in flight straggler -> coordinator
+  };
+
+  Kind kind = Kind::kLockWait;
+  std::uint64_t start = 0;  ///< SimTime microseconds
+  std::uint64_t end = 0;
+  /// Remote site for flight/service segments; Event::kNoSite for locks.
+  std::uint32_t site = Event::kNoSite;
+  /// Message tag ("PrepareRequest") or lock key ("key 7").
+  std::string label;
+
+  std::uint64_t duration() const noexcept { return end - start; }
+};
+
+/// The reconstructed critical path of one committed transaction.
+struct TxnCriticalPath {
+  std::uint64_t txn_id = 0;
+  std::uint32_t coordinator = Event::kNoSite;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::vector<PathSegment> segments;  ///< in time order
+  std::size_t rounds = 0;             ///< quorum fan-outs observed
+
+  // Wall-clock decomposition (sums of disjoint intervals; local is the
+  // remainder: coordinator-side scheduling between path segments).
+  std::uint64_t lock_us = 0;
+  std::uint64_t network_us = 0;  ///< straggler request + reply flights
+  std::uint64_t service_us = 0;  ///< straggler deliver -> reply send
+  std::uint64_t local_us = 0;
+
+  std::uint64_t total_us() const noexcept { return end - begin; }
+};
+
+/// Whole-bus analysis result.
+struct CriticalPathReport {
+  std::size_t txns_analyzed = 0;   ///< committed txns fully reconstructed
+  std::size_t txns_truncated = 0;  ///< committed txns with evicted begins
+  /// Analyzed paths in finish order.
+  std::vector<TxnCriticalPath> paths;
+  /// straggler_counts[s] = rounds whose last reply came from site s.
+  std::vector<std::uint64_t> straggler_counts;
+  /// Aggregate decomposition over all analyzed paths.
+  std::uint64_t lock_us = 0;
+  std::uint64_t network_us = 0;
+  std::uint64_t service_us = 0;
+  std::uint64_t local_us = 0;
+  std::uint64_t total_us = 0;
+
+  /// Folds another report in (shard aggregation; merge in shard-index
+  /// order for stable output). Straggler counts add index-wise; paths
+  /// concatenate.
+  void merge_from(const CriticalPathReport& other);
+
+  /// The k slowest analyzed paths, total latency descending, ties broken
+  /// by (coordinator, txn_id) ascending.
+  std::vector<const TxnCriticalPath*> slowest(std::size_t k) const;
+
+  /// Deterministic JSON block: aggregate breakdown, per-site straggler
+  /// counts (trailing zeros trimmed), and the `top_k` slowest paths with
+  /// their segment chains. Integer-only.
+  std::string to_json(std::size_t top_k = 5) const;
+};
+
+/// Analyzes the bus's retained events (one simulated world per bus).
+CriticalPathReport analyze_critical_paths(const EventBus& bus);
+
+/// "lock_wait" / "request" / "service" / "reply".
+const char* path_segment_kind_name(PathSegment::Kind kind);
+
+}  // namespace atrcp

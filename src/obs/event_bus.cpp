@@ -5,13 +5,16 @@
 
 namespace atrcp {
 
-EventBus::EventBus(std::size_t capacity) : slots_(capacity) {
-  if (capacity == 0) {
-    throw std::invalid_argument("EventBus: capacity must be > 0");
-  }
-}
+EventBus::EventBus(std::size_t capacity) : slots_(capacity) {}
 
 void EventBus::publish(Event event) {
+  if (slots_.empty()) {
+    // Capacity-0 bus: a pure counter. Retains nothing but still tallies
+    // total_published and hands out causal ids, so exporters see a valid
+    // (empty) trace instead of degenerate output.
+    ++total_;
+    return;
+  }
   if (size_ < slots_.size()) {
     slots_[(head_ + size_) % slots_.size()] = std::move(event);
     ++size_;

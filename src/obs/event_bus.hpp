@@ -85,6 +85,10 @@ struct Event {
 
 /// Fixed-capacity ring of events: most recent kept, oldest evicted, no
 /// per-record allocation beyond the label's SSO. Mirrors TxnSpanLog.
+/// Capacity 0 is a valid degenerate bus: it retains no events (publish
+/// only bumps total_published) yet still allocates causal ids, so code
+/// holding a bus reference never needs a null check and exporters emit a
+/// valid empty trace.
 class EventBus {
  public:
   explicit EventBus(std::size_t capacity = 1 << 14);

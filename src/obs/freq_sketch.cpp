@@ -1,0 +1,183 @@
+#include "obs/freq_sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace atrcp {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t value) noexcept {
+  // One SplitMix64 step over `value` as state — a strong 64->64 mixer.
+  return SplitMix64(value).next();
+}
+
+}  // namespace
+
+FreqSketch::FreqSketch(FreqSketchOptions options) : options_(options) {
+  if (options_.rows == 0 || options_.width_log2 == 0 ||
+      options_.width_log2 > 32 || options_.capacity == 0) {
+    throw std::invalid_argument("FreqSketch: bad geometry");
+  }
+  const std::size_t width = std::size_t{1} << options_.width_log2;
+  width_mask_ = width - 1;
+  SplitMix64 seeder(options_.seed);
+  salts_.reserve(options_.rows);
+  for (std::uint32_t row = 0; row < options_.rows; ++row) {
+    salts_.push_back(seeder.next());
+  }
+  table_.assign(static_cast<std::size_t>(options_.rows) * width, 0);
+}
+
+std::size_t FreqSketch::cell(std::uint32_t row,
+                             std::uint64_t key) const noexcept {
+  const std::uint64_t h = mix64(key ^ salts_[row]);
+  return (static_cast<std::size_t>(row) << options_.width_log2) +
+         static_cast<std::size_t>(h & width_mask_);
+}
+
+void FreqSketch::record(std::uint64_t key, std::uint64_t count) {
+  if (count == 0) return;
+  for (std::uint32_t row = 0; row < options_.rows; ++row) {
+    table_[cell(row, key)] += count;
+  }
+  total_ += count;
+  bump(key, count);
+}
+
+void FreqSketch::bump(std::uint64_t key, std::uint64_t count) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    order_.erase({it->second.count, key});
+    it->second.count += count;
+    order_.insert({it->second.count, key});
+    return;
+  }
+  if (entries_.size() < options_.capacity) {
+    entries_.emplace(key, Monitored{count, 0});
+    order_.insert({count, key});
+    return;
+  }
+  // Space-Saving eviction: the coldest monitored key (smallest count,
+  // smallest key among equals) hands its count to the newcomer as error.
+  const auto victim = *order_.begin();
+  order_.erase(order_.begin());
+  entries_.erase(victim.second);
+  const Monitored entry{victim.first + count, victim.first};
+  entries_.emplace(key, entry);
+  order_.insert({entry.count, key});
+}
+
+std::uint64_t FreqSketch::estimate(std::uint64_t key) const noexcept {
+  std::uint64_t best = table_[cell(0, key)];
+  for (std::uint32_t row = 1; row < options_.rows; ++row) {
+    const std::uint64_t value = table_[cell(row, key)];
+    if (value < best) best = value;
+  }
+  return best;
+}
+
+std::uint64_t FreqSketch::upper_bound(std::uint64_t key) const noexcept {
+  std::uint64_t bound = estimate(key);
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.count < bound) {
+    bound = it->second.count;
+  }
+  return bound;
+}
+
+std::uint64_t FreqSketch::lower_bound(std::uint64_t key) const noexcept {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return 0;
+  return it->second.count - it->second.error;
+}
+
+bool FreqSketch::monitored(std::uint64_t key) const noexcept {
+  return entries_.count(key) != 0;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> FreqSketch::top(
+    std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(std::min<std::size_t>(k, entries_.size()));
+  // order_ ascends by (count, key); walk it backwards for count-descending,
+  // then stable-fix equal counts to key-ascending.
+  for (auto it = order_.rbegin(); it != order_.rend() && out.size() < k;
+       ++it) {
+    out.emplace_back(it->second, it->first);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+void FreqSketch::clear() {
+  std::fill(table_.begin(), table_.end(), 0);
+  entries_.clear();
+  order_.clear();
+  total_ = 0;
+}
+
+void FreqSketch::merge_from(const FreqSketch& other) {
+  if (&other == this) return;
+  if (options_.rows != other.options_.rows ||
+      options_.width_log2 != other.options_.width_log2 ||
+      options_.seed != other.options_.seed) {
+    throw std::invalid_argument("FreqSketch::merge_from: geometry differs");
+  }
+  for (std::size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  total_ += other.total_;
+  for (const auto& [key, monitored] : other.entries_) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      order_.erase({it->second.count, key});
+      it->second.count += monitored.count;
+      it->second.error += monitored.error;
+      order_.insert({it->second.count, key});
+    } else {
+      entries_.emplace(key, monitored);
+      order_.insert({monitored.count, key});
+    }
+  }
+  while (entries_.size() > options_.capacity) {
+    const auto victim = *order_.begin();
+    order_.erase(order_.begin());
+    entries_.erase(victim.second);
+  }
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void fnv_u64(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t FreqSketch::digest() const noexcept {
+  std::uint64_t hash = kFnvOffset;
+  fnv_u64(hash, total_);
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (table_[i] == 0) continue;
+    fnv_u64(hash, i);
+    fnv_u64(hash, table_[i]);
+  }
+  for (const auto& [key, monitored] : entries_) {
+    fnv_u64(hash, key);
+    fnv_u64(hash, monitored.count);
+    fnv_u64(hash, monitored.error);
+  }
+  return hash;
+}
+
+}  // namespace atrcp

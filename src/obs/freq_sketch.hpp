@@ -1,0 +1,122 @@
+// Approximate per-key frequency tracking: Count-Min + Space-Saving top-k.
+//
+// The exact per-key hotness map in src/keyspace caps keyspace runs at
+// thousands of keys (ROADMAP item 2); this sketch answers the same two
+// questions — "how hot is this key?" and "which k keys are hottest?" — in
+// O(rows + log capacity) per access and O(rows * width + capacity) space,
+// independent of the key universe. Both halves give GUARANTEED one-sided
+// bounds, which is what lets the remap policy act on sketch numbers
+// without ever promoting a cold key or restoring a hot one:
+//
+//   - Count-Min (rows x width counters, each row its own SplitMix64-salted
+//     hash): estimate(key) = min over rows >= true count, always. Collisions
+//     only ever inflate.
+//   - Space-Saving (capacity monitored keys): a monitored key's count is an
+//     upper bound on its true count and count - error a lower bound; any
+//     key with true count > total/capacity is guaranteed monitored.
+//
+// Everything is integer arithmetic on fixed-seed hashes: two sketches fed
+// the same key stream in the same order are byte-identical (digest()), and
+// record() consumes no randomness, so seeded workload schedules are
+// unperturbed. Thread-safety: none — one sketch per worker, like every
+// obs instrument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atrcp {
+
+struct FreqSketchOptions {
+  /// Count-Min depth. More rows tighten the estimate (min over rows).
+  std::uint32_t rows = 4;
+  /// log2 of the Count-Min row width. Expected overestimate per row is
+  /// (window total) / width; 2^12 = 4096 counters keeps a 1M-op window's
+  /// expected inflation near 250.
+  std::uint32_t width_log2 = 12;
+  /// Space-Saving monitored-set size. Every key hotter than
+  /// window_total / capacity is guaranteed monitored, so the remap
+  /// policy's top-k is trustworthy for k << capacity.
+  std::uint64_t capacity = 64;
+  /// Salt for the row hashes. Fixed default so independent shards build
+  /// comparable (and mergeable) tables.
+  std::uint64_t seed = 0xF0E0D0C0B0A09080ULL;
+};
+
+class FreqSketch {
+ public:
+  explicit FreqSketch(FreqSketchOptions options = {});
+
+  /// Tally `count` accesses of `key`.
+  void record(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Count-Min point estimate: >= the true count, always.
+  std::uint64_t estimate(std::uint64_t key) const noexcept;
+
+  /// Tightest available upper bound on the true count: the Count-Min
+  /// estimate, further clamped by the Space-Saving count when monitored.
+  std::uint64_t upper_bound(std::uint64_t key) const noexcept;
+
+  /// Guaranteed lower bound on the true count: Space-Saving count minus
+  /// its error for monitored keys, 0 otherwise.
+  std::uint64_t lower_bound(std::uint64_t key) const noexcept;
+
+  /// Whether `key` is in the Space-Saving monitored set.
+  bool monitored(std::uint64_t key) const noexcept;
+
+  /// The k hottest monitored keys as (key, count-upper-bound) pairs, count
+  /// descending, key ascending among equals — the same deterministic order
+  /// the exact tracker reports.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> top(
+      std::size_t k) const;
+
+  /// Total count recorded since the last clear().
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Any key with true count > guaranteed_hot_threshold() is guaranteed to
+  /// be monitored (the Space-Saving guarantee: total / capacity).
+  std::uint64_t guaranteed_hot_threshold() const noexcept {
+    return total_ / options_.capacity;
+  }
+
+  const FreqSketchOptions& options() const noexcept { return options_; }
+
+  /// Resets all counters and the monitored set (a window roll).
+  void clear();
+
+  /// Folds another sketch into this one. Requires identical rows, width
+  /// and seed (throws std::invalid_argument otherwise). Count-Min tables
+  /// add exactly; monitored sets union with counts/errors added, then trim
+  /// deterministically to capacity (count descending, key ascending).
+  void merge_from(const FreqSketch& other);
+
+  /// FNV-1a fingerprint of the full state — byte-identical streams (and
+  /// identical merge sequences) produce identical digests.
+  std::uint64_t digest() const noexcept;
+
+ private:
+  struct Monitored {
+    std::uint64_t count = 0;  ///< upper bound on the true count
+    std::uint64_t error = 0;  ///< overestimate bound: count - error <= true
+  };
+
+  std::size_t cell(std::uint32_t row, std::uint64_t key) const noexcept;
+  void bump(std::uint64_t key, std::uint64_t count);
+
+  FreqSketchOptions options_;
+  std::uint64_t width_mask_ = 0;
+  std::vector<std::uint64_t> salts_;        ///< one per Count-Min row
+  std::vector<std::uint64_t> table_;        ///< rows * width counters
+  std::map<std::uint64_t, Monitored> entries_;  ///< monitored keys
+  /// (count, key) index over entries_ — begin() is the eviction victim
+  /// (smallest count, smallest key among equals): deterministic.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> order_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace atrcp

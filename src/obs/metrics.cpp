@@ -66,7 +66,8 @@ Instrument* find_in(const Map& map, const std::string& name) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0 ||
+      qsketches_.count(name) != 0) {
     throw std::invalid_argument("MetricsRegistry: '" + name +
                                 "' already names another instrument kind");
   }
@@ -76,7 +77,8 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0 ||
+      qsketches_.count(name) != 0) {
     throw std::invalid_argument("MetricsRegistry: '" + name +
                                 "' already names another instrument kind");
   }
@@ -87,7 +89,8 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<std::uint64_t> bounds) {
-  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+      qsketches_.count(name) != 0) {
     throw std::invalid_argument("MetricsRegistry: '" + name +
                                 "' already names another instrument kind");
   }
@@ -98,6 +101,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
     throw std::invalid_argument("MetricsRegistry: histogram '" + name +
                                 "' re-registered with different bounds");
   }
+  return *slot;
+}
+
+QuantileSketch& MetricsRegistry::qsketch(const std::string& name) {
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+      histograms_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already names another instrument kind");
+  }
+  auto& slot = qsketches_[name];
+  if (!slot) slot = std::make_unique<QuantileSketch>();
   return *slot;
 }
 
@@ -114,6 +128,11 @@ const Histogram* MetricsRegistry::find_histogram(
   return find_in<Histogram>(histograms_, name);
 }
 
+const QuantileSketch* MetricsRegistry::find_qsketch(
+    const std::string& name) const {
+  return find_in<QuantileSketch>(qsketches_, name);
+}
+
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   // Self-merge would double every instrument while iterating the maps it
   // mutates; treat it as the no-op the caller almost certainly meant.
@@ -126,6 +145,9 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   }
   for (const auto& [name, instrument] : other.histograms_) {
     histogram(name, instrument->bounds()).merge_from(*instrument);
+  }
+  for (const auto& [name, instrument] : other.qsketches_) {
+    qsketch(name).merge_from(*instrument);
   }
 }
 
@@ -214,6 +236,13 @@ void MetricsRegistry::to_json(std::ostream& os) const {
     os << ",\"buckets\":";
     write_u64_array(os, instrument->bucket_counts());
     os << ",\"overflow\":" << instrument->overflow() << '}';
+  }
+  os << "},\"qsketches\":{";
+  first = true;
+  for (const auto& [name, instrument] : qsketches_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << instrument->to_json();
   }
   os << "}}";
 }

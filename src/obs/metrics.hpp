@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/qsketch.hpp"
+
 namespace atrcp {
 
 /// Monotonically increasing unsigned 64-bit event count.
@@ -103,15 +105,27 @@ class MetricsRegistry {
   /// (throws std::invalid_argument on mismatch).
   Histogram& histogram(const std::string& name,
                        std::vector<std::uint64_t> bounds);
+  /// Log-bucketed mergeable quantile sketch (p50/p90/p99/p999 with <=1/64
+  /// relative error; see obs/qsketch.hpp). Same find-or-create contract.
+  QuantileSketch& qsketch(const std::string& name);
 
   /// Lookup without creation; nullptr when absent.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+  const QuantileSketch* find_qsketch(const std::string& name) const;
 
   std::size_t counter_count() const noexcept { return counters_.size(); }
   std::size_t gauge_count() const noexcept { return gauges_.size(); }
   std::size_t histogram_count() const noexcept { return histograms_.size(); }
+  std::size_t qsketch_count() const noexcept { return qsketches_.size(); }
+
+  /// Name-sorted view of every quantile sketch — the tail-latency emitters
+  /// walk this to build per-mix percentile blocks.
+  const std::map<std::string, std::unique_ptr<QuantileSketch>>& qsketches()
+      const noexcept {
+    return qsketches_;
+  }
 
   /// The default latency bucket bounds (sim-microseconds): 50us .. 1s in a
   /// 1-2-5 progression. Shared by every latency histogram so snapshots are
@@ -140,6 +154,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>> qsketches_;
 };
 
 /// Shortest round-trip decimal form of a double ("2", "0.35", "1e+300") —

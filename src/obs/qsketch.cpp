@@ -1,0 +1,132 @@
+#include "obs/qsketch.hpp"
+
+#include <bit>
+
+namespace atrcp {
+
+std::uint32_t QuantileSketch::bucket_of(std::uint64_t sample) noexcept {
+  if (sample < kSubBuckets) return static_cast<std::uint32_t>(sample);
+  const auto p = static_cast<std::uint32_t>(std::bit_width(sample) - 1);
+  const auto sub = static_cast<std::uint32_t>(
+      (sample >> (p - kSubBucketBits)) & (kSubBuckets - 1));
+  return kSubBuckets * (p - kSubBucketBits + 1) + sub;
+}
+
+std::uint64_t QuantileSketch::bucket_lower(std::uint32_t bucket) noexcept {
+  if (bucket < kSubBuckets) return bucket;
+  const std::uint32_t p =
+      bucket / kSubBuckets + kSubBucketBits - 1;  // leading-one position
+  const std::uint32_t sub = bucket % kSubBuckets;
+  return (static_cast<std::uint64_t>(kSubBuckets + sub))
+         << (p - kSubBucketBits);
+}
+
+std::uint64_t QuantileSketch::bucket_representative(
+    std::uint32_t bucket) noexcept {
+  if (bucket < kSubBuckets) return bucket;  // unit buckets are exact
+  const std::uint32_t p = bucket / kSubBuckets + kSubBucketBits - 1;
+  const std::uint64_t lower = bucket_lower(bucket);
+  const std::uint64_t width = std::uint64_t{1} << (p - kSubBucketBits);
+  return lower + (width >> 1);
+}
+
+void QuantileSketch::record(std::uint64_t sample, std::uint64_t count) {
+  if (count == 0) return;
+  const std::uint32_t bucket = bucket_of(sample);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  buckets_[bucket] += count;
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+  count_ += count;
+  sum_ += sample * count;
+}
+
+std::uint64_t QuantileSketch::quantile_permille(
+    std::uint32_t permille) const noexcept {
+  if (count_ == 0) return 0;
+  // Nearest rank: ceil(count * permille / 1000), clamped into [1, count].
+  std::uint64_t rank = (count_ * permille + 999) / 1000;
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      return bucket_representative(static_cast<std::uint32_t>(b));
+    }
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+void QuantileSketch::merge_from(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::size_t QuantileSketch::nonzero_buckets() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint64_t c : buckets_) n += c != 0;
+  return n;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void fnv_u64(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t QuantileSketch::digest() const noexcept {
+  std::uint64_t hash = kFnvOffset;
+  fnv_u64(hash, count_);
+  fnv_u64(hash, sum_);
+  fnv_u64(hash, min());
+  fnv_u64(hash, max_);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;  // trailing-zero growth never matters
+    fnv_u64(hash, b);
+    fnv_u64(hash, buckets_[b]);
+  }
+  return hash;
+}
+
+std::string QuantileSketch::to_json() const {
+  static const char* hex = "0123456789abcdef";
+  const std::uint64_t d = digest();
+  char hex16[17];
+  for (int i = 0; i < 16; ++i) {
+    hex16[i] = hex[(d >> (60 - 4 * i)) & 0xF];
+  }
+  hex16[16] = '\0';
+  std::string out = "{\"count\":" + std::to_string(count_) +
+                    ",\"sum\":" + std::to_string(sum_) +
+                    ",\"min\":" + std::to_string(min()) +
+                    ",\"max\":" + std::to_string(max_) +
+                    ",\"p50\":" + std::to_string(p50()) +
+                    ",\"p90\":" + std::to_string(p90()) +
+                    ",\"p99\":" + std::to_string(p99()) +
+                    ",\"p999\":" + std::to_string(p999()) +
+                    ",\"nonzero\":" + std::to_string(nonzero_buckets()) +
+                    ",\"digest\":\"";
+  out += hex16;
+  out += "\"}";
+  return out;
+}
+
+}  // namespace atrcp

@@ -1,0 +1,102 @@
+// Mergeable fixed-point quantile sketch — the tail-latency instrument of
+// the telemetry plane.
+//
+// A QuantileSketch is a DDSketch/HdrHistogram-style log-bucketed counter
+// array over unsigned 64-bit samples (SimTime latencies, quorum sizes):
+// values below 32 land in exact unit buckets, larger values in buckets of
+// 32 sub-buckets per power of two, so every quantile estimate is within a
+// relative error of 1/64 (~1.6%) of some recorded sample. Everything —
+// bucket indexing, merging, quantile queries — is integer arithmetic only:
+// no float ever touches the state, so two sketches fed the same samples in
+// ANY order serialize byte-identically, and a shard merge produces the same
+// bytes at every `--jobs` count. That jobs-invariance is the property the
+// bench digest gates rely on; the histogram in obs/metrics.hpp keeps its
+// coarse fixed bounds for dashboards, this sketch answers p50/p90/p99/p999.
+//
+// merge_from is exact: the merged sketch is indistinguishable from one that
+// recorded both input streams (bucket counts add; count/sum/min/max fold).
+// Merging is associative and commutative, so the parallel driver can fold
+// shard registries in any grouping and the aggregate snapshot is stable.
+//
+// Thread-safety: none, like every obs instrument — one sketch belongs to
+// one worker's registry; merge after the pool has joined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atrcp {
+
+class QuantileSketch {
+ public:
+  /// Sub-buckets per power of two. 32 gives max relative error
+  /// 2^-6 = 1/64 on every representative value.
+  static constexpr std::uint32_t kSubBucketBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Largest possible bucket index + 1 (all-ones uint64 sample).
+  static constexpr std::uint32_t kMaxBuckets =
+      kSubBuckets * (64 - kSubBucketBits + 1);
+
+  /// Bucket index of a sample: values < 32 map exactly (index == value),
+  /// larger values to 32 * (bit_width - 5) + the 5 bits below the leading
+  /// one. Monotone in the sample.
+  static std::uint32_t bucket_of(std::uint64_t sample) noexcept;
+
+  /// Smallest sample mapping to `bucket` (inverse of bucket_of's floor).
+  static std::uint64_t bucket_lower(std::uint32_t bucket) noexcept;
+
+  /// The value a quantile query reports for `bucket`: the bucket midpoint
+  /// (exact value for the unit buckets). Guaranteed within 1/64 relative
+  /// error of every sample the bucket holds.
+  static std::uint64_t bucket_representative(std::uint32_t bucket) noexcept;
+
+  void record(std::uint64_t sample, std::uint64_t count = 1);
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  /// min/max of recorded samples, exact; 0 when empty.
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// Nearest-rank quantile at `permille` (0..1000): the representative
+  /// value of the bucket holding the ceil(count * permille / 1000)-th
+  /// smallest sample. 0 when empty. Integer arithmetic throughout.
+  std::uint64_t quantile_permille(std::uint32_t permille) const noexcept;
+
+  std::uint64_t p50() const noexcept { return quantile_permille(500); }
+  std::uint64_t p90() const noexcept { return quantile_permille(900); }
+  std::uint64_t p99() const noexcept { return quantile_permille(990); }
+  std::uint64_t p999() const noexcept { return quantile_permille(999); }
+
+  /// Folds another sketch's population into this one — exact, order- and
+  /// grouping-independent (the shard-aggregation primitive).
+  void merge_from(const QuantileSketch& other);
+
+  /// Number of buckets with a nonzero count.
+  std::size_t nonzero_buckets() const noexcept;
+
+  /// FNV-1a over the (bucket index, count) pairs plus count/sum/min/max —
+  /// a fingerprint two sketches share iff their serialized state matches.
+  std::uint64_t digest() const noexcept;
+
+  /// Compact deterministic JSON: {"count":..,"sum":..,"min":..,"max":..,
+  /// "p50":..,"p90":..,"p99":..,"p999":..,"nonzero":..,"digest":"<hex16>"}.
+  /// Integer-only, so byte-identical across hosts and merge orders.
+  std::string to_json() const;
+
+  /// Dense bucket counts, index 0.. (sized to the highest touched bucket).
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< grown on demand
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace atrcp

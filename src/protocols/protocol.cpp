@@ -26,6 +26,7 @@ void ReplicaControlProtocol::observe(
   obs.attempts->inc();
   if (quorum.has_value()) {
     obs.members->inc(quorum->size());
+    if (obs.size_sketch != nullptr) obs.size_sketch->record(quorum->size());
     for (const ReplicaId r : quorum->members()) {
       if (r < obs.site.size()) obs.site[r]->inc();
     }
@@ -42,6 +43,8 @@ void ReplicaControlProtocol::attach_metrics(MetricsRegistry& registry) {
   write_obs_.attempts = &registry.counter(prefix + "write.attempts");
   write_obs_.failures = &registry.counter(prefix + "write.failures");
   write_obs_.members = &registry.counter(prefix + "write.members");
+  read_obs_.size_sketch = &registry.qsketch(prefix + "read.size");
+  write_obs_.size_sketch = &registry.qsketch(prefix + "write.size");
   const std::size_t n = universe_size();
   read_obs_.site.resize(n);
   write_obs_.site.resize(n);

@@ -25,6 +25,7 @@ namespace atrcp {
 
 class Counter;
 class MetricsRegistry;
+class QuantileSketch;
 
 class ReplicaControlProtocol {
  public:
@@ -106,6 +107,9 @@ class ReplicaControlProtocol {
     Counter* attempts = nullptr;
     Counter* failures = nullptr;
     Counter* members = nullptr;
+    /// Full distribution of assembled quorum sizes ("quorum.<name>.
+    /// <read|write>.size") — the tail complement to the `members` mean.
+    QuantileSketch* size_sketch = nullptr;
     /// One per replica id; site[r] counts quorums containing r.
     std::vector<Counter*> site;
   };

@@ -52,7 +52,21 @@ void Coordinator::set_metrics(MetricsRegistry* registry, TxnSpanLog* spans) {
   obs_.latency_execute =
       &registry->histogram("txn.latency.execute_us", bounds);
   obs_.latency_commit = &registry->histogram("txn.latency.commit_us", bounds);
+  obs_.tail_commit = &registry->qsketch("txn.tail.commit_us");
+  obs_.tail_noncommit = &registry->qsketch("txn.tail.noncommit_us");
+  obs_.site_turnaround.assign(replica_sites_.size(), nullptr);
+  for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
+    obs_.site_turnaround[r] = &registry->qsketch(
+        "txn.tail.site." + std::to_string(replica_sites_[r]) +
+        ".turnaround_us");
+  }
   spans_ = spans;
+}
+
+void Coordinator::note_turnaround(const Txn& txn, SiteId from) {
+  if (obs_.site_turnaround.empty()) return;
+  const ReplicaId r = replica_of_site(from);
+  obs_.site_turnaround[r]->record(scheduler_.now() - txn.round_start);
 }
 
 void Coordinator::set_protocol(const ReplicaControlProtocol& protocol) {
@@ -224,6 +238,7 @@ void Coordinator::begin_read_round(TxnId id) {
   record(static_cast<std::uint8_t>(EventKind::kQuorumRound), id,
          "read " + quorum->to_string());
   txn->op_id = next_op_id_++;
+  txn->round_start = scheduler_.now();
   txn->awaiting.clear();
   txn->best_ts = kInitialTimestamp;
   txn->best_value.reset();
@@ -260,6 +275,7 @@ void Coordinator::begin_version_round(TxnId id) {
   record(static_cast<std::uint8_t>(EventKind::kQuorumRound), id,
          "version " + quorum->to_string());
   txn->op_id = next_op_id_++;
+  txn->round_start = scheduler_.now();
   txn->awaiting.clear();
   txn->best_ts = kInitialTimestamp;
   const Key key = txn->ops[txn->current_op].key;
@@ -306,6 +322,7 @@ void Coordinator::handle(const ReadReply& reply, SiteId from) {
   for (auto& [id, txn] : txns_) {
     if (txn.phase != Phase::kReadQuorum || txn.op_id != reply.op_id) continue;
     if (txn.awaiting.erase(from) == 0) return;  // duplicate/stale
+    note_turnaround(txn, from);
     txn.reply_timestamps[from] = reply.timestamp;
     if (reply.has_value && reply.timestamp.is_newer_than(txn.best_ts)) {
       txn.best_ts = reply.timestamp;
@@ -322,6 +339,7 @@ void Coordinator::handle(const VersionReply& reply, SiteId from) {
       continue;
     }
     if (txn.awaiting.erase(from) == 0) return;
+    note_turnaround(txn, from);
     if (reply.timestamp.is_newer_than(txn.best_ts)) {
       txn.best_ts = reply.timestamp;
     }
@@ -425,6 +443,7 @@ void Coordinator::begin_prepare(TxnId id) {
   txn->phase = Phase::kPreparing;
   record(static_cast<std::uint8_t>(EventKind::kTxnPhase), id, "prepare");
   txn->op_id = next_op_id_++;
+  txn->round_start = scheduler_.now();
   txn->votes_pending.clear();
   for (const auto& [target, writes] : txn->staged) {
     txn->votes_pending.insert(target);
@@ -452,6 +471,7 @@ void Coordinator::handle(const PrepareVote& vote, SiteId from) {
   Txn* txn = find(vote.txn_id);
   if (txn == nullptr || txn->phase != Phase::kPreparing) return;
   if (txn->votes_pending.erase(from) == 0) return;
+  note_turnaround(*txn, from);
   if (!vote.yes) {
     abort_txn(vote.txn_id, "participant voted no");
     return;
@@ -467,6 +487,7 @@ void Coordinator::handle(const PrepareVote& vote, SiteId from) {
       txn->acks_pending.insert(entry.first);
     }
     txn->commit_retries = 0;
+    txn->round_start = scheduler_.now();
     send_commits(vote.txn_id);
     scheduler_.schedule_after(options_.commit_retry_interval,
                               [this, id = vote.txn_id] { on_commit_tick(id); });
@@ -508,7 +529,7 @@ void Coordinator::on_commit_tick(TxnId id) {
 void Coordinator::handle(const CommitAck& ack, SiteId from) {
   Txn* txn = find(ack.txn_id);
   if (txn == nullptr || txn->phase != Phase::kCommitting) return;
-  txn->acks_pending.erase(from);
+  if (txn->acks_pending.erase(from) != 0) note_turnaround(*txn, from);
   if (txn->acks_pending.empty()) finish(ack.txn_id, TxnOutcome::kCommitted);
 }
 
@@ -564,6 +585,11 @@ void Coordinator::finish(TxnId id, TxnOutcome outcome) {
       case TxnOutcome::kCommitted: obs_.committed->inc(); break;
       case TxnOutcome::kAborted: obs_.aborted->inc(); break;
       case TxnOutcome::kBlocked: obs_.blocked->inc(); break;
+    }
+    if (outcome == TxnOutcome::kCommitted) {
+      obs_.tail_commit->record(span.end - span.begin);
+    } else {
+      obs_.tail_noncommit->record(span.end - span.begin);
     }
   }
   if (spans_ != nullptr) spans_->record(span);

@@ -46,6 +46,7 @@ namespace atrcp {
 class EventBus;
 class Histogram;
 class MetricsRegistry;
+class QuantileSketch;
 
 /// Final state of a transaction.
 enum class TxnOutcome : std::uint8_t {
@@ -106,11 +107,16 @@ class Coordinator final : public SiteHandler {
   /// Attaches transaction observability (nullptr registry detaches both):
   /// outcome counters txn.{committed,aborted,blocked}, event counters
   /// txn.{lock_timeouts,quorum_rounds,quorum_reassemblies,
-  /// quorum_unavailable,commit_retransmits,read_repairs_sent}, and
+  /// quorum_unavailable,commit_retransmits,read_repairs_sent},
   /// fixed-bucket SimTime histograms txn.latency.{total,lock_wait,execute,
-  /// commit}_us. When `spans` is non-null every finished transaction's
-  /// TxnSpan is recorded there. Both must outlive the coordinator or be
-  /// detached first.
+  /// commit}_us, plus the tail-latency quantile sketches
+  /// txn.tail.{commit,noncommit}_us (total latency split by outcome;
+  /// noncommit covers aborted AND blocked) and per-replica-site
+  /// txn.tail.site.<site>.turnaround_us (coordinator-observed
+  /// round-start -> reply delay per responding site — the straggler
+  /// attribution signal). When `spans` is non-null every finished
+  /// transaction's TxnSpan is recorded there. Both must outlive the
+  /// coordinator or be detached first.
   void set_metrics(MetricsRegistry* registry, TxnSpanLog* spans = nullptr);
 
   /// Attaches the flight recorder (nullptr detaches): the transaction state
@@ -186,6 +192,7 @@ class Coordinator final : public SiteHandler {
     std::size_t current_op = 0;
     int attempts = 0;
     OpId op_id = 0;                 // current quorum round
+    SimTime round_start = 0;        // when the current fan-out was sent
     std::set<SiteId> awaiting;      // members not yet heard from
     Timestamp best_ts;              // read aggregation
     std::optional<VersionedValue> best_value;
@@ -215,11 +222,16 @@ class Coordinator final : public SiteHandler {
     Histogram* latency_lock_wait = nullptr;
     Histogram* latency_execute = nullptr;
     Histogram* latency_commit = nullptr;
+    QuantileSketch* tail_commit = nullptr;
+    QuantileSketch* tail_noncommit = nullptr;
+    /// Indexed by ReplicaId; empty while detached.
+    std::vector<QuantileSketch*> site_turnaround;
   };
 
   Txn* find(TxnId id);
   FailureSet combined_failures(const Txn& txn) const;
   void record(std::uint8_t kind, TxnId txn, std::string label);
+  void note_turnaround(const Txn& txn, SiteId from);
 
   void acquire_next_lock(TxnId id);
   void on_lock_granted(TxnId id);

@@ -38,6 +38,65 @@ TEST(HotnessTracker, RollStartsFreshWindowButKeepsLifetime) {
   EXPECT_TRUE(tracker.top(5).size() == 1);
 }
 
+TEST(HotnessTracker, SketchModeServesTheSameApiWithBounds) {
+  HotnessOptions options;
+  options.mode = HotnessMode::kSketch;
+  HotnessTracker tracker(options);
+  EXPECT_EQ(tracker.mode(), HotnessMode::kSketch);
+  ASSERT_NE(tracker.sketch(), nullptr);
+  EXPECT_FALSE(tracker.has_oracle());
+
+  for (int i = 0; i < 50; ++i) tracker.record(7);
+  for (int i = 0; i < 20; ++i) tracker.record(1);
+  tracker.record(2);
+  EXPECT_EQ(tracker.window_total(), 71u);
+  // One-sided guarantees, always.
+  EXPECT_GE(tracker.count_upper(7), 50u);
+  EXPECT_LE(tracker.count_lower(7), 50u);
+  EXPECT_GT(tracker.count_lower(7), 0u);  // monitored: far above threshold
+  const auto top = tracker.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 7u);
+  EXPECT_EQ(top[1].first, 1u);
+
+  tracker.roll();
+  EXPECT_EQ(tracker.window_total(), 0u);
+  EXPECT_EQ(tracker.count_upper(7), 0u);
+  EXPECT_EQ(tracker.lifetime_total(), 71u);
+}
+
+TEST(HotnessTracker, CrossCheckKeepsTheExactOracle) {
+  HotnessOptions options;
+  options.mode = HotnessMode::kSketch;
+  options.cross_check = true;
+  HotnessTracker tracker(options);
+  EXPECT_TRUE(tracker.has_oracle());
+  for (int i = 0; i < 9; ++i) tracker.record(4);
+  for (int i = 0; i < 3; ++i) tracker.record(11);
+  EXPECT_EQ(tracker.exact_count(4), 9u);
+  EXPECT_EQ(tracker.exact_count(11), 3u);
+  EXPECT_EQ(tracker.exact_count(12345), 0u);
+  // The sketch bounds must bracket the oracle.
+  EXPECT_GE(tracker.count_upper(4), tracker.exact_count(4));
+  EXPECT_LE(tracker.count_lower(4), tracker.exact_count(4));
+  const auto oracle_top = tracker.exact_top(2);
+  ASSERT_EQ(oracle_top.size(), 2u);
+  EXPECT_EQ(oracle_top[0], (std::pair<Key, std::uint64_t>{4, 9}));
+  EXPECT_EQ(oracle_top[1], (std::pair<Key, std::uint64_t>{11, 3}));
+}
+
+TEST(HotnessTracker, ExactModeBoundsCollapseToTheCount) {
+  HotnessTracker tracker;  // default: exact
+  for (int i = 0; i < 6; ++i) tracker.record(3);
+  EXPECT_EQ(tracker.mode(), HotnessMode::kExact);
+  EXPECT_EQ(tracker.sketch(), nullptr);
+  EXPECT_EQ(tracker.count(3), 6u);
+  EXPECT_EQ(tracker.count_lower(3), 6u);
+  EXPECT_EQ(tracker.count_upper(3), 6u);
+  EXPECT_TRUE(tracker.has_oracle());
+  EXPECT_EQ(tracker.exact_count(3), 6u);
+}
+
 TEST(HotKeyRemap, StateMachineWalk) {
   HotKeyRemapManager manager;
   EXPECT_EQ(manager.state(5), HotKeyState::kNormal);

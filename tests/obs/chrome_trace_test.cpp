@@ -9,6 +9,7 @@
 
 #include "core/quorums.hpp"
 #include "core/tree.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/json_lint.hpp"
 #include "txn/cluster.hpp"
@@ -43,6 +44,114 @@ TEST(ChromeTraceTest, EmptyBusExportsValidEnvelope) {
   EXPECT_TRUE(json_valid(json, &error)) << error;
   EXPECT_EQ(stats.tracks, 0u);   // no sites ever observed
   EXPECT_EQ(stats.records, 1u);  // just the synthetic system track
+}
+
+TEST(ChromeTraceTest, CapacityZeroBusExportsValidEnvelope) {
+  // Regression: the degenerate no-retention bus must still export a valid
+  // (empty) document rather than crash or emit broken JSON.
+  EventBus bus(0);
+  Event send;
+  send.kind = EventKind::kMsgSend;
+  send.site = 0;
+  send.peer = 1;
+  send.causal_id = bus.next_causal_id();
+  send.label = "ReadRequest";
+  bus.publish(send);  // retained nowhere
+  ChromeTraceStats stats{};
+  const std::string json = chrome_trace_json(bus, {}, &stats);
+  std::string error;
+  EXPECT_TRUE(json_valid(json, &error)) << error;
+  EXPECT_EQ(stats.tracks, 0u);
+  EXPECT_EQ(stats.records, 1u);  // just the synthetic system track
+  EXPECT_EQ(stats.flow_begins, 0u);
+}
+
+TEST(ChromeTraceTest, MultiShardExportHasProcessTracksAndOverlay) {
+  // Two single-txn shards, each with a critical-path overlay: the export
+  // must carry process_name metadata per shard, per-shard site tracks, and
+  // "critical path" overlay slices — and still lint.
+  EventBus first(64);
+  EventBus second(64);
+  for (EventBus* bus : {&first, &second}) {
+    Event e;
+    e.kind = EventKind::kTxnBegin;
+    e.site = 2;
+    e.txn_id = 1;
+    bus->publish(e);
+    Event send;
+    send.time = 5;
+    send.kind = EventKind::kMsgSend;
+    send.site = 2;
+    send.peer = 0;
+    send.causal_id = bus->next_causal_id();
+    send.label = "ReadRequest";
+    bus->publish(send);
+    Event deliver = send;
+    deliver.time = 30;
+    deliver.kind = EventKind::kMsgDeliver;
+    deliver.site = 0;
+    deliver.peer = 2;
+    bus->publish(deliver);
+    Event reply;
+    reply.time = 30;
+    reply.kind = EventKind::kMsgSend;
+    reply.site = 0;
+    reply.peer = 2;
+    reply.causal_id = bus->next_causal_id();
+    reply.label = "ReadReply";
+    bus->publish(reply);
+    Event reply_deliver = reply;
+    reply_deliver.time = 60;
+    reply_deliver.kind = EventKind::kMsgDeliver;
+    reply_deliver.site = 2;
+    reply_deliver.peer = 0;
+    bus->publish(reply_deliver);
+    Event finish;
+    finish.time = 70;
+    finish.kind = EventKind::kTxnFinish;
+    finish.site = 2;
+    finish.txn_id = 1;
+    finish.label = "committed";
+    bus->publish(finish);
+  }
+  const CriticalPathReport first_report = analyze_critical_paths(first);
+  const CriticalPathReport second_report = analyze_critical_paths(second);
+  ASSERT_EQ(first_report.txns_analyzed, 1u);
+
+  std::vector<ShardTrace> shards(2);
+  shards[0].bus = &first;
+  shards[0].name = "shard 0";
+  shards[0].critical = &first_report;
+  shards[1].bus = &second;
+  shards[1].name = "shard 1";
+  shards[1].critical = &second_report;
+  ChromeTraceStats stats{};
+  const std::string json = chrome_trace_shards_json(shards, &stats);
+  std::string error;
+  ASSERT_TRUE(json_valid(json, &error)) << error;
+  EXPECT_EQ(stats.tracks, 6u);  // sites 0..2 per shard
+  EXPECT_GT(stats.critical_slices, 0u);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"critical path\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, SingleUnnamedShardMatchesLegacyExport) {
+  EventBus bus(8);
+  Event send;
+  send.time = 100;
+  send.kind = EventKind::kMsgSend;
+  send.site = 0;
+  send.peer = 1;
+  send.causal_id = bus.next_causal_id();
+  send.label = "ReadRequest";
+  bus.publish(send);
+  ShardTrace shard;
+  shard.bus = &bus;
+  shard.site_names = {"a", "b"};
+  EXPECT_EQ(chrome_trace_shards_json({shard}),
+            chrome_trace_json(bus, {"a", "b"}));
 }
 
 TEST(ChromeTraceTest, SiteNamesBecomeThreadNameMetadata) {

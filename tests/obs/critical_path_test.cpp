@@ -1,0 +1,230 @@
+// Critical-path analyzer: hand-built event sequences with known answers,
+// drop/eviction/ambiguity edge cases, merge, and a seeded cluster
+// integration run.
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/json_lint.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+
+namespace atrcp {
+namespace {
+
+void push(EventBus& bus, std::uint64_t time, EventKind kind,
+          std::uint32_t site, std::uint32_t peer, std::uint64_t cid,
+          std::uint64_t txn, const std::string& label) {
+  Event e;
+  e.time = time;
+  e.kind = kind;
+  e.site = site;
+  e.peer = peer;
+  e.causal_id = cid;
+  e.txn_id = txn;
+  e.label = label;
+  bus.publish(e);
+}
+
+/// One committed txn at coordinator site 5 over peers {0, 1}: a 10us lock
+/// wait, then read / prepare / commit rounds where site 1 is always the
+/// last reply to land.
+void record_known_txn(EventBus& bus) {
+  const std::uint32_t kNo = Event::kNoSite;
+  push(bus, 0, EventKind::kTxnBegin, 5, kNo, 0, 42, "");
+  push(bus, 0, EventKind::kLockWait, 5, kNo, 0, 42, "key 3");
+  push(bus, 10, EventKind::kLockGranted, 5, kNo, 0, 42, "key 3");
+  // Read round: requests fan out at t=10; site 1's reply lands last.
+  push(bus, 10, EventKind::kMsgSend, 5, 0, 1, 0, "ReadRequest");
+  push(bus, 10, EventKind::kMsgSend, 5, 1, 2, 0, "ReadRequest");
+  push(bus, 60, EventKind::kMsgDeliver, 0, 5, 1, 0, "ReadRequest");
+  push(bus, 70, EventKind::kMsgDeliver, 1, 5, 2, 0, "ReadRequest");
+  push(bus, 60, EventKind::kMsgSend, 0, 5, 3, 0, "ReadReply");
+  push(bus, 70, EventKind::kMsgSend, 1, 5, 4, 0, "ReadReply");
+  push(bus, 110, EventKind::kMsgDeliver, 5, 0, 3, 0, "ReadReply");
+  push(bus, 130, EventKind::kMsgDeliver, 5, 1, 4, 0, "ReadReply");
+  // Prepare round at t=130.
+  push(bus, 130, EventKind::kMsgSend, 5, 0, 5, 0, "PrepareRequest");
+  push(bus, 130, EventKind::kMsgSend, 5, 1, 6, 0, "PrepareRequest");
+  push(bus, 180, EventKind::kMsgDeliver, 0, 5, 5, 0, "PrepareRequest");
+  push(bus, 190, EventKind::kMsgDeliver, 1, 5, 6, 0, "PrepareRequest");
+  push(bus, 180, EventKind::kMsgSend, 0, 5, 7, 0, "PrepareVote");
+  push(bus, 190, EventKind::kMsgSend, 1, 5, 8, 0, "PrepareVote");
+  push(bus, 230, EventKind::kMsgDeliver, 5, 0, 7, 0, "PrepareVote");
+  push(bus, 235, EventKind::kMsgDeliver, 5, 1, 8, 0, "PrepareVote");
+  // Commit round at t=235.
+  push(bus, 235, EventKind::kMsgSend, 5, 0, 9, 0, "CommitRequest");
+  push(bus, 235, EventKind::kMsgSend, 5, 1, 10, 0, "CommitRequest");
+  push(bus, 285, EventKind::kMsgDeliver, 0, 5, 9, 0, "CommitRequest");
+  push(bus, 295, EventKind::kMsgDeliver, 1, 5, 10, 0, "CommitRequest");
+  push(bus, 285, EventKind::kMsgSend, 0, 5, 11, 0, "CommitAck");
+  push(bus, 295, EventKind::kMsgSend, 1, 5, 12, 0, "CommitAck");
+  push(bus, 335, EventKind::kMsgDeliver, 5, 0, 11, 0, "CommitAck");
+  push(bus, 345, EventKind::kMsgDeliver, 5, 1, 12, 0, "CommitAck");
+  push(bus, 345, EventKind::kTxnFinish, 5, kNo, 0, 42, "committed");
+}
+
+TEST(CriticalPathTest, ReconstructsKnownTxnExactly) {
+  EventBus bus(128);
+  record_known_txn(bus);
+  const CriticalPathReport report = analyze_critical_paths(bus);
+  ASSERT_EQ(report.txns_analyzed, 1u);
+  EXPECT_EQ(report.txns_truncated, 0u);
+  ASSERT_EQ(report.paths.size(), 1u);
+
+  const TxnCriticalPath& path = report.paths[0];
+  EXPECT_EQ(path.txn_id, 42u);
+  EXPECT_EQ(path.coordinator, 5u);
+  EXPECT_EQ(path.total_us(), 345u);
+  EXPECT_EQ(path.rounds, 3u);
+  EXPECT_EQ(path.lock_us, 10u);
+  // Straggler (site 1) flights: (60+60) + (60+45) + (60+50).
+  EXPECT_EQ(path.network_us, 335u);
+  EXPECT_EQ(path.service_us, 0u);
+  EXPECT_EQ(path.local_us, 0u);
+  // 1 lock segment + 3 segments per round.
+  ASSERT_EQ(path.segments.size(), 10u);
+  EXPECT_EQ(path.segments[0].kind, PathSegment::Kind::kLockWait);
+  EXPECT_EQ(path.segments[0].label, "key 3");
+  EXPECT_EQ(path.segments[1].kind, PathSegment::Kind::kRequestFlight);
+  EXPECT_EQ(path.segments[1].site, 1u);
+  EXPECT_EQ(path.segments[1].label, "ReadRequest");
+
+  // Site 1 straggled every round; site 0 never did.
+  ASSERT_EQ(report.straggler_counts.size(), 2u);
+  EXPECT_EQ(report.straggler_counts[0], 0u);
+  EXPECT_EQ(report.straggler_counts[1], 3u);
+
+  std::string error;
+  EXPECT_TRUE(json_valid(report.to_json(), &error)) << error;
+}
+
+TEST(CriticalPathTest, AbortedTxnsAreNotAnalyzed) {
+  EventBus bus(32);
+  push(bus, 0, EventKind::kTxnBegin, 5, Event::kNoSite, 0, 7, "");
+  push(bus, 50, EventKind::kTxnFinish, 5, Event::kNoSite, 0, 7, "aborted");
+  const CriticalPathReport report = analyze_critical_paths(bus);
+  EXPECT_EQ(report.txns_analyzed, 0u);
+  EXPECT_EQ(report.txns_truncated, 0u);
+}
+
+TEST(CriticalPathTest, EvictedBeginCountsAsTruncated) {
+  EventBus bus(32);
+  // A committed finish whose begin never made it into the ring.
+  push(bus, 90, EventKind::kTxnFinish, 5, Event::kNoSite, 0, 9, "committed");
+  const CriticalPathReport report = analyze_critical_paths(bus);
+  EXPECT_EQ(report.txns_analyzed, 0u);
+  EXPECT_EQ(report.txns_truncated, 1u);
+}
+
+TEST(CriticalPathTest, DroppedReplyRoundIsSkipped) {
+  EventBus bus(64);
+  const std::uint32_t kNo = Event::kNoSite;
+  push(bus, 0, EventKind::kTxnBegin, 5, kNo, 0, 1, "");
+  push(bus, 0, EventKind::kMsgSend, 5, 0, 1, 0, "ReadRequest");
+  push(bus, 50, EventKind::kMsgDeliver, 0, 5, 1, 0, "ReadRequest");
+  push(bus, 50, EventKind::kMsgSend, 0, 5, 2, 0, "ReadReply");
+  push(bus, 80, EventKind::kMsgDrop, 5, 0, 2, 0, "ReadReply");
+  push(bus, 200, EventKind::kTxnFinish, 5, kNo, 0, 1, "committed");
+  const CriticalPathReport report = analyze_critical_paths(bus);
+  ASSERT_EQ(report.txns_analyzed, 1u);
+  const TxnCriticalPath& path = report.paths[0];
+  EXPECT_EQ(path.rounds, 0u);  // the only round's reply was dropped
+  EXPECT_EQ(path.network_us, 0u);
+  EXPECT_EQ(path.local_us, 200u);  // everything attributed to local time
+}
+
+TEST(CriticalPathTest, ConcurrentTxnsOnOneCoordinatorAreSkipped) {
+  EventBus bus(64);
+  const std::uint32_t kNo = Event::kNoSite;
+  push(bus, 0, EventKind::kTxnBegin, 5, kNo, 0, 1, "");
+  push(bus, 5, EventKind::kTxnBegin, 5, kNo, 0, 2, "");  // overlap: ambiguous
+  push(bus, 50, EventKind::kTxnFinish, 5, kNo, 0, 1, "committed");
+  push(bus, 60, EventKind::kTxnFinish, 5, kNo, 0, 2, "committed");
+  const CriticalPathReport report = analyze_critical_paths(bus);
+  EXPECT_EQ(report.txns_analyzed, 0u);
+  EXPECT_EQ(report.txns_truncated, 2u);
+}
+
+TEST(CriticalPathTest, EmptyAndCapacityZeroBusesYieldEmptyReports) {
+  EventBus empty(16);
+  const CriticalPathReport a = analyze_critical_paths(empty);
+  EXPECT_EQ(a.txns_analyzed, 0u);
+  EXPECT_EQ(a.paths.size(), 0u);
+  std::string error;
+  EXPECT_TRUE(json_valid(a.to_json(), &error)) << error;
+
+  EventBus zero(0);
+  record_known_txn(zero);  // retained nowhere
+  const CriticalPathReport b = analyze_critical_paths(zero);
+  EXPECT_EQ(b.txns_analyzed, 0u);
+  EXPECT_EQ(b.txns_truncated, 0u);
+}
+
+TEST(CriticalPathTest, MergeAddsReports) {
+  EventBus bus(128);
+  record_known_txn(bus);
+  const CriticalPathReport one = analyze_critical_paths(bus);
+  CriticalPathReport merged;
+  merged.merge_from(one);
+  merged.merge_from(one);
+  EXPECT_EQ(merged.txns_analyzed, 2u);
+  EXPECT_EQ(merged.paths.size(), 2u);
+  ASSERT_EQ(merged.straggler_counts.size(), 2u);
+  EXPECT_EQ(merged.straggler_counts[1], 6u);
+  EXPECT_EQ(merged.total_us, 2 * one.total_us);
+  EXPECT_EQ(merged.slowest(1).size(), 1u);
+  std::string error;
+  EXPECT_TRUE(json_valid(merged.to_json(2), &error)) << error;
+}
+
+TEST(CriticalPathTest, SeededClusterRunDecomposesEveryCommit) {
+  ClusterOptions options;
+  options.clients = 2;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  options.event_bus_capacity = 1 << 15;
+  Cluster cluster(std::make_unique<ArbitraryProtocol>(
+                      ArbitraryTree::from_spec("1-3-5"), "ARBITRARY"),
+                  options);
+  WorkloadOptions workload;
+  workload.transactions_per_client = 40;
+  workload.read_fraction = 0.5;
+  workload.num_keys = 8;
+  run_workload(cluster, workload);
+
+  const CriticalPathReport report = analyze_critical_paths(*cluster.events());
+  EXPECT_GT(report.txns_analyzed, 0u);
+  EXPECT_EQ(report.txns_truncated, 0u);  // ring big enough for this run
+
+  std::uint64_t straggles = 0;
+  for (const std::uint64_t count : report.straggler_counts) {
+    straggles += count;
+  }
+  std::uint64_t rounds = 0;
+  for (const TxnCriticalPath& path : report.paths) {
+    rounds += path.rounds;
+    EXPECT_GT(path.rounds, 0u);
+    EXPECT_EQ(path.lock_us + path.network_us + path.service_us +
+                  path.local_us,
+              path.total_us());
+    for (std::size_t i = 1; i < path.segments.size(); ++i) {
+      EXPECT_LE(path.segments[i - 1].start, path.segments[i].start);
+    }
+  }
+  EXPECT_EQ(straggles, rounds);
+
+  // Byte-determinism: a second pass over the same bus reports identically.
+  EXPECT_EQ(analyze_critical_paths(*cluster.events()).to_json(),
+            report.to_json());
+  std::string error;
+  EXPECT_TRUE(json_valid(report.to_json(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -24,8 +24,18 @@ Event event_with_cid(std::uint64_t cid) {
   return event;
 }
 
-TEST(EventBusTest, RejectsZeroCapacity) {
-  EXPECT_THROW(EventBus(0), std::invalid_argument);
+TEST(EventBusTest, CapacityZeroIsAValidPureCounterBus) {
+  // A capacity-0 bus retains nothing but still counts publishes and
+  // allocates causal ids — publishers and exporters need no null checks.
+  EventBus bus(0);
+  EXPECT_EQ(bus.capacity(), 0u);
+  bus.publish(event_with_cid(bus.next_causal_id()));
+  bus.publish(event_with_cid(bus.next_causal_id()));
+  EXPECT_EQ(bus.size(), 0u);
+  EXPECT_EQ(bus.total_published(), 2u);
+  EXPECT_EQ(bus.last_causal_id(), 2u);
+  EXPECT_TRUE(bus.snapshot().empty());
+  EXPECT_THROW(bus.at(0), std::out_of_range);
 }
 
 TEST(EventBusTest, RingKeepsMostRecentUpToCapacity) {

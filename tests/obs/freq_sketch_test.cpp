@@ -1,0 +1,159 @@
+// FreqSketch: Count-Min upper bounds, Space-Saving lower bounds and the
+// guaranteed-monitored property, deterministic top-k, merges, digests.
+#include "obs/freq_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace atrcp {
+namespace {
+
+/// A deterministic skewed stream: key k appears roughly proportionally to
+/// 1/(k+1) — a few heavy hitters over a long tail.
+std::vector<std::uint64_t> skewed_stream(std::uint64_t universe,
+                                         std::size_t length,
+                                         std::uint32_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    // Repeated halving: key 0 w.p. 1/2, key 1 w.p. 1/4, ...
+    std::uint64_t key = 0;
+    while (key + 1 < universe && rng.below(2) == 1) ++key;
+    out.push_back(key * 0x9E3779B97F4A7C15ULL % universe);
+  }
+  return out;
+}
+
+TEST(FreqSketchTest, EstimateNeverUndercounts) {
+  FreqSketch sketch;
+  std::map<std::uint64_t, std::uint64_t> exact;
+  for (const std::uint64_t key : skewed_stream(1 << 20, 20'000, 0xF00D)) {
+    sketch.record(key);
+    ++exact[key];
+  }
+  EXPECT_EQ(sketch.total(), 20'000u);
+  for (const auto& [key, count] : exact) {
+    EXPECT_GE(sketch.estimate(key), count) << "key=" << key;
+    EXPECT_GE(sketch.upper_bound(key), count) << "key=" << key;
+    EXPECT_LE(sketch.lower_bound(key), count) << "key=" << key;
+  }
+}
+
+TEST(FreqSketchTest, HotKeysAreGuaranteedMonitored) {
+  FreqSketch sketch;
+  std::map<std::uint64_t, std::uint64_t> exact;
+  for (const std::uint64_t key : skewed_stream(1 << 16, 50'000, 0xBEEF)) {
+    sketch.record(key);
+    ++exact[key];
+  }
+  const std::uint64_t threshold = sketch.guaranteed_hot_threshold();
+  std::size_t hot = 0;
+  for (const auto& [key, count] : exact) {
+    if (count > threshold) {
+      ++hot;
+      EXPECT_TRUE(sketch.monitored(key))
+          << "key=" << key << " count=" << count << " thr=" << threshold;
+      EXPECT_GT(sketch.lower_bound(key), 0u);
+    }
+  }
+  EXPECT_GT(hot, 0u) << "stream not skewed enough to exercise the guarantee";
+}
+
+TEST(FreqSketchTest, TopKIsDeterministicallyOrdered) {
+  FreqSketch sketch;
+  for (const std::uint64_t key : skewed_stream(1 << 10, 30'000, 0xCAFE)) {
+    sketch.record(key);
+  }
+  const auto top = sketch.top(10);
+  ASSERT_FALSE(top.empty());
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    const bool ordered =
+        top[i - 1].second > top[i].second ||
+        (top[i - 1].second == top[i].second && top[i - 1].first < top[i].first);
+    EXPECT_TRUE(ordered) << "i=" << i;
+  }
+  // Every reported key is monitored, and the count is its upper bound.
+  for (const auto& [key, count] : top) {
+    EXPECT_TRUE(sketch.monitored(key));
+    EXPECT_EQ(count, sketch.upper_bound(key));
+  }
+}
+
+TEST(FreqSketchTest, IdenticalStreamsIdenticalDigests) {
+  FreqSketch a;
+  FreqSketch b;
+  const auto stream = skewed_stream(1 << 12, 5'000, 0xAAAA);
+  for (const std::uint64_t key : stream) a.record(key);
+  for (const std::uint64_t key : stream) b.record(key);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.record(0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(FreqSketchTest, MergePreservesBounds) {
+  FreqSketch left;
+  FreqSketch right;
+  std::map<std::uint64_t, std::uint64_t> exact;
+  for (const std::uint64_t key : skewed_stream(1 << 14, 8'000, 0x1111)) {
+    left.record(key);
+    ++exact[key];
+  }
+  for (const std::uint64_t key : skewed_stream(1 << 14, 8'000, 0x2222)) {
+    right.record(key);
+    ++exact[key];
+  }
+  FreqSketch merged;
+  merged.merge_from(left);
+  merged.merge_from(right);
+  EXPECT_EQ(merged.total(), 16'000u);
+  for (const auto& [key, count] : exact) {
+    EXPECT_GE(merged.upper_bound(key), count) << "key=" << key;
+    EXPECT_LE(merged.lower_bound(key), count) << "key=" << key;
+  }
+}
+
+TEST(FreqSketchTest, MergeRejectsMismatchedGeometry) {
+  FreqSketch base;
+  FreqSketchOptions other_options;
+  other_options.width_log2 = 10;
+  FreqSketch other(other_options);
+  EXPECT_THROW(base.merge_from(other), std::invalid_argument);
+  FreqSketchOptions salted;
+  salted.seed = 123;
+  FreqSketch differently_salted(salted);
+  EXPECT_THROW(base.merge_from(differently_salted), std::invalid_argument);
+}
+
+TEST(FreqSketchTest, ClearResetsEverything) {
+  FreqSketch sketch;
+  sketch.record(7, 100);
+  EXPECT_TRUE(sketch.monitored(7));
+  sketch.clear();
+  EXPECT_EQ(sketch.total(), 0u);
+  EXPECT_FALSE(sketch.monitored(7));
+  EXPECT_EQ(sketch.estimate(7), 0u);
+  FreqSketch fresh;
+  EXPECT_EQ(sketch.digest(), fresh.digest());
+}
+
+TEST(FreqSketchTest, RejectsDegenerateGeometry) {
+  FreqSketchOptions zero_rows;
+  zero_rows.rows = 0;
+  EXPECT_THROW(FreqSketch{zero_rows}, std::invalid_argument);
+  FreqSketchOptions zero_capacity;
+  zero_capacity.capacity = 0;
+  EXPECT_THROW(FreqSketch{zero_capacity}, std::invalid_argument);
+  FreqSketchOptions huge_width;
+  huge_width.width_log2 = 40;
+  EXPECT_THROW(FreqSketch{huge_width}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atrcp
