@@ -30,6 +30,7 @@
 #include "driver/pool.hpp"
 #include "hotpath_units.hpp"
 #include "keyspace_units.hpp"
+#include "reconfig_units.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/json_lint.hpp"
 #include "obs/metrics.hpp"
@@ -143,6 +144,16 @@ std::vector<Unit> suite() {
     units.push_back({"keyspace_" + ks.name, ks.shards,
                      [run = ks.run, ops](std::size_t shard) {
                        return run(shard, ops);
+                     }});
+  }
+  // Half-depth runs of the online-reconfiguration units (E23): epoch
+  // transition latency/abort buckets and crash recovery, digests tracked
+  // here while bench_reconfig stays the full standalone meter.
+  for (const ReconfigUnit& rc : reconfig_units()) {
+    const std::uint64_t txns = rc.full_txns / 2;
+    units.push_back({"reconfig_" + rc.name, rc.shards,
+                     [run = rc.run, txns](std::size_t shard) {
+                       return run(shard, txns);
                      }});
   }
   return units;

@@ -1,0 +1,176 @@
+// bench_reconfig — E23: the cost of an online epoch transition
+// (src/reconfig) on a live cluster.
+//
+// Runs every reconfig unit TWICE — once serial and once through the run
+// driver at `--jobs N` — verifies the merged payloads match byte for byte
+// (every cell is a pure function of its index, so digests are
+// jobs-invariant by construction and this run PROVES it), and writes the
+// reconfig section of BENCH_ATRCP.json into the working directory:
+//
+//   "reconfig"  per-unit {name, shards, committed, payload_bytes, digest}
+//   "timing"    the single host-dependent line
+//
+// Everything except "timing" is byte-identical across runs, hosts and
+// --jobs counts. Flags:
+//   --jobs N   driver width for the parallel leg (default: hardware)
+//   --smoke    tiny txn counts (CI wiring check, not a perf run)
+//   --print    dump every unit's payload (the per-cell epoch buckets)
+//   --lint F   validate F with obs::json_lint and exit
+//
+// Exit 0 iff every unit's parallel payload matched its serial reference,
+// every cell's inline epoch-tag check passed, every transition completed,
+// and the document lints.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/digest.hpp"
+#include "driver/pool.hpp"
+#include "obs/json_lint.hpp"
+#include "reconfig_units.hpp"
+
+using namespace atrcp;
+using namespace atrcp::benchio;
+
+namespace {
+
+struct UnitRun {
+  std::string payload;
+  std::uint64_t committed = 0;
+  double wall_ms = 0;
+};
+
+UnitRun run_unit(const ReconfigUnit& unit, std::uint64_t txns,
+                 const RunDriver& driver) {
+  const auto start = std::chrono::steady_clock::now();
+  UnitRun out;
+  const std::vector<ShardResult> shards = driver.map<ShardResult>(
+      unit.shards,
+      [&unit, txns](std::size_t shard) { return unit.run(shard, txns); });
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  for (const ShardResult& shard : shards) {
+    out.payload += shard.payload;
+    out.committed += shard.committed;
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+int lint_file(const char* path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::printf("FAIL cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string error;
+  if (!json_valid(text.str(), &error)) {
+    std::printf("FAIL %s does not lint: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::printf("OK %s lints (%zu bytes)\n", path, text.str().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const RunDriver parallel(parse_jobs_flag(argc, argv));
+  const RunDriver serial(1);
+  bool smoke = false;
+  bool print = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--print") == 0) {
+      print = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0 && i + 1 < argc) {
+      return lint_file(argv[i + 1]);
+    } else {
+      std::printf(
+          "usage: bench_reconfig [--smoke] [--jobs N] [--print] "
+          "[--lint <file>]\n");
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+  std::string units_json;
+  std::string timing_json;
+  std::printf("# bench_reconfig%s: %zu units, jobs=%zu\n",
+              smoke ? " (smoke)" : "", reconfig_units().size(),
+              parallel.jobs());
+  for (const ReconfigUnit& unit : reconfig_units()) {
+    const std::uint64_t txns =
+        smoke ? (unit.full_txns / 4 > 8 ? unit.full_txns / 4 : 8)
+              : unit.full_txns;
+    const UnitRun reference = run_unit(unit, txns, serial);
+    const UnitRun sharded = run_unit(unit, txns, parallel);
+    const bool match = reference.payload == sharded.payload &&
+                       reference.committed == sharded.committed;
+    const bool clean =
+        reference.payload.find("check=FAIL") == std::string::npos &&
+        reference.payload.find("recovered=NO") == std::string::npos;
+    all_ok = all_ok && match && clean;
+    const std::string digest = hex64(fnv1a64(reference.payload));
+    std::printf("%-14s %s shards=%zu txns/client=%llu committed=%llu "
+                "digest=%s serial=%sms jobs=%sms\n",
+                unit.name.c_str(), match && clean ? "OK  " : "FAIL",
+                unit.shards, static_cast<unsigned long long>(txns),
+                static_cast<unsigned long long>(reference.committed),
+                digest.c_str(), fixed(reference.wall_ms, 1).c_str(),
+                fixed(sharded.wall_ms, 1).c_str());
+    if (!match) {
+      std::printf("  parallel payload diverged from the serial reference — "
+                  "a cell is not a pure function of its index\n");
+    }
+    if (!clean) {
+      std::printf("  a cell failed its inline epoch-tag check or its "
+                  "transition never completed:\n%s", reference.payload.c_str());
+    } else if (print) {
+      std::printf("%s", reference.payload.c_str());
+    }
+    if (!units_json.empty()) units_json += ",\n";
+    units_json += "{\"name\":\"" + unit.name +
+                  "\",\"shards\":" + std::to_string(unit.shards) +
+                  ",\"committed\":" + std::to_string(reference.committed) +
+                  ",\"payload_bytes\":" +
+                  std::to_string(reference.payload.size()) + ",\"digest\":\"" +
+                  digest + "\"}";
+    if (!timing_json.empty()) timing_json += ",";
+    timing_json += "{\"name\":\"" + unit.name +
+                   "\",\"serial_ms\":" + fixed(reference.wall_ms, 1) +
+                   ",\"parallel_ms\":" + fixed(sharded.wall_ms, 1) + "}";
+  }
+
+  std::ostringstream doc;
+  doc << "{\n\"bench\":\"atrcp\",\n\"schema\":1,\n\"reconfig\":[\n"
+      << units_json << "\n],\n\"timing\":{\"smoke\":"
+      << (smoke ? "true" : "false") << ",\"jobs\":" << parallel.jobs()
+      << ",\"units\":[" << timing_json << "]}\n}\n";
+  std::string error;
+  if (!json_valid(doc.str(), &error)) {
+    all_ok = false;
+    std::printf("FAIL reconfig document does not lint: %s\n", error.c_str());
+  }
+  const char* path = "BENCH_ATRCP.json";
+  std::ofstream file(path, std::ios::binary);
+  file << doc.str();
+  file.close();
+  std::printf("# wrote %s (%zu bytes)\n", file ? path : "(write failed)",
+              doc.str().size());
+  std::printf(all_ok ? "# bench_reconfig: PASS\n" : "# bench_reconfig: FAIL\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,265 @@
+#include "reconfig_units.hpp"
+
+#include <functional>
+#include <memory>
+
+#include "check/serializability.hpp"
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/majority.hpp"
+#include "txn/cluster.hpp"
+#include "util/check.hpp"
+
+namespace atrcp::benchio {
+namespace {
+
+constexpr std::size_t kClients = 4;
+constexpr std::size_t kKeys = 4;
+constexpr std::size_t kInitialSites = 5;
+/// Every cell's transition fires here — mid-run for the full depth, so the
+/// three epoch buckets (pure 0 / overlap / pure 1) all see traffic.
+constexpr SimTime kTransitionAt = 2'000;
+
+/// The closed-loop mixed workload the explorer uses, self-contained so the
+/// bench cells stay pure functions of their seeds.
+std::vector<TxnOp> make_txn(Rng& rng, std::size_t client, std::size_t seq) {
+  const Key key = static_cast<Key>(rng.below(kKeys));
+  std::string value = "c" + std::to_string(client) + "." + std::to_string(seq);
+  const std::uint64_t roll = rng.below(10);
+  if (roll < 4) return {TxnOp::read(key)};
+  if (roll < 7) return {TxnOp::write(key, std::move(value))};
+  return {TxnOp::read(key), TxnOp::write(key, std::move(value))};
+}
+
+void run_closed_loop(Cluster& cluster, std::uint64_t seed,
+                     std::uint64_t txns_per_client) {
+  struct State {
+    std::vector<Rng> rngs;
+    std::vector<std::uint64_t> issued;
+    std::function<void(std::size_t)> issue;
+  };
+  auto st = std::make_shared<State>();
+  Rng root(seed);
+  for (std::size_t c = 0; c < kClients; ++c) st->rngs.push_back(root.fork());
+  st->issued.assign(kClients, 0);
+  st->issue = [&cluster, st, txns_per_client](std::size_t c) {
+    if (st->issued[c] >= txns_per_client) return;
+    const std::size_t seq = st->issued[c]++;
+    cluster.client(c).run(make_txn(st->rngs[c], c, seq), [st, c](TxnResult) {
+      if (st->issue) st->issue(c);
+    });
+  };
+  for (std::size_t c = 0; c < kClients; ++c) {
+    cluster.scheduler().schedule_at(static_cast<SimTime>(1 + 37 * c),
+                                    [st, c] {
+                                      if (st->issue) st->issue(c);
+                                    });
+  }
+  cluster.settle();
+  st->issue = nullptr;
+}
+
+ClusterOptions bench_cluster_options(std::uint64_t seed) {
+  ClusterOptions copt;
+  copt.seed = seed;
+  copt.link = LinkParams{.base_latency = 10, .jitter = 3};
+  copt.clients = kClients;
+  copt.record_history = true;
+  copt.coordinator.request_timeout = 2'000;
+  copt.coordinator.lock_timeout = 20'000;
+  copt.coordinator.commit_retry_interval = 1'000;
+  copt.coordinator.max_commit_retries = 1'000'000;
+  copt.enable_reconfig = true;
+  copt.site_pool = kInitialSites + 1;  // headroom for the add-site target
+  return copt;
+}
+
+struct Target {
+  const char* label;
+  std::unique_ptr<ReplicaControlProtocol> (*make)();
+};
+
+/// The four transition classes: same-universe reshape to the same rule,
+/// same-universe re-tree, add a site, remove a site.
+constexpr Target kTargets[] = {
+    {"maj5", [] { return std::unique_ptr<ReplicaControlProtocol>(
+                      std::make_unique<MajorityQuorum>(5)); }},
+    {"tree5L2", [] { return std::unique_ptr<ReplicaControlProtocol>(
+                         std::make_unique<ArbitraryProtocol>(
+                             balanced_tree(5, 2))); }},
+    {"maj6", [] { return std::unique_ptr<ReplicaControlProtocol>(
+                      std::make_unique<MajorityQuorum>(6)); }},
+    {"maj4", [] { return std::unique_ptr<ReplicaControlProtocol>(
+                      std::make_unique<MajorityQuorum>(4)); }},
+};
+constexpr std::size_t kTargetCount = sizeof(kTargets) / sizeof(kTargets[0]);
+
+/// One epoch bucket: transactions tagged (epoch, overlap) alike.
+struct Bucket {
+  std::uint64_t count = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t latency_sum = 0;
+
+  void add(const HistoryTxn& txn) {
+    ++count;
+    if (txn.outcome == HistoryOutcome::kCommitted) ++committed;
+    if (txn.outcome == HistoryOutcome::kAborted) ++aborted;
+    latency_sum += txn.span.end - txn.span.begin;
+  }
+  std::string to_string() const {
+    return "n=" + std::to_string(count) +
+           " commit=" + std::to_string(committed) +
+           " abort=" + std::to_string(aborted) +
+           " mean_us=" + std::to_string(count > 0 ? latency_sum / count : 0);
+  }
+};
+
+std::string phase_timeline(const ReconfigManager& manager) {
+  std::string out;
+  for (const ReconfigManager::LogEntry& entry : manager.transition_log()) {
+    if (!out.empty()) out += ",";
+    if (entry.crash) {
+      out += "crash@" + std::to_string(entry.at);
+    } else if (entry.recover) {
+      out += "recover@" + std::to_string(entry.at);
+    } else {
+      out += std::string(ReconfigManager::phase_name(entry.phase)) + "@" +
+             std::to_string(entry.at);
+    }
+  }
+  return out;
+}
+
+std::string epoch_check_stamp(const Cluster& cluster) {
+  const CheckResult epochs = check_epoch_tags(cluster.history().txns());
+  return epochs.ok ? "check=OK" : "check=FAIL\n" + epochs.report;
+}
+
+ShardResult phase_latency_cell(std::size_t shard,
+                               std::uint64_t txns_per_client) {
+  ATRCP_CHECK(shard < kTargetCount);
+  const Target& target = kTargets[shard];
+  auto cluster_protocol = std::make_unique<MajorityQuorum>(kInitialSites);
+  Cluster cluster(std::move(cluster_protocol),
+                  bench_cluster_options(0xEC0 + shard));
+
+  auto holder = std::make_shared<std::unique_ptr<ReplicaControlProtocol>>(
+      target.make());
+  cluster.scheduler().schedule_at(kTransitionAt, [&cluster, holder] {
+    cluster.start_reconfiguration(std::move(*holder));
+  });
+  run_closed_loop(cluster, 0xBEC0 + shard, txns_per_client);
+
+  ShardResult out;
+  Bucket pre, overlap, post;
+  for (const HistoryTxn& txn : cluster.history().txns()) {
+    if (txn.span.epoch_overlap != 0) {
+      overlap.add(txn);
+    } else if (txn.span.epoch == 0) {
+      pre.add(txn);
+    } else {
+      post.add(txn);
+    }
+    out.committed += txn.outcome == HistoryOutcome::kCommitted ? 1 : 0;
+  }
+  const ReconfigManager& manager = *cluster.reconfig();
+  out.payload = std::string(target.label) + " pre[" + pre.to_string() +
+                "] ovl[" + overlap.to_string() + "] post[" +
+                post.to_string() + "] completed=" +
+                std::to_string(manager.transitions_completed()) + " phases=" +
+                phase_timeline(manager) + " " + epoch_check_stamp(cluster) +
+                "\n";
+  return out;
+}
+
+ShardResult crash_recovery_cell(std::size_t shard,
+                                std::uint64_t txns_per_client) {
+  ATRCP_CHECK(shard < 5);
+  const auto crash_phase =
+      static_cast<ReconfigManager::Phase>(shard + 1);  // kPrepare..kRetire
+  auto cluster_protocol = std::make_unique<MajorityQuorum>(kInitialSites);
+  ClusterOptions copt = bench_cluster_options(0xC7A + shard);
+  copt.reconfig.crash_phase = static_cast<int>(crash_phase);
+  // Shorter than one network round trip, so the crash lands while the
+  // target phase is still collecting acks (the fast phases finish in
+  // ~20-50 sim-us; a longer delay would fire after the transition moved
+  // on and the crash would silently no-op).
+  copt.reconfig.crash_delay = 10;
+  copt.reconfig.crash_downtime = 1'500;
+  Cluster cluster(std::move(cluster_protocol), copt);
+
+  // The add-site target exercises every phase, sync + spare bring-up
+  // included, under the crash.
+  auto holder = std::make_shared<std::unique_ptr<ReplicaControlProtocol>>(
+      std::make_unique<MajorityQuorum>(kInitialSites + 1));
+  cluster.scheduler().schedule_at(kTransitionAt, [&cluster, holder] {
+    cluster.start_reconfiguration(std::move(*holder));
+  });
+  // Pin one overlap view through the EpochSource so the kRetire drain has
+  // something to wait on even when the workload (smoke depth) finished
+  // before the transition fired — otherwise retire completes synchronously
+  // and a retire-phase crash would no-op.
+  struct Pin {
+    Cluster& cluster;
+    EpochView view{};
+    std::function<void()> poll;
+  };
+  auto pin = std::make_shared<Pin>(Pin{cluster});
+  pin->poll = [pin] {
+    ReconfigManager& manager = *pin->cluster.reconfig();
+    if (manager.phase() == ReconfigManager::Phase::kOverlap ||
+        manager.phase() == ReconfigManager::Phase::kSync) {
+      pin->view = manager.acquire_view();
+      pin->cluster.scheduler().schedule_after(300, [pin] {
+        pin->cluster.reconfig()->release_view(pin->view);
+      });
+    } else if (manager.transitions_completed() == 0) {
+      pin->cluster.scheduler().schedule_after(5, pin->poll);
+    }
+  };
+  cluster.scheduler().schedule_at(kTransitionAt, [pin] { pin->poll(); });
+  run_closed_loop(cluster, 0xBC7A + shard, txns_per_client);
+  pin->poll = nullptr;
+
+  ShardResult out;
+  std::uint64_t aborted = 0;
+  for (const HistoryTxn& txn : cluster.history().txns()) {
+    if (txn.outcome == HistoryOutcome::kCommitted) ++out.committed;
+    if (txn.outcome == HistoryOutcome::kAborted) ++aborted;
+  }
+  const ReconfigManager& manager = *cluster.reconfig();
+  // "recovered" demands the crash actually fired mid-transition (a delay
+  // that overshoots the phase would no-op and complete vacuously), the
+  // manager came back, and the transition still finished.
+  bool crash_seen = false;
+  bool recover_seen = false;
+  for (const auto& entry : manager.transition_log()) {
+    crash_seen = crash_seen || entry.crash;
+    recover_seen = recover_seen || entry.recover;
+  }
+  const bool done = crash_seen && recover_seen && !manager.active() &&
+                    manager.transitions_completed() == 1;
+  out.payload = std::string("crash_at=") +
+                ReconfigManager::phase_name(crash_phase) +
+                (done ? " recovered=yes" : " recovered=NO") + " commit=" +
+                std::to_string(out.committed) + " abort=" +
+                std::to_string(aborted) + " phases=" +
+                phase_timeline(manager) + " " + epoch_check_stamp(cluster) +
+                "\n";
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ReconfigUnit>& reconfig_units() {
+  static const std::vector<ReconfigUnit> units = [] {
+    std::vector<ReconfigUnit> out;
+    out.push_back({"phase_latency", kTargetCount, 48, phase_latency_cell});
+    out.push_back({"crash_recovery", 5, 48, crash_recovery_cell});
+    return out;
+  }();
+  return units;
+}
+
+}  // namespace atrcp::benchio

@@ -1,0 +1,52 @@
+// E23 online-reconfiguration bench units — the latency/abort-rate cost of
+// an epoch transition (src/reconfig) measured on a live cluster.
+//
+// Two unit families:
+//
+//   "phase_latency"  one shard per transition target (reshape, re-tree,
+//                    add a site, remove a site) over a 5-site majority
+//                    epoch 0. Each cell runs a closed-loop mixed workload,
+//                    fires the transition mid-run and buckets every
+//                    transaction by its epoch tag — pure epoch 0, the
+//                    overlap window, pure epoch 1 — reporting commit/abort
+//                    counts and mean sim-time latency per bucket plus the
+//                    phase timeline from the manager's transition log.
+//
+//   "crash_recovery" one shard per transition phase (prepare..retire).
+//                    Each cell crashes the manager mid-phase, recovers it
+//                    and asserts the transition still completes exactly
+//                    once, with the crash/recover stamps in the payload.
+//
+// Every cell is a pure function of (shard index, txns_per_client): it
+// builds its own Cluster from fixed seeds and touches no shared state, so
+// bench_all's serial-vs-sharded digest machinery and bench_reconfig's
+// --jobs invariance check both apply unchanged. All latencies are integer
+// sim-time microseconds — no floats, no host dependence. Each cell runs
+// check_epoch_tags() inline and stamps "check=OK"/"check=FAIL" into its
+// payload, so a run that violated the epoch invariants says so in its
+// digest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "suite.hpp"
+
+namespace atrcp::benchio {
+
+struct ReconfigUnit {
+  std::string name;
+  std::size_t shards = 0;
+  /// Transactions per client at full depth; callers scale down for smoke
+  /// or embedded runs.
+  std::uint64_t full_txns = 0;
+  std::function<ShardResult(std::size_t shard, std::uint64_t txns_per_client)>
+      run;
+};
+
+/// The two unit families above, in emission order.
+const std::vector<ReconfigUnit>& reconfig_units();
+
+}  // namespace atrcp::benchio

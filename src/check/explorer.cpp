@@ -343,6 +343,7 @@ std::string SeedReport::line() const {
                     std::to_string(lin_keys_checked) + "/" +
                     std::to_string(lin_keys_skipped) + "skip";
   out += " nem=" + nemesis;
+  if (!reconfig.empty()) out += " reconfig=" + reconfig;
   return out;
 }
 
@@ -357,6 +358,9 @@ SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
   const std::uint64_t option_seed = mix.next();
   const std::uint64_t nemesis_seed = mix.next();
   const std::uint64_t workload_seed = mix.next();
+  // The fifth stream exists only in reconfig mode, so classic-mode seeds
+  // keep their exact historical schedules.
+  const std::uint64_t reconfig_seed = options_.reconfig ? mix.next() : 0;
 
   auto protocol = factory();
   ATRCP_CHECK(protocol != nullptr);
@@ -382,21 +386,94 @@ SeedReport ScheduleExplorer::run_seed(const ProtocolFactory& factory,
   copt.coordinator.max_commit_retries = 1'000'000;
   Rng option_rng(option_seed);
   copt.coordinator.read_repair = option_rng.chance(0.5);
+
+  // Reconfiguration plan, drawn entirely from its own stream BEFORE the
+  // cluster is built (crash injection rides in via ClusterOptions).
+  std::unique_ptr<ReplicaControlProtocol> target;
+  SimTime reconfig_at = 0;
+  std::string reconfig_text;
+  if (options_.reconfig) {
+    Rng reconfig_rng(reconfig_seed);
+    // Target universe: same size twice as often as grown / shrunk, so every
+    // seed class (pure reshape, add site, remove site) appears in a sweep.
+    const std::uint64_t size_roll = reconfig_rng.below(4);
+    std::size_t target_n = replicas;
+    if (size_roll == 2) target_n = replicas + 1;
+    if (size_roll == 3) target_n = replicas > 1 ? replicas - 1 : replicas;
+    if (reconfig_rng.chance(0.5)) {
+      target = std::make_unique<MajorityQuorum>(target_n);
+      reconfig_text = "maj" + std::to_string(target_n);
+    } else {
+      const std::size_t levels =
+          1 + reconfig_rng.below(std::min<std::size_t>(target_n, 3));
+      target = std::make_unique<ArbitraryProtocol>(
+          balanced_tree(target_n, levels));
+      reconfig_text =
+          "tree" + std::to_string(target_n) + "L" + std::to_string(levels);
+    }
+    reconfig_at = 500 + static_cast<SimTime>(reconfig_rng.below(3000));
+    reconfig_text += "@" + std::to_string(reconfig_at);
+    copt.enable_reconfig = true;
+    copt.site_pool = replicas + 1;  // headroom for the grown targets
+    copt.reconfig.broken_overlap = options_.broken_overlap;
+    if (reconfig_rng.chance(0.5)) {
+      // Half the seeds crash the coordinator mid-transition, at a drawn
+      // phase, and recover it later — the view-change fault model.
+      const auto phase = static_cast<ReconfigManager::Phase>(
+          1 + reconfig_rng.below(5));  // kPrepare..kRetire
+      copt.reconfig.crash_phase = static_cast<int>(phase);
+      copt.reconfig.crash_delay = static_cast<SimTime>(reconfig_rng.below(400));
+      copt.reconfig.crash_downtime =
+          500 + static_cast<SimTime>(reconfig_rng.below(2000));
+      reconfig_text += " crash=" + std::string(ReconfigManager::phase_name(phase));
+    }
+  }
   Cluster cluster(std::move(protocol), copt);
 
   SeedReport report;
   report.seed = seed;
+  report.reconfig = reconfig_text;
 
   NemesisSchedule nemesis;
   if (options_.nemesis) {
     Rng nemesis_rng(nemesis_seed);
-    nemesis = NemesisSchedule::generate(nemesis_rng, replicas,
-                                        options_.clients);
+    // In reconfig mode the fault plan spans the whole physical pool (the
+    // spare site included) so faults also land on sites the transition is
+    // bringing in or retiring.
+    nemesis = NemesisSchedule::generate(
+        nemesis_rng, options_.reconfig ? replicas + 1 : replicas,
+        options_.clients);
     nemesis.apply(cluster);
   }
   report.nemesis = nemesis.to_string();
 
+  if (target != nullptr) {
+    auto holder =
+        std::make_shared<std::unique_ptr<ReplicaControlProtocol>>(
+            std::move(target));
+    cluster.scheduler().schedule_at(reconfig_at, [&cluster, holder] {
+      cluster.start_reconfiguration(std::move(*holder));
+    });
+  }
+
   run_concurrent_workload(cluster, workload_seed, options_);
+
+  if (options_.reconfig) {
+    const ReconfigManager& manager = *cluster.reconfig();
+    if (manager.active() || manager.transitions_completed() != 1) {
+      report.ok = false;
+      report.detail +=
+          "reconfiguration did not complete: phase=" +
+          std::string(ReconfigManager::phase_name(manager.phase())) +
+          " completed=" + std::to_string(manager.transitions_completed()) +
+          "\n";
+    }
+    const CheckResult epochs = check_epoch_tags(cluster.history().txns());
+    if (!epochs.ok) {
+      report.ok = false;
+      report.detail += epochs.report + "\n";
+    }
+  }
 
   const HistoryRecorder& history = cluster.history();
   if (history.open_count() != 0) {

@@ -99,6 +99,23 @@ struct ExplorerOptions {
   /// promote/restore at quiescent batch boundaries mid-exploration.
   /// Ignored under broken_router.
   bool remap = false;
+
+  // -- online reconfiguration nemesis (src/reconfig) -------------------------
+  /// When true every seed also runs an online epoch transition mid-workload:
+  /// the cluster is built with ClusterOptions::enable_reconfig (one spare
+  /// pool site for universe-growing targets), a target tree is drawn from
+  /// the seed's dedicated reconfig stream (same / +1 / -1 universe,
+  /// majority or balanced arbitrary tree), the transition fires at a drawn
+  /// time and roughly half the seeds crash the manager at a drawn phase
+  /// (recovering later). After the run the seed additionally asserts the
+  /// transition completed and passes check_epoch_tags() over the history.
+  /// Ignored in multi-key mode (shards > 0). Classic-mode digests are
+  /// unaffected when off: the extra seed stream is only drawn here.
+  bool reconfig = false;
+  /// Planted view-change bug (ReconfigOptions::broken_overlap) for the
+  /// reconfig teeth test: overlap windows use only the NEW epoch's quorum
+  /// rules and state sync is skipped — the checker must flag it.
+  bool broken_overlap = false;
 };
 
 /// Outcome of a single (protocol, seed) experiment.
@@ -111,6 +128,10 @@ struct SeedReport {
   std::size_t lin_keys_checked = 0;
   std::size_t lin_keys_skipped = 0;
   std::string nemesis;  ///< NemesisSchedule::to_string()
+  /// Reconfiguration plan summary ("maj6@1204 crash=sync" style); empty
+  /// outside reconfig mode, and then omitted from line() so classic-mode
+  /// report bytes are unchanged.
+  std::string reconfig;
   /// Counterexample (serializability and/or linearizability reports);
   /// empty when ok. When a failure occurred with the flight recorder on,
   /// also carries a summary line and the recorder's event tail.

@@ -421,4 +421,80 @@ LinResult SerializabilityChecker::check_key_linearizable(
   return result;
 }
 
+CheckResult check_epoch_tags(const std::vector<HistoryTxn>& txns) {
+  CheckResult result;
+  const auto view_rank = [](const HistoryTxn& txn) -> std::uint64_t {
+    return 2 * static_cast<std::uint64_t>(txn.span.epoch) -
+           (txn.span.epoch_overlap != 0 ? 1 : 0);
+  };
+  const auto view_name = [](const HistoryTxn& txn) {
+    return std::string(txn.span.epoch_overlap != 0 ? "overlap " : "epoch ") +
+           std::to_string(txn.span.epoch);
+  };
+
+  // Tag sanity: an overlap window always targets epoch >= 1.
+  for (const HistoryTxn& txn : txns) {
+    if (txn.span.epoch == 0 && txn.span.epoch_overlap != 0) {
+      result.violations.push_back(txn.label() +
+                                  " tagged overlap into epoch 0 — no "
+                                  "transition can target the initial epoch");
+    }
+  }
+
+  // 1. Monotonicity in invoke order. The recorder stores transactions in
+  // completion order; sort a copy of (invoke_seq, rank, label) instead.
+  std::vector<const HistoryTxn*> by_invoke;
+  by_invoke.reserve(txns.size());
+  for (const HistoryTxn& txn : txns) by_invoke.push_back(&txn);
+  std::sort(by_invoke.begin(), by_invoke.end(),
+            [](const HistoryTxn* a, const HistoryTxn* b) {
+              return a->invoke_seq < b->invoke_seq;
+            });
+  const HistoryTxn* high = nullptr;
+  for (const HistoryTxn* txn : by_invoke) {
+    if (high != nullptr && view_rank(*txn) < view_rank(*high)) {
+      result.violations.push_back(
+          txn->label() + " began under " + view_name(*txn) + " after " +
+          high->label() + " began under " + view_name(*high) +
+          " — view hand-out went backwards");
+      break;  // one minimized pair is enough
+    }
+    if (high == nullptr || view_rank(*txn) > view_rank(*high)) high = txn;
+  }
+
+  // 2. Drain: per pure epoch, the last completion must precede the next
+  // pure epoch's first invocation (invoke/complete share one sequence).
+  std::map<std::uint32_t, const HistoryTxn*> last_complete;  // pure only
+  std::map<std::uint32_t, const HistoryTxn*> first_invoke;
+  for (const HistoryTxn& txn : txns) {
+    if (txn.span.epoch_overlap != 0) continue;
+    auto& last = last_complete[txn.span.epoch];
+    if (last == nullptr || txn.complete_seq > last->complete_seq) last = &txn;
+    auto& first = first_invoke[txn.span.epoch];
+    if (first == nullptr || txn.invoke_seq < first->invoke_seq) first = &txn;
+  }
+  for (const auto& [epoch, last] : last_complete) {
+    for (const auto& [later_epoch, first] : first_invoke) {
+      if (later_epoch <= epoch) continue;
+      if (last->complete_seq > first->invoke_seq) {
+        result.violations.push_back(
+            last->label() + " (pure epoch " + std::to_string(epoch) +
+            ") completed after " + first->label() + " (pure epoch " +
+            std::to_string(later_epoch) +
+            ") was invoked — the old epoch did not drain before the new "
+            "epoch opened");
+      }
+    }
+  }
+
+  if (!result.violations.empty()) {
+    result.ok = false;
+    result.report = "epoch-tag check failed:";
+    for (const std::string& violation : result.violations) {
+      result.report += "\n  - " + violation;
+    }
+  }
+  return result;
+}
+
 }  // namespace atrcp

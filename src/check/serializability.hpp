@@ -85,4 +85,27 @@ class SerializabilityChecker {
   std::vector<HistoryTxn> txns_;
 };
 
+/// Structural validation of an epoch-spanning history (online
+/// reconfiguration, src/reconfig). Every transaction is tagged with the
+/// configuration epoch it ran under (span.epoch, span.epoch_overlap); the
+/// manager's view hand-out order induces a total order over views,
+///
+///     rank = 2*epoch - (overlap ? 1 : 0)
+///     (pure e) < (overlap e+1) < (pure e+1) < ...
+///
+/// and two invariants every correct transition preserves:
+///
+///  1. Monotonicity: ranks are non-decreasing in transaction INVOKE order —
+///     the manager never hands out a view of an older configuration after
+///     one of a newer configuration.
+///  2. Drain: every pure-epoch-e transaction COMPLETES before any
+///     pure-epoch-(e+1) transaction is invoked (the overlap window brackets
+///     the transition; state sync runs only after the old epoch drains).
+///     Overlap transactions may straddle the boundary — that is the point.
+///
+/// Violations are reported with the offending transaction pair (a minimized
+/// two-transaction counterexample). Histories recorded without
+/// reconfiguration are trivially clean (every tag is epoch 0).
+CheckResult check_epoch_tags(const std::vector<HistoryTxn>& txns);
+
 }  // namespace atrcp

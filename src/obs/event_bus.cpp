@@ -83,6 +83,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kRecover: return "recover";
     case EventKind::kPartition: return "partition";
     case EventKind::kHeal: return "heal";
+    case EventKind::kReconfigPhase: return "reconfig_phase";
+    case EventKind::kReconfigCrash: return "reconfig_crash";
+    case EventKind::kReconfigRecover: return "reconfig_recover";
   }
   return "unknown";
 }

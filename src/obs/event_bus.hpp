@@ -58,6 +58,10 @@ enum class EventKind : std::uint8_t {
   kRecover = 20,
   kPartition = 21,
   kHeal = 22,
+  // ReconfigManager (src/reconfig).
+  kReconfigPhase = 23,
+  kReconfigCrash = 24,
+  kReconfigRecover = 25,
 };
 
 /// One recorded fact. Fixed-size except `label`, which for every built-in

@@ -36,6 +36,13 @@ struct TxnSpan {
   std::uint32_t quorum_rounds = 0;      ///< read/version rounds issued
   std::uint32_t quorum_reassemblies = 0;  ///< rounds re-run after a timeout
   std::uint32_t commit_retransmits = 0;   ///< commit rounds beyond the first
+  /// Configuration epoch the transaction ran under (src/reconfig). 0 until
+  /// the first live reconfiguration; an overlap-window transaction is
+  /// tagged with the NEW epoch and epoch_overlap = 1 (its quorums satisfied
+  /// both epochs' rules). Flows into HistoryTxn via the embedded span, so
+  /// the checker can validate epoch-spanning histories.
+  std::uint32_t epoch = 0;
+  std::uint8_t epoch_overlap = 0;
 
   std::uint64_t total_latency() const noexcept { return end - begin; }
 };

@@ -1,0 +1,75 @@
+#include "reconfig/epoch.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace atrcp {
+
+OverlapProtocol::OverlapProtocol(const ReplicaControlProtocol& old_epoch,
+                                 const ReplicaControlProtocol& new_epoch)
+    : old_(old_epoch), new_(new_epoch) {}
+
+std::string OverlapProtocol::name() const {
+  return "OVERLAP(" + old_.name() + "->" + new_.name() + ")";
+}
+
+std::size_t OverlapProtocol::universe_size() const {
+  return std::max(old_.universe_size(), new_.universe_size());
+}
+
+namespace {
+
+/// Union of two sorted duplicate-free member lists.
+Quorum merge(const Quorum& a, const Quorum& b) {
+  std::vector<ReplicaId> members;
+  members.reserve(a.size() + b.size());
+  std::set_union(a.members().begin(), a.members().end(), b.members().begin(),
+                 b.members().end(), std::back_inserter(members));
+  return Quorum::from_sorted(std::move(members));
+}
+
+}  // namespace
+
+std::optional<Quorum> OverlapProtocol::do_assemble_read_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  // Old epoch first, always both (even if the first fails the second draw
+  // happens), so the rng stream shape is independent of the failure set.
+  const auto from_old = old_.assemble_read_quorum(failures, rng);
+  const auto from_new = new_.assemble_read_quorum(failures, rng);
+  if (!from_old || !from_new) return std::nullopt;
+  return merge(*from_old, *from_new);
+}
+
+std::optional<Quorum> OverlapProtocol::do_assemble_write_quorum(
+    const FailureSet& failures, Rng& rng) const {
+  const auto from_old = old_.assemble_write_quorum(failures, rng);
+  const auto from_new = new_.assemble_write_quorum(failures, rng);
+  if (!from_old || !from_new) return std::nullopt;
+  return merge(*from_old, *from_new);
+}
+
+double OverlapProtocol::read_cost() const {
+  return old_.read_cost() + new_.read_cost();
+}
+
+double OverlapProtocol::write_cost() const {
+  return old_.write_cost() + new_.write_cost();
+}
+
+double OverlapProtocol::read_availability(double p) const {
+  return old_.read_availability(p) * new_.read_availability(p);
+}
+
+double OverlapProtocol::write_availability(double p) const {
+  return old_.write_availability(p) * new_.write_availability(p);
+}
+
+double OverlapProtocol::read_load() const {
+  return std::max(old_.read_load(), new_.read_load());
+}
+
+double OverlapProtocol::write_load() const {
+  return std::max(old_.write_load(), new_.write_load());
+}
+
+}  // namespace atrcp

@@ -1,0 +1,90 @@
+// Epoch views — the vocabulary of online reconfiguration (docs/RECONFIG.md).
+//
+// A configuration epoch is one tree shape: epoch e runs protocol P_e over
+// replica ids [0, P_e.universe_size()) of the cluster's fixed physical site
+// pool. A live reconfiguration moves the cluster from epoch e to e+1
+// through an OVERLAP WINDOW during which every transaction's write quorum
+// must satisfy BOTH epochs' write-quorum rules and every read quorum
+// contains a full read quorum of each epoch (the quorum-of-both rule).
+// OverlapProtocol implements exactly that window: its quorums are the union
+// of one quorum from each epoch, so cross-epoch read/write intersection
+// follows from either epoch's own bicoterie property — the invariant
+// docs/RECONFIG.md states and proves.
+//
+// The transaction layer is epoch-agnostic: a coordinator asks its
+// EpochSource for a view at transaction begin, runs every quorum assembly
+// of that transaction against view.protocol, and releases the view when the
+// transaction finishes. The ReconfigManager (reconfig/manager.hpp) is the
+// production EpochSource; a null source (the default) pins the coordinator
+// to its construction-time protocol with zero behavioural change.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "protocols/protocol.hpp"
+
+namespace atrcp {
+
+/// The configuration a transaction runs under, captured once at begin so a
+/// transaction never straddles a view change mid-flight.
+struct EpochView {
+  /// Configuration epoch; overlap transactions are tagged with the NEW
+  /// epoch (they already satisfy its quorum rules).
+  std::uint64_t epoch = 0;
+  /// True during the overlap window: quorums satisfy both epochs' rules.
+  bool overlap = false;
+  /// The protocol to assemble every quorum of this transaction from.
+  const ReplicaControlProtocol* protocol = nullptr;
+};
+
+/// Hands out and reclaims per-transaction epoch views. acquire_view() is
+/// called at transaction begin, release_view() exactly once when the
+/// transaction finishes — the release feed is how the manager learns that
+/// an epoch's in-flight transactions have drained.
+class EpochSource {
+ public:
+  virtual ~EpochSource() = default;
+  virtual EpochView acquire_view() = 0;
+  virtual void release_view(const EpochView& view) = 0;
+};
+
+/// The overlap window's quorum rule: a read (write) quorum is the union of
+/// one read (write) quorum from the old epoch and one from the new epoch,
+/// or unavailable if either side is. Member ids live in the shared physical
+/// pool, so the union is well-defined even when the epochs' universes
+/// differ (add/remove sites).
+///
+/// Assembly delegates to the inner protocols' PUBLIC assemble_* calls, so
+/// per-epoch quorum metrics keep recording during the window; the wrapper
+/// itself is never attached to a registry. The analytic model is the
+/// conservative composition: costs add, availabilities multiply
+/// (independent sub-quorums), loads take the max of the two epochs.
+class OverlapProtocol final : public ReplicaControlProtocol {
+ public:
+  /// Both protocols must outlive the wrapper (the manager owns all three).
+  OverlapProtocol(const ReplicaControlProtocol& old_epoch,
+                  const ReplicaControlProtocol& new_epoch);
+
+  std::string name() const override;
+  std::size_t universe_size() const override;
+
+  double read_cost() const override;
+  double write_cost() const override;
+  double read_availability(double p) const override;
+  double write_availability(double p) const override;
+  double read_load() const override;
+  double write_load() const override;
+
+ protected:
+  std::optional<Quorum> do_assemble_read_quorum(const FailureSet& failures,
+                                                Rng& rng) const override;
+  std::optional<Quorum> do_assemble_write_quorum(const FailureSet& failures,
+                                                 Rng& rng) const override;
+
+ private:
+  const ReplicaControlProtocol& old_;
+  const ReplicaControlProtocol& new_;
+};
+
+}  // namespace atrcp

@@ -1,0 +1,399 @@
+#include "reconfig/manager.hpp"
+
+#include <stdexcept>
+
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace atrcp {
+
+ReconfigManager::ReconfigManager(Network& network, Scheduler& scheduler,
+                                 const ReplicaControlProtocol& initial,
+                                 std::vector<SiteId> replica_sites, Rng rng,
+                                 ReconfigOptions options)
+    : network_(network),
+      scheduler_(scheduler),
+      replica_sites_(std::move(replica_sites)),
+      rng_(rng),
+      options_(options),
+      current_(&initial) {
+  if (initial.universe_size() > replica_sites_.size()) {
+    throw std::invalid_argument(
+        "ReconfigManager: initial protocol exceeds the physical pool");
+  }
+}
+
+void ReconfigManager::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    transitions_obs_ = phase_changes_obs_ = retransmits_obs_ = crashes_obs_ =
+        nullptr;
+    return;
+  }
+  transitions_obs_ = &registry->counter("reconfig.transitions");
+  phase_changes_obs_ = &registry->counter("reconfig.phase_changes");
+  retransmits_obs_ = &registry->counter("reconfig.retransmits");
+  crashes_obs_ = &registry->counter("reconfig.crashes");
+}
+
+const char* ReconfigManager::phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kStable: return "stable";
+    case Phase::kPrepare: return "prepare";
+    case Phase::kOverlap: return "overlap";
+    case Phase::kSync: return "sync";
+    case Phase::kCommit: return "commit";
+    case Phase::kRetire: return "retire";
+  }
+  return "unknown";
+}
+
+void ReconfigManager::record(std::uint8_t kind, std::string label) {
+  if (bus_ == nullptr) return;
+  Event event;
+  event.time = scheduler_.now();
+  event.kind = static_cast<EventKind>(kind);
+  event.site = site_;
+  event.label = std::move(label);
+  bus_->publish(std::move(event));
+}
+
+std::size_t ReconfigManager::live_views() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [_, count] : live_) total += count;
+  return total;
+}
+
+// -- EpochSource -------------------------------------------------------------
+
+EpochView ReconfigManager::acquire_view() {
+  EpochView view;
+  switch (phase_) {
+    case Phase::kStable:
+    case Phase::kPrepare:
+      view = {epoch_, false, current_};
+      break;
+    case Phase::kOverlap:
+    case Phase::kSync:
+      // The planted bug: broken overlap hands out the NEW epoch's rules
+      // alone, dropping the quorum-of-both guarantee (and kSync is skipped
+      // entirely — see maybe_advance).
+      view = {epoch_ + 1, true,
+              options_.broken_overlap
+                  ? next_.get()
+                  : static_cast<const ReplicaControlProtocol*>(overlap_.get())};
+      break;
+    case Phase::kCommit:
+    case Phase::kRetire:
+      view = {epoch_ + 1, false, next_.get()};
+      break;
+  }
+  ++live_[rank(view)];
+  return view;
+}
+
+void ReconfigManager::release_view(const EpochView& view) {
+  const auto it = live_.find(rank(view));
+  ATRCP_CHECK(it != live_.end() && it->second > 0);
+  if (--it->second == 0) live_.erase(it);
+  // Drain waits (kOverlap, kRetire) advance on releases; a crashed manager
+  // acts on nothing until recover() re-checks.
+  if (!crashed_ && active()) maybe_advance();
+}
+
+// -- transition driving ------------------------------------------------------
+
+void ReconfigManager::start(std::unique_ptr<ReplicaControlProtocol> next,
+                            DoneCallback done) {
+  if (active()) {
+    throw std::logic_error("ReconfigManager::start: transition in progress");
+  }
+  if (!next) {
+    throw std::invalid_argument("ReconfigManager::start: null protocol");
+  }
+  if (next->universe_size() == 0 ||
+      next->universe_size() > replica_sites_.size()) {
+    throw std::invalid_argument(
+        "ReconfigManager::start: target protocol exceeds the physical pool");
+  }
+  next_ = std::move(next);
+  overlap_ = std::make_unique<OverlapProtocol>(*current_, *next_);
+  done_ = std::move(done);
+  enter(Phase::kPrepare);
+  start_tick_chain();
+}
+
+void ReconfigManager::enter(Phase phase) {
+  phase_ = phase;
+  log_.push_back(LogEntry{phase, scheduler_.now(), false, false});
+  if (phase_changes_obs_ != nullptr) phase_changes_obs_->inc();
+  record(static_cast<std::uint8_t>(EventKind::kReconfigPhase),
+         std::string(phase_name(phase)) + " epoch=" +
+             std::to_string(epoch_ + 1));
+  switch (phase) {
+    case Phase::kPrepare:
+      acked_.clear();
+      drive();
+      break;
+    case Phase::kSync:
+      sync_op_ = next_op_id_++;
+      sync_installing_ = false;
+      snapshot_from_.clear();
+      merged_.clear();
+      install_acked_.clear();
+      drive();
+      break;
+    case Phase::kCommit:
+      acked_.clear();
+      drive();
+      break;
+    case Phase::kOverlap:
+    case Phase::kRetire:
+      // Drain-wait phases: no broadcast; the exit condition may already
+      // hold (e.g. nothing was in flight).
+      maybe_advance();
+      break;
+    case Phase::kStable:
+      break;
+  }
+  // Phase-triggered crash injection for the explorer nemesis: one crash
+  // per manager, crash_delay after the target phase is entered.
+  if (options_.crash_phase == static_cast<int>(phase) && !crash_fired_) {
+    crash_fired_ = true;
+    scheduler_.schedule_after(options_.crash_delay, [this] { crash(); });
+  }
+}
+
+void ReconfigManager::drive() {
+  switch (phase_) {
+    case Phase::kPrepare:
+      for (SiteId target : replica_sites_) {
+        if (acked_.count(target) != 0) continue;
+        auto request = network_.make_body<EpochPrepareRequest>();
+        request->epoch = epoch_ + 1;
+        network_.send(site_, target, std::move(request));
+      }
+      break;
+    case Phase::kSync:
+      if (!sync_installing_) {
+        for (SiteId target : replica_sites_) {
+          if (snapshot_from_.count(target) != 0) continue;
+          auto request = network_.make_body<SnapshotRequest>();
+          request->op_id = sync_op_;
+          network_.send(site_, target, std::move(request));
+        }
+      } else {
+        for (std::size_t r = 0; r < next_->universe_size(); ++r) {
+          const SiteId target = replica_sites_[r];
+          if (install_acked_.count(target) != 0) continue;
+          auto request = network_.make_body<SyncApplyRequest>();
+          request->op_id = sync_op_;
+          request->writes.reserve(merged_.size());
+          for (const auto& [key, entry] : merged_) {
+            request->writes.push_back(
+                StagedWrite{key, entry.value, entry.timestamp});
+          }
+          network_.send(site_, target, std::move(request));
+        }
+      }
+      break;
+    case Phase::kCommit:
+      for (SiteId target : replica_sites_) {
+        if (acked_.count(target) != 0) continue;
+        auto request = network_.make_body<EpochCommitRequest>();
+        request->epoch = epoch_ + 1;
+        network_.send(site_, target, std::move(request));
+      }
+      break;
+    case Phase::kStable:
+    case Phase::kOverlap:
+    case Phase::kRetire:
+      break;
+  }
+}
+
+FailureSet ReconfigManager::not_in(const std::set<SiteId>& acked) const {
+  FailureSet failures(replica_sites_.size());
+  for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
+    if (acked.count(replica_sites_[r]) == 0) {
+      failures.fail(static_cast<ReplicaId>(r));
+    }
+  }
+  return failures;
+}
+
+bool ReconfigManager::covers_write_quorum(
+    const ReplicaControlProtocol& protocol, const std::set<SiteId>& acked) {
+  return protocol.assemble_write_quorum(not_in(acked), rng_).has_value();
+}
+
+bool ReconfigManager::covers_read_quorum(
+    const ReplicaControlProtocol& protocol, const std::set<SiteId>& acked) {
+  return protocol.assemble_read_quorum(not_in(acked), rng_).has_value();
+}
+
+void ReconfigManager::maybe_advance() {
+  if (crashed_) return;
+  switch (phase_) {
+    case Phase::kPrepare:
+      // The announcement must be durable at a write quorum of BOTH epochs
+      // before any overlap view exists.
+      if (covers_write_quorum(*current_, acked_) &&
+          covers_write_quorum(*next_, acked_)) {
+        enter(Phase::kOverlap);
+      }
+      break;
+    case Phase::kOverlap:
+      // All pure-old transactions must drain before state sync reads the
+      // old epoch (their writes must be on old-epoch write quorums).
+      if (live_.count(2 * epoch_) == 0) {
+        enter(options_.broken_overlap ? Phase::kCommit : Phase::kSync);
+      }
+      break;
+    case Phase::kSync:
+      if (!sync_installing_) {
+        // An old-epoch read quorum of snapshots has, by epoch e's
+        // bicoterie property, seen every committed write.
+        if (covers_read_quorum(*current_, snapshot_from_)) {
+          sync_installing_ = true;
+          sync_op_ = next_op_id_++;
+          install_acked_.clear();
+          drive();
+        }
+      } else if (covers_write_quorum(*next_, install_acked_)) {
+        // Installed at a new-epoch write quorum: every new-epoch read
+        // quorum now intersects a site holding the merged state.
+        enter(Phase::kCommit);
+      }
+      break;
+    case Phase::kCommit:
+      if (covers_write_quorum(*next_, acked_)) enter(Phase::kRetire);
+      break;
+    case Phase::kRetire:
+      // Overlap transactions still reference the union protocol; wait for
+      // them before declaring the new epoch stable.
+      if (live_.count(2 * (epoch_ + 1) - 1) == 0) finish_transition();
+      break;
+    case Phase::kStable:
+      break;
+  }
+}
+
+void ReconfigManager::finish_transition() {
+  phase_ = Phase::kStable;
+  epoch_ += 1;
+  log_.push_back(LogEntry{Phase::kStable, scheduler_.now(), false, false});
+  record(static_cast<std::uint8_t>(EventKind::kReconfigPhase),
+         "stable epoch=" + std::to_string(epoch_));
+  current_ = next_.get();
+  // Old-epoch structures stay alive: coordinator-held spans/metrics and
+  // any late messages can never dangle, at the cost of one retired
+  // protocol per transition.
+  graveyard_.push_back(std::move(overlap_));
+  graveyard_.push_back(std::move(next_));
+  acked_.clear();
+  snapshot_from_.clear();
+  merged_.clear();
+  install_acked_.clear();
+  sync_installing_ = false;
+  ++completed_;
+  if (transitions_obs_ != nullptr) transitions_obs_->inc();
+  ++tick_generation_;  // end the retransmission chain
+  if (done_) {
+    DoneCallback done = std::move(done_);
+    done_ = nullptr;
+    done(true);
+  }
+}
+
+void ReconfigManager::start_tick_chain() {
+  ++tick_generation_;
+  const std::uint64_t generation = tick_generation_;
+  scheduler_.schedule_after(options_.retry_interval,
+                            [this, generation] { tick(generation); });
+}
+
+void ReconfigManager::tick(std::uint64_t generation) {
+  if (generation != tick_generation_ || !active() || crashed_) return;
+  if (retransmits_obs_ != nullptr) retransmits_obs_->inc();
+  drive();
+  maybe_advance();
+  if (generation != tick_generation_ || !active()) return;  // advanced to done
+  scheduler_.schedule_after(options_.retry_interval,
+                            [this, generation] { tick(generation); });
+}
+
+// -- crash model -------------------------------------------------------------
+
+void ReconfigManager::crash() {
+  if (!active() || crashed_) return;  // transition already finished
+  crashed_ = true;
+  if (crashes_obs_ != nullptr) crashes_obs_->inc();
+  log_.push_back(LogEntry{phase_, scheduler_.now(), true, false});
+  record(static_cast<std::uint8_t>(EventKind::kReconfigCrash),
+         std::string("in ") + phase_name(phase_));
+  ++tick_generation_;  // silence the retransmission chain
+  scheduler_.schedule_after(options_.crash_downtime, [this] { recover(); });
+}
+
+void ReconfigManager::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  log_.push_back(LogEntry{phase_, scheduler_.now(), false, true});
+  record(static_cast<std::uint8_t>(EventKind::kReconfigRecover),
+         std::string("in ") + phase_name(phase_));
+  // {phase, epoch, protocols} are the WAL; every ack set is volatile and
+  // re-collected by re-driving the phase (all broadcasts are idempotent at
+  // the replicas).
+  acked_.clear();
+  snapshot_from_.clear();
+  merged_.clear();
+  install_acked_.clear();
+  sync_installing_ = false;
+  if (phase_ == Phase::kSync) sync_op_ = next_op_id_++;
+  drive();
+  maybe_advance();
+  if (active()) start_tick_chain();
+}
+
+// -- message handling --------------------------------------------------------
+
+void ReconfigManager::on_message(const Message& message) {
+  if (crashed_) return;  // a crashed manager hears nothing
+  ATRCP_CHECK(message.body != nullptr);
+  const MessageBody& body = *message.body;
+  if (const auto* m = dynamic_cast<const EpochPrepareAck*>(&body)) {
+    if (phase_ == Phase::kPrepare && m->epoch == epoch_ + 1) {
+      acked_.insert(message.from);
+      maybe_advance();
+    }
+  } else if (const auto* m = dynamic_cast<const SnapshotReply*>(&body)) {
+    if (phase_ == Phase::kSync && !sync_installing_ &&
+        m->op_id == sync_op_) {
+      if (snapshot_from_.insert(message.from).second) {
+        for (const StagedWrite& entry : m->entries) {
+          const auto it = merged_.find(entry.key);
+          if (it == merged_.end() ||
+              entry.timestamp.is_newer_than(it->second.timestamp)) {
+            merged_[entry.key] = VersionedValue{entry.value, entry.timestamp};
+          }
+        }
+      }
+      maybe_advance();
+    }
+  } else if (const auto* m = dynamic_cast<const SyncApplyAck*>(&body)) {
+    if (phase_ == Phase::kSync && sync_installing_ &&
+        m->op_id == sync_op_) {
+      install_acked_.insert(message.from);
+      maybe_advance();
+    }
+  } else if (const auto* m = dynamic_cast<const EpochCommitAck*>(&body)) {
+    if (phase_ == Phase::kCommit && m->epoch == epoch_ + 1) {
+      acked_.insert(message.from);
+      maybe_advance();
+    }
+  }
+  // Stale replies from superseded rounds are intentionally ignored.
+}
+
+}  // namespace atrcp

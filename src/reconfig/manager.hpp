@@ -1,0 +1,223 @@
+// Online tree reconfiguration — the epoch/view-change state machine that
+// moves a running cluster from tree T_old (epoch e) to tree T_new (epoch
+// e+1) without stopping the world. The full protocol spec, including the
+// cross-epoch intersection invariant and its proof sketch, is
+// docs/RECONFIG.md; this header is the implementation's contract.
+//
+// The manager is a network site (coordinator-driven, per-phase acks) and
+// the cluster's EpochSource: every transaction captures an EpochView at
+// begin and releases it at finish, and the release feed drives the drain
+// waits below. Phases, in order:
+//
+//   kStable   — epoch e, views = (e, pure, P_old).
+//   kPrepare  — EpochPrepare(e+1) broadcast; advance once the acked sites
+//               satisfy a write quorum of BOTH epochs (so the announcement
+//               intersects every future quorum of either epoch).
+//   kOverlap  — new views are (e+1, overlap, P_old ∪ P_new): writes satisfy
+//               both epochs' write rules, reads contain a read quorum of
+//               each epoch. Advance once all pure-e transactions drained.
+//   kSync     — state transfer: snapshot an old-epoch READ quorum (which,
+//               by epoch e's bicoterie property, has seen every committed
+//               write), merge the per-key latest (value, timestamp), and
+//               install the merged state on a new-epoch WRITE quorum via
+//               the timestamp-monotone store (idempotent, replay-safe).
+//   kCommit   — new views are (e+1, pure, P_new); EpochCommit(e+1)
+//               broadcast, advance on a new-epoch write quorum of acks.
+//   kRetire   — wait for the overlap transactions to drain, then epoch
+//               e+1 is the stable configuration and the done callback
+//               fires. Old-epoch structures are kept alive (not freed) so
+//               no component can dangle.
+//
+// Crash tolerance: {phase, epoch, protocols} model the manager's WAL;
+// per-phase ack sets are volatile. crash() drops every in-flight ack and
+// silences the manager; recover() clears the volatile sets and re-drives
+// the current phase from its WAL entry. Every per-phase broadcast is
+// idempotent at the replicas, so a crash at ANY phase boundary re-runs the
+// phase safely (failure-mode table in docs/RECONFIG.md). Phase-triggered
+// crash injection is built in (ReconfigOptions::crash_phase) for the
+// explorer's reconfiguration nemesis.
+//
+// ReconfigOptions::broken_overlap plants the classic view-change bug for
+// the checker teeth test: the overlap window uses ONLY the new epoch's
+// quorum rules and the sync phase is skipped — pure-new reads can miss
+// old-epoch writes, which the serializability/linearizability checker must
+// flag with a minimized counterexample.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reconfig/epoch.hpp"
+#include "replica/messages.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace atrcp {
+
+class Counter;
+class EventBus;
+class MetricsRegistry;
+
+struct ReconfigOptions {
+  /// Per-phase retransmission period for the prepare/sync/commit
+  /// broadcasts (drain waits are advanced by view releases, not ticks).
+  SimTime retry_interval = 2'000;
+  /// Planted teeth-test bug: overlap views use only the NEW epoch's quorum
+  /// rules and state sync is skipped. See docs/RECONFIG.md §Teeth.
+  bool broken_overlap = false;
+  /// Crash injection for the explorer nemesis: crash the manager
+  /// crash_delay after it enters the phase with this value (as
+  /// ReconfigManager::Phase underlying value; -1 = never), recover after
+  /// crash_downtime. Fires at most once per manager.
+  int crash_phase = -1;
+  SimTime crash_delay = 100;
+  SimTime crash_downtime = 1'000;
+};
+
+class ReconfigManager final : public SiteHandler, public EpochSource {
+ public:
+  enum class Phase : std::uint8_t {
+    kStable = 0,
+    kPrepare = 1,
+    kOverlap = 2,
+    kSync = 3,
+    kCommit = 4,
+    kRetire = 5,
+  };
+
+  /// `initial` is epoch 0's protocol, owned by the caller and outliving the
+  /// manager; `replica_sites[r]` hosts replica r of the physical pool.
+  /// Every protocol handed to start() must fit the pool.
+  ReconfigManager(Network& network, Scheduler& scheduler,
+                  const ReplicaControlProtocol& initial,
+                  std::vector<SiteId> replica_sites, Rng rng,
+                  ReconfigOptions options = {});
+
+  void set_site(SiteId site) noexcept { site_ = site; }
+  SiteId site() const noexcept { return site_; }
+
+  /// Attaches reconfiguration counters (nullptr detaches):
+  /// reconfig.{transitions,phase_changes,retransmits,crashes}.
+  void set_metrics(MetricsRegistry* registry);
+
+  /// Attaches the flight recorder (nullptr detaches): phase transitions
+  /// and manager crash/recovery publish kReconfig* events at this site.
+  void set_event_bus(EventBus* bus) noexcept { bus_ = bus; }
+
+  using DoneCallback = std::function<void(bool ok)>;
+
+  /// Begins the transition to `next` (epoch()+1). Throws std::logic_error
+  /// if a transition is already running, std::invalid_argument if `next`
+  /// is null or exceeds the physical pool. `done` fires once, when the
+  /// new epoch is stable.
+  void start(std::unique_ptr<ReplicaControlProtocol> next,
+             DoneCallback done = nullptr);
+
+  Phase phase() const noexcept { return phase_; }
+  bool active() const noexcept { return phase_ != Phase::kStable; }
+  bool crashed() const noexcept { return crashed_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::uint64_t transitions_completed() const noexcept { return completed_; }
+
+  /// The stable epoch's protocol (the NEW protocol after a transition).
+  const ReplicaControlProtocol& current_protocol() const noexcept {
+    return *current_;
+  }
+
+  /// Every phase entry (and the crash/recover pair when injected) with its
+  /// sim time, across all transitions — the bench's phase-bucketing input.
+  struct LogEntry {
+    Phase phase = Phase::kStable;
+    SimTime at = 0;
+    bool crash = false;    ///< manager crashed at `at` (phase unchanged)
+    bool recover = false;  ///< manager recovered at `at`
+  };
+  const std::vector<LogEntry>& transition_log() const noexcept {
+    return log_;
+  }
+
+  /// Transactions currently holding a view, by view rank (diagnostics).
+  std::size_t live_views() const noexcept;
+
+  static const char* phase_name(Phase phase);
+
+  // -- EpochSource -----------------------------------------------------------
+  EpochView acquire_view() override;
+  void release_view(const EpochView& view) override;
+
+  void on_message(const Message& message) override;
+
+ private:
+  /// Total order over views: pure e < overlap e+1 < pure e+1. The checker
+  /// validates that transaction begin order respects it.
+  static std::uint64_t rank(const EpochView& view) noexcept {
+    return 2 * view.epoch - (view.overlap ? 1 : 0);
+  }
+
+  void enter(Phase phase);
+  void drive();          ///< (re)issue the current phase's broadcast
+  void maybe_advance();  ///< check the current phase's exit condition
+  void finish_transition();
+  void tick(std::uint64_t generation);
+  void start_tick_chain();
+  void crash();
+  void recover();
+  void record(std::uint8_t kind, std::string label);
+
+  /// True iff `acked` contains a write quorum of `protocol` — assembled by
+  /// treating every replica whose site has not acked as failed.
+  bool covers_write_quorum(const ReplicaControlProtocol& protocol,
+                           const std::set<SiteId>& acked);
+  bool covers_read_quorum(const ReplicaControlProtocol& protocol,
+                          const std::set<SiteId>& acked);
+  FailureSet not_in(const std::set<SiteId>& acked) const;
+
+  Network& network_;
+  Scheduler& scheduler_;
+  std::vector<SiteId> replica_sites_;
+  Rng rng_;
+  ReconfigOptions options_;
+  SiteId site_ = 0;
+  EventBus* bus_ = nullptr;
+
+  // Registry-owned counters; null while detached.
+  Counter* transitions_obs_ = nullptr;
+  Counter* phase_changes_obs_ = nullptr;
+  Counter* retransmits_obs_ = nullptr;
+  Counter* crashes_obs_ = nullptr;
+
+  // -- WAL-modelled state (survives crashes) ---------------------------------
+  Phase phase_ = Phase::kStable;
+  std::uint64_t epoch_ = 0;
+  const ReplicaControlProtocol* current_;           ///< stable epoch's protocol
+  std::unique_ptr<ReplicaControlProtocol> next_;    ///< target, during a transition
+  std::unique_ptr<OverlapProtocol> overlap_;        ///< union rule, during a transition
+  /// Protocols from finished transitions, kept alive so coordinator-held
+  /// views and metrics attachments can never dangle.
+  std::vector<std::unique_ptr<ReplicaControlProtocol>> graveyard_;
+
+  // -- volatile per-phase state (lost on crash) ------------------------------
+  std::set<SiteId> acked_;          ///< kPrepare / kCommit ack collection
+  OpId sync_op_ = 0;                ///< current snapshot / install round
+  bool sync_installing_ = false;    ///< kSync sub-phase: snapshot vs install
+  std::set<SiteId> snapshot_from_;  ///< sites whose snapshot arrived
+  std::map<Key, VersionedValue> merged_;  ///< per-key latest across snapshots
+  std::set<SiteId> install_acked_;
+
+  bool crashed_ = false;
+  bool crash_fired_ = false;
+  std::uint64_t tick_generation_ = 0;
+  DoneCallback done_;
+  std::map<std::uint64_t, std::size_t> live_;  ///< view rank -> holders
+  std::vector<LogEntry> log_;
+  std::uint64_t completed_ = 0;
+  OpId next_op_id_ = 1;
+};
+
+}  // namespace atrcp

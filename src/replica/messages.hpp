@@ -115,4 +115,68 @@ struct AbortAck final : MessageBody {
   TxnId txn_id = 0;
 };
 
+// -- reconfiguration (src/reconfig) ------------------------------------------
+//
+// The epoch/view-change exchanges the ReconfigManager drives while moving
+// the cluster from tree T_old (epoch e) to tree T_new (epoch e+1) without
+// stopping the world (docs/RECONFIG.md). Replicas record the highest epoch
+// seen per exchange so retransmissions stay idempotent.
+
+/// Phase 1: announce epoch e+1. A replica durably records the announcement
+/// and acks; the manager advances once the acked set satisfies a write
+/// quorum of BOTH epochs.
+struct EpochPrepareRequest final : MessageBody {
+  std::uint64_t epoch = 0;
+};
+
+struct EpochPrepareAck final : MessageBody {
+  std::uint64_t epoch = 0;
+};
+
+/// Phase 4: epoch e+1 is in force; old-epoch quorum rules may be dropped.
+struct EpochCommitRequest final : MessageBody {
+  std::uint64_t epoch = 0;
+};
+
+struct EpochCommitAck final : MessageBody {
+  std::uint64_t epoch = 0;
+};
+
+/// State-sync read (phase 3): a replica answers with its entire store as
+/// (key, value, timestamp) entries. The manager collects replies until the
+/// respondents contain an old-epoch READ quorum — which, by the old
+/// epoch's bicoterie property, has seen every committed write.
+struct SnapshotRequest final : MessageBody {
+  OpId op_id = 0;
+};
+
+struct SnapshotReply final : MessageBody {
+  OpId op_id = 0;
+  std::vector<StagedWrite> entries;
+
+  std::size_t modelled_bytes() const override {
+    std::size_t bytes = kEnvelopeBytes;
+    for (const StagedWrite& entry : entries) bytes += 24 + entry.value.size();
+    return bytes;
+  }
+};
+
+/// State-sync install (phase 3): the merged per-key latest values, applied
+/// through the timestamp-monotone store (idempotent, so retransmissions
+/// and replays after a manager crash are safe).
+struct SyncApplyRequest final : MessageBody {
+  OpId op_id = 0;
+  std::vector<StagedWrite> writes;
+
+  std::size_t modelled_bytes() const override {
+    std::size_t bytes = kEnvelopeBytes;
+    for (const StagedWrite& write : writes) bytes += 24 + write.value.size();
+    return bytes;
+  }
+};
+
+struct SyncApplyAck final : MessageBody {
+  OpId op_id = 0;
+};
+
 }  // namespace atrcp

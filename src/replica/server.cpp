@@ -59,6 +59,14 @@ void ReplicaServer::on_message(const Message& message) {
     auto pong = network_.make_body<PongReply>();
     pong->sequence = m->sequence;
     network_.send(site_, message.from, std::move(pong));
+  } else if (const auto* m = dynamic_cast<const EpochPrepareRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const EpochCommitRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const SnapshotRequest*>(&body)) {
+    handle(*m, message.from);
+  } else if (const auto* m = dynamic_cast<const SyncApplyRequest*>(&body)) {
+    handle(*m, message.from);
   }
   // Unknown bodies (e.g. replies echoed to the wrong site) are ignored.
 }
@@ -134,6 +142,45 @@ void ReplicaServer::handle(const CommitRequest& request, SiteId from) {
   // Ack even for duplicates so coordinator retransmissions terminate.
   auto ack = network_.make_body<CommitAck>();
   ack->txn_id = request.txn_id;
+  network_.send(site_, from, std::move(ack));
+}
+
+void ReplicaServer::handle(const EpochPrepareRequest& request, SiteId from) {
+  // Durably record the announcement (monotone: retransmissions and late
+  // duplicates of an older transition are no-ops) and ack.
+  if (request.epoch > prepared_epoch_) prepared_epoch_ = request.epoch;
+  auto ack = network_.make_body<EpochPrepareAck>();
+  ack->epoch = request.epoch;
+  network_.send(site_, from, std::move(ack));
+}
+
+void ReplicaServer::handle(const EpochCommitRequest& request, SiteId from) {
+  if (request.epoch > committed_epoch_) committed_epoch_ = request.epoch;
+  if (request.epoch > prepared_epoch_) prepared_epoch_ = request.epoch;
+  auto ack = network_.make_body<EpochCommitAck>();
+  ack->epoch = request.epoch;
+  network_.send(site_, from, std::move(ack));
+}
+
+void ReplicaServer::handle(const SnapshotRequest& request, SiteId from) {
+  auto reply = network_.make_body<SnapshotReply>();
+  reply->op_id = request.op_id;
+  for (const Key key : store_.keys()) {
+    const auto entry = store_.get(key);
+    reply->entries.push_back(StagedWrite{key, entry->value, entry->timestamp});
+  }
+  network_.send(site_, from, std::move(reply));
+}
+
+void ReplicaServer::handle(const SyncApplyRequest& request, SiteId from) {
+  for (const StagedWrite& write : request.writes) {
+    if (store_.apply(write.key, write.value, write.timestamp)) {
+      ++repairs_applied_;
+      if (repairs_obs_ != nullptr) repairs_obs_->inc();
+    }
+  }
+  auto ack = network_.make_body<SyncApplyAck>();
+  ack->op_id = request.op_id;
   network_.send(site_, from, std::move(ack));
 }
 

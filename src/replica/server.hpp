@@ -53,6 +53,11 @@ class ReplicaServer final : public SiteHandler {
   /// decision) state.
   std::size_t prepared_count() const noexcept { return prepared_.size(); }
 
+  /// Highest configuration epoch announced (EpochPrepare) / in force
+  /// (EpochCommit) at this replica; 0 before any reconfiguration.
+  std::uint64_t prepared_epoch() const noexcept { return prepared_epoch_; }
+  std::uint64_t committed_epoch() const noexcept { return committed_epoch_; }
+
   void on_message(const Message& message) override;
 
   // -- statistics -------------------------------------------------------------
@@ -73,6 +78,10 @@ class ReplicaServer final : public SiteHandler {
   void handle(const PrepareRequest& request, SiteId from);
   void handle(const CommitRequest& request, SiteId from);
   void handle(const AbortRequest& request, SiteId from);
+  void handle(const EpochPrepareRequest& request, SiteId from);
+  void handle(const EpochCommitRequest& request, SiteId from);
+  void handle(const SnapshotRequest& request, SiteId from);
+  void handle(const SyncApplyRequest& request, SiteId from);
 
   Network& network_;
   SiteId site_ = 0;
@@ -83,6 +92,10 @@ class ReplicaServer final : public SiteHandler {
   /// Decisions already processed, so duplicated commit/abort retransmissions
   /// stay idempotent (true = committed).
   std::unordered_map<TxnId, bool> decided_;
+  /// Reconfiguration epochs, modelled as stable storage (survive crashes
+  /// like prepared_ does): highest announced / highest committed.
+  std::uint64_t prepared_epoch_ = 0;
+  std::uint64_t committed_epoch_ = 0;
 
   std::uint64_t messages_received_ = 0;
   std::uint64_t reads_served_ = 0;

@@ -1,5 +1,6 @@
 #include "txn/cluster.hpp"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -32,7 +33,11 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
   }
   Rng seeder(options.seed ^ 0x5DEECE66DULL);
 
-  const std::size_t n = protocol_->universe_size();
+  // The physical pool may exceed the initial protocol's universe so that
+  // online reconfigurations can transition onto larger trees; extra
+  // replicas idle until an epoch brings them in.
+  const std::size_t n =
+      std::max(options.site_pool, protocol_->universe_size());
   servers_.reserve(n);
   std::vector<SiteId> replica_sites;
   replica_sites.reserve(n);
@@ -72,6 +77,31 @@ Cluster::Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
     if (options.record_history) coordinator->set_history(&history_);
     coordinators_.push_back(std::move(coordinator));
   }
+
+  if (options.enable_reconfig) {
+    // Built LAST: its site id and rng fork come after every component that
+    // exists on the disabled path, so turning reconfiguration off leaves
+    // site numbering and all pre-existing rng streams byte-identical.
+    reconfig_ = std::make_unique<ReconfigManager>(
+        network_, scheduler_, *protocol_, replica_sites, seeder.fork(),
+        options.reconfig);
+    reconfig_->set_site(network_.add_site(*reconfig_));
+    reconfig_->set_metrics(&metrics_);
+    reconfig_->set_event_bus(events_view_);
+    for (const auto& coordinator : coordinators_) {
+      coordinator->set_epoch_source(reconfig_.get());
+    }
+  }
+}
+
+void Cluster::start_reconfiguration(
+    std::unique_ptr<ReplicaControlProtocol> next,
+    ReconfigManager::DoneCallback done) {
+  if (!reconfig_) {
+    throw std::logic_error(
+        "start_reconfiguration: ClusterOptions::enable_reconfig is off");
+  }
+  reconfig_->start(std::move(next), std::move(done));
 }
 
 std::vector<std::string> Cluster::site_names() const {
@@ -84,11 +114,14 @@ std::vector<std::string> Cluster::site_names() const {
   for (std::size_t c = 0; c < coordinators_.size(); ++c) {
     names.push_back("client " + std::to_string(c));
   }
+  if (reconfig_) names.push_back("reconfig");
   return names;
 }
 
 void Cluster::settle() {
   if (!detector_) {
+    // The reconfig manager's retry ticks stop once it reaches kStable, so a
+    // plain run() drains transitions along with client work.
     scheduler_.run();
     return;
   }
@@ -96,7 +129,7 @@ void Cluster::settle() {
     for (const auto& coordinator : coordinators_) {
       if (coordinator->in_flight() != 0) return true;
     }
-    return false;
+    return reconfig_ && reconfig_->active();
   };
   while (busy() && scheduler_.step()) {
   }

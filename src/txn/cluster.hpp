@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "protocols/protocol.hpp"
+#include "reconfig/manager.hpp"
 #include "replica/server.hpp"
 #include "sim/failure.hpp"
 #include "sim/network.hpp"
@@ -58,6 +59,21 @@ struct ClusterOptions {
   /// allocation per seed. The bus must outlive the cluster and, like the
   /// cluster, stay confined to one driver worker.
   EventBus* external_events = nullptr;
+  /// When true the cluster wires a ReconfigManager (src/reconfig) between
+  /// the coordinators and the replicas: every transaction captures an
+  /// EpochView at begin and assembles quorums from that view's protocol,
+  /// enabling online tree reconfiguration via start_reconfiguration().
+  /// Off by default — the disabled path draws no extra randomness, adds no
+  /// sites and leaves every digest byte-identical to a reconfig-free build.
+  bool enable_reconfig = false;
+  /// Manager tuning (retry cadence, fault/bug injection) when enabled.
+  ReconfigOptions reconfig{};
+  /// Size of the physical replica pool. 0 (default) = the initial
+  /// protocol's universe. Set it larger to leave headroom for transitions
+  /// that ADD sites: a reconfiguration target may use any universe up to
+  /// this pool size. Replicas beyond the initial universe idle (hold no
+  /// quorum role) until a transition brings them in.
+  std::size_t site_pool = 0;
 };
 
 class Cluster {
@@ -67,8 +83,11 @@ class Cluster {
   Cluster(std::unique_ptr<ReplicaControlProtocol> protocol,
           ClusterOptions options = {});
 
+  /// The protocol currently governing quorum assembly. With reconfiguration
+  /// enabled this follows the manager's committed epoch; otherwise it is the
+  /// protocol the cluster was constructed with.
   const ReplicaControlProtocol& protocol() const noexcept {
-    return *protocol_;
+    return reconfig_ ? reconfig_->current_protocol() : *protocol_;
   }
   Scheduler& scheduler() noexcept { return scheduler_; }
   Network& network() noexcept { return network_; }
@@ -107,6 +126,17 @@ class Cluster {
 
   /// Non-null iff use_heartbeat_detector was set.
   HeartbeatDetector* detector() noexcept { return detector_.get(); }
+
+  /// Non-null iff ClusterOptions::enable_reconfig was set.
+  ReconfigManager* reconfig() noexcept { return reconfig_.get(); }
+  const ReconfigManager* reconfig() const noexcept { return reconfig_.get(); }
+
+  /// Kick off an online transition to `next` (epoch/view change). Requires
+  /// enable_reconfig; `next`'s universe must fit the physical site pool.
+  /// Returns immediately — the transition runs concurrently with client
+  /// transactions; `done` (optional) fires when the new epoch is stable.
+  void start_reconfiguration(std::unique_ptr<ReplicaControlProtocol> next,
+                             ReconfigManager::DoneCallback done = nullptr);
 
   ReplicaServer& server(ReplicaId replica) { return *servers_.at(replica); }
   Coordinator& client(std::size_t index) { return *coordinators_.at(index); }
@@ -158,6 +188,10 @@ class Cluster {
   std::unique_ptr<HeartbeatDetector> detector_;
   LockManager locks_;
   std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  // Declared after coordinators_ so it is destroyed FIRST: coordinators
+  // fall back to protocol_ only while no manager exists, and the manager's
+  // graveyard keeps every retired protocol alive for late span readers.
+  std::unique_ptr<ReconfigManager> reconfig_;
 };
 
 }  // namespace atrcp

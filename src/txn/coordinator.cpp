@@ -21,9 +21,11 @@ Coordinator::Coordinator(Network& network, Scheduler& scheduler,
       rng_(rng),
       options_(options),
       failures_(failures) {
-  if (replica_sites_.size() != protocol_->universe_size()) {
+  // The site pool may exceed the protocol's universe (reconfiguration head
+  // room: a later epoch can activate the spare sites), never the reverse.
+  if (replica_sites_.size() < protocol_->universe_size()) {
     throw std::invalid_argument(
-        "Coordinator: replica_sites size != protocol universe");
+        "Coordinator: replica_sites size < protocol universe");
   }
   for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
     site_to_replica_[replica_sites_[r]] = static_cast<ReplicaId>(r);
@@ -74,9 +76,9 @@ void Coordinator::set_protocol(const ReplicaControlProtocol& protocol) {
     throw std::logic_error(
         "Coordinator::set_protocol: transactions in flight");
   }
-  if (protocol.universe_size() != replica_sites_.size()) {
+  if (protocol.universe_size() > replica_sites_.size()) {
     throw std::invalid_argument(
-        "Coordinator::set_protocol: universe size changed");
+        "Coordinator::set_protocol: universe exceeds the site pool");
   }
   protocol_ = &protocol;
 }
@@ -104,9 +106,12 @@ ReplicaId Coordinator::replica_of_site(SiteId site) const {
 }
 
 FailureSet Coordinator::combined_failures(const Txn& txn) const {
+  // Sized to the physical pool, not any one protocol's universe: a larger
+  // FailureSet is transparent to protocols with a smaller universe, and the
+  // overlap window's union protocol spans both epochs' universes.
   FailureSet combined = failures_ ? *failures_
-                                  : FailureSet(protocol_->universe_size());
-  for (std::size_t r = 0; r < protocol_->universe_size(); ++r) {
+                                  : FailureSet(replica_sites_.size());
+  for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
     if (txn.suspected.is_failed(static_cast<ReplicaId>(r))) {
       combined.fail(static_cast<ReplicaId>(r));
     }
@@ -122,10 +127,14 @@ void Coordinator::run(std::vector<TxnOp> ops, TxnCallback done) {
   txn.id = id;
   txn.ops = std::move(ops);
   txn.done = std::move(done);
-  txn.suspected = FailureSet(protocol_->universe_size());
+  txn.suspected = FailureSet(replica_sites_.size());
+  txn.view = epoch_source_ != nullptr ? epoch_source_->acquire_view()
+                                      : EpochView{0, false, protocol_};
   txn.span.txn_id = id;
   txn.span.begin = scheduler_.now();
   txn.span.coordinator_site = static_cast<std::uint32_t>(site_);
+  txn.span.epoch = static_cast<std::uint32_t>(txn.view.epoch);
+  txn.span.epoch_overlap = txn.view.overlap ? 1 : 0;
   if (history_ != nullptr) {
     txn.invoke_seq = history_->record_invoke(site_, id, scheduler_.now());
   }
@@ -224,8 +233,8 @@ void Coordinator::begin_read_round(TxnId id) {
   Txn* txn = find(id);
   ATRCP_CHECK(txn != nullptr);
   txn->phase = Phase::kReadQuorum;
-  const FailureSet view = combined_failures(*txn);
-  const auto quorum = protocol_->assemble_read_quorum(view, rng_);
+  const FailureSet failures = combined_failures(*txn);
+  const auto quorum = txn->view.protocol->assemble_read_quorum(failures, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
     record(static_cast<std::uint8_t>(EventKind::kQuorumUnavailable), id,
@@ -261,8 +270,8 @@ void Coordinator::begin_version_round(TxnId id) {
   Txn* txn = find(id);
   ATRCP_CHECK(txn != nullptr);
   txn->phase = Phase::kVersionQuorum;
-  const FailureSet view = combined_failures(*txn);
-  const auto quorum = protocol_->assemble_read_quorum(view, rng_);
+  const FailureSet failures = combined_failures(*txn);
+  const auto quorum = txn->view.protocol->assemble_read_quorum(failures, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
     record(static_cast<std::uint8_t>(EventKind::kQuorumUnavailable), id,
@@ -396,8 +405,8 @@ void Coordinator::finish_version_op(TxnId id) {
   const Timestamp ts{base + 1, site_};
   txn->staged_version[op.key] = ts.version;
 
-  const FailureSet view = combined_failures(*txn);
-  const auto quorum = protocol_->assemble_write_quorum(view, rng_);
+  const FailureSet failures = combined_failures(*txn);
+  const auto quorum = txn->view.protocol->assemble_write_quorum(failures, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
     record(static_cast<std::uint8_t>(EventKind::kQuorumUnavailable), id,
@@ -600,6 +609,7 @@ void Coordinator::finish(TxnId id, TxnOutcome outcome) {
         std::move(it->second.history_ops), scheduler_.now());
   }
 
+  const EpochView view = it->second.view;
   txns_.erase(it);
   locks_.release_all(id);
   switch (outcome) {
@@ -608,6 +618,10 @@ void Coordinator::finish(TxnId id, TxnOutcome outcome) {
     case TxnOutcome::kBlocked: ++blocked_; break;
   }
   done(std::move(result));
+  // Release AFTER the completion callback: a closed-loop client begins its
+  // next transaction inside done(), so it acquires its new view before the
+  // reconfiguration manager's drain check observes this view going away.
+  if (epoch_source_ != nullptr) epoch_source_->release_view(view);
 }
 
 void Coordinator::on_message(const Message& message) {

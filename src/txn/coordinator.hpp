@@ -36,6 +36,7 @@
 #include "check/history.hpp"
 #include "obs/span.hpp"
 #include "protocols/protocol.hpp"
+#include "reconfig/epoch.hpp"
 #include "replica/messages.hpp"
 #include "sim/failure.hpp"
 #include "sim/network.hpp"
@@ -142,6 +143,18 @@ class Coordinator final : public SiteHandler {
   /// first (see Cluster::reconfigure).
   void set_protocol(const ReplicaControlProtocol& protocol);
 
+  /// Attaches an epoch source (nullptr detaches) — the ONLINE
+  /// reconfiguration hook (src/reconfig, docs/RECONFIG.md). When set, every
+  /// transaction captures an EpochView at run() entry, assembles all its
+  /// quorums from view.protocol, stamps view.epoch/overlap into its span,
+  /// and releases the view when it finishes; the construction-time protocol
+  /// is bypassed entirely. The source must outlive the coordinator or be
+  /// detached first. Null (the default) keeps the legacy single-protocol
+  /// behaviour byte-identical.
+  void set_epoch_source(EpochSource* source) noexcept {
+    epoch_source_ = source;
+  }
+
   using TxnCallback = std::function<void(TxnResult)>;
 
   /// Runs a full transaction; the callback fires exactly once.
@@ -177,6 +190,11 @@ class Coordinator final : public SiteHandler {
     Phase phase = Phase::kLocking;
     TxnResult result;
     TxnSpan span;  ///< phase timestamps + round counters for observability
+    /// The configuration this transaction runs under, captured once at
+    /// run() entry: every quorum of the transaction is assembled from
+    /// view.protocol, so a mid-flight view change never splits a
+    /// transaction across epochs.
+    EpochView view;
 
     // history recording (only populated while a recorder is attached)
     std::uint64_t invoke_seq = 0;
@@ -258,6 +276,7 @@ class Coordinator final : public SiteHandler {
   Network& network_;
   Scheduler& scheduler_;
   const ReplicaControlProtocol* protocol_;  // never null; swappable
+  EpochSource* epoch_source_ = nullptr;     // null = pinned to protocol_
   std::vector<SiteId> replica_sites_;
   std::map<SiteId, ReplicaId> site_to_replica_;
   LockManager& locks_;

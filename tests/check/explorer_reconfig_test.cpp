@@ -1,0 +1,117 @@
+// ScheduleExplorer reconfiguration nemesis (ExplorerOptions::reconfig):
+// every zoo protocol survives online epoch transitions mid-workload —
+// including coordinator/manager crashes at every transition phase — the
+// planted broken-overlap rule is flagged with a counterexample, and
+// reports stay byte-identical across driver widths. Labeled tier2: these
+// are sweep tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "check/explorer.hpp"
+#include "driver/pool.hpp"
+#include "protocols/majority.hpp"
+
+namespace atrcp {
+namespace {
+
+ExplorerOptions reconfig_options() {
+  ExplorerOptions options;
+  options.reconfig = true;
+  return options;
+}
+
+ScheduleExplorer::ProtocolFactory majority_factory() {
+  return [] { return std::make_unique<MajorityQuorum>(5); };
+}
+
+TEST(ExplorerReconfigTest, ZooSurvivesReconfigNemesisSweep) {
+  // The acceptance sweep: >= 10 seeds x all 12 zoo protocols, each seed
+  // running an online transition (half with a manager crash at a drawn
+  // phase) on top of the usual crash/partition/degrade nemesis.
+  ScheduleExplorer explorer(reconfig_options());
+  ASSERT_EQ(protocol_zoo().size(), 12u);
+  for (const ZooEntry& entry : protocol_zoo()) {
+    const ExploreReport report =
+        explorer.explore(entry.factory, entry.label, 0, 10);
+    EXPECT_TRUE(report.ok) << entry.label << "\n" << report.text;
+    EXPECT_EQ(report.seeds_run, 10u);
+    // Every seed line carries its transition plan.
+    EXPECT_NE(report.text.find("reconfig="), std::string::npos)
+        << entry.label;
+  }
+}
+
+TEST(ExplorerReconfigTest, CrashNemesisCoversEveryTransitionPhase) {
+  // Across a wider single-protocol sweep the drawn crash phases must cover
+  // all five transition phases — i.e. the nemesis actually exercises
+  // coordinator crashes at each point of the state machine, not just one.
+  // Deterministic: the phase draws are a pure function of the seed stream.
+  ScheduleExplorer explorer(reconfig_options());
+  const ExploreReport report =
+      explorer.explore(majority_factory(), "majority", 0, 60);
+  EXPECT_TRUE(report.ok) << report.text;
+  for (const char* phase :
+       {"crash=prepare", "crash=overlap", "crash=sync", "crash=commit",
+        "crash=retire"}) {
+    EXPECT_NE(report.text.find(phase), std::string::npos)
+        << "no seed in the sweep crashed the manager at " << phase;
+  }
+}
+
+TEST(ExplorerReconfigTest, BrokenOverlapFlaggedWithCounterexample) {
+  // The teeth test: with the planted bug (overlap window runs the NEW
+  // epoch's quorum rules only and state sync is skipped) some seed must
+  // observe a stale read and fail the checkers, with the counterexample
+  // attached to the report.
+  ExplorerOptions options = reconfig_options();
+  options.broken_overlap = true;
+  ScheduleExplorer explorer(options);
+  const ExploreReport report = explorer.explore(
+      majority_factory(), "broken-overlap", 0, 60,
+      /*stop_at_first_failure=*/true);
+  ASSERT_FALSE(report.ok)
+      << "the planted broken-overlap rule was never flagged";
+  ASSERT_FALSE(report.failing_seeds.empty());
+  EXPECT_LT(report.failing_seeds.front(), 60u);
+  // The counterexample names the failing seed and carries checker detail.
+  EXPECT_NE(report.text.find("seed=" +
+                             std::to_string(report.failing_seeds.front())),
+            std::string::npos)
+      << report.text;
+  EXPECT_NE(report.text.find("FAIL"), std::string::npos);
+}
+
+TEST(ExplorerReconfigTest, ReconfigReportsByteIdenticalAcrossJobs) {
+  ScheduleExplorer explorer(reconfig_options());
+  const RunDriver serial(1);
+  const RunDriver wide(4);
+  const ExploreReport a = explorer.explore(majority_factory(), "majority", 0,
+                                           16, false, &serial);
+  const ExploreReport b = explorer.explore(majority_factory(), "majority", 0,
+                                           16, false, &wide);
+  EXPECT_TRUE(a.ok) << a.text;
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.failing_seeds, b.failing_seeds);
+}
+
+TEST(ExplorerReconfigTest, ReconfigOffLeavesClassicReportsUnchanged) {
+  // Digest neutrality: the reconfig seed stream is drawn only in reconfig
+  // mode, so classic sweeps produce byte-identical reports whether the
+  // field exists or not — guarded here by comparing default options against
+  // an explicitly-disabled reconfig option set.
+  ExplorerOptions off;
+  off.reconfig = false;
+  const ExploreReport a = ScheduleExplorer().explore(majority_factory(),
+                                                     "majority", 0, 6);
+  const ExploreReport b = ScheduleExplorer(off).explore(majority_factory(),
+                                                        "majority", 0, 6);
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.text.find("reconfig="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,144 @@
+// check_epoch_tags on synthetic histories — the epoch-spanning checker
+// extension in isolation, with hand-built violation shapes so the report
+// wording (and the minimized two-transaction counterexample) is pinned
+// down independently of the simulator.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/serializability.hpp"
+
+namespace atrcp {
+namespace {
+
+HistoryTxn make_txn(SiteId site, std::uint64_t txn_id, std::uint32_t epoch,
+                    bool overlap, std::uint64_t invoke_seq,
+                    std::uint64_t complete_seq) {
+  HistoryTxn txn;
+  txn.site = site;
+  txn.txn_id = txn_id;
+  txn.outcome = HistoryOutcome::kCommitted;
+  txn.span.epoch = epoch;
+  txn.span.epoch_overlap = overlap ? 1 : 0;
+  txn.invoke_seq = invoke_seq;
+  txn.complete_seq = complete_seq;
+  return txn;
+}
+
+TEST(EpochCheckTest, EmptyAndSingleEpochHistoriesPass) {
+  EXPECT_TRUE(check_epoch_tags({}).ok);
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 0, false, 0, 1),
+      make_txn(1, 2, 0, false, 2, 3),
+  };
+  EXPECT_TRUE(check_epoch_tags(txns).ok);
+}
+
+TEST(EpochCheckTest, CleanTransitionPasses) {
+  // pure 0 drains, overlap txns straddle, pure 1 starts after — the shape
+  // a correct ReconfigManager produces. Overlap transactions are ALLOWED
+  // to overlap pure-0 completions and pure-1 invocations.
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 0, false, 0, 3),
+      make_txn(1, 2, 0, false, 1, 2),
+      make_txn(0, 3, 1, true, 4, 7),   // overlap window
+      make_txn(1, 4, 1, true, 5, 9),   // straddles into pure epoch 1: fine
+      make_txn(0, 5, 1, false, 8, 10),
+      make_txn(1, 6, 1, false, 11, 12),
+  };
+  const CheckResult result = check_epoch_tags(txns);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(EpochCheckTest, ViewRankRegressionIsFlaggedWithMinimizedPair) {
+  // txn 3 begins under pure epoch 1 (rank 2), then txn 4 begins under the
+  // overlap view (rank 1) — the view hand-out went backwards. Exactly one
+  // violation naming exactly the two transactions involved.
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 0, false, 0, 1),
+      make_txn(0, 3, 1, false, 2, 5),
+      make_txn(1, 4, 1, true, 3, 4),
+      make_txn(1, 5, 1, false, 6, 7),
+  };
+  const CheckResult result = check_epoch_tags(txns);
+  ASSERT_FALSE(result.ok);
+  ASSERT_EQ(result.violations.size(), 1u) << result.report;
+  EXPECT_NE(result.violations[0].find("went backwards"), std::string::npos);
+  EXPECT_NE(result.violations[0].find(txns[2].label()), std::string::npos);
+  EXPECT_NE(result.violations[0].find(txns[1].label()), std::string::npos);
+  EXPECT_NE(result.report.find("epoch-tag check failed"), std::string::npos);
+}
+
+TEST(EpochCheckTest, MonotonicityReportsOnlyTheFirstPair) {
+  // Two independent regressions; the checker minimizes to the first.
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 2, false, 0, 1),
+      make_txn(0, 2, 1, false, 2, 3),
+      make_txn(0, 3, 0, false, 4, 5),
+  };
+  const CheckResult result = check_epoch_tags(txns);
+  ASSERT_FALSE(result.ok);
+  std::size_t backwards = 0;
+  for (const std::string& v : result.violations) {
+    if (v.find("went backwards") != std::string::npos) ++backwards;
+  }
+  EXPECT_EQ(backwards, 1u) << result.report;
+}
+
+TEST(EpochCheckTest, MissingDrainIsFlagged) {
+  // A pure-epoch-0 transaction completes AFTER a pure-epoch-1 transaction
+  // was invoked: the overlap window failed to drain the old epoch.
+  // (Views were still handed out in rank order, so only the drain rule
+  // fires.)
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 0, false, 0, 5),  // completes late
+      make_txn(1, 2, 1, false, 3, 4),  // pure new epoch invoked at 3 < 5
+  };
+  const CheckResult result = check_epoch_tags(txns);
+  ASSERT_FALSE(result.ok);
+  ASSERT_EQ(result.violations.size(), 1u) << result.report;
+  EXPECT_NE(result.violations[0].find("did not drain"), std::string::npos);
+  EXPECT_NE(result.violations[0].find(txns[0].label()), std::string::npos);
+  EXPECT_NE(result.violations[0].find(txns[1].label()), std::string::npos);
+}
+
+TEST(EpochCheckTest, OverlapTransactionsExemptFromDrainRule) {
+  // The same late completion is legal when the late transaction ran under
+  // the overlap view — that is the entire point of the window.
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 1, true, 0, 5),
+      make_txn(1, 2, 1, false, 3, 4),
+  };
+  const CheckResult result = check_epoch_tags(txns);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(EpochCheckTest, OverlapIntoEpochZeroIsNonsense) {
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 0, true, 0, 1),
+  };
+  const CheckResult result = check_epoch_tags(txns);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.report.find("epoch 0"), std::string::npos);
+}
+
+TEST(EpochCheckTest, DrainCheckedAcrossNonAdjacentEpochs) {
+  // Epoch 0's straggler outlives the 0->1 AND 1->2 transitions: flagged
+  // against both later pure epochs.
+  const std::vector<HistoryTxn> txns = {
+      make_txn(0, 1, 0, false, 0, 9),
+      make_txn(1, 2, 1, false, 2, 3),
+      make_txn(1, 3, 2, false, 5, 6),
+  };
+  const CheckResult result = check_epoch_tags(txns);
+  ASSERT_FALSE(result.ok);
+  std::size_t drain = 0;
+  for (const std::string& v : result.violations) {
+    if (v.find("did not drain") != std::string::npos) ++drain;
+  }
+  EXPECT_EQ(drain, 2u) << result.report;
+}
+
+}  // namespace
+}  // namespace atrcp

@@ -1,0 +1,276 @@
+// ReconfigManager: the online epoch/view-change state machine
+// (docs/RECONFIG.md). Covers the full phase walk on a live cluster, the
+// critical safety property (writes committed under the OLD epoch's quorums
+// are visible to the NEW epoch's read quorums, with shapes chosen so the
+// raw quorum systems would NOT intersect without the sync phase), epoch
+// tagging of concurrent transactions, crash/recovery at every phase,
+// universe growth and shrink within the physical pool, and the API error
+// paths.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/serializability.hpp"
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rowa.hpp"
+#include "txn/cluster.hpp"
+
+namespace atrcp {
+namespace {
+
+ClusterOptions reconfig_options(std::size_t clients = 1,
+                                std::size_t pool = 0) {
+  ClusterOptions options;
+  options.clients = clients;
+  options.link = LinkParams{.base_latency = 10, .jitter = 3};
+  options.enable_reconfig = true;
+  options.site_pool = pool;
+  options.record_history = true;
+  return options;
+}
+
+TEST(ReconfigManagerTest, FullPhaseWalkReachesNewStableEpoch) {
+  Cluster cluster(std::make_unique<MajorityQuorum>(5), reconfig_options());
+  ReconfigManager& manager = *cluster.reconfig();
+  EXPECT_EQ(manager.phase(), ReconfigManager::Phase::kStable);
+  EXPECT_EQ(manager.epoch(), 0u);
+
+  bool done_ok = false;
+  cluster.start_reconfiguration(
+      std::make_unique<ArbitraryProtocol>(balanced_tree(5, 2)),
+      [&done_ok](bool ok) { done_ok = ok; });
+  cluster.settle();
+
+  EXPECT_TRUE(done_ok);
+  EXPECT_EQ(manager.phase(), ReconfigManager::Phase::kStable);
+  EXPECT_EQ(manager.epoch(), 1u);
+  EXPECT_EQ(manager.transitions_completed(), 1u);
+  EXPECT_EQ(manager.live_views(), 0u);
+  EXPECT_EQ(cluster.protocol().name(), "ARBITRARY");
+
+  // The log walks every phase exactly once, in order.
+  std::vector<ReconfigManager::Phase> phases;
+  for (const auto& entry : manager.transition_log()) {
+    if (!entry.crash && !entry.recover) phases.push_back(entry.phase);
+  }
+  const std::vector<ReconfigManager::Phase> expected = {
+      ReconfigManager::Phase::kPrepare, ReconfigManager::Phase::kOverlap,
+      ReconfigManager::Phase::kSync,    ReconfigManager::Phase::kCommit,
+      ReconfigManager::Phase::kRetire,  ReconfigManager::Phase::kStable,
+  };
+  EXPECT_EQ(phases, expected);
+}
+
+TEST(ReconfigManagerTest, OldEpochWritesVisibleToNewEpochReads) {
+  // Epoch 0 = majority of 5: a write lands on some 3 of {0..4}. Epoch 1 =
+  // ROWA: reads pick ONE replica. Raw quorum systems do not intersect
+  // across epochs, so only the sync phase can make this pass.
+  Cluster cluster(std::make_unique<MajorityQuorum>(5), reconfig_options());
+  for (Key k = 0; k < 4; ++k) {
+    ASSERT_EQ(cluster.write_sync(0, k, "old" + std::to_string(k)),
+              TxnOutcome::kCommitted);
+  }
+  cluster.start_reconfiguration(std::make_unique<Rowa>(5));
+  cluster.settle();
+  ASSERT_EQ(cluster.reconfig()->transitions_completed(), 1u);
+  for (Key k = 0; k < 4; ++k) {
+    const auto value = cluster.read_sync(0, k);
+    ASSERT_TRUE(value.has_value()) << "key " << k;
+    EXPECT_EQ(value->value, "old" + std::to_string(k));
+  }
+}
+
+TEST(ReconfigManagerTest, GrowAndShrinkUniverseWithinPool) {
+  // 5 -> 6 (the spare pool site joins) -> 4 (two sites retire), with data
+  // written in every epoch readable in the last.
+  Cluster cluster(std::make_unique<MajorityQuorum>(5),
+                  reconfig_options(1, /*pool=*/6));
+  ASSERT_EQ(cluster.write_sync(0, 1, "e0"), TxnOutcome::kCommitted);
+
+  cluster.start_reconfiguration(std::make_unique<MajorityQuorum>(6));
+  cluster.settle();
+  ASSERT_EQ(cluster.reconfig()->epoch(), 1u);
+  ASSERT_EQ(cluster.write_sync(0, 2, "e1"), TxnOutcome::kCommitted);
+
+  cluster.start_reconfiguration(std::make_unique<MajorityQuorum>(4));
+  cluster.settle();
+  ASSERT_EQ(cluster.reconfig()->epoch(), 2u);
+  EXPECT_EQ(cluster.read_sync(0, 1)->value, "e0");
+  EXPECT_EQ(cluster.read_sync(0, 2)->value, "e1");
+  ASSERT_EQ(cluster.write_sync(0, 3, "e2"), TxnOutcome::kCommitted);
+  EXPECT_EQ(cluster.read_sync(0, 3)->value, "e2");
+}
+
+TEST(ReconfigManagerTest, ConcurrentTransactionsGetEpochTags) {
+  Cluster cluster(std::make_unique<MajorityQuorum>(5), reconfig_options(2));
+  // Keep a steady closed-loop write stream running across the transition.
+  struct Loop {
+    Cluster& cluster;
+    std::size_t client;
+    int remaining;
+    std::function<void()> issue;
+  };
+  auto loop = std::make_shared<Loop>(Loop{cluster, 0, 40, nullptr});
+  loop->issue = [loop] {
+    if (loop->remaining-- <= 0) return;
+    loop->cluster.client(loop->client)
+        .run({TxnOp::write(0, "v" + std::to_string(loop->remaining))},
+             [loop](TxnResult) { loop->issue(); });
+  };
+  cluster.scheduler().schedule_at(1, [loop] { loop->issue(); });
+  cluster.scheduler().schedule_at(400, [&cluster] {
+    cluster.start_reconfiguration(
+        std::make_unique<ArbitraryProtocol>(balanced_tree(5, 2)));
+  });
+  cluster.settle();
+  loop->issue = nullptr;
+
+  ASSERT_EQ(cluster.reconfig()->transitions_completed(), 1u);
+  bool saw_epoch0 = false, saw_epoch1 = false;
+  for (const HistoryTxn& txn : cluster.history().txns()) {
+    if (txn.span.epoch == 0) saw_epoch0 = true;
+    if (txn.span.epoch == 1 && txn.span.epoch_overlap == 0) saw_epoch1 = true;
+  }
+  EXPECT_TRUE(saw_epoch0);
+  EXPECT_TRUE(saw_epoch1);
+  const CheckResult epochs = check_epoch_tags(cluster.history().txns());
+  EXPECT_TRUE(epochs.ok) << epochs.report;
+}
+
+TEST(ReconfigManagerTest, CrashAtEveryPhaseRecoversAndCompletes) {
+  // A live workload keeps views in flight so every phase — including the
+  // drain waits, which complete instantly on an idle cluster — is still
+  // active when the injected crash fires (delay shorter than one network
+  // round trip).
+  for (int phase = 1; phase <= 5; ++phase) {
+    ClusterOptions options = reconfig_options(2);
+    options.reconfig.crash_phase = phase;
+    options.reconfig.crash_delay = 10;
+    options.reconfig.crash_downtime = 800;
+    Cluster cluster(std::make_unique<MajorityQuorum>(5), options);
+    ASSERT_EQ(cluster.write_sync(0, 7, "pre-crash"), TxnOutcome::kCommitted);
+
+    struct Loop {
+      Cluster& cluster;
+      int remaining;
+      std::function<void()> issue;
+    };
+    auto loop = std::make_shared<Loop>(Loop{cluster, 30, nullptr});
+    loop->issue = [loop] {
+      if (loop->remaining-- <= 0) return;
+      loop->cluster.client(1).run(
+          {TxnOp::write(1, "w" + std::to_string(loop->remaining))},
+          [loop](TxnResult) { loop->issue(); });
+    };
+    cluster.scheduler().schedule_after(1, [loop] { loop->issue(); });
+    cluster.scheduler().schedule_after(200, [&cluster] {
+      cluster.start_reconfiguration(std::make_unique<Rowa>(5));
+    });
+    // Pin one overlap view through the EpochSource interface until well
+    // after commit, so the kRetire drain cannot complete synchronously and
+    // the retire-phase crash has something to interrupt.
+    struct Pin {
+      Cluster& cluster;
+      bool held = false;
+      EpochView view{};
+      std::function<void()> poll;
+    };
+    auto pin = std::make_shared<Pin>(Pin{cluster});
+    pin->poll = [pin] {
+      ReconfigManager& manager = *pin->cluster.reconfig();
+      if (manager.phase() == ReconfigManager::Phase::kOverlap ||
+          manager.phase() == ReconfigManager::Phase::kSync) {
+        pin->held = true;
+        pin->view = manager.acquire_view();
+        pin->cluster.scheduler().schedule_after(400, [pin] {
+          pin->cluster.reconfig()->release_view(pin->view);
+        });
+      } else if (manager.transitions_completed() == 0) {
+        pin->cluster.scheduler().schedule_after(5, pin->poll);
+      }
+    };
+    cluster.scheduler().schedule_after(200, [pin] { pin->poll(); });
+    cluster.settle();
+    loop->issue = nullptr;
+    pin->poll = nullptr;
+
+    const ReconfigManager& manager = *cluster.reconfig();
+    EXPECT_EQ(manager.transitions_completed(), 1u) << "crash phase " << phase;
+    EXPECT_FALSE(manager.crashed());
+    bool crashed = false, recovered = false;
+    for (const auto& entry : manager.transition_log()) {
+      crashed = crashed || entry.crash;
+      recovered = recovered || entry.recover;
+    }
+    EXPECT_TRUE(crashed) << "crash phase " << phase;
+    EXPECT_TRUE(recovered) << "crash phase " << phase;
+    EXPECT_EQ(cluster.read_sync(0, 7)->value, "pre-crash");
+  }
+}
+
+TEST(ReconfigManagerTest, TransitionIsSeedDeterministic) {
+  const auto run = [] {
+    ClusterOptions options = reconfig_options(2);
+    options.reconfig.crash_phase =
+        static_cast<int>(ReconfigManager::Phase::kSync);
+    Cluster cluster(std::make_unique<MajorityQuorum>(5), options);
+    cluster.scheduler().schedule_at(300, [&cluster] {
+      cluster.start_reconfiguration(std::make_unique<MajorityQuorum>(5));
+    });
+    for (Key k = 0; k < 6; ++k) {
+      cluster.write_sync(1, k, "w" + std::to_string(k));
+    }
+    cluster.settle();
+    std::string log;
+    for (const auto& entry : cluster.reconfig()->transition_log()) {
+      log += std::string(ReconfigManager::phase_name(entry.phase)) +
+             (entry.crash ? "!" : entry.recover ? "^" : "") + "@" +
+             std::to_string(entry.at) + ";";
+    }
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ReconfigManagerTest, StartErrors) {
+  Cluster cluster(std::make_unique<MajorityQuorum>(5), reconfig_options());
+  // Exceeds the pool (pool defaults to the initial universe).
+  EXPECT_THROW(
+      cluster.start_reconfiguration(std::make_unique<MajorityQuorum>(6)),
+      std::invalid_argument);
+  EXPECT_THROW(cluster.start_reconfiguration(nullptr), std::invalid_argument);
+  cluster.start_reconfiguration(std::make_unique<MajorityQuorum>(5));
+  // Already in progress.
+  EXPECT_THROW(
+      cluster.start_reconfiguration(std::make_unique<MajorityQuorum>(5)),
+      std::logic_error);
+  cluster.settle();
+  EXPECT_EQ(cluster.reconfig()->transitions_completed(), 1u);
+
+  // Disabled clusters reject the API instead of silently ignoring it.
+  Cluster plain(std::make_unique<MajorityQuorum>(3), ClusterOptions{});
+  EXPECT_EQ(plain.reconfig(), nullptr);
+  EXPECT_THROW(
+      plain.start_reconfiguration(std::make_unique<MajorityQuorum>(3)),
+      std::logic_error);
+}
+
+TEST(ReconfigManagerTest, DisabledClusterTagsEpochZero) {
+  ClusterOptions options;
+  options.record_history = true;
+  Cluster cluster(std::make_unique<MajorityQuorum>(3), options);
+  ASSERT_EQ(cluster.write_sync(0, 0, "x"), TxnOutcome::kCommitted);
+  for (const HistoryTxn& txn : cluster.history().txns()) {
+    EXPECT_EQ(txn.span.epoch, 0u);
+    EXPECT_EQ(txn.span.epoch_overlap, 0);
+  }
+  EXPECT_TRUE(check_epoch_tags(cluster.history().txns()).ok);
+}
+
+}  // namespace
+}  // namespace atrcp

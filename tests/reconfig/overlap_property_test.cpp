@@ -1,0 +1,165 @@
+// OverlapProtocol property fuzz — the epoch-boundary intersection
+// invariant (docs/RECONFIG.md, Theorem 1). An overlap quorum is the union
+// of one quorum per epoch, so every overlap READ quorum must intersect
+// every write quorum OF EITHER EPOCH (old epoch: via its embedded old-epoch
+// read quorum and the old bicoterie; new epoch: symmetrically), and every
+// overlap WRITE quorum must intersect both epochs' read quorums. 500 random
+// failure patterns per protocol pairing, every (old, new) pair drawn from a
+// cross-epoch zoo including universe growth and shrink.
+//
+// The regression half: the planted broken rule (overlap = NEW epoch's
+// quorums alone, the bug ReconfigOptions::broken_overlap ships) violates
+// the invariant, and the fuzzer must exhibit a concrete counterexample —
+// an old-epoch write quorum disjoint from a "broken overlap" read quorum.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/rowa.hpp"
+#include "protocols/tree_quorum.hpp"
+#include "reconfig/epoch.hpp"
+
+namespace atrcp {
+namespace {
+
+constexpr std::size_t kCases = 500;
+
+struct Pairing {
+  std::string label;
+  std::unique_ptr<ReplicaControlProtocol> old_epoch;
+  std::unique_ptr<ReplicaControlProtocol> new_epoch;
+};
+
+std::vector<Pairing> pairings() {
+  std::vector<Pairing> out;
+  const auto add = [&out](std::string label,
+                          std::unique_ptr<ReplicaControlProtocol> old_epoch,
+                          std::unique_ptr<ReplicaControlProtocol> new_epoch) {
+    out.push_back(
+        {std::move(label), std::move(old_epoch), std::move(new_epoch)});
+  };
+  add("maj5->tree5L2", std::make_unique<MajorityQuorum>(5),
+      std::make_unique<ArbitraryProtocol>(balanced_tree(5, 2)));
+  add("maj5->rowa5", std::make_unique<MajorityQuorum>(5),
+      std::make_unique<Rowa>(5));
+  add("rowa5->maj5", std::make_unique<Rowa>(5),
+      std::make_unique<MajorityQuorum>(5));
+  add("maj5->maj6", std::make_unique<MajorityQuorum>(5),
+      std::make_unique<MajorityQuorum>(6));  // universe grows
+  add("maj6->maj4", std::make_unique<MajorityQuorum>(6),
+      std::make_unique<MajorityQuorum>(4));  // universe shrinks
+  add("tree135->maj9",
+      std::make_unique<ArbitraryProtocol>(ArbitraryTree::from_spec("1-3-5")),
+      std::make_unique<MajorityQuorum>(9));
+  add("binary7->tree7L3", std::make_unique<TreeQuorum>(2),
+      std::make_unique<ArbitraryProtocol>(balanced_tree(7, 3)));
+  add("mostly_read5->mostly_write5", make_mostly_read(5),
+      make_mostly_write(5));
+  return out;
+}
+
+/// A random failure pattern over the union universe, sparse enough that
+/// quorums usually assemble (the property is vacuous when assembly fails).
+FailureSet random_failures(Rng& rng, std::size_t universe) {
+  FailureSet failures(universe);
+  const std::size_t down = rng.below(universe / 2 + 1);
+  for (std::size_t i = 0; i < down; ++i) {
+    failures.fail(static_cast<ReplicaId>(rng.below(universe)));
+  }
+  return failures;
+}
+
+bool intersects(const Quorum& a, const Quorum& b) {
+  for (const ReplicaId r : a.members()) {
+    if (b.contains(r)) return true;
+  }
+  return false;
+}
+
+TEST(OverlapPropertyTest, BothEpochRuleIntersectsEveryEpochsQuorums) {
+  for (const Pairing& pair : pairings()) {
+    const OverlapProtocol overlap(*pair.old_epoch, *pair.new_epoch);
+    const std::size_t universe = overlap.universe_size();
+    EXPECT_EQ(universe, std::max(pair.old_epoch->universe_size(),
+                                 pair.new_epoch->universe_size()));
+    Rng rng(0x0E0F + universe);
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < kCases; ++i) {
+      const FailureSet failures = random_failures(rng, universe);
+      const auto overlap_read = overlap.assemble_read_quorum(failures, rng);
+      const auto overlap_write = overlap.assemble_write_quorum(failures, rng);
+      // Independent single-epoch quorums under the same failure pattern.
+      const auto old_write =
+          pair.old_epoch->assemble_write_quorum(failures, rng);
+      const auto new_write =
+          pair.new_epoch->assemble_write_quorum(failures, rng);
+      const auto old_read = pair.old_epoch->assemble_read_quorum(failures, rng);
+      const auto new_read = pair.new_epoch->assemble_read_quorum(failures, rng);
+
+      if (overlap_read) {
+        if (old_write) {
+          ++checked;
+          EXPECT_TRUE(intersects(*overlap_read, *old_write))
+              << pair.label << " case " << i
+              << ": overlap read missed an old-epoch write quorum";
+        }
+        if (new_write) {
+          EXPECT_TRUE(intersects(*overlap_read, *new_write))
+              << pair.label << " case " << i
+              << ": overlap read missed a new-epoch write quorum";
+        }
+      }
+      if (overlap_write) {
+        if (old_read) {
+          EXPECT_TRUE(intersects(*overlap_write, *old_read))
+              << pair.label << " case " << i
+              << ": old-epoch read missed an overlap write quorum";
+        }
+        if (new_read) {
+          EXPECT_TRUE(intersects(*overlap_write, *new_read))
+              << pair.label << " case " << i
+              << ": new-epoch read missed an overlap write quorum";
+        }
+      }
+      // Overlap quorums assemble iff BOTH epochs can assemble.
+      EXPECT_EQ(overlap_read.has_value(),
+                pair.old_epoch->assemble_read_quorum(failures, rng)
+                        .has_value() &&
+                    pair.new_epoch->assemble_read_quorum(failures, rng)
+                        .has_value())
+          << pair.label << " case " << i;
+    }
+    // The sweep must not be vacuous: most patterns leave quorums available.
+    EXPECT_GT(checked, kCases / 4) << pair.label;
+  }
+}
+
+TEST(OverlapPropertyTest, BrokenOverlapRuleViolatesTheInvariant) {
+  // The planted bug hands out the NEW epoch's quorums alone during the
+  // window. For maj5 -> rowa5 (read = any 1 replica) the fuzzer must find
+  // an old-epoch write quorum (3 of 5) disjoint from a broken "overlap"
+  // read (1 of 5) — the stale-read counterexample the checker then flags
+  // end to end in the explorer teeth test.
+  const MajorityQuorum old_epoch(5);
+  const Rowa new_epoch(5);
+  Rng rng(0xBAD);
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const FailureSet failures(5);
+    const auto broken_read = new_epoch.assemble_read_quorum(failures, rng);
+    const auto old_write = old_epoch.assemble_write_quorum(failures, rng);
+    ASSERT_TRUE(broken_read && old_write);
+    if (!intersects(*broken_read, *old_write)) ++violations;
+  }
+  EXPECT_GT(violations, 0u)
+      << "the planted broken-overlap rule never produced a non-intersecting "
+         "pair — the teeth test would be toothless";
+}
+
+}  // namespace
+}  // namespace atrcp
