@@ -24,6 +24,7 @@
 #include <sstream>
 #include <vector>
 
+#include "bigtree_units.hpp"
 #include "check/broken.hpp"
 #include "check/explorer.hpp"
 #include "driver/digest.hpp"
@@ -144,6 +145,16 @@ std::vector<Unit> suite() {
     units.push_back({"keyspace_" + ks.name, ks.shards,
                      [run = ks.run, ops](std::size_t shard) {
                        return run(shard, ops);
+                     }});
+  }
+  // Half-depth runs of the big-tree scaling units (E24), capped at
+  // n = 16384 here — bench_bigtree stays the full standalone sweep (with
+  // the n = 65536 shard and the peak-RSS budget).
+  for (const BigtreeUnit& bt : bigtree_units()) {
+    const std::uint64_t iters = bt.iters / 2;
+    units.push_back({bt.name, kBigtreeBenchAllShards,
+                     [run = bt.run, iters](std::size_t shard) {
+                       return run(shard, iters);
                      }});
   }
   // Half-depth runs of the online-reconfiguration units (E23): epoch

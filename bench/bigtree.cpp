@@ -1,0 +1,237 @@
+// bench_bigtree — E24: the large-n substrate sweep. Algorithm 1 trees at
+// n ∈ {1024, 4096, 16384, 65536} sites, quorum assembly and full-cluster
+// workloads, runnable only because the network is tiled/sparse and every
+// per-txn hot path is O(active quorum).
+//
+// Every unit runs TWICE — serial reference, then at --jobs N through the
+// work-stealing driver — and the payloads must match byte for byte. The
+// emitted BENCH_ATRCP.json carries the deterministic "bigtree" section
+// (per-unit digests, tree geometry pinned in the payloads) plus the single
+// host-dependent "timing" line (wall clock, txns/sec, assembly ns/op, peak
+// RSS).
+//
+// The process's peak RSS is asserted against a hard budget at exit: the
+// full sweep builds and runs an n = 65536 cluster inside < 1 GiB, which the
+// former dense n x n link tables (~137 GiB at that n) made impossible. The
+// smoke run covers n = 1024 plus a construct-only probe at n = 16384 under
+// 512 MiB — a dense-table regression either blows that budget or hangs in
+// the O(n^3) table rebuild long before finishing.
+//
+// Flags:
+//   --smoke        n = 1024 shards only + the n = 16384 construct probe
+//   --jobs N       worker count for the sharded pass (default: hardware)
+//   --lint <file>  validate <file> with obs::json_lint and exit
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "bigtree_units.hpp"
+#include "driver/digest.hpp"
+#include "driver/pool.hpp"
+#include "obs/json_lint.hpp"
+
+using namespace atrcp;
+using namespace atrcp::benchio;
+
+namespace {
+
+/// Peak resident set of this process in KiB: getrusage ru_maxrss first
+/// (KiB on Linux, bytes on macOS), /proc VmHWM as a fallback for kernels
+/// that report ru_maxrss as 0. Returns 0 when neither works, which skips
+/// the budget assertion.
+std::size_t peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(usage.ru_maxrss) / 1024;
+#else
+    return static_cast<std::size_t>(usage.ru_maxrss);
+#endif
+  }
+#endif
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::strtoull(
+          line.c_str() + 6, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+struct UnitRun {
+  std::string payload;
+  std::uint64_t committed = 0;
+  double wall_ms = 0;
+};
+
+UnitRun run_unit(const BigtreeUnit& unit, std::size_t shards,
+                 std::uint64_t iters, const RunDriver& driver) {
+  const auto start = std::chrono::steady_clock::now();
+  UnitRun out;
+  const std::vector<ShardResult> results = driver.map<ShardResult>(
+      shards,
+      [&unit, iters](std::size_t shard) { return unit.run(shard, iters); });
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  for (const ShardResult& shard : results) {
+    out.payload += shard.payload;
+    out.committed += shard.committed;
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+int lint_file(const char* path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::printf("FAIL cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string error;
+  if (!json_valid(text.str(), &error)) {
+    std::printf("FAIL %s does not lint: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::printf("OK %s lints (%zu bytes)\n", path, text.str().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0 && i + 1 < argc) {
+      return lint_file(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      ++i;  // consumed by parse_jobs_flag below
+    } else {
+      std::printf(
+          "usage: bench_bigtree [--smoke] [--jobs N] [--lint <file>]\n");
+      return 2;
+    }
+  }
+  const RunDriver parallel(parse_jobs_flag(argc, argv));
+  const RunDriver serial(1);
+
+  bool all_ok = true;
+  std::string units_json;
+  std::string timing_json;
+  const std::size_t shards = smoke ? 1 : kBigtreeShards;
+  std::printf("# bench_bigtree%s: %zu units, n up to %zu, jobs=%zu\n",
+              smoke ? " (smoke)" : "", bigtree_units().size(),
+              bigtree_sites(shards - 1), parallel.jobs());
+
+  for (const BigtreeUnit& unit : bigtree_units()) {
+    const std::uint64_t iters = smoke ? unit.iters / 8 : unit.iters;
+    const UnitRun reference = run_unit(unit, shards, iters, serial);
+    const UnitRun sharded = run_unit(unit, shards, iters, parallel);
+    const bool match = reference.payload == sharded.payload &&
+                       reference.committed == sharded.committed;
+    all_ok = all_ok && match;
+    const double best_ms = sharded.wall_ms < reference.wall_ms
+                               ? sharded.wall_ms
+                               : reference.wall_ms;
+    const double ns_per_op =
+        reference.committed > 0
+            ? best_ms * 1e6 / static_cast<double>(reference.committed)
+            : 0;
+    const double per_sec =
+        best_ms > 0
+            ? static_cast<double>(reference.committed) / (best_ms / 1e3)
+            : 0;
+    const std::string digest = hex64(fnv1a64(reference.payload));
+    std::printf("%-18s %s shards=%zu committed=%llu ns/op=%s per_sec=%s "
+                "digest=%s\n",
+                unit.name.c_str(), match ? "OK  " : "FAIL", shards,
+                static_cast<unsigned long long>(reference.committed),
+                fixed(ns_per_op, 1).c_str(), fixed(per_sec, 0).c_str(),
+                digest.c_str());
+    if (!match) {
+      std::printf("  parallel payload diverged from the serial reference — "
+                  "a shard is not a pure function of its index\n");
+    }
+    if (!units_json.empty()) units_json += ",\n";
+    units_json += "{\"name\":\"" + unit.name +
+                  "\",\"shards\":" + std::to_string(shards) +
+                  ",\"committed\":" + std::to_string(reference.committed) +
+                  ",\"digest\":\"" + digest + "\"}";
+    if (!timing_json.empty()) timing_json += ",";
+    timing_json += "{\"name\":\"" + unit.name +
+                   "\",\"serial_ms\":" + fixed(reference.wall_ms, 1) +
+                   ",\"parallel_ms\":" + fixed(sharded.wall_ms, 1) +
+                   ",\"ns_per_op\":" + fixed(ns_per_op, 1) +
+                   ",\"per_sec\":" + fixed(per_sec, 0) + "}";
+  }
+
+  // Construct-only probe: smoke proves n = 16384 registration is O(1) per
+  // site; the full sweep already built n = 65536 inside bigtree_txn.
+  if (smoke) {
+    const ShardResult probe = bigtree_construct_probe(16384);
+    const bool ok = probe.committed == 1;
+    all_ok = all_ok && ok;
+    std::printf("construct_16384    %s %s", ok ? "OK  " : "FAIL",
+                probe.payload.c_str());
+    if (!units_json.empty()) units_json += ",\n";
+    units_json += "{\"name\":\"construct_16384\",\"shards\":1,\"committed\":" +
+                  std::to_string(probe.committed) + ",\"digest\":\"" +
+                  hex64(fnv1a64(probe.payload)) + "\"}";
+  }
+
+  // Peak-RSS budget: the gate that keeps the substrate sparse. Budgets are
+  // far above the sparse footprint and far below any dense n x n revival.
+  const std::size_t rss_kib = peak_rss_kib();
+  const std::size_t budget_kib =
+      (smoke ? std::size_t{512} : std::size_t{1024}) * 1024;
+  if (rss_kib > 0) {
+    const bool within = rss_kib < budget_kib;
+    all_ok = all_ok && within;
+    std::printf("peak_rss           %s %zu MiB (budget %zu MiB)\n",
+                within ? "OK  " : "FAIL", rss_kib / 1024, budget_kib / 1024);
+    if (!within) {
+      std::printf("  peak RSS exceeded the sparse-substrate budget — did a "
+                  "dense per-pair table come back?\n");
+    }
+  }
+
+  std::ostringstream doc;
+  doc << "{\n\"bench\":\"atrcp\",\n\"schema\":1,\n\"bigtree\":[\n"
+      << units_json << "\n],\n\"timing\":{\"smoke\":"
+      << (smoke ? "true" : "false") << ",\"jobs\":" << parallel.jobs()
+      << ",\"peak_rss_mib\":" << rss_kib / 1024 << ",\"units\":["
+      << timing_json << "]}\n}\n";
+  std::string error;
+  if (!json_valid(doc.str(), &error)) {
+    all_ok = false;
+    std::printf("FAIL bigtree document does not lint: %s\n", error.c_str());
+  }
+  const char* path = "BENCH_ATRCP.json";
+  std::ofstream file(path, std::ios::binary);
+  file << doc.str();
+  file.close();
+  std::printf("# wrote %s (%zu bytes)\n", file ? path : "(write failed)",
+              doc.str().size());
+  std::printf(all_ok ? "# bench_bigtree: PASS\n" : "# bench_bigtree: FAIL\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+#include "bigtree_units.hpp"
+
+#include <algorithm>
+
+#include "core/config.hpp"
+#include "core/quorums.hpp"
+#include "core/tree.hpp"
+#include "quorum/types.hpp"
+#include "txn/cluster.hpp"
+#include "txn/workload.hpp"
+#include "util/rng.hpp"
+
+namespace atrcp::benchio {
+namespace {
+
+/// Depth budgets shrink 4x per shard: n quadruples and per-op cost roughly
+/// doubles (quorums are O(√n)), so the sweep's wall clock stays balanced.
+std::uint64_t scaled(std::uint64_t iters, std::size_t shard,
+                     std::uint64_t floor) {
+  return std::max<std::uint64_t>(iters >> (2 * shard), floor);
+}
+
+// -- bigtree_assemble: quorum assembly over Algorithm 1 trees ----------------
+//
+// Protocol-only: no network, no servers — this is the per-round cost the
+// transaction layer pays, isolated. Replica n/2 stays failed throughout and
+// replica 0 flips every kChurnPeriod ops, so the level cache pays periodic
+// rebuilds like a live run with a real failure present.
+
+constexpr std::uint64_t kChurnPeriod = 512;
+
+ShardResult assemble_shard(std::size_t shard, std::uint64_t iters) {
+  const std::size_t n = bigtree_sites(shard);
+  const ArbitraryProtocol protocol(algorithm1_tree(n));
+  const std::size_t depth = protocol.tree().physical_levels().size();
+  std::size_t min_level = n;
+  std::size_t max_level = 0;
+  for (std::uint32_t level : protocol.tree().physical_levels()) {
+    const std::size_t size = protocol.tree().replicas_at_level(level).size();
+    min_level = std::min(min_level, size);
+    max_level = std::max(max_level, size);
+  }
+
+  const std::uint64_t ops = scaled(iters, shard, 64);
+  FailureSet failures(n);
+  failures.fail(static_cast<ReplicaId>(n / 2));
+  Rng rng(0xB167EE + shard);
+  std::uint64_t reads_ok = 0;
+  std::uint64_t writes_ok = 0;
+  std::uint64_t write_members = 0;
+  std::uint64_t acc = 0;
+  bool zero_down = false;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    if (i % kChurnPeriod == kChurnPeriod - 1) {
+      zero_down = !zero_down;
+      if (zero_down) {
+        failures.fail(0);
+      } else {
+        failures.recover(0);
+      }
+    }
+    if (const auto q = protocol.assemble_read_quorum(failures, rng)) {
+      ++reads_ok;
+      acc += q->size() + q->members().front() * 3 + q->members().back();
+    }
+    if (const auto q = protocol.assemble_write_quorum(failures, rng)) {
+      ++writes_ok;
+      write_members += q->size();
+    }
+  }
+  ShardResult out;
+  out.payload = "assemble n=" + std::to_string(n) +
+                " depth=" + std::to_string(depth) +
+                " level_min=" + std::to_string(min_level) +
+                " level_max=" + std::to_string(max_level) +
+                " reads_ok=" + std::to_string(reads_ok) +
+                " writes_ok=" + std::to_string(writes_ok) +
+                " write_members=" + std::to_string(write_members) +
+                " acc=" + std::to_string(acc) + "\n";
+  out.committed = ops * 2;  // one read + one write assembly per op
+  return out;
+}
+
+// -- bigtree_txn: full-cluster workload at scale -----------------------------
+//
+// The end-to-end meter: n replica servers, 4 closed-loop clients, the
+// failure injector crashing a replica mid-run so suspicion/reassembly paths
+// execute at scale. committed feeds the txns/sec timing line.
+
+ShardResult txn_shard(std::size_t shard, std::uint64_t iters) {
+  const std::size_t n = bigtree_sites(shard);
+  const std::uint64_t txns = scaled(iters, shard, 8);
+
+  ClusterOptions options;
+  options.seed = 0xB16700 + shard;
+  options.clients = 4;
+  options.link = LinkParams{.base_latency = 50, .jitter = 10};
+  Cluster cluster(make_arbitrary(n), options);
+  cluster.injector().transient_failure(40'000, 3, 120'000);
+
+  WorkloadOptions workload;
+  workload.transactions_per_client =
+      std::max<std::size_t>(txns / options.clients, 2);
+  workload.read_fraction = 0.5;
+  workload.num_keys = 64;
+  workload.seed = 4242 + shard;
+  const WorkloadStats stats = run_workload(cluster, workload);
+
+  ShardResult out;
+  out.payload = "txn n=" + std::to_string(n) +
+                " committed=" + std::to_string(stats.committed) +
+                " aborted=" + std::to_string(stats.aborted) +
+                " blocked=" + std::to_string(stats.blocked) +
+                " sent=" + std::to_string(cluster.network().messages_sent()) +
+                " delivered=" +
+                std::to_string(cluster.network().messages_delivered()) +
+                " dropped=" +
+                std::to_string(cluster.network().messages_dropped()) + "\n";
+  out.committed = stats.committed;
+  return out;
+}
+
+}  // namespace
+
+const std::vector<BigtreeUnit>& bigtree_units() {
+  static const std::vector<BigtreeUnit> units = [] {
+    std::vector<BigtreeUnit> out;
+    out.push_back(
+        {"bigtree_assemble", kBigtreeShards, 120'000, assemble_shard});
+    out.push_back({"bigtree_txn", kBigtreeShards, 512, txn_shard});
+    return out;
+  }();
+  return units;
+}
+
+ShardResult bigtree_construct_probe(std::size_t n) {
+  ClusterOptions options;
+  options.seed = 11;
+  options.clients = 1;
+  Cluster cluster(make_arbitrary(n), options);
+  const TxnOutcome outcome = cluster.write_sync(0, 1, "probe");
+  ShardResult out;
+  out.payload = "construct n=" + std::to_string(n) + " outcome=" +
+                std::to_string(static_cast<int>(outcome)) + " sites=" +
+                std::to_string(cluster.network().site_count()) + "\n";
+  out.committed = outcome == TxnOutcome::kCommitted ? 1 : 0;
+  return out;
+}
+
+}  // namespace atrcp::benchio

@@ -1,0 +1,60 @@
+// E24 big-tree scaling units — the paper's Algorithm 1 trees at
+// n ∈ {1024, 4096, 16384, 65536} sites, the scale the √n-level asymptotics
+// (Facts 3.2.3/3.2.4) actually show at. Runnable at all only on the sparse
+// tiled network substrate: the former dense n x n link tables were ~4.3B
+// entries at the top of this sweep.
+//
+// Two unit families, shard s covering n = 1024 * 4^s:
+//   "bigtree_assemble" — protocol-only quorum assembly over an Algorithm 1
+//     tree with failure churn; measures assembly ns/op and pins the tree
+//     geometry (depth, quorum sizes) into the payload.
+//   "bigtree_txn"      — a full Cluster (servers, coordinators, injector)
+//     running a mixed workload end to end; measures committed txns/sec and
+//     pins commit/abort/message counts.
+//
+// Each shard is a pure function of its index, so the units slot into
+// bench_all's serial-vs-sharded digest machinery unchanged. Depth budgets
+// are divided by 4 per shard (n quadruples, per-op cost roughly doubles),
+// so wall clock stays balanced across the sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "suite.hpp"
+
+namespace atrcp::benchio {
+
+struct BigtreeUnit {
+  std::string name;
+  /// One shard per swept site count; shard s runs n = bigtree_sites(s).
+  std::size_t shards = 0;
+  /// Full-depth budget for shard 0 (ops for assemble, transactions for
+  /// txn); shard s runs budget / 4^s, floored at a useful minimum.
+  std::uint64_t iters = 0;
+  std::function<ShardResult(std::size_t shard, std::uint64_t iters)> run;
+};
+
+/// Site count covered by shard `shard` of every bigtree unit.
+constexpr std::size_t bigtree_sites(std::size_t shard) {
+  return std::size_t{1024} << (2 * shard);
+}
+
+/// Shards in the full sweep (up to n = 65536).
+inline constexpr std::size_t kBigtreeShards = 4;
+/// Shards bench_all runs (up to n = 16384, at half depth).
+inline constexpr std::size_t kBigtreeBenchAllShards = 3;
+
+const std::vector<BigtreeUnit>& bigtree_units();
+
+/// Construct-only probe: builds a full Cluster at `n` and runs one
+/// transaction through it. Returns the deterministic payload. Used by the
+/// bench_bigtree smoke mode to prove large-n construction stays cheap — a
+/// dense-table regression either blows the RSS budget or hangs in the
+/// O(n^3) rebuild long before this returns.
+ShardResult bigtree_construct_probe(std::size_t n);
+
+}  // namespace atrcp::benchio

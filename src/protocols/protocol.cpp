@@ -21,14 +21,21 @@ std::optional<Quorum> ReplicaControlProtocol::assemble_write_quorum(
 }
 
 void ReplicaControlProtocol::observe(
-    const QuorumObs& obs, const std::optional<Quorum>& quorum) const {
+    QuorumObs& obs, const std::optional<Quorum>& quorum) const {
   if (obs.attempts == nullptr) return;
   obs.attempts->inc();
   if (quorum.has_value()) {
     obs.members->inc(quorum->size());
     if (obs.size_sketch != nullptr) obs.size_sketch->record(quorum->size());
     for (const ReplicaId r : quorum->members()) {
-      if (r < obs.site.size()) obs.site[r]->inc();
+      if (r >= obs.site.size()) continue;
+      Counter*& site = obs.site[r];
+      if (site == nullptr) {
+        // Above the eager threshold: this replica's first quorum
+        // membership creates its load counter.
+        site = &registry_->counter(obs.site_prefix + std::to_string(r));
+      }
+      site->inc();
     }
   } else {
     obs.failures->inc();
@@ -36,6 +43,7 @@ void ReplicaControlProtocol::observe(
 }
 
 void ReplicaControlProtocol::attach_metrics(MetricsRegistry& registry) {
+  registry_ = &registry;
   const std::string prefix = "quorum." + name() + ".";
   read_obs_.attempts = &registry.counter(prefix + "read.attempts");
   read_obs_.failures = &registry.counter(prefix + "read.failures");
@@ -45,19 +53,24 @@ void ReplicaControlProtocol::attach_metrics(MetricsRegistry& registry) {
   write_obs_.members = &registry.counter(prefix + "write.members");
   read_obs_.size_sketch = &registry.qsketch(prefix + "read.size");
   write_obs_.size_sketch = &registry.qsketch(prefix + "write.size");
+  read_obs_.site_prefix = prefix + "read.site.";
+  write_obs_.site_prefix = prefix + "write.site.";
   const std::size_t n = universe_size();
-  read_obs_.site.resize(n);
-  write_obs_.site.resize(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    const std::string suffix = "site." + std::to_string(r);
-    read_obs_.site[r] = &registry.counter(prefix + "read." + suffix);
-    write_obs_.site[r] = &registry.counter(prefix + "write." + suffix);
+  read_obs_.site.assign(n, nullptr);
+  write_obs_.site.assign(n, nullptr);
+  if (n <= kEagerSiteCounters) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::string suffix = "site." + std::to_string(r);
+      read_obs_.site[r] = &registry.counter(prefix + "read." + suffix);
+      write_obs_.site[r] = &registry.counter(prefix + "write." + suffix);
+    }
   }
 }
 
 void ReplicaControlProtocol::detach_metrics() noexcept {
   read_obs_ = QuorumObs{};
   write_obs_ = QuorumObs{};
+  registry_ = nullptr;
 }
 
 std::vector<Quorum> ReplicaControlProtocol::enumerate_read_quorums(

@@ -59,11 +59,18 @@ class ReplicaControlProtocol {
   /// Additionally one counter per replica, "quorum.<name()>.<read|write>.
   /// site.<r>", counts the quorums replica r participated in — the raw data
   /// behind the per-site load table (obs/site_load.hpp) that checks the
-  /// paper's load claims (Facts 3.2.3/3.2.4). All counters are created at
-  /// attach time so registry contents are seed-independent. The registry
-  /// must outlive the protocol (or detach_metrics first).
+  /// paper's load claims (Facts 3.2.3/3.2.4). Per-site counters are created
+  /// at attach time for universes up to kEagerSiteCounters, keeping registry
+  /// contents seed-independent for every digest-pinned configuration; above
+  /// the threshold a replica's counter appears on its first quorum
+  /// membership (obs/site_load.hpp reads absent counters as 0), so a
+  /// 65536-site universe never materializes 131072 idle counters. The
+  /// registry must outlive the protocol (or detach_metrics first).
   void attach_metrics(MetricsRegistry& registry);
   void detach_metrics() noexcept;
+
+  /// Universe-size bound under which attach_metrics is fully eager.
+  static constexpr std::size_t kEagerSiteCounters = 256;
 
   // -- analytic model ------------------------------------------------------
 
@@ -110,14 +117,19 @@ class ReplicaControlProtocol {
     /// Full distribution of assembled quorum sizes ("quorum.<name>.
     /// <read|write>.size") — the tail complement to the `members` mean.
     QuantileSketch* size_sketch = nullptr;
-    /// One per replica id; site[r] counts quorums containing r.
+    /// One per replica id; site[r] counts quorums containing r. Slots are
+    /// null until first use when the universe exceeds kEagerSiteCounters.
     std::vector<Counter*> site;
+    /// "quorum.<name>.<read|write>.site." — for lazy counter creation.
+    std::string site_prefix;
   };
-  void observe(const QuorumObs& obs,
-               const std::optional<Quorum>& quorum) const;
+  void observe(QuorumObs& obs, const std::optional<Quorum>& quorum) const;
 
-  QuorumObs read_obs_{};
-  QuorumObs write_obs_{};
+  /// Mutable: observe() runs under the const assemble_* wrappers but may
+  /// lazily create a per-site counter above the eager threshold.
+  mutable QuorumObs read_obs_{};
+  mutable QuorumObs write_obs_{};
+  MetricsRegistry* registry_ = nullptr;
 };
 
 /// The paper's expected-load equations (Equation 3.2): what load the system

@@ -200,6 +200,28 @@ class FailureSet {
   /// assembly work keyed on this.
   std::uint64_t epoch() const noexcept { return epoch_; }
 
+  /// ORs other's failed replicas into this set (word-wise), growing the
+  /// universe if other's is larger. Installs a fresh epoch only when the
+  /// contents actually change. O(universe(other) / 64) — the transaction
+  /// layer's per-round suspicion overlay uses this in place of an O(n)
+  /// per-replica is_failed/fail scan.
+  void merge_failed_from(const FailureSet& other) {
+    if (other.failed_count_ == 0) return;
+    if (other.size_ > size_) grow(other.size_);
+    bool changed = false;
+    const std::uint64_t* src = other.words();
+    std::uint64_t* dst = words();
+    for (std::size_t w = 0; w < other.word_count(); ++w) {
+      const std::uint64_t added = src[w] & ~dst[w];
+      if (added != 0) {
+        dst[w] |= added;
+        failed_count_ += static_cast<std::size_t>(std::popcount(added));
+        changed = true;
+      }
+    }
+    if (changed) epoch_ = detail::next_failure_epoch();
+  }
+
   /// True iff every member of q is alive (q can be assembled as-is).
   bool all_alive(const Quorum& q) const noexcept {
     if (failed_count_ == 0) return true;

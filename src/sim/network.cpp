@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -11,7 +12,7 @@ namespace atrcp {
 
 void Network::set_metrics(MetricsRegistry* registry) {
   metrics_ = registry;
-  for (LinkObs& obs : link_obs_) obs = LinkObs{};
+  for (auto& row : obs_rows_) row.clear();
   if (registry == nullptr) {
     sent_obs_ = delivered_obs_ = dropped_obs_ = bytes_sent_obs_ = nullptr;
     return;
@@ -23,16 +24,25 @@ void Network::set_metrics(MetricsRegistry* registry) {
 }
 
 Network::LinkObs& Network::link_obs(SiteId from, SiteId to) {
-  LinkObs& obs = link_obs_[pair_index(from, to)];
-  if (obs.sent != nullptr) return obs;
-  // First traffic on this directed link: create its counters (the lazy
-  // creation keeps registry contents equal to the pre-dense-table layout).
-  const std::string prefix = "net.link." + std::to_string(from) + "->" +
-                             std::to_string(to) + ".";
-  obs.sent = &metrics_->counter(prefix + "sent");
-  obs.delivered = &metrics_->counter(prefix + "delivered");
-  obs.dropped = &metrics_->counter(prefix + "dropped");
-  return obs;
+  auto& row = obs_rows_[from];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const std::pair<SiteId, LinkObs>& entry, SiteId destination) {
+        return entry.first < destination;
+      });
+  if (it == row.end() || it->first != to) {
+    // First traffic on this directed link: create its counters (the lazy
+    // creation keeps registry contents equal to the dense-table layout —
+    // the registry sorts by name, so insertion order never shows).
+    const std::string prefix = "net.link." + std::to_string(from) + "->" +
+                               std::to_string(to) + ".";
+    LinkObs obs;
+    obs.sent = &metrics_->counter(prefix + "sent");
+    obs.delivered = &metrics_->counter(prefix + "delivered");
+    obs.dropped = &metrics_->counter(prefix + "dropped");
+    it = row.insert(it, {to, obs});
+  }
+  return it->second;
 }
 
 void Network::count_drop(SiteId from, SiteId to) {
@@ -79,22 +89,10 @@ SiteId Network::add_site(SiteHandler& handler) {
   sites_.push_back(&handler);
   up_.push_back(true);
   partition_.push_back(0);
-  // Rebuild the dense n x n pair tables around the new site: existing
-  // directed-pair entries keep their (possibly overridden) parameters and
-  // already-created counters; pairs involving the new site start at the
-  // defaults. Registration is setup-time work, so the O(n^2) copy is paid
-  // outside any hot path.
-  const std::size_t new_n = old_n + 1;
-  std::vector<LinkParams> links(new_n * new_n, default_link_);
-  std::vector<LinkObs> obs(new_n * new_n);
-  for (std::size_t from = 0; from < old_n; ++from) {
-    for (std::size_t to = 0; to < old_n; ++to) {
-      links[from * new_n + to] = links_[from * old_n + to];
-      obs[from * new_n + to] = link_obs_[from * old_n + to];
-    }
-  }
-  links_ = std::move(links);
-  link_obs_ = std::move(obs);
+  // O(1): a new site starts with every link at the defaults (no tile) and
+  // no observed traffic (empty adjacency row). The former dense layout
+  // rebuilt two n x n tables here, making n-site registration O(n^3).
+  obs_rows_.emplace_back();
   return static_cast<SiteId>(old_n);
 }
 
@@ -128,17 +126,29 @@ void Network::heal_partitions() {
   for (auto& group : partition_) group = 0;
 }
 
+Network::LinkTile& Network::materialize_tile(SiteId from, SiteId to) {
+  std::unique_ptr<LinkTile>& tile = tiles_[tile_key(from, to)];
+  if (tile == nullptr) {
+    tile = std::make_unique<LinkTile>();
+    tile->params.fill(default_link_);
+  }
+  return *tile;
+}
+
 void Network::set_link(SiteId a, SiteId b, LinkParams params) {
   check_site(a);
   check_site(b);
-  links_[pair_index(a, b)] = params;
-  links_[pair_index(b, a)] = params;
+  materialize_tile(a, b).params[tile_slot(a, b)] = params;
+  materialize_tile(b, a).params[tile_slot(b, a)] = params;
 }
 
 const LinkParams& Network::link(SiteId a, SiteId b) const {
   check_site(a);
   check_site(b);
-  return links_[pair_index(a, b)];
+  if (tiles_.empty()) return default_link_;  // no overrides anywhere
+  const auto it = tiles_.find(tile_key(a, b));
+  if (it == tiles_.end()) return default_link_;
+  return it->second->params[tile_slot(a, b)];
 }
 
 void Network::send(SiteId from, SiteId to,

@@ -8,8 +8,11 @@
 // (sim/failure.hpp) drives them over time.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/message_pool.hpp"
@@ -146,10 +149,36 @@ class Network {
   };
 
   void check_site(SiteId site) const;
-  /// Dense directed-pair index into links_/link_obs_ (row-major n x n).
-  std::size_t pair_index(SiteId from, SiteId to) const noexcept {
-    return static_cast<std::size_t>(from) * sites_.size() + to;
+
+  // -- tiled sparse link store ------------------------------------------------
+  // Link parameters live in fixed kTileSpan x kTileSpan tiles, materialized
+  // (filled with default_link_) only when set_link first touches a directed
+  // pair inside them. Untouched pairs — the overwhelming majority at large
+  // n, where only a handful of links are ever degraded — read default_link_
+  // through a single branch on tiles_.empty(). This replaces the former
+  // dense n x n table, whose ~4.3B entries at n = 65536 made big trees
+  // physically impossible, while keeping link() an O(1) lookup. Tile
+  // materialization consumes no randomness and changes no delivery order,
+  // so every seeded schedule is byte-identical to the dense layout.
+  static constexpr std::uint32_t kTileShift = 6;  ///< 64 sites per tile axis
+  static constexpr std::uint32_t kTileSpan = 1u << kTileShift;
+  static constexpr std::uint32_t kTileMask = kTileSpan - 1;
+
+  struct LinkTile {
+    std::array<LinkParams, std::size_t{kTileSpan} * kTileSpan> params;
+  };
+
+  /// Key of the tile holding directed pair (from, to).
+  static std::uint64_t tile_key(SiteId from, SiteId to) noexcept {
+    return (static_cast<std::uint64_t>(from >> kTileShift) << 32) |
+           (to >> kTileShift);
   }
+  /// Index of (from, to) inside its tile (row-major kTileSpan x kTileSpan).
+  static std::size_t tile_slot(SiteId from, SiteId to) noexcept {
+    return (static_cast<std::size_t>(from & kTileMask) << kTileShift) |
+           (to & kTileMask);
+  }
+  LinkTile& materialize_tile(SiteId from, SiteId to);
 
   /// Single emit point of the message pipeline: publishes to the event bus
   /// (when attached) and forwards to the legacy trace sink (when attached).
@@ -172,13 +201,14 @@ class Network {
   std::vector<SiteHandler*> sites_;
   std::vector<bool> up_;
   std::vector<std::uint32_t> partition_;
-  /// Flat n x n tables indexed by pair_index, rebuilt by add_site: link
-  /// parameters per directed pair (set_link writes both directions) and
-  /// the lazily-created per-link counters. O(1) lookup on every send —
-  /// the former std::map lookups were two of the three allocations-or-
-  /// searches on the per-message path.
-  std::vector<LinkParams> links_;
-  std::vector<LinkObs> link_obs_;
+  /// Tiles with at least one set_link override, keyed by tile_key. Empty
+  /// until the first override — link() then never touches the map at all.
+  std::unordered_map<std::uint64_t, std::unique_ptr<LinkTile>> tiles_;
+  /// Per-from-site adjacency of lazily-created link counters, sorted by
+  /// destination: only the tree edges that actually carry traffic get an
+  /// entry, so an idle site costs one empty vector. Rows are per-site, not
+  /// n x n — at n = 65536 the dense observer table alone was ~100 GiB.
+  std::vector<std::vector<std::pair<SiteId, LinkObs>>> obs_rows_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

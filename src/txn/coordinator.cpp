@@ -28,11 +28,21 @@ Coordinator::Coordinator(Network& network, Scheduler& scheduler,
         "Coordinator: replica_sites size < protocol universe");
   }
   for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
-    site_to_replica_[replica_sites_[r]] = static_cast<ReplicaId>(r);
+    if (replica_sites_[r] != r) {
+      sites_are_identity_ = false;
+      break;
+    }
   }
+  if (!sites_are_identity_) {
+    for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
+      site_to_replica_[replica_sites_[r]] = static_cast<ReplicaId>(r);
+    }
+  }
+  empty_failures_ = FailureSet(replica_sites_.size());
 }
 
 void Coordinator::set_metrics(MetricsRegistry* registry, TxnSpanLog* spans) {
+  registry_ = registry;
   if (registry == nullptr) {
     obs_ = Obs{};
     spans_ = nullptr;
@@ -57,18 +67,30 @@ void Coordinator::set_metrics(MetricsRegistry* registry, TxnSpanLog* spans) {
   obs_.tail_commit = &registry->qsketch("txn.tail.commit_us");
   obs_.tail_noncommit = &registry->qsketch("txn.tail.noncommit_us");
   obs_.site_turnaround.assign(replica_sites_.size(), nullptr);
-  for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
-    obs_.site_turnaround[r] = &registry->qsketch(
-        "txn.tail.site." + std::to_string(replica_sites_[r]) +
-        ".turnaround_us");
+  if (replica_sites_.size() <= kEagerSiteInstruments) {
+    // Small universes get every per-site sketch up front, so the registry
+    // snapshot is independent of which sites a seed happens to contact.
+    for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
+      obs_.site_turnaround[r] = &registry->qsketch(
+          "txn.tail.site." + std::to_string(replica_sites_[r]) +
+          ".turnaround_us");
+    }
   }
+  // Above the threshold the slots stay null and note_turnaround creates a
+  // site's sketch on its first observed reply.
   spans_ = spans;
 }
 
 void Coordinator::note_turnaround(const Txn& txn, SiteId from) {
   if (obs_.site_turnaround.empty()) return;
   const ReplicaId r = replica_of_site(from);
-  obs_.site_turnaround[r]->record(scheduler_.now() - txn.round_start);
+  QuantileSketch*& sketch = obs_.site_turnaround[r];
+  if (sketch == nullptr) {
+    sketch = &registry_->qsketch("txn.tail.site." +
+                                 std::to_string(replica_sites_[r]) +
+                                 ".turnaround_us");
+  }
+  sketch->record(scheduler_.now() - txn.round_start);
 }
 
 void Coordinator::set_protocol(const ReplicaControlProtocol& protocol) {
@@ -100,23 +122,29 @@ Coordinator::Txn* Coordinator::find(TxnId id) {
 }
 
 ReplicaId Coordinator::replica_of_site(SiteId site) const {
+  if (sites_are_identity_) {
+    ATRCP_CHECK(site < replica_sites_.size());
+    return static_cast<ReplicaId>(site);
+  }
   const auto it = site_to_replica_.find(site);
   ATRCP_CHECK(it != site_to_replica_.end());
   return it->second;
 }
 
-FailureSet Coordinator::combined_failures(const Txn& txn) const {
-  // Sized to the physical pool, not any one protocol's universe: a larger
-  // FailureSet is transparent to protocols with a smaller universe, and the
-  // overlap window's union protocol spans both epochs' universes.
-  FailureSet combined = failures_ ? *failures_
-                                  : FailureSet(replica_sites_.size());
-  for (std::size_t r = 0; r < replica_sites_.size(); ++r) {
-    if (txn.suspected.is_failed(static_cast<ReplicaId>(r))) {
-      combined.fail(static_cast<ReplicaId>(r));
-    }
+const FailureSet& Coordinator::combined_failures(const Txn& txn) const {
+  // With no suspicions the detector's view is the answer as-is; returning
+  // it directly shares its epoch, so the protocol-side assembly caches hit
+  // exactly as they would for a by-value copy — without the copy.
+  if (txn.suspected.failed_count() == 0) {
+    return failures_ != nullptr ? *failures_ : empty_failures_;
   }
-  return combined;
+  // Suspicion overlay: detector view ORed with the transaction's suspected
+  // set, word-wise into a reused scratch buffer. O(n/64), no per-round
+  // allocation, no O(n) per-replica scan — at n = 65536 the former loop
+  // walked all sites on every quorum round.
+  scratch_failures_ = failures_ != nullptr ? *failures_ : empty_failures_;
+  scratch_failures_.merge_failed_from(txn.suspected);
+  return scratch_failures_;
 }
 
 void Coordinator::run(std::vector<TxnOp> ops, TxnCallback done) {
@@ -127,7 +155,9 @@ void Coordinator::run(std::vector<TxnOp> ops, TxnCallback done) {
   txn.id = id;
   txn.ops = std::move(ops);
   txn.done = std::move(done);
-  txn.suspected = FailureSet(replica_sites_.size());
+  // txn.suspected stays the default empty FailureSet: fail() grows it on
+  // the first suspicion, so an untroubled transaction never sizes a bitmap
+  // to the site pool.
   txn.view = epoch_source_ != nullptr ? epoch_source_->acquire_view()
                                       : EpochView{0, false, protocol_};
   txn.span.txn_id = id;
@@ -233,7 +263,7 @@ void Coordinator::begin_read_round(TxnId id) {
   Txn* txn = find(id);
   ATRCP_CHECK(txn != nullptr);
   txn->phase = Phase::kReadQuorum;
-  const FailureSet failures = combined_failures(*txn);
+  const FailureSet& failures = combined_failures(*txn);
   const auto quorum = txn->view.protocol->assemble_read_quorum(failures, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
@@ -270,7 +300,7 @@ void Coordinator::begin_version_round(TxnId id) {
   Txn* txn = find(id);
   ATRCP_CHECK(txn != nullptr);
   txn->phase = Phase::kVersionQuorum;
-  const FailureSet failures = combined_failures(*txn);
+  const FailureSet& failures = combined_failures(*txn);
   const auto quorum = txn->view.protocol->assemble_read_quorum(failures, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();
@@ -405,7 +435,7 @@ void Coordinator::finish_version_op(TxnId id) {
   const Timestamp ts{base + 1, site_};
   txn->staged_version[op.key] = ts.version;
 
-  const FailureSet failures = combined_failures(*txn);
+  const FailureSet& failures = combined_failures(*txn);
   const auto quorum = txn->view.protocol->assemble_write_quorum(failures, rng_);
   if (!quorum) {
     if (obs_.quorum_unavailable != nullptr) obs_.quorum_unavailable->inc();

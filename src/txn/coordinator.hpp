@@ -246,8 +246,16 @@ class Coordinator final : public SiteHandler {
     std::vector<QuantileSketch*> site_turnaround;
   };
 
+  /// Per-site instruments (turnaround sketches here, per-site quorum-load
+  /// counters in protocols/protocol.cpp) are created eagerly up to this
+  /// universe size — keeping registry snapshots independent of which sites
+  /// a seed happens to touch — and lazily on first contact above it, so a
+  /// 65536-site tree doesn't pay for 65536 idle sketches. Every
+  /// digest-pinned configuration in the repo is at most 256 sites.
+  static constexpr std::size_t kEagerSiteInstruments = 256;
+
   Txn* find(TxnId id);
-  FailureSet combined_failures(const Txn& txn) const;
+  const FailureSet& combined_failures(const Txn& txn) const;
   void record(std::uint8_t kind, TxnId txn, std::string label);
   void note_turnaround(const Txn& txn, SiteId from);
 
@@ -278,12 +286,23 @@ class Coordinator final : public SiteHandler {
   const ReplicaControlProtocol* protocol_;  // never null; swappable
   EpochSource* epoch_source_ = nullptr;     // null = pinned to protocol_
   std::vector<SiteId> replica_sites_;
-  std::map<SiteId, ReplicaId> site_to_replica_;
+  /// True when replica_sites_[r] == r for every r (every Cluster layout):
+  /// replica_of_site is then the identity and the n-entry reverse map below
+  /// is never built.
+  bool sites_are_identity_ = true;
+  std::map<SiteId, ReplicaId> site_to_replica_;  ///< only if !identity
   LockManager& locks_;
   Rng rng_;
   CoordinatorOptions options_;
   const FailureSet* failures_;
+  /// combined_failures scratch: the detector view ORed with a transaction's
+  /// suspicion overlay, reused across rounds so no per-round FailureSet is
+  /// allocated. empty_failures_ stands in when no detector is attached and
+  /// keeps a stable epoch, so assembly caches hit across rounds.
+  mutable FailureSet scratch_failures_;
+  FailureSet empty_failures_;
   SiteId site_ = 0;
+  MetricsRegistry* registry_ = nullptr;  ///< for lazy per-site sketches
   Obs obs_{};
   TxnSpanLog* spans_ = nullptr;
   HistoryRecorder* history_ = nullptr;

@@ -170,6 +170,90 @@ TEST(FailureSetTest, EpochChangesOnlyOnActualMutation) {
   EXPECT_NE(failures.epoch(), after_fail);
 }
 
+TEST(FailureSetTest, HeapPathAt4096PacksWordsCorrectly) {
+  // The big-tree configurations put 4096+ replicas in one universe — 16x
+  // past kInlineBits — so every bit operation runs against heap words.
+  // Fail exactly the replicas on word boundaries and both edges of each
+  // 64-bit word to catch packing/shift errors.
+  constexpr std::size_t kUniverse = 4096;
+  FailureSet failures(kUniverse);
+  EXPECT_EQ(failures.universe_size(), kUniverse);
+  EXPECT_EQ(failures.failed_count(), 0u);
+
+  std::size_t expected = 0;
+  for (std::size_t word = 0; word < kUniverse / 64; ++word) {
+    failures.fail(static_cast<ReplicaId>(word * 64));       // bit 0
+    failures.fail(static_cast<ReplicaId>(word * 64 + 63));  // bit 63
+    expected += 2;
+  }
+  EXPECT_EQ(failures.failed_count(), expected);
+  for (std::size_t word = 0; word < kUniverse / 64; ++word) {
+    EXPECT_TRUE(failures.is_failed(static_cast<ReplicaId>(word * 64)));
+    EXPECT_TRUE(failures.is_failed(static_cast<ReplicaId>(word * 64 + 63)));
+    // Interior bits of the same words stay clear.
+    EXPECT_FALSE(failures.is_failed(static_cast<ReplicaId>(word * 64 + 1)));
+    EXPECT_FALSE(failures.is_failed(static_cast<ReplicaId>(word * 64 + 62)));
+  }
+
+  // Recover every bit-63 replica: count halves, bit-0 neighbours survive.
+  for (std::size_t word = 0; word < kUniverse / 64; ++word) {
+    failures.recover(static_cast<ReplicaId>(word * 64 + 63));
+  }
+  EXPECT_EQ(failures.failed_count(), expected / 2);
+  EXPECT_TRUE(failures.is_failed(0));
+  EXPECT_FALSE(failures.is_failed(63));
+}
+
+TEST(FailureSetTest, HeapPathEpochsStayUniquePerMutation) {
+  // Epoch semantics must be identical on the heap path: a fresh epoch per
+  // real mutation, globally unique across sets of any size.
+  FailureSet big(4096);
+  FailureSet small(8);
+  EXPECT_NE(big.epoch(), small.epoch());
+
+  std::uint64_t last = big.epoch();
+  for (ReplicaId r : {ReplicaId{0}, ReplicaId{1000}, ReplicaId{4095}}) {
+    big.fail(r);
+    EXPECT_NE(big.epoch(), last);
+    last = big.epoch();
+  }
+  big.fail(1000);  // no-op: already failed
+  EXPECT_EQ(big.epoch(), last);
+}
+
+TEST(FailureSetTest, MergeFailedFromOrsWordsAndGrows) {
+  // merge_failed_from is the per-txn suspicion path: word-wise OR into a
+  // reused scratch set, growing the destination universe when needed.
+  FailureSet detector(4096);
+  detector.fail(7);
+  detector.fail(300);   // heap word on the source side
+  detector.fail(4095);
+
+  FailureSet scratch(16);  // smaller universe: merge must grow it
+  scratch.fail(3);
+  const std::uint64_t before = scratch.epoch();
+  scratch.merge_failed_from(detector);
+  EXPECT_NE(scratch.epoch(), before);
+  EXPECT_EQ(scratch.universe_size(), 4096u);
+  EXPECT_EQ(scratch.failed_count(), 4u);
+  EXPECT_TRUE(scratch.is_failed(3));
+  EXPECT_TRUE(scratch.is_failed(7));
+  EXPECT_TRUE(scratch.is_failed(300));
+  EXPECT_TRUE(scratch.is_failed(4095));
+
+  // Re-merging the same set adds nothing: contents and epoch both hold.
+  const std::uint64_t merged = scratch.epoch();
+  scratch.merge_failed_from(detector);
+  EXPECT_EQ(scratch.epoch(), merged);
+  EXPECT_EQ(scratch.failed_count(), 4u);
+
+  // Merging an empty set is a no-op even across universe sizes.
+  const FailureSet empty(65536);
+  scratch.merge_failed_from(empty);
+  EXPECT_EQ(scratch.epoch(), merged);
+  EXPECT_EQ(scratch.universe_size(), 4096u);
+}
+
 TEST(FailureSetTest, EpochsAreGloballyUniqueAndSharedByCopies) {
   FailureSet a(8);
   FailureSet b(8);
